@@ -1,0 +1,154 @@
+//! The pub/sub-triggering baseline (Thialfi-like).
+//!
+//! "A triggering solution uses a publish/subscribe system to notify the
+//! client that an update of interest has occurred, and only then does the
+//! client poll TAO … However, the pub/sub system would need to guarantee
+//! at-least-once delivery of the notification … the downside … is that
+//! devices could easily be overwhelmed with update signals in some
+//! scenarios. Moreover, the triggered poll would still be subject to the
+//! latency added by having to use indexing in TAO." (§2)
+
+use std::collections::HashMap;
+
+/// A reliable (at-least-once) notification service that triggers client
+/// polls.
+#[derive(Default)]
+pub struct TriggerService {
+    /// topic → subscribed client ids.
+    subscribers: HashMap<String, Vec<u64>>,
+    /// Pending notification queue per client (at-least-once, so failures
+    /// re-enqueue; duplicates are possible by design).
+    pending: HashMap<u64, Vec<String>>,
+    notifications_sent: u64,
+    replication_writes: u64,
+    /// Replication factor for notification durability.
+    replicas: u64,
+}
+
+impl TriggerService {
+    /// Creates a trigger service replicating notifications `replicas` ways
+    /// (at-least-once delivery demands cross-region durability).
+    pub fn new(replicas: u64) -> Self {
+        TriggerService {
+            replicas,
+            ..Default::default()
+        }
+    }
+
+    /// Subscribes a client to a topic.
+    pub fn subscribe(&mut self, topic: &str, client: u64) {
+        let subs = self.subscribers.entry(topic.to_owned()).or_default();
+        if !subs.contains(&client) {
+            subs.push(client);
+        }
+    }
+
+    /// Publishes an update notification; every subscriber gets a trigger.
+    ///
+    /// Returns the number of notifications enqueued.
+    pub fn publish(&mut self, topic: &str) -> u64 {
+        let Some(subs) = self.subscribers.get(topic) else {
+            // Durability writes happen regardless of fan-out.
+            self.replication_writes += self.replicas;
+            return 0;
+        };
+        let count = subs.len() as u64;
+        for &client in subs.clone().iter() {
+            self.pending
+                .entry(client)
+                .or_default()
+                .push(topic.to_owned());
+        }
+        self.notifications_sent += count;
+        // At-least-once delivery => the notification itself is replicated.
+        self.replication_writes += self.replicas;
+        count
+    }
+
+    /// Drains a client's pending triggers (each one costs a TAO poll).
+    pub fn drain(&mut self, client: u64) -> Vec<String> {
+        self.pending.remove(&client).unwrap_or_default()
+    }
+
+    /// Pending trigger backlog for a client — the "devices could easily be
+    /// overwhelmed with update signals" failure mode.
+    pub fn backlog(&self, client: u64) -> usize {
+        self.pending.get(&client).map_or(0, Vec::len)
+    }
+
+    /// Total notifications sent.
+    pub fn notifications_sent(&self) -> u64 {
+        self.notifications_sent
+    }
+
+    /// Replication writes performed for notification durability.
+    pub fn replication_writes(&self) -> u64 {
+        self.replication_writes
+    }
+
+    /// Simulates an at-least-once redelivery after a client failure: the
+    /// drained triggers are re-enqueued (duplicates are expected).
+    pub fn redeliver(&mut self, client: u64, triggers: Vec<String>) {
+        self.pending.entry(client).or_default().extend(triggers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_triggers_subscribers() {
+        let mut t = TriggerService::new(3);
+        t.subscribe("/LVC/1", 10);
+        t.subscribe("/LVC/1", 11);
+        t.subscribe("/LVC/2", 12);
+        assert_eq!(t.publish("/LVC/1"), 2);
+        assert_eq!(t.drain(10), vec!["/LVC/1"]);
+        assert_eq!(t.drain(11), vec!["/LVC/1"]);
+        assert!(t.drain(12).is_empty());
+    }
+
+    #[test]
+    fn duplicate_subscribe_is_idempotent() {
+        let mut t = TriggerService::new(1);
+        t.subscribe("/a", 1);
+        t.subscribe("/a", 1);
+        assert_eq!(t.publish("/a"), 1);
+    }
+
+    #[test]
+    fn hot_topic_overwhelms_device_backlog() {
+        let mut t = TriggerService::new(3);
+        t.subscribe("/LVC/hot", 1);
+        for _ in 0..10_000 {
+            t.publish("/LVC/hot");
+        }
+        // Every single update produced a signal to the device: the
+        // firehose problem that made triggering unsuitable.
+        assert_eq!(t.backlog(1), 10_000);
+    }
+
+    #[test]
+    fn replication_cost_scales_with_publishes() {
+        let mut t = TriggerService::new(3);
+        t.subscribe("/a", 1);
+        for _ in 0..100 {
+            t.publish("/a");
+        }
+        // At-least-once: 3 replica writes per notification event.
+        assert_eq!(t.replication_writes(), 300);
+    }
+
+    #[test]
+    fn redelivery_duplicates_are_possible() {
+        let mut t = TriggerService::new(1);
+        t.subscribe("/a", 1);
+        t.publish("/a");
+        let drained = t.drain(1);
+        // The client crashed before acting: at-least-once redelivers.
+        t.redeliver(1, drained);
+        t.publish("/a");
+        assert_eq!(t.backlog(1), 2, "duplicate trigger plus the new one");
+    }
+}

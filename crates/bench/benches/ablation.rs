@@ -1,0 +1,192 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out.
+//!
+//! 1. **Events, not payloads, through Pylon** — cross-region bandwidth per
+//!    update with metadata-only events vs payload-carrying events.
+//! 2. **Best-effort delivery vs reliable (replicated) delivery** — write
+//!    amplification per publish when in-flight updates must be replicated
+//!    for at-least-once semantics (the Thialfi-style alternative).
+//! 3. **Per-app BRASS vs the generic configurable filter engine** — the
+//!    per-update decision cost of a config-matrix pipeline vs dedicated
+//!    application code.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use baseline::generic_filter::{
+    Filter, GenericFilterEngine, Meta, PrivacyPlacement, TopicConfig,
+};
+use baseline::trigger::TriggerService;
+use brass::buffer::RankedBuffer;
+use pylon::Topic;
+use simkit::time::{SimDuration, SimTime};
+use tao::ObjectId;
+use was::event::{EventKind, EventMeta, UpdateEvent};
+
+fn metadata_event() -> UpdateEvent {
+    UpdateEvent {
+        id: 1,
+        topic: Topic::live_video_comments(42),
+        object: ObjectId(7),
+        kind: EventKind::CommentPosted,
+        meta: EventMeta {
+            uid: 9,
+            quality: 0.9,
+            lang: Some("en".into()),
+            created_ms: 1,
+            seq: None,
+            typing: None,
+        },
+    }
+}
+
+/// Ablation 1: bytes crossing regions per update, with and without the
+/// payload embedded in the event.
+fn bench_payload_ablation(c: &mut Criterion) {
+    let event = metadata_event();
+    let payload = vec![b'x'; 2_048]; // a typical rendered GraphQL payload
+    let regions = 4usize; // replica regions the event would traverse
+
+    c.bench_function("ablation/event_metadata_only_bytes", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for _ in 0..regions {
+                bytes += event.wire_size();
+            }
+            black_box(bytes)
+        })
+    });
+    c.bench_function("ablation/event_with_payload_bytes", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for _ in 0..regions {
+                // Payload-in-event: every cross-region hop re-ships the
+                // full payload TAO replication already carries.
+                bytes += event.wire_size() + payload.len();
+            }
+            black_box(bytes)
+        })
+    });
+}
+
+/// Ablation 2: per-publish write amplification, best-effort vs reliable.
+fn bench_reliability_ablation(c: &mut Criterion) {
+    c.bench_function("ablation/best_effort_publish", |b| {
+        let mut pylon = pylon::PylonCluster::new(pylon::PylonConfig::small());
+        let topic = Topic::live_video_comments(1);
+        pylon.subscribe(&topic, pylon::HostId(1)).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Best-effort: no durability writes on the publish path.
+            black_box(pylon.publish(&topic, i))
+        })
+    });
+    c.bench_function("ablation/reliable_notify_publish", |b| {
+        let mut trigger = TriggerService::new(3);
+        trigger.subscribe("/LVC/1", 1);
+        b.iter(|| {
+            // At-least-once: every notification is replicated 3x before
+            // delivery, and the subscriber must then poll.
+            black_box(trigger.publish("/LVC/1"))
+        })
+    });
+}
+
+/// Ablation 3: decision cost, per-app BRASS logic vs the generic filter
+/// configuration matrix.
+fn bench_filter_ablation(c: &mut Criterion) {
+    // The per-app path: the LVC ranked buffer + inline predicates.
+    c.bench_function("ablation/per_app_lvc_decision", |b| {
+        let mut buf = RankedBuffer::new(5, SimDuration::from_secs(10));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let quality = (i % 100) as f64 / 100.0;
+            let lang_ok = i % 7 != 0;
+            let fresh = true;
+            if quality >= 0.2 && lang_ok && fresh {
+                buf.push(quality, SimTime::from_millis(i), i);
+            }
+            if i % 4 == 0 {
+                black_box(buf.pop_best(SimTime::from_millis(i)));
+            }
+        })
+    });
+    // The generic path: an interpreted AND/OR filter tree per update.
+    let mut engine = GenericFilterEngine::new();
+    engine.configure(
+        "/LVC/1",
+        TopicConfig {
+            filter: Filter::And(vec![
+                Filter::MinQuality(0.2),
+                Filter::Or(vec![
+                    Filter::LangIs("en".into()),
+                    Filter::LangIs("es".into()),
+                ]),
+                Filter::MaxAgeMs(10_000),
+                Filter::NotBlocked,
+            ]),
+            rate_limit: 1,
+            privacy: PrivacyPlacement::BeforeRateLimit,
+        },
+    );
+    c.bench_function("ablation/generic_filter_decision", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let candidates = [Meta {
+                author: i % 50,
+                quality: (i % 100) as f64 / 100.0,
+                lang: if i % 7 == 0 { "fr".into() } else { "en".into() },
+                age_ms: 100,
+            }];
+            black_box(engine.deliver_window("/LVC/1", &candidates, &|a| a % 13 == 0))
+        })
+    });
+}
+
+/// Ablation 4 (§7's future work): at low scale, Pylon could be replaced by
+/// an ordered log. Compare the publish→consume path cost of best-effort
+/// Pylon fan-out against event-log append + consumer poll.
+fn bench_pylon_vs_log(c: &mut Criterion) {
+    c.bench_function("ablation/pylon_publish_path", |b| {
+        let mut pylon = pylon::PylonCluster::new(pylon::PylonConfig::small());
+        let topic = Topic::live_video_comments(7);
+        for h in 0..8 {
+            pylon.subscribe(&topic, pylon::HostId(h)).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Push model: one publish reaches all 8 subscribers.
+            black_box(pylon.publish(&topic, i))
+        })
+    });
+    c.bench_function("ablation/event_log_publish_path", |b| {
+        let mut log = baseline::EventLog::new(baseline::EventLogConfig::small());
+        log.create_topic("/LVC/7").unwrap();
+        let mut offsets = [0u64; 4];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Log model: append once, then each of 8 consumers polls its
+            // assigned partition (2 consumers per partition here).
+            let (p, _) = log.append("/LVC/7", i).unwrap();
+            for _consumer in 0..2 {
+                let got = log
+                    .poll("/LVC/7", p, offsets[p as usize], 16)
+                    .unwrap();
+                black_box(got.len());
+            }
+            offsets[p as usize] += 1;
+        })
+    });
+}
+
+criterion_group!(
+    ablations,
+    bench_payload_ablation,
+    bench_reliability_ablation,
+    bench_filter_ablation,
+    bench_pylon_vs_log,
+);
+criterion_main!(ablations);

@@ -1,0 +1,94 @@
+//! Fig. 9: cumulative distributions of update latencies for
+//! TypingIndicator and LiveVideoComments, decomposed by pipeline stage.
+//!
+//! Paper panels (clients worldwide, 100K sampled updates):
+//!   1. Publish, edge → WAS:      ~10–260 ms for both apps.
+//!   2. BRASS host processing:    TI ~10–10,000 ms; LVC up to 10 s
+//!      (it includes the ranked-buffer dwell and batching).
+//!   3. BRASS → device:           100–10,000 ms; LVC slower (competes
+//!      with video bandwidth at the edge — modelled by its share of slow
+//!      links).
+//!   4. Total publish time:       TI faster than LVC throughout; LVC is
+//!      rate-limited to one message per two seconds, ranking fixed at 5.
+//!
+//! Run: `cargo run --release -p bench --bin fig9 [--minutes M]`
+
+use bench::{arg_or, print_cdf, CDF_GRID};
+use bladerunner::config::SystemConfig;
+use bladerunner::scenario::LiveVideo;
+use bladerunner::sim::SystemSim;
+use simkit::time::{SimDuration, SimTime};
+
+fn main() {
+    let minutes: u64 = arg_or("--minutes", 20);
+    let seed: u64 = arg_or("--seed", 9);
+    let mut sim = SystemSim::new(SystemConfig::small(), seed);
+
+    // LVC workload.
+    let lv = LiveVideo::setup(&mut sim, 15, 8, SimTime::ZERO);
+    lv.drive_comments(
+        &mut sim,
+        SimTime::from_secs(5),
+        SimDuration::from_secs(minutes * 60),
+        0.4,
+    );
+    // Typing workload: several chatty pairs.
+    for p in 0..10u64 {
+        let a = sim.create_user_device(&format!("ta{p}"), "en");
+        let b = sim.create_user_device(&format!("tb{p}"), "en");
+        let thread = sim.was_mut().create_thread(&[a, b]);
+        sim.subscribe_typing(SimTime::ZERO, b, thread, a);
+        let mut t = 3_000 + p * 137;
+        while t < minutes * 60 * 1_000 {
+            sim.set_typing(SimTime::from_millis(t), a, thread, (t / 1_000) % 2 == 0);
+            t += 2_500 + (p * 311) % 2_000;
+        }
+    }
+    sim.run_until(SimTime::from_secs(minutes * 60 + 120));
+
+    let m = sim.metrics();
+    for app in ["typing", "lvc"] {
+        let Some(lat) = m.per_app.get(app) else {
+            continue;
+        };
+        println!("\n########## {app} ##########");
+        print_cdf(
+            &format!("{app}: publish edge->WAS (ms)"),
+            &lat.edge_to_was,
+            &CDF_GRID,
+        );
+        print_cdf(
+            &format!("{app}: WAS handling (ms)"),
+            &lat.was_handling,
+            &CDF_GRID,
+        );
+        print_cdf(
+            &format!("{app}: BRASS host processing (ms)"),
+            &lat.brass_processing,
+            &CDF_GRID,
+        );
+        print_cdf(
+            &format!("{app}: BRASS -> device (ms)"),
+            &lat.brass_to_device,
+            &CDF_GRID,
+        );
+        print_cdf(&format!("{app}: total publish time (ms)"), &lat.total, &CDF_GRID);
+    }
+
+    let ti = &m.per_app["typing"];
+    let lvc = &m.per_app["lvc"];
+    println!("\nShape checks vs the paper:");
+    println!(
+        "  TI total median {:.0} ms < LVC total median {:.0} ms: {}",
+        ti.total.quantile(0.5),
+        lvc.total.quantile(0.5),
+        ti.total.quantile(0.5) < lvc.total.quantile(0.5)
+    );
+    println!(
+        "  LVC BRASS processing p90 {:.0} ms >> TI BRASS processing p90 {:.0} ms \
+         (ranked-buffer dwell): {}",
+        lvc.brass_processing.quantile(0.9),
+        ti.brass_processing.quantile(0.9),
+        lvc.brass_processing.quantile(0.9) > ti.brass_processing.quantile(0.9)
+    );
+}

@@ -1,0 +1,186 @@
+//! §1/§5 headline claims:
+//!
+//! * Switching LiveVideoComments from polling to Bladerunner cut the
+//!   application's WAS CPU load and social-graph queries-per-second by
+//!   ~10×, and halved comment visibility latency.
+//! * ~80% of update events are filtered out at BRASS instances.
+//! * Operating Messenger on polling needed ~8× the hardware of push.
+//!
+//! Run: `cargo run --release -p bench --bin headline [--viewers N]`
+
+use baseline::polling::ClientPoller;
+use bench::{arg_or, print_table};
+use bladerunner::config::SystemConfig;
+use bladerunner::scenario::LiveVideo;
+use bladerunner::sim::SystemSim;
+use simkit::time::{SimDuration, SimTime};
+use tao::{Tao, TaoConfig};
+use was::service::WebApplicationServer;
+
+/// Polling cost for `viewers` clients polling one video for `minutes`.
+fn polling_costs(viewers: usize, minutes: u64, comments: usize) -> (u64, u64, f64, f64) {
+    let mut was = WebApplicationServer::new(Tao::new(TaoConfig::small()));
+    let video = was.create_video("poll");
+    let poster = was.create_user("poster", "en");
+    let window_ms = minutes * 60 * 1_000;
+    let mut pollers: Vec<ClientPoller> = (0..viewers)
+        .map(|i| {
+            ClientPoller::new(
+                video,
+                SimDuration::from_secs(2),
+                SimTime::from_millis(i as u64 * 97 % 2_000),
+            )
+            .with_ranked_head(25)
+        })
+        .collect();
+    let mut posted = 0usize;
+    let mut now = SimTime::ZERO;
+    let horizon = SimTime::from_secs(minutes * 60);
+    while now < horizon {
+        // Comments materialise as time advances, spread over the window.
+        while posted < comments
+            && (posted as u64 + 1) * window_ms / (comments as u64 + 1) <= now.as_millis()
+        {
+            was.execute_mutation(
+                &format!(
+                    r#"mutation {{ postComment(videoId: {video}, authorId: {poster}, text: "headline comparison comment {posted}") {{ id }} }}"#
+                ),
+                now.as_millis(),
+            )
+            .unwrap();
+            posted += 1;
+        }
+        for p in &mut pollers {
+            if p.next_poll_at() <= now {
+                let _ = p.poll(&mut was, 0, now);
+            }
+        }
+        now = now + SimDuration::from_millis(500);
+    }
+    let c = was.tao_mut().counters(0);
+    let empty: f64 =
+        pollers.iter().map(ClientPoller::empty_fraction).sum::<f64>() / viewers as f64;
+    (c.total.rows_read, c.iops(), c.cpu_secs(), empty)
+}
+
+/// Bladerunner cost for the same audience and comment volume.
+fn bladerunner_costs(viewers: usize, minutes: u64, comments: usize, seed: u64) -> (u64, u64, f64, u64, u64) {
+    let mut sim = SystemSim::new(SystemConfig::small(), seed);
+    let lv = LiveVideo::setup(&mut sim, viewers, 6, SimTime::ZERO);
+    let window = SimDuration::from_secs(minutes * 60);
+    let rate = comments as f64 / window.as_secs_f64();
+    lv.drive_comments(&mut sim, SimTime::from_secs(2), window, rate);
+    sim.run_until(SimTime::from_secs(minutes * 60 + 60));
+    let c = sim.was_mut().tao_mut().counters(0);
+    (
+        c.total.rows_read,
+        c.iops(),
+        c.cpu_secs(),
+        sim.total_decisions(),
+        sim.metrics().deliveries.get(),
+    )
+}
+
+fn main() {
+    let viewers: usize = arg_or("--viewers", 50);
+    let minutes: u64 = arg_or("--minutes", 10);
+    let comments: usize = arg_or("--comments", 1_500);
+    let seed: u64 = arg_or("--seed", 11);
+
+    let (p_rows, p_iops, p_cpu, p_empty) = polling_costs(viewers, minutes, comments);
+    let (b_rows, b_iops, b_cpu, decisions, deliveries) =
+        bladerunner_costs(viewers, minutes, comments, seed);
+
+    print_table(
+        &format!(
+            "Headline — LVC backend cost, {viewers} viewers, {comments} comments, {minutes} min"
+        ),
+        &["metric", "polling", "bladerunner", "ratio"],
+        &[
+            vec![
+                "TAO rows read".into(),
+                p_rows.to_string(),
+                b_rows.to_string(),
+                format!("{:.1}x", p_rows as f64 / b_rows.max(1) as f64),
+            ],
+            vec![
+                "TAO IOPS".into(),
+                p_iops.to_string(),
+                b_iops.to_string(),
+                format!("{:.1}x", p_iops as f64 / b_iops.max(1) as f64),
+            ],
+            vec![
+                "backend CPU (s)".into(),
+                format!("{p_cpu:.2}"),
+                format!("{b_cpu:.2}"),
+                format!("{:.1}x", p_cpu / b_cpu.max(1e-9)),
+            ],
+        ],
+    );
+    println!(
+        "\nPaper: the LVC switchover cut WAS CPU load and social-graph QPS by ~10x."
+    );
+    // On the hot video itself polls rarely come up empty ({p_empty:.0}%);
+    // the paper's "80% of queries return no new data" is fleet-wide, where
+    // most subscribed areas are quiet (Table 1). Compute it from the
+    // calibrated area model: a device polling a random subscribed area
+    // every 2 s for 24 h sees at most its daily update count of non-empty
+    // polls.
+    let mut rng = simkit::DetRng::new(seed ^ 0xAA);
+    let model = workload::tables::AreaUpdateModel::new();
+    let polls_per_day = 43_200.0f64; // one poll per 2 s
+    let samples = 200_000;
+    let mut empty_sum = 0.0;
+    for _ in 0..samples {
+        let k = model.sample_daily_updates(&mut rng) as f64;
+        empty_sum += 1.0 - (k.min(polls_per_day) / polls_per_day);
+    }
+    println!(
+        "Fleet-wide empty-poll fraction (Table-1 area mix, 2s polls): {:.1}% — \
+         even more wasteful than the paper's traffic-weighted ~80%, because \
+         83% of subscribed areas see zero updates all day. On the hot video \
+         itself polls are almost never empty ({:.0}%): polling is only \
+         efficient exactly where Bladerunner is cheapest anyway.",
+        empty_sum / samples as f64 * 100.0,
+        p_empty * 100.0
+    );
+    println!(
+        "\nBRASS filtering: {deliveries} deliveries from {decisions} decisions — {:.0}% \
+         filtered out (paper: ~80%).",
+        (1.0 - deliveries as f64 / decisions.max(1) as f64) * 100.0
+    );
+
+    // Messenger: polling a mailbox vs push. Hardware ratio proxied by
+    // backend CPU for the same message volume.
+    let mut was = WebApplicationServer::new(Tao::new(TaoConfig::small()));
+    let a = was.create_user("a", "en");
+    let b = was.create_user("b", "en");
+    let thread = was.create_thread(&[a, b]);
+    for i in 0..50u64 {
+        was.execute_mutation(
+            &format!(r#"mutation {{ sendMessage(threadId: {thread}, fromId: {a}, text: "m{i}") {{ id }} }}"#),
+            i * 10_000,
+        )
+        .unwrap();
+    }
+    let before = was.tao_mut().counters(0).total;
+    // Polling: check the mailbox every second for 10 minutes (the paper's
+    // Messenger comparison ran polling against push at equal freshness).
+    for s in 0..600u64 {
+        was.execute_query(0, &format!("{{ mailbox(uid: {b}, afterSeq: 49) }}"))
+            .unwrap();
+        let _ = s;
+    }
+    let poll_cpu = was.tao_mut().counters(0).total.cpu_us - before.cpu_us;
+    let before = was.tao_mut().counters(0).total;
+    // Push: one point fetch per delivered message.
+    for i in 0..50u64 {
+        let _ = was.fetch_for_viewer(0, b, tao::ObjectId(4 + i * 3));
+    }
+    let push_cpu = was.tao_mut().counters(0).total.cpu_us - before.cpu_us;
+    println!(
+        "\nMessenger backend CPU for 50 messages: polling {poll_cpu} us vs push {push_cpu} us \
+         -> {:.1}x (paper: polling needed ~8x the hardware).",
+        poll_cpu as f64 / push_cpu.max(1) as f64
+    );
+}

@@ -1,0 +1,117 @@
+//! Table 3: latency of Bladerunner sub-operations (milliseconds, means).
+//!
+//! Paper rows:
+//!   WAS receives update → sent to Pylon:   LVC 2,000 / other 240
+//!   Pylon publish → sent to n BRASSes:     <10K subs 100 / ≥10K subs 109
+//!   BRASS receives update → sent to device: 76
+//!   Subscription at gateway → replicated:   73
+//!
+//! Measured from a full-system run with LVC and TypingIndicator traffic
+//! (the ≥10K-subscriber Pylon row is sampled from the calibrated model —
+//! the simulated fleet never reaches 10K hosts per topic).
+//!
+//! Run: `cargo run --release -p bench --bin table3 [--seed S]`
+
+use bench::{arg_or, print_table};
+use bladerunner::config::SystemConfig;
+use bladerunner::latency::LatencyModel;
+use bladerunner::scenario::LiveVideo;
+use bladerunner::sim::SystemSim;
+use simkit::rng::DetRng;
+use simkit::time::{SimDuration, SimTime};
+
+fn main() {
+    let seed: u64 = arg_or("--seed", 3);
+    let mut sim = SystemSim::new(SystemConfig::small(), seed);
+
+    // LVC traffic.
+    let lv = LiveVideo::setup(&mut sim, 10, 5, SimTime::ZERO);
+    lv.drive_comments(
+        &mut sim,
+        SimTime::from_secs(5),
+        SimDuration::from_secs(600),
+        1.0,
+    );
+    // Typing traffic (the non-buffering app: its BRASS latency is the 76ms
+    // row).
+    let a = sim.create_user_device("typist-a", "en");
+    let b = sim.create_user_device("typist-b", "en");
+    let thread = sim.was_mut().create_thread(&[a, b]);
+    sim.subscribe_typing(SimTime::ZERO, b, thread, a);
+    for i in 0..300u64 {
+        sim.set_typing(SimTime::from_secs(5 + i * 2), a, thread, i % 2 == 0);
+    }
+    sim.run_until(SimTime::from_secs(700));
+
+    let m = sim.metrics();
+    let lvc_was = m.per_app.get("lvc").map(|l| l.was_handling.mean()).unwrap_or(0.0);
+    let other_was = m
+        .per_app
+        .get("typing")
+        .map(|l| l.was_handling.mean())
+        .unwrap_or(0.0);
+    let brass = m
+        .per_app
+        .get("typing")
+        .map(|l| l.brass_processing.mean())
+        .unwrap_or(0.0);
+    let fanout_small = m.pylon_fanout_small.mean();
+    let fanout_small_p90 = m.pylon_fanout_small.quantile(0.90);
+    let fanout_small_p99 = m.pylon_fanout_small.quantile(0.99);
+    // The ≥10K-subscriber row comes from the calibrated model.
+    let model = LatencyModel::table3();
+    let mut rng = DetRng::new(seed ^ 0xF00D);
+    let fanout_large: f64 = (0..50_000)
+        .map(|_| model.pylon_fanout(20_000, &mut rng).as_millis_f64())
+        .sum::<f64>()
+        / 50_000.0;
+    let sub_rep = m.sub_replication.mean();
+    let sub_e2e = m.sub_e2e.mean();
+
+    let rows = vec![
+        vec![
+            "WAS update -> Pylon (LVC)".into(),
+            format!("{lvc_was:.0}"),
+            "2000".into(),
+        ],
+        vec![
+            "WAS update -> Pylon (other)".into(),
+            format!("{other_was:.0}"),
+            "240".into(),
+        ],
+        vec![
+            "Pylon publish -> BRASSes (<10K subs)".into(),
+            format!("{fanout_small:.0}"),
+            "100".into(),
+        ],
+        vec![
+            "Pylon publish -> BRASSes (>=10K subs)".into(),
+            format!("{fanout_large:.0}"),
+            "109".into(),
+        ],
+        vec![
+            "BRASS update -> device (non-buffering)".into(),
+            format!("{brass:.0}"),
+            "76".into(),
+        ],
+        vec![
+            "Subscription -> replicated on Pylon".into(),
+            format!("{sub_rep:.0}"),
+            "73".into(),
+        ],
+        vec![
+            "Device-observed subscribe (all links)".into(),
+            format!("{sub_e2e:.0}"),
+            "970".into(),
+        ],
+    ];
+    print_table(
+        "Table 3 — latency of Bladerunner sub-operations (ms, means)",
+        &["operation", "measured", "paper"],
+        &rows,
+    );
+    println!(
+        "\nPylon <10K percentiles: P90 {fanout_small_p90:.0} ms (paper 160), \
+         P99 {fanout_small_p99:.0} ms (paper 310)."
+    );
+}

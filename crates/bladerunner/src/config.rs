@@ -1,0 +1,123 @@
+//! System configuration.
+
+use edge::proxy::RouteStrategy;
+use pylon::PylonConfig;
+use simkit::time::SimDuration;
+use tao::TaoConfig;
+
+/// Connectivity class of a device's last mile, driving latency and drop
+/// behaviour ("many parts of the world still operate with older mobile
+/// communication infrastructure", §1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Fast, reliable links (fibre/5G, North America & Europe medians).
+    Fast,
+    /// Typical mobile links.
+    Mobile,
+    /// Constrained 2G-era links with frequent disconnects.
+    Slow,
+}
+
+/// Top-level configuration for a [`SystemSim`](crate::sim::SystemSim).
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// TAO store shape.
+    pub tao: TaoConfig,
+    /// Pylon cluster shape.
+    pub pylon: PylonConfig,
+    /// Number of BRASS hosts.
+    pub brass_hosts: u32,
+    /// Number of reverse proxies.
+    pub proxies: u32,
+    /// Number of POPs.
+    pub pops: u32,
+    /// How reverse proxies route fresh subscribes to BRASS hosts: by load
+    /// (high-fanout apps) or by topic (low-fanout apps, curtailing Pylon's
+    /// subscription footprint; §3.2).
+    pub route_strategy: RouteStrategy,
+    /// Link-class mix as (class, probability) pairs.
+    pub link_mix: Vec<(LinkClass, f64)>,
+    /// Probability that any individual last-mile frame is lost.
+    pub last_mile_drop: f64,
+    /// Delay before a dropped device reconnects.
+    pub reconnect_delay: SimDuration,
+    /// Maximum concurrent streams per device ("each mobile app up to 20",
+    /// §5); the oldest stream is cancelled to make room.
+    pub max_streams_per_device: usize,
+    /// Metrics bucketing interval (the paper uses 15-minute buckets).
+    pub metrics_interval: SimDuration,
+    /// Metrics horizon (how much simulated time the series cover).
+    pub metrics_horizon: SimDuration,
+}
+
+impl SystemConfig {
+    /// A small system for unit tests, doctests and examples.
+    pub fn small() -> Self {
+        SystemConfig {
+            tao: TaoConfig::small(),
+            pylon: PylonConfig::small(),
+            brass_hosts: 4,
+            proxies: 2,
+            pops: 2,
+            route_strategy: RouteStrategy::ByLoad,
+            link_mix: vec![
+                (LinkClass::Fast, 0.5),
+                (LinkClass::Mobile, 0.4),
+                (LinkClass::Slow, 0.1),
+            ],
+            last_mile_drop: 0.0,
+            reconnect_delay: SimDuration::from_secs(2),
+            max_streams_per_device: 20,
+            metrics_interval: SimDuration::from_mins(15),
+            metrics_horizon: SimDuration::from_hours(24),
+        }
+    }
+
+    /// A medium system for experiment harnesses.
+    pub fn medium() -> Self {
+        SystemConfig {
+            tao: TaoConfig {
+                shards: 64,
+                regions: 3,
+                cache_capacity: 65_536,
+            },
+            pylon: PylonConfig {
+                topic_shards: 16_384,
+                servers: 32,
+                kv_nodes: 12,
+                replicas: 3,
+            },
+            brass_hosts: 16,
+            proxies: 4,
+            pops: 4,
+            route_strategy: RouteStrategy::ByLoad,
+            link_mix: vec![
+                (LinkClass::Fast, 0.35),
+                (LinkClass::Mobile, 0.45),
+                (LinkClass::Slow, 0.2),
+            ],
+            last_mile_drop: 0.002,
+            reconnect_delay: SimDuration::from_secs(3),
+            max_streams_per_device: 20,
+            metrics_interval: SimDuration::from_mins(15),
+            metrics_horizon: SimDuration::from_hours(24),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_wellformed() {
+        for config in [SystemConfig::small(), SystemConfig::medium()] {
+            assert!(config.brass_hosts > 0);
+            assert!(config.proxies > 0);
+            assert!(config.pops > 0);
+            let total: f64 = config.link_mix.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "link mix sums to 1");
+            assert!(!config.metrics_interval.is_zero());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! System-wide measurement: every quantity §5 reports.
+
+use std::collections::HashMap;
+
+use burst::frame::StreamId;
+use simkit::metrics::{Counter, Histogram, TimeSeries};
+use simkit::time::{SimDuration, SimTime};
+
+/// Per-application latency histograms (Fig. 9 decomposition).
+#[derive(Default)]
+pub struct AppLatencies {
+    /// Update request: edge proxy → WAS (milliseconds).
+    pub edge_to_was: Histogram,
+    /// WAS handling: update request received → event sent to Pylon.
+    pub was_handling: Histogram,
+    /// BRASS host processing: event received → update sent to devices
+    /// (includes the WAS point fetch).
+    pub brass_processing: Histogram,
+    /// BRASS → device delivery (the contested last mile).
+    pub brass_to_device: Histogram,
+    /// Total publish time: comment posted → rendered on another device.
+    pub total: Histogram,
+}
+
+/// All measurements collected by a system run.
+pub struct SystemMetrics {
+    // ------------------------------------------------------------------
+    // Counters.
+    // ------------------------------------------------------------------
+    /// Mutations executed at the WAS.
+    pub mutations: Counter,
+    /// Update events published into Pylon.
+    pub publications: Counter,
+    /// Updates delivered to (rendered on) devices.
+    pub deliveries: Counter,
+    /// Device subscription requests issued.
+    pub subscriptions: Counter,
+    /// Stream cancellations issued.
+    pub cancellations: Counter,
+    /// Last-mile connections dropped.
+    pub connection_drops: Counter,
+    /// Last-mile frames lost in flight.
+    pub frames_lost: Counter,
+    /// Pylon subscribe attempts that failed on quorum loss.
+    pub quorum_failures: Counter,
+
+    // ------------------------------------------------------------------
+    // Latency histograms.
+    // ------------------------------------------------------------------
+    /// Per-application latency decompositions.
+    pub per_app: HashMap<String, AppLatencies>,
+    /// Pylon fanout latency, streams with <10K subscribers.
+    pub pylon_fanout_small: Histogram,
+    /// Pylon fanout latency, streams with ≥10K subscribers.
+    pub pylon_fanout_large: Histogram,
+    /// Backend subscription-replication latency (gateway → Pylon).
+    pub sub_replication: Histogram,
+    /// Device-observed subscription latency (subscribe → first response).
+    pub sub_e2e: Histogram,
+
+    // ------------------------------------------------------------------
+    // Diurnal time series (Fig. 8 / Fig. 10).
+    // ------------------------------------------------------------------
+    /// Active request-streams (gauge snapshots, one per interval).
+    pub ts_active_streams: TimeSeries,
+    /// Subscription requests per interval.
+    pub ts_subscriptions: TimeSeries,
+    /// Pylon publications per interval.
+    pub ts_publications: TimeSeries,
+    /// BRASS delivery decisions per interval.
+    pub ts_decisions: TimeSeries,
+    /// Update deliveries per interval.
+    pub ts_deliveries: TimeSeries,
+    /// Dropped last-mile connections per interval.
+    pub ts_connection_drops: TimeSeries,
+    /// Proxy-induced stream reconnects per interval.
+    pub ts_proxy_reconnects: TimeSeries,
+
+    // ------------------------------------------------------------------
+    // Per-stream accounting (Fig. 7 / Table 2).
+    // ------------------------------------------------------------------
+    /// Publications targeting each stream's subscription, over the
+    /// stream's lifetime.
+    pub stream_publications: HashMap<(u64, StreamId), u64>,
+    /// Stream open times (for lifetime accounting).
+    pub stream_opened: HashMap<(u64, StreamId), SimTime>,
+    /// Closed streams' lifetimes.
+    pub stream_lifetimes: Vec<SimDuration>,
+}
+
+impl SystemMetrics {
+    /// Creates metrics with the given diurnal horizon and bucket interval.
+    pub fn new(horizon: SimDuration, interval: SimDuration) -> Self {
+        let ts = || TimeSeries::new(horizon, interval);
+        SystemMetrics {
+            mutations: Counter::new(),
+            publications: Counter::new(),
+            deliveries: Counter::new(),
+            subscriptions: Counter::new(),
+            cancellations: Counter::new(),
+            connection_drops: Counter::new(),
+            frames_lost: Counter::new(),
+            quorum_failures: Counter::new(),
+            per_app: HashMap::new(),
+            pylon_fanout_small: Histogram::new(),
+            pylon_fanout_large: Histogram::new(),
+            sub_replication: Histogram::new(),
+            sub_e2e: Histogram::new(),
+            ts_active_streams: ts(),
+            ts_subscriptions: ts(),
+            ts_publications: ts(),
+            ts_decisions: ts(),
+            ts_deliveries: ts(),
+            ts_connection_drops: ts(),
+            ts_proxy_reconnects: ts(),
+            stream_publications: HashMap::new(),
+            stream_opened: HashMap::new(),
+            stream_lifetimes: Vec::new(),
+        }
+    }
+
+    /// The per-app latency bucket, created on first use.
+    pub fn app(&mut self, app: &str) -> &mut AppLatencies {
+        self.per_app.entry(app.to_owned()).or_default()
+    }
+
+    /// Records a stream opening.
+    pub fn stream_opened(&mut self, device: u64, sid: StreamId, at: SimTime) {
+        self.stream_opened.insert((device, sid), at);
+        self.stream_publications.entry((device, sid)).or_insert(0);
+    }
+
+    /// Records a stream closing, accumulating its lifetime.
+    pub fn stream_closed(&mut self, device: u64, sid: StreamId, at: SimTime) {
+        if let Some(opened) = self.stream_opened.remove(&(device, sid)) {
+            self.stream_lifetimes.push(at.saturating_since(opened));
+        }
+    }
+
+    /// Counts one publication targeting a stream's subscription.
+    pub fn publication_for_stream(&mut self, device: u64, sid: StreamId) {
+        *self.stream_publications.entry((device, sid)).or_insert(0) += 1;
+    }
+
+    /// Fig. 7 summary: fraction of streams with 0 / 1–9 / 10–99 / 100+
+    /// publications.
+    pub fn publication_buckets(&self) -> [f64; 4] {
+        let total = self.stream_publications.len().max(1) as f64;
+        let mut counts = [0usize; 4];
+        for &n in self.stream_publications.values() {
+            let b = match n {
+                0 => 0,
+                1..=9 => 1,
+                10..=99 => 2,
+                _ => 3,
+            };
+            counts[b] += 1;
+        }
+        [
+            counts[0] as f64 / total * 100.0,
+            counts[1] as f64 / total * 100.0,
+            counts[2] as f64 / total * 100.0,
+            counts[3] as f64 / total * 100.0,
+        ]
+    }
+
+    /// The overall BRASS filtered fraction: `1 - deliveries / decisions`
+    /// (the paper's "80% of messages are filtered out").
+    pub fn filtered_fraction(&self, decisions: u64) -> f64 {
+        if decisions == 0 {
+            0.0
+        } else {
+            1.0 - self.deliveries.get() as f64 / decisions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> SystemMetrics {
+        SystemMetrics::new(SimDuration::from_hours(1), SimDuration::from_mins(15))
+    }
+
+    #[test]
+    fn stream_lifetime_accounting() {
+        let mut m = metrics();
+        m.stream_opened(1, StreamId(1), SimTime::from_secs(10));
+        m.stream_closed(1, StreamId(1), SimTime::from_secs(70));
+        assert_eq!(m.stream_lifetimes, vec![SimDuration::from_secs(60)]);
+        // Closing an unknown stream is a no-op.
+        m.stream_closed(9, StreamId(9), SimTime::from_secs(99));
+        assert_eq!(m.stream_lifetimes.len(), 1);
+    }
+
+    #[test]
+    fn publication_buckets_classify() {
+        let mut m = metrics();
+        for (i, n) in [(1u64, 0u64), (2, 5), (3, 50), (4, 500)] {
+            m.stream_opened(i, StreamId(1), SimTime::ZERO);
+            for _ in 0..n {
+                m.publication_for_stream(i, StreamId(1));
+            }
+        }
+        let buckets = m.publication_buckets();
+        assert_eq!(buckets, [25.0, 25.0, 25.0, 25.0]);
+    }
+
+    #[test]
+    fn filtered_fraction() {
+        let mut m = metrics();
+        m.deliveries.add(20);
+        assert!((m.filtered_fraction(100) - 0.8).abs() < 1e-9);
+        assert_eq!(m.filtered_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn per_app_buckets_created_on_demand() {
+        let mut m = metrics();
+        m.app("lvc").total.record(100.0);
+        m.app("lvc").total.record(200.0);
+        assert_eq!(m.per_app["lvc"].total.count(), 2);
+    }
+}

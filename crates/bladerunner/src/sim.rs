@@ -1,0 +1,1389 @@
+//! The full-system discrete-event simulation.
+//!
+//! [`SystemSim`] wires every sans-io component together and drives them
+//! with the [`simkit`] event queue: each output effect becomes a future
+//! event, delayed by a sampled hop latency from the
+//! [`crate::latency::LatencyModel`]. All randomness flows
+//! from one seed, so any run is exactly reproducible.
+
+use std::collections::HashMap;
+
+use brass::app::{DeviceId, FetchToken, WasRequest, WasResponse};
+use brass::host::{BrassHost, HostConfig, HostEffect};
+use burst::frame::{Frame, StreamId};
+use burst::json::Json;
+use edge::device::{Device, DeviceOutput};
+use edge::pop::{Pop, PopEffect};
+use edge::proxy::{ProxyEffect, ReverseProxy};
+use pylon::{HostId, PylonCluster, Topic};
+use simkit::queue::EventQueue;
+use simkit::rng::DetRng;
+use simkit::time::{SimDuration, SimTime};
+use tao::{ObjectId, Tao};
+use was::service::{Rv, WebApplicationServer};
+use was::UpdateEvent;
+
+use crate::config::{LinkClass, SystemConfig};
+use crate::latency::LatencyModel;
+use crate::metrics::SystemMetrics;
+
+/// A simulation event.
+enum Ev {
+    // ------------------------------------------------------------------
+    // Workload.
+    // ------------------------------------------------------------------
+    /// A device opens a new request-stream with this header.
+    DeviceSubscribe { device: u64, header: Json },
+    /// A device cancels a stream.
+    DeviceCancel { device: u64, sid: StreamId },
+    /// A device issues a GraphQL mutation (already includes last-mile
+    /// latency; `app` classifies it for metrics).
+    WasMutationExec { gql: String, app: &'static str },
+
+    // ------------------------------------------------------------------
+    // Backend publish path.
+    // ------------------------------------------------------------------
+    /// An update event reaches Pylon.
+    PylonPublish { event: UpdateEvent },
+    /// Pylon forwards an event to one BRASS host.
+    PylonDeliverHost { host: usize, event: UpdateEvent },
+    /// A cross-region TAO cache invalidation applies.
+    TaoReplicate { event: tao::ReplicationEvent },
+
+    // ------------------------------------------------------------------
+    // BRASS subscriptions and async work.
+    // ------------------------------------------------------------------
+    /// A BRASS host's subscribe reaches (and replicates within) Pylon.
+    PylonSubscribeExec { host: usize, topic: Topic, attempt: u32 },
+    /// A BRASS host's unsubscribe reaches Pylon.
+    PylonUnsubscribeExec { host: usize, topic: Topic },
+    /// A BRASS-issued WAS request executes at the WAS.
+    WasExec {
+        host: usize,
+        app: String,
+        token: FetchToken,
+        request: WasRequest,
+        attributed: Option<SimTime>,
+    },
+    /// The WAS response arrives back at the BRASS.
+    WasReply {
+        host: usize,
+        app: String,
+        token: FetchToken,
+        response: WasResponse,
+        attributed: Option<SimTime>,
+    },
+    /// An application timer fires.
+    BrassTimer { host: usize, app: String, token: u64 },
+
+    // ------------------------------------------------------------------
+    // Frame transport, client → server.
+    // ------------------------------------------------------------------
+    /// A device frame arrives at its POP.
+    AtPop { device: u64, frame: Frame },
+    /// A frame arrives at a reverse proxy.
+    AtProxy { proxy: usize, device: u64, frame: Frame },
+    /// A frame arrives at a BRASS host.
+    AtBrass { host: usize, device: u64, frame: Frame },
+
+    // ------------------------------------------------------------------
+    // Frame transport, server → client.
+    // ------------------------------------------------------------------
+    /// A response frame arrives at the stream's proxy on its way down.
+    DownAtProxy { device: u64, frame: Frame, sent_at: SimTime },
+    /// A response frame arrives at the device's POP.
+    DownAtPop { device: u64, frame: Frame, sent_at: SimTime },
+    /// A response frame arrives at the device.
+    AtDevice { device: u64, frame: Frame, sent_at: SimTime },
+
+    // ------------------------------------------------------------------
+    // Failures and maintenance.
+    // ------------------------------------------------------------------
+    /// A device's last-mile connection drops.
+    DeviceDrop { device: u64 },
+    /// A dropped device reconnects and resubscribes its streams.
+    DeviceReconnect { device: u64, frames: Vec<Frame> },
+    /// A BRASS redirects one stream to another host (load rebalancing).
+    BrassRedirect {
+        host: usize,
+        device: u64,
+        sid: StreamId,
+        to_host: usize,
+    },
+    /// A BRASS host is drained for a software upgrade (proxies repair its
+    /// streams onto other hosts).
+    BrassUpgrade { host: usize },
+    /// An upgraded BRASS host rejoins the routing pools.
+    BrassHostBack { host: usize },
+    /// A Pylon subscriber-KV node goes down / comes back.
+    PylonNode { node: u64, up: bool },
+    /// Periodic metrics snapshot.
+    MetricsTick,
+}
+
+struct DeviceState {
+    device: Device,
+    pop: usize,
+    link: LinkClass,
+    lang: String,
+    connected: bool,
+}
+
+/// The assembled Bladerunner system under simulation.
+pub struct SystemSim {
+    config: SystemConfig,
+    latency: LatencyModel,
+    rng: DetRng,
+    queue: EventQueue<Ev>,
+
+    was: WebApplicationServer,
+    pylon: PylonCluster,
+    hosts: Vec<BrassHost>,
+    proxies: Vec<ReverseProxy>,
+    pops: Vec<Pop>,
+    devices: HashMap<u64, DeviceState>,
+    /// device → proxy carrying its streams (learned from POP routing).
+    device_proxy: HashMap<u64, usize>,
+
+    metrics: SystemMetrics,
+    /// Streams subscribed per topic (Fig. 7 publication accounting).
+    topic_streams: HashMap<Topic, Vec<(u64, StreamId)>>,
+    /// Pylon event delivery time per (host, object), for BRASS-latency
+    /// attribution of later payload fetches.
+    object_delivered: HashMap<(usize, ObjectId), SimTime>,
+    /// Subscription start times (device-observed subscribe latency).
+    sub_started: HashMap<(u64, StreamId), SimTime>,
+    /// Decisions seen at the last metrics tick (for per-bucket deltas).
+    decisions_at_tick: u64,
+    last_proxy_reconnects: u64,
+    /// Scenario bookkeeping: predicted next stream id per device.
+    scenario_sids: HashMap<u64, u64>,
+}
+
+impl SystemSim {
+    /// Builds a system and schedules the periodic metrics tick.
+    pub fn new(config: SystemConfig, seed: u64) -> Self {
+        let rng = DetRng::new(seed);
+        let was = WebApplicationServer::new(Tao::new(config.tao.clone()));
+        let pylon = PylonCluster::new(config.pylon.clone());
+        let hosts: Vec<BrassHost> = (0..config.brass_hosts)
+            .map(|i| {
+                let mut h = BrassHost::new(HostConfig::small(i));
+                h.register_standard_apps();
+                h
+            })
+            .collect();
+        let host_ids: Vec<u32> = (0..config.brass_hosts).collect();
+        let proxies: Vec<ReverseProxy> = (0..config.proxies)
+            .map(|i| ReverseProxy::new(i, config.route_strategy, host_ids.clone()))
+            .collect();
+        let proxy_ids: Vec<u32> = (0..config.proxies).collect();
+        let pops: Vec<Pop> = (0..config.pops)
+            .map(|i| Pop::new(i, proxy_ids.clone()))
+            .collect();
+        let metrics = SystemMetrics::new(config.metrics_horizon, config.metrics_interval);
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO + config.metrics_interval, Ev::MetricsTick);
+        SystemSim {
+            latency: LatencyModel::table3(),
+            rng,
+            queue,
+            was,
+            pylon,
+            hosts,
+            proxies,
+            pops,
+            devices: HashMap::new(),
+            device_proxy: HashMap::new(),
+            metrics,
+            topic_streams: HashMap::new(),
+            object_delivered: HashMap::new(),
+            sub_started: HashMap::new(),
+            decisions_at_tick: 0,
+            last_proxy_reconnects: 0,
+            scenario_sids: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The WAS (for fixture setup: videos, threads, friendships).
+    pub fn was_mut(&mut self) -> &mut WebApplicationServer {
+        &mut self.was
+    }
+
+    /// The Pylon cluster (failure injection, counters).
+    pub fn pylon(&self) -> &PylonCluster {
+        &self.pylon
+    }
+
+    /// Mutable Pylon access (tests probe quorum topology directly).
+    pub fn pylon_mut(&mut self) -> &mut PylonCluster {
+        &mut self.pylon
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (harnesses add their own annotations).
+    pub fn metrics_mut(&mut self) -> &mut SystemMetrics {
+        &mut self.metrics
+    }
+
+    /// Total BRASS delivery decisions across hosts.
+    pub fn total_decisions(&self) -> u64 {
+        self.hosts
+            .iter()
+            .map(|h| h.total_app_counters().decisions)
+            .sum()
+    }
+
+    /// Total proxy-induced stream reconnects across proxies.
+    pub fn total_proxy_reconnects(&self) -> u64 {
+        self.proxies
+            .iter()
+            .map(|p| p.counters().induced_reconnects)
+            .sum()
+    }
+
+    /// A device's current state (testing).
+    pub fn device(&self, device: u64) -> Option<&Device> {
+        self.devices.get(&device).map(|d| &d.device)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The per-run RNG (workload generators share the seed stream).
+    pub fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Scenario bookkeeping: per-device counters predicting the next
+    /// client-generated stream id (devices allocate sids sequentially).
+    pub fn scenario_sid_counters(&mut self) -> &mut HashMap<u64, u64> {
+        &mut self.scenario_sids
+    }
+
+    // ------------------------------------------------------------------
+    // Fixture and workload helpers.
+    // ------------------------------------------------------------------
+
+    /// Creates a user in the WAS plus their device at the edge.
+    /// Returns the shared id (user uid == device id).
+    pub fn create_user_device(&mut self, name: &str, lang: &str) -> u64 {
+        let uid = self.was.create_user(name, lang);
+        let pop = (uid % self.pops.len() as u64) as usize;
+        let weights: Vec<f64> = self.config.link_mix.iter().map(|(_, p)| *p).collect();
+        let cat = simkit::dist::Categorical::new(&weights);
+        let link = self.config.link_mix[cat.sample_index(&mut self.rng)].0;
+        self.devices.insert(
+            uid,
+            DeviceState {
+                device: Device::new(uid),
+                pop,
+                link,
+                lang: lang.to_owned(),
+                connected: true,
+            },
+        );
+        uid
+    }
+
+    /// Schedules a subscription with an explicit header.
+    pub fn subscribe_with_header(&mut self, at: SimTime, device: u64, header: Json) {
+        self.queue.schedule(at, Ev::DeviceSubscribe { device, header });
+    }
+
+    fn gql_header(&self, device: u64, gql: String) -> Json {
+        let lang = self
+            .devices
+            .get(&device)
+            .map(|d| d.lang.as_str())
+            .unwrap_or("en");
+        Json::obj([
+            ("viewer", Json::from(device)),
+            ("lang", Json::from(lang)),
+            ("gql", Json::from(gql)),
+        ])
+    }
+
+    /// Schedules a LiveVideoComments subscription.
+    pub fn subscribe_lvc(&mut self, at: SimTime, device: u64, video: u64) {
+        let header = self.gql_header(
+            device,
+            format!("subscription {{ liveVideoComments(videoId: {video}) }}"),
+        );
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a TypingIndicator subscription.
+    pub fn subscribe_typing(&mut self, at: SimTime, device: u64, thread: u64, counterparty: u64) {
+        let header = self.gql_header(
+            device,
+            format!(
+                "subscription {{ typingIndicator(threadId: {thread}, counterpartyId: {counterparty}) }}"
+            ),
+        );
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules an ActiveStatus subscription.
+    pub fn subscribe_active_status(&mut self, at: SimTime, device: u64) {
+        let header = self.gql_header(device, "subscription { activeStatus }".to_owned());
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a Stories tray subscription.
+    pub fn subscribe_stories(&mut self, at: SimTime, device: u64) {
+        let header = self.gql_header(device, "subscription { storiesTray }".to_owned());
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a NewsFeedPostLikes subscription.
+    pub fn subscribe_likes(&mut self, at: SimTime, device: u64, post: u64) {
+        let header =
+            self.gql_header(device, format!("subscription {{ postLikes(postId: {post}) }}"));
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a like on a post.
+    pub fn like_post(&mut self, at: SimTime, device: u64, post: u64) {
+        let gql = format!("mutation {{ likePost(postId: {post}, uid: {device}) {{ ok }} }}");
+        self.schedule_mutation(at, device, gql, "likes");
+    }
+
+    /// Schedules a WebsiteNotifications subscription.
+    pub fn subscribe_notifications(&mut self, at: SimTime, device: u64) {
+        let header = self.gql_header(device, "subscription { notifications }".to_owned());
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a Messenger mailbox subscription.
+    pub fn subscribe_mailbox(&mut self, at: SimTime, device: u64) {
+        let header =
+            self.gql_header(device, format!("subscription {{ mailbox(uid: {device}) }}"));
+        self.subscribe_with_header(at, device, header);
+    }
+
+    /// Schedules a stream cancellation.
+    pub fn cancel_stream(&mut self, at: SimTime, device: u64, sid: StreamId) {
+        self.queue.schedule(at, Ev::DeviceCancel { device, sid });
+    }
+
+    fn schedule_mutation(&mut self, at: SimTime, device: u64, gql: String, app: &'static str) {
+        // Device → POP → edge → WAS; sampled as one compound delay.
+        let link = self
+            .devices
+            .get(&device)
+            .map(|d| d.link)
+            .unwrap_or(LinkClass::Mobile);
+        let delay = self.latency.last_mile(link, &mut self.rng)
+            + self.latency.edge_to_was(&mut self.rng);
+        self.queue
+            .schedule(at + delay, Ev::WasMutationExec { gql, app });
+    }
+
+    /// Schedules a live-video comment post.
+    pub fn post_comment(&mut self, at: SimTime, device: u64, video: u64, text: &str) {
+        let gql = format!(
+            r#"mutation {{ postComment(videoId: {video}, authorId: {device}, text: "{text}") {{ id }} }}"#
+        );
+        self.schedule_mutation(at, device, gql, "lvc");
+    }
+
+    /// Schedules a typing-state change.
+    pub fn set_typing(&mut self, at: SimTime, device: u64, thread: u64, typing: bool) {
+        let gql = format!(
+            "mutation {{ setTyping(threadId: {thread}, uid: {device}, typing: {typing}) {{ ok }} }}"
+        );
+        self.schedule_mutation(at, device, gql, "typing");
+    }
+
+    /// Schedules an online-status refresh.
+    pub fn set_online(&mut self, at: SimTime, device: u64) {
+        let gql = format!("mutation {{ setOnline(uid: {device}) {{ ok }} }}");
+        self.schedule_mutation(at, device, gql, "active_status");
+    }
+
+    /// Schedules a story creation.
+    pub fn create_story(&mut self, at: SimTime, device: u64, media: &str) {
+        let gql = format!(
+            r#"mutation {{ createStory(authorId: {device}, media: "{media}") {{ id }} }}"#
+        );
+        self.schedule_mutation(at, device, gql, "stories");
+    }
+
+    /// Schedules a Messenger message send.
+    pub fn send_message(&mut self, at: SimTime, device: u64, thread: u64, text: &str) {
+        let gql = format!(
+            r#"mutation {{ sendMessage(threadId: {thread}, fromId: {device}, text: "{text}") {{ id }} }}"#
+        );
+        self.schedule_mutation(at, device, gql, "messenger");
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection.
+    // ------------------------------------------------------------------
+
+    /// Schedules a last-mile connection drop for a device.
+    pub fn schedule_device_drop(&mut self, at: SimTime, device: u64) {
+        self.queue.schedule(at, Ev::DeviceDrop { device });
+    }
+
+    /// Schedules a BRASS-initiated redirect of one stream to another host
+    /// (§3.5 "Redirects"; used for load rebalancing and consolidation).
+    pub fn schedule_brass_redirect(
+        &mut self,
+        at: SimTime,
+        host: usize,
+        device: u64,
+        sid: StreamId,
+        to_host: usize,
+    ) {
+        self.queue.schedule(
+            at,
+            Ev::BrassRedirect {
+                host,
+                device,
+                sid,
+                to_host,
+            },
+        );
+    }
+
+    /// Schedules a BRASS host drain/upgrade lasting `duration`.
+    pub fn schedule_brass_upgrade(&mut self, at: SimTime, host: usize, duration: SimDuration) {
+        self.queue.schedule(at, Ev::BrassUpgrade { host });
+        self.queue.schedule(at + duration, Ev::BrassHostBack { host });
+    }
+
+    /// Schedules a Pylon subscriber-KV node outage of `duration`.
+    pub fn schedule_pylon_outage(&mut self, at: SimTime, node: u64, duration: SimDuration) {
+        self.queue.schedule(at, Ev::PylonNode { node, up: false });
+        self.queue
+            .schedule(at + duration, Ev::PylonNode { node, up: true });
+    }
+
+    // ------------------------------------------------------------------
+    // Execution.
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation until `until` (inclusive of events at `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some((now, ev)) = self.queue.pop_until(until) {
+            self.handle(now, ev);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::DeviceSubscribe { device, header } => self.on_device_subscribe(now, device, header),
+            Ev::DeviceCancel { device, sid } => self.on_device_cancel(now, device, sid),
+            Ev::WasMutationExec { gql, app } => self.on_was_mutation(now, &gql, app),
+            Ev::PylonPublish { event } => self.on_pylon_publish(now, event),
+            Ev::PylonDeliverHost { host, event } => self.on_pylon_deliver(now, host, event),
+            Ev::TaoReplicate { event } => self.was.tao_mut().apply_replication(&event),
+            Ev::PylonSubscribeExec { host, topic, attempt } => {
+                self.on_pylon_subscribe_exec(now, host, topic, attempt)
+            }
+            Ev::PylonUnsubscribeExec { host, topic } => {
+                let _ = self.pylon.unsubscribe(&topic, HostId(host as u32));
+            }
+            Ev::WasExec { host, app, token, request, attributed } => {
+                self.on_was_exec(now, host, app, token, request, attributed)
+            }
+            Ev::WasReply { host, app, token, response, attributed } => {
+                self.on_was_reply(now, host, app, token, response, attributed)
+            }
+            Ev::BrassTimer { host, app, token } => {
+                let fx = self.hosts[host].on_timer(&app, token, now);
+                self.process_host_effects(now, host, fx, None);
+            }
+            Ev::AtPop { device, frame } => self.on_at_pop(now, device, frame),
+            Ev::AtProxy { proxy, device, frame } => self.on_at_proxy(now, proxy, device, frame),
+            Ev::AtBrass { host, device, frame } => self.on_at_brass(now, host, device, frame),
+            Ev::DownAtProxy { device, frame, sent_at } => {
+                self.on_down_at_proxy(now, device, frame, sent_at)
+            }
+            Ev::DownAtPop { device, frame, sent_at } => {
+                self.on_down_at_pop(now, device, frame, sent_at)
+            }
+            Ev::AtDevice { device, frame, sent_at } => {
+                self.on_at_device(now, device, frame, sent_at)
+            }
+            Ev::DeviceDrop { device } => self.on_device_drop(now, device),
+            Ev::DeviceReconnect { device, frames } => self.on_device_reconnect(now, device, frames),
+            Ev::BrassRedirect { host, device, sid, to_host } => {
+                let fx = self.hosts[host].redirect_stream(
+                    DeviceId(device),
+                    sid,
+                    to_host as u32,
+                    now,
+                );
+                self.process_host_effects(now, host, fx, None);
+            }
+            Ev::BrassUpgrade { host } => self.on_brass_upgrade(now, host),
+            Ev::BrassHostBack { host } => {
+                let before = self.total_proxy_reconnects();
+                let all_fx: Vec<Vec<ProxyEffect>> = self
+                    .proxies
+                    .iter_mut()
+                    .map(|p| p.add_host(host as u32))
+                    .collect();
+                for fx in all_fx {
+                    self.process_proxy_effects(now, fx);
+                }
+                let delta = self.total_proxy_reconnects() - before;
+                self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+            }
+            Ev::PylonNode { node, up } => {
+                if up {
+                    self.pylon.node_up(node);
+                } else {
+                    self.pylon.node_down(node);
+                }
+            }
+            Ev::MetricsTick => self.on_metrics_tick(now),
+        }
+    }
+
+    fn on_device_subscribe(&mut self, now: SimTime, device: u64, header: Json) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        // Device stream cap ("each mobile app up to 20 concurrent
+        // streams"): the oldest stream makes room for the new one.
+        let evict: Vec<StreamId> = {
+            let open = state.device.open_sids();
+            let over = (open.len() + 1).saturating_sub(self.config.max_streams_per_device);
+            open.into_iter().take(over).collect()
+        };
+        for sid in evict {
+            self.on_device_cancel(now, device, sid);
+        }
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        let (sid, frame) = state.device.open_stream(header.clone(), Vec::new());
+        self.metrics.subscriptions.inc();
+        self.metrics.ts_subscriptions.inc(now);
+        self.metrics.stream_opened(device, sid, now);
+        self.sub_started.insert((device, sid), now);
+        // Fig. 7 registry: which topic does this stream's subscription
+        // target?
+        if let Ok(sub) = brass::resolve::resolve(&header) {
+            self.topic_streams
+                .entry(sub.topic)
+                .or_default()
+                .push((device, sid));
+        }
+        let link = state.link;
+        let delay = self.latency.last_mile(link, &mut self.rng);
+        self.queue.schedule(now + delay, Ev::AtPop { device, frame });
+    }
+
+    fn on_device_cancel(&mut self, now: SimTime, device: u64, sid: StreamId) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        let Some(frame) = state.device.cancel_stream(sid) else {
+            return;
+        };
+        self.metrics.cancellations.inc();
+        self.metrics.stream_closed(device, sid, now);
+        for streams in self.topic_streams.values_mut() {
+            streams.retain(|&(d, s)| !(d == device && s == sid));
+        }
+        let link = state.link;
+        let delay = self.latency.last_mile(link, &mut self.rng);
+        self.queue.schedule(now + delay, Ev::AtPop { device, frame });
+    }
+
+    fn on_was_mutation(&mut self, now: SimTime, gql: &str, app: &'static str) {
+        let Ok(outcome) = self.was.execute_mutation(gql, now.as_millis()) else {
+            return;
+        };
+        self.metrics.mutations.inc();
+        for rep in outcome.replication {
+            let d = self.latency.cross_region(&mut self.rng);
+            self.queue.schedule(now + d, Ev::TaoReplicate { event: rep });
+        }
+        let was_delay = self.latency.was_mutation(outcome.was_latency_ms, &mut self.rng);
+        self.metrics
+            .app(app)
+            .was_handling
+            .record(was_delay.as_millis_f64());
+        for event in outcome.events {
+            self.queue
+                .schedule(now + was_delay, Ev::PylonPublish { event });
+        }
+    }
+
+    fn on_pylon_publish(&mut self, now: SimTime, event: UpdateEvent) {
+        self.metrics.publications.inc();
+        self.metrics.ts_publications.inc(now);
+        if let Some(streams) = self.topic_streams.get(&event.topic) {
+            let targets: Vec<(u64, StreamId)> = streams.clone();
+            for (d, s) in targets {
+                self.metrics.publication_for_stream(d, s);
+            }
+        }
+        let outcome = self.pylon.publish(&event.topic, event.id);
+        let subscribers = outcome.fast_forwards.len() + outcome.late_forwards.len();
+        let fanout = self.latency.pylon_fanout(subscribers, &mut self.rng);
+        if subscribers < 10_000 {
+            self.metrics
+                .pylon_fanout_small
+                .record(fanout.as_millis_f64());
+        } else {
+            self.metrics
+                .pylon_fanout_large
+                .record(fanout.as_millis_f64());
+        }
+        for host in outcome.fast_forwards {
+            self.queue.schedule(
+                now + fanout,
+                Ev::PylonDeliverHost {
+                    host: host.0 as usize,
+                    event: event.clone(),
+                },
+            );
+        }
+        for host in outcome.late_forwards {
+            let extra = self.latency.pylon_late_extra(&mut self.rng);
+            self.queue.schedule(
+                now + fanout + extra,
+                Ev::PylonDeliverHost {
+                    host: host.0 as usize,
+                    event: event.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_pylon_deliver(&mut self, now: SimTime, host: usize, event: UpdateEvent) {
+        if host >= self.hosts.len() {
+            return;
+        }
+        self.object_delivered.insert((host, event.object), now);
+        let fx = self.hosts[host].on_pylon_event(&event, now);
+        self.process_host_effects(now, host, fx, Some(now));
+    }
+
+    fn on_pylon_subscribe_exec(&mut self, now: SimTime, host: usize, topic: Topic, attempt: u32) {
+        match self.pylon.subscribe(&topic, HostId(host as u32)) {
+            Ok(()) => {}
+            Err(_) => {
+                self.metrics.quorum_failures.inc();
+                if attempt < 8 {
+                    // CP subscribe failed; BRASS retries with capped
+                    // exponential backoff until quorum returns.
+                    let backoff = SimDuration::from_secs((1u64 << attempt).min(30));
+                    self.queue.schedule(
+                        now + backoff,
+                        Ev::PylonSubscribeExec {
+                            host,
+                            topic,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_was_exec(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        app: String,
+        token: FetchToken,
+        request: WasRequest,
+        attributed: Option<SimTime>,
+    ) {
+        let response = match request {
+            WasRequest::FetchObject { viewer, object } => {
+                match self.was.fetch_for_viewer(0, viewer, object) {
+                    Ok((payload, _)) => WasResponse::Payload(payload),
+                    Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
+                    Err(_) => WasResponse::NotFound,
+                }
+            }
+            WasRequest::Friends { uid } => WasResponse::Friends(self.was.friends_of(uid)),
+            WasRequest::MailboxAfter { uid, after_seq } => {
+                let q = match after_seq {
+                    Some(a) => format!("{{ mailbox(uid: {uid}, afterSeq: {a}) }}"),
+                    None => format!("{{ mailbox(uid: {uid}) }}"),
+                };
+                let entries = self
+                    .was
+                    .execute_query(0, &q)
+                    .ok()
+                    .and_then(|o| {
+                        o.response.get("mailbox").map(|m| {
+                            m.items()
+                                .iter()
+                                .filter_map(|e| {
+                                    let seq = e.get("seq").and_then(Rv::as_int)? as u64;
+                                    let obj = e.get("messageId").and_then(Rv::as_int)? as u64;
+                                    Some((seq, ObjectId(obj)))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .unwrap_or_default();
+                WasResponse::Mailbox(entries)
+            }
+        };
+        let back = self.latency.brass_was_rtt(&mut self.rng) / 2;
+        self.queue.schedule(
+            now + back,
+            Ev::WasReply {
+                host,
+                app,
+                token,
+                response,
+                attributed,
+            },
+        );
+    }
+
+    fn on_was_reply(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        app: String,
+        token: FetchToken,
+        response: WasResponse,
+        attributed: Option<SimTime>,
+    ) {
+        let fx = self.hosts[host].on_was_response(&app, token, response, now);
+        self.process_host_effects(now, host, fx, attributed);
+    }
+
+    /// Converts BRASS host effects into scheduled events.
+    ///
+    /// `attributed` carries the instant the update event arrived at the
+    /// host, for the Fig. 9 "BRASS host processing" histogram.
+    fn process_host_effects(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        effects: Vec<HostEffect>,
+        attributed: Option<SimTime>,
+    ) {
+        for effect in effects {
+            match effect {
+                HostEffect::PylonSubscribe(topic) => {
+                    let d = self.latency.sub_replication(&mut self.rng);
+                    self.metrics.sub_replication.record(d.as_millis_f64());
+                    self.queue.schedule(
+                        now + d,
+                        Ev::PylonSubscribeExec {
+                            host,
+                            topic,
+                            attempt: 0,
+                        },
+                    );
+                }
+                HostEffect::PylonUnsubscribe(topic) => {
+                    let d = self.latency.sub_replication(&mut self.rng);
+                    self.queue
+                        .schedule(now + d, Ev::PylonUnsubscribeExec { host, topic });
+                }
+                HostEffect::Was { app, token, request } => {
+                    // Payload fetches inherit attribution from the event
+                    // that referenced the object (covers buffered apps).
+                    let attr = match &request {
+                        WasRequest::FetchObject { object, .. } => self
+                            .object_delivered
+                            .get(&(host, *object))
+                            .copied()
+                            .or(attributed),
+                        _ => attributed,
+                    };
+                    let d = self.latency.brass_was_rtt(&mut self.rng) / 2;
+                    self.queue.schedule(
+                        now + d,
+                        Ev::WasExec {
+                            host,
+                            app,
+                            token,
+                            request,
+                            attributed: attr,
+                        },
+                    );
+                }
+                HostEffect::Send { device, frame } => {
+                    let proc = self.latency.brass_processing(&mut self.rng);
+                    let send_at = now + proc;
+                    if let Some(event_at) = attributed {
+                        // Only data batches count as event processing.
+                        if matches!(&frame, Frame::Response { batch, .. }
+                            if batch.iter().any(|d| matches!(d, burst::frame::Delta::Update { .. })))
+                        {
+                            let app_name = self.app_of_device_frame(device.0, &frame);
+                            self.metrics
+                                .app(&app_name)
+                                .brass_processing
+                                .record(send_at.saturating_since(event_at).as_millis_f64());
+                        }
+                    }
+                    let d = self.latency.proxy_brass(&mut self.rng);
+                    self.queue.schedule(
+                        send_at + d,
+                        Ev::DownAtProxy {
+                            device: device.0,
+                            frame,
+                            sent_at: send_at,
+                        },
+                    );
+                }
+                HostEffect::Timer { at, app, token } => {
+                    self.queue.schedule(at, Ev::BrassTimer { host, app, token });
+                }
+            }
+        }
+    }
+
+    /// Best-effort application attribution for a downstream frame, keyed by
+    /// the stream's topic registry.
+    fn app_of_device_frame(&self, device: u64, frame: &Frame) -> String {
+        let Some(sid) = frame.sid() else {
+            return "unknown".into();
+        };
+        for (topic, streams) in &self.topic_streams {
+            if streams.iter().any(|&(d, s)| d == device && s == sid) {
+                return match topic.family() {
+                    "LVC" => "lvc".into(),
+                    "TI" => "typing".into(),
+                    "Status" => "active_status".into(),
+                    "Stories" => "stories".into(),
+                    "Msgr" => "messenger".into(),
+                    "Likes" => "likes".into(),
+                    "Notif" => "notifications".into(),
+                    other => other.to_owned(),
+                };
+            }
+        }
+        "unknown".into()
+    }
+
+    fn on_at_pop(&mut self, now: SimTime, device: u64, frame: Frame) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        let pop = state.pop;
+        let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
+        for effect in fx {
+            match effect {
+                PopEffect::ToProxy { proxy, device, frame } => {
+                    self.device_proxy.insert(device, proxy as usize);
+                    let d = self.latency.pop_proxy(&mut self.rng);
+                    self.queue.schedule(
+                        now + d,
+                        Ev::AtProxy {
+                            proxy: proxy as usize,
+                            device,
+                            frame,
+                        },
+                    );
+                }
+                PopEffect::ToDevice { device, frame } => {
+                    self.schedule_to_device(now, device, frame, now);
+                }
+                PopEffect::DeviceGone { proxy, device } => {
+                    let fx = self.proxies[proxy as usize].on_device_disconnected(device);
+                    self.process_proxy_effects(now, fx);
+                }
+            }
+        }
+    }
+
+    fn on_at_proxy(&mut self, now: SimTime, proxy: usize, device: u64, frame: Frame) {
+        if proxy >= self.proxies.len() {
+            return;
+        }
+        let fx = self.proxies[proxy].on_downstream_frame(device, frame, now.as_micros());
+        self.process_proxy_effects(now, fx);
+    }
+
+    fn process_proxy_effects(&mut self, now: SimTime, effects: Vec<ProxyEffect>) {
+        for effect in effects {
+            match effect {
+                ProxyEffect::ToBrass { host, device, frame } => {
+                    let d = self.latency.proxy_brass(&mut self.rng);
+                    self.queue.schedule(
+                        now + d,
+                        Ev::AtBrass {
+                            host: host as usize,
+                            device,
+                            frame,
+                        },
+                    );
+                }
+                ProxyEffect::ToDevice { device, frame } => {
+                    let d = self.latency.pop_proxy(&mut self.rng);
+                    self.queue.schedule(
+                        now + d,
+                        Ev::DownAtPop {
+                            device,
+                            frame,
+                            sent_at: now,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_at_brass(&mut self, now: SimTime, host: usize, device: u64, frame: Frame) {
+        if host >= self.hosts.len() {
+            return;
+        }
+        let fx = match frame {
+            Frame::Subscribe { sid, header, .. } => {
+                self.hosts[host].on_subscribe(DeviceId(device), sid, header, now)
+            }
+            Frame::Cancel { sid } => self.hosts[host].on_cancel(DeviceId(device), sid, now),
+            Frame::Ack { sid, seq } => self.hosts[host].on_ack(DeviceId(device), sid, seq, now),
+            _ => Vec::new(),
+        };
+        self.process_host_effects(now, host, fx, None);
+    }
+
+    fn on_down_at_proxy(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let Some(&proxy) = self.device_proxy.get(&device) else {
+            // No known route (device never subscribed through a proxy).
+            return;
+        };
+        if proxy >= self.proxies.len() {
+            return;
+        }
+        let fx = self.proxies[proxy].on_upstream_frame(device, frame, now.as_micros());
+        for effect in fx {
+            if let ProxyEffect::ToDevice { device, frame } = effect {
+                let d = self.latency.pop_proxy(&mut self.rng);
+                self.queue.schedule(
+                    now + d,
+                    Ev::DownAtPop {
+                        device,
+                        frame,
+                        sent_at,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_down_at_pop(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        let pop = state.pop;
+        let fx = self.pops[pop].on_proxy_frame(device, frame, now.as_micros());
+        for effect in fx {
+            if let PopEffect::ToDevice { device, frame } = effect {
+                self.schedule_to_device(now, device, frame, sent_at);
+            }
+        }
+    }
+
+    fn schedule_to_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        if !state.connected {
+            return; // Best effort: frames to disconnected devices vanish.
+        }
+        if self.rng.chance(self.config.last_mile_drop) {
+            self.metrics.frames_lost.inc();
+            return;
+        }
+        let link = state.link;
+        let d = self.latency.last_mile(link, &mut self.rng);
+        self.queue.schedule(
+            now + d,
+            Ev::AtDevice {
+                device,
+                frame,
+                sent_at,
+            },
+        );
+    }
+
+    fn on_at_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let app = self.app_of_device_frame(device, &frame);
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        // Device-observed subscription latency: first response on a stream.
+        if let Some(sid) = frame.sid() {
+            if let Some(started) = self.sub_started.remove(&(device, sid)) {
+                self.metrics
+                    .sub_e2e
+                    .record(now.saturating_since(started).as_millis_f64());
+            }
+        }
+        let outputs = state.device.on_frame(&frame);
+        let mut rendered_on: Option<StreamId> = None;
+        for out in outputs {
+            match out {
+                DeviceOutput::Render { payload, sid } => {
+                    rendered_on = Some(sid);
+                    self.metrics.deliveries.inc();
+                    self.metrics.ts_deliveries.inc(now);
+                    let lat = self.metrics.app(&app);
+                    lat.brass_to_device
+                        .record(now.saturating_since(sent_at).as_millis_f64());
+                    // Total publish time: the payload carries the original
+                    // application timestamp.
+                    if let Ok(json) = Json::parse(std::str::from_utf8(&payload).unwrap_or("")) {
+                        if let Some(created) = json.get("created_ms").and_then(Json::as_u64) {
+                            let created = SimTime::from_millis(created);
+                            lat.total
+                                .record(now.saturating_since(created).as_millis_f64());
+                        }
+                    }
+                }
+                DeviceOutput::StreamEnded { sid, retry } => {
+                    self.metrics.stream_closed(device, sid, now);
+                    if retry {
+                        if let Some(frame) = state.device.retry_stream(sid) {
+                            let link = state.link;
+                            let d = self.latency.last_mile(link, &mut self.rng);
+                            self.queue.schedule(now + d, Ev::AtPop { device, frame });
+                        }
+                    }
+                }
+                DeviceOutput::Send(_)
+                | DeviceOutput::BackfillPoll { .. }
+                | DeviceOutput::ConnectivityChanged { .. } => {}
+            }
+        }
+        // Reliable applications acknowledge receipt; the BRASS's retention
+        // buffer shrinks and retransmission stops.
+        if app == "messenger" {
+            if let Some(sid) = rendered_on {
+                let Some(state) = self.devices.get(&device) else {
+                    return;
+                };
+                if let Some(ack) = state.device.ack(sid) {
+                    let link = state.link;
+                    let d = self.latency.last_mile(link, &mut self.rng);
+                    self.queue.schedule(now + d, Ev::AtPop { device, frame: ack });
+                }
+            }
+        }
+    }
+
+    fn on_device_drop(&mut self, now: SimTime, device: u64) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        state.connected = false;
+        self.metrics.connection_drops.inc();
+        self.metrics.ts_connection_drops.inc(now);
+        let pop = state.pop;
+        let resubscribes = state.device.on_connection_lost();
+        let fx = self.pops[pop].on_device_disconnected(device);
+        for effect in fx {
+            if let PopEffect::DeviceGone { proxy, device } = effect {
+                let pfx = self.proxies[proxy as usize].on_device_disconnected(device);
+                self.process_proxy_effects(now, pfx);
+            }
+        }
+        self.queue.schedule(
+            now + self.config.reconnect_delay,
+            Ev::DeviceReconnect {
+                device,
+                frames: resubscribes,
+            },
+        );
+    }
+
+    fn on_device_reconnect(&mut self, now: SimTime, device: u64, frames: Vec<Frame>) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        state.connected = true;
+        let link = state.link;
+        for frame in frames {
+            self.metrics.subscriptions.inc();
+            self.metrics.ts_subscriptions.inc(now);
+            if let Some(sid) = frame.sid() {
+                self.sub_started.insert((device, sid), now);
+            }
+            let d = self.latency.last_mile(link, &mut self.rng);
+            self.queue.schedule(now + d, Ev::AtPop { device, frame });
+        }
+    }
+
+    fn on_brass_upgrade(&mut self, now: SimTime, host: usize) {
+        // The host's in-memory stream state is lost; Pylon drops its
+        // subscriptions; proxies repair every affected stream elsewhere.
+        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
+        fresh.register_standard_apps();
+        self.hosts[host] = fresh;
+        self.pylon.host_failed(HostId(host as u32));
+        let before = self.total_proxy_reconnects();
+        let all_fx: Vec<Vec<ProxyEffect>> = self
+            .proxies
+            .iter_mut()
+            .map(|p| p.on_brass_host_failed(host as u32, now.as_micros()))
+            .collect();
+        for fx in all_fx {
+            self.process_proxy_effects(now, fx);
+        }
+        let delta = self.total_proxy_reconnects() - before;
+        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
+    fn on_metrics_tick(&mut self, now: SimTime) {
+        let active: usize = self
+            .devices
+            .values()
+            .map(|d| d.device.open_streams())
+            .sum();
+        self.metrics.ts_active_streams.record(now, active as f64);
+        let decisions = self.total_decisions();
+        self.metrics
+            .ts_decisions
+            .record(now, (decisions - self.decisions_at_tick) as f64);
+        self.decisions_at_tick = decisions;
+        self.last_proxy_reconnects = self.total_proxy_reconnects();
+        // Rotate the attribution map so it cannot grow without bound.
+        self.object_delivered.clear();
+        self.queue
+            .schedule(now + self.config.metrics_interval, Ev::MetricsTick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> SystemSim {
+        SystemSim::new(SystemConfig::small(), 7)
+    }
+
+    #[test]
+    fn comment_flows_end_to_end() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("eclipse");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.post_comment(
+            SimTime::from_secs(2),
+            poster,
+            video,
+            "an astonishing ring of fire over the ocean",
+        );
+        s.run_until(SimTime::from_secs(60));
+        assert_eq!(s.metrics().deliveries.get(), 1, "comment reached the viewer");
+        assert_eq!(s.metrics().publications.get(), 1);
+        let lat = &s.metrics().per_app["lvc"];
+        assert_eq!(lat.total.count(), 1);
+        // Total latency includes the ~2s WAS ranking plus fan-out and push.
+        assert!(lat.total.mean() > 1_500.0, "total {}", lat.total.mean());
+        assert!(lat.total.mean() < 15_000.0, "total {}", lat.total.mean());
+    }
+
+    #[test]
+    fn poster_does_not_receive_without_subscription() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let poster = s.create_user_device("poster", "en");
+        s.post_comment(SimTime::from_secs(1), poster, video, "talking to the void here");
+        s.run_until(SimTime::from_secs(30));
+        assert_eq!(s.metrics().deliveries.get(), 0);
+        assert_eq!(s.metrics().publications.get(), 1, "published but nobody listens");
+    }
+
+    #[test]
+    fn typing_indicator_round_trip() {
+        let mut s = sim();
+        let a = s.create_user_device("a", "en");
+        let b = s.create_user_device("b", "en");
+        let thread = s.was_mut().create_thread(&[a, b]);
+        // b watches a's typing state.
+        s.subscribe_typing(SimTime::ZERO, b, thread, a);
+        s.set_typing(SimTime::from_secs(2), a, thread, true);
+        s.run_until(SimTime::from_secs(20));
+        assert_eq!(s.metrics().deliveries.get(), 1);
+        let lat = &s.metrics().per_app["typing"];
+        assert!(lat.total.count() == 1, "typing total latency recorded");
+        // Typing avoids ranking: total latency well under the LVC path.
+        assert!(lat.total.mean() < 3_000.0, "total {}", lat.total.mean());
+    }
+
+    #[test]
+    fn messenger_delivers_reliably_in_order() {
+        let mut s = sim();
+        let a = s.create_user_device("a", "en");
+        let b = s.create_user_device("b", "en");
+        let thread = s.was_mut().create_thread(&[a, b]);
+        s.subscribe_mailbox(SimTime::ZERO, b, );
+        for i in 0..5 {
+            s.send_message(
+                SimTime::from_secs(2 + i),
+                a,
+                thread,
+                &format!("message number {i}"),
+            );
+        }
+        s.run_until(SimTime::from_secs(60));
+        // b receives all 5 (a has no open mailbox stream).
+        assert_eq!(s.metrics().deliveries.get(), 5);
+    }
+
+    #[test]
+    fn rate_limit_caps_lvc_deliveries() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("hot");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        // 40 comments in 4 seconds.
+        for i in 0..40 {
+            s.post_comment(
+                SimTime::from_millis(2_000 + i * 100),
+                poster,
+                video,
+                &format!("burst comment number {i} with some substance"),
+            );
+        }
+        s.run_until(SimTime::from_secs(40));
+        // At 1 message / 2 s with a 10 s freshness window, only a handful
+        // survive.
+        let delivered = s.metrics().deliveries.get();
+        assert!(delivered >= 2, "some comments delivered: {delivered}");
+        assert!(delivered <= 12, "rate limit must cap deliveries: {delivered}");
+        assert!(s.total_decisions() > delivered, "most updates filtered");
+    }
+
+    #[test]
+    fn device_drop_and_resubscribe_resumes_delivery() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.post_comment(SimTime::from_secs(2), poster, video, "before the drop happens here");
+        s.run_until(SimTime::from_secs(15));
+        let before = s.metrics().deliveries.get();
+        assert_eq!(before, 1);
+        // Drop the viewer; it reconnects and resubscribes automatically.
+        s.schedule_device_drop(SimTime::from_secs(16), viewer);
+        s.post_comment(SimTime::from_secs(25), poster, video, "after reconnect this arrives");
+        s.run_until(SimTime::from_secs(60));
+        assert_eq!(s.metrics().connection_drops.get(), 1);
+        assert_eq!(s.metrics().deliveries.get(), 2, "delivery resumed after reconnect");
+    }
+
+    #[test]
+    fn brass_upgrade_repairs_streams_via_proxy() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.run_until(SimTime::from_secs(10));
+        // Upgrade every host in turn at t=12; the stream's host is repaired.
+        for h in 0..4 {
+            s.schedule_brass_upgrade(SimTime::from_secs(12 + h), h as usize, SimDuration::from_secs(30));
+        }
+        s.post_comment(SimTime::from_secs(50), poster, video, "life after the upgrade wave");
+        s.run_until(SimTime::from_secs(90));
+        assert!(s.total_proxy_reconnects() >= 1, "proxy repaired the stream");
+        assert_eq!(s.metrics().deliveries.get(), 1, "delivery works after repair");
+    }
+
+    #[test]
+    fn pylon_outage_fails_subscribes_but_not_publishes() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let viewer = s.create_user_device("viewer", "en");
+        // Take down ALL subscriber-KV nodes: quorum for every topic is gone.
+        for n in 0..s.pylon().config().kv_nodes as u64 {
+            s.schedule_pylon_outage(SimTime::ZERO, n, SimDuration::from_secs(30));
+        }
+        s.subscribe_lvc(SimTime::from_secs(5), viewer, video);
+        s.run_until(SimTime::from_secs(20));
+        assert!(s.metrics().quorum_failures.get() >= 1, "CP subscribe failed");
+        // After the outage the retry succeeds and delivery flows.
+        let poster = s.create_user_device("poster", "en");
+        s.post_comment(SimTime::from_secs(60), poster, video, "postquorum comment arrives fine");
+        s.run_until(SimTime::from_secs(120));
+        assert_eq!(s.metrics().deliveries.get(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = SystemSim::new(SystemConfig::small(), 99);
+            let video = s.was_mut().create_video("v");
+            let poster = s.create_user_device("poster", "en");
+            let viewer = s.create_user_device("viewer", "en");
+            s.subscribe_lvc(SimTime::ZERO, viewer, video);
+            for i in 0..10 {
+                s.post_comment(
+                    SimTime::from_secs(2 + i),
+                    poster,
+                    video,
+                    &format!("comment {i} with consistent text"),
+                );
+            }
+            s.run_until(SimTime::from_secs(60));
+            (
+                s.metrics().deliveries.get(),
+                s.metrics().publications.get(),
+                s.total_decisions(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stream_lifetime_and_publication_accounting() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.post_comment(SimTime::from_secs(1), poster, video, "a single interesting comment");
+        s.run_until(SimTime::from_secs(20));
+        s.cancel_stream(SimTime::from_secs(21), viewer, StreamId(1));
+        s.run_until(SimTime::from_secs(30));
+        assert_eq!(s.metrics().stream_lifetimes.len(), 1);
+        assert!(s.metrics().stream_lifetimes[0] >= SimDuration::from_secs(20));
+        let buckets = s.metrics().publication_buckets();
+        assert_eq!(buckets[1], 100.0, "the one stream saw 1-9 publications");
+    }
+
+    #[test]
+    fn sub_e2e_latency_recorded() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("v");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.run_until(SimTime::from_secs(10));
+        assert_eq!(s.metrics().sub_e2e.count(), 1);
+        // The sticky-routing rewrite response travels device→BRASS→device.
+        assert!(s.metrics().sub_e2e.mean() > 100.0);
+    }
+}

@@ -1,0 +1,568 @@
+//! LiveVideoComments: the application that drove Bladerunner's design.
+//!
+//! Per §3.4: the BRASS "maintains a ranked buffer for each stream-connected
+//! device to which it adds the incoming updates after filtering them on a
+//! per user basis. For the most relevant ones, BRASS fetches the comments
+//! from the WAS. The highest-ranked comment in the buffer is pushed to the
+//! device periodically at a prescribed rate."
+//!
+//! Per-viewer filters implemented here (§2): language mismatch, low ML
+//! quality, stale comments (age > 10 s), and — via the WAS fetch — blocked
+//! users and other privacy rules. In **hot mode** the stream additionally
+//! subscribes to the per-poster overflow topics `/LVC/videoID/f-uid` for
+//! each of the viewer's friends, matching the WAS-side strategy switch.
+
+use std::collections::HashMap;
+
+use burst::json::Json;
+use pylon::Topic;
+use simkit::time::{SimDuration, SimTime};
+use tao::ObjectId;
+use was::{EventKind, UpdateEvent};
+
+use crate::app::{BrassApp, Ctx, FetchToken, StreamKey, WasRequest, WasResponse};
+use crate::buffer::RankedBuffer;
+use crate::limiter::TokenBucket;
+use crate::resolve::resolve;
+
+/// LiveVideoComments tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LvcConfig {
+    /// Ranked-buffer capacity per stream (the paper's Fig. 9 runs hold the
+    /// "ranking … fixed at 5 elements").
+    pub buffer_capacity: usize,
+    /// Comments older than this are discarded ("comments older than n
+    /// seconds become irrelevant", §2; the product chose 10 s, §5).
+    pub max_comment_age: SimDuration,
+    /// Per-stream push cadence ("rate limits each stream to one message
+    /// every two seconds", §5).
+    pub push_interval: SimDuration,
+    /// Minimum ML quality score a comment needs to enter the buffer.
+    pub min_quality: f64,
+}
+
+impl Default for LvcConfig {
+    fn default() -> Self {
+        LvcConfig {
+            buffer_capacity: 5,
+            max_comment_age: SimDuration::from_secs(10),
+            push_interval: SimDuration::from_secs(2),
+            min_quality: 0.2,
+        }
+    }
+}
+
+/// A buffered comment reference (the payload stays in TAO until fetched).
+#[derive(Clone, Debug)]
+struct BufferedComment {
+    object: ObjectId,
+}
+
+struct StreamState {
+    viewer: u64,
+    lang: String,
+    video: u64,
+    buffer: RankedBuffer<BufferedComment>,
+    limiter: TokenBucket,
+    friend_topics: Vec<Topic>,
+    sends_since_rewrite: u32,
+    /// Buffer-loss counters already converted into drop decisions.
+    accounted_losses: u64,
+}
+
+/// The LiveVideoComments BRASS application.
+pub struct LvcApp {
+    config: LvcConfig,
+    streams: HashMap<StreamKey, StreamState>,
+    by_video: HashMap<u64, Vec<StreamKey>>,
+    pending_fetch: HashMap<FetchToken, PendingFetch>,
+    timers: HashMap<u64, StreamKey>,
+    next_timer: u64,
+}
+
+enum PendingFetch {
+    Comment(StreamKey),
+    Friends(StreamKey),
+}
+
+impl LvcApp {
+    /// Creates the application with the given configuration.
+    pub fn new(config: LvcConfig) -> Self {
+        LvcApp {
+            config,
+            streams: HashMap::new(),
+            by_video: HashMap::new(),
+            pending_fetch: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+        }
+    }
+
+    /// Streams currently served.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn video_of_topic(topic: &Topic) -> Option<u64> {
+        let mut segs = topic.segments();
+        if segs.next() != Some("LVC") {
+            return None;
+        }
+        segs.next()?.parse().ok()
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey, after: SimDuration) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, stream);
+        ctx.timer(after, token);
+    }
+
+    /// Converts buffer evictions/expiries that happened since the last call
+    /// into drop decisions, so the Fig. 8 decision counts include them.
+    fn account_buffer_losses(state: &mut StreamState, ctx: &mut Ctx<'_>) {
+        let losses = state.buffer.evicted() + state.buffer.expired();
+        while state.accounted_losses < losses {
+            ctx.decision();
+            state.accounted_losses += 1;
+        }
+    }
+}
+
+impl BrassApp for LvcApp {
+    fn name(&self) -> &'static str {
+        "lvc"
+    }
+
+    fn on_subscribe(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey, header: &Json) {
+        let Ok(sub) = resolve(header) else {
+            ctx.terminate(stream, burst::frame::TerminateReason::Error);
+            return;
+        };
+        let Some(video) = Self::video_of_topic(&sub.topic) else {
+            ctx.terminate(stream, burst::frame::TerminateReason::Error);
+            return;
+        };
+        let lang = header
+            .get("lang")
+            .and_then(Json::as_str)
+            .unwrap_or("en")
+            .to_owned();
+        // Resumption (§3.5): restore rate-limiter state a previous BRASS
+        // stored in the header, if any.
+        let limiter = TokenBucket::from_header(header)
+            .unwrap_or_else(|| TokenBucket::per_interval(self.config.push_interval));
+
+        ctx.subscribe(sub.topic.clone());
+        let hot = header.get("hot").and_then(Json::as_bool).unwrap_or(false);
+        let state = StreamState {
+            viewer: sub.viewer,
+            lang,
+            video,
+            buffer: RankedBuffer::new(self.config.buffer_capacity, self.config.max_comment_age),
+            limiter,
+            friend_topics: Vec::new(),
+            sends_since_rewrite: 0,
+            accounted_losses: 0,
+        };
+        self.streams.insert(stream, state);
+        let watchers = self.by_video.entry(video).or_default();
+        if !watchers.contains(&stream) {
+            // Resubscribes after failures reuse the same stream key.
+            watchers.push(stream);
+        }
+        if hot {
+            // Hot strategy: also follow per-poster topics for the viewer's
+            // friends; the friend list comes from the backend.
+            let token = ctx.was_request(WasRequest::Friends { uid: sub.viewer });
+            self.pending_fetch.insert(token, PendingFetch::Friends(stream));
+        }
+        self.arm_timer(ctx, stream, self.config.push_interval);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &UpdateEvent) {
+        if event.kind != EventKind::CommentPosted {
+            return;
+        }
+        let Some(video) = Self::video_of_topic(&event.topic) else {
+            return;
+        };
+        let Some(watchers) = self.by_video.get(&video) else {
+            return;
+        };
+        let created = SimTime::from_millis(event.meta.created_ms);
+        for key in watchers.clone() {
+            let Some(state) = self.streams.get_mut(&key) else {
+                continue;
+            };
+            // Per-viewer filtering (§2): language, quality, staleness.
+            let lang_ok = event
+                .meta
+                .lang
+                .as_deref()
+                .map_or(true, |l| l == state.lang);
+            let fresh = ctx.now.saturating_since(created) <= self.config.max_comment_age;
+            let quality_ok = event.meta.quality >= self.config.min_quality;
+            if !(lang_ok && fresh && quality_ok) {
+                ctx.decision();
+                continue;
+            }
+            state.buffer.push(
+                event.meta.quality,
+                created,
+                BufferedComment {
+                    object: event.object,
+                },
+            );
+            Self::account_buffer_losses(state, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(stream) = self.timers.remove(&token) else {
+            return;
+        };
+        let push_interval = self.config.push_interval;
+        let Some(state) = self.streams.get_mut(&stream) else {
+            return; // Stream closed; let the timer chain die.
+        };
+        if state.limiter.try_acquire(ctx.now) {
+            if let Some(comment) = state.buffer.pop_best(ctx.now) {
+                // Popping is the deliver decision; the fetch decides privacy.
+                ctx.decision();
+                let viewer = state.viewer;
+                let token = ctx.was_request(WasRequest::FetchObject {
+                    viewer,
+                    object: comment.object,
+                });
+                self.pending_fetch.insert(token, PendingFetch::Comment(stream));
+            }
+            if let Some(state) = self.streams.get_mut(&stream) {
+                Self::account_buffer_losses(state, ctx);
+            }
+        }
+        self.arm_timer(ctx, stream, push_interval);
+    }
+
+    fn on_was_response(&mut self, ctx: &mut Ctx<'_>, token: FetchToken, response: WasResponse) {
+        match self.pending_fetch.remove(&token) {
+            Some(PendingFetch::Comment(stream)) => {
+                if !self.streams.contains_key(&stream) {
+                    return;
+                }
+                match response {
+                    WasResponse::Payload(payload) => {
+                        ctx.send(stream, payload);
+                        let state = self.streams.get_mut(&stream).expect("checked above");
+                        state.sends_since_rewrite += 1;
+                        // Periodically persist limiter state into the header
+                        // so a failover BRASS continues the rate limit.
+                        if state.sends_since_rewrite >= 8 {
+                            state.sends_since_rewrite = 0;
+                            let patch = state.limiter.to_header();
+                            ctx.rewrite(stream, patch);
+                        }
+                    }
+                    // Privacy-denied or deleted comments are silently
+                    // dropped (the decision was already counted at pop).
+                    WasResponse::Denied | WasResponse::NotFound => {}
+                    _ => {}
+                }
+            }
+            Some(PendingFetch::Friends(stream)) => {
+                let Some(state) = self.streams.get_mut(&stream) else {
+                    return;
+                };
+                if let WasResponse::Friends(friends) = response {
+                    for f in friends {
+                        let topic = Topic::live_video_comments_by(state.video, f);
+                        state.friend_topics.push(topic.clone());
+                        ctx.subscribe(topic);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_stream_closed(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey) {
+        let Some(state) = self.streams.remove(&stream) else {
+            return;
+        };
+        if let Some(watchers) = self.by_video.get_mut(&state.video) {
+            watchers.retain(|k| *k != stream);
+            if watchers.is_empty() {
+                self.by_video.remove(&state.video);
+            }
+        }
+        // One unsubscribe per subscribe; the host's subscription manager
+        // refcounts and only drops the Pylon subscription at zero.
+        ctx.unsubscribe(Topic::live_video_comments(state.video));
+        for topic in state.friend_topics {
+            ctx.unsubscribe(topic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{DeviceId, Effect, TestDriver};
+    use burst::frame::StreamId;
+    use was::event::EventMeta;
+
+    fn stream(n: u64) -> StreamKey {
+        StreamKey {
+            device: DeviceId(n),
+            sid: StreamId(n),
+        }
+    }
+
+    fn header(video: u64, viewer: u64) -> Json {
+        Json::obj([
+            ("viewer", Json::from(viewer)),
+            (
+                "gql",
+                Json::from(format!("subscription {{ liveVideoComments(videoId: {video}) }}")),
+            ),
+        ])
+    }
+
+    fn comment_event(video: u64, object: u64, quality: f64, lang: &str, created_ms: u64) -> UpdateEvent {
+        UpdateEvent {
+            id: object,
+            topic: Topic::live_video_comments(video),
+            object: ObjectId(object),
+            kind: EventKind::CommentPosted,
+            meta: EventMeta {
+                uid: 1,
+                quality,
+                lang: Some(lang.into()),
+                created_ms,
+                seq: None,
+                typing: None,
+            },
+        }
+    }
+
+    fn driver() -> TestDriver<LvcApp> {
+        TestDriver::new(LvcApp::new(LvcConfig::default()))
+    }
+
+    #[test]
+    fn subscribe_registers_topic_and_timer() {
+        let mut d = driver();
+        let fx = d.subscribe(stream(1), &header(42, 9));
+        assert!(fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments(42))));
+        assert_eq!(d.timers().len(), 1);
+        assert_eq!(d.app.stream_count(), 1);
+    }
+
+    #[test]
+    fn bad_header_terminates_stream() {
+        let mut d = driver();
+        let fx = d.subscribe(stream(1), &Json::obj::<&str>([]));
+        assert!(matches!(fx[0], Effect::SendDeltas { .. }));
+        assert_eq!(d.app.stream_count(), 0);
+    }
+
+    #[test]
+    fn quality_and_language_filters() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        // Low quality: filtered.
+        d.event(&comment_event(42, 100, 0.05, "en", 0));
+        // Wrong language: filtered.
+        d.event(&comment_event(42, 101, 0.9, "fr", 0));
+        assert_eq!(d.counters.decisions, 2);
+        assert_eq!(d.counters.deliveries, 0);
+        // Good comment: buffered, then delivered on the next tick.
+        d.event(&comment_event(42, 102, 0.9, "en", 0));
+        d.advance(SimDuration::from_secs(2));
+        let (at, token) = d.timers()[0];
+        assert!(at <= d.now());
+        let fx = d.fire_timer(token);
+        let fetch = fx.iter().find_map(|e| match e {
+            Effect::Was { token, request: WasRequest::FetchObject { object, viewer } } => {
+                Some((*token, *object, *viewer))
+            }
+            _ => None,
+        });
+        let (tok, obj, viewer) = fetch.expect("tick fetches the best comment");
+        assert_eq!(obj, ObjectId(102));
+        assert_eq!(viewer, 9);
+        let fx = d.was_response(tok, WasResponse::Payload(b"payload".to_vec()));
+        assert!(matches!(fx[0], Effect::SendPayloads { .. }));
+        assert_eq!(d.counters.deliveries, 1);
+    }
+
+    #[test]
+    fn rate_limit_one_per_interval() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        for i in 0..10 {
+            d.event(&comment_event(42, 200 + i, 0.9, "en", 0));
+        }
+        // First tick at t=2s delivers one fetch...
+        d.advance(SimDuration::from_secs(2));
+        let (_, t0) = d.timers()[0];
+        let fx = d.fire_timer(t0);
+        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Was { .. })).count(), 1);
+        // ...an immediate second tick (same instant) is rate-limited.
+        let (_, t1) = *d.timers().last().unwrap();
+        let fx = d.fire_timer(t1);
+        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Was { .. })).count(), 0);
+    }
+
+    #[test]
+    fn highest_ranked_pops_first_and_stale_expire() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        d.event(&comment_event(42, 300, 0.5, "en", 0));
+        d.event(&comment_event(42, 301, 0.95, "en", 0));
+        d.advance(SimDuration::from_secs(2));
+        let (_, t) = d.timers()[0];
+        let fx = d.fire_timer(t);
+        let obj = fx.iter().find_map(|e| match e {
+            Effect::Was { request: WasRequest::FetchObject { object, .. }, .. } => Some(*object),
+            _ => None,
+        });
+        assert_eq!(obj, Some(ObjectId(301)), "best quality first");
+        // Let the remaining comment age out past 10s.
+        d.advance(SimDuration::from_secs(12));
+        let (_, t) = *d.timers().last().unwrap();
+        let fx = d.fire_timer(t);
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::Was { .. })),
+            "stale comment must not be delivered"
+        );
+    }
+
+    #[test]
+    fn privacy_denied_fetch_is_dropped() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        d.event(&comment_event(42, 400, 0.9, "en", 0));
+        d.advance(SimDuration::from_secs(2));
+        let (_, t) = d.timers()[0];
+        let fx = d.fire_timer(t);
+        let tok = fx.iter().find_map(|e| match e {
+            Effect::Was { token, .. } => Some(*token),
+            _ => None,
+        });
+        let fx = d.was_response(tok.unwrap(), WasResponse::Denied);
+        assert!(fx.is_empty(), "denied payloads never reach the device");
+        assert_eq!(d.counters.deliveries, 0);
+        assert_eq!(d.counters.decisions, 1);
+    }
+
+    #[test]
+    fn hot_mode_subscribes_friend_overflow_topics() {
+        let mut d = driver();
+        let mut h = header(42, 9);
+        h.set("hot", Json::from(true));
+        let fx = d.subscribe(stream(1), &h);
+        let tok = fx.iter().find_map(|e| match e {
+            Effect::Was { token, request: WasRequest::Friends { uid } } => {
+                assert_eq!(*uid, 9);
+                Some(*token)
+            }
+            _ => None,
+        });
+        let fx = d.was_response(tok.unwrap(), WasResponse::Friends(vec![5, 6]));
+        assert!(fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(42, 5))));
+        assert!(fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(42, 6))));
+    }
+
+    #[test]
+    fn close_balances_each_subscribe_with_an_unsubscribe() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        d.subscribe(stream(2), &header(42, 10));
+        // One unsubscribe per closed stream; the host refcounts them.
+        let fx = d.close(stream(1));
+        assert!(fx.contains(&Effect::UnsubscribeTopic(Topic::live_video_comments(42))));
+        let fx = d.close(stream(2));
+        assert!(fx.contains(&Effect::UnsubscribeTopic(Topic::live_video_comments(42))));
+        assert_eq!(d.app.stream_count(), 0);
+    }
+
+    #[test]
+    fn limiter_state_restored_from_header() {
+        // A header carrying a drained limiter should prevent an immediate
+        // send after failover.
+        let mut exhausted = TokenBucket::per_interval(SimDuration::from_secs(2));
+        exhausted.try_acquire(SimTime::ZERO);
+        let mut h = header(42, 9);
+        h.merge(&exhausted.to_header());
+        let mut d = driver();
+        d.subscribe(stream(1), &h);
+        d.event(&comment_event(42, 500, 0.9, "en", 0));
+        let (_, t) = d.timers()[0];
+        // Timer fires immediately at t=0: the restored limiter has no token.
+        let fx = d.fire_timer(t);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Was { .. })));
+    }
+
+    #[test]
+    fn rewrite_persists_limiter_after_sends() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        let mut rewrites = 0;
+        for i in 0..9u64 {
+            d.event(&comment_event(42, 600 + i, 0.9, "en", d.now().as_millis()));
+            d.advance(SimDuration::from_secs(2));
+            let (_, t) = *d.timers().last().unwrap();
+            let fx = d.fire_timer(t);
+            if let Some(tok) = fx.iter().find_map(|e| match e {
+                Effect::Was { token, request: WasRequest::FetchObject { .. } } => Some(*token),
+                _ => None,
+            }) {
+                let fx = d.was_response(tok, WasResponse::Payload(vec![1]));
+                rewrites += fx
+                    .iter()
+                    .filter(|e| matches!(e, Effect::SendDeltas { .. }))
+                    .count();
+            }
+        }
+        assert!(rewrites >= 1, "limiter state is periodically rewritten");
+    }
+
+    #[test]
+    fn filtered_fraction_is_high_under_load() {
+        // A firehose of comments against a 1-per-2s limit: the vast
+        // majority must be dropped (the paper reports ~80%).
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        for i in 0..200u64 {
+            let ms = i * 100; // 10 comments/second for 20 seconds
+            d.advance(SimDuration::from_millis(100));
+            d.event(&comment_event(42, 1_000 + i, 0.3 + (i % 7) as f64 / 10.0, "en", ms));
+            // Fire any due timers.
+            let due: Vec<u64> = d
+                .timers()
+                .iter()
+                .filter(|(at, _)| *at <= d.now())
+                .map(|(_, t)| *t)
+                .collect();
+            for t in due {
+                let fx = d.fire_timer(t);
+                let toks: Vec<FetchToken> = fx
+                    .iter()
+                    .filter_map(|e| match e {
+                        Effect::Was { token, request: WasRequest::FetchObject { .. } } => {
+                            Some(*token)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for tok in toks {
+                    d.was_response(tok, WasResponse::Payload(vec![0]));
+                }
+            }
+        }
+        assert!(d.counters.decisions > 50);
+        let filtered = d.counters.filtered_fraction();
+        assert!(filtered > 0.5, "filtered fraction {filtered}");
+    }
+}

@@ -1,0 +1,22 @@
+//! The sample BRASS applications of §3.4 and §4.
+//!
+//! Each application is implemented "completely independently of the other
+//! applications" as its own [`BrassApp`](crate::app::BrassApp); each took
+//! "at most a few hundred JS lines of BRASS code" in production, and the
+//! implementations here are comparably sized.
+
+pub mod active_status;
+pub mod likes;
+pub mod lvc;
+pub mod messenger;
+pub mod notifications;
+pub mod stories;
+pub mod typing;
+
+pub use active_status::ActiveStatusApp;
+pub use likes::LikesApp;
+pub use lvc::{LvcApp, LvcConfig};
+pub use messenger::MessengerApp;
+pub use notifications::NotificationsApp;
+pub use stories::{StoriesApp, StoriesConfig};
+pub use typing::TypingApp;

@@ -1,0 +1,340 @@
+//! Stories: per-user ranked container trays (§3.4).
+//!
+//! "Stories are organized into 'containers', with each container comprising
+//! stories of one user … Each user's UI displays thumbnails of the n
+//! highest-ranked containers of their friends." The BRASS maintains, per
+//! connected device, a rank-ordered container list and pushes (i) new
+//! stories for displayed containers, (ii) newly displayed containers, and
+//! (iii) container deletion requests — "the BRASS effectively manages what
+//! is being displayed on the device", eliminating the two intersect queries
+//! polling would need.
+
+use std::collections::HashMap;
+
+use burst::json::Json;
+use pylon::Topic;
+use simkit::time::SimTime;
+use was::{EventKind, UpdateEvent};
+
+use crate::app::{BrassApp, Ctx, FetchToken, StreamKey, WasRequest, WasResponse};
+use crate::resolve::resolve;
+
+/// Stories tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StoriesConfig {
+    /// Number of containers displayed on the device (`n`).
+    pub tray_size: usize,
+}
+
+impl Default for StoriesConfig {
+    fn default() -> Self {
+        StoriesConfig { tray_size: 5 }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Container {
+    story_count: u64,
+    last_story: SimTime,
+}
+
+impl Container {
+    /// Rank: recency-dominated with a small volume bonus.
+    fn rank(&self) -> f64 {
+        self.last_story.as_secs_f64() + (self.story_count as f64).ln_1p()
+    }
+}
+
+struct StreamState {
+    friend_topics: Vec<Topic>,
+    containers: HashMap<u64, Container>,
+    /// Authors currently displayed on the device, tray order.
+    displayed: Vec<u64>,
+}
+
+/// The Stories BRASS application.
+pub struct StoriesApp {
+    config: StoriesConfig,
+    streams: HashMap<StreamKey, StreamState>,
+    watchers: HashMap<u64, Vec<StreamKey>>,
+    pending_friends: HashMap<FetchToken, StreamKey>,
+}
+
+impl StoriesApp {
+    /// Creates the application.
+    pub fn new(config: StoriesConfig) -> Self {
+        StoriesApp {
+            config,
+            streams: HashMap::new(),
+            watchers: HashMap::new(),
+            pending_friends: HashMap::new(),
+        }
+    }
+
+    /// Streams currently served.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn author_of_topic(topic: &Topic) -> Option<u64> {
+        let mut segs = topic.segments();
+        if segs.next() != Some("Stories") {
+            return None;
+        }
+        segs.next()?.parse().ok()
+    }
+
+    fn top_n(state: &StreamState, n: usize) -> Vec<u64> {
+        let mut ranked: Vec<(&u64, &Container)> = state.containers.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.rank()
+                .partial_cmp(&a.1.rank())
+                .expect("ranks are finite")
+                .then(a.0.cmp(b.0))
+        });
+        ranked.into_iter().take(n).map(|(&uid, _)| uid).collect()
+    }
+}
+
+impl BrassApp for StoriesApp {
+    fn name(&self) -> &'static str {
+        "stories"
+    }
+
+    fn on_subscribe(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey, header: &Json) {
+        let Ok(sub) = resolve(header) else {
+            ctx.terminate(stream, burst::frame::TerminateReason::Error);
+            return;
+        };
+        self.streams.insert(
+            stream,
+            StreamState {
+                friend_topics: Vec::new(),
+                containers: HashMap::new(),
+                displayed: Vec::new(),
+            },
+        );
+        let token = ctx.was_request(WasRequest::Friends { uid: sub.viewer });
+        self.pending_friends.insert(token, stream);
+    }
+
+    fn on_was_response(&mut self, ctx: &mut Ctx<'_>, token: FetchToken, response: WasResponse) {
+        let Some(stream) = self.pending_friends.remove(&token) else {
+            return;
+        };
+        let Some(state) = self.streams.get_mut(&stream) else {
+            return;
+        };
+        if let WasResponse::Friends(friends) = response {
+            for f in friends {
+                let topic = Topic::stories(f);
+                if !state.friend_topics.contains(&topic) {
+                    state.friend_topics.push(topic.clone());
+                }
+                let w = self.watchers.entry(f).or_default();
+                if !w.contains(&stream) {
+                    w.push(stream);
+                }
+                ctx.subscribe(topic);
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &UpdateEvent) {
+        if event.kind != EventKind::StoryCreated {
+            return;
+        }
+        let Some(author) = Self::author_of_topic(&event.topic) else {
+            return;
+        };
+        let Some(watchers) = self.watchers.get(&author) else {
+            return;
+        };
+        let tray_size = self.config.tray_size;
+        for key in watchers.clone() {
+            let Some(state) = self.streams.get_mut(&key) else {
+                continue;
+            };
+            ctx.decision();
+            let c = state.containers.entry(author).or_default();
+            c.story_count += 1;
+            c.last_story = ctx.now;
+
+            // Recompute the tray and diff against what the device displays.
+            let new_tray = Self::top_n(state, tray_size);
+            let mut commands: Vec<Vec<u8>> = Vec::new();
+            for gone in state.displayed.iter().filter(|u| !new_tray.contains(u)) {
+                commands.push(format!(r#"{{"remove_container":{gone}}}"#).into_bytes());
+            }
+            for added in new_tray.iter().filter(|u| !state.displayed.contains(u)) {
+                commands.push(format!(r#"{{"add_container":{added}}}"#).into_bytes());
+            }
+            if new_tray.contains(&author) && state.displayed.contains(&author) {
+                // The container is already on screen: push just the story.
+                commands.push(
+                    format!(r#"{{"add_story":{},"container":{author}}}"#, event.object.0)
+                        .into_bytes(),
+                );
+            }
+            state.displayed = new_tray;
+            ctx.send_batch(key, commands);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    fn on_stream_closed(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey) {
+        let Some(state) = self.streams.remove(&stream) else {
+            return;
+        };
+        for topic in &state.friend_topics {
+            if let Some(author) = Self::author_of_topic(topic) {
+                if let Some(w) = self.watchers.get_mut(&author) {
+                    w.retain(|k| *k != stream);
+                    if w.is_empty() {
+                        self.watchers.remove(&author);
+                    }
+                }
+            }
+            // One unsubscribe per per-friend subscribe; host refcounts.
+            ctx.unsubscribe(topic.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{DeviceId, Effect, TestDriver};
+    use burst::frame::StreamId;
+    use simkit::time::SimDuration;
+    use tao::ObjectId;
+    use was::event::EventMeta;
+
+    fn stream(n: u64) -> StreamKey {
+        StreamKey {
+            device: DeviceId(n),
+            sid: StreamId(n),
+        }
+    }
+
+    fn header(viewer: u64) -> Json {
+        Json::obj([
+            ("viewer", Json::from(viewer)),
+            ("gql", Json::from("subscription { storiesTray }")),
+        ])
+    }
+
+    fn story(author: u64, story_id: u64) -> UpdateEvent {
+        UpdateEvent {
+            id: story_id,
+            topic: Topic::stories(author),
+            object: ObjectId(story_id),
+            kind: EventKind::StoryCreated,
+            meta: EventMeta {
+                uid: author,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn setup(friends: Vec<u64>) -> TestDriver<StoriesApp> {
+        let mut d = TestDriver::new(StoriesApp::new(StoriesConfig { tray_size: 2 }));
+        let fx = d.subscribe(stream(1), &header(9));
+        let tok = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Was { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        d.was_response(tok, WasResponse::Friends(friends));
+        d
+    }
+
+    fn last_commands(fx: &[Effect]) -> Vec<String> {
+        fx.iter()
+            .filter_map(|e| match e {
+                Effect::SendPayloads { payloads, .. } => Some(
+                    payloads
+                        .iter()
+                        .map(|p| String::from_utf8(p.clone()).unwrap())
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn subscribes_per_friend() {
+        let d = setup(vec![5, 6, 7]);
+        for f in [5, 6, 7] {
+            assert!(d.effects.contains(&Effect::SubscribeTopic(Topic::stories(f))));
+        }
+    }
+
+    #[test]
+    fn first_story_adds_container() {
+        let mut d = setup(vec![5, 6]);
+        let fx = d.event(&story(5, 100));
+        assert_eq!(last_commands(&fx), vec![r#"{"add_container":5}"#]);
+    }
+
+    #[test]
+    fn story_for_displayed_container_pushes_story() {
+        let mut d = setup(vec![5]);
+        d.event(&story(5, 100));
+        let fx = d.event(&story(5, 101));
+        assert_eq!(
+            last_commands(&fx),
+            vec![r#"{"add_story":101,"container":5}"#]
+        );
+    }
+
+    #[test]
+    fn tray_overflow_evicts_lowest_ranked_container() {
+        let mut d = setup(vec![5, 6, 7]);
+        d.event(&story(5, 100));
+        d.advance(SimDuration::from_secs(10));
+        d.event(&story(6, 101));
+        d.advance(SimDuration::from_secs(10));
+        // Tray size is 2; author 7's newer story evicts the oldest (5).
+        let fx = d.event(&story(7, 102));
+        let cmds = last_commands(&fx);
+        assert!(cmds.contains(&r#"{"remove_container":5}"#.to_string()), "{cmds:?}");
+        assert!(cmds.contains(&r#"{"add_container":7}"#.to_string()));
+    }
+
+    #[test]
+    fn decisions_counted_per_watcher() {
+        let mut d = setup(vec![5]);
+        let fx = d.subscribe(stream(2), &header(11));
+        let tok = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Was { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        d.was_response(tok, WasResponse::Friends(vec![5]));
+        d.event(&story(5, 100));
+        assert_eq!(d.counters.decisions, 2, "one decision per watching stream");
+    }
+
+    #[test]
+    fn close_unsubscribes() {
+        let mut d = setup(vec![5]);
+        let fx = d.close(stream(1));
+        assert!(fx.contains(&Effect::UnsubscribeTopic(Topic::stories(5))));
+        assert_eq!(d.app.stream_count(), 0);
+    }
+
+    #[test]
+    fn unwatched_author_ignored() {
+        let mut d = setup(vec![5]);
+        let fx = d.event(&story(99, 100));
+        assert!(fx.is_empty());
+    }
+}

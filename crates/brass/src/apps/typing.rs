@@ -1,0 +1,258 @@
+//! TypingIndicator: "display dancing ellipses when a communicating
+//! counterparty is typing" (§3.4).
+//!
+//! Update events are pushed to the device as they arrive — but, per the
+//! Fig. 9 methodology, "the TypingIndicator application here … require\[s\]
+//! the BRASS application to perform privacy checking and device-specific
+//! transformations by making calls to backend services", so every event
+//! triggers a privacy-checking WAS fetch before the (tiny) payload is
+//! pushed.
+
+use std::collections::HashMap;
+
+use burst::json::Json;
+use pylon::Topic;
+use was::{EventKind, UpdateEvent};
+
+use crate::app::{BrassApp, Ctx, FetchToken, StreamKey, WasRequest, WasResponse};
+use crate::resolve::resolve;
+
+struct StreamState {
+    viewer: u64,
+    topic: Topic,
+}
+
+/// The TypingIndicator BRASS application.
+#[derive(Default)]
+pub struct TypingApp {
+    streams: HashMap<StreamKey, StreamState>,
+    by_topic: HashMap<Topic, Vec<StreamKey>>,
+    pending: HashMap<FetchToken, Pending>,
+}
+
+struct Pending {
+    stream: StreamKey,
+    uid: u64,
+    typing: bool,
+    created_ms: u64,
+}
+
+impl TypingApp {
+    /// Creates the application.
+    pub fn new() -> Self {
+        TypingApp::default()
+    }
+
+    /// Streams currently served.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+impl BrassApp for TypingApp {
+    fn name(&self) -> &'static str {
+        "typing"
+    }
+
+    fn on_subscribe(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey, header: &Json) {
+        let Ok(sub) = resolve(header) else {
+            ctx.terminate(stream, burst::frame::TerminateReason::Error);
+            return;
+        };
+        ctx.subscribe(sub.topic.clone());
+        let watchers = self.by_topic.entry(sub.topic.clone()).or_default();
+        if !watchers.contains(&stream) {
+            watchers.push(stream);
+        }
+        self.streams.insert(
+            stream,
+            StreamState {
+                viewer: sub.viewer,
+                topic: sub.topic,
+            },
+        );
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &UpdateEvent) {
+        if event.kind != EventKind::TypingChanged {
+            return;
+        }
+        let Some(watchers) = self.by_topic.get(&event.topic) else {
+            return;
+        };
+        let typing = event.meta.typing.unwrap_or(false);
+        for key in watchers.clone() {
+            let Some(state) = self.streams.get(&key) else {
+                continue;
+            };
+            ctx.decision();
+            // Privacy check + device transform via the WAS (the typer's
+            // user object is the referenced TAO object).
+            let token = ctx.was_request(WasRequest::FetchObject {
+                viewer: state.viewer,
+                object: event.object,
+            });
+            self.pending.insert(
+                token,
+                Pending {
+                    stream: key,
+                    uid: event.meta.uid,
+                    typing,
+                    created_ms: event.meta.created_ms,
+                },
+            );
+        }
+    }
+
+    fn on_was_response(&mut self, ctx: &mut Ctx<'_>, token: FetchToken, response: WasResponse) {
+        let Some(pending) = self.pending.remove(&token) else {
+            return;
+        };
+        if !self.streams.contains_key(&pending.stream) {
+            return;
+        }
+        match response {
+            WasResponse::Payload(_) => {
+                // Device-specific transform: the indicator payload is tiny.
+                let payload = format!(
+                    r#"{{"uid":{},"typing":{},"created_ms":{}}}"#,
+                    pending.uid, pending.typing, pending.created_ms
+                );
+                ctx.send(pending.stream, payload.into_bytes());
+            }
+            WasResponse::Denied | WasResponse::NotFound => {}
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    fn on_stream_closed(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey) {
+        let Some(state) = self.streams.remove(&stream) else {
+            return;
+        };
+        if let Some(watchers) = self.by_topic.get_mut(&state.topic) {
+            watchers.retain(|k| *k != stream);
+            if watchers.is_empty() {
+                self.by_topic.remove(&state.topic);
+            }
+        }
+        // One unsubscribe per subscribe; the host refcounts topic interest.
+        ctx.unsubscribe(state.topic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{DeviceId, Effect, TestDriver};
+    use burst::frame::StreamId;
+    use tao::ObjectId;
+    use was::event::EventMeta;
+
+    fn stream(n: u64) -> StreamKey {
+        StreamKey {
+            device: DeviceId(n),
+            sid: StreamId(n),
+        }
+    }
+
+    fn header(thread: u64, counterparty: u64, viewer: u64) -> Json {
+        Json::obj([
+            ("viewer", Json::from(viewer)),
+            (
+                "gql",
+                Json::from(format!(
+                    "subscription {{ typingIndicator(threadId: {thread}, counterpartyId: {counterparty}) }}"
+                )),
+            ),
+        ])
+    }
+
+    fn typing_event(thread: u64, uid: u64, typing: bool) -> UpdateEvent {
+        UpdateEvent {
+            id: 1,
+            topic: Topic::typing_indicator(thread, uid),
+            object: ObjectId(uid),
+            kind: EventKind::TypingChanged,
+            meta: EventMeta {
+                uid,
+                typing: Some(typing),
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn event_flows_through_privacy_fetch_to_device() {
+        let mut d = TestDriver::new(TypingApp::new());
+        let fx = d.subscribe(stream(1), &header(7, 2, 9));
+        assert!(fx.contains(&Effect::SubscribeTopic(Topic::typing_indicator(7, 2))));
+        let fx = d.event(&typing_event(7, 2, true));
+        let tok = fx.iter().find_map(|e| match e {
+            Effect::Was { token, request: WasRequest::FetchObject { viewer, object } } => {
+                assert_eq!(*viewer, 9);
+                assert_eq!(*object, ObjectId(2));
+                Some(*token)
+            }
+            _ => None,
+        });
+        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(b"user".to_vec()));
+        let sent = match &fx[0] {
+            Effect::SendPayloads { payloads, .. } => String::from_utf8(payloads[0].clone()).unwrap(),
+            other => panic!("expected send, got {other:?}"),
+        };
+        assert_eq!(sent, r#"{"uid":2,"typing":true,"created_ms":0}"#);
+        assert_eq!(d.counters.decisions, 1);
+        assert_eq!(d.counters.deliveries, 1);
+    }
+
+    #[test]
+    fn privacy_denied_drops_indicator() {
+        let mut d = TestDriver::new(TypingApp::new());
+        d.subscribe(stream(1), &header(7, 2, 9));
+        let fx = d.event(&typing_event(7, 2, true));
+        let tok = fx.iter().find_map(|e| match e {
+            Effect::Was { token, .. } => Some(*token),
+            _ => None,
+        });
+        let fx = d.was_response(tok.unwrap(), WasResponse::Denied);
+        assert!(fx.is_empty());
+        assert_eq!(d.counters.deliveries, 0);
+    }
+
+    #[test]
+    fn events_on_other_topics_are_ignored() {
+        let mut d = TestDriver::new(TypingApp::new());
+        d.subscribe(stream(1), &header(7, 2, 9));
+        let fx = d.event(&typing_event(8, 2, true));
+        assert!(fx.is_empty());
+        assert_eq!(d.counters.decisions, 0);
+    }
+
+    #[test]
+    fn close_balances_subscribes() {
+        let mut d = TestDriver::new(TypingApp::new());
+        d.subscribe(stream(1), &header(7, 2, 9));
+        d.subscribe(stream(2), &header(7, 2, 11));
+        let fx = d.close(stream(1));
+        assert!(fx.contains(&Effect::UnsubscribeTopic(Topic::typing_indicator(7, 2))));
+        let fx = d.close(stream(2));
+        assert!(fx.contains(&Effect::UnsubscribeTopic(Topic::typing_indicator(7, 2))));
+        assert_eq!(d.app.stream_count(), 0);
+    }
+
+    #[test]
+    fn stale_response_after_close_is_dropped() {
+        let mut d = TestDriver::new(TypingApp::new());
+        d.subscribe(stream(1), &header(7, 2, 9));
+        let fx = d.event(&typing_event(7, 2, false));
+        let tok = fx.iter().find_map(|e| match e {
+            Effect::Was { token, .. } => Some(*token),
+            _ => None,
+        });
+        d.close(stream(1));
+        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(vec![1]));
+        assert!(fx.is_empty(), "no sends to closed streams");
+    }
+}

@@ -1,0 +1,863 @@
+//! The BRASS host: a machine running (multi-tenant) BRASS instances.
+//!
+//! §3.2: "BRASS is serverless in the sense that a new instance is spooled up
+//! automatically whenever a stream request arrives at a designated host that
+//! doesn't already have a running BRASS instance for the target
+//! application"; "the number of BRASSes per host is limited to two per core
+//! to reduce context switching". Each host also runs a **Pylon subscription
+//! manager** (footnote 10): topic subscriptions from colocated BRASSes are
+//! reference-counted so Pylon sees at most one subscription per (host,
+//! topic).
+//!
+//! [`BrassHost`] turns application [`Effect`]s into [`HostEffect`]s — the
+//! externally visible actions the simulation orchestrator (or the real-time
+//! driver) executes: Pylon subscribe/unsubscribe, WAS requests, BURST
+//! response frames, timers.
+
+use std::collections::HashMap;
+
+use burst::frame::{Delta, Frame, StreamId};
+use burst::json::Json;
+use burst::stream::ServerStream;
+use pylon::Topic;
+use simkit::time::SimTime;
+
+use crate::app::{
+    AppCounters, BrassApp, Ctx, DeviceId, Effect, FetchToken, StreamKey, WasRequest,
+};
+use crate::resolve::resolve;
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// This host's identity with Pylon.
+    pub host_id: pylon::HostId,
+    /// CPU cores; instance capacity is two per core (§3.2).
+    pub cores: u32,
+}
+
+impl HostConfig {
+    /// A small host for tests and examples.
+    pub fn small(host_id: u32) -> Self {
+        HostConfig {
+            host_id: pylon::HostId(host_id),
+            cores: 4,
+        }
+    }
+}
+
+/// An externally visible action requested by the host.
+#[derive(Debug)]
+pub enum HostEffect {
+    /// Register this host as a subscriber of a topic with Pylon.
+    PylonSubscribe(Topic),
+    /// Remove this host's subscription to a topic.
+    PylonUnsubscribe(Topic),
+    /// Issue a WAS request on behalf of an application.
+    Was {
+        /// Owning application (routes the response back).
+        app: String,
+        /// Correlation token.
+        token: FetchToken,
+        /// The request.
+        request: WasRequest,
+    },
+    /// Send a BURST frame toward a device.
+    Send {
+        /// Target device.
+        device: DeviceId,
+        /// The frame (typically a `Response`).
+        frame: Frame,
+    },
+    /// Arm a timer for an application.
+    Timer {
+        /// When to fire.
+        at: SimTime,
+        /// Owning application.
+        app: String,
+        /// Opaque app token.
+        token: u64,
+    },
+}
+
+struct Instance {
+    app: Box<dyn BrassApp>,
+    counters: AppCounters,
+    next_token: u64,
+    /// This instance's topic reference counts.
+    topic_refs: HashMap<Topic, u32>,
+}
+
+struct StreamMeta {
+    app: String,
+    server: ServerStream,
+}
+
+/// Host-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostCounters {
+    /// Serverless instance spool-ups.
+    pub spool_ups: u64,
+    /// Subscribe requests accepted.
+    pub streams_accepted: u64,
+    /// Subscribe requests rejected (capacity or unknown app).
+    pub streams_rejected: u64,
+    /// Pylon subscriptions deduplicated by the host manager.
+    pub dedup_subscribes: u64,
+}
+
+type AppFactory = Box<dyn FnMut() -> Box<dyn BrassApp> + Send>;
+
+/// A BRASS host.
+pub struct BrassHost {
+    config: HostConfig,
+    factories: HashMap<String, AppFactory>,
+    instances: HashMap<String, Instance>,
+    /// Host-wide topic refcounts (the Pylon subscription manager).
+    host_topic_refs: HashMap<Topic, u32>,
+    streams: HashMap<StreamKey, StreamMeta>,
+    counters: HostCounters,
+}
+
+impl BrassHost {
+    /// Creates an empty host.
+    pub fn new(config: HostConfig) -> Self {
+        BrassHost {
+            config,
+            factories: HashMap::new(),
+            instances: HashMap::new(),
+            host_topic_refs: HashMap::new(),
+            streams: HashMap::new(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// This host's Pylon identity.
+    pub fn host_id(&self) -> pylon::HostId {
+        self.config.host_id
+    }
+
+    /// Registers an application factory; instances spool up on demand.
+    pub fn register_app(
+        &mut self,
+        name: &str,
+        factory: impl FnMut() -> Box<dyn BrassApp> + Send + 'static,
+    ) {
+        self.factories.insert(name.to_owned(), Box::new(factory));
+    }
+
+    /// Registers the standard applications with default configs.
+    pub fn register_standard_apps(&mut self) {
+        use crate::apps::{ActiveStatusApp, LikesApp, LvcApp, LvcConfig, MessengerApp,
+                          NotificationsApp, StoriesApp, StoriesConfig, TypingApp};
+        self.register_app("lvc", || Box::new(LvcApp::new(LvcConfig::default())));
+        self.register_app("typing", || Box::new(TypingApp::new()));
+        self.register_app("active_status", || Box::new(ActiveStatusApp::new()));
+        self.register_app("stories", || Box::new(StoriesApp::new(StoriesConfig::default())));
+        self.register_app("messenger", || Box::new(MessengerApp::new()));
+        self.register_app("likes", || Box::new(LikesApp::new()));
+        self.register_app("notifications", || Box::new(NotificationsApp::new()));
+    }
+
+    /// Maximum instances this host can run (two per core, §3.2).
+    pub fn capacity(&self) -> usize {
+        (self.config.cores * 2) as usize
+    }
+
+    /// Currently running instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Active streams on this host.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Host counters.
+    pub fn counters(&self) -> &HostCounters {
+        &self.counters
+    }
+
+    /// Per-application counters, if the instance is running.
+    pub fn app_counters(&self, app: &str) -> Option<AppCounters> {
+        self.instances.get(app).map(|i| i.counters)
+    }
+
+    /// Aggregate counters across all instances on this host.
+    pub fn total_app_counters(&self) -> AppCounters {
+        let mut total = AppCounters::default();
+        for i in self.instances.values() {
+            total.decisions += i.counters.decisions;
+            total.deliveries += i.counters.deliveries;
+            total.events_in += i.counters.events_in;
+            total.was_requests += i.counters.was_requests;
+        }
+        total
+    }
+
+    /// Topics this host currently holds Pylon subscriptions for.
+    pub fn subscribed_topics(&self) -> usize {
+        self.host_topic_refs.len()
+    }
+
+    fn ensure_instance(&mut self, app: &str) -> Result<(), ()> {
+        if self.instances.contains_key(app) {
+            return Ok(());
+        }
+        if self.instances.len() >= self.capacity() {
+            return Err(());
+        }
+        let factory = self.factories.get_mut(app).ok_or(())?;
+        let instance = Instance {
+            app: factory(),
+            counters: AppCounters::default(),
+            next_token: 0,
+            topic_refs: HashMap::new(),
+        };
+        self.instances.insert(app.to_owned(), instance);
+        self.counters.spool_ups += 1;
+        Ok(())
+    }
+
+    /// Runs an app handler and converts its effects into host effects.
+    fn run_handler(
+        &mut self,
+        app: &str,
+        now: SimTime,
+        out: &mut Vec<HostEffect>,
+        f: impl FnOnce(&mut dyn BrassApp, &mut Ctx<'_>),
+    ) {
+        let Some(instance) = self.instances.get_mut(app) else {
+            return;
+        };
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Ctx::new(
+                now,
+                &mut effects,
+                &mut instance.counters,
+                &mut instance.next_token,
+            );
+            f(instance.app.as_mut(), &mut ctx);
+        }
+        self.apply_effects(app, effects, out);
+    }
+
+    fn apply_effects(&mut self, app: &str, effects: Vec<Effect>, out: &mut Vec<HostEffect>) {
+        for effect in effects {
+            match effect {
+                Effect::SubscribeTopic(topic) => {
+                    let inst = self.instances.get_mut(app).expect("caller ensured instance");
+                    *inst.topic_refs.entry(topic.clone()).or_insert(0) += 1;
+                    let host_refs = self.host_topic_refs.entry(topic.clone()).or_insert(0);
+                    *host_refs += 1;
+                    if *host_refs == 1 {
+                        out.push(HostEffect::PylonSubscribe(topic));
+                    } else {
+                        self.counters.dedup_subscribes += 1;
+                    }
+                }
+                Effect::UnsubscribeTopic(topic) => {
+                    let inst = self.instances.get_mut(app).expect("caller ensured instance");
+                    if let Some(r) = inst.topic_refs.get_mut(&topic) {
+                        *r -= 1;
+                        if *r == 0 {
+                            inst.topic_refs.remove(&topic);
+                        }
+                        if let Some(hr) = self.host_topic_refs.get_mut(&topic) {
+                            *hr -= 1;
+                            if *hr == 0 {
+                                self.host_topic_refs.remove(&topic);
+                                out.push(HostEffect::PylonUnsubscribe(topic));
+                            }
+                        }
+                    }
+                }
+                Effect::Was { token, request } => out.push(HostEffect::Was {
+                    app: app.to_owned(),
+                    token,
+                    request,
+                }),
+                Effect::SendPayloads { stream, payloads, rewrite } => {
+                    let Some(meta) = self.streams.get_mut(&stream) else {
+                        continue; // Stream closed since the app decided.
+                    };
+                    let mut batch: Vec<Delta> =
+                        payloads.into_iter().map(|p| meta.server.push(p)).collect();
+                    if let Some(patch) = rewrite {
+                        batch.push(meta.server.rewrite(patch));
+                    }
+                    out.push(HostEffect::Send {
+                        device: stream.device,
+                        frame: Frame::Response {
+                            sid: stream.sid,
+                            batch,
+                        },
+                    });
+                }
+                Effect::SendDeltas { stream, deltas } => {
+                    let Some(meta) = self.streams.get_mut(&stream) else {
+                        continue;
+                    };
+                    let mut terminated = false;
+                    for delta in &deltas {
+                        match delta {
+                            Delta::RewriteRequest { patch } => {
+                                // Keep the server-side header copy current.
+                                let _ = meta.server.rewrite(patch.clone());
+                            }
+                            Delta::Terminate(_) => terminated = true,
+                            _ => {}
+                        }
+                    }
+                    out.push(HostEffect::Send {
+                        device: stream.device,
+                        frame: Frame::Response {
+                            sid: stream.sid,
+                            batch: deltas,
+                        },
+                    });
+                    if terminated {
+                        self.streams.remove(&stream);
+                    }
+                }
+                Effect::Timer { at, token } => out.push(HostEffect::Timer {
+                    at,
+                    app: app.to_owned(),
+                    token,
+                }),
+                Effect::ReplayUnacked { stream } => {
+                    let Some(meta) = self.streams.get(&stream) else {
+                        continue;
+                    };
+                    let batch = meta.server.replay_unacked();
+                    if !batch.is_empty() {
+                        out.push(HostEffect::Send {
+                            device: stream.device,
+                            frame: Frame::Response {
+                                sid: stream.sid,
+                                batch,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles an incoming BURST subscribe for a stream.
+    ///
+    /// Resolution failures and capacity exhaustion produce a terminate
+    /// response rather than an error: devices are remote.
+    pub fn on_subscribe(
+        &mut self,
+        device: DeviceId,
+        sid: StreamId,
+        header: Json,
+        now: SimTime,
+    ) -> Vec<HostEffect> {
+        let mut out = Vec::new();
+        let stream = StreamKey { device, sid };
+        let app = match resolve(&header) {
+            Ok(sub) => sub.app,
+            Err(_) => {
+                self.counters.streams_rejected += 1;
+                out.push(HostEffect::Send {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::Terminate(burst::frame::TerminateReason::Error)],
+                    },
+                });
+                return out;
+            }
+        };
+        if self.ensure_instance(&app).is_err() {
+            self.counters.streams_rejected += 1;
+            out.push(HostEffect::Send {
+                device,
+                frame: Frame::Response {
+                    sid,
+                    batch: vec![Delta::Terminate(
+                        burst::frame::TerminateReason::ServerShutdown,
+                    )],
+                },
+            });
+            return out;
+        }
+        self.counters.streams_accepted += 1;
+        // Reliable apps retain unacked updates for replay.
+        let retain = app == "messenger";
+        let server = ServerStream::accept(sid, header.clone(), retain);
+        self.streams.insert(stream, StreamMeta { app: app.clone(), server });
+        // Sticky routing (§3.5): patch the header with this host's identity
+        // so a resubscribe after failure lands back here.
+        let patch = Json::obj([("brass_host", Json::from(self.config.host_id.0 as u64))]);
+        if let Some(meta) = self.streams.get_mut(&stream) {
+            let _ = meta.server.rewrite(patch.clone());
+        }
+        out.push(HostEffect::Send {
+            device,
+            frame: Frame::Response {
+                sid,
+                batch: vec![Delta::RewriteRequest { patch }],
+            },
+        });
+        self.run_handler(&app, now, &mut out, |a, ctx| {
+            a.on_subscribe(ctx, stream, &header)
+        });
+        out
+    }
+
+    /// Fans a Pylon update event to every colocated instance holding a
+    /// subscription to its topic.
+    pub fn on_pylon_event(&mut self, event: &was::UpdateEvent, now: SimTime) -> Vec<HostEffect> {
+        let mut out = Vec::new();
+        let apps: Vec<String> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.topic_refs.contains_key(&event.topic))
+            .map(|(name, _)| name.clone())
+            .collect();
+        for app in apps {
+            if let Some(i) = self.instances.get_mut(&app) {
+                i.counters.events_in += 1;
+            }
+            self.run_handler(&app, now, &mut out, |a, ctx| a.on_event(ctx, event));
+        }
+        out
+    }
+
+    /// Routes a WAS response back to the owning application.
+    pub fn on_was_response(
+        &mut self,
+        app: &str,
+        token: FetchToken,
+        response: crate::app::WasResponse,
+        now: SimTime,
+    ) -> Vec<HostEffect> {
+        let mut out = Vec::new();
+        self.run_handler(app, now, &mut out, |a, ctx| {
+            a.on_was_response(ctx, token, response)
+        });
+        out
+    }
+
+    /// Fires an application timer.
+    pub fn on_timer(&mut self, app: &str, token: u64, now: SimTime) -> Vec<HostEffect> {
+        let mut out = Vec::new();
+        self.run_handler(app, now, &mut out, |a, ctx| a.on_timer(ctx, token));
+        out
+    }
+
+    /// Handles a client cancel for one stream.
+    pub fn on_cancel(&mut self, device: DeviceId, sid: StreamId, now: SimTime) -> Vec<HostEffect> {
+        let stream = StreamKey { device, sid };
+        let mut out = Vec::new();
+        if let Some(meta) = self.streams.remove(&stream) {
+            let app = meta.app;
+            self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+        }
+        out
+    }
+
+    /// Handles a device ack (reliable applications replay from here).
+    pub fn on_ack(&mut self, device: DeviceId, sid: StreamId, seq: u64, now: SimTime) -> Vec<HostEffect> {
+        let stream = StreamKey { device, sid };
+        let mut out = Vec::new();
+        if let Some(meta) = self.streams.get_mut(&stream) {
+            meta.server.on_ack(seq);
+            let app = meta.app.clone();
+            self.run_handler(&app, now, &mut out, |a, ctx| a.on_ack(ctx, stream, seq));
+        }
+        out
+    }
+
+    /// Handles loss of connectivity to a device: every stream it owned is
+    /// closed (§4: the POP "will inform all BRASSes servicing streams
+    /// instantiated by the device").
+    pub fn on_device_disconnected(&mut self, device: DeviceId, now: SimTime) -> Vec<HostEffect> {
+        let affected: Vec<StreamKey> = self
+            .streams
+            .keys()
+            .filter(|k| k.device == device)
+            .copied()
+            .collect();
+        let mut out = Vec::new();
+        for stream in affected {
+            if let Some(meta) = self.streams.remove(&stream) {
+                let app = meta.app;
+                self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+            }
+        }
+        out
+    }
+
+    /// Redirects one stream to another BRASS host (§3.5 "Redirects": load
+    /// balancing, consolidation, or host drain). The header is rewritten
+    /// with the new routing target, then the stream is terminated with
+    /// [`TerminateReason::Redirect`] so the device retries — landing on
+    /// `to_host` via sticky routing, with no device logic involved.
+    ///
+    /// [`TerminateReason::Redirect`]: burst::frame::TerminateReason::Redirect
+    pub fn redirect_stream(
+        &mut self,
+        device: DeviceId,
+        sid: StreamId,
+        to_host: u32,
+        now: SimTime,
+    ) -> Vec<HostEffect> {
+        let stream = StreamKey { device, sid };
+        let mut out = Vec::new();
+        let Some(mut meta) = self.streams.remove(&stream) else {
+            return out;
+        };
+        let patch = Json::obj([("brass_host", Json::from(to_host as u64))]);
+        let rewrite = meta.server.rewrite(patch);
+        out.push(HostEffect::Send {
+            device,
+            frame: Frame::Response {
+                sid,
+                batch: vec![
+                    rewrite,
+                    Delta::Terminate(burst::frame::TerminateReason::Redirect),
+                ],
+            },
+        });
+        // The application releases its per-stream state (and topic refs).
+        let app = meta.app.clone();
+        self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+        out
+    }
+
+    /// Drains this host for shutdown (software upgrade / rebalancing):
+    /// every stream receives a redirect-terminate so proxies re-route it.
+    pub fn drain_for_shutdown(&mut self, now: SimTime) -> Vec<HostEffect> {
+        let streams: Vec<StreamKey> = self.streams.keys().copied().collect();
+        let mut out = Vec::new();
+        for stream in streams {
+            if let Some(meta) = self.streams.remove(&stream) {
+                out.push(HostEffect::Send {
+                    device: stream.device,
+                    frame: Frame::Response {
+                        sid: stream.sid,
+                        batch: vec![Delta::Terminate(
+                            burst::frame::TerminateReason::ServerShutdown,
+                        )],
+                    },
+                });
+                let app = meta.app;
+                self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::WasResponse;
+    use pylon::HostId;
+    use was::event::{EventKind, EventMeta};
+    use was::UpdateEvent;
+
+    fn host() -> BrassHost {
+        let mut h = BrassHost::new(HostConfig::small(1));
+        h.register_standard_apps();
+        h
+    }
+
+    fn lvc_header(video: u64, viewer: u64) -> Json {
+        Json::obj([
+            ("viewer", Json::from(viewer)),
+            (
+                "gql",
+                Json::from(format!("subscription {{ liveVideoComments(videoId: {video}) }}")),
+            ),
+        ])
+    }
+
+    fn comment(video: u64, object: u64, quality: f64) -> UpdateEvent {
+        UpdateEvent {
+            id: object,
+            topic: Topic::live_video_comments(video),
+            object: tao::ObjectId(object),
+            kind: EventKind::CommentPosted,
+            meta: EventMeta {
+                uid: 1,
+                quality,
+                lang: Some("en".into()),
+                created_ms: 0,
+                seq: None,
+                typing: None,
+            },
+        }
+    }
+
+    #[test]
+    fn serverless_spool_up_on_first_stream() {
+        let mut h = host();
+        assert_eq!(h.instance_count(), 0);
+        let fx = h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        assert_eq!(h.instance_count(), 1);
+        assert_eq!(h.counters().spool_ups, 1);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, HostEffect::PylonSubscribe(t) if t.as_str() == "/LVC/42")));
+        // A second stream for the same app reuses the instance.
+        h.on_subscribe(DeviceId(2), StreamId(1), lvc_header(43, 9), SimTime::ZERO);
+        assert_eq!(h.instance_count(), 1);
+        assert_eq!(h.counters().spool_ups, 1);
+    }
+
+    #[test]
+    fn sticky_routing_rewrite_sent_on_accept() {
+        let mut h = host();
+        let fx = h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        let rewrite = fx.iter().find_map(|e| match e {
+            HostEffect::Send { frame: Frame::Response { batch, .. }, .. } => {
+                batch.iter().find_map(|d| match d {
+                    Delta::RewriteRequest { patch } => {
+                        patch.get("brass_host").and_then(Json::as_u64)
+                    }
+                    _ => None,
+                })
+            }
+            _ => None,
+        });
+        assert_eq!(rewrite, Some(1), "host identity patched for stickiness");
+    }
+
+    #[test]
+    fn subscription_manager_dedupes_host_wide() {
+        let mut h = host();
+        let mut pylon_subs = 0;
+        for d in 1..=5 {
+            let fx = h.on_subscribe(DeviceId(d), StreamId(1), lvc_header(42, d), SimTime::ZERO);
+            pylon_subs += fx
+                .iter()
+                .filter(|e| matches!(e, HostEffect::PylonSubscribe(_)))
+                .count();
+        }
+        assert_eq!(pylon_subs, 1, "one Pylon subscription per (host, topic)");
+        assert_eq!(h.counters().dedup_subscribes, 4);
+        assert_eq!(h.subscribed_topics(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_emitted_when_last_ref_drops() {
+        let mut h = host();
+        h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 1), SimTime::ZERO);
+        h.on_subscribe(DeviceId(2), StreamId(1), lvc_header(42, 2), SimTime::ZERO);
+        let fx = h.on_cancel(DeviceId(1), StreamId(1), SimTime::ZERO);
+        assert!(!fx.iter().any(|e| matches!(e, HostEffect::PylonUnsubscribe(_))));
+        let fx = h.on_cancel(DeviceId(2), StreamId(1), SimTime::ZERO);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, HostEffect::PylonUnsubscribe(t) if t.as_str() == "/LVC/42")));
+        assert_eq!(h.subscribed_topics(), 0);
+    }
+
+    #[test]
+    fn event_to_delivery_pipeline_with_sequencing() {
+        let mut h = host();
+        h.on_subscribe(DeviceId(1), StreamId(7), lvc_header(42, 9), SimTime::ZERO);
+        h.on_pylon_event(&comment(42, 100, 0.95), SimTime::ZERO);
+        // Fire the LVC push timer.
+        let now = SimTime::from_secs(2);
+        let fx = h.on_timer("lvc", 0, now);
+        let (token,) = fx
+            .iter()
+            .find_map(|e| match e {
+                HostEffect::Was { token, .. } => Some((*token,)),
+                _ => None,
+            })
+            .expect("timer triggers WAS fetch");
+        let fx = h.on_was_response("lvc", token, WasResponse::Payload(b"hi".to_vec()), now);
+        let frame = fx
+            .iter()
+            .find_map(|e| match e {
+                HostEffect::Send { device, frame } => {
+                    assert_eq!(*device, DeviceId(1));
+                    Some(frame.clone())
+                }
+                _ => None,
+            })
+            .expect("payload sent");
+        match frame {
+            Frame::Response { sid, batch } => {
+                assert_eq!(sid, StreamId(7));
+                assert_eq!(batch, vec![Delta::update(0, b"hi".to_vec())]);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        let c = h.app_counters("lvc").unwrap();
+        assert_eq!(c.deliveries, 1);
+        assert_eq!(c.events_in, 1);
+    }
+
+    #[test]
+    fn unknown_app_terminates_stream() {
+        let mut h = BrassHost::new(HostConfig::small(1)); // no apps registered
+        let fx = h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            HostEffect::Send { frame: Frame::Response { batch, .. }, .. }
+            if batch.iter().any(|d| matches!(d, Delta::Terminate(_)))
+        )));
+        assert_eq!(h.counters().streams_rejected, 1);
+    }
+
+    #[test]
+    fn bad_header_terminates_stream() {
+        let mut h = host();
+        let fx = h.on_subscribe(DeviceId(1), StreamId(1), Json::obj::<&str>([]), SimTime::ZERO);
+        assert!(matches!(fx[0], HostEffect::Send { .. }));
+        assert_eq!(h.stream_count(), 0);
+    }
+
+    #[test]
+    fn capacity_limit_two_per_core() {
+        let mut h = BrassHost::new(HostConfig {
+            host_id: HostId(1),
+            cores: 1, // capacity 2
+        });
+        // Register three distinct trivial apps.
+        for name in ["lvc", "typing", "messenger"] {
+            match name {
+                "lvc" => h.register_app("lvc", || {
+                    Box::new(crate::apps::LvcApp::new(crate::apps::LvcConfig::default()))
+                }),
+                "typing" => h.register_app("typing", || Box::new(crate::apps::TypingApp::new())),
+                _ => h.register_app("messenger", || Box::new(crate::apps::MessengerApp::new())),
+            }
+        }
+        h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(1, 1), SimTime::ZERO);
+        let typing_header = Json::obj([
+            ("viewer", Json::from(1u64)),
+            (
+                "gql",
+                Json::from("subscription { typingIndicator(threadId: 1, counterpartyId: 2) }"),
+            ),
+        ]);
+        h.on_subscribe(DeviceId(1), StreamId(2), typing_header, SimTime::ZERO);
+        assert_eq!(h.instance_count(), 2);
+        // Third app hits the 2-per-core limit.
+        let msgr_header = Json::obj([
+            ("viewer", Json::from(1u64)),
+            ("gql", Json::from("subscription { mailbox(uid: 1) }")),
+        ]);
+        let fx = h.on_subscribe(DeviceId(1), StreamId(3), msgr_header, SimTime::ZERO);
+        assert_eq!(h.instance_count(), 2);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            HostEffect::Send { frame: Frame::Response { batch, .. }, .. }
+            if batch.contains(&Delta::Terminate(burst::frame::TerminateReason::ServerShutdown))
+        )));
+    }
+
+    #[test]
+    fn device_disconnect_closes_all_its_streams() {
+        let mut h = host();
+        h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        h.on_subscribe(DeviceId(1), StreamId(2), lvc_header(43, 9), SimTime::ZERO);
+        h.on_subscribe(DeviceId(2), StreamId(1), lvc_header(42, 8), SimTime::ZERO);
+        let fx = h.on_device_disconnected(DeviceId(1), SimTime::ZERO);
+        assert_eq!(h.stream_count(), 1);
+        // Video 43 lost its only watcher → unsubscribed; 42 still watched.
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, HostEffect::PylonUnsubscribe(t) if t.as_str() == "/LVC/43")));
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, HostEffect::PylonUnsubscribe(t) if t.as_str() == "/LVC/42")));
+    }
+
+    #[test]
+    fn drain_for_shutdown_terminates_everything() {
+        let mut h = host();
+        h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        h.on_subscribe(DeviceId(2), StreamId(1), lvc_header(42, 8), SimTime::ZERO);
+        let fx = h.drain_for_shutdown(SimTime::ZERO);
+        let terminates = fx
+            .iter()
+            .filter(|e| matches!(
+                e,
+                HostEffect::Send { frame: Frame::Response { batch, .. }, .. }
+                if batch.contains(&Delta::Terminate(burst::frame::TerminateReason::ServerShutdown))
+            ))
+            .count();
+        assert_eq!(terminates, 2);
+        assert_eq!(h.stream_count(), 0);
+    }
+
+    #[test]
+    fn redirect_rewrites_then_terminates() {
+        let mut h = host();
+        h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
+        let fx = h.redirect_stream(DeviceId(1), StreamId(1), 3, SimTime::ZERO);
+        let batch = fx
+            .iter()
+            .find_map(|e| match e {
+                HostEffect::Send { frame: Frame::Response { batch, .. }, .. } => {
+                    Some(batch.clone())
+                }
+                _ => None,
+            })
+            .expect("redirect response");
+        assert!(matches!(
+            &batch[0],
+            Delta::RewriteRequest { patch } if patch.get("brass_host").and_then(Json::as_u64) == Some(3)
+        ));
+        assert!(matches!(
+            batch[1],
+            Delta::Terminate(burst::frame::TerminateReason::Redirect)
+        ));
+        assert_eq!(h.stream_count(), 0, "the stream left this host");
+        // Redirecting an unknown stream is a no-op.
+        assert!(h.redirect_stream(DeviceId(1), StreamId(1), 3, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn ack_reaches_server_stream_retention() {
+        let mut h = host();
+        let msgr_header = Json::obj([
+            ("viewer", Json::from(9u64)),
+            ("gql", Json::from("subscription { mailbox(uid: 9) }")),
+        ]);
+        let fx = h.on_subscribe(DeviceId(1), StreamId(1), msgr_header, SimTime::ZERO);
+        // Complete the initial backfill with one message.
+        let token = fx
+            .iter()
+            .find_map(|e| match e {
+                HostEffect::Was { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        let fx = h.on_was_response(
+            "messenger",
+            token,
+            WasResponse::Mailbox(vec![(0, tao::ObjectId(500))]),
+            SimTime::ZERO,
+        );
+        let token = fx
+            .iter()
+            .find_map(|e| match e {
+                HostEffect::Was { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        let fx = h.on_was_response(
+            "messenger",
+            token,
+            WasResponse::Payload(b"m0".to_vec()),
+            SimTime::ZERO,
+        );
+        assert!(fx.iter().any(|e| matches!(e, HostEffect::Send { .. })));
+        // Ack releases retained state (observable: no panic, stream intact).
+        h.on_ack(DeviceId(1), StreamId(1), 0, SimTime::ZERO);
+        assert_eq!(h.stream_count(), 1);
+    }
+}

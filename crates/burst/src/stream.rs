@@ -1,0 +1,743 @@
+//! Per-stream state machines for the three BURST roles.
+//!
+//! * [`ClientStream`] — device side: holds the current (possibly rewritten)
+//!   subscription header, enforces in-order delivery, detects sequence gaps,
+//!   and produces the resubscribe request used after failures.
+//! * [`ServerStream`] — BRASS side: assigns sequence numbers, tracks acks,
+//!   retains unacknowledged updates for apps that implement reliability,
+//!   and emits rewrites.
+//! * [`ProxyStreamTable`] — POP / reverse-proxy side: keeps "a copy of the
+//!   current header and body of each stream passing through" so it can
+//!   resubscribe clients after an upstream failure (§3.5, §4), applies
+//!   rewrite deltas to that copy in flight, and garbage-collects state for
+//!   dead streams.
+
+use std::collections::HashMap;
+
+use crate::frame::{Delta, FlowStatus, Frame, StreamId, TerminateReason};
+use crate::json::Json;
+
+/// Lifecycle of a stream, as seen by the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamState {
+    /// Subscribe sent, no response yet.
+    Subscribing,
+    /// Receiving updates.
+    Active,
+    /// A failure was signalled; updates may have been dropped.
+    Degraded,
+    /// Terminated (by either side).
+    Terminated(TerminateReason),
+}
+
+/// What the client application should do in response to a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientAction {
+    /// Deliver this payload to the application.
+    Deliver(Vec<u8>),
+    /// A sequence gap was observed: updates in `[expected, got)` were lost.
+    ///
+    /// Best-effort applications ignore this; reliable ones (Messenger)
+    /// trigger a backfill poll.
+    GapDetected {
+        /// First missing sequence number.
+        expected: u64,
+        /// Sequence number that actually arrived.
+        got: u64,
+    },
+    /// The path degraded; the UI may show a connectivity indicator.
+    NotifyDegraded,
+    /// The path recovered.
+    NotifyRecovered,
+    /// The server rewrote the stored subscription header.
+    HeaderRewritten,
+    /// The stream was terminated.
+    Terminated(TerminateReason),
+}
+
+/// Device-side state machine for one request-stream.
+#[derive(Clone, Debug)]
+pub struct ClientStream {
+    sid: StreamId,
+    header: Json,
+    body: Vec<u8>,
+    state: StreamState,
+    next_seq: u64,
+    delivered: u64,
+    gaps: u64,
+    resubscribes: u64,
+}
+
+impl ClientStream {
+    /// Creates a stream in the pre-subscribe state.
+    pub fn new(sid: StreamId, header: Json, body: Vec<u8>) -> Self {
+        ClientStream {
+            sid,
+            header,
+            body,
+            state: StreamState::Subscribing,
+            next_seq: 0,
+            delivered: 0,
+            gaps: 0,
+            resubscribes: 0,
+        }
+    }
+
+    /// This stream's id.
+    pub fn sid(&self) -> StreamId {
+        self.sid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> StreamState {
+        self.state
+    }
+
+    /// The current header (including any server rewrites).
+    pub fn header(&self) -> &Json {
+        &self.header
+    }
+
+    /// Updates delivered to the application so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Sequence gaps observed so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Times this stream has resubscribed after a failure.
+    pub fn resubscribes(&self) -> u64 {
+        self.resubscribes
+    }
+
+    /// The initial subscribe request.
+    pub fn subscribe_request(&self) -> Frame {
+        Frame::Subscribe {
+            sid: self.sid,
+            header: self.header.clone(),
+            body: self.body.clone(),
+        }
+    }
+
+    /// Builds a resubscribe request after a failure, using the *current*
+    /// (possibly rewritten) header — this is what makes sticky routing and
+    /// resumption work with zero client-side logic.
+    ///
+    /// Each subscribe instantiates a fresh response sequence: expectations
+    /// reset to zero unless the (rewritten) header carries `last_seq`, in
+    /// which case numbering resumes after it, mirroring
+    /// [`ServerStream::accept`].
+    pub fn resubscribe_request(&mut self) -> Frame {
+        self.state = StreamState::Subscribing;
+        self.resubscribes += 1;
+        self.next_seq = self
+            .header
+            .get("last_seq")
+            .and_then(Json::as_u64)
+            .map(|s| s + 1)
+            .unwrap_or(0);
+        Frame::Subscribe {
+            sid: self.sid,
+            header: self.header.clone(),
+            body: self.body.clone(),
+        }
+    }
+
+    /// Acknowledges everything received so far (for reliable applications).
+    pub fn ack_request(&self) -> Frame {
+        Frame::Ack {
+            sid: self.sid,
+            seq: self.next_seq.saturating_sub(1),
+        }
+    }
+
+    /// Signals that the underlying connection dropped (e.g. POP failure
+    /// detected locally). The stream becomes degraded until resubscribed.
+    pub fn on_connection_lost(&mut self) {
+        if !matches!(self.state, StreamState::Terminated(_)) {
+            self.state = StreamState::Degraded;
+        }
+    }
+
+    /// Processes one atomically-applied response batch.
+    pub fn on_batch(&mut self, batch: &[Delta]) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        if matches!(self.state, StreamState::Terminated(_)) {
+            return actions;
+        }
+        if self.state == StreamState::Subscribing {
+            self.state = StreamState::Active;
+        }
+        for delta in batch {
+            match delta {
+                Delta::Update { seq, payload } => {
+                    if *seq < self.next_seq {
+                        // Duplicate (e.g. replayed after reconnect): drop.
+                        continue;
+                    }
+                    if *seq > self.next_seq {
+                        self.gaps += 1;
+                        actions.push(ClientAction::GapDetected {
+                            expected: self.next_seq,
+                            got: *seq,
+                        });
+                    }
+                    self.next_seq = *seq + 1;
+                    self.delivered += 1;
+                    actions.push(ClientAction::Deliver(payload.clone()));
+                }
+                Delta::FlowStatus(FlowStatus::Degraded) => {
+                    self.state = StreamState::Degraded;
+                    actions.push(ClientAction::NotifyDegraded);
+                }
+                Delta::FlowStatus(FlowStatus::Recovered) => {
+                    self.state = StreamState::Active;
+                    // A recovery signalled by an intermediary means the
+                    // stream was re-established as a new incarnation: the
+                    // device "decides how to recover from the fact that it
+                    // may have missed some updates" (§4) — sequence
+                    // expectations resync (resuming after `last_seq` when
+                    // the header carries it).
+                    self.next_seq = self
+                        .header
+                        .get("last_seq")
+                        .and_then(Json::as_u64)
+                        .map(|s| s + 1)
+                        .unwrap_or(0);
+                    actions.push(ClientAction::NotifyRecovered);
+                }
+                Delta::RewriteRequest { patch } => {
+                    self.header.merge(patch);
+                    actions.push(ClientAction::HeaderRewritten);
+                }
+                Delta::Terminate(reason) => {
+                    self.state = StreamState::Terminated(*reason);
+                    actions.push(ClientAction::Terminated(*reason));
+                    break;
+                }
+            }
+        }
+        actions
+    }
+}
+
+/// BRASS-side state for one request-stream.
+#[derive(Clone, Debug)]
+pub struct ServerStream {
+    sid: StreamId,
+    header: Json,
+    next_seq: u64,
+    acked_seq: Option<u64>,
+    /// Updates sent but not yet acknowledged, retained for apps that need
+    /// replay after reconnect. Best-effort apps leave `retain` off.
+    unacked: Vec<(u64, Vec<u8>)>,
+    retain: bool,
+}
+
+impl ServerStream {
+    /// Creates server-side state from an accepted subscribe request.
+    ///
+    /// If the header carries a `"last_seq"` field (installed by a previous
+    /// incarnation via rewrite), sequence numbering resumes after it.
+    pub fn accept(sid: StreamId, header: Json, retain: bool) -> Self {
+        let next_seq = header
+            .get("last_seq")
+            .and_then(Json::as_u64)
+            .map(|s| s + 1)
+            .unwrap_or(0);
+        ServerStream {
+            sid,
+            header,
+            next_seq,
+            acked_seq: None,
+            unacked: Vec::new(),
+            retain,
+        }
+    }
+
+    /// This stream's id.
+    pub fn sid(&self) -> StreamId {
+        self.sid
+    }
+
+    /// The header as last rewritten.
+    pub fn header(&self) -> &Json {
+        &self.header
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Builds an update delta, assigning the next sequence number.
+    pub fn push(&mut self, payload: Vec<u8>) -> Delta {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.retain {
+            self.unacked.push((seq, payload.clone()));
+        }
+        Delta::Update { seq, payload }
+    }
+
+    /// Builds a rewrite delta and applies the patch to the local copy.
+    pub fn rewrite(&mut self, patch: Json) -> Delta {
+        self.header.merge(&patch);
+        Delta::RewriteRequest { patch }
+    }
+
+    /// Convenience: rewrite recording the last sequence number sent, so a
+    /// resubscribe resumes instead of replaying from zero ("Resumption",
+    /// §3.5).
+    pub fn rewrite_progress(&mut self) -> Delta {
+        let last = self.next_seq.saturating_sub(1);
+        self.rewrite(Json::obj([("last_seq", Json::from(last))]))
+    }
+
+    /// Handles a client ack: retained updates up to `seq` are released.
+    pub fn on_ack(&mut self, seq: u64) {
+        self.acked_seq = Some(self.acked_seq.map_or(seq, |a| a.max(seq)));
+        self.unacked.retain(|(s, _)| *s > seq);
+    }
+
+    /// Retained (sent but unacknowledged) updates, oldest first.
+    pub fn unacked(&self) -> &[(u64, Vec<u8>)] {
+        &self.unacked
+    }
+
+    /// Replays retained updates as deltas (after a reconnect).
+    pub fn replay_unacked(&self) -> Vec<Delta> {
+        self.unacked
+            .iter()
+            .map(|(seq, payload)| Delta::Update {
+                seq: *seq,
+                payload: payload.clone(),
+            })
+            .collect()
+    }
+}
+
+/// One proxy's stored state for a stream passing through it.
+#[derive(Clone, Debug)]
+pub struct ProxyEntry {
+    /// The subscription header, kept current through rewrites.
+    pub header: Json,
+    /// The opaque subscribe body.
+    pub body: Vec<u8>,
+    /// The upstream (BRASS-side) hop this stream is routed to.
+    pub upstream: Option<u64>,
+    /// Last time any frame moved on this stream (for GC), in microseconds.
+    pub last_activity_us: u64,
+}
+
+/// Proxy-side table of stream state, keyed by `(connection, sid)` scoped to
+/// one proxy.
+///
+/// Stream ids are client-generated, so they are only unique per client
+/// connection; callers key entries by a `conn` discriminator.
+#[derive(Default)]
+pub struct ProxyStreamTable {
+    entries: HashMap<(u64, StreamId), ProxyEntry>,
+}
+
+impl ProxyStreamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ProxyStreamTable::default()
+    }
+
+    /// Number of streams tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no streams are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a subscribe passing through.
+    pub fn on_subscribe(
+        &mut self,
+        conn: u64,
+        sid: StreamId,
+        header: Json,
+        body: Vec<u8>,
+        upstream: Option<u64>,
+        now_us: u64,
+    ) {
+        self.entries.insert(
+            (conn, sid),
+            ProxyEntry {
+                header,
+                body,
+                upstream,
+                last_activity_us: now_us,
+            },
+        );
+    }
+
+    /// Observes a response batch passing through: applies rewrites to the
+    /// stored header, refreshes activity, and drops state on termination.
+    pub fn on_response(&mut self, conn: u64, sid: StreamId, batch: &[Delta], now_us: u64) {
+        let mut remove = false;
+        if let Some(entry) = self.entries.get_mut(&(conn, sid)) {
+            entry.last_activity_us = now_us;
+            for delta in batch {
+                match delta {
+                    Delta::RewriteRequest { patch } => entry.header.merge(patch),
+                    Delta::Terminate(_) => remove = true,
+                    _ => {}
+                }
+            }
+        }
+        if remove {
+            self.entries.remove(&(conn, sid));
+        }
+    }
+
+    /// Observes a client cancel: stream state is garbage-collected.
+    pub fn on_cancel(&mut self, conn: u64, sid: StreamId) {
+        self.entries.remove(&(conn, sid));
+    }
+
+    /// Drops all streams belonging to a client connection (the device
+    /// disconnected; §3.5: proxies GC stream state "when the connection to
+    /// the device fails").
+    pub fn on_connection_closed(&mut self, conn: u64) -> Vec<StreamId> {
+        let sids: Vec<StreamId> = self
+            .entries
+            .keys()
+            .filter(|(c, _)| *c == conn)
+            .map(|(_, s)| *s)
+            .collect();
+        for sid in &sids {
+            self.entries.remove(&(conn, *sid));
+        }
+        sids
+    }
+
+    /// Looks up a stream's stored entry.
+    pub fn get(&self, conn: u64, sid: StreamId) -> Option<&ProxyEntry> {
+        self.entries.get(&(conn, sid))
+    }
+
+    /// Clears a stream's upstream assignment (it is now orphaned).
+    pub fn clear_upstream(&mut self, conn: u64, sid: StreamId) {
+        if let Some(e) = self.entries.get_mut(&(conn, sid)) {
+            e.upstream = None;
+        }
+    }
+
+    /// Streams whose upstream hop is not in `live` — orphans left behind
+    /// when repairs had nowhere to go, re-repaired once a hop returns.
+    pub fn streams_not_via(&self, live: &[u64]) -> Vec<(u64, StreamId)> {
+        let mut v: Vec<(u64, StreamId)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.upstream.map_or(true, |u| !live.contains(&u)))
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable_by_key(|&(c, s)| (c, s));
+        v
+    }
+
+    /// Streams routed to a given upstream hop — the set the proxy must
+    /// repair when that hop fails (axiom 2).
+    pub fn streams_via(&self, upstream: u64) -> Vec<(u64, StreamId)> {
+        let mut v: Vec<(u64, StreamId)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.upstream == Some(upstream))
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable_by_key(|&(c, s)| (c, s));
+        v
+    }
+
+    /// Re-routes a stream to a new upstream and returns the resubscribe
+    /// frame built from the stored (last-rewritten) header.
+    pub fn rebuild_subscribe(
+        &mut self,
+        conn: u64,
+        sid: StreamId,
+        new_upstream: u64,
+    ) -> Option<Frame> {
+        let entry = self.entries.get_mut(&(conn, sid))?;
+        entry.upstream = Some(new_upstream);
+        Some(Frame::Subscribe {
+            sid,
+            header: entry.header.clone(),
+            body: entry.body.clone(),
+        })
+    }
+
+    /// Garbage-collects entries idle since before `cutoff_us`.
+    pub fn gc(&mut self, cutoff_us: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.last_activity_us >= cutoff_us);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Json {
+        Json::obj([("topic", Json::from("/LVC/1"))])
+    }
+
+    #[test]
+    fn client_in_order_delivery() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        assert_eq!(c.state(), StreamState::Subscribing);
+        let a = c.on_batch(&[Delta::update(0, b"a".to_vec()), Delta::update(1, b"b".to_vec())]);
+        assert_eq!(c.state(), StreamState::Active);
+        assert_eq!(
+            a,
+            vec![
+                ClientAction::Deliver(b"a".to_vec()),
+                ClientAction::Deliver(b"b".to_vec())
+            ]
+        );
+        assert_eq!(c.delivered(), 2);
+    }
+
+    #[test]
+    fn client_detects_gap_and_drops_duplicates() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        c.on_batch(&[Delta::update(0, vec![])]);
+        let a = c.on_batch(&[Delta::update(3, b"x".to_vec())]);
+        assert_eq!(
+            a[0],
+            ClientAction::GapDetected {
+                expected: 1,
+                got: 3
+            }
+        );
+        assert_eq!(a[1], ClientAction::Deliver(b"x".to_vec()));
+        assert_eq!(c.gaps(), 1);
+        // A replay of an old seq is silently dropped.
+        let a = c.on_batch(&[Delta::update(2, b"old".to_vec())]);
+        assert!(a.is_empty());
+        assert_eq!(c.delivered(), 2);
+    }
+
+    #[test]
+    fn client_flow_status_transitions() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        let a = c.on_batch(&[Delta::FlowStatus(FlowStatus::Degraded)]);
+        assert_eq!(a, vec![ClientAction::NotifyDegraded]);
+        assert_eq!(c.state(), StreamState::Degraded);
+        let a = c.on_batch(&[Delta::FlowStatus(FlowStatus::Recovered)]);
+        assert_eq!(a, vec![ClientAction::NotifyRecovered]);
+        assert_eq!(c.state(), StreamState::Active);
+    }
+
+    #[test]
+    fn recovery_resyncs_sequence_expectations() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        c.on_batch(&[Delta::update(0, vec![]), Delta::update(1, vec![])]);
+        // A proxy repaired the stream onto a fresh BRASS incarnation.
+        c.on_batch(&[Delta::FlowStatus(FlowStatus::Degraded)]);
+        c.on_batch(&[Delta::FlowStatus(FlowStatus::Recovered)]);
+        let a = c.on_batch(&[Delta::update(0, b"new-incarnation".to_vec())]);
+        assert_eq!(a, vec![ClientAction::Deliver(b"new-incarnation".to_vec())]);
+    }
+
+    #[test]
+    fn client_rewrite_updates_resubscribe() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![1, 2]);
+        c.on_batch(&[Delta::RewriteRequest {
+            patch: Json::obj([("brass", Json::from("b-9")), ("last_seq", Json::from(41u64))]),
+        }]);
+        assert_eq!(c.header().get("brass").unwrap().as_str(), Some("b-9"));
+        let f = c.resubscribe_request();
+        match f {
+            Frame::Subscribe { sid, header, body } => {
+                assert_eq!(sid, StreamId(1));
+                assert_eq!(header.get("brass").unwrap().as_str(), Some("b-9"));
+                assert_eq!(header.get("last_seq").unwrap().as_u64(), Some(41));
+                assert_eq!(header.get("topic").unwrap().as_str(), Some("/LVC/1"));
+                assert_eq!(body, vec![1, 2]);
+            }
+            other => panic!("expected Subscribe, got {other:?}"),
+        }
+        assert_eq!(c.resubscribes(), 1);
+        assert_eq!(c.state(), StreamState::Subscribing);
+    }
+
+    #[test]
+    fn client_terminate_stops_processing() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        let a = c.on_batch(&[
+            Delta::Terminate(TerminateReason::Redirect),
+            Delta::update(0, b"never".to_vec()),
+        ]);
+        assert_eq!(a, vec![ClientAction::Terminated(TerminateReason::Redirect)]);
+        assert_eq!(c.state(), StreamState::Terminated(TerminateReason::Redirect));
+        assert!(c.on_batch(&[Delta::update(0, vec![])]).is_empty());
+    }
+
+    #[test]
+    fn resubscribe_resets_sequence_expectations() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        c.on_batch(&[Delta::update(0, vec![]), Delta::update(1, vec![])]);
+        // Without resumption state, a fresh incarnation restarts at 0.
+        c.resubscribe_request();
+        let a = c.on_batch(&[Delta::update(0, b"fresh".to_vec())]);
+        assert_eq!(a, vec![ClientAction::Deliver(b"fresh".to_vec())]);
+        // With a last_seq rewrite, numbering resumes after it.
+        c.on_batch(&[Delta::RewriteRequest {
+            patch: Json::obj([("last_seq", Json::from(9u64))]),
+        }]);
+        c.resubscribe_request();
+        let a = c.on_batch(&[Delta::update(10, b"resumed".to_vec())]);
+        assert_eq!(a, vec![ClientAction::Deliver(b"resumed".to_vec())]);
+        assert_eq!(c.gaps(), 0, "no false gap after resumption");
+    }
+
+    #[test]
+    fn client_connection_lost_marks_degraded() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        c.on_batch(&[Delta::update(0, vec![])]);
+        c.on_connection_lost();
+        assert_eq!(c.state(), StreamState::Degraded);
+    }
+
+    #[test]
+    fn client_ack_reports_progress() {
+        let mut c = ClientStream::new(StreamId(1), header(), vec![]);
+        c.on_batch(&[Delta::update(0, vec![]), Delta::update(1, vec![])]);
+        assert_eq!(
+            c.ack_request(),
+            Frame::Ack {
+                sid: StreamId(1),
+                seq: 1
+            }
+        );
+    }
+
+    #[test]
+    fn server_assigns_sequence_numbers() {
+        let mut s = ServerStream::accept(StreamId(1), header(), false);
+        assert_eq!(s.push(b"a".to_vec()), Delta::update(0, b"a".to_vec()));
+        assert_eq!(s.push(b"b".to_vec()), Delta::update(1, b"b".to_vec()));
+        assert!(s.unacked().is_empty(), "retention off by default");
+    }
+
+    #[test]
+    fn server_resumes_from_header_seq() {
+        let mut h = header();
+        h.set("last_seq", Json::from(9u64));
+        let mut s = ServerStream::accept(StreamId(1), h, false);
+        assert_eq!(s.next_seq(), 10);
+        assert_eq!(s.push(vec![]), Delta::update(10, vec![]));
+    }
+
+    #[test]
+    fn server_retention_and_acks() {
+        let mut s = ServerStream::accept(StreamId(1), header(), true);
+        s.push(b"a".to_vec());
+        s.push(b"b".to_vec());
+        s.push(b"c".to_vec());
+        assert_eq!(s.unacked().len(), 3);
+        s.on_ack(1);
+        assert_eq!(s.unacked().len(), 1);
+        assert_eq!(s.unacked()[0].0, 2);
+        let replay = s.replay_unacked();
+        assert_eq!(replay, vec![Delta::update(2, b"c".to_vec())]);
+        // Stale (smaller) ack cannot regress.
+        s.on_ack(0);
+        assert_eq!(s.unacked().len(), 1);
+    }
+
+    #[test]
+    fn server_rewrite_progress_installs_last_seq() {
+        let mut s = ServerStream::accept(StreamId(1), header(), false);
+        s.push(vec![]);
+        s.push(vec![]);
+        let d = s.rewrite_progress();
+        match d {
+            Delta::RewriteRequest { patch } => {
+                assert_eq!(patch.get("last_seq").unwrap().as_u64(), Some(1));
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+        assert_eq!(s.header().get("last_seq").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn proxy_stores_and_rewrites() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(1, StreamId(5), header(), vec![9], Some(100), 0);
+        assert_eq!(t.len(), 1);
+        t.on_response(
+            1,
+            StreamId(5),
+            &[Delta::RewriteRequest {
+                patch: Json::obj([("brass", Json::from("b-2"))]),
+            }],
+            10,
+        );
+        let e = t.get(1, StreamId(5)).unwrap();
+        assert_eq!(e.header.get("brass").unwrap().as_str(), Some("b-2"));
+        assert_eq!(e.last_activity_us, 10);
+    }
+
+    #[test]
+    fn proxy_terminate_and_cancel_gc() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(1, StreamId(5), header(), vec![], None, 0);
+        t.on_response(1, StreamId(5), &[Delta::Terminate(TerminateReason::Cancelled)], 1);
+        assert!(t.is_empty());
+        t.on_subscribe(1, StreamId(6), header(), vec![], None, 0);
+        t.on_cancel(1, StreamId(6));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn proxy_connection_close_drops_only_that_connection() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(1, StreamId(5), header(), vec![], None, 0);
+        t.on_subscribe(1, StreamId(6), header(), vec![], None, 0);
+        t.on_subscribe(2, StreamId(5), header(), vec![], None, 0);
+        let dropped = t.on_connection_closed(1);
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(2, StreamId(5)).is_some());
+    }
+
+    #[test]
+    fn proxy_repairs_streams_after_upstream_failure() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(1, StreamId(5), header(), vec![7], Some(100), 0);
+        t.on_subscribe(2, StreamId(9), header(), vec![], Some(100), 0);
+        t.on_subscribe(3, StreamId(1), header(), vec![], Some(200), 0);
+        let affected = t.streams_via(100);
+        assert_eq!(affected, vec![(1, StreamId(5)), (2, StreamId(9))]);
+        let f = t.rebuild_subscribe(1, StreamId(5), 300).unwrap();
+        match f {
+            Frame::Subscribe { sid, body, .. } => {
+                assert_eq!(sid, StreamId(5));
+                assert_eq!(body, vec![7]);
+            }
+            other => panic!("expected Subscribe, got {other:?}"),
+        }
+        assert_eq!(t.get(1, StreamId(5)).unwrap().upstream, Some(300));
+    }
+
+    #[test]
+    fn proxy_gc_by_idle_time() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(1, StreamId(5), header(), vec![], None, 100);
+        t.on_subscribe(1, StreamId(6), header(), vec![], None, 200);
+        let collected = t.gc(150);
+        assert_eq!(collected, 1);
+        assert!(t.get(1, StreamId(6)).is_some());
+    }
+}

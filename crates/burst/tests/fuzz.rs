@@ -1,0 +1,185 @@
+//! Protocol fuzzing: random frame sequences over fragmenting/corrupting
+//! transports, client state machine robustness under arbitrary delta
+//! streams, and multiplexer liveness under random credit schedules.
+
+use proptest::prelude::*;
+
+use burst::codec::{encode_frame, Decoder};
+use burst::frame::{Delta, FlowStatus, Frame, StreamId, TerminateReason};
+use burst::json::Json;
+use burst::mux::{CreditManager, MuxSender};
+use burst::stream::{ClientStream, StreamState};
+use bytes::BytesMut;
+
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    prop_oneof![
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(seq, payload)| Delta::Update { seq, payload }),
+        Just(Delta::FlowStatus(FlowStatus::Degraded)),
+        Just(Delta::FlowStatus(FlowStatus::Recovered)),
+        "[a-z]{1,8}".prop_map(|k| Delta::RewriteRequest {
+            patch: Json::obj([(k, Json::from(1u64))]),
+        }),
+        Just(Delta::Terminate(TerminateReason::Cancelled)),
+        Just(Delta::Terminate(TerminateReason::Redirect)),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), "[a-z]{0,6}", proptest::collection::vec(any::<u8>(), 0..24)).prop_map(
+            |(sid, key, body)| Frame::Subscribe {
+                sid: StreamId(sid),
+                header: Json::obj([("topic", Json::from(format!("/{key}x"))),]),
+                body,
+            }
+        ),
+        any::<u64>().prop_map(|sid| Frame::Cancel { sid: StreamId(sid) }),
+        (any::<u64>(), any::<u64>()).prop_map(|(sid, seq)| Frame::Ack {
+            sid: StreamId(sid),
+            seq
+        }),
+        (any::<u64>(), proptest::collection::vec(arb_delta(), 0..6)).prop_map(|(sid, batch)| {
+            Frame::Response {
+                sid: StreamId(sid),
+                batch,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(sid, bytes)| Frame::Credit {
+            sid: StreamId(sid),
+            bytes
+        }),
+        any::<u64>().prop_map(|token| Frame::Ping { token }),
+        any::<u64>().prop_map(|token| Frame::Pong { token }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any frame sequence, fragmented at arbitrary points, decodes to the
+    /// exact same sequence.
+    #[test]
+    fn fragmented_stream_roundtrip(
+        frames in proptest::collection::vec(arb_frame(), 1..12),
+        cuts in proptest::collection::vec(1usize..64, 0..20),
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut cut_iter = cuts.into_iter();
+        while pos < wire.len() {
+            let step = cut_iter.next().unwrap_or(wire.len()).min(wire.len() - pos);
+            dec.feed(&wire[pos..pos + step]);
+            pos += step;
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// A corrupted byte never panics the decoder: it either still decodes
+    /// (the byte landed in an opaque payload) or errors cleanly.
+    #[test]
+    fn corruption_never_panics(
+        frames in proptest::collection::vec(arb_frame(), 1..6),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let idx = flip_at % wire.len();
+        wire[idx] ^= flip_bits;
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        // Drain until error or exhaustion; must not panic or loop forever.
+        for _ in 0..frames.len() + 2 {
+            match dec.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The client state machine accepts ANY delta stream without panicking,
+    /// and its invariants hold: delivered counts match Deliver actions,
+    /// and the stream never processes anything after termination.
+    #[test]
+    fn client_state_machine_total(batches in proptest::collection::vec(
+        proptest::collection::vec(arb_delta(), 0..5), 0..10))
+    {
+        let header = Json::obj([("viewer", Json::from(1u64))]);
+        let mut c = ClientStream::new(StreamId(1), header, vec![]);
+        let mut delivered = 0u64;
+        let mut terminated = false;
+        for batch in &batches {
+            let actions = c.on_batch(batch);
+            if terminated {
+                prop_assert!(actions.is_empty(), "no actions after termination");
+            }
+            for a in &actions {
+                if matches!(a, burst::stream::ClientAction::Deliver(_)) {
+                    delivered += 1;
+                }
+                if matches!(a, burst::stream::ClientAction::Terminated(_)) {
+                    terminated = true;
+                }
+            }
+        }
+        prop_assert_eq!(c.delivered(), delivered);
+        if terminated {
+            prop_assert!(matches!(c.state(), StreamState::Terminated(_)));
+        }
+    }
+
+    /// The multiplexer is live: with periodic credit grants every queued
+    /// frame is eventually released, none twice.
+    #[test]
+    fn mux_liveness(
+        lens in proptest::collection::vec((1u64..5, 1usize..300), 1..40),
+        grant in 64u64..4_096,
+    ) {
+        let mut sender = MuxSender::new(grant);
+        let mut receiver = CreditManager::new(grant.max(64));
+        let total = lens.len();
+        for (i, &(sid, len)) in lens.iter().enumerate() {
+            sender.enqueue(Frame::Response {
+                sid: StreamId(sid),
+                batch: vec![Delta::Update { seq: i as u64, payload: vec![0; len] }],
+            });
+        }
+        let mut received = 0usize;
+        // Bounded rounds: each frame needs at most a few credit exchanges.
+        for _ in 0..total * 8 + 8 {
+            let frames = sender.poll_sendable();
+            if frames.is_empty() {
+                // Stalled: top up every stream (the receiver application
+                // consumed its buffers).
+                for sid in 1u64..5 {
+                    sender.on_credit(StreamId(sid), grant);
+                }
+                continue;
+            }
+            for f in frames {
+                let sid = f.sid().unwrap();
+                if let Some(Frame::Credit { sid, bytes }) =
+                    receiver.on_received(sid, &f)
+                {
+                    sender.on_credit(sid, bytes);
+                }
+                received += 1;
+            }
+            if received == total {
+                break;
+            }
+        }
+        prop_assert_eq!(received, total, "all frames eventually flow");
+    }
+}

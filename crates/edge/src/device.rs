@@ -1,0 +1,373 @@
+//! The end-user device model.
+//!
+//! A device owns one BURST connection (through a POP) carrying many
+//! request-streams — "an application will have multiple (10+) active
+//! request-streams simultaneously" (§3). Each stream is a
+//! [`ClientStream`]; the device reacts to delivered batches, shows
+//! connectivity state on flow-status deltas, and recovers from failures by
+//! resubscribing every affected stream with its *current* header — which,
+//! thanks to server rewrites, lands on the same BRASS (sticky routing) at
+//! the right resume point.
+
+use burst::frame::{Frame, StreamId, TerminateReason};
+use burst::json::Json;
+use burst::stream::{ClientAction, ClientStream, StreamState};
+
+/// What a device does in response to protocol input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceOutput {
+    /// Send a frame upstream (to the POP).
+    Send(Frame),
+    /// An update payload reached the app: re-render the UI.
+    Render {
+        /// The stream it arrived on.
+        sid: StreamId,
+        /// The payload.
+        payload: Vec<u8>,
+    },
+    /// A sequence gap means updates were lost; reliable apps poll the WAS.
+    BackfillPoll {
+        /// The affected stream.
+        sid: StreamId,
+    },
+    /// Show/hide the connectivity indicator.
+    ConnectivityChanged {
+        /// `true` when degraded.
+        degraded: bool,
+    },
+    /// A stream ended; `retry` says whether the device should resubscribe.
+    StreamEnded {
+        /// The stream.
+        sid: StreamId,
+        /// Whether the server asked for a retry (redirects, shutdowns).
+        retry: bool,
+    },
+}
+
+/// An end-user device (mobile app or browser tab).
+pub struct Device {
+    id: u64,
+    streams: std::collections::HashMap<StreamId, ClientStream>,
+    next_sid: u64,
+    delivered: u64,
+    renders: u64,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(id: u64) -> Self {
+        Device {
+            id,
+            streams: std::collections::HashMap::new(),
+            next_sid: 1,
+            delivered: 0,
+            renders: 0,
+        }
+    }
+
+    /// This device's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of open (non-terminated) streams.
+    pub fn open_streams(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| !matches!(s.state(), StreamState::Terminated(_)))
+            .count()
+    }
+
+    /// Total updates delivered across all streams.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Looks at a stream's state (testing / assertions).
+    pub fn stream(&self, sid: StreamId) -> Option<&ClientStream> {
+        self.streams.get(&sid)
+    }
+
+    /// Ids of open (non-terminated) streams, oldest first.
+    pub fn open_sids(&self) -> Vec<StreamId> {
+        let mut sids: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| !matches!(s.state(), StreamState::Terminated(_)))
+            .map(|(&sid, _)| sid)
+            .collect();
+        sids.sort_unstable();
+        sids
+    }
+
+    /// Opens a new request-stream; returns its id and the subscribe frame.
+    pub fn open_stream(&mut self, header: Json, body: Vec<u8>) -> (StreamId, Frame) {
+        let sid = StreamId(self.next_sid);
+        self.next_sid += 1;
+        let stream = ClientStream::new(sid, header, body);
+        let frame = stream.subscribe_request();
+        self.streams.insert(sid, stream);
+        (sid, frame)
+    }
+
+    /// Cancels a stream; returns the cancel frame.
+    pub fn cancel_stream(&mut self, sid: StreamId) -> Option<Frame> {
+        self.streams.remove(&sid)?;
+        Some(Frame::Cancel { sid })
+    }
+
+    /// Handles a frame arriving from the POP.
+    pub fn on_frame(&mut self, frame: &Frame) -> Vec<DeviceOutput> {
+        let mut out = Vec::new();
+        // Heartbeats are answered reflexively (§4 footnote 11).
+        if let Frame::Ping { token } = frame {
+            out.push(DeviceOutput::Send(Frame::Pong { token: *token }));
+            return out;
+        }
+        let Frame::Response { sid, batch } = frame else {
+            return out;
+        };
+        let Some(stream) = self.streams.get_mut(sid) else {
+            return out;
+        };
+        for action in stream.on_batch(batch) {
+            match action {
+                ClientAction::Deliver(payload) => {
+                    self.delivered += 1;
+                    self.renders += 1;
+                    out.push(DeviceOutput::Render {
+                        sid: *sid,
+                        payload,
+                    });
+                }
+                ClientAction::GapDetected { .. } => {
+                    out.push(DeviceOutput::BackfillPoll { sid: *sid });
+                }
+                ClientAction::NotifyDegraded => {
+                    out.push(DeviceOutput::ConnectivityChanged { degraded: true });
+                }
+                ClientAction::NotifyRecovered => {
+                    out.push(DeviceOutput::ConnectivityChanged { degraded: false });
+                }
+                ClientAction::HeaderRewritten => {}
+                ClientAction::Terminated(reason) => {
+                    let retry = matches!(
+                        reason,
+                        TerminateReason::Redirect | TerminateReason::ServerShutdown
+                    );
+                    out.push(DeviceOutput::StreamEnded { sid: *sid, retry });
+                }
+            }
+        }
+        // Drop terminated streams that will not retry.
+        if let Some(s) = self.streams.get(sid) {
+            if let StreamState::Terminated(reason) = s.state() {
+                if !matches!(
+                    reason,
+                    TerminateReason::Redirect | TerminateReason::ServerShutdown
+                ) {
+                    self.streams.remove(sid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Resubscribes a stream the server asked to retry (after a redirect or
+    /// shutdown terminate). Returns the new subscribe frame.
+    pub fn retry_stream(&mut self, sid: StreamId) -> Option<Frame> {
+        let stream = self.streams.get_mut(&sid)?;
+        Some(stream.resubscribe_request())
+    }
+
+    /// Handles loss of the POP connection: every stream degrades, and the
+    /// device produces resubscribe frames to send once reconnected. The
+    /// resubscribes use the current (rewritten) headers — sticky routing
+    /// and resumption need no extra device logic.
+    pub fn on_connection_lost(&mut self) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let mut sids: Vec<StreamId> = self.streams.keys().copied().collect();
+        sids.sort_unstable();
+        for sid in sids {
+            let stream = self.streams.get_mut(&sid).expect("key just listed");
+            if matches!(stream.state(), StreamState::Terminated(_)) {
+                continue;
+            }
+            stream.on_connection_lost();
+            frames.push(stream.resubscribe_request());
+        }
+        frames
+    }
+
+    /// Builds an ack frame for a stream (reliable applications).
+    pub fn ack(&self, sid: StreamId) -> Option<Frame> {
+        self.streams.get(&sid).map(|s| s.ack_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst::frame::Delta;
+
+    fn header(topic: &str) -> Json {
+        Json::obj([
+            ("viewer", Json::from(9u64)),
+            ("app", Json::from("lvc")),
+            ("topic", Json::from(topic)),
+        ])
+    }
+
+    #[test]
+    fn open_stream_produces_subscribe() {
+        let mut d = Device::new(1);
+        let (sid, frame) = d.open_stream(header("/LVC/1"), vec![]);
+        match frame {
+            Frame::Subscribe { sid: s, .. } => assert_eq!(s, sid),
+            other => panic!("expected subscribe, got {other:?}"),
+        }
+        assert_eq!(d.open_streams(), 1);
+    }
+
+    #[test]
+    fn updates_render_in_order() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::update(0, b"a".to_vec()), Delta::update(1, b"b".to_vec())],
+        });
+        assert_eq!(
+            out,
+            vec![
+                DeviceOutput::Render { sid, payload: b"a".to_vec() },
+                DeviceOutput::Render { sid, payload: b"b".to_vec() },
+            ]
+        );
+        assert_eq!(d.delivered(), 2);
+    }
+
+    #[test]
+    fn gap_triggers_backfill_poll() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::update(0, vec![])],
+        });
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::update(5, vec![])],
+        });
+        assert!(out.contains(&DeviceOutput::BackfillPoll { sid }));
+    }
+
+    #[test]
+    fn connection_loss_resubscribes_with_rewritten_headers() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        let (sid2, _) = d.open_stream(header("/LVC/2"), vec![]);
+        // BRASS patches sticky-routing info into stream 1's header.
+        d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::RewriteRequest {
+                patch: Json::obj([("brass_host", Json::from(7u64))]),
+            }],
+        });
+        let frames = d.on_connection_lost();
+        assert_eq!(frames.len(), 2);
+        match &frames[0] {
+            Frame::Subscribe { sid: s, header, .. } => {
+                assert_eq!(*s, sid);
+                assert_eq!(header.get("brass_host").and_then(Json::as_u64), Some(7));
+            }
+            other => panic!("expected subscribe, got {other:?}"),
+        }
+        match &frames[1] {
+            Frame::Subscribe { sid: s, header, .. } => {
+                assert_eq!(*s, sid2);
+                assert!(header.get("brass_host").is_none());
+            }
+            other => panic!("expected subscribe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_status_toggles_connectivity_indicator() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::FlowStatus(burst::frame::FlowStatus::Degraded)],
+        });
+        assert_eq!(out, vec![DeviceOutput::ConnectivityChanged { degraded: true }]);
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::FlowStatus(burst::frame::FlowStatus::Recovered)],
+        });
+        assert_eq!(out, vec![DeviceOutput::ConnectivityChanged { degraded: false }]);
+    }
+
+    #[test]
+    fn redirect_terminate_keeps_stream_for_retry() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::Terminate(TerminateReason::Redirect)],
+        });
+        assert_eq!(out, vec![DeviceOutput::StreamEnded { sid, retry: true }]);
+        let retry = d.retry_stream(sid);
+        assert!(matches!(retry, Some(Frame::Subscribe { .. })));
+    }
+
+    #[test]
+    fn error_terminate_drops_stream() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        let out = d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::Terminate(TerminateReason::Denied)],
+        });
+        assert_eq!(out, vec![DeviceOutput::StreamEnded { sid, retry: false }]);
+        assert_eq!(d.open_streams(), 0);
+        assert!(d.retry_stream(sid).is_none());
+    }
+
+    #[test]
+    fn cancel_removes_stream() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
+        assert_eq!(d.cancel_stream(sid), Some(Frame::Cancel { sid }));
+        assert_eq!(d.open_streams(), 0);
+        assert_eq!(d.cancel_stream(sid), None);
+    }
+
+    #[test]
+    fn pings_are_answered_with_pongs() {
+        let mut d = Device::new(1);
+        let out = d.on_frame(&Frame::Ping { token: 42 });
+        assert_eq!(out, vec![DeviceOutput::Send(Frame::Pong { token: 42 })]);
+    }
+
+    #[test]
+    fn frames_for_unknown_streams_ignored() {
+        let mut d = Device::new(1);
+        let out = d.on_frame(&Frame::Response {
+            sid: StreamId(99),
+            batch: vec![Delta::update(0, vec![])],
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ack_frame_reports_progress() {
+        let mut d = Device::new(1);
+        let (sid, _) = d.open_stream(header("/Msgr/9"), vec![]);
+        d.on_frame(&Frame::Response {
+            sid,
+            batch: vec![Delta::update(0, vec![]), Delta::update(1, vec![])],
+        });
+        assert_eq!(d.ack(sid), Some(Frame::Ack { sid, seq: 1 }));
+    }
+}

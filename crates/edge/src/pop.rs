@@ -1,0 +1,412 @@
+//! The POP (point of presence) at the network edge.
+//!
+//! POPs terminate device connections (the flaky last mile) and relay
+//! frames to a reverse proxy at the target datacenter. Like proxies, POPs
+//! keep per-stream state so they can repair streams when their upstream
+//! proxy fails (axiom 2), and they are the component that *detects* device
+//! disconnects, informing upstream parties (axiom 1: "If a client device
+//! fails or loses TCP connectivity, POP Pi will detect this, and it will
+//! inform all BRASSes servicing streams instantiated by the device").
+
+use std::collections::HashMap;
+
+use burst::frame::{Delta, FlowStatus, Frame};
+use burst::heartbeat::{HeartbeatMonitor, PeerHealth};
+use burst::stream::ProxyStreamTable;
+
+/// Microseconds between device heartbeats.
+const HEARTBEAT_INTERVAL_US: u64 = 5_000_000;
+/// Unanswered heartbeats before a device is declared gone.
+const HEARTBEAT_MISSES: u32 = 3;
+
+/// What the POP asks its environment to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PopEffect {
+    /// Forward a frame to a reverse proxy.
+    ToProxy {
+        /// Target proxy.
+        proxy: u32,
+        /// Originating device.
+        device: u64,
+        /// The frame.
+        frame: Frame,
+    },
+    /// Forward a frame to a connected device.
+    ToDevice {
+        /// Target device.
+        device: u64,
+        /// The frame.
+        frame: Frame,
+    },
+    /// Inform upstream that a device vanished (proxies cancel its streams).
+    DeviceGone {
+        /// The proxy to inform.
+        proxy: u32,
+        /// The vanished device.
+        device: u64,
+    },
+}
+
+/// POP counters (Fig. 10 top: last-mile connections dropped).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PopCounters {
+    /// Device connections dropped (detected here).
+    pub device_drops: u64,
+    /// Streams repaired after an upstream proxy failure.
+    pub repaired_streams: u64,
+}
+
+/// A point of presence.
+pub struct Pop {
+    id: u32,
+    /// Available upstream proxies.
+    proxies: Vec<u32>,
+    /// device → proxy currently carrying its streams.
+    device_proxy: HashMap<u64, u32>,
+    /// device → heartbeat monitor (fast last-mile failure detection).
+    heartbeats: HashMap<u64, HeartbeatMonitor>,
+    table: ProxyStreamTable,
+    counters: PopCounters,
+}
+
+impl Pop {
+    /// Creates a POP with the given upstream proxies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxies` is empty.
+    pub fn new(id: u32, proxies: Vec<u32>) -> Self {
+        assert!(!proxies.is_empty(), "POP needs at least one proxy");
+        Pop {
+            id,
+            proxies,
+            device_proxy: HashMap::new(),
+            heartbeats: HashMap::new(),
+            table: ProxyStreamTable::new(),
+            counters: PopCounters::default(),
+        }
+    }
+
+    /// This POP's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Counters.
+    pub fn counters(&self) -> &PopCounters {
+        &self.counters
+    }
+
+    /// Devices currently connected through this POP.
+    pub fn connected_devices(&self) -> usize {
+        self.device_proxy.len()
+    }
+
+    /// Streams tracked by this POP.
+    pub fn stream_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn proxy_for(&mut self, device: u64) -> u32 {
+        if let Some(&p) = self.device_proxy.get(&device) {
+            if self.proxies.contains(&p) {
+                return p;
+            }
+        }
+        // Stable assignment by device id.
+        let p = self.proxies[(device % self.proxies.len() as u64) as usize];
+        self.device_proxy.insert(device, p);
+        p
+    }
+
+    /// Handles a frame from a connected device.
+    pub fn on_device_frame(&mut self, device: u64, frame: Frame, now_us: u64) -> Vec<PopEffect> {
+        // Any device traffic proves liveness; pongs specifically do.
+        let hb = self
+            .heartbeats
+            .entry(device)
+            .or_insert_with(|| HeartbeatMonitor::new(HEARTBEAT_INTERVAL_US, HEARTBEAT_MISSES));
+        match &frame {
+            Frame::Pong { token } => {
+                hb.on_pong(*token);
+                return Vec::new(); // Pongs terminate at the POP.
+            }
+            _ => hb.on_activity(),
+        }
+        let proxy = self.proxy_for(device);
+        match &frame {
+            Frame::Subscribe { sid, header, body } => {
+                self.table.on_subscribe(
+                    device,
+                    *sid,
+                    header.clone(),
+                    body.clone(),
+                    Some(proxy as u64),
+                    now_us,
+                );
+            }
+            Frame::Cancel { sid } => {
+                self.table.on_cancel(device, *sid);
+            }
+            _ => {}
+        }
+        vec![PopEffect::ToProxy {
+            proxy,
+            device,
+            frame,
+        }]
+    }
+
+    /// Handles a frame from an upstream proxy: updates stored stream state
+    /// and relays it to the device.
+    pub fn on_proxy_frame(&mut self, device: u64, frame: Frame, now_us: u64) -> Vec<PopEffect> {
+        if let Frame::Response { sid, batch } = &frame {
+            self.table.on_response(device, *sid, batch, now_us);
+        }
+        vec![PopEffect::ToDevice { device, frame }]
+    }
+
+    /// Handles a detected device disconnect: stream state is dropped and
+    /// upstream parties are informed (axiom 1).
+    pub fn on_device_disconnected(&mut self, device: u64) -> Vec<PopEffect> {
+        self.counters.device_drops += 1;
+        self.table.on_connection_closed(device);
+        self.heartbeats.remove(&device);
+        match self.device_proxy.remove(&device) {
+            Some(proxy) => vec![PopEffect::DeviceGone { proxy, device }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Runs the heartbeat loop: emits due pings and converts silent devices
+    /// into full disconnect handling — detecting dead last-mile links in
+    /// seconds instead of waiting out a TCP timeout (§4 footnote 11).
+    pub fn on_heartbeat_tick(&mut self, now_us: u64) -> Vec<PopEffect> {
+        let mut out = Vec::new();
+        let mut dead = Vec::new();
+        for (&device, hb) in &mut self.heartbeats {
+            if let Some(ping) = hb.on_tick(now_us) {
+                out.push(PopEffect::ToDevice {
+                    device,
+                    frame: ping,
+                });
+            }
+            if hb.health() == PeerHealth::Failed {
+                dead.push(device);
+            }
+        }
+        dead.sort_unstable();
+        for device in dead {
+            out.extend(self.on_device_disconnected(device));
+        }
+        out
+    }
+
+    /// Removes a failed proxy and repairs every affected stream onto an
+    /// alternate proxy from stored state (axiom 2), signalling affected
+    /// devices along the way (axiom 1).
+    pub fn on_proxy_failed(&mut self, proxy: u32) -> Vec<PopEffect> {
+        self.proxies.retain(|&p| p != proxy);
+        let affected = self.table.streams_via(proxy as u64);
+        let mut out = Vec::new();
+        for (device, sid) in affected {
+            out.push(PopEffect::ToDevice {
+                device,
+                frame: Frame::Response {
+                    sid,
+                    batch: vec![Delta::FlowStatus(FlowStatus::Degraded)],
+                },
+            });
+            if self.proxies.is_empty() {
+                continue;
+            }
+            let new_proxy = self.proxies[(device % self.proxies.len() as u64) as usize];
+            self.device_proxy.insert(device, new_proxy);
+            if let Some(frame) = self.table.rebuild_subscribe(device, sid, new_proxy as u64) {
+                self.counters.repaired_streams += 1;
+                out.push(PopEffect::ToProxy {
+                    proxy: new_proxy,
+                    device,
+                    frame,
+                });
+                out.push(PopEffect::ToDevice {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-adds a recovered proxy to the pool.
+    pub fn add_proxy(&mut self, proxy: u32) {
+        if !self.proxies.contains(&proxy) {
+            self.proxies.push(proxy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst::frame::StreamId;
+    use burst::json::Json;
+
+    fn header() -> Json {
+        Json::obj([
+            ("viewer", Json::from(1u64)),
+            ("app", Json::from("lvc")),
+            ("topic", Json::from("/LVC/5")),
+        ])
+    }
+
+    fn sub(sid: u64) -> Frame {
+        Frame::Subscribe {
+            sid: StreamId(sid),
+            header: header(),
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn relays_device_frames_to_stable_proxy() {
+        let mut p = Pop::new(1, vec![100, 101]);
+        let fx1 = p.on_device_frame(7, sub(1), 0);
+        let fx2 = p.on_device_frame(7, sub(2), 0);
+        let proxy_of = |fx: &[PopEffect]| match &fx[0] {
+            PopEffect::ToProxy { proxy, .. } => *proxy,
+            other => panic!("expected ToProxy, got {other:?}"),
+        };
+        assert_eq!(proxy_of(&fx1), proxy_of(&fx2), "same device, same proxy");
+        assert_eq!(p.stream_count(), 2);
+        assert_eq!(p.connected_devices(), 1);
+    }
+
+    #[test]
+    fn relays_responses_to_device() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(7, sub(1), 0);
+        let frame = Frame::Response {
+            sid: StreamId(1),
+            batch: vec![Delta::update(0, b"x".to_vec())],
+        };
+        let fx = p.on_proxy_frame(7, frame.clone(), 1);
+        assert_eq!(fx, vec![PopEffect::ToDevice { device: 7, frame }]);
+    }
+
+    #[test]
+    fn device_disconnect_informs_upstream_and_drops_state() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(7, sub(1), 0);
+        p.on_device_frame(7, sub(2), 0);
+        let fx = p.on_device_disconnected(7);
+        assert_eq!(fx, vec![PopEffect::DeviceGone { proxy: 100, device: 7 }]);
+        assert_eq!(p.stream_count(), 0);
+        assert_eq!(p.counters().device_drops, 1);
+    }
+
+    #[test]
+    fn heartbeats_detect_silent_devices() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(7, sub(1), 0);
+        // The device answers the first ping, then goes silent.
+        let fx = p.on_heartbeat_tick(5_000_000);
+        let token = fx
+            .iter()
+            .find_map(|e| match e {
+                PopEffect::ToDevice { frame: Frame::Ping { token }, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("ping emitted");
+        p.on_device_frame(7, Frame::Pong { token }, 5_100_000);
+        // Silence across the next four intervals crosses the threshold.
+        let mut gone = false;
+        for i in 2..=6u64 {
+            let fx = p.on_heartbeat_tick(i * 5_000_000);
+            gone |= fx
+                .iter()
+                .any(|e| matches!(e, PopEffect::DeviceGone { device: 7, .. }));
+        }
+        assert!(gone, "silent device declared disconnected");
+        assert_eq!(p.stream_count(), 0, "its stream state was dropped");
+        assert_eq!(p.counters().device_drops, 1);
+    }
+
+    #[test]
+    fn active_devices_survive_heartbeat_ticks() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(7, sub(1), 0);
+        for i in 1..=10u64 {
+            p.on_heartbeat_tick(i * 5_000_000);
+            // The device keeps sending real traffic; no pongs needed.
+            p.on_device_frame(7, Frame::Ack { sid: StreamId(1), seq: i }, i * 5_000_000 + 1);
+        }
+        assert_eq!(p.connected_devices(), 1);
+        assert_eq!(p.counters().device_drops, 0);
+    }
+
+    #[test]
+    fn proxy_failure_repairs_streams() {
+        let mut p = Pop::new(1, vec![100, 101]);
+        // Device 200 maps to proxy 100 (200 % 2 == 0).
+        p.on_device_frame(200, sub(1), 0);
+        let fx = p.on_proxy_failed(100);
+        assert_eq!(fx.len(), 3);
+        assert!(matches!(
+            &fx[0],
+            PopEffect::ToDevice { frame: Frame::Response { batch, .. }, .. }
+            if batch == &vec![Delta::FlowStatus(FlowStatus::Degraded)]
+        ));
+        assert!(matches!(
+            &fx[1],
+            PopEffect::ToProxy { proxy: 101, frame: Frame::Subscribe { .. }, .. }
+        ));
+        assert!(matches!(
+            &fx[2],
+            PopEffect::ToDevice { frame: Frame::Response { batch, .. }, .. }
+            if batch == &vec![Delta::FlowStatus(FlowStatus::Recovered)]
+        ));
+        assert_eq!(p.counters().repaired_streams, 1);
+        // Future frames from the device go to the new proxy.
+        let fx = p.on_device_frame(200, sub(2), 10);
+        assert!(matches!(fx[0], PopEffect::ToProxy { proxy: 101, .. }));
+    }
+
+    #[test]
+    fn proxy_failure_with_no_alternative_degrades_only() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(200, sub(1), 0);
+        let fx = p.on_proxy_failed(100);
+        assert_eq!(fx.len(), 1);
+        assert_eq!(p.counters().repaired_streams, 0);
+    }
+
+    #[test]
+    fn rewrite_observed_before_repair_is_used() {
+        let mut p = Pop::new(1, vec![100, 101]);
+        p.on_device_frame(200, sub(1), 0);
+        p.on_proxy_frame(
+            200,
+            Frame::Response {
+                sid: StreamId(1),
+                batch: vec![Delta::RewriteRequest {
+                    patch: Json::obj([("brass_host", Json::from(55u64))]),
+                }],
+            },
+            5,
+        );
+        let fx = p.on_proxy_failed(100);
+        let resub_header = fx.iter().find_map(|e| match e {
+            PopEffect::ToProxy { frame: Frame::Subscribe { header, .. }, .. } => Some(header.clone()),
+            _ => None,
+        });
+        assert_eq!(
+            resub_header.unwrap().get("brass_host").and_then(Json::as_u64),
+            Some(55),
+            "POP repair carries the rewritten sticky-routing state"
+        );
+    }
+}

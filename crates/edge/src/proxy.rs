@@ -1,0 +1,542 @@
+//! The reverse proxy at the datacenter edge.
+//!
+//! "Proxies determine which BRASS host to route device subscription
+//! requests to. This routing is based on load, topic, or a combination of
+//! both" (§3.2) — with sticky routing taking precedence when a header
+//! carries a `brass_host` field patched in by a previous BRASS (§3.5).
+//!
+//! Proxies are first-class protocol participants: they keep a copy of each
+//! stream's (rewritten) header and body so that when a BRASS host fails or
+//! drains, the proxy — as "the component downstream from a failure that is
+//! closest to the failure" (axiom 2) — re-establishes every affected stream
+//! itself, while signalling the degradation and recovery to the devices
+//! (axiom 1).
+
+use std::collections::HashMap;
+
+use burst::frame::{Delta, FlowStatus, Frame, StreamId};
+use burst::json::Json;
+use burst::stream::ProxyStreamTable;
+
+/// How the proxy picks a BRASS host for a fresh (non-sticky) subscribe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// Hash the topic onto a host: curtails Pylon subscription counts for
+    /// low-fanout applications (all streams of a topic share a host).
+    ByTopic,
+    /// Route to the least-loaded host: spreads high-fanout applications.
+    ByLoad,
+}
+
+/// What the proxy asks its environment to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProxyEffect {
+    /// Forward a frame to a BRASS host.
+    ToBrass {
+        /// Target host.
+        host: u32,
+        /// Originating device (BRASS needs it to address the stream).
+        device: u64,
+        /// The frame.
+        frame: Frame,
+    },
+    /// Forward a frame toward a device (via its POP).
+    ToDevice {
+        /// Target device.
+        device: u64,
+        /// The frame.
+        frame: Frame,
+    },
+}
+
+/// Proxy counters (Fig. 10 bottom: proxy-induced stream reconnects).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProxyCounters {
+    /// Streams re-established by this proxy after BRASS failures/drains.
+    pub induced_reconnects: u64,
+    /// Streams routed sticky (honouring `brass_host`).
+    pub sticky_routes: u64,
+    /// State entries garbage-collected.
+    pub gc_collected: u64,
+}
+
+/// A reverse proxy at the edge of a BRASS datacenter.
+pub struct ReverseProxy {
+    id: u32,
+    strategy: RouteStrategy,
+    hosts: Vec<u32>,
+    host_loads: HashMap<u32, u64>,
+    table: ProxyStreamTable,
+    counters: ProxyCounters,
+}
+
+impl ReverseProxy {
+    /// Creates a proxy in front of the given BRASS hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty.
+    pub fn new(id: u32, strategy: RouteStrategy, hosts: Vec<u32>) -> Self {
+        assert!(!hosts.is_empty(), "proxy needs at least one BRASS host");
+        ReverseProxy {
+            id,
+            strategy,
+            host_loads: hosts.iter().map(|&h| (h, 0)).collect(),
+            hosts,
+            table: ProxyStreamTable::new(),
+            counters: ProxyCounters::default(),
+        }
+    }
+
+    /// This proxy's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Streams currently tracked.
+    pub fn stream_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Counters.
+    pub fn counters(&self) -> &ProxyCounters {
+        &self.counters
+    }
+
+    /// Removes a failed host from the routing pool (until re-added).
+    pub fn remove_host(&mut self, host: u32) {
+        self.hosts.retain(|&h| h != host);
+        self.host_loads.remove(&host);
+    }
+
+    /// Adds a (possibly recovered) host to the routing pool and repairs any
+    /// orphaned streams (streams whose repair previously had no surviving
+    /// host to land on). Axiom 2: the closest downstream component repairs
+    /// once connectivity returns.
+    pub fn add_host(&mut self, host: u32) -> Vec<ProxyEffect> {
+        if !self.hosts.contains(&host) {
+            self.hosts.push(host);
+            self.host_loads.insert(host, 0);
+        }
+        let live: Vec<u64> = self.hosts.iter().map(|&h| h as u64).collect();
+        let orphans = self.table.streams_not_via(&live);
+        let mut out = Vec::new();
+        for (device, sid) in orphans {
+            *self.host_loads.entry(host).or_insert(0) += 1;
+            if let Some(frame) = self.table.rebuild_subscribe(device, sid, host as u64) {
+                self.counters.induced_reconnects += 1;
+                out.push(ProxyEffect::ToBrass {
+                    host,
+                    device,
+                    frame,
+                });
+                out.push(ProxyEffect::ToDevice {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    fn pick_host(&self, header: &Json) -> u32 {
+        // Sticky routing first: a header-carried brass_host wins if alive.
+        if let Some(h) = header.get("brass_host").and_then(Json::as_u64) {
+            let h = h as u32;
+            if self.hosts.contains(&h) {
+                return h;
+            }
+        }
+        match self.strategy {
+            RouteStrategy::ByTopic => {
+                let topic = header.get("topic").and_then(Json::as_str).unwrap_or("");
+                let gql = header.get("gql").and_then(Json::as_str).unwrap_or("");
+                let key = if topic.is_empty() { gql } else { topic };
+                let h = pylon::hash::hash_key(key.as_bytes());
+                self.hosts[(h % self.hosts.len() as u64) as usize]
+            }
+            RouteStrategy::ByLoad => *self
+                .hosts
+                .iter()
+                .min_by_key(|h| (self.host_loads.get(h).copied().unwrap_or(0), **h))
+                .expect("hosts is non-empty"),
+        }
+    }
+
+    /// Handles a frame arriving from a POP (device side).
+    pub fn on_downstream_frame(
+        &mut self,
+        device: u64,
+        frame: Frame,
+        now_us: u64,
+    ) -> Vec<ProxyEffect> {
+        match &frame {
+            Frame::Subscribe { sid, header, body } => {
+                let host = self.pick_host(header);
+                if header
+                    .get("brass_host")
+                    .and_then(Json::as_u64)
+                    .is_some_and(|h| h as u32 == host)
+                {
+                    self.counters.sticky_routes += 1;
+                }
+                *self.host_loads.entry(host).or_insert(0) += 1;
+                self.table.on_subscribe(
+                    device,
+                    *sid,
+                    header.clone(),
+                    body.clone(),
+                    Some(host as u64),
+                    now_us,
+                );
+                vec![ProxyEffect::ToBrass {
+                    host,
+                    device,
+                    frame,
+                }]
+            }
+            Frame::Cancel { sid } => {
+                let host = self
+                    .table
+                    .get(device, *sid)
+                    .and_then(|e| e.upstream)
+                    .map(|h| h as u32);
+                self.table.on_cancel(device, *sid);
+                match host {
+                    Some(host) => vec![ProxyEffect::ToBrass {
+                        host,
+                        device,
+                        frame,
+                    }],
+                    None => Vec::new(),
+                }
+            }
+            Frame::Ack { sid, .. } => {
+                let host = self
+                    .table
+                    .get(device, *sid)
+                    .and_then(|e| e.upstream)
+                    .map(|h| h as u32);
+                match host {
+                    Some(host) => vec![ProxyEffect::ToBrass {
+                        host,
+                        device,
+                        frame,
+                    }],
+                    None => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a frame arriving from a BRASS host (server side): updates
+    /// stored stream state (rewrites, terminations) and forwards it down.
+    pub fn on_upstream_frame(&mut self, device: u64, frame: Frame, now_us: u64) -> Vec<ProxyEffect> {
+        if let Frame::Response { sid, batch } = &frame {
+            self.table.on_response(device, *sid, batch, now_us);
+        }
+        vec![ProxyEffect::ToDevice { device, frame }]
+    }
+
+    /// Handles a detected BRASS host failure (axioms 1 and 2): every
+    /// affected stream is signalled degraded to its device, re-routed to an
+    /// alternate host from stored state, and signalled recovered.
+    pub fn on_brass_host_failed(&mut self, host: u32, now_us: u64) -> Vec<ProxyEffect> {
+        self.remove_host(host);
+        let affected = self.table.streams_via(host as u64);
+        let mut out = Vec::new();
+        for (device, sid) in affected {
+            // Axiom 1: inform the downstream endpoint.
+            out.push(ProxyEffect::ToDevice {
+                device,
+                frame: Frame::Response {
+                    sid,
+                    batch: vec![Delta::FlowStatus(FlowStatus::Degraded)],
+                },
+            });
+            if self.hosts.is_empty() {
+                // Nothing to repair onto; the stream is orphaned until a
+                // host returns (see [`add_host`](Self::add_host)).
+                self.table.clear_upstream(device, sid);
+                continue;
+            }
+            // Axiom 2: this proxy is the closest downstream component, so
+            // it repairs the stream itself from stored state.
+            let entry_header = self
+                .table
+                .get(device, sid)
+                .map(|e| e.header.clone())
+                .expect("streams_via returned a live entry");
+            let new_host = {
+                // Ignore the stale sticky hint pointing at the dead host.
+                let mut h = entry_header.clone();
+                if h.get("brass_host")
+                    .and_then(Json::as_u64)
+                    .is_some_and(|x| x as u32 == host)
+                {
+                    h.remove("brass_host");
+                }
+                self.pick_host(&h)
+            };
+            *self.host_loads.entry(new_host).or_insert(0) += 1;
+            if let Some(frame) = self.table.rebuild_subscribe(device, sid, new_host as u64) {
+                self.counters.induced_reconnects += 1;
+                out.push(ProxyEffect::ToBrass {
+                    host: new_host,
+                    device,
+                    frame,
+                });
+                out.push(ProxyEffect::ToDevice {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+                    },
+                });
+            }
+        }
+        let _ = now_us;
+        out
+    }
+
+    /// Handles a device connection closing at the POP: all of its stream
+    /// state is dropped, and the owning BRASSes are informed via cancels
+    /// (axiom 1 upstream direction).
+    pub fn on_device_disconnected(&mut self, device: u64) -> Vec<ProxyEffect> {
+        let mut out = Vec::new();
+        // Collect (sid, host) pairs before mutating the table.
+        let pairs: Vec<(StreamId, Option<u64>)> = {
+            let mut v = Vec::new();
+            for host in self.host_set() {
+                for (d, sid) in self.table.streams_via(host as u64) {
+                    if d == device {
+                        v.push((sid, Some(host as u64)));
+                    }
+                }
+            }
+            v
+        };
+        for (sid, host) in pairs {
+            if let Some(host) = host {
+                out.push(ProxyEffect::ToBrass {
+                    host: host as u32,
+                    device,
+                    frame: Frame::Cancel { sid },
+                });
+            }
+        }
+        let dropped = self.table.on_connection_closed(device);
+        self.counters.gc_collected += dropped.len() as u64;
+        out
+    }
+
+    /// Garbage-collects idle stream state (§3.5).
+    pub fn gc(&mut self, cutoff_us: u64) -> usize {
+        let n = self.table.gc(cutoff_us);
+        self.counters.gc_collected += n as u64;
+        n
+    }
+
+    fn host_set(&self) -> Vec<u32> {
+        self.hosts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub_frame(sid: u64, header: Json) -> Frame {
+        Frame::Subscribe {
+            sid: StreamId(sid),
+            header,
+            body: vec![],
+        }
+    }
+
+    fn header(topic: &str) -> Json {
+        Json::obj([
+            ("viewer", Json::from(1u64)),
+            ("app", Json::from("lvc")),
+            ("topic", Json::from(topic)),
+        ])
+    }
+
+    #[test]
+    fn by_topic_routing_is_consistent() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByTopic, vec![10, 11, 12]);
+        let fx1 = p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        let fx2 = p.on_downstream_frame(2, sub_frame(1, header("/LVC/5")), 0);
+        let host_of = |fx: &[ProxyEffect]| match &fx[0] {
+            ProxyEffect::ToBrass { host, .. } => *host,
+            other => panic!("expected ToBrass, got {other:?}"),
+        };
+        assert_eq!(host_of(&fx1), host_of(&fx2), "same topic, same host");
+    }
+
+    #[test]
+    fn by_load_routing_balances() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]);
+        let mut hosts = Vec::new();
+        for d in 0..4 {
+            let fx = p.on_downstream_frame(d, sub_frame(1, header("/LVC/5")), 0);
+            if let ProxyEffect::ToBrass { host, .. } = fx[0] {
+                hosts.push(host);
+            }
+        }
+        assert_eq!(hosts, vec![10, 11, 10, 11]);
+    }
+
+    #[test]
+    fn sticky_header_wins_over_strategy() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11, 12]);
+        let mut h = header("/LVC/5");
+        h.set("brass_host", Json::from(12u64));
+        let fx = p.on_downstream_frame(1, sub_frame(1, h), 0);
+        assert!(matches!(fx[0], ProxyEffect::ToBrass { host: 12, .. }));
+        assert_eq!(p.counters().sticky_routes, 1);
+    }
+
+    #[test]
+    fn sticky_to_dead_host_falls_back() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]);
+        let mut h = header("/LVC/5");
+        h.set("brass_host", Json::from(99u64)); // not in the pool
+        let fx = p.on_downstream_frame(1, sub_frame(1, h), 0);
+        match fx[0] {
+            ProxyEffect::ToBrass { host, .. } => assert!(host == 10 || host == 11),
+            ref other => panic!("expected ToBrass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brass_failure_repairs_streams_and_signals_device() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0); // → 10
+        p.on_downstream_frame(2, sub_frame(1, header("/LVC/6")), 0); // → 11
+        let fx = p.on_brass_host_failed(10, 100);
+        // Degraded → resubscribe to 11 → recovered, for device 1 only.
+        assert_eq!(fx.len(), 3);
+        assert!(matches!(
+            &fx[0],
+            ProxyEffect::ToDevice { device: 1, frame: Frame::Response { batch, .. } }
+            if batch == &vec![Delta::FlowStatus(FlowStatus::Degraded)]
+        ));
+        assert!(matches!(
+            &fx[1],
+            ProxyEffect::ToBrass { host: 11, device: 1, frame: Frame::Subscribe { .. } }
+        ));
+        assert!(matches!(
+            &fx[2],
+            ProxyEffect::ToDevice { device: 1, frame: Frame::Response { batch, .. } }
+            if batch == &vec![Delta::FlowStatus(FlowStatus::Recovered)]
+        ));
+        assert_eq!(p.counters().induced_reconnects, 1);
+    }
+
+    #[test]
+    fn repair_uses_rewritten_header() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        // BRASS 10 rewrites resumption state into the header in flight.
+        p.on_upstream_frame(
+            1,
+            Frame::Response {
+                sid: StreamId(1),
+                batch: vec![Delta::RewriteRequest {
+                    patch: Json::obj([("last_seq", Json::from(41u64))]),
+                }],
+            },
+            10,
+        );
+        let fx = p.on_brass_host_failed(10, 100);
+        let resub = fx.iter().find_map(|e| match e {
+            ProxyEffect::ToBrass { frame: Frame::Subscribe { header, .. }, .. } => {
+                header.get("last_seq").and_then(Json::as_u64)
+            }
+            _ => None,
+        });
+        assert_eq!(resub, Some(41), "repair resumes from rewritten state");
+    }
+
+    #[test]
+    fn failure_with_no_alternates_leaves_devices_degraded() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        let fx = p.on_brass_host_failed(10, 100);
+        assert_eq!(fx.len(), 1, "only the degraded signal");
+        assert_eq!(p.counters().induced_reconnects, 0);
+    }
+
+    #[test]
+    fn host_return_repairs_orphaned_streams() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        // The only host dies: the stream is orphaned (degraded only).
+        let fx = p.on_brass_host_failed(10, 100);
+        assert_eq!(fx.len(), 1);
+        // The host returns: the orphan is repaired onto it.
+        let fx = p.add_host(10);
+        assert!(matches!(
+            &fx[0],
+            ProxyEffect::ToBrass { host: 10, device: 1, frame: Frame::Subscribe { .. } }
+        ));
+        assert!(matches!(
+            &fx[1],
+            ProxyEffect::ToDevice { frame: Frame::Response { batch, .. }, .. }
+            if batch == &vec![Delta::FlowStatus(FlowStatus::Recovered)]
+        ));
+        assert_eq!(p.counters().induced_reconnects, 1);
+    }
+
+    #[test]
+    fn terminate_clears_stream_state() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        assert_eq!(p.stream_count(), 1);
+        p.on_upstream_frame(
+            1,
+            Frame::Response {
+                sid: StreamId(1),
+                batch: vec![Delta::Terminate(burst::frame::TerminateReason::Cancelled)],
+            },
+            10,
+        );
+        assert_eq!(p.stream_count(), 0);
+    }
+
+    #[test]
+    fn device_disconnect_cancels_upstream_and_gcs() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        p.on_downstream_frame(1, sub_frame(2, header("/LVC/6")), 0);
+        p.on_downstream_frame(2, sub_frame(1, header("/LVC/7")), 0);
+        let fx = p.on_device_disconnected(1);
+        let cancels = fx
+            .iter()
+            .filter(|e| matches!(e, ProxyEffect::ToBrass { frame: Frame::Cancel { .. }, .. }))
+            .count();
+        assert_eq!(cancels, 2);
+        assert_eq!(p.stream_count(), 1);
+    }
+
+    #[test]
+    fn gc_drops_idle_state() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        p.on_downstream_frame(2, sub_frame(1, header("/LVC/6")), 1_000);
+        assert_eq!(p.gc(500), 1);
+        assert_eq!(p.stream_count(), 1);
+    }
+
+    #[test]
+    fn cancel_for_unknown_stream_is_noop() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
+        let fx = p.on_downstream_frame(1, Frame::Cancel { sid: StreamId(9) }, 0);
+        assert!(fx.is_empty());
+    }
+}

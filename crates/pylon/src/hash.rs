@@ -1,0 +1,152 @@
+//! Rendezvous (highest-random-weight) hashing.
+//!
+//! "Rendezvous hashing on the topic is used to identify the KV stores used
+//! to maintain the subscriber information" (§3.1). HRW gives two properties
+//! Pylon needs: every client computes the same replica set with no shared
+//! state, and removing a node only remaps the keys that lived on that node
+//! (minimal disruption — verified by a property test below).
+
+/// 64-bit mix of a key and a node id (SplitMix64 finalizer over the XOR).
+fn weight(key_hash: u64, node: u64) -> u64 {
+    let mut z = key_hash ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte string, used to hash topic names.
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Ranks `nodes` for `key_hash` by descending rendezvous weight and returns
+/// the top `count` node ids.
+///
+/// Ties (astronomically unlikely with a 64-bit mix) break toward the lower
+/// node id so the result is fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use pylon::hash::{hash_key, top_n};
+///
+/// let nodes: Vec<u64> = (0..10).collect();
+/// let replicas = top_n(hash_key(b"/LVC/42"), &nodes, 3);
+/// assert_eq!(replicas.len(), 3);
+/// // Deterministic: same inputs, same replicas.
+/// assert_eq!(replicas, top_n(hash_key(b"/LVC/42"), &nodes, 3));
+/// ```
+pub fn top_n(key_hash: u64, nodes: &[u64], count: usize) -> Vec<u64> {
+    let mut ranked: Vec<(u64, u64)> = nodes.iter().map(|&n| (weight(key_hash, n), n)).collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.into_iter().take(count).map(|(_, n)| n).collect()
+}
+
+/// Returns the single highest-weight node for `key_hash`.
+///
+/// Returns `None` if `nodes` is empty.
+pub fn owner(key_hash: u64, nodes: &[u64]) -> Option<u64> {
+    nodes
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            weight(key_hash, a)
+                .cmp(&weight(key_hash, b))
+                .then(b.cmp(&a))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        let nodes: Vec<u64> = (0..20).collect();
+        let a = top_n(hash_key(b"/LVC/1"), &nodes, 3);
+        let b = top_n(hash_key(b"/LVC/1"), &nodes, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_replicas() {
+        let nodes: Vec<u64> = (0..20).collect();
+        let r = top_n(hash_key(b"/LVC/1"), &nodes, 5);
+        let mut d = r.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn count_larger_than_nodes_returns_all() {
+        let nodes: Vec<u64> = vec![1, 2, 3];
+        let r = top_n(hash_key(b"x"), &nodes, 10);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn owner_matches_top_one() {
+        let nodes: Vec<u64> = (0..50).collect();
+        for key in ["/a", "/b/c", "/Status/99"] {
+            let h = hash_key(key.as_bytes());
+            assert_eq!(owner(h, &nodes), Some(top_n(h, &nodes, 1)[0]));
+        }
+        assert_eq!(owner(1, &[]), None);
+    }
+
+    #[test]
+    fn load_is_balanced() {
+        let nodes: Vec<u64> = (0..10).collect();
+        let mut counts = vec![0u32; 10];
+        for i in 0..100_000u64 {
+            let key = format!("/LVC/{i}");
+            let o = owner(hash_key(key.as_bytes()), &nodes).unwrap();
+            counts[o as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 per node; allow 10% skew.
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    proptest! {
+        /// Removing one node only remaps keys whose replica set contained
+        /// that node — HRW's minimal-disruption property.
+        #[test]
+        fn minimal_disruption(keys in proptest::collection::vec("[a-z]{1,12}", 1..50),
+                              removed in 0u64..10) {
+            let nodes: Vec<u64> = (0..10).collect();
+            let reduced: Vec<u64> = nodes.iter().copied().filter(|&n| n != removed).collect();
+            for key in &keys {
+                let h = hash_key(key.as_bytes());
+                let before = top_n(h, &nodes, 3);
+                let after = top_n(h, &reduced, 3);
+                if !before.contains(&removed) {
+                    prop_assert_eq!(before, after);
+                } else {
+                    // Survivors keep their relative order.
+                    let survivors: Vec<u64> =
+                        before.iter().copied().filter(|&n| n != removed).collect();
+                    prop_assert_eq!(&after[..survivors.len()], &survivors[..]);
+                }
+            }
+        }
+
+        /// Every ranked output is one of the input nodes.
+        #[test]
+        fn outputs_are_members(key in "[ -~]{0,32}", count in 1usize..8) {
+            let nodes: Vec<u64> = (0..12).map(|i| i * 7 + 3).collect();
+            let r = top_n(hash_key(key.as_bytes()), &nodes, count);
+            for n in r {
+                prop_assert!(nodes.contains(&n));
+            }
+        }
+    }
+}

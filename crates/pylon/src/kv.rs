@@ -1,0 +1,222 @@
+//! The replicated subscriber KV store.
+//!
+//! Each topic's subscriber list lives on a replica set of KV nodes chosen by
+//! rendezvous hashing. Entries are versioned and deletions are tombstoned so
+//! that replicas can be compared and **patched toward eventual consistency**
+//! when a publish observes them disagreeing (§3.1: "If Pylon identifies
+//! inconsistencies in the subscriber information received from the replicas,
+//! it performs patch operations based on a quorum of responses").
+
+use std::collections::HashMap;
+
+use crate::cluster::HostId;
+use crate::topic::Topic;
+
+/// A versioned subscriber entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubEntry {
+    /// Monotonic version assigned by the cluster front end (Lamport-style).
+    pub version: u64,
+    /// `true` if this entry records an unsubscribe.
+    pub tombstone: bool,
+}
+
+/// One replica of the subscriber store.
+#[derive(Default)]
+pub struct KvNode {
+    /// Whether the node is reachable. Down nodes neither serve reads nor
+    /// accept writes; they keep (possibly stale) state for when they return.
+    pub up: bool,
+    store: HashMap<Topic, HashMap<HostId, SubEntry>>,
+    writes: u64,
+    reads: u64,
+}
+
+impl KvNode {
+    /// Creates a live, empty node.
+    pub fn new() -> Self {
+        KvNode {
+            up: true,
+            ..Default::default()
+        }
+    }
+
+    /// Applies a subscriber write (newer versions win; equal versions are
+    /// idempotent).
+    pub fn write(&mut self, topic: &Topic, host: HostId, entry: SubEntry) {
+        debug_assert!(self.up, "caller must not write to a down node");
+        self.writes += 1;
+        let subs = self.store.entry(topic.clone()).or_default();
+        match subs.get(&host) {
+            Some(existing) if existing.version >= entry.version => {}
+            _ => {
+                subs.insert(host, entry);
+            }
+        }
+    }
+
+    /// Reads the live (non-tombstoned) subscribers of a topic.
+    pub fn read(&mut self, topic: &Topic) -> Vec<HostId> {
+        debug_assert!(self.up, "caller must not read from a down node");
+        self.reads += 1;
+        let mut hosts: Vec<HostId> = self
+            .store
+            .get(topic)
+            .map(|subs| {
+                subs.iter()
+                    .filter(|(_, e)| !e.tombstone)
+                    .map(|(h, _)| *h)
+                    .collect()
+            })
+            .unwrap_or_default();
+        hosts.sort_unstable();
+        hosts
+    }
+
+    /// Reads the full versioned entry map for a topic (for repair).
+    pub fn read_entries(&self, topic: &Topic) -> HashMap<HostId, SubEntry> {
+        self.store.get(topic).cloned().unwrap_or_default()
+    }
+
+    /// Merges `entries` into this node's state (newest version wins).
+    pub fn patch(&mut self, topic: &Topic, entries: &HashMap<HostId, SubEntry>) {
+        let subs = self.store.entry(topic.clone()).or_default();
+        for (host, entry) in entries {
+            match subs.get(host) {
+                Some(existing) if existing.version >= entry.version => {}
+                _ => {
+                    subs.insert(*host, *entry);
+                }
+            }
+        }
+    }
+
+    /// Removes all entries for hosts matching `pred` across all topics.
+    ///
+    /// Used when Pylon detects a BRASS host failure and "removes all
+    /// subscriptions from that host" (§4).
+    pub fn purge_host(&mut self, host: HostId, version: u64) {
+        for subs in self.store.values_mut() {
+            if let Some(e) = subs.get_mut(&host) {
+                if e.version < version {
+                    *e = SubEntry {
+                        version,
+                        tombstone: true,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of write operations applied.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of read operations served.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of topics with any (possibly tombstoned) state.
+    pub fn topic_count(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// Merges entry maps from several replicas, newest version winning per host.
+pub fn merge_entries(maps: &[HashMap<HostId, SubEntry>]) -> HashMap<HostId, SubEntry> {
+    let mut merged: HashMap<HostId, SubEntry> = HashMap::new();
+    for map in maps {
+        for (host, entry) in map {
+            match merged.get(host) {
+                Some(existing) if existing.version >= entry.version => {}
+                _ => {
+                    merged.insert(*host, *entry);
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic() -> Topic {
+        Topic::new("/t/1").unwrap()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut n = KvNode::new();
+        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        n.write(&topic(), HostId(2), SubEntry { version: 2, tombstone: false });
+        assert_eq!(n.read(&topic()), vec![HostId(1), HostId(2)]);
+    }
+
+    #[test]
+    fn tombstone_hides_subscriber() {
+        let mut n = KvNode::new();
+        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        n.write(&topic(), HostId(1), SubEntry { version: 2, tombstone: true });
+        assert!(n.read(&topic()).is_empty());
+    }
+
+    #[test]
+    fn stale_write_is_ignored() {
+        let mut n = KvNode::new();
+        n.write(&topic(), HostId(1), SubEntry { version: 5, tombstone: true });
+        n.write(&topic(), HostId(1), SubEntry { version: 3, tombstone: false });
+        assert!(n.read(&topic()).is_empty(), "older write must not resurrect");
+    }
+
+    #[test]
+    fn patch_merges_newest() {
+        let mut a = KvNode::new();
+        a.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        let mut incoming = HashMap::new();
+        incoming.insert(HostId(1), SubEntry { version: 2, tombstone: true });
+        incoming.insert(HostId(2), SubEntry { version: 1, tombstone: false });
+        a.patch(&topic(), &incoming);
+        assert_eq!(a.read(&topic()), vec![HostId(2)]);
+    }
+
+    #[test]
+    fn merge_entries_takes_max_version() {
+        let mut m1 = HashMap::new();
+        m1.insert(HostId(1), SubEntry { version: 1, tombstone: false });
+        m1.insert(HostId(2), SubEntry { version: 3, tombstone: true });
+        let mut m2 = HashMap::new();
+        m2.insert(HostId(1), SubEntry { version: 2, tombstone: true });
+        m2.insert(HostId(2), SubEntry { version: 1, tombstone: false });
+        let merged = merge_entries(&[m1, m2]);
+        assert_eq!(merged[&HostId(1)], SubEntry { version: 2, tombstone: true });
+        assert_eq!(merged[&HostId(2)], SubEntry { version: 3, tombstone: true });
+    }
+
+    #[test]
+    fn purge_host_tombstones_everywhere() {
+        let mut n = KvNode::new();
+        let t1 = Topic::new("/a/1").unwrap();
+        let t2 = Topic::new("/a/2").unwrap();
+        n.write(&t1, HostId(1), SubEntry { version: 1, tombstone: false });
+        n.write(&t2, HostId(1), SubEntry { version: 1, tombstone: false });
+        n.write(&t2, HostId(2), SubEntry { version: 1, tombstone: false });
+        n.purge_host(HostId(1), 10);
+        assert!(n.read(&t1).is_empty());
+        assert_eq!(n.read(&t2), vec![HostId(2)]);
+    }
+
+    #[test]
+    fn counters() {
+        let mut n = KvNode::new();
+        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        n.read(&topic());
+        n.read(&topic());
+        assert_eq!(n.write_count(), 1);
+        assert_eq!(n.read_count(), 2);
+        assert_eq!(n.topic_count(), 1);
+    }
+}

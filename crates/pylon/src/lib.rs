@@ -1,0 +1,39 @@
+//! Pylon: Bladerunner's deliberately simple topic pub/sub system.
+//!
+//! Pylon (§3.1 of the paper) has exactly two jobs: track which BRASS hosts
+//! subscribe to which topics, and stream every published update event to
+//! those hosts with low latency. It is content-agnostic and offers **no
+//! delivery guarantees** — the paper's "notable insight" is the CAP split:
+//!
+//! * subscription state is **CP**: stored in a replicated in-memory KV
+//!   (rendezvous-hashed per topic, one local + remote replicas) with quorum
+//!   writes, so a partition makes subscribing fail rather than silently
+//!   diverge;
+//! * delivery is **AP**: a publish is fanned out as soon as the *first*
+//!   replica responds with a subscriber list, with stragglers patched in
+//!   afterwards, and inconsistencies repaired toward eventual consistency.
+//!
+//! This crate implements that design concretely: hierarchical [`Topic`]s,
+//! highest-random-weight [`hash`] replica selection over the subscriber KV
+//! nodes, a versioned/tombstoned [`kv`] store with quorum read-repair, and
+//! the [`PylonCluster`] front end with 512K-shard topic partitioning.
+//!
+//! # Examples
+//!
+//! ```
+//! use pylon::{HostId, PylonCluster, PylonConfig, Topic};
+//!
+//! let mut pylon = PylonCluster::new(PylonConfig::small());
+//! let topic = Topic::live_video_comments(42);
+//! pylon.subscribe(&topic, HostId(7)).expect("quorum up");
+//! let outcome = pylon.publish(&topic, 1001);
+//! assert_eq!(outcome.fast_forwards, vec![HostId(7)]);
+//! ```
+
+pub mod cluster;
+pub mod hash;
+pub mod kv;
+pub mod topic;
+
+pub use cluster::{HostId, PublishOutcome, PylonCluster, PylonConfig, SubscribeError};
+pub use topic::Topic;

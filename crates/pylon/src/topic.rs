@@ -1,0 +1,169 @@
+//! Topics: hierarchical names for areas of the social graph.
+//!
+//! Topics "may be arbitrary strings, but in our domain are structured
+//! similarly to file names" (§3). Constructors are provided for the topic
+//! families the paper names: `/LVC/videoID`, `/LVC/videoID/uid`,
+//! `/TI/threadId/uid`, `/Status/uid`, and `/Stories/uid`.
+
+use std::fmt;
+
+/// A hierarchical pub/sub topic, e.g. `/LVC/42` or `/TI/7/1001`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topic(String);
+
+/// Error returned for malformed topic strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopicError {
+    /// The topic string was empty.
+    Empty,
+    /// The topic did not start with `/`.
+    MissingLeadingSlash,
+    /// A path segment was empty (`//` or trailing `/`).
+    EmptySegment,
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::Empty => write!(f, "topic is empty"),
+            TopicError::MissingLeadingSlash => write!(f, "topic must start with '/'"),
+            TopicError::EmptySegment => write!(f, "topic has an empty segment"),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+impl Topic {
+    /// Parses and validates a topic string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pylon::Topic;
+    ///
+    /// let t = Topic::new("/LVC/42").unwrap();
+    /// assert_eq!(t.segments().collect::<Vec<_>>(), vec!["LVC", "42"]);
+    /// assert!(Topic::new("LVC/42").is_err());
+    /// ```
+    pub fn new(s: &str) -> Result<Topic, TopicError> {
+        if s.is_empty() {
+            return Err(TopicError::Empty);
+        }
+        if !s.starts_with('/') {
+            return Err(TopicError::MissingLeadingSlash);
+        }
+        if s[1..].split('/').any(|seg| seg.is_empty()) {
+            return Err(TopicError::EmptySegment);
+        }
+        Ok(Topic(s.to_owned()))
+    }
+
+    /// The full topic string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the path segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0[1..].split('/')
+    }
+
+    /// The application family (first segment), e.g. `"LVC"`.
+    pub fn family(&self) -> &str {
+        self.segments().next().expect("validated topic is non-empty")
+    }
+
+    /// Topic carrying comments on a live video: `/LVC/videoID`.
+    pub fn live_video_comments(video_id: u64) -> Topic {
+        Topic(format!("/LVC/{video_id}"))
+    }
+
+    /// Per-poster overflow topic used by the hot-video strategy:
+    /// `/LVC/videoID/uid`.
+    pub fn live_video_comments_by(video_id: u64, uid: u64) -> Topic {
+        Topic(format!("/LVC/{video_id}/{uid}"))
+    }
+
+    /// Typing-indicator topic: `/TI/threadId/uid`.
+    pub fn typing_indicator(thread_id: u64, uid: u64) -> Topic {
+        Topic(format!("/TI/{thread_id}/{uid}"))
+    }
+
+    /// Online-status topic: `/Status/uid`.
+    pub fn active_status(uid: u64) -> Topic {
+        Topic(format!("/Status/{uid}"))
+    }
+
+    /// Stories container topic: `/Stories/uid`.
+    pub fn stories(uid: u64) -> Topic {
+        Topic(format!("/Stories/{uid}"))
+    }
+
+    /// Messenger mailbox topic: `/Msgr/uid`.
+    pub fn messenger_mailbox(uid: u64) -> Topic {
+        Topic(format!("/Msgr/{uid}"))
+    }
+
+    /// Website-notifications topic: `/Notif/uid`.
+    pub fn notifications(uid: u64) -> Topic {
+        Topic(format!("/Notif/{uid}"))
+    }
+}
+
+impl fmt::Debug for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_topics() {
+        for s in ["/a", "/LVC/42", "/TI/7/9", "/a/b/c/d"] {
+            assert!(Topic::new(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn invalid_topics() {
+        assert_eq!(Topic::new(""), Err(TopicError::Empty));
+        assert_eq!(Topic::new("a/b"), Err(TopicError::MissingLeadingSlash));
+        assert_eq!(Topic::new("/a//b"), Err(TopicError::EmptySegment));
+        assert_eq!(Topic::new("/a/"), Err(TopicError::EmptySegment));
+        assert_eq!(Topic::new("/"), Err(TopicError::EmptySegment));
+    }
+
+    #[test]
+    fn constructors_match_paper_shapes() {
+        assert_eq!(Topic::live_video_comments(42).as_str(), "/LVC/42");
+        assert_eq!(Topic::live_video_comments_by(42, 9).as_str(), "/LVC/42/9");
+        assert_eq!(Topic::typing_indicator(7, 9).as_str(), "/TI/7/9");
+        assert_eq!(Topic::active_status(9).as_str(), "/Status/9");
+        assert_eq!(Topic::stories(9).as_str(), "/Stories/9");
+        assert_eq!(Topic::messenger_mailbox(9).as_str(), "/Msgr/9");
+        assert_eq!(Topic::notifications(9).as_str(), "/Notif/9");
+    }
+
+    #[test]
+    fn family_and_segments() {
+        let t = Topic::typing_indicator(7, 9);
+        assert_eq!(t.family(), "TI");
+        assert_eq!(t.segments().collect::<Vec<_>>(), vec!["TI", "7", "9"]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TopicError::Empty.to_string().contains("empty"));
+        assert!(TopicError::MissingLeadingSlash.to_string().contains('/'));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: Pylon's replicated subscriber state converges under
+//! random node churn, and fan-out never misses a subscriber whose quorum
+//! write succeeded while any replica that saw it is reachable.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use pylon::{HostId, PylonCluster, PylonConfig, Topic};
+
+#[derive(Clone, Debug)]
+enum Churn {
+    Subscribe { topic: u64, host: u32 },
+    Unsubscribe { topic: u64, host: u32 },
+    NodeDown(u64),
+    NodeUp(u64),
+    Publish { topic: u64 },
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0u64..6, 0u32..8).prop_map(|(topic, host)| Churn::Subscribe { topic, host }),
+        (0u64..6, 0u32..8).prop_map(|(topic, host)| Churn::Unsubscribe { topic, host }),
+        (0u64..6).prop_map(Churn::NodeDown),
+        (0u64..6).prop_map(Churn::NodeUp),
+        (0u64..6).prop_map(|topic| Churn::Publish { topic }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After churn stops, all nodes come back, and one repair-triggering
+    /// publish runs per topic, fan-out matches the acknowledged
+    /// subscription state exactly.
+    #[test]
+    fn converges_after_churn(ops in proptest::collection::vec(arb_churn(), 1..80)) {
+        let mut pylon = PylonCluster::new(PylonConfig::small());
+        // Ground truth: subscriptions whose quorum write was ACKed.
+        let mut truth: HashSet<(u64, u32)> = HashSet::new();
+
+        for op in ops {
+            match op {
+                Churn::Subscribe { topic, host } => {
+                    if pylon.subscribe(&Topic::live_video_comments(topic), HostId(host)).is_ok() {
+                        truth.insert((topic, host));
+                    }
+                }
+                Churn::Unsubscribe { topic, host } => {
+                    if pylon.unsubscribe(&Topic::live_video_comments(topic), HostId(host)).is_ok() {
+                        truth.remove(&(topic, host));
+                    }
+                }
+                Churn::NodeDown(n) => pylon.node_down(n),
+                Churn::NodeUp(n) => pylon.node_up(n),
+                Churn::Publish { topic } => {
+                    // Best-effort: may be partial during churn; repairs run.
+                    let _ = pylon.publish(&Topic::live_video_comments(topic), 0);
+                }
+            }
+        }
+        // Recovery: all nodes return; repair by publishing twice per topic
+        // (the first publish patches stragglers, the second reads the
+        // converged state).
+        for n in 0..6 {
+            pylon.node_up(n);
+        }
+        for topic in 0..6u64 {
+            let t = Topic::live_video_comments(topic);
+            let _ = pylon.publish(&t, 1);
+            let out = pylon.publish(&t, 2);
+            let got: HashSet<u32> = out
+                .fast_forwards
+                .iter()
+                .chain(out.late_forwards.iter())
+                .map(|h| h.0)
+                .collect();
+            let expect: HashSet<u32> = truth
+                .iter()
+                .filter(|&&(t2, _)| t2 == topic)
+                .map(|&(_, h)| h)
+                .collect();
+            prop_assert_eq!(got, expect, "topic {} diverged", topic);
+        }
+    }
+
+    /// Fan-out equals the subscribed set when the cluster is healthy, for
+    /// arbitrary subscribe sequences (idempotency included).
+    #[test]
+    fn healthy_fanout_is_exact(subs in proptest::collection::vec((0u64..4, 0u32..16), 0..40)) {
+        let mut pylon = PylonCluster::new(PylonConfig::small());
+        let mut truth: HashSet<(u64, u32)> = HashSet::new();
+        for (topic, host) in subs {
+            pylon.subscribe(&Topic::live_video_comments(topic), HostId(host)).unwrap();
+            truth.insert((topic, host));
+        }
+        for topic in 0..4u64 {
+            let out = pylon.publish(&Topic::live_video_comments(topic), 9);
+            prop_assert!(out.late_forwards.is_empty(), "healthy cluster has no stragglers");
+            prop_assert!(!out.repaired, "healthy cluster needs no repair");
+            let got: HashSet<u32> = out.fast_forwards.iter().map(|h| h.0).collect();
+            let expect: HashSet<u32> = truth
+                .iter()
+                .filter(|&&(t, _)| t == topic)
+                .map(|&(_, h)| h)
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Rendezvous shard routing is stable: the same topic always lands on
+    /// the same server, and rebalanced shards stay where they were put.
+    #[test]
+    fn shard_routing_is_stable(topics in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let mut pylon = PylonCluster::new(PylonConfig::small());
+        for &t in &topics {
+            let topic = Topic::live_video_comments(t);
+            let shard = pylon.shard_of(&topic);
+            let server = pylon.server_of_shard(shard);
+            prop_assert_eq!(pylon.shard_of(&topic), shard);
+            prop_assert_eq!(pylon.server_of_shard(shard), server);
+            let target = (server + 1) % pylon.config().servers;
+            pylon.rebalance_shard(shard, target);
+            prop_assert_eq!(pylon.server_of_shard(shard), target);
+        }
+    }
+}

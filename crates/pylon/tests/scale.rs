@@ -1,0 +1,100 @@
+//! Scale-shape tests for Pylon: the structural properties that distinguish
+//! it from the §2 alternatives (dynamic topics in huge numbers, balanced
+//! shard load, cheap subscribe/publish even with a large footprint).
+
+use pylon::{HostId, PylonCluster, PylonConfig, Topic};
+
+#[test]
+fn a_million_dynamic_topics_cost_nothing_to_create() {
+    // Kafka-like logs cap topics (LinkedIn: 100K) and require explicit
+    // creation; Pylon topics exist the moment someone subscribes.
+    let mut p = PylonCluster::new(PylonConfig {
+        topic_shards: 512 * 1024,
+        servers: 64,
+        kv_nodes: 12,
+        replicas: 3,
+    });
+    for i in 0..100_000u64 {
+        p.subscribe(&Topic::live_video_comments(i), HostId((i % 500) as u32))
+            .unwrap();
+    }
+    assert!(p.topic_footprint() >= 100_000);
+    // Publishing to topic 99_999 works exactly like topic 0.
+    let out = p.publish(&Topic::live_video_comments(99_999), 1);
+    assert_eq!(out.fast_forwards.len(), 1);
+}
+
+#[test]
+fn server_load_is_balanced_across_the_fleet() {
+    let mut p = PylonCluster::new(PylonConfig {
+        topic_shards: 16_384,
+        servers: 32,
+        kv_nodes: 12,
+        replicas: 3,
+    });
+    for i in 0..64_000u64 {
+        p.subscribe(&Topic::live_video_comments(i), HostId((i % 100) as u32))
+            .unwrap();
+    }
+    let loads = p.server_loads();
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let max = *loads.iter().max().unwrap() as f64;
+    let min = *loads.iter().min().unwrap() as f64;
+    assert!(
+        max / mean < 1.3 && min / mean > 0.7,
+        "balanced fleet: min {min}, mean {mean:.0}, max {max}"
+    );
+}
+
+#[test]
+fn one_hot_topic_does_not_serialize_unlike_a_log_partition() {
+    // In a log, every read of a hot event hits one partition. In Pylon,
+    // the hot topic's fan-out happens once per publish, and subscriber
+    // reads are spread across replica nodes; the publish path is O(subs)
+    // without a per-event serialization point.
+    let mut p = PylonCluster::new(PylonConfig::small());
+    let hot = Topic::live_video_comments(1);
+    for h in 0..200 {
+        p.subscribe(&hot, HostId(h)).unwrap();
+    }
+    let out = p.publish(&hot, 1);
+    assert_eq!(out.fast_forwards.len(), 200, "one publish reaches everyone");
+    assert_eq!(p.counters().forwards, 200);
+}
+
+#[test]
+fn incremental_rebalance_moves_one_shard_at_a_time() {
+    let mut p = PylonCluster::new(PylonConfig::small());
+    let topics: Vec<Topic> = (0..100).map(Topic::live_video_comments).collect();
+    for t in &topics {
+        p.subscribe(t, HostId(1)).unwrap();
+    }
+    // Find the busiest server and move exactly one of its shards.
+    for t in &topics {
+        p.publish(t, 0);
+    }
+    let busiest = p
+        .server_loads()
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &l)| l)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let victim_topic = topics
+        .iter()
+        .find(|t| p.server_of_shard(p.shard_of(t)) == busiest)
+        .unwrap();
+    let shard = p.shard_of(victim_topic);
+    let target = (busiest + 1) % p.config().servers;
+    p.rebalance_shard(shard, target);
+    // Only that shard's topics moved; everything else still routes the same.
+    for t in &topics {
+        let s = p.shard_of(t);
+        if s == shard {
+            assert_eq!(p.server_of_shard(s), target);
+        }
+    }
+    // And the moved topic still works end-to-end.
+    let out = p.publish(victim_topic, 1);
+    assert_eq!(out.fast_forwards.len(), 1);
+}

@@ -1,0 +1,260 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with deterministic FIFO
+//! tie-breaking: two events scheduled for the same instant pop in the order
+//! they were scheduled. Determinism here is what makes whole-system runs
+//! reproducible bit-for-bit from a seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::queue::EventQueue;
+/// use simkit::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(10), "later");
+/// q.schedule(SimTime::from_millis(10), "even later"); // same instant: FIFO
+/// q.schedule(SimTime::from_millis(1), "first");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert_eq!(q.pop().unwrap().1, "even later");
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at instant `at`.
+    ///
+    /// Events scheduled in the past are clamped to the current instant, so a
+    /// handler may always schedule "immediately" with `queue.now()`.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Pops the earliest pending event only if it fires at or before `until`.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let head = self.heap.peek()?;
+            if head.at > until {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Cancelled entries may sit at the head; this is a conservative
+        // bound, exact once compaction occurs on pop.
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.schedule(SimTime::from_secs(2), ());
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(q.now(), t1);
+        let (t2, _) = q.pop().unwrap();
+        assert!(t2 >= t1);
+        assert_eq!(q.now(), t2);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "a");
+        q.pop();
+        // Scheduling in the past silently clamps to now.
+        q.schedule(SimTime::from_secs(1), "b");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "b");
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel returns false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(5), 5);
+        assert_eq!(q.pop_until(SimTime::from_secs(2)).unwrap().1, 1);
+        assert!(q.pop_until(SimTime::from_secs(2)).is_none());
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, 5);
+    }
+
+    #[test]
+    fn stress_many_events_sorted() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::DetRng::new(99);
+        for i in 0..50_000u64 {
+            let at = SimTime::ZERO + SimDuration::from_micros(rng.below(1_000_000));
+            q.schedule(at, i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 50_000);
+    }
+}

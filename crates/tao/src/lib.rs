@@ -1,0 +1,46 @@
+//! A simulator of TAO, Facebook's social-graph store (Bronson et al.,
+//! USENIX ATC '13), built as the storage substrate for the Bladerunner
+//! reproduction.
+//!
+//! Bladerunner's evaluation leans on the *shape* of TAO queries:
+//!
+//! * Polling issues **range** queries ("all comments on video V since X")
+//!   and **intersect** queries ("containers ranked top-n among my friends"),
+//!   which touch many shards and stress indices under high write rates.
+//! * Bladerunner's BRASSes instead issue **point** queries for a single
+//!   object, which touch exactly one shard and cache well.
+//!
+//! This crate therefore models the storage layer at the granularity those
+//! claims need: objects and associations partitioned over
+//! [`shards`](TaoConfig::shards), per-region **follower** tiers with real
+//! LRU caches in front of a **leader** region, write-through invalidation,
+//! cross-region replication surfaced as explicit events (the simulation
+//! orchestrator applies them after a configurable delay), and per-operation
+//! [`QueryCost`] accounting (shards touched, rows read, cache hits/misses,
+//! estimated CPU).
+//!
+//! # Examples
+//!
+//! ```
+//! use tao::{Tao, TaoConfig, Value};
+//!
+//! let mut tao = Tao::new(TaoConfig::small());
+//! let video = tao.obj_add("video", vec![("title".into(), Value::from("eclipse"))]);
+//! let comment = tao.obj_add("comment", vec![("text".into(), Value::from("wow"))]);
+//! tao.assoc_add(video, "has_comment", comment, 42, vec![]);
+//!
+//! let (rows, cost) = tao.assoc_range(0, video, "has_comment", 0, 10);
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(cost.shards_touched, 1);
+//! ```
+
+pub mod cost;
+pub mod lru;
+pub mod shard;
+pub mod store;
+pub mod types;
+
+pub use cost::{CostCounters, QueryCost};
+pub use lru::LruCache;
+pub use store::{ReplicationEvent, Tao, TaoConfig};
+pub use types::{Assoc, Object, ObjectId, Value};

@@ -1,0 +1,49 @@
+//! The Web Application Server (WAS) tier.
+//!
+//! In Bladerunner's architecture the WAS is where *all* application business
+//! logic that touches data lives: it executes GraphQL queries and mutations
+//! against TAO, performs the privacy checks that "are complex and sensitive,
+//! and in our operating environment are only performed within the WAS" (§1),
+//! ranks content (the LiveVideoComments ML quality scorer), and — the part
+//! Bladerunner adds — publishes an [`UpdateEvent`] to Pylon for every
+//! mutation, carrying *metadata only* (the payload stays in TAO and is
+//! fetched back by BRASSes with cheap point queries).
+//!
+//! Modules:
+//!
+//! * [`gql`] — a from-scratch GraphQL subset (lexer, parser, AST) rich
+//!   enough for the paper's query/mutation/subscription flows.
+//! * [`event`] — the update-event type flowing WAS → Pylon → BRASS.
+//! * [`privacy`] — viewer/author privacy checking backed by TAO `blocked`
+//!   associations and audience rules.
+//! * [`ranking`] — the deterministic stand-in for the ML comment-quality
+//!   model, including its measured latency (Table 3: ~1,790 ms).
+//! * [`service`] — the [`WebApplicationServer`]: executes operations,
+//!   emits update events, and serves BRASS point fetches.
+//!
+//! # Examples
+//!
+//! ```
+//! use tao::{Tao, TaoConfig};
+//! use was::service::WebApplicationServer;
+//!
+//! let mut was = WebApplicationServer::new(Tao::new(TaoConfig::small()));
+//! let video = was.create_video("eclipse");
+//! let alice = was.create_user("alice", "en");
+//! let out = was
+//!     .execute_mutation(
+//!         &format!(r#"mutation {{ postComment(videoId: {video}, authorId: {alice}, text: "wow") {{ id }} }}"#),
+//!         1_000,
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.events.len(), 1, "every mutation publishes an update event");
+//! ```
+
+pub mod event;
+pub mod gql;
+pub mod privacy;
+pub mod ranking;
+pub mod service;
+
+pub use event::{EventKind, UpdateEvent};
+pub use service::{MutationOutcome, WasError, WebApplicationServer};

@@ -1,0 +1,166 @@
+//! Privacy checking.
+//!
+//! "Before data is sent to a client device, it first needs to be privacy
+//! checked (e.g., to ensure a user doesn't receive data from blocked users).
+//! These privacy checks are complex and sensitive, and in our operating
+//! environment are only performed within the WAS" (§1). This module
+//! implements the checks the sample applications need, backed by TAO
+//! `blocked` associations and per-object audience rules.
+
+use tao::{Tao, ObjectId, QueryCost};
+
+/// Audience restriction attached to content (`audience` field on objects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Audience {
+    /// Visible to everyone.
+    Public,
+    /// Visible to the author's friends only.
+    Friends,
+    /// Visible only to the author.
+    OnlyMe,
+}
+
+impl Audience {
+    /// Parses the `audience` string field, defaulting to public.
+    pub fn from_field(s: Option<&str>) -> Audience {
+        match s {
+            Some("friends") => Audience::Friends,
+            Some("only_me") => Audience::OnlyMe,
+            _ => Audience::Public,
+        }
+    }
+}
+
+/// The outcome of a privacy check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The viewer may see the content.
+    Allow,
+    /// The viewer blocked the author (or vice versa).
+    DeniedBlocked,
+    /// The content's audience excludes the viewer.
+    DeniedAudience,
+}
+
+impl Verdict {
+    /// Whether the content may be shown.
+    pub fn allowed(self) -> bool {
+        self == Verdict::Allow
+    }
+}
+
+/// Checks whether `viewer` may see content authored by `author` with the
+/// given audience.
+///
+/// The check queries TAO for `blocked` edges in both directions and, for
+/// friends-only content, a `friend` edge — this is the per-update WAS work
+/// Bladerunner deliberately keeps server-side.
+pub fn check_visibility(
+    tao: &mut Tao,
+    region: u16,
+    viewer: u64,
+    author: u64,
+    audience: Audience,
+) -> (Verdict, QueryCost) {
+    let mut total = QueryCost::default();
+    if viewer == author {
+        return (Verdict::Allow, total);
+    }
+    let viewer_id = ObjectId(viewer);
+    let author_id = ObjectId(author);
+
+    // Blocks are symmetric in effect: either direction denies.
+    let (blocks, c) = tao.assoc_get(region, viewer_id, "blocked", &[author_id]);
+    total += c;
+    if !blocks.is_empty() {
+        return (Verdict::DeniedBlocked, total);
+    }
+    let (blocks, c) = tao.assoc_get(region, author_id, "blocked", &[viewer_id]);
+    total += c;
+    if !blocks.is_empty() {
+        return (Verdict::DeniedBlocked, total);
+    }
+
+    match audience {
+        Audience::Public => (Verdict::Allow, total),
+        Audience::OnlyMe => (Verdict::DeniedAudience, total),
+        Audience::Friends => {
+            let (friends, c) = tao.assoc_get(region, author_id, "friend", &[viewer_id]);
+            total += c;
+            if friends.is_empty() {
+                (Verdict::DeniedAudience, total)
+            } else {
+                (Verdict::Allow, total)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao::TaoConfig;
+
+    fn setup() -> (Tao, u64, u64) {
+        let mut tao = Tao::new(TaoConfig::small());
+        let a = tao.obj_add("user", vec![]);
+        let b = tao.obj_add("user", vec![]);
+        (tao, a.0, b.0)
+    }
+
+    #[test]
+    fn self_view_always_allowed() {
+        let (mut tao, a, _) = setup();
+        let (v, _) = check_visibility(&mut tao, 0, a, a, Audience::OnlyMe);
+        assert_eq!(v, Verdict::Allow);
+    }
+
+    #[test]
+    fn public_allowed_for_strangers() {
+        let (mut tao, a, b) = setup();
+        let (v, _) = check_visibility(&mut tao, 0, a, b, Audience::Public);
+        assert_eq!(v, Verdict::Allow);
+    }
+
+    #[test]
+    fn blocked_denies_both_directions() {
+        let (mut tao, a, b) = setup();
+        tao.assoc_add(ObjectId(a), "blocked", ObjectId(b), 1, vec![]);
+        let (v, _) = check_visibility(&mut tao, 0, a, b, Audience::Public);
+        assert_eq!(v, Verdict::DeniedBlocked);
+        // Reverse direction: author blocked the viewer.
+        let (v, _) = check_visibility(&mut tao, 0, b, a, Audience::Public);
+        assert_eq!(v, Verdict::DeniedBlocked);
+    }
+
+    #[test]
+    fn friends_audience_requires_friend_edge() {
+        let (mut tao, a, b) = setup();
+        let (v, _) = check_visibility(&mut tao, 0, a, b, Audience::Friends);
+        assert_eq!(v, Verdict::DeniedAudience);
+        tao.assoc_add(ObjectId(b), "friend", ObjectId(a), 1, vec![]);
+        let (v, _) = check_visibility(&mut tao, 0, a, b, Audience::Friends);
+        assert_eq!(v, Verdict::Allow);
+    }
+
+    #[test]
+    fn only_me_denies_others() {
+        let (mut tao, a, b) = setup();
+        let (v, _) = check_visibility(&mut tao, 0, a, b, Audience::OnlyMe);
+        assert_eq!(v, Verdict::DeniedAudience);
+    }
+
+    #[test]
+    fn audience_parsing() {
+        assert_eq!(Audience::from_field(None), Audience::Public);
+        assert_eq!(Audience::from_field(Some("friends")), Audience::Friends);
+        assert_eq!(Audience::from_field(Some("only_me")), Audience::OnlyMe);
+        assert_eq!(Audience::from_field(Some("bogus")), Audience::Public);
+    }
+
+    #[test]
+    fn verdict_allowed() {
+        assert!(Verdict::Allow.allowed());
+        assert!(!Verdict::DeniedBlocked.allowed());
+    }
+}

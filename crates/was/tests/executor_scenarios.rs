@@ -1,0 +1,187 @@
+//! Executor scenario tests: multi-field queries, larger graph fixtures,
+//! and cost-model assertions that back the §2 arguments.
+
+use tao::{Tao, TaoConfig};
+use was::service::{Rv, WebApplicationServer};
+
+fn was() -> WebApplicationServer {
+    WebApplicationServer::new(Tao::new(TaoConfig::small()))
+}
+
+#[test]
+fn multi_root_query_resolves_every_field() {
+    let mut w = was();
+    let v = w.create_video("eclipse");
+    let u = w.create_user("ada", "en");
+    w.execute_mutation(
+        &format!(r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "first comment here") {{ id }} }}"#),
+        10,
+    )
+    .unwrap();
+    let q = w
+        .execute_query(
+            0,
+            &format!(
+                "{{ video(id: {v}) {{ title comments(first: 5) {{ text }} }} user(id: {u}) {{ name }} }}"
+            ),
+        )
+        .unwrap();
+    let video = q.response.get("video").unwrap();
+    assert_eq!(video.get("title").unwrap().as_str(), Some("eclipse"));
+    assert_eq!(video.get("comments").unwrap().items().len(), 1);
+    assert_eq!(
+        q.response.get("user").unwrap().get("name").unwrap().as_str(),
+        Some("ada")
+    );
+}
+
+#[test]
+fn stories_tray_cost_grows_with_friend_count() {
+    // §3.4: "with polling, two intersect queries (with relatively high TAO
+    // overheads) are required" — the tray cost must scale with the friend
+    // set, unlike a point query.
+    let mut w = was();
+    let small_viewer = w.create_user("few-friends", "en");
+    let big_viewer = w.create_user("many-friends", "en");
+    for i in 0..3u64 {
+        let f = w.create_user(&format!("sf{i}"), "en");
+        w.add_friend(small_viewer, f, i);
+        w.execute_mutation(
+            &format!(r#"mutation {{ createStory(authorId: {f}, media: "m{i}") {{ id }} }}"#),
+            i,
+        )
+        .unwrap();
+    }
+    for i in 0..60u64 {
+        let f = w.create_user(&format!("bf{i}"), "en");
+        w.add_friend(big_viewer, f, i);
+        w.execute_mutation(
+            &format!(r#"mutation {{ createStory(authorId: {f}, media: "m{i}") {{ id }} }}"#),
+            i,
+        )
+        .unwrap();
+    }
+    let small = w
+        .execute_query(0, &format!("{{ storiesTray(viewerId: {small_viewer}, first: 5) }}"))
+        .unwrap();
+    let big = w
+        .execute_query(0, &format!("{{ storiesTray(viewerId: {big_viewer}, first: 5) }}"))
+        .unwrap();
+    assert!(
+        big.cost.cpu_us > small.cost.cpu_us * 3,
+        "tray cost must scale with friends: {} vs {}",
+        big.cost.cpu_us,
+        small.cost.cpu_us
+    );
+    assert!(big.cost.shards_touched > small.cost.shards_touched);
+}
+
+#[test]
+fn point_fetch_cost_is_constant_in_comment_volume() {
+    // The Bladerunner query shape: fetching one comment costs the same
+    // whether the video has 1 comment or 500.
+    let mut w = was();
+    let v = w.create_video("v");
+    let u = w.create_user("u", "en");
+    let first = w
+        .execute_mutation(
+            &format!(r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "an early comment indeed") {{ id }} }}"#),
+            0,
+        )
+        .unwrap();
+    let first_id = match first.response.get("id").unwrap() {
+        Rv::Int(i) => *i as u64,
+        other => panic!("unexpected id {other:?}"),
+    };
+    let (_, cost_before) = w.fetch_for_viewer(0, u, tao::ObjectId(first_id)).unwrap();
+    for i in 0..500u64 {
+        w.execute_mutation(
+            &format!(r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "bulk comment number {i} filler") {{ id }} }}"#),
+            i + 1,
+        )
+        .unwrap();
+    }
+    let (_, cost_after) = w.fetch_for_viewer(0, u, tao::ObjectId(first_id)).unwrap();
+    assert!(
+        cost_after.cpu_us <= cost_before.cpu_us * 2,
+        "point fetch stays O(1): {} vs {}",
+        cost_after.cpu_us,
+        cost_before.cpu_us
+    );
+}
+
+#[test]
+fn hot_mode_reduces_pylon_event_volume() {
+    let mut w = was();
+    let v = w.create_video("hot");
+    let u = w.create_user("u", "en");
+    // Nominal: every comment publishes an event.
+    let mut nominal_events = 0;
+    for i in 0..40u64 {
+        let out = w
+            .execute_mutation(
+                &format!(r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "ok") {{ id }} }}"#),
+                i,
+            )
+            .unwrap();
+        nominal_events += out.events.len();
+    }
+    assert_eq!(nominal_events, 40);
+    // Hot with a high discard floor: many never reach Pylon.
+    w.set_video_hot(
+        v,
+        Some(was::service::HotVideoPolicy {
+            discard_below: 0.6,
+            headline_at: 0.9,
+        }),
+    );
+    let mut hot_events = 0;
+    for i in 0..40u64 {
+        let out = w
+            .execute_mutation(
+                &format!(r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "ok") {{ id }} }}"#),
+                100 + i,
+            )
+            .unwrap();
+        hot_events += out.events.len();
+    }
+    assert!(
+        hot_events < nominal_events,
+        "hot mode must shed events: {hot_events} vs {nominal_events}"
+    );
+}
+
+#[test]
+fn thread_members_and_mailbox_fanout_agree() {
+    let mut w = was();
+    let users: Vec<u64> = (0..5).map(|i| w.create_user(&format!("u{i}"), "en")).collect();
+    let thread = w.create_thread(&users);
+    let out = w
+        .execute_mutation(
+            &format!(r#"mutation {{ sendMessage(threadId: {thread}, fromId: {}, text: "hi") {{ id }} }}"#, users[0]),
+            1,
+        )
+        .unwrap();
+    // Every member's mailbox (including the sender's) got the message and
+    // a corresponding event.
+    assert_eq!(out.events.len(), 5);
+    for &u in &users {
+        let q = w
+            .execute_query(0, &format!("{{ mailbox(uid: {u}) }}"))
+            .unwrap();
+        assert_eq!(q.response.get("mailbox").unwrap().items().len(), 1);
+    }
+}
+
+#[test]
+fn verified_flag_survives_status_updates() {
+    let mut w = was();
+    let u = w.create_user("celeb", "en");
+    w.set_verified(u);
+    // setOnline rewrites the user object's data; verified must persist.
+    w.execute_mutation(&format!("mutation {{ setOnline(uid: {u}) {{ ok }} }}"), 5)
+        .unwrap();
+    let obj = w.tao_mut().obj_get(0, tao::ObjectId(u)).0.unwrap();
+    assert_eq!(obj.get("verified").and_then(tao::Value::as_bool), Some(true));
+    assert_eq!(obj.get("last_online_ms").and_then(tao::Value::as_int), Some(5));
+}

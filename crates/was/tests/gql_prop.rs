@@ -1,0 +1,159 @@
+//! Property tests for the GraphQL subset: generated ASTs print-then-parse
+//! to themselves, and the parser is total over arbitrary input.
+
+use proptest::prelude::*;
+
+use was::gql::{parse, Field, GqlValue, OpKind, Operation};
+
+/// Prints an operation back to GraphQL source text.
+fn print_op(op: &Operation) -> String {
+    let kind = match op.kind {
+        OpKind::Query => "query",
+        OpKind::Mutation => "mutation",
+        OpKind::Subscription => "subscription",
+    };
+    let name = op.name.as_deref().unwrap_or("");
+    format!("{kind} {name} {}", print_selections(&op.selections))
+}
+
+fn print_selections(fields: &[Field]) -> String {
+    let inner: Vec<String> = fields.iter().map(print_field).collect();
+    format!("{{ {} }}", inner.join(" "))
+}
+
+fn print_field(f: &Field) -> String {
+    let mut s = f.name.clone();
+    if !f.args.is_empty() {
+        let args: Vec<String> = f
+            .args
+            .iter()
+            .map(|(k, v)| format!("{k}: {}", print_value(v)))
+            .collect();
+        s.push_str(&format!("({})", args.join(", ")));
+    }
+    if !f.selections.is_empty() {
+        s.push(' ');
+        s.push_str(&print_selections(&f.selections));
+    }
+    s
+}
+
+fn print_value(v: &GqlValue) -> String {
+    match v {
+        GqlValue::Int(i) => i.to_string(),
+        GqlValue::Float(f) => {
+            // Keep a decimal point so the value re-parses as a float.
+            if f.fract() == 0.0 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        GqlValue::Str(s) => format!("{s:?}"),
+        GqlValue::Bool(b) => b.to_string(),
+        GqlValue::Null => "null".into(),
+        GqlValue::Enum(e) => e.clone(),
+        GqlValue::List(items) => {
+            let inner: Vec<String> = items.iter().map(print_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(s.as_str(), "true" | "false" | "null" | "query" | "mutation" | "subscription")
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = GqlValue> {
+    let leaf = prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(GqlValue::Int),
+        (-1_000i64..1_000).prop_map(|n| GqlValue::Float(n as f64 / 4.0)),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(GqlValue::Str),
+        any::<bool>().prop_map(GqlValue::Bool),
+        Just(GqlValue::Null),
+        arb_name().prop_map(GqlValue::Enum),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        proptest::collection::vec(inner, 0..3).prop_map(GqlValue::List)
+    })
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_value()), 0..3)).prop_map(
+        |(name, args)| Field {
+            name,
+            args,
+            selections: vec![],
+        },
+    );
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_value()), 0..3),
+            proptest::collection::vec(inner, 1..3),
+        )
+            .prop_map(|(name, args, selections)| Field {
+                name,
+                args,
+                selections,
+            })
+    })
+}
+
+fn arb_operation() -> impl Strategy<Value = Operation> {
+    (
+        prop_oneof![
+            Just(OpKind::Query),
+            Just(OpKind::Mutation),
+            Just(OpKind::Subscription)
+        ],
+        proptest::option::of(arb_name()),
+        proptest::collection::vec(arb_field(), 1..4),
+    )
+        .prop_map(|(kind, name, selections)| Operation {
+            kind,
+            name,
+            selections,
+        })
+}
+
+/// Duplicate-argument fields print ambiguously; drop dup keys first.
+fn dedup_args(op: &mut Operation) {
+    fn fix(f: &mut Field) {
+        let mut seen = std::collections::HashSet::new();
+        f.args.retain(|(k, _)| seen.insert(k.clone()));
+        for s in &mut f.selections {
+            fix(s);
+        }
+    }
+    for f in &mut op.selections {
+        fix(f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on generated operations.
+    #[test]
+    fn print_parse_roundtrip(mut op in arb_operation()) {
+        dedup_args(&mut op);
+        let text = print_op(&op);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(parsed, op);
+    }
+
+    /// The parser is total over printable ASCII: it never panics.
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,100}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser is total over arbitrary UTF-8 strings too.
+    #[test]
+    fn parser_never_panics_utf8(input in "\\PC{0,60}") {
+        let _ = parse(&input);
+    }
+}

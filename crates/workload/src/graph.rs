@@ -1,0 +1,356 @@
+//! Synthetic social-graph generation.
+//!
+//! Friend counts follow a Pareto tail (most users have modest friend
+//! counts, a few are extremely connected); video view popularity is Zipf —
+//! the paper's observation that "a live video of a cake baking can
+//! (surprisingly) be more popular than a streamed live presentation by the
+//! leading presidential candidate" is modelled by decoupling a video's
+//! *viewer* popularity from its *commenting* intensity.
+
+use simkit::dist::{Distribution, Pareto, Zipf};
+use simkit::rng::DetRng;
+
+/// Configuration for graph generation.
+#[derive(Clone, Debug)]
+pub struct SocialGraphConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Mean friend count.
+    pub mean_friends: f64,
+    /// Number of live videos.
+    pub videos: usize,
+    /// Zipf exponent for video viewership.
+    pub video_zipf_s: f64,
+    /// Number of message threads.
+    pub threads: usize,
+    /// Mean thread size (members).
+    pub mean_thread_size: f64,
+    /// Fraction of users marked verified (celebrities).
+    pub verified_fraction: f64,
+    /// Fraction of ordered user pairs with a block edge.
+    pub block_fraction: f64,
+    /// Language mix as (tag, probability) pairs.
+    pub languages: Vec<(String, f64)>,
+}
+
+impl SocialGraphConfig {
+    /// A small population for tests and examples.
+    pub fn small() -> Self {
+        SocialGraphConfig {
+            users: 200,
+            mean_friends: 12.0,
+            videos: 10,
+            video_zipf_s: 1.1,
+            threads: 30,
+            mean_thread_size: 3.0,
+            verified_fraction: 0.01,
+            block_fraction: 0.001,
+            languages: vec![("en".into(), 0.6), ("es".into(), 0.25), ("pt".into(), 0.15)],
+        }
+    }
+
+    /// A medium population for experiment harnesses.
+    pub fn medium() -> Self {
+        SocialGraphConfig {
+            users: 5_000,
+            mean_friends: 25.0,
+            videos: 100,
+            video_zipf_s: 1.1,
+            threads: 800,
+            mean_thread_size: 3.5,
+            verified_fraction: 0.005,
+            block_fraction: 0.0005,
+            languages: vec![
+                ("en".into(), 0.45),
+                ("es".into(), 0.2),
+                ("pt".into(), 0.15),
+                ("hi".into(), 0.12),
+                ("ar".into(), 0.08),
+            ],
+        }
+    }
+}
+
+/// A generated user.
+#[derive(Clone, Debug)]
+pub struct UserSpec {
+    /// Index into the population (stable across runs with the same seed).
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Language tag.
+    pub lang: String,
+    /// Whether the user is verified.
+    pub verified: bool,
+    /// Friend indexes (symmetric).
+    pub friends: Vec<usize>,
+    /// User indexes this user has blocked.
+    pub blocked: Vec<usize>,
+}
+
+/// A generated video with decoupled viewing and commenting popularity.
+#[derive(Clone, Debug)]
+pub struct VideoSpec {
+    /// Index into the video list.
+    pub index: usize,
+    /// Title.
+    pub title: String,
+    /// Viewer user indexes.
+    pub viewers: Vec<usize>,
+    /// Relative commenting intensity multiplier in `[0.05, 20]`.
+    pub comment_intensity: f64,
+}
+
+/// A generated message thread.
+#[derive(Clone, Debug)]
+pub struct ThreadSpec {
+    /// Index into the thread list.
+    pub index: usize,
+    /// Member user indexes (at least two).
+    pub members: Vec<usize>,
+}
+
+/// A complete synthetic population.
+#[derive(Clone, Debug)]
+pub struct SocialGraph {
+    /// Users.
+    pub users: Vec<UserSpec>,
+    /// Videos.
+    pub videos: Vec<VideoSpec>,
+    /// Threads.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl SocialGraph {
+    /// Generates a population deterministically from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.users < 2`.
+    pub fn generate(config: &SocialGraphConfig, rng: &mut DetRng) -> SocialGraph {
+        assert!(config.users >= 2, "need at least two users");
+        let n = config.users;
+
+        // Friend counts: Pareto with mean matched to config.mean_friends.
+        // For Pareto(x_min, alpha=2), mean = 2 * x_min, so x_min = mean/2.
+        let friend_dist = Pareto::new((config.mean_friends / 2.0).max(1.0), 2.0);
+        let lang_weights: Vec<f64> = config.languages.iter().map(|(_, w)| *w).collect();
+        let lang_cat = simkit::dist::Categorical::new(&lang_weights);
+
+        let mut users: Vec<UserSpec> = (0..n)
+            .map(|i| UserSpec {
+                index: i,
+                name: format!("user{i}"),
+                lang: config.languages[lang_cat.sample_index(rng)].0.clone(),
+                verified: rng.chance(config.verified_fraction),
+                friends: Vec::new(),
+                blocked: Vec::new(),
+            })
+            .collect();
+
+        // Build symmetric friendships by sampling target degrees and wiring
+        // random pairs (configuration-model style, self-loops and duplicate
+        // edges rejected).
+        let mut stubs: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let degree = (friend_dist.sample(rng).round() as usize).clamp(1, n - 1);
+            stubs.extend(std::iter::repeat(i).take(degree));
+        }
+        rng.shuffle(&mut stubs);
+        let mut edges = std::collections::HashSet::new();
+        for pair in stubs.chunks_exact(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if a != b && edges.insert((a, b)) {
+                users[a].friends.push(b);
+                users[b].friends.push(a);
+            }
+        }
+
+        // Blocks: sample random directed pairs.
+        let block_count = (config.block_fraction * (n * n) as f64).round() as usize;
+        for _ in 0..block_count {
+            let a = rng.index(n);
+            let b = rng.index(n);
+            if a != b && !users[a].blocked.contains(&b) {
+                users[a].blocked.push(b);
+            }
+        }
+
+        // Videos: Zipf viewership over users; commenting intensity is
+        // log-uniform and independent of viewership.
+        let zipf = Zipf::new(config.videos.max(1) as u64, config.video_zipf_s);
+        let mut video_rank: Vec<u64> = (0..config.videos)
+            .map(|_| zipf.sample_rank(rng))
+            .collect();
+        video_rank.sort_unstable();
+        let videos: Vec<VideoSpec> = (0..config.videos)
+            .map(|i| {
+                // Viewer count decays with rank; rank 1 draws a large share.
+                let rank = i as f64 + 1.0;
+                let share = 0.8 / rank.powf(config.video_zipf_s);
+                let count = ((share * n as f64).round() as usize).clamp(1, n);
+                let mut viewers: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut viewers);
+                viewers.truncate(count);
+                viewers.sort_unstable();
+                let comment_intensity = 0.05 * (20.0f64 / 0.05).powf(rng.f64());
+                VideoSpec {
+                    index: i,
+                    title: format!("video{i}"),
+                    viewers,
+                    comment_intensity,
+                }
+            })
+            .collect();
+
+        // Threads: small member sets sampled from friends-of-a-seed user
+        // where possible.
+        let threads: Vec<ThreadSpec> = (0..config.threads)
+            .map(|i| {
+                let size = (simkit::dist::Poisson::new(config.mean_thread_size)
+                    .sample_count(rng) as usize)
+                    .clamp(2, 10);
+                let seed = rng.index(n);
+                let mut members = vec![seed];
+                let mut candidates = users[seed].friends.clone();
+                rng.shuffle(&mut candidates);
+                for c in candidates {
+                    if members.len() >= size {
+                        break;
+                    }
+                    members.push(c);
+                }
+                while members.len() < size {
+                    let c = rng.index(n);
+                    if !members.contains(&c) {
+                        members.push(c);
+                    }
+                }
+                ThreadSpec { index: i, members }
+            })
+            .collect();
+
+        SocialGraph {
+            users,
+            videos,
+            threads,
+        }
+    }
+
+    /// Mean friend count of the generated population.
+    pub fn mean_friends(&self) -> f64 {
+        self.users.iter().map(|u| u.friends.len()).sum::<usize>() as f64
+            / self.users.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate() -> SocialGraph {
+        let mut rng = DetRng::new(42);
+        SocialGraph::generate(&SocialGraphConfig::small(), &mut rng)
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = generate();
+        let b = generate();
+        assert_eq!(a.users.len(), b.users.len());
+        assert_eq!(a.users[5].friends, b.users[5].friends);
+        assert_eq!(a.videos[0].viewers, b.videos[0].viewers);
+    }
+
+    #[test]
+    fn friendships_are_symmetric() {
+        let g = generate();
+        for u in &g.users {
+            for &f in &u.friends {
+                assert!(
+                    g.users[f].friends.contains(&u.index),
+                    "friendship {} <-> {f} must be symmetric",
+                    u.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_friendship_or_duplicates() {
+        let g = generate();
+        for u in &g.users {
+            assert!(!u.friends.contains(&u.index));
+            let mut f = u.friends.clone();
+            f.sort_unstable();
+            f.dedup();
+            assert_eq!(f.len(), u.friends.len());
+        }
+    }
+
+    #[test]
+    fn mean_friend_count_in_ballpark() {
+        let mut rng = DetRng::new(7);
+        let mut config = SocialGraphConfig::small();
+        config.users = 2_000;
+        let g = SocialGraph::generate(&config, &mut rng);
+        let mean = g.mean_friends();
+        // Duplicate-edge rejection loses some edges; allow a broad band.
+        assert!(
+            mean > config.mean_friends * 0.4 && mean < config.mean_friends * 1.5,
+            "mean friends {mean}"
+        );
+    }
+
+    #[test]
+    fn video_popularity_skews() {
+        let g = generate();
+        let first = g.videos.first().unwrap().viewers.len();
+        let last = g.videos.last().unwrap().viewers.len();
+        assert!(first > last, "rank 1 video ({first}) must outdraw rank n ({last})");
+    }
+
+    #[test]
+    fn comment_intensity_independent_of_rank() {
+        // Decoupled popularity: at least one low-view video should comment
+        // harder than some high-view video (the cake-baking effect).
+        let mut rng = DetRng::new(3);
+        let mut config = SocialGraphConfig::small();
+        config.videos = 50;
+        let g = SocialGraph::generate(&config, &mut rng);
+        let top_half_max_intensity = g.videos[..25]
+            .iter()
+            .map(|v| v.comment_intensity)
+            .fold(0.0, f64::max);
+        let bottom_half_max_intensity = g.videos[25..]
+            .iter()
+            .map(|v| v.comment_intensity)
+            .fold(0.0, f64::max);
+        assert!(bottom_half_max_intensity > 0.0);
+        // Not a strict ordering claim, just that intensity is not a
+        // function of rank.
+        assert!(bottom_half_max_intensity * 10.0 > top_half_max_intensity);
+    }
+
+    #[test]
+    fn threads_have_valid_members() {
+        let g = generate();
+        for t in &g.threads {
+            assert!(t.members.len() >= 2);
+            let mut m = t.members.clone();
+            m.sort_unstable();
+            m.dedup();
+            assert_eq!(m.len(), t.members.len(), "no duplicate members");
+            assert!(m.iter().all(|&u| u < g.users.len()));
+        }
+    }
+
+    #[test]
+    fn languages_assigned_from_mix() {
+        let g = generate();
+        let langs: std::collections::HashSet<&str> =
+            g.users.iter().map(|u| u.lang.as_str()).collect();
+        assert!(langs.contains("en"));
+        assert!(langs.len() >= 2);
+    }
+}

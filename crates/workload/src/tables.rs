@@ -1,0 +1,229 @@
+//! Explicit mixtures for the paper's Table 1 and Table 2.
+
+use simkit::dist::Categorical;
+use simkit::rng::DetRng;
+use simkit::time::SimDuration;
+
+/// Table 1: the distribution of the number of updates a targeted area of
+/// interest receives within 24 hours.
+///
+/// | % areas  | 83% | 16%  | 0.95% | 0.049% | 0.0001% |
+/// |----------|-----|------|-------|--------|---------|
+/// | updates  | 0   | < 10 | < 100 | > 1 M  | > 100 M |
+///
+/// The Pareto principle in action: "roughly 80% of the areas have zero
+/// updates over a 24hr period, while a few selected areas have very high
+/// update rates". The sliver between 100 and 1 M updates (the residual
+/// ~0.0009%) is modelled log-uniformly.
+#[derive(Clone, Debug)]
+pub struct AreaUpdateModel {
+    buckets: Categorical,
+}
+
+/// Table 1 bucket boundaries: `(low, high)` update counts, inclusive.
+const AREA_BUCKETS: [(u64, u64); 6] = [
+    (0, 0),
+    (1, 9),
+    (10, 99),
+    (100, 999_999),          // residual mass between the published rows
+    (1_000_001, 99_999_999), // "> 1M"
+    (100_000_001, 2_000_000_000), // "> 100M"
+];
+
+/// Table 1 bucket weights (percent).
+const AREA_WEIGHTS: [f64; 6] = [83.0, 16.0, 0.95, 0.000_9, 0.049, 0.000_1];
+
+impl Default for AreaUpdateModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AreaUpdateModel {
+    /// Creates the Table-1 mixture.
+    pub fn new() -> Self {
+        AreaUpdateModel {
+            buckets: Categorical::new(&AREA_WEIGHTS),
+        }
+    }
+
+    /// Samples a 24-hour update count for one area of interest.
+    pub fn sample_daily_updates(&self, rng: &mut DetRng) -> u64 {
+        let (lo, hi) = AREA_BUCKETS[self.buckets.sample_index(rng)];
+        if lo == hi {
+            return lo;
+        }
+        // Log-uniform within the bucket so high buckets aren't mean-biased.
+        let (lo_f, hi_f) = (lo.max(1) as f64, hi as f64);
+        (lo_f * (hi_f / lo_f).powf(rng.f64())).round() as u64
+    }
+
+    /// Classifies a daily count into the paper's bucket index (0..=5).
+    pub fn bucket_of(count: u64) -> usize {
+        AREA_BUCKETS
+            .iter()
+            .position(|&(lo, hi)| (lo..=hi).contains(&count))
+            .unwrap_or(AREA_BUCKETS.len() - 1)
+    }
+
+    /// The paper's published weight (percent) for a bucket index.
+    pub fn paper_weight(bucket: usize) -> f64 {
+        AREA_WEIGHTS[bucket]
+    }
+
+    /// Human-readable bucket labels, matching the paper's columns.
+    pub fn bucket_labels() -> [&'static str; 6] {
+        ["0", "<10", "<100", "100..1M", ">1M", ">100M"]
+    }
+}
+
+/// Table 2: request-stream lifetime distribution.
+///
+/// | < 15 min | 15 min–1 h | 1 h–24 h | 24 h+ |
+/// |----------|------------|----------|-------|
+/// | 45%      | 26%        | 25%      | 4%    |
+#[derive(Clone, Debug)]
+pub struct StreamLifetimeModel {
+    buckets: Categorical,
+}
+
+/// Table 2 bucket boundaries in seconds.
+const LIFETIME_BUCKETS: [(u64, u64); 4] = [
+    (5, 15 * 60),
+    (15 * 60, 3_600),
+    (3_600, 86_400),
+    (86_400, 7 * 86_400),
+];
+
+/// Table 2 bucket weights (percent).
+const LIFETIME_WEIGHTS: [f64; 4] = [45.0, 26.0, 25.0, 4.0];
+
+impl Default for StreamLifetimeModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamLifetimeModel {
+    /// Creates the Table-2 mixture.
+    pub fn new() -> Self {
+        StreamLifetimeModel {
+            buckets: Categorical::new(&LIFETIME_WEIGHTS),
+        }
+    }
+
+    /// Samples one stream lifetime.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        let (lo, hi) = LIFETIME_BUCKETS[self.buckets.sample_index(rng)];
+        let (lo_f, hi_f) = (lo as f64, hi as f64);
+        // Log-uniform inside the bucket.
+        SimDuration::from_secs_f64(lo_f * (hi_f / lo_f).powf(rng.f64()))
+    }
+
+    /// Classifies a lifetime into the paper's bucket index (0..=3).
+    pub fn bucket_of(lifetime: SimDuration) -> usize {
+        let s = lifetime.as_secs();
+        if s < 15 * 60 {
+            0
+        } else if s < 3_600 {
+            1
+        } else if s < 86_400 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// The paper's published weight (percent) for a bucket index.
+    pub fn paper_weight(bucket: usize) -> f64 {
+        LIFETIME_WEIGHTS[bucket]
+    }
+
+    /// Human-readable bucket labels, matching the paper's columns.
+    pub fn bucket_labels() -> [&'static str; 4] {
+        ["<15 min", "15min-1hr", "1hr-24h", "24hr+"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_model_matches_table1_weights() {
+        let model = AreaUpdateModel::new();
+        let mut rng = DetRng::new(1);
+        let n = 1_000_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..n {
+            counts[AreaUpdateModel::bucket_of(model.sample_daily_updates(&mut rng))] += 1;
+        }
+        let zero_frac = counts[0] as f64 / n as f64;
+        assert!((zero_frac - 0.83).abs() < 0.005, "zero fraction {zero_frac}");
+        let small_frac = counts[1] as f64 / n as f64;
+        assert!((small_frac - 0.16).abs() < 0.005, "small fraction {small_frac}");
+        // The extreme tail exists but is tiny.
+        assert!(counts[4] + counts[5] < n / 500);
+    }
+
+    #[test]
+    fn area_samples_fall_in_their_buckets() {
+        let model = AreaUpdateModel::new();
+        let mut rng = DetRng::new(2);
+        for _ in 0..100_000 {
+            let c = model.sample_daily_updates(&mut rng);
+            let b = AreaUpdateModel::bucket_of(c);
+            let (lo, hi) = AREA_BUCKETS[b];
+            assert!((lo..=hi).contains(&c), "{c} not in bucket {b}");
+        }
+    }
+
+    #[test]
+    fn bucket_classification_boundaries() {
+        assert_eq!(AreaUpdateModel::bucket_of(0), 0);
+        assert_eq!(AreaUpdateModel::bucket_of(1), 1);
+        assert_eq!(AreaUpdateModel::bucket_of(9), 1);
+        assert_eq!(AreaUpdateModel::bucket_of(10), 2);
+        assert_eq!(AreaUpdateModel::bucket_of(99), 2);
+        assert_eq!(AreaUpdateModel::bucket_of(100), 3);
+        assert_eq!(AreaUpdateModel::bucket_of(2_000_000), 4);
+        assert_eq!(AreaUpdateModel::bucket_of(200_000_000), 5);
+    }
+
+    #[test]
+    fn lifetime_model_matches_table2_weights() {
+        let model = StreamLifetimeModel::new();
+        let mut rng = DetRng::new(3);
+        let n = 500_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[StreamLifetimeModel::bucket_of(model.sample(&mut rng))] += 1;
+        }
+        for (i, expect) in [0.45, 0.26, 0.25, 0.04].iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "bucket {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn lifetime_bucket_boundaries() {
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_secs(10)), 0);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(14)), 0);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(15)), 1);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(59)), 1);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(1)), 2);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(23)), 2);
+        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(25)), 3);
+    }
+
+    #[test]
+    fn labels_align_with_buckets() {
+        assert_eq!(AreaUpdateModel::bucket_labels().len(), AREA_BUCKETS.len());
+        assert_eq!(
+            StreamLifetimeModel::bucket_labels().len(),
+            LIFETIME_BUCKETS.len()
+        );
+        assert_eq!(AreaUpdateModel::paper_weight(0), 83.0);
+        assert_eq!(StreamLifetimeModel::paper_weight(3), 4.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! ActiveStatus: one device subscribe fanning into many Pylon
+//! subscriptions, with TTL'd presence and periodic batching (§3.4).
+//!
+//! Run: `cargo run --example active_status`
+
+use bladerunner_repro::config::SystemConfig;
+use bladerunner_repro::sim::SystemSim;
+use simkit::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut sim = SystemSim::new(SystemConfig::small(), 21);
+
+    // A viewer with five friends.
+    let viewer = sim.create_user_device("viewer", "en");
+    let friends: Vec<u64> = (0..5)
+        .map(|i| {
+            let f = sim.create_user_device(&format!("friend{i}"), "en");
+            sim.was_mut().add_friend(viewer, f, i);
+            f
+        })
+        .collect();
+
+    // One subscribe; the BRASS fetches the friend list from the WAS and
+    // subscribes to /Status/f-uid for each friend.
+    sim.subscribe_active_status(SimTime::ZERO, viewer);
+
+    // Two friends come online and keep pinging every 30 s; the others stay
+    // silent.
+    for t in (5..180).step_by(30) {
+        sim.set_online(SimTime::from_secs(t), friends[0]);
+        sim.set_online(SimTime::from_secs(t + 2), friends[1]);
+    }
+    // A third friend appears briefly, then goes dark (TTL expiry).
+    sim.set_online(SimTime::from_secs(40), friends[2]);
+
+    sim.run_until(SimTime::from_secs(240));
+
+    let m = sim.metrics();
+    let decisions = sim.total_decisions();
+    println!("status pings published: {}", m.publications);
+    println!("BRASS decisions (per-event bookkeeping): {decisions}");
+    println!(
+        "batched deliveries to the device: {} (batching collapses {} pings)",
+        m.deliveries,
+        m.publications
+    );
+    assert!(
+        m.deliveries.get() < m.publications.get() / 2,
+        "batching must collapse updates: {} deliveries for {} pings",
+        m.deliveries,
+        m.publications
+    );
+    assert!(m.deliveries.get() >= 2, "online/offline transitions pushed");
+    println!(
+        "\nthe device saw friend2 appear and then expire from the online \
+         set after the 30s TTL — without one message per ping."
+    );
+    let _ = SimDuration::from_secs(1);
+    println!("\nactive_status OK");
+}

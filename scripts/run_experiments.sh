@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Usage: scripts/run_experiments.sh [output-file]
+set -euo pipefail
+out="${1:-experiments_output.txt}"
+cargo build --release -p bench
+{
+  for b in table1 table2 table3 fig6 fig7 fig8 fig9 fig10 headline; do
+    echo "================== $b =================="
+    cargo run --release -q -p bench --bin "$b"
+    echo
+  done
+} | tee "$out"
+echo "Wrote $out"

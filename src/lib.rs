@@ -1,0 +1,8 @@
+//! Workspace facade crate.
+//!
+//! Re-exports the Bladerunner reproduction API so that the root-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) can use
+//! a single import. See the `bladerunner` crate for the system itself and
+//! `DESIGN.md` for the full inventory.
+
+pub use bladerunner::*;

@@ -1,0 +1,209 @@
+//! Protocol-level integration: the BURST state machines of all three roles
+//! (client, proxy, server) driven together across a scripted multi-hop
+//! exchange, including wire encoding on every hop.
+
+use burst::codec::{encode_to_vec, Decoder};
+use burst::frame::{Delta, Frame, StreamId, TerminateReason};
+use burst::json::Json;
+use burst::stream::{ClientAction, ClientStream, ProxyStreamTable, ServerStream, StreamState};
+
+/// Pushes a frame through a wire hop: encode, then decode on the far side.
+fn wire(frame: &Frame) -> Frame {
+    let bytes = encode_to_vec(frame);
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    dec.next_frame().unwrap().expect("one complete frame")
+}
+
+#[test]
+fn subscribe_rewrite_deliver_cancel_across_hops() {
+    let header = Json::obj([
+        ("viewer", Json::from(9u64)),
+        ("topic", Json::from("/LVC/42")),
+        ("app", Json::from("lvc")),
+    ]);
+    let mut client = ClientStream::new(StreamId(1), header, b"body".to_vec());
+    let mut pop = ProxyStreamTable::new();
+    let mut proxy = ProxyStreamTable::new();
+
+    // Subscribe travels client → POP → proxy → BRASS, encoded on each hop.
+    let sub = wire(&client.subscribe_request());
+    let Frame::Subscribe { sid, header, body } = sub else {
+        panic!("expected subscribe");
+    };
+    pop.on_subscribe(9, sid, header.clone(), body.clone(), Some(1), 0);
+    let f = wire(&Frame::Subscribe {
+        sid,
+        header: header.clone(),
+        body: body.clone(),
+    });
+    let Frame::Subscribe { sid, header, body } = f else {
+        panic!("expected subscribe");
+    };
+    proxy.on_subscribe(9, sid, header.clone(), body, Some(7), 0);
+
+    // BRASS accepts, patches sticky routing, and pushes two updates.
+    let mut server = ServerStream::accept(sid, header, false);
+    let rewrite = server.rewrite(Json::obj([("brass_host", Json::from(7u64))]));
+    let batch = vec![
+        rewrite,
+        server.push(b"u0".to_vec()),
+        server.push(b"u1".to_vec()),
+    ];
+    let response = wire(&Frame::Response { sid, batch });
+
+    // The response passes back through both intermediaries, which observe
+    // the rewrite, then reaches the client.
+    let Frame::Response { sid, batch } = response else {
+        panic!("expected response");
+    };
+    proxy.on_response(9, sid, &batch, 1);
+    pop.on_response(9, sid, &batch, 1);
+    assert_eq!(
+        proxy
+            .get(9, sid)
+            .unwrap()
+            .header
+            .get("brass_host")
+            .and_then(Json::as_u64),
+        Some(7),
+        "proxy state tracks the rewrite"
+    );
+    let actions = client.on_batch(&batch);
+    assert_eq!(
+        actions,
+        vec![
+            ClientAction::HeaderRewritten,
+            ClientAction::Deliver(b"u0".to_vec()),
+            ClientAction::Deliver(b"u1".to_vec()),
+        ]
+    );
+    assert_eq!(client.state(), StreamState::Active);
+
+    // Cancel: state is garbage-collected on every hop.
+    let cancel = wire(&Frame::Cancel { sid });
+    let Frame::Cancel { sid } = cancel else {
+        panic!("expected cancel")
+    };
+    pop.on_cancel(9, sid);
+    proxy.on_cancel(9, sid);
+    assert!(pop.is_empty());
+    assert!(proxy.is_empty());
+}
+
+#[test]
+fn failover_resumes_from_rewritten_state() {
+    // A server records progress via rewrites; after it dies, the proxy
+    // rebuilds the subscribe from stored state and a NEW server resumes
+    // sequence numbering where the old one stopped.
+    let header = Json::obj([("viewer", Json::from(9u64)), ("topic", Json::from("/Msgr/9"))]);
+    let mut client = ClientStream::new(StreamId(5), header.clone(), vec![]);
+    let mut proxy = ProxyStreamTable::new();
+    proxy.on_subscribe(9, StreamId(5), header.clone(), vec![], Some(1), 0);
+
+    let mut server_a = ServerStream::accept(StreamId(5), header, true);
+    let batch = vec![
+        server_a.push(b"m0".to_vec()),
+        server_a.push(b"m1".to_vec()),
+        server_a.rewrite_progress(), // installs last_seq = 1
+    ];
+    proxy.on_response(9, StreamId(5), &batch, 1);
+    client.on_batch(&batch);
+    assert_eq!(client.delivered(), 2);
+
+    // Host 1 dies; the proxy repairs onto host 2 using stored state.
+    let affected = proxy.streams_via(1);
+    assert_eq!(affected, vec![(9, StreamId(5))]);
+    let resub = proxy.rebuild_subscribe(9, StreamId(5), 2).unwrap();
+    let Frame::Subscribe { sid, header, .. } = wire(&resub) else {
+        panic!("expected subscribe");
+    };
+    // Client learns of the repair (degraded → recovered resyncs its seq).
+    client.on_batch(&[Delta::FlowStatus(burst::frame::FlowStatus::Degraded)]);
+    client.on_batch(&[Delta::FlowStatus(burst::frame::FlowStatus::Recovered)]);
+
+    let mut server_b = ServerStream::accept(sid, header, true);
+    assert_eq!(server_b.next_seq(), 2, "resumes after the rewritten last_seq");
+    let batch = vec![server_b.push(b"m2".to_vec())];
+    let actions = client.on_batch(&batch);
+    assert_eq!(actions, vec![ClientAction::Deliver(b"m2".to_vec())]);
+    assert_eq!(client.gaps(), 0, "no gap, no replay");
+}
+
+#[test]
+fn redirect_flow() {
+    let header = Json::obj([("viewer", Json::from(1u64)), ("topic", Json::from("/LVC/1"))]);
+    let mut client = ClientStream::new(StreamId(2), header.clone(), vec![]);
+    let mut server = ServerStream::accept(StreamId(2), header, false);
+    // The BRASS wants this stream elsewhere: rewrite routing info, then
+    // terminate with Redirect.
+    let batch = vec![
+        server.rewrite(Json::obj([("brass_host", Json::from(99u64))])),
+        Delta::Terminate(TerminateReason::Redirect),
+    ];
+    let actions = client.on_batch(&batch);
+    assert!(actions.contains(&ClientAction::Terminated(TerminateReason::Redirect)));
+    // The client retries; its subscribe carries the new routing hint.
+    let f = client.resubscribe_request();
+    let Frame::Subscribe { header, .. } = f else {
+        panic!("expected subscribe")
+    };
+    assert_eq!(header.get("brass_host").and_then(Json::as_u64), Some(99));
+}
+
+#[test]
+fn ack_retention_replay_cycle() {
+    let header = Json::obj([("viewer", Json::from(1u64)), ("topic", Json::from("/Msgr/1"))]);
+    let mut client = ClientStream::new(StreamId(3), header.clone(), vec![]);
+    let mut server = ServerStream::accept(StreamId(3), header, true);
+    let batch = vec![
+        server.push(b"a".to_vec()),
+        server.push(b"b".to_vec()),
+        server.push(b"c".to_vec()),
+    ];
+    client.on_batch(&batch);
+    // The client acks; the wire hop preserves it; retention shrinks.
+    let ack = wire(&client.ack_request());
+    let Frame::Ack { seq, .. } = ack else {
+        panic!("expected ack")
+    };
+    server.on_ack(seq);
+    assert!(server.unacked().is_empty(), "everything acked");
+    // More updates, no ack: a reconnect replays exactly those.
+    server.push(b"d".to_vec());
+    let replay = server.replay_unacked();
+    assert_eq!(replay, vec![Delta::update(3, b"d".to_vec())]);
+    let actions = client.on_batch(&replay);
+    assert_eq!(actions, vec![ClientAction::Deliver(b"d".to_vec())]);
+}
+
+#[test]
+fn flow_control_end_to_end_over_wire() {
+    use burst::mux::{CreditManager, MuxSender};
+    let mut sender = MuxSender::new(200);
+    let mut receiver = CreditManager::new(200);
+    for i in 0..10u64 {
+        sender.enqueue(Frame::Response {
+            sid: StreamId(1),
+            batch: vec![Delta::update(i, vec![0u8; 80])],
+        });
+    }
+    let mut received = 0;
+    for _round in 0..50 {
+        let frames = sender.poll_sendable();
+        if frames.is_empty() && sender.queued(StreamId(1)) == 0 {
+            break;
+        }
+        for f in frames {
+            let delivered = wire(&f);
+            if let Some(grant) = receiver.on_received(StreamId(1), &delivered) {
+                let granted = wire(&grant);
+                if let Frame::Credit { sid, bytes } = granted {
+                    sender.on_credit(sid, bytes);
+                }
+            }
+            received += 1;
+        }
+    }
+    assert_eq!(received, 10, "credit loop drains the queue over the wire");
+}
