@@ -181,8 +181,7 @@ impl EventLog {
             .get_mut(partition as usize)
             .ok_or(EventLogError::UnknownTopic)?;
         p.reads += 1;
-        Ok(p
-            .records
+        Ok(p.records
             .iter()
             .skip(offset as usize)
             .take(max)

@@ -211,7 +211,10 @@ mod tests {
     fn filter_trees_evaluate() {
         let f = Filter::And(vec![
             Filter::MinQuality(0.5),
-            Filter::Or(vec![Filter::LangIs("en".into()), Filter::LangIs("fr".into())]),
+            Filter::Or(vec![
+                Filter::LangIs("en".into()),
+                Filter::LangIs("fr".into()),
+            ]),
         ]);
         let no_blocks = |_: u64| false;
         assert!(f.eval(&meta(1, 0.9), &no_blocks));
@@ -256,7 +259,10 @@ mod tests {
     fn knob_count_grows_with_onboarding() {
         let mut engine = GenericFilterEngine::new();
         for i in 0..10 {
-            engine.configure(&format!("/app{i}"), config(PrivacyPlacement::BeforeRateLimit));
+            engine.configure(
+                &format!("/app{i}"),
+                config(PrivacyPlacement::BeforeRateLimit),
+            );
         }
         // 4 filter leaves + 2 pipeline knobs per app.
         assert_eq!(engine.total_knobs(), 60);

@@ -122,10 +122,7 @@ impl ClientPoller {
         if empty {
             self.empty_polls += 1;
         }
-        Ok(PollOutcome {
-            comment_ids,
-            empty,
-        })
+        Ok(PollOutcome { comment_ids, empty })
     }
 }
 
@@ -251,8 +248,12 @@ mod tests {
         let mut agent =
             ServerPollingAgent::new(video, SimDuration::from_secs(2), SimTime::ZERO, 100);
         post(&mut was, video, user, 1_000);
-        agent.poll_and_push(&mut was, 0, SimTime::from_secs(2)).unwrap();
-        agent.poll_and_push(&mut was, 0, SimTime::from_secs(4)).unwrap();
+        agent
+            .poll_and_push(&mut was, 0, SimTime::from_secs(2))
+            .unwrap();
+        agent
+            .poll_and_push(&mut was, 0, SimTime::from_secs(4))
+            .unwrap();
         assert_eq!(agent.backend_polls(), 2, "one backend poll per interval");
         assert_eq!(agent.pushes(), 100, "first poll fanned to all 100 clients");
     }

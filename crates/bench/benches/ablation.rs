@@ -11,9 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use baseline::generic_filter::{
-    Filter, GenericFilterEngine, Meta, PrivacyPlacement, TopicConfig,
-};
+use baseline::generic_filter::{Filter, GenericFilterEngine, Meta, PrivacyPlacement, TopicConfig};
 use baseline::trigger::TriggerService;
 use brass::buffer::RankedBuffer;
 use pylon::Topic;
@@ -101,12 +99,12 @@ fn bench_filter_ablation(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let quality = (i % 100) as f64 / 100.0;
-            let lang_ok = i % 7 != 0;
+            let lang_ok = !i.is_multiple_of(7);
             let fresh = true;
             if quality >= 0.2 && lang_ok && fresh {
                 buf.push(quality, SimTime::from_millis(i), i);
             }
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 black_box(buf.pop_best(SimTime::from_millis(i)));
             }
         })
@@ -136,7 +134,11 @@ fn bench_filter_ablation(c: &mut Criterion) {
             let candidates = [Meta {
                 author: i % 50,
                 quality: (i % 100) as f64 / 100.0,
-                lang: if i % 7 == 0 { "fr".into() } else { "en".into() },
+                lang: if i.is_multiple_of(7) {
+                    "fr".into()
+                } else {
+                    "en".into()
+                },
                 age_ms: 100,
             }];
             black_box(engine.deliver_window("/LVC/1", &candidates, &|a| a % 13 == 0))
@@ -172,9 +174,7 @@ fn bench_pylon_vs_log(c: &mut Criterion) {
             // assigned partition (2 consumers per partition here).
             let (p, _) = log.append("/LVC/7", i).unwrap();
             for _consumer in 0..2 {
-                let got = log
-                    .poll("/LVC/7", p, offsets[p as usize], 16)
-                    .unwrap();
+                let got = log.poll("/LVC/7", p, offsets[p as usize], 16).unwrap();
                 black_box(got.len());
             }
             offsets[p as usize] += 1;

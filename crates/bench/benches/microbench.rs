@@ -68,7 +68,7 @@ fn bench_ranked_buffer(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             buf.push((i % 97) as f64 / 97.0, SimTime::from_millis(i), i);
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 black_box(buf.pop_best(SimTime::from_millis(i)));
             }
         })
@@ -152,7 +152,7 @@ fn bench_pylon_publish(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let t = Topic::live_video_comments(i % 10_000);
-            black_box(pylon.subscribe(&t, HostId((i % 64) as u32)).unwrap())
+            black_box(pylon.subscribe(&t, HostId((i % 64) as u32))).unwrap();
         })
     });
 }

@@ -45,7 +45,7 @@ fn main() {
             let offset = SimDuration::from_micros(sim.rng_mut().below(60_000_000));
             sim.schedule_device_drop(t + offset, d);
         }
-        t = t + SimDuration::from_mins(1);
+        t += SimDuration::from_mins(1);
     }
 
     // BRASS software upgrades: a rolling wave every 4 hours, plus rare

@@ -98,11 +98,7 @@ fn poll_side(viewers: usize, minutes: u64, seed: u64) -> Histogram {
                     visible,
                 )
                 .expect("valid mutation");
-            if let Some(id) = out
-                .response
-                .get("id")
-                .and_then(was::service::Rv::as_int)
-            {
+            if let Some(id) = out.response.get("id").and_then(was::service::Rv::as_int) {
                 created_of.insert(id as u64, created);
             }
             next_pending += 1;
@@ -120,8 +116,8 @@ fn poll_side(viewers: usize, minutes: u64, seed: u64) -> Histogram {
                 if let Ok(outcome) = p.poll(&mut was, 0, now) {
                     for id in outcome.comment_ids {
                         if let Some(&created) = created_of.get(&id) {
-                            let download = model
-                                .last_mile(bladerunner::config::LinkClass::Mobile, &mut rng);
+                            let download =
+                                model.last_mile(bladerunner::config::LinkClass::Mobile, &mut rng);
                             let latency =
                                 now.as_millis().saturating_sub(created) + download.as_millis();
                             hist.record(latency as f64);
@@ -130,7 +126,7 @@ fn poll_side(viewers: usize, minutes: u64, seed: u64) -> Histogram {
                 }
             }
         }
-        now = now + SimDuration::from_millis(250);
+        now += SimDuration::from_millis(250);
     }
     hist
 }

@@ -113,9 +113,7 @@ fn main() {
             ],
         ],
     );
-    let filtered = sim
-        .metrics()
-        .filtered_fraction(sim.total_decisions());
+    let filtered = sim.metrics().filtered_fraction(sim.total_decisions());
     println!(
         "\nBRASS filtered fraction: {:.0}% (paper: ~80% of messages filtered \
          out at BRASS instances).",

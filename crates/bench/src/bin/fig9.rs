@@ -72,7 +72,11 @@ fn main() {
             &lat.brass_to_device,
             &CDF_GRID,
         );
-        print_cdf(&format!("{app}: total publish time (ms)"), &lat.total, &CDF_GRID);
+        print_cdf(
+            &format!("{app}: total publish time (ms)"),
+            &lat.total,
+            &CDF_GRID,
+        );
     }
 
     let ti = &m.per_app["typing"];

@@ -55,16 +55,24 @@ fn polling_costs(viewers: usize, minutes: u64, comments: usize) -> (u64, u64, f6
                 let _ = p.poll(&mut was, 0, now);
             }
         }
-        now = now + SimDuration::from_millis(500);
+        now += SimDuration::from_millis(500);
     }
     let c = was.tao_mut().counters(0);
-    let empty: f64 =
-        pollers.iter().map(ClientPoller::empty_fraction).sum::<f64>() / viewers as f64;
+    let empty: f64 = pollers
+        .iter()
+        .map(ClientPoller::empty_fraction)
+        .sum::<f64>()
+        / viewers as f64;
     (c.total.rows_read, c.iops(), c.cpu_secs(), empty)
 }
 
 /// Bladerunner cost for the same audience and comment volume.
-fn bladerunner_costs(viewers: usize, minutes: u64, comments: usize, seed: u64) -> (u64, u64, f64, u64, u64) {
+fn bladerunner_costs(
+    viewers: usize,
+    minutes: u64,
+    comments: usize,
+    seed: u64,
+) -> (u64, u64, f64, u64, u64) {
     let mut sim = SystemSim::new(SystemConfig::small(), seed);
     let lv = LiveVideo::setup(&mut sim, viewers, 6, SimTime::ZERO);
     let window = SimDuration::from_secs(minutes * 60);
@@ -117,9 +125,7 @@ fn main() {
             ],
         ],
     );
-    println!(
-        "\nPaper: the LVC switchover cut WAS CPU load and social-graph QPS by ~10x."
-    );
+    println!("\nPaper: the LVC switchover cut WAS CPU load and social-graph QPS by ~10x.");
     // On the hot video itself polls rarely come up empty ({p_empty:.0}%);
     // the paper's "80% of queries return no new data" is fleet-wide, where
     // most subscribed areas are quiet (Table 1). Compute it from the

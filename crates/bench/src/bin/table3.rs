@@ -44,7 +44,11 @@ fn main() {
     sim.run_until(SimTime::from_secs(700));
 
     let m = sim.metrics();
-    let lvc_was = m.per_app.get("lvc").map(|l| l.was_handling.mean()).unwrap_or(0.0);
+    let lvc_was = m
+        .per_app
+        .get("lvc")
+        .map(|l| l.was_handling.mean())
+        .unwrap_or(0.0);
     let other_was = m
         .per_app
         .get("typing")

@@ -7,7 +7,7 @@ use simkit::metrics::{Counter, Histogram, TimeSeries};
 use simkit::time::{SimDuration, SimTime};
 
 /// Per-application latency histograms (Fig. 9 decomposition).
-#[derive(Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AppLatencies {
     /// Update request: edge proxy → WAS (milliseconds).
     pub edge_to_was: Histogram,
@@ -23,6 +23,7 @@ pub struct AppLatencies {
 }
 
 /// All measurements collected by a system run.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemMetrics {
     // ------------------------------------------------------------------
     // Counters.

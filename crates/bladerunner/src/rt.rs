@@ -26,14 +26,8 @@ use was::service::WebApplicationServer;
 
 /// Commands accepted by the backend thread.
 enum Command {
-    Subscribe {
-        device: u64,
-        sid: u64,
-        header: Json,
-    },
-    Mutation {
-        gql: String,
-    },
+    Subscribe { device: u64, sid: u64, header: Json },
+    Mutation { gql: String },
     Shutdown,
 }
 
@@ -109,7 +103,11 @@ impl Backend {
                     HostEffect::PylonUnsubscribe(topic) => {
                         let _ = self.pylon.unsubscribe(&topic, self.host.host_id());
                     }
-                    HostEffect::Was { app, token, request } => {
+                    HostEffect::Was {
+                        app,
+                        token,
+                        request,
+                    } => {
                         let response = self.serve_was(request);
                         let now = self.now();
                         next.extend(self.host.on_was_response(&app, token, response, now));
@@ -127,6 +125,10 @@ impl Backend {
                             }
                         }
                     }
+                    // The live runtime has no trace ledger; drop
+                    // attributions are a simulation-only observability
+                    // concern.
+                    HostEffect::DropUpdate { .. } => {}
                     HostEffect::Timer { at, app, token } => {
                         let delay = at.saturating_since(self.now());
                         self.timers.push(TimerEntry {
@@ -167,8 +169,7 @@ impl Backend {
                                 .filter_map(|e| {
                                     use was::service::Rv;
                                     let seq = e.get("seq").and_then(Rv::as_int)? as u64;
-                                    let obj =
-                                        e.get("messageId").and_then(Rv::as_int)? as u64;
+                                    let obj = e.get("messageId").and_then(Rv::as_int)? as u64;
                                     Some((seq, tao::ObjectId(obj)))
                                 })
                                 .collect::<Vec<_>>()
@@ -189,11 +190,15 @@ impl Backend {
                 .map(|t| t.deadline.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(50));
             match commands.recv_timeout(timeout) {
-                Ok(Command::Subscribe { device, sid, header }) => {
+                Ok(Command::Subscribe {
+                    device,
+                    sid,
+                    header,
+                }) => {
                     let now = self.now();
-                    let fx =
-                        self.host
-                            .on_subscribe(DeviceId(device), StreamId(sid), header, now);
+                    let fx = self
+                        .host
+                        .on_subscribe(DeviceId(device), StreamId(sid), header, now);
                     self.run_effects(fx);
                 }
                 Ok(Command::Mutation { gql }) => {
@@ -201,10 +206,7 @@ impl Backend {
                     if let Ok(outcome) = self.was.execute_mutation(&gql, now.as_millis()) {
                         for event in outcome.events {
                             let fanout = self.pylon.publish(&event.topic, event.id);
-                            for host in fanout
-                                .fast_forwards
-                                .into_iter()
-                                .chain(fanout.late_forwards)
+                            for host in fanout.fast_forwards.into_iter().chain(fanout.late_forwards)
                             {
                                 if host == self.host.host_id() {
                                     let now = self.now();
@@ -277,10 +279,16 @@ impl RtSystem {
             ("viewer", Json::from(device)),
             (
                 "gql",
-                Json::from(format!("subscription {{ liveVideoComments(videoId: {video}) }}")),
+                Json::from(format!(
+                    "subscription {{ liveVideoComments(videoId: {video}) }}"
+                )),
             ),
         ]);
-        let _ = self.commands.send(Command::Subscribe { device, sid, header });
+        let _ = self.commands.send(Command::Subscribe {
+            device,
+            sid,
+            header,
+        });
     }
 
     /// Posts a comment.

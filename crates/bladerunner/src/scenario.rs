@@ -55,7 +55,7 @@ impl LiveVideo {
         let mut n = 0usize;
         loop {
             let step = SimDuration::from_secs_f64(gap.sample(sim.rng_mut()));
-            t = t + step;
+            t += step;
             if t.saturating_since(from) >= duration {
                 return n;
             }
@@ -103,7 +103,8 @@ impl DiurnalDay {
             }
             for &f in &u.friends {
                 if f > u.index {
-                    sim.was_mut().add_friend(device_ids[u.index], device_ids[f], 0);
+                    sim.was_mut()
+                        .add_friend(device_ids[u.index], device_ids[f], 0);
                 }
             }
             for &b in &u.blocked {
@@ -165,7 +166,7 @@ impl DiurnalDay {
                 let offset = SimDuration::from_micros(sim.rng_mut().below(60_000_000));
                 self.post_random_mutation(sim, t + offset);
             }
-            t = t + step;
+            t += step;
         }
     }
 

@@ -19,6 +19,7 @@ use pylon::{HostId, PylonCluster, Topic};
 use simkit::queue::EventQueue;
 use simkit::rng::DetRng;
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{DropReason, Hop, HopOutcome, TraceId, TraceLedger};
 use tao::{ObjectId, Tao};
 use was::service::{Rv, WebApplicationServer};
 use was::UpdateEvent;
@@ -54,7 +55,11 @@ enum Ev {
     // BRASS subscriptions and async work.
     // ------------------------------------------------------------------
     /// A BRASS host's subscribe reaches (and replicates within) Pylon.
-    PylonSubscribeExec { host: usize, topic: Topic, attempt: u32 },
+    PylonSubscribeExec {
+        host: usize,
+        topic: Topic,
+        attempt: u32,
+    },
     /// A BRASS host's unsubscribe reaches Pylon.
     PylonUnsubscribeExec { host: usize, topic: Topic },
     /// A BRASS-issued WAS request executes at the WAS.
@@ -74,7 +79,11 @@ enum Ev {
         attributed: Option<SimTime>,
     },
     /// An application timer fires.
-    BrassTimer { host: usize, app: String, token: u64 },
+    BrassTimer {
+        host: usize,
+        app: String,
+        token: u64,
+    },
 
     // ------------------------------------------------------------------
     // Frame transport, client → server.
@@ -82,19 +91,39 @@ enum Ev {
     /// A device frame arrives at its POP.
     AtPop { device: u64, frame: Frame },
     /// A frame arrives at a reverse proxy.
-    AtProxy { proxy: usize, device: u64, frame: Frame },
+    AtProxy {
+        proxy: usize,
+        device: u64,
+        frame: Frame,
+    },
     /// A frame arrives at a BRASS host.
-    AtBrass { host: usize, device: u64, frame: Frame },
+    AtBrass {
+        host: usize,
+        device: u64,
+        frame: Frame,
+    },
 
     // ------------------------------------------------------------------
     // Frame transport, server → client.
     // ------------------------------------------------------------------
     /// A response frame arrives at the stream's proxy on its way down.
-    DownAtProxy { device: u64, frame: Frame, sent_at: SimTime },
+    DownAtProxy {
+        device: u64,
+        frame: Frame,
+        sent_at: SimTime,
+    },
     /// A response frame arrives at the device's POP.
-    DownAtPop { device: u64, frame: Frame, sent_at: SimTime },
+    DownAtPop {
+        device: u64,
+        frame: Frame,
+        sent_at: SimTime,
+    },
     /// A response frame arrives at the device.
-    AtDevice { device: u64, frame: Frame, sent_at: SimTime },
+    AtDevice {
+        device: u64,
+        frame: Frame,
+        sent_at: SimTime,
+    },
 
     // ------------------------------------------------------------------
     // Failures and maintenance.
@@ -146,6 +175,14 @@ pub struct SystemSim {
     device_proxy: HashMap<u64, usize>,
 
     metrics: SystemMetrics,
+    /// The per-update hop ledger: every admitted update's journey through
+    /// write → Pylon → BRASS → BURST → device, with drop attribution.
+    ledger: TraceLedger,
+    /// object → trace of the most recent update event referencing it, used
+    /// to attribute payload fetches, frames, and renders back to traces.
+    /// (Updates sharing an object — e.g. one message fanned to N mailboxes —
+    /// resolve to the most recent trace.)
+    object_trace: HashMap<ObjectId, TraceId>,
     /// Streams subscribed per topic (Fig. 7 publication accounting).
     topic_streams: HashMap<Topic, Vec<(u64, StreamId)>>,
     /// Pylon event delivery time per (host, object), for BRASS-latency
@@ -196,6 +233,8 @@ impl SystemSim {
             devices: HashMap::new(),
             device_proxy: HashMap::new(),
             metrics,
+            ledger: TraceLedger::new(),
+            object_trace: HashMap::new(),
             topic_streams: HashMap::new(),
             object_delivered: HashMap::new(),
             sub_started: HashMap::new(),
@@ -229,6 +268,11 @@ impl SystemSim {
     /// Mutable metrics access (harnesses add their own annotations).
     pub fn metrics_mut(&mut self) -> &mut SystemMetrics {
         &mut self.metrics
+    }
+
+    /// The hop-ledger of every update traced through this run.
+    pub fn trace_ledger(&self) -> &TraceLedger {
+        &self.ledger
     }
 
     /// Total BRASS delivery decisions across hosts.
@@ -295,7 +339,8 @@ impl SystemSim {
 
     /// Schedules a subscription with an explicit header.
     pub fn subscribe_with_header(&mut self, at: SimTime, device: u64, header: Json) {
-        self.queue.schedule(at, Ev::DeviceSubscribe { device, header });
+        self.queue
+            .schedule(at, Ev::DeviceSubscribe { device, header });
     }
 
     fn gql_header(&self, device: u64, gql: String) -> Json {
@@ -345,8 +390,10 @@ impl SystemSim {
 
     /// Schedules a NewsFeedPostLikes subscription.
     pub fn subscribe_likes(&mut self, at: SimTime, device: u64, post: u64) {
-        let header =
-            self.gql_header(device, format!("subscription {{ postLikes(postId: {post}) }}"));
+        let header = self.gql_header(
+            device,
+            format!("subscription {{ postLikes(postId: {post}) }}"),
+        );
         self.subscribe_with_header(at, device, header);
     }
 
@@ -364,8 +411,7 @@ impl SystemSim {
 
     /// Schedules a Messenger mailbox subscription.
     pub fn subscribe_mailbox(&mut self, at: SimTime, device: u64) {
-        let header =
-            self.gql_header(device, format!("subscription {{ mailbox(uid: {device}) }}"));
+        let header = self.gql_header(device, format!("subscription {{ mailbox(uid: {device}) }}"));
         self.subscribe_with_header(at, device, header);
     }
 
@@ -381,8 +427,8 @@ impl SystemSim {
             .get(&device)
             .map(|d| d.link)
             .unwrap_or(LinkClass::Mobile);
-        let delay = self.latency.last_mile(link, &mut self.rng)
-            + self.latency.edge_to_was(&mut self.rng);
+        let delay =
+            self.latency.last_mile(link, &mut self.rng) + self.latency.edge_to_was(&mut self.rng);
         self.queue
             .schedule(at + delay, Ev::WasMutationExec { gql, app });
     }
@@ -411,9 +457,8 @@ impl SystemSim {
 
     /// Schedules a story creation.
     pub fn create_story(&mut self, at: SimTime, device: u64, media: &str) {
-        let gql = format!(
-            r#"mutation {{ createStory(authorId: {device}, media: "{media}") {{ id }} }}"#
-        );
+        let gql =
+            format!(r#"mutation {{ createStory(authorId: {device}, media: "{media}") {{ id }} }}"#);
         self.schedule_mutation(at, device, gql, "stories");
     }
 
@@ -458,7 +503,8 @@ impl SystemSim {
     /// Schedules a BRASS host drain/upgrade lasting `duration`.
     pub fn schedule_brass_upgrade(&mut self, at: SimTime, host: usize, duration: SimDuration) {
         self.queue.schedule(at, Ev::BrassUpgrade { host });
-        self.queue.schedule(at + duration, Ev::BrassHostBack { host });
+        self.queue
+            .schedule(at + duration, Ev::BrassHostBack { host });
     }
 
     /// Schedules a Pylon subscriber-KV node outage of `duration`.
@@ -487,43 +533,68 @@ impl SystemSim {
             Ev::PylonPublish { event } => self.on_pylon_publish(now, event),
             Ev::PylonDeliverHost { host, event } => self.on_pylon_deliver(now, host, event),
             Ev::TaoReplicate { event } => self.was.tao_mut().apply_replication(&event),
-            Ev::PylonSubscribeExec { host, topic, attempt } => {
-                self.on_pylon_subscribe_exec(now, host, topic, attempt)
-            }
+            Ev::PylonSubscribeExec {
+                host,
+                topic,
+                attempt,
+            } => self.on_pylon_subscribe_exec(now, host, topic, attempt),
             Ev::PylonUnsubscribeExec { host, topic } => {
                 let _ = self.pylon.unsubscribe(&topic, HostId(host as u32));
             }
-            Ev::WasExec { host, app, token, request, attributed } => {
-                self.on_was_exec(now, host, app, token, request, attributed)
-            }
-            Ev::WasReply { host, app, token, response, attributed } => {
-                self.on_was_reply(now, host, app, token, response, attributed)
-            }
+            Ev::WasExec {
+                host,
+                app,
+                token,
+                request,
+                attributed,
+            } => self.on_was_exec(now, host, app, token, request, attributed),
+            Ev::WasReply {
+                host,
+                app,
+                token,
+                response,
+                attributed,
+            } => self.on_was_reply(now, host, app, token, response, attributed),
             Ev::BrassTimer { host, app, token } => {
                 let fx = self.hosts[host].on_timer(&app, token, now);
                 self.process_host_effects(now, host, fx, None);
             }
             Ev::AtPop { device, frame } => self.on_at_pop(now, device, frame),
-            Ev::AtProxy { proxy, device, frame } => self.on_at_proxy(now, proxy, device, frame),
-            Ev::AtBrass { host, device, frame } => self.on_at_brass(now, host, device, frame),
-            Ev::DownAtProxy { device, frame, sent_at } => {
-                self.on_down_at_proxy(now, device, frame, sent_at)
-            }
-            Ev::DownAtPop { device, frame, sent_at } => {
-                self.on_down_at_pop(now, device, frame, sent_at)
-            }
-            Ev::AtDevice { device, frame, sent_at } => {
-                self.on_at_device(now, device, frame, sent_at)
-            }
+            Ev::AtProxy {
+                proxy,
+                device,
+                frame,
+            } => self.on_at_proxy(now, proxy, device, frame),
+            Ev::AtBrass {
+                host,
+                device,
+                frame,
+            } => self.on_at_brass(now, host, device, frame),
+            Ev::DownAtProxy {
+                device,
+                frame,
+                sent_at,
+            } => self.on_down_at_proxy(now, device, frame, sent_at),
+            Ev::DownAtPop {
+                device,
+                frame,
+                sent_at,
+            } => self.on_down_at_pop(now, device, frame, sent_at),
+            Ev::AtDevice {
+                device,
+                frame,
+                sent_at,
+            } => self.on_at_device(now, device, frame, sent_at),
             Ev::DeviceDrop { device } => self.on_device_drop(now, device),
             Ev::DeviceReconnect { device, frames } => self.on_device_reconnect(now, device, frames),
-            Ev::BrassRedirect { host, device, sid, to_host } => {
-                let fx = self.hosts[host].redirect_stream(
-                    DeviceId(device),
-                    sid,
-                    to_host as u32,
-                    now,
-                );
+            Ev::BrassRedirect {
+                host,
+                device,
+                sid,
+                to_host,
+            } => {
+                let fx =
+                    self.hosts[host].redirect_stream(DeviceId(device), sid, to_host as u32, now);
                 self.process_host_effects(now, host, fx, None);
             }
             Ev::BrassUpgrade { host } => self.on_brass_upgrade(now, host),
@@ -586,7 +657,8 @@ impl SystemSim {
         }
         let link = state.link;
         let delay = self.latency.last_mile(link, &mut self.rng);
-        self.queue.schedule(now + delay, Ev::AtPop { device, frame });
+        self.queue
+            .schedule(now + delay, Ev::AtPop { device, frame });
     }
 
     fn on_device_cancel(&mut self, now: SimTime, device: u64, sid: StreamId) {
@@ -603,7 +675,8 @@ impl SystemSim {
         }
         let link = state.link;
         let delay = self.latency.last_mile(link, &mut self.rng);
-        self.queue.schedule(now + delay, Ev::AtPop { device, frame });
+        self.queue
+            .schedule(now + delay, Ev::AtPop { device, frame });
     }
 
     fn on_was_mutation(&mut self, now: SimTime, gql: &str, app: &'static str) {
@@ -613,14 +686,22 @@ impl SystemSim {
         self.metrics.mutations.inc();
         for rep in outcome.replication {
             let d = self.latency.cross_region(&mut self.rng);
-            self.queue.schedule(now + d, Ev::TaoReplicate { event: rep });
+            self.queue
+                .schedule(now + d, Ev::TaoReplicate { event: rep });
         }
-        let was_delay = self.latency.was_mutation(outcome.was_latency_ms, &mut self.rng);
+        let was_delay = self
+            .latency
+            .was_mutation(outcome.was_latency_ms, &mut self.rng);
         self.metrics
             .app(app)
             .was_handling
             .record(was_delay.as_millis_f64());
         for event in outcome.events {
+            // The write committed: open the update's trace.
+            let trace = TraceId(event.id);
+            self.object_trace.insert(event.object, trace);
+            self.ledger
+                .record(trace, Hop::TaoCommit, now, HopOutcome::Ok);
             self.queue
                 .schedule(now + was_delay, Ev::PylonPublish { event });
         }
@@ -637,6 +718,13 @@ impl SystemSim {
         }
         let outcome = self.pylon.publish(&event.topic, event.id);
         let subscribers = outcome.fast_forwards.len() + outcome.late_forwards.len();
+        let publish_outcome = if subscribers == 0 {
+            HopOutcome::Dropped(DropReason::NoSubscribers)
+        } else {
+            HopOutcome::Ok
+        };
+        self.ledger
+            .record(TraceId(event.id), Hop::PylonPublish, now, publish_outcome);
         let fanout = self.latency.pylon_fanout(subscribers, &mut self.rng);
         if subscribers < 10_000 {
             self.metrics
@@ -673,6 +761,8 @@ impl SystemSim {
             return;
         }
         self.object_delivered.insert((host, event.object), now);
+        self.ledger
+            .record(TraceId(event.id), Hop::PylonDeliver, now, HopOutcome::Ok);
         let fx = self.hosts[host].on_pylon_event(&event, now);
         self.process_host_effects(now, host, fx, Some(now));
     }
@@ -710,11 +800,22 @@ impl SystemSim {
     ) {
         let response = match request {
             WasRequest::FetchObject { viewer, object } => {
-                match self.was.fetch_for_viewer(0, viewer, object) {
+                let response = match self.was.fetch_for_viewer(0, viewer, object) {
                     Ok((payload, _)) => WasResponse::Payload(payload),
                     Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
                     Err(_) => WasResponse::NotFound,
+                };
+                // The payload fetch is the final BRASS-processing gate:
+                // the WAS privacy check decides whether the update survives.
+                if let Some(&trace) = self.object_trace.get(&object) {
+                    let outcome = match &response {
+                        WasResponse::Payload(_) => HopOutcome::Ok,
+                        WasResponse::Denied => HopOutcome::Dropped(DropReason::PrivacyBlock),
+                        _ => HopOutcome::Dropped(DropReason::NotFound),
+                    };
+                    self.ledger.record(trace, Hop::BrassProcess, now, outcome);
                 }
+                response
             }
             WasRequest::Friends { uid } => WasResponse::Friends(self.was.friends_of(uid)),
             WasRequest::MailboxAfter { uid, after_seq } => {
@@ -798,7 +899,11 @@ impl SystemSim {
                     self.queue
                         .schedule(now + d, Ev::PylonUnsubscribeExec { host, topic });
                 }
-                HostEffect::Was { app, token, request } => {
+                HostEffect::Was {
+                    app,
+                    token,
+                    request,
+                } => {
                     // Payload fetches inherit attribution from the event
                     // that referenced the object (covers buffered apps).
                     let attr = match &request {
@@ -821,9 +926,23 @@ impl SystemSim {
                         },
                     );
                 }
+                HostEffect::DropUpdate { object, reason } => {
+                    if let Some(&trace) = self.object_trace.get(&object) {
+                        self.ledger.record(
+                            trace,
+                            Hop::BrassProcess,
+                            now,
+                            HopOutcome::Dropped(reason),
+                        );
+                    }
+                }
                 HostEffect::Send { device, frame } => {
                     let proc = self.latency.brass_processing(&mut self.rng);
                     let send_at = now + proc;
+                    for trace in self.frame_traces(&frame) {
+                        self.ledger
+                            .record(trace, Hop::BrassSend, send_at, HopOutcome::Ok);
+                    }
                     if let Some(event_at) = attributed {
                         // Only data batches count as event processing.
                         if matches!(&frame, Frame::Response { batch, .. }
@@ -884,7 +1003,11 @@ impl SystemSim {
         let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
         for effect in fx {
             match effect {
-                PopEffect::ToProxy { proxy, device, frame } => {
+                PopEffect::ToProxy {
+                    proxy,
+                    device,
+                    frame,
+                } => {
                     self.device_proxy.insert(device, proxy as usize);
                     let d = self.latency.pop_proxy(&mut self.rng);
                     self.queue.schedule(
@@ -918,7 +1041,11 @@ impl SystemSim {
     fn process_proxy_effects(&mut self, now: SimTime, effects: Vec<ProxyEffect>) {
         for effect in effects {
             match effect {
-                ProxyEffect::ToBrass { host, device, frame } => {
+                ProxyEffect::ToBrass {
+                    host,
+                    device,
+                    frame,
+                } => {
                     let d = self.latency.proxy_brass(&mut self.rng);
                     self.queue.schedule(
                         now + d,
@@ -996,16 +1123,61 @@ impl SystemSim {
         }
     }
 
+    /// Resolves an update payload to its trace id via the embedded TAO
+    /// object id. Payloads without an `"id"` field (or for objects written
+    /// before tracing started) are simply untraced.
+    fn payload_trace(object_trace: &HashMap<ObjectId, TraceId>, payload: &[u8]) -> Option<TraceId> {
+        let json = Json::parse(std::str::from_utf8(payload).unwrap_or("")).ok()?;
+        let id = json.get("id").and_then(Json::as_u64)?;
+        object_trace.get(&ObjectId(id)).copied()
+    }
+
+    /// The trace ids of every update payload a frame carries, in batch
+    /// order.
+    fn frame_traces(&self, frame: &Frame) -> Vec<TraceId> {
+        frame
+            .update_payloads()
+            .filter_map(|p| Self::payload_trace(&self.object_trace, p))
+            .collect()
+    }
+
     fn schedule_to_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
         let Some(state) = self.devices.get(&device) else {
             return;
         };
         if !state.connected {
-            return; // Best effort: frames to disconnected devices vanish.
+            // Best effort: frames to disconnected devices vanish.
+            for p in frame.update_payloads() {
+                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
+                    self.ledger.record(
+                        trace,
+                        Hop::BurstDeliver,
+                        now,
+                        HopOutcome::Dropped(DropReason::DeviceDisconnected),
+                    );
+                }
+            }
+            return;
         }
         if self.rng.chance(self.config.last_mile_drop) {
             self.metrics.frames_lost.inc();
+            for p in frame.update_payloads() {
+                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
+                    self.ledger.record(
+                        trace,
+                        Hop::BurstDeliver,
+                        now,
+                        HopOutcome::Dropped(DropReason::LastMileLoss),
+                    );
+                }
+            }
             return;
+        }
+        for p in frame.update_payloads() {
+            if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
+                self.ledger
+                    .record(trace, Hop::BurstDeliver, now, HopOutcome::Ok);
+            }
         }
         let link = state.link;
         let d = self.latency.last_mile(link, &mut self.rng);
@@ -1025,6 +1197,18 @@ impl SystemSim {
             return;
         };
         if !state.connected {
+            // The device dropped while the frame was in flight on the last
+            // mile.
+            for p in frame.update_payloads() {
+                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
+                    self.ledger.record(
+                        trace,
+                        Hop::DeviceRender,
+                        now,
+                        HopOutcome::Dropped(DropReason::DeviceDisconnected),
+                    );
+                }
+            }
             return;
         }
         // Device-observed subscription latency: first response on a stream.
@@ -1054,6 +1238,12 @@ impl SystemSim {
                             lat.total
                                 .record(now.saturating_since(created).as_millis_f64());
                         }
+                        if let Some(id) = json.get("id").and_then(Json::as_u64) {
+                            if let Some(&trace) = self.object_trace.get(&ObjectId(id)) {
+                                self.ledger
+                                    .record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
+                            }
+                        }
                     }
                 }
                 DeviceOutput::StreamEnded { sid, retry } => {
@@ -1081,7 +1271,8 @@ impl SystemSim {
                 if let Some(ack) = state.device.ack(sid) {
                     let link = state.link;
                     let d = self.latency.last_mile(link, &mut self.rng);
-                    self.queue.schedule(now + d, Ev::AtPop { device, frame: ack });
+                    self.queue
+                        .schedule(now + d, Ev::AtPop { device, frame: ack });
                 }
             }
         }
@@ -1153,11 +1344,7 @@ impl SystemSim {
     }
 
     fn on_metrics_tick(&mut self, now: SimTime) {
-        let active: usize = self
-            .devices
-            .values()
-            .map(|d| d.device.open_streams())
-            .sum();
+        let active: usize = self.devices.values().map(|d| d.device.open_streams()).sum();
         self.metrics.ts_active_streams.record(now, active as f64);
         let decisions = self.total_decisions();
         self.metrics
@@ -1194,7 +1381,11 @@ mod tests {
             "an astonishing ring of fire over the ocean",
         );
         s.run_until(SimTime::from_secs(60));
-        assert_eq!(s.metrics().deliveries.get(), 1, "comment reached the viewer");
+        assert_eq!(
+            s.metrics().deliveries.get(),
+            1,
+            "comment reached the viewer"
+        );
         assert_eq!(s.metrics().publications.get(), 1);
         let lat = &s.metrics().per_app["lvc"];
         assert_eq!(lat.total.count(), 1);
@@ -1208,10 +1399,19 @@ mod tests {
         let mut s = sim();
         let video = s.was_mut().create_video("v");
         let poster = s.create_user_device("poster", "en");
-        s.post_comment(SimTime::from_secs(1), poster, video, "talking to the void here");
+        s.post_comment(
+            SimTime::from_secs(1),
+            poster,
+            video,
+            "talking to the void here",
+        );
         s.run_until(SimTime::from_secs(30));
         assert_eq!(s.metrics().deliveries.get(), 0);
-        assert_eq!(s.metrics().publications.get(), 1, "published but nobody listens");
+        assert_eq!(
+            s.metrics().publications.get(),
+            1,
+            "published but nobody listens"
+        );
     }
 
     #[test]
@@ -1237,7 +1437,7 @@ mod tests {
         let a = s.create_user_device("a", "en");
         let b = s.create_user_device("b", "en");
         let thread = s.was_mut().create_thread(&[a, b]);
-        s.subscribe_mailbox(SimTime::ZERO, b, );
+        s.subscribe_mailbox(SimTime::ZERO, b);
         for i in 0..5 {
             s.send_message(
                 SimTime::from_secs(2 + i),
@@ -1272,7 +1472,10 @@ mod tests {
         // survive.
         let delivered = s.metrics().deliveries.get();
         assert!(delivered >= 2, "some comments delivered: {delivered}");
-        assert!(delivered <= 12, "rate limit must cap deliveries: {delivered}");
+        assert!(
+            delivered <= 12,
+            "rate limit must cap deliveries: {delivered}"
+        );
         assert!(s.total_decisions() > delivered, "most updates filtered");
     }
 
@@ -1283,16 +1486,30 @@ mod tests {
         let poster = s.create_user_device("poster", "en");
         let viewer = s.create_user_device("viewer", "en");
         s.subscribe_lvc(SimTime::ZERO, viewer, video);
-        s.post_comment(SimTime::from_secs(2), poster, video, "before the drop happens here");
+        s.post_comment(
+            SimTime::from_secs(2),
+            poster,
+            video,
+            "before the drop happens here",
+        );
         s.run_until(SimTime::from_secs(15));
         let before = s.metrics().deliveries.get();
         assert_eq!(before, 1);
         // Drop the viewer; it reconnects and resubscribes automatically.
         s.schedule_device_drop(SimTime::from_secs(16), viewer);
-        s.post_comment(SimTime::from_secs(25), poster, video, "after reconnect this arrives");
+        s.post_comment(
+            SimTime::from_secs(25),
+            poster,
+            video,
+            "after reconnect this arrives",
+        );
         s.run_until(SimTime::from_secs(60));
         assert_eq!(s.metrics().connection_drops.get(), 1);
-        assert_eq!(s.metrics().deliveries.get(), 2, "delivery resumed after reconnect");
+        assert_eq!(
+            s.metrics().deliveries.get(),
+            2,
+            "delivery resumed after reconnect"
+        );
     }
 
     #[test]
@@ -1305,12 +1522,25 @@ mod tests {
         s.run_until(SimTime::from_secs(10));
         // Upgrade every host in turn at t=12; the stream's host is repaired.
         for h in 0..4 {
-            s.schedule_brass_upgrade(SimTime::from_secs(12 + h), h as usize, SimDuration::from_secs(30));
+            s.schedule_brass_upgrade(
+                SimTime::from_secs(12 + h),
+                h as usize,
+                SimDuration::from_secs(30),
+            );
         }
-        s.post_comment(SimTime::from_secs(50), poster, video, "life after the upgrade wave");
+        s.post_comment(
+            SimTime::from_secs(50),
+            poster,
+            video,
+            "life after the upgrade wave",
+        );
         s.run_until(SimTime::from_secs(90));
         assert!(s.total_proxy_reconnects() >= 1, "proxy repaired the stream");
-        assert_eq!(s.metrics().deliveries.get(), 1, "delivery works after repair");
+        assert_eq!(
+            s.metrics().deliveries.get(),
+            1,
+            "delivery works after repair"
+        );
     }
 
     #[test]
@@ -1324,10 +1554,18 @@ mod tests {
         }
         s.subscribe_lvc(SimTime::from_secs(5), viewer, video);
         s.run_until(SimTime::from_secs(20));
-        assert!(s.metrics().quorum_failures.get() >= 1, "CP subscribe failed");
+        assert!(
+            s.metrics().quorum_failures.get() >= 1,
+            "CP subscribe failed"
+        );
         // After the outage the retry succeeds and delivery flows.
         let poster = s.create_user_device("poster", "en");
-        s.post_comment(SimTime::from_secs(60), poster, video, "postquorum comment arrives fine");
+        s.post_comment(
+            SimTime::from_secs(60),
+            poster,
+            video,
+            "postquorum comment arrives fine",
+        );
         s.run_until(SimTime::from_secs(120));
         assert_eq!(s.metrics().deliveries.get(), 1);
     }
@@ -1365,7 +1603,12 @@ mod tests {
         let poster = s.create_user_device("poster", "en");
         let viewer = s.create_user_device("viewer", "en");
         s.subscribe_lvc(SimTime::ZERO, viewer, video);
-        s.post_comment(SimTime::from_secs(1), poster, video, "a single interesting comment");
+        s.post_comment(
+            SimTime::from_secs(1),
+            poster,
+            video,
+            "a single interesting comment",
+        );
         s.run_until(SimTime::from_secs(20));
         s.cancel_stream(SimTime::from_secs(21), viewer, StreamId(1));
         s.run_until(SimTime::from_secs(30));
@@ -1373,6 +1616,78 @@ mod tests {
         assert!(s.metrics().stream_lifetimes[0] >= SimDuration::from_secs(20));
         let buckets = s.metrics().publication_buckets();
         assert_eq!(buckets[1], 100.0, "the one stream saw 1-9 publications");
+    }
+
+    #[test]
+    fn lvc_traces_account_for_every_update() {
+        let mut s = sim();
+        let video = s.was_mut().create_video("traced");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        // A burst dense enough to exercise the drop paths: buffer
+        // overflow and rate-limit expiry alongside ordinary delivery.
+        for i in 0..30 {
+            s.post_comment(
+                SimTime::from_millis(2_000 + i * 200),
+                poster,
+                video,
+                &format!("burst comment number {i} with plenty of text"),
+            );
+        }
+        // Posts end by t=8s; with a 10s freshness window and a 2s push
+        // timer, every buffered comment is pushed or expired long before
+        // t=60s, so no trace can still be in flight at the end.
+        s.run_until(SimTime::from_secs(60));
+
+        let ledger = s.trace_ledger();
+        assert_eq!(ledger.trace_count() as u64, s.metrics().publications.get());
+        assert!(ledger.unaccounted().is_empty(), "every update resolved");
+
+        let mut delivered = 0u64;
+        for trace in ledger.trace_ids() {
+            let chain = ledger.chain(trace);
+            assert_eq!(chain[0].hop, Hop::TaoCommit, "chains start at commit");
+            for pair in chain.windows(2) {
+                assert!(pair[0].at <= pair[1].at, "hop timestamps are monotone");
+            }
+            if ledger.is_delivered(trace) {
+                delivered += 1;
+                let last = chain.last().unwrap();
+                assert_eq!(last.hop, Hop::DeviceRender);
+                assert_eq!(last.outcome, HopOutcome::Ok);
+                // Per-hop latencies telescope to the end-to-end latency.
+                let hop_sum = chain
+                    .windows(2)
+                    .map(|p| p[1].at.saturating_since(p[0].at))
+                    .fold(SimDuration::ZERO, |a, b| a + b);
+                let e2e = ledger
+                    .deliveries()
+                    .iter()
+                    .find(|(t, _)| *t == trace)
+                    .map(|(_, d)| *d)
+                    .unwrap();
+                assert_eq!(hop_sum, e2e, "hop latencies sum to delivery latency");
+            } else {
+                ledger
+                    .drop_of(trace)
+                    .expect("non-delivered update has a drop record naming hop and reason");
+            }
+        }
+        assert_eq!(delivered, s.metrics().deliveries.get());
+        assert!(delivered > 0, "some comments were delivered");
+        assert!(
+            delivered < 30,
+            "the burst must overflow the buffer / rate limit"
+        );
+        assert!(
+            !ledger.drop_table().is_empty(),
+            "drop attribution table is populated"
+        );
+        assert!(
+            !ledger.hop_summaries().is_empty(),
+            "per-hop latency histograms are populated"
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Determinism regression: all randomness flows from the single seed, so
+//! the same seed must reproduce the run bit-for-bit — every metric and
+//! every trace-ledger hop record — while a different seed must not.
+
+use bladerunner::{SystemConfig, SystemMetrics, SystemSim};
+use simkit::time::SimTime;
+use simkit::trace::TraceLedger;
+
+/// An LVC end-to-end scenario with enough entropy sources to catch a
+/// nondeterminism regression: ranking, buffer pressure, rate-limit expiry,
+/// last-mile loss, and a mid-run device drop with reconnect.
+fn lvc_scenario(seed: u64) -> (SystemMetrics, TraceLedger) {
+    let mut s = SystemSim::new(SystemConfig::small(), seed);
+    let video = s.was_mut().create_video("replay");
+    let poster = s.create_user_device("poster", "en");
+    let viewer = s.create_user_device("viewer", "en");
+    s.subscribe_lvc(SimTime::ZERO, viewer, video);
+    for i in 0..20 {
+        s.post_comment(
+            SimTime::from_millis(2_000 + i * 300),
+            poster,
+            video,
+            &format!("replayable comment number {i} with text"),
+        );
+    }
+    s.schedule_device_drop(SimTime::from_secs(6), viewer);
+    s.run_until(SimTime::from_secs(60));
+    (s.metrics().clone(), s.trace_ledger().clone())
+}
+
+#[test]
+fn same_seed_reproduces_metrics_and_ledger_exactly() {
+    let (m1, l1) = lvc_scenario(42);
+    let (m2, l2) = lvc_scenario(42);
+    assert_eq!(m1, m2, "metrics must be bit-identical across replays");
+    assert_eq!(
+        l1.records(),
+        l2.records(),
+        "hop records must be bit-identical across replays"
+    );
+    assert_eq!(l1, l2, "the full ledgers must be bit-identical");
+}
+
+#[test]
+fn different_seed_diverges() {
+    let (m1, l1) = lvc_scenario(42);
+    let (m2, l2) = lvc_scenario(777);
+    assert!(
+        m1 != m2 || l1 != l2,
+        "different seeds must not produce identical runs"
+    );
+}

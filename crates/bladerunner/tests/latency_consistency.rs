@@ -16,7 +16,12 @@ fn typing_brass_latency_reproduces_table3() {
     let thread = sim.was_mut().create_thread(&[a, b]);
     sim.subscribe_typing(SimTime::ZERO, b, thread, a);
     for i in 0..400u64 {
-        sim.set_typing(SimTime::from_millis(3_000 + i * 1_500), a, thread, i % 2 == 0);
+        sim.set_typing(
+            SimTime::from_millis(3_000 + i * 1_500),
+            a,
+            thread,
+            i % 2 == 0,
+        );
     }
     sim.run_until(SimTime::from_secs(700));
     let lat = &sim.metrics().per_app["typing"];
@@ -38,7 +43,11 @@ fn stage_latencies_sum_to_total() {
     );
     sim.run_until(SimTime::from_secs(400));
     let lat = &sim.metrics().per_app["lvc"];
-    assert!(lat.total.count() > 20, "enough samples: {}", lat.total.count());
+    assert!(
+        lat.total.count() > 20,
+        "enough samples: {}",
+        lat.total.count()
+    );
     // total ≈ edge→WAS + WAS handling + Pylon fanout + BRASS (incl. buffer
     // dwell) + push-to-device. We compare means; the buffer dwell is inside
     // brass_processing, so the stage means should bracket the total.

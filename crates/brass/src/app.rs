@@ -12,6 +12,7 @@ use burst::frame::{Delta, StreamId};
 use burst::json::Json;
 use pylon::Topic;
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::DropReason;
 use tao::ObjectId;
 use was::UpdateEvent;
 
@@ -118,6 +119,15 @@ pub enum Effect {
     ReplayUnacked {
         /// Target stream.
         stream: StreamKey,
+    },
+    /// Report that this application dropped an update (filter, buffer
+    /// eviction, …) so the trace ledger can attribute the loss. Purely
+    /// observational: no delivery behaviour changes.
+    DropUpdate {
+        /// The TAO object the dropped update referenced.
+        object: ObjectId,
+        /// Why the update was dropped.
+        reason: DropReason,
     },
 }
 
@@ -226,12 +236,7 @@ impl<'a> Ctx<'a> {
     /// Sends payloads plus a header rewrite in one atomic batch: the
     /// rewritten state (e.g. delivery progress) takes effect exactly when
     /// the payloads do — a dropped frame loses both together.
-    pub fn send_batch_rewriting(
-        &mut self,
-        stream: StreamKey,
-        payloads: Vec<Vec<u8>>,
-        patch: Json,
-    ) {
+    pub fn send_batch_rewriting(&mut self, stream: StreamKey, payloads: Vec<Vec<u8>>, patch: Json) {
         self.counters.deliveries += payloads.len() as u64;
         self.effects.push(Effect::SendPayloads {
             stream,
@@ -270,6 +275,13 @@ impl<'a> Ctx<'a> {
     /// update" (§4): the device's duplicate suppression makes replays safe.
     pub fn replay_unacked(&mut self, stream: StreamKey) {
         self.effects.push(Effect::ReplayUnacked { stream });
+    }
+
+    /// Reports that the app dropped an update referencing `object`, for
+    /// trace-ledger drop attribution. Observational only; pair with
+    /// [`decision`](Self::decision) where the drop is also a judgement.
+    pub fn dropped(&mut self, object: ObjectId, reason: DropReason) {
+        self.effects.push(Effect::DropUpdate { object, reason });
     }
 }
 
@@ -331,7 +343,7 @@ impl<A: BrassApp> TestDriver<A> {
 
     /// Advances the harness clock.
     pub fn advance(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 
     /// Current harness time.
@@ -398,7 +410,9 @@ impl<A: BrassApp> TestDriver<A> {
         self.effects
             .iter()
             .filter_map(|e| match e {
-                Effect::SendPayloads { stream, payloads, .. } => Some((*stream, payloads.clone())),
+                Effect::SendPayloads {
+                    stream, payloads, ..
+                } => Some((*stream, payloads.clone())),
                 _ => None,
             })
             .collect()

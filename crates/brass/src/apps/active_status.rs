@@ -168,7 +168,9 @@ impl BrassApp for ActiveStatusApp {
         }
         // Garbage-collect expired entries.
         let now = ctx.now;
-        state.online.retain(|_, at| now.saturating_since(*at) <= ONLINE_TTL);
+        state
+            .online
+            .retain(|_, at| now.saturating_since(*at) <= ONLINE_TTL);
         self.arm_timer(ctx, stream);
     }
 
@@ -226,12 +228,20 @@ mod tests {
         }
     }
 
-    fn subscribe_with_friends(d: &mut TestDriver<ActiveStatusApp>, s: StreamKey, viewer: u64, friends: Vec<u64>) {
+    fn subscribe_with_friends(
+        d: &mut TestDriver<ActiveStatusApp>,
+        s: StreamKey,
+        viewer: u64,
+        friends: Vec<u64>,
+    ) {
         let fx = d.subscribe(s, &header(viewer));
         let tok = fx
             .iter()
             .find_map(|e| match e {
-                Effect::Was { token, request: WasRequest::Friends { .. } } => Some(*token),
+                Effect::Was {
+                    token,
+                    request: WasRequest::Friends { .. },
+                } => Some(*token),
                 _ => None,
             })
             .expect("subscribe fetches friends");
@@ -280,12 +290,24 @@ mod tests {
         d.event(&status_event(5));
         d.advance(BATCH_INTERVAL);
         let (_, t) = d.timers()[0];
-        assert_eq!(d.fire_timer(t).iter().filter(|e| matches!(e, Effect::SendPayloads { .. })).count(), 1);
+        assert_eq!(
+            d.fire_timer(t)
+                .iter()
+                .filter(|e| matches!(e, Effect::SendPayloads { .. }))
+                .count(),
+            1
+        );
         // Refresh within TTL, snapshot identical → no resend.
         d.event(&status_event(5));
         d.advance(BATCH_INTERVAL);
         let (_, t) = *d.timers().last().unwrap();
-        assert_eq!(d.fire_timer(t).iter().filter(|e| matches!(e, Effect::SendPayloads { .. })).count(), 0);
+        assert_eq!(
+            d.fire_timer(t)
+                .iter()
+                .filter(|e| matches!(e, Effect::SendPayloads { .. }))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -296,8 +318,8 @@ mod tests {
         d.advance(BATCH_INTERVAL);
         let (_, t) = d.timers()[0];
         d.fire_timer(t); // sends online:[5]
-        // No refresh for > TTL: the friend drops out, and the change batch
-        // (now empty) is pushed.
+                         // No refresh for > TTL: the friend drops out, and the change batch
+                         // (now empty) is pushed.
         d.advance(SimDuration::from_secs(31));
         let (_, t) = *d.timers().last().unwrap();
         let fx = d.fire_timer(t);

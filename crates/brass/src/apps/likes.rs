@@ -227,7 +227,7 @@ mod tests {
         let mut d = TestDriver::new(LikesApp::new());
         d.subscribe(stream(1), &header(7, 9));
         d.event(&like(7, 100)); // pushed: likes=1
-        // 50 more likes inside the rate-limit window: no pushes, one timer.
+                                // 50 more likes inside the rate-limit window: no pushes, one timer.
         for i in 0..50 {
             d.event(&like(7, 200 + i));
         }

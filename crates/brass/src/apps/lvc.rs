@@ -17,11 +17,12 @@ use std::collections::HashMap;
 use burst::json::Json;
 use pylon::Topic;
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::DropReason;
 use tao::ObjectId;
 use was::{EventKind, UpdateEvent};
 
 use crate::app::{BrassApp, Ctx, FetchToken, StreamKey, WasRequest, WasResponse};
-use crate::buffer::RankedBuffer;
+use crate::buffer::{PushOutcome, RankedBuffer};
 use crate::limiter::TokenBucket;
 use crate::resolve::resolve;
 
@@ -175,7 +176,8 @@ impl BrassApp for LvcApp {
             // Hot strategy: also follow per-poster topics for the viewer's
             // friends; the friend list comes from the backend.
             let token = ctx.was_request(WasRequest::Friends { uid: sub.viewer });
-            self.pending_fetch.insert(token, PendingFetch::Friends(stream));
+            self.pending_fetch
+                .insert(token, PendingFetch::Friends(stream));
         }
         self.arm_timer(ctx, stream, self.config.push_interval);
     }
@@ -196,24 +198,34 @@ impl BrassApp for LvcApp {
                 continue;
             };
             // Per-viewer filtering (§2): language, quality, staleness.
-            let lang_ok = event
-                .meta
-                .lang
-                .as_deref()
-                .map_or(true, |l| l == state.lang);
+            let lang_ok = event.meta.lang.as_deref().is_none_or(|l| l == state.lang);
             let fresh = ctx.now.saturating_since(created) <= self.config.max_comment_age;
             let quality_ok = event.meta.quality >= self.config.min_quality;
             if !(lang_ok && fresh && quality_ok) {
+                // Attribute the first failing filter for the trace ledger.
+                let reason = if !lang_ok {
+                    DropReason::LanguageFilter
+                } else if !fresh {
+                    DropReason::Stale
+                } else {
+                    DropReason::QualityFilter
+                };
+                ctx.dropped(event.object, reason);
                 ctx.decision();
                 continue;
             }
-            state.buffer.push(
+            match state.buffer.offer(
                 event.meta.quality,
                 created,
                 BufferedComment {
                     object: event.object,
                 },
-            );
+            ) {
+                PushOutcome::KeptEvicting(e) | PushOutcome::Rejected(e) => {
+                    ctx.dropped(e.item.object, DropReason::BufferOverflow);
+                }
+                PushOutcome::Kept => {}
+            }
             Self::account_buffer_losses(state, ctx);
         }
     }
@@ -226,6 +238,10 @@ impl BrassApp for LvcApp {
         let Some(state) = self.streams.get_mut(&stream) else {
             return; // Stream closed; let the timer chain die.
         };
+        // Comments that aged out died waiting for the rate-limited push slot.
+        for e in state.buffer.take_expired(ctx.now) {
+            ctx.dropped(e.item.object, DropReason::RateLimit);
+        }
         if state.limiter.try_acquire(ctx.now) {
             if let Some(comment) = state.buffer.pop_best(ctx.now) {
                 // Popping is the deliver decision; the fetch decides privacy.
@@ -235,7 +251,8 @@ impl BrassApp for LvcApp {
                     viewer,
                     object: comment.object,
                 });
-                self.pending_fetch.insert(token, PendingFetch::Comment(stream));
+                self.pending_fetch
+                    .insert(token, PendingFetch::Comment(stream));
             }
             if let Some(state) = self.streams.get_mut(&stream) {
                 Self::account_buffer_losses(state, ctx);
@@ -286,9 +303,14 @@ impl BrassApp for LvcApp {
     }
 
     fn on_stream_closed(&mut self, ctx: &mut Ctx<'_>, stream: StreamKey) {
-        let Some(state) = self.streams.remove(&stream) else {
+        let Some(mut state) = self.streams.remove(&stream) else {
             return;
         };
+        // Comments still buffered when the stream goes away never reach the
+        // device; attribute them so their traces resolve.
+        for e in state.buffer.drain() {
+            ctx.dropped(e.item.object, DropReason::DeviceDisconnected);
+        }
         if let Some(watchers) = self.by_video.get_mut(&state.video) {
             watchers.retain(|k| *k != stream);
             if watchers.is_empty() {
@@ -323,12 +345,20 @@ mod tests {
             ("viewer", Json::from(viewer)),
             (
                 "gql",
-                Json::from(format!("subscription {{ liveVideoComments(videoId: {video}) }}")),
+                Json::from(format!(
+                    "subscription {{ liveVideoComments(videoId: {video}) }}"
+                )),
             ),
         ])
     }
 
-    fn comment_event(video: u64, object: u64, quality: f64, lang: &str, created_ms: u64) -> UpdateEvent {
+    fn comment_event(
+        video: u64,
+        object: u64,
+        quality: f64,
+        lang: &str,
+        created_ms: u64,
+    ) -> UpdateEvent {
         UpdateEvent {
             id: object,
             topic: Topic::live_video_comments(video),
@@ -383,9 +413,10 @@ mod tests {
         assert!(at <= d.now());
         let fx = d.fire_timer(token);
         let fetch = fx.iter().find_map(|e| match e {
-            Effect::Was { token, request: WasRequest::FetchObject { object, viewer } } => {
-                Some((*token, *object, *viewer))
-            }
+            Effect::Was {
+                token,
+                request: WasRequest::FetchObject { object, viewer },
+            } => Some((*token, *object, *viewer)),
             _ => None,
         });
         let (tok, obj, viewer) = fetch.expect("tick fetches the best comment");
@@ -407,11 +438,21 @@ mod tests {
         d.advance(SimDuration::from_secs(2));
         let (_, t0) = d.timers()[0];
         let fx = d.fire_timer(t0);
-        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Was { .. })).count(), 1);
+        assert_eq!(
+            fx.iter()
+                .filter(|e| matches!(e, Effect::Was { .. }))
+                .count(),
+            1
+        );
         // ...an immediate second tick (same instant) is rate-limited.
         let (_, t1) = *d.timers().last().unwrap();
         let fx = d.fire_timer(t1);
-        assert_eq!(fx.iter().filter(|e| matches!(e, Effect::Was { .. })).count(), 0);
+        assert_eq!(
+            fx.iter()
+                .filter(|e| matches!(e, Effect::Was { .. }))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -424,7 +465,10 @@ mod tests {
         let (_, t) = d.timers()[0];
         let fx = d.fire_timer(t);
         let obj = fx.iter().find_map(|e| match e {
-            Effect::Was { request: WasRequest::FetchObject { object, .. }, .. } => Some(*object),
+            Effect::Was {
+                request: WasRequest::FetchObject { object, .. },
+                ..
+            } => Some(*object),
             _ => None,
         });
         assert_eq!(obj, Some(ObjectId(301)), "best quality first");
@@ -463,15 +507,26 @@ mod tests {
         h.set("hot", Json::from(true));
         let fx = d.subscribe(stream(1), &h);
         let tok = fx.iter().find_map(|e| match e {
-            Effect::Was { token, request: WasRequest::Friends { uid } } => {
+            Effect::Was {
+                token,
+                request: WasRequest::Friends { uid },
+            } => {
                 assert_eq!(*uid, 9);
                 Some(*token)
             }
             _ => None,
         });
         let fx = d.was_response(tok.unwrap(), WasResponse::Friends(vec![5, 6]));
-        assert!(fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(42, 5))));
-        assert!(fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(42, 6))));
+        assert!(
+            fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(
+                42, 5
+            )))
+        );
+        assert!(
+            fx.contains(&Effect::SubscribeTopic(Topic::live_video_comments_by(
+                42, 6
+            )))
+        );
     }
 
     #[test]
@@ -515,7 +570,10 @@ mod tests {
             let (_, t) = *d.timers().last().unwrap();
             let fx = d.fire_timer(t);
             if let Some(tok) = fx.iter().find_map(|e| match e {
-                Effect::Was { token, request: WasRequest::FetchObject { .. } } => Some(*token),
+                Effect::Was {
+                    token,
+                    request: WasRequest::FetchObject { .. },
+                } => Some(*token),
                 _ => None,
             }) {
                 let fx = d.was_response(tok, WasResponse::Payload(vec![1]));
@@ -537,7 +595,13 @@ mod tests {
         for i in 0..200u64 {
             let ms = i * 100; // 10 comments/second for 20 seconds
             d.advance(SimDuration::from_millis(100));
-            d.event(&comment_event(42, 1_000 + i, 0.3 + (i % 7) as f64 / 10.0, "en", ms));
+            d.event(&comment_event(
+                42,
+                1_000 + i,
+                0.3 + (i % 7) as f64 / 10.0,
+                "en",
+                ms,
+            ));
             // Fire any due timers.
             let due: Vec<u64> = d
                 .timers()
@@ -550,9 +614,10 @@ mod tests {
                 let toks: Vec<FetchToken> = fx
                     .iter()
                     .filter_map(|e| match e {
-                        Effect::Was { token, request: WasRequest::FetchObject { .. } } => {
-                            Some(*token)
-                        }
+                        Effect::Was {
+                            token,
+                            request: WasRequest::FetchObject { .. },
+                        } => Some(*token),
                         _ => None,
                     })
                     .collect();

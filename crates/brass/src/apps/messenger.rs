@@ -108,11 +108,7 @@ impl MessengerApp {
             // it — the next backfill re-covers exactly what was lost.
             let last = state.next_seq - 1;
             state.persisted_seq = Some(last);
-            ctx.send_batch_rewriting(
-                stream,
-                batch,
-                Json::obj([("msgr_seq", Json::from(last))]),
-            );
+            ctx.send_batch_rewriting(stream, batch, Json::obj([("msgr_seq", Json::from(last))]));
         }
     }
 
@@ -195,7 +191,6 @@ impl BrassApp for MessengerApp {
         // (the device's duplicate suppression makes this idempotent).
         self.arm_retransmit(stream, ctx);
     }
-
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &UpdateEvent) {
         if event.kind != EventKind::MessageAdded {
@@ -346,7 +341,10 @@ mod tests {
         let tok = fx
             .iter()
             .find_map(|e| match e {
-                Effect::Was { token, request: WasRequest::MailboxAfter { .. } } => Some(*token),
+                Effect::Was {
+                    token,
+                    request: WasRequest::MailboxAfter { .. },
+                } => Some(*token),
                 _ => None,
             })
             .expect("subscribe triggers catch-up backfill");
@@ -356,7 +354,10 @@ mod tests {
     fn fetch_tokens(fx: &[Effect]) -> Vec<FetchToken> {
         fx.iter()
             .filter_map(|e| match e {
-                Effect::Was { token, request: WasRequest::FetchObject { .. } } => Some(*token),
+                Effect::Was {
+                    token,
+                    request: WasRequest::FetchObject { .. },
+                } => Some(*token),
                 _ => None,
             })
             .collect()
@@ -384,7 +385,10 @@ mod tests {
         for seq in 0..3u64 {
             let fx = d.event(&msg_event(7, seq, 100 + seq));
             let toks = fetch_tokens(&fx);
-            let fx = d.was_response(toks[0], WasResponse::Payload(format!("m{seq}").into_bytes()));
+            let fx = d.was_response(
+                toks[0],
+                WasResponse::Payload(format!("m{seq}").into_bytes()),
+            );
             assert_eq!(sent(&fx), vec![format!("m{seq}")]);
         }
         assert_eq!(d.app.next_seq(stream(1)), Some(3));
@@ -414,7 +418,10 @@ mod tests {
         // Seq 0 never arrives (dropped by best-effort Pylon); seq 2 shows up.
         let fx = d.event(&msg_event(7, 2, 102));
         let backfill = fx.iter().find_map(|e| match e {
-            Effect::Was { token, request: WasRequest::MailboxAfter { uid, after_seq } } => {
+            Effect::Was {
+                token,
+                request: WasRequest::MailboxAfter { uid, after_seq },
+            } => {
                 assert_eq!(*uid, 7);
                 assert_eq!(*after_seq, None, "nothing delivered yet");
                 Some(*token)
@@ -439,7 +446,11 @@ mod tests {
         d.was_response(ev_tok, WasResponse::Payload(b"m2".to_vec()));
         d.was_response(toks[0], WasResponse::Payload(b"m0".to_vec()));
         let fx = d.was_response(toks[1], WasResponse::Payload(b"m1".to_vec()));
-        assert_eq!(sent(&fx), vec!["m1", "m2"], "m0 flushed earlier, rest in order");
+        assert_eq!(
+            sent(&fx),
+            vec!["m1", "m2"],
+            "m0 flushed earlier, rest in order"
+        );
         assert_eq!(d.app.next_seq(stream(1)), Some(3));
     }
 
@@ -452,7 +463,10 @@ mod tests {
         let tok = fx
             .iter()
             .find_map(|e| match e {
-                Effect::Was { token, request: WasRequest::MailboxAfter { after_seq, .. } } => {
+                Effect::Was {
+                    token,
+                    request: WasRequest::MailboxAfter { after_seq, .. },
+                } => {
                     assert_eq!(*after_seq, Some(4), "backfill starts after persisted seq");
                     Some(*token)
                 }
@@ -475,9 +489,10 @@ mod tests {
         let fx = d.was_response(t, WasResponse::Payload(b"m0".to_vec()));
         // The rewrite rides in the same atomic batch as the payloads.
         let rewrite = fx.iter().find_map(|e| match e {
-            Effect::SendPayloads { rewrite: Some(patch), .. } => {
-                patch.get("msgr_seq").and_then(Json::as_u64)
-            }
+            Effect::SendPayloads {
+                rewrite: Some(patch),
+                ..
+            } => patch.get("msgr_seq").and_then(Json::as_u64),
             _ => None,
         });
         assert_eq!(rewrite, Some(0), "delivered seq persisted via rewrite");

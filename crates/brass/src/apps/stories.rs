@@ -271,7 +271,9 @@ mod tests {
     fn subscribes_per_friend() {
         let d = setup(vec![5, 6, 7]);
         for f in [5, 6, 7] {
-            assert!(d.effects.contains(&Effect::SubscribeTopic(Topic::stories(f))));
+            assert!(d
+                .effects
+                .contains(&Effect::SubscribeTopic(Topic::stories(f))));
         }
     }
 
@@ -303,7 +305,10 @@ mod tests {
         // Tray size is 2; author 7's newer story evicts the oldest (5).
         let fx = d.event(&story(7, 102));
         let cmds = last_commands(&fx);
-        assert!(cmds.contains(&r#"{"remove_container":5}"#.to_string()), "{cmds:?}");
+        assert!(
+            cmds.contains(&r#"{"remove_container":5}"#.to_string()),
+            "{cmds:?}"
+        );
         assert!(cmds.contains(&r#"{"add_container":7}"#.to_string()));
     }
 

@@ -190,7 +190,10 @@ mod tests {
         assert!(fx.contains(&Effect::SubscribeTopic(Topic::typing_indicator(7, 2))));
         let fx = d.event(&typing_event(7, 2, true));
         let tok = fx.iter().find_map(|e| match e {
-            Effect::Was { token, request: WasRequest::FetchObject { viewer, object } } => {
+            Effect::Was {
+                token,
+                request: WasRequest::FetchObject { viewer, object },
+            } => {
                 assert_eq!(*viewer, 9);
                 assert_eq!(*object, ObjectId(2));
                 Some(*token)
@@ -199,7 +202,9 @@ mod tests {
         });
         let fx = d.was_response(tok.unwrap(), WasResponse::Payload(b"user".to_vec()));
         let sent = match &fx[0] {
-            Effect::SendPayloads { payloads, .. } => String::from_utf8(payloads[0].clone()).unwrap(),
+            Effect::SendPayloads { payloads, .. } => {
+                String::from_utf8(payloads[0].clone()).unwrap()
+            }
             other => panic!("expected send, got {other:?}"),
         };
         assert_eq!(sent, r#"{"uid":2,"typing":true,"created_ms":0}"#);

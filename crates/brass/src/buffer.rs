@@ -24,6 +24,17 @@ pub struct Ranked<T> {
     pub item: T,
 }
 
+/// The result of [`RankedBuffer::offer`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PushOutcome<T> {
+    /// The item was stored; nothing was displaced.
+    Kept,
+    /// The item was stored; the previous lowest-ranked entry was evicted.
+    KeptEvicting(Ranked<T>),
+    /// The buffer was full and the item ranked lowest; it was not stored.
+    Rejected(Ranked<T>),
+}
+
 /// A bounded, rank-ordered, time-expiring buffer.
 ///
 /// # Examples
@@ -89,30 +100,65 @@ impl<T> RankedBuffer<T> {
     /// current minimum, the minimum is evicted; if the new item ranks lowest
     /// it is rejected immediately. Returns `true` if the item was kept.
     pub fn push(&mut self, rank: f64, created: SimTime, item: T) -> bool {
+        !matches!(self.offer(rank, created, item), PushOutcome::Rejected(_))
+    }
+
+    /// Like [`push`](Self::push), but reports the casualty of capacity
+    /// pressure so callers can attribute the drop to a specific item. The
+    /// `evicted` counter advances identically either way.
+    pub fn offer(&mut self, rank: f64, created: SimTime, item: T) -> PushOutcome<T> {
         // Keep entries sorted descending by rank (ties: older first, so
         // earlier arrivals win at equal rank).
         let pos = self
             .entries
             .partition_point(|e| e.rank > rank || (e.rank == rank && e.created <= created));
+        let mut evicted = None;
         if self.entries.len() >= self.capacity {
             if pos >= self.capacity {
                 self.evicted += 1;
-                return false;
+                return PushOutcome::Rejected(Ranked {
+                    rank,
+                    created,
+                    item,
+                });
             }
-            self.entries.pop();
+            evicted = self.entries.pop();
             self.evicted += 1;
         }
-        self.entries.insert(pos, Ranked { rank, created, item });
-        true
+        self.entries.insert(
+            pos,
+            Ranked {
+                rank,
+                created,
+                item,
+            },
+        );
+        match evicted {
+            Some(e) => PushOutcome::KeptEvicting(e),
+            None => PushOutcome::Kept,
+        }
     }
 
     /// Drops entries older than the maximum age as of `now`.
     pub fn sweep(&mut self, now: SimTime) {
+        self.take_expired(now);
+    }
+
+    /// Removes and returns entries older than the maximum age as of `now`,
+    /// highest rank first (the order they sat in the buffer).
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<Ranked<T>> {
         let max_age = self.max_age;
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| now.saturating_since(e.created) <= max_age);
-        self.expired += (before - self.entries.len()) as u64;
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if now.saturating_since(self.entries[i].created) > max_age {
+                taken.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.expired += taken.len() as u64;
+        taken
     }
 
     /// Removes and returns the highest-ranked non-expired item.
@@ -133,6 +179,11 @@ impl<T> RankedBuffer<T> {
     /// Clears the buffer.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Removes and returns all entries, highest rank first.
+    pub fn drain(&mut self) -> Vec<Ranked<T>> {
+        std::mem::take(&mut self.entries)
     }
 }
 
@@ -210,6 +261,38 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         RankedBuffer::<u32>::new(0, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn offer_reports_the_casualty() {
+        let mut b = buf(2);
+        assert_eq!(b.offer(0.5, SimTime::ZERO, 5), PushOutcome::Kept);
+        assert_eq!(b.offer(0.9, SimTime::ZERO, 9), PushOutcome::Kept);
+        // New item outranks the minimum: the minimum is the casualty.
+        match b.offer(0.7, SimTime::ZERO, 7) {
+            PushOutcome::KeptEvicting(e) => assert_eq!(e.item, 5),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // New item ranks lowest: it is the casualty itself.
+        match b.offer(0.1, SimTime::ZERO, 1) {
+            PushOutcome::Rejected(e) => assert_eq!(e.item, 1),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(b.evicted(), 2);
+    }
+
+    #[test]
+    fn take_expired_returns_aged_entries() {
+        let mut b = buf(10);
+        b.push(0.9, SimTime::ZERO, 1);
+        b.push(0.5, SimTime::ZERO, 2);
+        b.push(0.7, SimTime::from_secs(8), 3);
+        let gone = b.take_expired(SimTime::from_secs(11));
+        let items: Vec<u32> = gone.into_iter().map(|e| e.item).collect();
+        assert_eq!(items, vec![1, 2], "rank order among the expired");
+        assert_eq!(b.expired(), 2);
+        assert_eq!(b.len(), 1);
+        assert!(b.take_expired(SimTime::from_secs(11)).is_empty());
     }
 
     proptest! {

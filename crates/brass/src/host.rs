@@ -22,9 +22,7 @@ use burst::stream::ServerStream;
 use pylon::Topic;
 use simkit::time::SimTime;
 
-use crate::app::{
-    AppCounters, BrassApp, Ctx, DeviceId, Effect, FetchToken, StreamKey, WasRequest,
-};
+use crate::app::{AppCounters, BrassApp, Ctx, DeviceId, Effect, FetchToken, StreamKey, WasRequest};
 use crate::resolve::resolve;
 
 /// Host configuration.
@@ -77,6 +75,13 @@ pub enum HostEffect {
         app: String,
         /// Opaque app token.
         token: u64,
+    },
+    /// An application dropped an update; forwarded for trace attribution.
+    DropUpdate {
+        /// The TAO object the dropped update referenced.
+        object: tao::ObjectId,
+        /// Why the update was dropped.
+        reason: simkit::trace::DropReason,
     },
 }
 
@@ -148,12 +153,16 @@ impl BrassHost {
 
     /// Registers the standard applications with default configs.
     pub fn register_standard_apps(&mut self) {
-        use crate::apps::{ActiveStatusApp, LikesApp, LvcApp, LvcConfig, MessengerApp,
-                          NotificationsApp, StoriesApp, StoriesConfig, TypingApp};
+        use crate::apps::{
+            ActiveStatusApp, LikesApp, LvcApp, LvcConfig, MessengerApp, NotificationsApp,
+            StoriesApp, StoriesConfig, TypingApp,
+        };
         self.register_app("lvc", || Box::new(LvcApp::new(LvcConfig::default())));
         self.register_app("typing", || Box::new(TypingApp::new()));
         self.register_app("active_status", || Box::new(ActiveStatusApp::new()));
-        self.register_app("stories", || Box::new(StoriesApp::new(StoriesConfig::default())));
+        self.register_app("stories", || {
+            Box::new(StoriesApp::new(StoriesConfig::default()))
+        });
         self.register_app("messenger", || Box::new(MessengerApp::new()));
         self.register_app("likes", || Box::new(LikesApp::new()));
         self.register_app("notifications", || Box::new(NotificationsApp::new()));
@@ -248,7 +257,10 @@ impl BrassHost {
         for effect in effects {
             match effect {
                 Effect::SubscribeTopic(topic) => {
-                    let inst = self.instances.get_mut(app).expect("caller ensured instance");
+                    let inst = self
+                        .instances
+                        .get_mut(app)
+                        .expect("caller ensured instance");
                     *inst.topic_refs.entry(topic.clone()).or_insert(0) += 1;
                     let host_refs = self.host_topic_refs.entry(topic.clone()).or_insert(0);
                     *host_refs += 1;
@@ -259,7 +271,10 @@ impl BrassHost {
                     }
                 }
                 Effect::UnsubscribeTopic(topic) => {
-                    let inst = self.instances.get_mut(app).expect("caller ensured instance");
+                    let inst = self
+                        .instances
+                        .get_mut(app)
+                        .expect("caller ensured instance");
                     if let Some(r) = inst.topic_refs.get_mut(&topic) {
                         *r -= 1;
                         if *r == 0 {
@@ -279,7 +294,11 @@ impl BrassHost {
                     token,
                     request,
                 }),
-                Effect::SendPayloads { stream, payloads, rewrite } => {
+                Effect::SendPayloads {
+                    stream,
+                    payloads,
+                    rewrite,
+                } => {
                     let Some(meta) = self.streams.get_mut(&stream) else {
                         continue; // Stream closed since the app decided.
                     };
@@ -327,6 +346,9 @@ impl BrassHost {
                     app: app.to_owned(),
                     token,
                 }),
+                Effect::DropUpdate { object, reason } => {
+                    out.push(HostEffect::DropUpdate { object, reason })
+                }
                 Effect::ReplayUnacked { stream } => {
                     let Some(meta) = self.streams.get(&stream) else {
                         continue;
@@ -390,7 +412,13 @@ impl BrassHost {
         // Reliable apps retain unacked updates for replay.
         let retain = app == "messenger";
         let server = ServerStream::accept(sid, header.clone(), retain);
-        self.streams.insert(stream, StreamMeta { app: app.clone(), server });
+        self.streams.insert(
+            stream,
+            StreamMeta {
+                app: app.clone(),
+                server,
+            },
+        );
         // Sticky routing (§3.5): patch the header with this host's identity
         // so a resubscribe after failure lands back here.
         let patch = Json::obj([("brass_host", Json::from(self.config.host_id.0 as u64))]);
@@ -457,13 +485,21 @@ impl BrassHost {
         let mut out = Vec::new();
         if let Some(meta) = self.streams.remove(&stream) {
             let app = meta.app;
-            self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+            self.run_handler(&app, now, &mut out, |a, ctx| {
+                a.on_stream_closed(ctx, stream)
+            });
         }
         out
     }
 
     /// Handles a device ack (reliable applications replay from here).
-    pub fn on_ack(&mut self, device: DeviceId, sid: StreamId, seq: u64, now: SimTime) -> Vec<HostEffect> {
+    pub fn on_ack(
+        &mut self,
+        device: DeviceId,
+        sid: StreamId,
+        seq: u64,
+        now: SimTime,
+    ) -> Vec<HostEffect> {
         let stream = StreamKey { device, sid };
         let mut out = Vec::new();
         if let Some(meta) = self.streams.get_mut(&stream) {
@@ -488,7 +524,9 @@ impl BrassHost {
         for stream in affected {
             if let Some(meta) = self.streams.remove(&stream) {
                 let app = meta.app;
-                self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+                self.run_handler(&app, now, &mut out, |a, ctx| {
+                    a.on_stream_closed(ctx, stream)
+                });
             }
         }
         out
@@ -527,7 +565,9 @@ impl BrassHost {
         });
         // The application releases its per-stream state (and topic refs).
         let app = meta.app.clone();
-        self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+        self.run_handler(&app, now, &mut out, |a, ctx| {
+            a.on_stream_closed(ctx, stream)
+        });
         out
     }
 
@@ -548,7 +588,9 @@ impl BrassHost {
                     },
                 });
                 let app = meta.app;
-                self.run_handler(&app, now, &mut out, |a, ctx| a.on_stream_closed(ctx, stream));
+                self.run_handler(&app, now, &mut out, |a, ctx| {
+                    a.on_stream_closed(ctx, stream)
+                });
             }
         }
         out
@@ -574,7 +616,9 @@ mod tests {
             ("viewer", Json::from(viewer)),
             (
                 "gql",
-                Json::from(format!("subscription {{ liveVideoComments(videoId: {video}) }}")),
+                Json::from(format!(
+                    "subscription {{ liveVideoComments(videoId: {video}) }}"
+                )),
             ),
         ])
     }
@@ -617,14 +661,13 @@ mod tests {
         let mut h = host();
         let fx = h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 9), SimTime::ZERO);
         let rewrite = fx.iter().find_map(|e| match e {
-            HostEffect::Send { frame: Frame::Response { batch, .. }, .. } => {
-                batch.iter().find_map(|d| match d {
-                    Delta::RewriteRequest { patch } => {
-                        patch.get("brass_host").and_then(Json::as_u64)
-                    }
-                    _ => None,
-                })
-            }
+            HostEffect::Send {
+                frame: Frame::Response { batch, .. },
+                ..
+            } => batch.iter().find_map(|d| match d {
+                Delta::RewriteRequest { patch } => patch.get("brass_host").and_then(Json::as_u64),
+                _ => None,
+            }),
             _ => None,
         });
         assert_eq!(rewrite, Some(1), "host identity patched for stickiness");
@@ -652,7 +695,9 @@ mod tests {
         h.on_subscribe(DeviceId(1), StreamId(1), lvc_header(42, 1), SimTime::ZERO);
         h.on_subscribe(DeviceId(2), StreamId(1), lvc_header(42, 2), SimTime::ZERO);
         let fx = h.on_cancel(DeviceId(1), StreamId(1), SimTime::ZERO);
-        assert!(!fx.iter().any(|e| matches!(e, HostEffect::PylonUnsubscribe(_))));
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, HostEffect::PylonUnsubscribe(_))));
         let fx = h.on_cancel(DeviceId(2), StreamId(1), SimTime::ZERO);
         assert!(fx
             .iter()
@@ -713,7 +758,12 @@ mod tests {
     #[test]
     fn bad_header_terminates_stream() {
         let mut h = host();
-        let fx = h.on_subscribe(DeviceId(1), StreamId(1), Json::obj::<&str>([]), SimTime::ZERO);
+        let fx = h.on_subscribe(
+            DeviceId(1),
+            StreamId(1),
+            Json::obj::<&str>([]),
+            SimTime::ZERO,
+        );
         assert!(matches!(fx[0], HostEffect::Send { .. }));
         assert_eq!(h.stream_count(), 0);
     }
@@ -801,9 +851,10 @@ mod tests {
         let batch = fx
             .iter()
             .find_map(|e| match e {
-                HostEffect::Send { frame: Frame::Response { batch, .. }, .. } => {
-                    Some(batch.clone())
-                }
+                HostEffect::Send {
+                    frame: Frame::Response { batch, .. },
+                    ..
+                } => Some(batch.clone()),
                 _ => None,
             })
             .expect("redirect response");
@@ -817,7 +868,9 @@ mod tests {
         ));
         assert_eq!(h.stream_count(), 0, "the stream left this host");
         // Redirecting an unknown stream is a no-op.
-        assert!(h.redirect_stream(DeviceId(1), StreamId(1), 3, SimTime::ZERO).is_empty());
+        assert!(h
+            .redirect_stream(DeviceId(1), StreamId(1), 3, SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]

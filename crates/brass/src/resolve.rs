@@ -149,11 +149,19 @@ mod tests {
                 "typing",
                 "/TI/2/3",
             ),
-            ("subscription { activeStatus }", "active_status", "/Status/9"),
+            (
+                "subscription { activeStatus }",
+                "active_status",
+                "/Status/9",
+            ),
             ("subscription { storiesTray }", "stories", "/Stories/9"),
             ("subscription { mailbox(uid: 9) }", "messenger", "/Msgr/9"),
             ("subscription { postLikes(postId: 5) }", "likes", "/Likes/5"),
-            ("subscription { notifications }", "notifications", "/Notif/9"),
+            (
+                "subscription { notifications }",
+                "notifications",
+                "/Notif/9",
+            ),
         ];
         for (gql, app, topic) in cases {
             let sub = resolve(&header(gql, 9)).unwrap();

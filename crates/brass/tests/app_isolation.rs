@@ -131,7 +131,15 @@ fn a_noisy_tenant_does_not_corrupt_neighbours() {
     let fx = h.on_subscribe(DeviceId(2), StreamId(1), noisy_header, SimTime::ZERO);
     let noise_frames = fx
         .iter()
-        .filter(|e| matches!(e, HostEffect::Send { device: DeviceId(2), frame: Frame::Response { .. } }))
+        .filter(|e| {
+            matches!(
+                e,
+                HostEffect::Send {
+                    device: DeviceId(2),
+                    frame: Frame::Response { .. }
+                }
+            )
+        })
         .count();
     assert!(noise_frames >= 100, "the flood went to its own device only");
     // The LVC instance still works normally.

@@ -45,7 +45,10 @@ fn was_token(fx: &[HostEffect]) -> Option<(String, brass::app::FetchToken)> {
 fn update_frames(fx: &[HostEffect]) -> Vec<(u64, Vec<Vec<u8>>)> {
     fx.iter()
         .filter_map(|e| match e {
-            HostEffect::Send { device, frame: Frame::Response { batch, .. } } => {
+            HostEffect::Send {
+                device,
+                frame: Frame::Response { batch, .. },
+            } => {
                 let updates: Vec<Vec<u8>> = batch
                     .iter()
                     .filter_map(|d| match d {
@@ -94,7 +97,12 @@ fn unacked_messages_are_retransmitted_until_acked() {
     // One message arrives and is sent.
     let fx = host.on_pylon_event(&msg_event(2, 0, 100), SimTime::from_secs(1));
     let (app, token) = was_token(&fx).unwrap();
-    let fx = host.on_was_response(&app, token, WasResponse::Payload(b"m0".to_vec()), SimTime::from_secs(1));
+    let fx = host.on_was_response(
+        &app,
+        token,
+        WasResponse::Payload(b"m0".to_vec()),
+        SimTime::from_secs(1),
+    );
     assert_eq!(update_frames(&fx).len(), 1, "first transmission");
 
     // No ack: the retransmit timer replays it.
@@ -155,7 +163,12 @@ fn best_effort_streams_retain_nothing() {
     host.on_pylon_event(&ev, SimTime::ZERO);
     let fx = host.on_timer("lvc", 0, SimTime::from_secs(2));
     let (app, token) = was_token(&fx).unwrap();
-    let fx = host.on_was_response(&app, token, WasResponse::Payload(b"c".to_vec()), SimTime::from_secs(2));
+    let fx = host.on_was_response(
+        &app,
+        token,
+        WasResponse::Payload(b"c".to_vec()),
+        SimTime::from_secs(2),
+    );
     assert_eq!(update_frames(&fx).len(), 1);
     // An LVC ack is harmless and retains nothing to release (best-effort
     // streams never buffer); this is a no-crash/no-effect check.

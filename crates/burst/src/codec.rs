@@ -209,7 +209,11 @@ fn decode_delta(buf: &mut Bytes) -> Result<Delta, DecodeError> {
 pub fn encode_frame(frame: &Frame, out: &mut BytesMut) {
     let mut body = BytesMut::with_capacity(frame.wire_size() + 8);
     match frame {
-        Frame::Subscribe { sid, header, body: b } => {
+        Frame::Subscribe {
+            sid,
+            header,
+            body: b,
+        } => {
             body.put_u8(tag::SUBSCRIBE);
             put_varint(&mut body, sid.0);
             put_bytes(&mut body, header.to_string().as_bytes());
@@ -396,7 +400,9 @@ mod tests {
             header: Json::obj([("topic", Json::from("/LVC/42")), ("v", Json::from(3u64))]),
             body: vec![1, 2, 3],
         });
-        roundtrip(Frame::Cancel { sid: StreamId(u64::MAX) });
+        roundtrip(Frame::Cancel {
+            sid: StreamId(u64::MAX),
+        });
         roundtrip(Frame::Ack {
             sid: StreamId(5),
             seq: 12_345,
@@ -545,12 +551,7 @@ mod tests {
         fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
             let mut dec = Decoder::new();
             dec.feed(&data);
-            loop {
-                match dec.next_frame() {
-                    Ok(Some(_)) => continue,
-                    Ok(None) | Err(_) => break,
-                }
-            }
+            while let Ok(Some(_)) = dec.next_frame() {}
         }
 
         /// A split at any point yields identical frames.

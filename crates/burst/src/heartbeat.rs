@@ -140,7 +140,9 @@ mod tests {
         let mut m = monitor();
         for i in 1..10u64 {
             let ping = m.on_tick(i * 1_000).expect("ping due");
-            let Frame::Ping { token } = ping else { panic!() };
+            let Frame::Ping { token } = ping else {
+                panic!()
+            };
             m.on_pong(token);
             assert_eq!(m.health(), PeerHealth::Alive);
         }
@@ -154,14 +156,19 @@ mod tests {
         assert_eq!(m.health(), PeerHealth::Suspect);
         m.on_tick(3_000); // miss 2 -> still suspect
         assert_eq!(m.health(), PeerHealth::Suspect);
-        assert!(m.on_tick(4_000).is_none(), "threshold crossed: no more pings");
+        assert!(
+            m.on_tick(4_000).is_none(),
+            "threshold crossed: no more pings"
+        );
         assert_eq!(m.health(), PeerHealth::Failed);
     }
 
     #[test]
     fn late_pong_rescues_suspect_peer() {
         let mut m = monitor();
-        let Frame::Ping { token } = m.on_tick(1_000).unwrap() else { panic!() };
+        let Frame::Ping { token } = m.on_tick(1_000).unwrap() else {
+            panic!()
+        };
         m.on_tick(2_000);
         assert_eq!(m.health(), PeerHealth::Suspect);
         m.on_pong(token);

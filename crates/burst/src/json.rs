@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -137,13 +141,6 @@ impl Json {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
-    }
-
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
     }
 
     fn write(&self, out: &mut String) {
@@ -346,7 +343,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -487,7 +486,9 @@ impl From<bool> for Json {
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 
@@ -528,8 +529,20 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "tru", "\"a", "{\"a\"}", "01", "1.", "1e", "nulll", "[1]x",
-            "\"\\ud800\"", "{\"a\":}", "\u{1}",
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"a",
+            "{\"a\"}",
+            "01",
+            "1.",
+            "1e",
+            "nulll",
+            "[1]x",
+            "\"\\ud800\"",
+            "{\"a\":}",
+            "\u{1}",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
@@ -590,8 +603,7 @@ mod tests {
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
-                proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
-                    .prop_map(|pairs| Json::Obj(pairs)),
+                proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Json::Obj),
             ]
         })
     }

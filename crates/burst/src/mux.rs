@@ -294,10 +294,8 @@ mod tests {
                 break;
             }
             for f in frames {
-                if let Some(grant) = receiver.on_received(StreamId(1), &f) {
-                    if let Frame::Credit { sid, bytes } = grant {
-                        sender.on_credit(sid, bytes);
-                    }
+                if let Some(Frame::Credit { sid, bytes }) = receiver.on_received(StreamId(1), &f) {
+                    sender.on_credit(sid, bytes);
                 }
                 received += 1;
             }

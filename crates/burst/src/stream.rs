@@ -438,7 +438,7 @@ impl ProxyStreamTable {
         let mut v: Vec<(u64, StreamId)> = self
             .entries
             .iter()
-            .filter(|(_, e)| e.upstream.map_or(true, |u| !live.contains(&u)))
+            .filter(|(_, e)| e.upstream.is_none_or(|u| !live.contains(&u)))
             .map(|(&k, _)| k)
             .collect();
         v.sort_unstable_by_key(|&(c, s)| (c, s));
@@ -495,7 +495,10 @@ mod tests {
     fn client_in_order_delivery() {
         let mut c = ClientStream::new(StreamId(1), header(), vec![]);
         assert_eq!(c.state(), StreamState::Subscribing);
-        let a = c.on_batch(&[Delta::update(0, b"a".to_vec()), Delta::update(1, b"b".to_vec())]);
+        let a = c.on_batch(&[
+            Delta::update(0, b"a".to_vec()),
+            Delta::update(1, b"b".to_vec()),
+        ]);
         assert_eq!(c.state(), StreamState::Active);
         assert_eq!(
             a,
@@ -553,7 +556,10 @@ mod tests {
     fn client_rewrite_updates_resubscribe() {
         let mut c = ClientStream::new(StreamId(1), header(), vec![1, 2]);
         c.on_batch(&[Delta::RewriteRequest {
-            patch: Json::obj([("brass", Json::from("b-9")), ("last_seq", Json::from(41u64))]),
+            patch: Json::obj([
+                ("brass", Json::from("b-9")),
+                ("last_seq", Json::from(41u64)),
+            ]),
         }]);
         assert_eq!(c.header().get("brass").unwrap().as_str(), Some("b-9"));
         let f = c.resubscribe_request();
@@ -579,7 +585,10 @@ mod tests {
             Delta::update(0, b"never".to_vec()),
         ]);
         assert_eq!(a, vec![ClientAction::Terminated(TerminateReason::Redirect)]);
-        assert_eq!(c.state(), StreamState::Terminated(TerminateReason::Redirect));
+        assert_eq!(
+            c.state(),
+            StreamState::Terminated(TerminateReason::Redirect)
+        );
         assert!(c.on_batch(&[Delta::update(0, vec![])]).is_empty());
     }
 
@@ -693,7 +702,12 @@ mod tests {
     fn proxy_terminate_and_cancel_gc() {
         let mut t = ProxyStreamTable::new();
         t.on_subscribe(1, StreamId(5), header(), vec![], None, 0);
-        t.on_response(1, StreamId(5), &[Delta::Terminate(TerminateReason::Cancelled)], 1);
+        t.on_response(
+            1,
+            StreamId(5),
+            &[Delta::Terminate(TerminateReason::Cancelled)],
+            1,
+        );
         assert!(t.is_empty());
         t.on_subscribe(1, StreamId(6), header(), vec![], None, 0);
         t.on_cancel(1, StreamId(6));

@@ -27,13 +27,16 @@ fn arb_delta() -> impl Strategy<Value = Delta> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u64>(), "[a-z]{0,6}", proptest::collection::vec(any::<u8>(), 0..24)).prop_map(
-            |(sid, key, body)| Frame::Subscribe {
+        (
+            any::<u64>(),
+            "[a-z]{0,6}",
+            proptest::collection::vec(any::<u8>(), 0..24)
+        )
+            .prop_map(|(sid, key, body)| Frame::Subscribe {
                 sid: StreamId(sid),
                 header: Json::obj([("topic", Json::from(format!("/{key}x"))),]),
                 body,
-            }
-        ),
+            }),
         any::<u64>().prop_map(|sid| Frame::Cancel { sid: StreamId(sid) }),
         (any::<u64>(), any::<u64>()).prop_map(|(sid, seq)| Frame::Ack {
             sid: StreamId(sid),

@@ -135,10 +135,7 @@ impl Device {
                 ClientAction::Deliver(payload) => {
                     self.delivered += 1;
                     self.renders += 1;
-                    out.push(DeviceOutput::Render {
-                        sid: *sid,
-                        payload,
-                    });
+                    out.push(DeviceOutput::Render { sid: *sid, payload });
                 }
                 ClientAction::GapDetected { .. } => {
                     out.push(DeviceOutput::BackfillPoll { sid: *sid });
@@ -235,13 +232,22 @@ mod tests {
         let (sid, _) = d.open_stream(header("/LVC/1"), vec![]);
         let out = d.on_frame(&Frame::Response {
             sid,
-            batch: vec![Delta::update(0, b"a".to_vec()), Delta::update(1, b"b".to_vec())],
+            batch: vec![
+                Delta::update(0, b"a".to_vec()),
+                Delta::update(1, b"b".to_vec()),
+            ],
         });
         assert_eq!(
             out,
             vec![
-                DeviceOutput::Render { sid, payload: b"a".to_vec() },
-                DeviceOutput::Render { sid, payload: b"b".to_vec() },
+                DeviceOutput::Render {
+                    sid,
+                    payload: b"a".to_vec()
+                },
+                DeviceOutput::Render {
+                    sid,
+                    payload: b"b".to_vec()
+                },
             ]
         );
         assert_eq!(d.delivered(), 2);
@@ -300,12 +306,18 @@ mod tests {
             sid,
             batch: vec![Delta::FlowStatus(burst::frame::FlowStatus::Degraded)],
         });
-        assert_eq!(out, vec![DeviceOutput::ConnectivityChanged { degraded: true }]);
+        assert_eq!(
+            out,
+            vec![DeviceOutput::ConnectivityChanged { degraded: true }]
+        );
         let out = d.on_frame(&Frame::Response {
             sid,
             batch: vec![Delta::FlowStatus(burst::frame::FlowStatus::Recovered)],
         });
-        assert_eq!(out, vec![DeviceOutput::ConnectivityChanged { degraded: false }]);
+        assert_eq!(
+            out,
+            vec![DeviceOutput::ConnectivityChanged { degraded: false }]
+        );
     }
 
     #[test]

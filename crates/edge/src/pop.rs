@@ -303,7 +303,13 @@ mod tests {
         p.on_device_frame(7, sub(1), 0);
         p.on_device_frame(7, sub(2), 0);
         let fx = p.on_device_disconnected(7);
-        assert_eq!(fx, vec![PopEffect::DeviceGone { proxy: 100, device: 7 }]);
+        assert_eq!(
+            fx,
+            vec![PopEffect::DeviceGone {
+                proxy: 100,
+                device: 7
+            }]
+        );
         assert_eq!(p.stream_count(), 0);
         assert_eq!(p.counters().device_drops, 1);
     }
@@ -317,7 +323,10 @@ mod tests {
         let token = fx
             .iter()
             .find_map(|e| match e {
-                PopEffect::ToDevice { frame: Frame::Ping { token }, .. } => Some(*token),
+                PopEffect::ToDevice {
+                    frame: Frame::Ping { token },
+                    ..
+                } => Some(*token),
                 _ => None,
             })
             .expect("ping emitted");
@@ -342,7 +351,14 @@ mod tests {
         for i in 1..=10u64 {
             p.on_heartbeat_tick(i * 5_000_000);
             // The device keeps sending real traffic; no pongs needed.
-            p.on_device_frame(7, Frame::Ack { sid: StreamId(1), seq: i }, i * 5_000_000 + 1);
+            p.on_device_frame(
+                7,
+                Frame::Ack {
+                    sid: StreamId(1),
+                    seq: i,
+                },
+                i * 5_000_000 + 1,
+            );
         }
         assert_eq!(p.connected_devices(), 1);
         assert_eq!(p.counters().device_drops, 0);
@@ -362,7 +378,11 @@ mod tests {
         ));
         assert!(matches!(
             &fx[1],
-            PopEffect::ToProxy { proxy: 101, frame: Frame::Subscribe { .. }, .. }
+            PopEffect::ToProxy {
+                proxy: 101,
+                frame: Frame::Subscribe { .. },
+                ..
+            }
         ));
         assert!(matches!(
             &fx[2],
@@ -400,11 +420,17 @@ mod tests {
         );
         let fx = p.on_proxy_failed(100);
         let resub_header = fx.iter().find_map(|e| match e {
-            PopEffect::ToProxy { frame: Frame::Subscribe { header, .. }, .. } => Some(header.clone()),
+            PopEffect::ToProxy {
+                frame: Frame::Subscribe { header, .. },
+                ..
+            } => Some(header.clone()),
             _ => None,
         });
         assert_eq!(
-            resub_header.unwrap().get("brass_host").and_then(Json::as_u64),
+            resub_header
+                .unwrap()
+                .get("brass_host")
+                .and_then(Json::as_u64),
             Some(55),
             "POP repair carries the rewritten sticky-routing state"
         );

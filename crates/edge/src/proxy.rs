@@ -235,7 +235,12 @@ impl ReverseProxy {
 
     /// Handles a frame arriving from a BRASS host (server side): updates
     /// stored stream state (rewrites, terminations) and forwards it down.
-    pub fn on_upstream_frame(&mut self, device: u64, frame: Frame, now_us: u64) -> Vec<ProxyEffect> {
+    pub fn on_upstream_frame(
+        &mut self,
+        device: u64,
+        frame: Frame,
+        now_us: u64,
+    ) -> Vec<ProxyEffect> {
         if let Frame::Response { sid, batch } = &frame {
             self.table.on_response(device, *sid, batch, now_us);
         }
@@ -428,7 +433,11 @@ mod tests {
         ));
         assert!(matches!(
             &fx[1],
-            ProxyEffect::ToBrass { host: 11, device: 1, frame: Frame::Subscribe { .. } }
+            ProxyEffect::ToBrass {
+                host: 11,
+                device: 1,
+                frame: Frame::Subscribe { .. }
+            }
         ));
         assert!(matches!(
             &fx[2],
@@ -455,9 +464,10 @@ mod tests {
         );
         let fx = p.on_brass_host_failed(10, 100);
         let resub = fx.iter().find_map(|e| match e {
-            ProxyEffect::ToBrass { frame: Frame::Subscribe { header, .. }, .. } => {
-                header.get("last_seq").and_then(Json::as_u64)
-            }
+            ProxyEffect::ToBrass {
+                frame: Frame::Subscribe { header, .. },
+                ..
+            } => header.get("last_seq").and_then(Json::as_u64),
             _ => None,
         });
         assert_eq!(resub, Some(41), "repair resumes from rewritten state");
@@ -483,7 +493,11 @@ mod tests {
         let fx = p.add_host(10);
         assert!(matches!(
             &fx[0],
-            ProxyEffect::ToBrass { host: 10, device: 1, frame: Frame::Subscribe { .. } }
+            ProxyEffect::ToBrass {
+                host: 10,
+                device: 1,
+                frame: Frame::Subscribe { .. }
+            }
         ));
         assert!(matches!(
             &fx[1],
@@ -518,7 +532,15 @@ mod tests {
         let fx = p.on_device_disconnected(1);
         let cancels = fx
             .iter()
-            .filter(|e| matches!(e, ProxyEffect::ToBrass { frame: Frame::Cancel { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    ProxyEffect::ToBrass {
+                        frame: Frame::Cancel { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(cancels, 2);
         assert_eq!(p.stream_count(), 1);

@@ -2,7 +2,7 @@
 //! without the full-system simulator, exercising frame routing, failure
 //! signalling and repair across the real effect interfaces.
 
-use burst::frame::{Delta, FlowStatus, Frame, StreamId};
+use burst::frame::{Delta, Frame};
 use burst::json::Json;
 use edge::device::{Device, DeviceOutput};
 use edge::pop::{Pop, PopEffect};
@@ -142,7 +142,13 @@ fn device_reconnect_flows_through_fresh_pop() {
     // header; no state from POP A is needed.
     let frames = device.on_connection_lost();
     assert_eq!(frames.len(), 1);
-    let reached = device_to_brass(&mut pop_b, &mut proxy, 7, frames.into_iter().next().unwrap(), 2);
+    let reached = device_to_brass(
+        &mut pop_b,
+        &mut proxy,
+        7,
+        frames.into_iter().next().unwrap(),
+        2,
+    );
     assert_eq!(reached.len(), 1);
     match &reached[0].1 {
         Frame::Subscribe { header, .. } => {
@@ -150,7 +156,10 @@ fn device_reconnect_flows_through_fresh_pop() {
         }
         other => panic!("expected subscribe, got {other:?}"),
     }
-    assert!(matches!(reached[0].0, 100), "sticky routing held across POPs");
+    assert!(
+        matches!(reached[0].0, 100),
+        "sticky routing held across POPs"
+    );
 }
 
 #[test]
@@ -195,7 +204,11 @@ fn heartbeat_ping_pong_roundtrip_through_pop() {
     for i in 2..=8u64 {
         let fx = pop.on_heartbeat_tick(i * 5_000_000);
         for e in &fx {
-            if let PopEffect::ToDevice { frame: Frame::Ping { .. }, .. } = e {
+            if let PopEffect::ToDevice {
+                frame: Frame::Ping { .. },
+                ..
+            } = e
+            {
                 let outs = device.on_frame(match e {
                     PopEffect::ToDevice { frame, .. } => frame,
                     _ => unreachable!(),

@@ -51,14 +51,11 @@ pub fn top_n(key_hash: u64, nodes: &[u64], count: usize) -> Vec<u64> {
 ///
 /// Returns `None` if `nodes` is empty.
 pub fn owner(key_hash: u64, nodes: &[u64]) -> Option<u64> {
-    nodes
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            weight(key_hash, a)
-                .cmp(&weight(key_hash, b))
-                .then(b.cmp(&a))
-        })
+    nodes.iter().copied().max_by(|&a, &b| {
+        weight(key_hash, a)
+            .cmp(&weight(key_hash, b))
+            .then(b.cmp(&a))
+    })
 }
 
 #[cfg(test)]

@@ -151,34 +151,98 @@ mod tests {
     #[test]
     fn write_then_read() {
         let mut n = KvNode::new();
-        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
-        n.write(&topic(), HostId(2), SubEntry { version: 2, tombstone: false });
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
+        n.write(
+            &topic(),
+            HostId(2),
+            SubEntry {
+                version: 2,
+                tombstone: false,
+            },
+        );
         assert_eq!(n.read(&topic()), vec![HostId(1), HostId(2)]);
     }
 
     #[test]
     fn tombstone_hides_subscriber() {
         let mut n = KvNode::new();
-        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
-        n.write(&topic(), HostId(1), SubEntry { version: 2, tombstone: true });
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 2,
+                tombstone: true,
+            },
+        );
         assert!(n.read(&topic()).is_empty());
     }
 
     #[test]
     fn stale_write_is_ignored() {
         let mut n = KvNode::new();
-        n.write(&topic(), HostId(1), SubEntry { version: 5, tombstone: true });
-        n.write(&topic(), HostId(1), SubEntry { version: 3, tombstone: false });
-        assert!(n.read(&topic()).is_empty(), "older write must not resurrect");
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 5,
+                tombstone: true,
+            },
+        );
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 3,
+                tombstone: false,
+            },
+        );
+        assert!(
+            n.read(&topic()).is_empty(),
+            "older write must not resurrect"
+        );
     }
 
     #[test]
     fn patch_merges_newest() {
         let mut a = KvNode::new();
-        a.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        a.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
         let mut incoming = HashMap::new();
-        incoming.insert(HostId(1), SubEntry { version: 2, tombstone: true });
-        incoming.insert(HostId(2), SubEntry { version: 1, tombstone: false });
+        incoming.insert(
+            HostId(1),
+            SubEntry {
+                version: 2,
+                tombstone: true,
+            },
+        );
+        incoming.insert(
+            HostId(2),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
         a.patch(&topic(), &incoming);
         assert_eq!(a.read(&topic()), vec![HostId(2)]);
     }
@@ -186,14 +250,50 @@ mod tests {
     #[test]
     fn merge_entries_takes_max_version() {
         let mut m1 = HashMap::new();
-        m1.insert(HostId(1), SubEntry { version: 1, tombstone: false });
-        m1.insert(HostId(2), SubEntry { version: 3, tombstone: true });
+        m1.insert(
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
+        m1.insert(
+            HostId(2),
+            SubEntry {
+                version: 3,
+                tombstone: true,
+            },
+        );
         let mut m2 = HashMap::new();
-        m2.insert(HostId(1), SubEntry { version: 2, tombstone: true });
-        m2.insert(HostId(2), SubEntry { version: 1, tombstone: false });
+        m2.insert(
+            HostId(1),
+            SubEntry {
+                version: 2,
+                tombstone: true,
+            },
+        );
+        m2.insert(
+            HostId(2),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
         let merged = merge_entries(&[m1, m2]);
-        assert_eq!(merged[&HostId(1)], SubEntry { version: 2, tombstone: true });
-        assert_eq!(merged[&HostId(2)], SubEntry { version: 3, tombstone: true });
+        assert_eq!(
+            merged[&HostId(1)],
+            SubEntry {
+                version: 2,
+                tombstone: true
+            }
+        );
+        assert_eq!(
+            merged[&HostId(2)],
+            SubEntry {
+                version: 3,
+                tombstone: true
+            }
+        );
     }
 
     #[test]
@@ -201,9 +301,30 @@ mod tests {
         let mut n = KvNode::new();
         let t1 = Topic::new("/a/1").unwrap();
         let t2 = Topic::new("/a/2").unwrap();
-        n.write(&t1, HostId(1), SubEntry { version: 1, tombstone: false });
-        n.write(&t2, HostId(1), SubEntry { version: 1, tombstone: false });
-        n.write(&t2, HostId(2), SubEntry { version: 1, tombstone: false });
+        n.write(
+            &t1,
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
+        n.write(
+            &t2,
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
+        n.write(
+            &t2,
+            HostId(2),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
         n.purge_host(HostId(1), 10);
         assert!(n.read(&t1).is_empty());
         assert_eq!(n.read(&t2), vec![HostId(2)]);
@@ -212,7 +333,14 @@ mod tests {
     #[test]
     fn counters() {
         let mut n = KvNode::new();
-        n.write(&topic(), HostId(1), SubEntry { version: 1, tombstone: false });
+        n.write(
+            &topic(),
+            HostId(1),
+            SubEntry {
+                version: 1,
+                tombstone: false,
+            },
+        );
         n.read(&topic());
         n.read(&topic());
         assert_eq!(n.write_count(), 1);

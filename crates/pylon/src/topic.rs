@@ -71,7 +71,9 @@ impl Topic {
 
     /// The application family (first segment), e.g. `"LVC"`.
     pub fn family(&self) -> &str {
-        self.segments().next().expect("validated topic is non-empty")
+        self.segments()
+            .next()
+            .expect("validated topic is non-empty")
     }
 
     /// Topic carrying comments on a live video: `/LVC/videoID`.

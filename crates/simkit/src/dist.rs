@@ -33,7 +33,10 @@ impl Exponential {
     ///
     /// Panics if `lambda` is not finite and positive.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         Exponential { lambda }
     }
 
@@ -63,7 +66,10 @@ impl Poisson {
     ///
     /// Panics if `lambda` is not finite and positive.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         Poisson { lambda }
     }
 
@@ -251,7 +257,11 @@ impl Zipf {
             };
             let k = x.floor().max(1.0).min(self.n as f64) as u64;
             // Acceptance ratio: pmf(k) / envelope(x).
-            let env = if k == 1 { 1.0 } else { (k as f64).powf(-self.s) };
+            let env = if k == 1 {
+                1.0
+            } else {
+                (k as f64).powf(-self.s)
+            };
             let ratio = (k as f64).powf(-self.s) / env.max(f64::MIN_POSITIVE);
             let accept = if k == 1 {
                 true

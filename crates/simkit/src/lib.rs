@@ -17,6 +17,9 @@
 //! * [`metrics`] — counters, log-bucketed histograms, and fixed-interval
 //!   time series with percentile/CDF extraction, mirroring the quantities
 //!   the paper reports.
+//! * [`trace`] — the per-update hop ledger ([`trace::TraceLedger`]): every
+//!   update admitted to a simulation is followed write → Pylon → BRASS →
+//!   BURST → device, with per-hop latency histograms and drop attribution.
 //!
 //! All components in the workspace are written *sans-io*: they are pure
 //! state machines that consume inputs and emit outputs, and the simulation
@@ -41,9 +44,11 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use dist::{Distribution, Exponential, LogNormal, Pareto, Poisson, Zipf};
 pub use metrics::{Counter, Histogram, TimeSeries};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{DropReason, Hop, HopOutcome, HopRecord, TraceId, TraceLedger};

@@ -47,7 +47,7 @@ impl fmt::Display for Counter {
 /// the same idea as HDR histograms, sized for latencies from microseconds to
 /// hours. Recording is O(1) and the structure never allocates after
 /// construction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -59,7 +59,8 @@ pub struct Histogram {
 const SUB_BUCKET_BITS: u32 = 5; // 32 sub-buckets per octave: <= ~3% rel. error.
 const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
 // Values 0..32 are exact; octaves 5..=62 are bucketed, 32 buckets each.
-const NUM_BUCKETS: usize = SUB_BUCKETS as usize + (63 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS as usize;
+const NUM_BUCKETS: usize =
+    SUB_BUCKETS as usize + (63 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS as usize;
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -235,7 +236,7 @@ impl Histogram {
 /// bucket are summed. The paper's diurnal figures (Fig. 8, Fig. 10) use
 /// 15-minute buckets shown as per-minute averages; [`TimeSeries::rates`]
 /// produces exactly that.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimeSeries {
     interval: SimDuration,
     buckets: Vec<f64>,

@@ -64,7 +64,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    /// Seqs scheduled but not yet fired or cancelled. Tracking the live set
+    /// (rather than a tombstone set of cancelled seqs) makes `cancel` of an
+    /// already-fired id a no-op returning `false` instead of corrupting
+    /// `len()`.
+    pending: std::collections::HashSet<u64>,
     now: SimTime,
 }
 
@@ -80,7 +84,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
             now: SimTime::ZERO,
         }
     }
@@ -98,18 +102,18 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
     }
 
     /// Cancels a previously scheduled event.
     ///
-    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Returns `true` if the event had not yet fired or been cancelled;
+    /// cancelling an id that already fired (or was never issued) is a no-op
+    /// returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        self.cancelled.insert(id.0)
+        self.pending.remove(&id.0)
     }
 
     /// Pops the earliest pending event, advancing the clock to its timestamp.
@@ -117,8 +121,8 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled before firing
             }
             self.now = entry.at;
             return Some((entry.at, entry.event));
@@ -134,8 +138,8 @@ impl<E> EventQueue<E> {
                 return None;
             }
             let entry = self.heap.pop().expect("peeked entry exists");
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled before firing
             }
             self.now = entry.at;
             return Some((entry.at, entry.event));
@@ -144,7 +148,7 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// Returns `true` if no events are pending.
@@ -228,6 +232,34 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_len_stays_consistent() {
+        // Regression: cancelling an id whose event already popped used to
+        // insert a stale seq into the tombstone set, wrongly returning `true`
+        // and making `len()` underflow-panic on the next call.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(a), "cancel of a fired event must be a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_event_never_fires_via_pop_until() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(SimTime::from_secs(2)).unwrap().1, "b");
+        assert!(q.pop_until(SimTime::from_secs(2)).is_none());
     }
 
     #[test]

@@ -231,7 +231,13 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Render as HH:MM:SS wall-clock style, which the diurnal figures use.
         let secs = self.as_secs();
-        write!(f, "{:02}:{:02}:{:02}", secs / 3600, (secs / 60) % 60, secs % 60)
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            secs / 3600,
+            (secs / 60) % 60,
+            secs % 60
+        )
     }
 }
 

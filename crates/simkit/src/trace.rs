@@ -1,0 +1,504 @@
+//! Per-update hop-ledger tracing.
+//!
+//! Every update admitted to a simulation gets a [`TraceId`]; as the update
+//! moves write → Pylon → BRASS → BURST → device, each component appends a
+//! timestamped [`HopRecord`] to a central [`TraceLedger`]. The ledger then
+//! answers the questions aggregate counters cannot:
+//!
+//! * the full hop chain of any one update (where did it go, when),
+//! * per-hop latency histograms (log-bucketed, p50/p95/p99/max),
+//! * a drop attribution table — which hop killed an update, and why,
+//! * the N slowest end-to-end deliveries of a run.
+//!
+//! Records are append-only and fully deterministic: two runs from the same
+//! seed produce bit-identical ledgers, which the determinism regression
+//! tests rely on.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::metrics::{Histogram, Summary};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of one traced update. The simulation assigns these at write
+/// commit (one per update event admitted to the pipeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A pipeline stage an update passes through (the paper's Fig. 5 path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hop {
+    /// The write committed at the WAS/TAO and emitted an update event.
+    TaoCommit,
+    /// The event reached Pylon and fanned out to subscribed hosts.
+    PylonPublish,
+    /// Pylon handed the event to one BRASS host.
+    PylonDeliver,
+    /// BRASS processing: filtering, buffering, and the payload fetch.
+    BrassProcess,
+    /// The BRASS emitted a BURST response frame carrying the payload.
+    BrassSend,
+    /// The frame cleared the edge (proxy + POP) toward the device.
+    BurstDeliver,
+    /// The device received and rendered the update.
+    DeviceRender,
+}
+
+impl Hop {
+    /// Short stable name, used in tables and dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hop::TaoCommit => "tao_commit",
+            Hop::PylonPublish => "pylon_publish",
+            Hop::PylonDeliver => "pylon_deliver",
+            Hop::BrassProcess => "brass_process",
+            Hop::BrassSend => "brass_send",
+            Hop::BurstDeliver => "burst_deliver",
+            Hop::DeviceRender => "device_render",
+        }
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a hop killed an update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// Content language did not match the viewer's.
+    LanguageFilter,
+    /// ML quality score below the application's floor.
+    QualityFilter,
+    /// The update was already stale when the filter saw it.
+    Stale,
+    /// The WAS privacy check denied the viewer.
+    PrivacyBlock,
+    /// The per-stream rate limit starved it until it aged out of the
+    /// ranked buffer.
+    RateLimit,
+    /// Evicted from a full ranked buffer by higher-ranked updates.
+    BufferOverflow,
+    /// The referenced object no longer existed at fetch time.
+    NotFound,
+    /// Published to a topic with no subscribed host.
+    NoSubscribers,
+    /// The target device was disconnected when the frame arrived.
+    DeviceDisconnected,
+    /// The frame was lost on the last mile.
+    LastMileLoss,
+}
+
+impl DropReason {
+    /// Short stable name, used in tables and dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::LanguageFilter => "language_filter",
+            DropReason::QualityFilter => "quality_filter",
+            DropReason::Stale => "stale",
+            DropReason::PrivacyBlock => "privacy_block",
+            DropReason::RateLimit => "rate_limit",
+            DropReason::BufferOverflow => "buffer_overflow",
+            DropReason::NotFound => "not_found",
+            DropReason::NoSubscribers => "no_subscribers",
+            DropReason::DeviceDisconnected => "device_disconnected",
+            DropReason::LastMileLoss => "last_mile_loss",
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HopOutcome {
+    /// The update moved on.
+    Ok,
+    /// The hop killed the update (for at least one viewer).
+    Dropped(DropReason),
+}
+
+/// One timestamped entry in the ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The traced update.
+    pub trace_id: TraceId,
+    /// The pipeline stage.
+    pub hop: Hop,
+    /// When the update reached the stage.
+    pub at: SimTime,
+    /// What the stage did with it.
+    pub outcome: HopOutcome,
+}
+
+impl fmt::Display for HopRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.outcome {
+            HopOutcome::Ok => {
+                write!(
+                    f,
+                    "{:>10.3}ms  {:<14} ok",
+                    self.at.as_micros() as f64 / 1e3,
+                    self.hop
+                )
+            }
+            HopOutcome::Dropped(r) => write!(
+                f,
+                "{:>10.3}ms  {:<14} DROPPED: {r}",
+                self.at.as_micros() as f64 / 1e3,
+                self.hop
+            ),
+        }
+    }
+}
+
+/// The central append-only hop ledger of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::time::SimTime;
+/// use simkit::trace::{DropReason, Hop, HopOutcome, TraceId, TraceLedger};
+///
+/// let mut ledger = TraceLedger::new();
+/// let t = TraceId(1);
+/// ledger.record(t, Hop::TaoCommit, SimTime::from_millis(0), HopOutcome::Ok);
+/// ledger.record(t, Hop::PylonPublish, SimTime::from_millis(3),
+///               HopOutcome::Dropped(DropReason::NoSubscribers));
+/// assert_eq!(ledger.chain(t).len(), 2);
+/// assert_eq!(ledger.drop_of(t), Some((Hop::PylonPublish, DropReason::NoSubscribers)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceLedger {
+    records: Vec<HopRecord>,
+    /// Indices into `records`, per trace, in append order.
+    by_trace: HashMap<TraceId, Vec<u32>>,
+    /// Latency from the previous hop of the same trace to this hop (ms).
+    hop_latency: BTreeMap<Hop, Histogram>,
+    /// (hop, reason) → updates killed there.
+    drops: BTreeMap<(Hop, DropReason), u64>,
+    /// Completed deliveries: (trace, end-to-end latency), in render order.
+    delivered: Vec<(TraceId, SimDuration)>,
+}
+
+impl TraceLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one hop record, updating the per-hop latency histogram (the
+    /// time since the trace's previous record) and, on a
+    /// [`Hop::DeviceRender`] success, the delivery list.
+    pub fn record(&mut self, trace_id: TraceId, hop: Hop, at: SimTime, outcome: HopOutcome) {
+        let idx = self.records.len() as u32;
+        let entries = self.by_trace.entry(trace_id).or_default();
+        if let Some(&prev) = entries.last() {
+            let prev_at = self.records[prev as usize].at;
+            self.hop_latency
+                .entry(hop)
+                .or_default()
+                .record(at.saturating_since(prev_at).as_millis_f64());
+        }
+        if let HopOutcome::Dropped(reason) = outcome {
+            *self.drops.entry((hop, reason)).or_insert(0) += 1;
+        }
+        if hop == Hop::DeviceRender && outcome == HopOutcome::Ok {
+            if let Some(&first) = entries.first() {
+                let e2e = at.saturating_since(self.records[first as usize].at);
+                self.delivered.push((trace_id, e2e));
+            }
+        }
+        entries.push(idx);
+        self.records.push(HopRecord {
+            trace_id,
+            hop,
+            at,
+            outcome,
+        });
+    }
+
+    /// All records, in append order.
+    pub fn records(&self) -> &[HopRecord] {
+        &self.records
+    }
+
+    /// Number of distinct traces seen.
+    pub fn trace_count(&self) -> usize {
+        self.by_trace.len()
+    }
+
+    /// The hop chain of one trace, in order.
+    pub fn chain(&self, trace_id: TraceId) -> Vec<HopRecord> {
+        self.by_trace
+            .get(&trace_id)
+            .map(|idxs| idxs.iter().map(|&i| self.records[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All trace ids, ascending.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.by_trace.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Whether the trace rendered on at least one device.
+    pub fn is_delivered(&self, trace_id: TraceId) -> bool {
+        self.chain(trace_id)
+            .iter()
+            .any(|r| r.hop == Hop::DeviceRender && r.outcome == HopOutcome::Ok)
+    }
+
+    /// The first drop recorded for a trace, if any.
+    pub fn drop_of(&self, trace_id: TraceId) -> Option<(Hop, DropReason)> {
+        self.chain(trace_id).iter().find_map(|r| match r.outcome {
+            HopOutcome::Dropped(reason) => Some((r.hop, reason)),
+            HopOutcome::Ok => None,
+        })
+    }
+
+    /// Traces that neither rendered anywhere nor have a drop record — an
+    /// update the ledger lost track of (or one still in flight when the run
+    /// stopped). The complete-accounting tests assert this is empty.
+    pub fn unaccounted(&self) -> Vec<TraceId> {
+        self.trace_ids()
+            .into_iter()
+            .filter(|&t| !self.is_delivered(t) && self.drop_of(t).is_none())
+            .collect()
+    }
+
+    /// Completed deliveries as `(trace, end-to-end latency)`, render order.
+    pub fn deliveries(&self) -> &[(TraceId, SimDuration)] {
+        &self.delivered
+    }
+
+    /// The `n` slowest deliveries, slowest first (ties: lower trace first).
+    pub fn slowest(&self, n: usize) -> Vec<(TraceId, SimDuration)> {
+        let mut all = self.delivered.clone();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Per-hop latency summaries (time from the previous hop of the same
+    /// trace), in pipeline order.
+    pub fn hop_summaries(&self) -> Vec<(Hop, Summary)> {
+        self.hop_latency
+            .iter()
+            .map(|(hop, h)| (*hop, Summary::of(h)))
+            .collect()
+    }
+
+    /// The raw per-hop latency histogram, if the hop was ever reached.
+    pub fn hop_histogram(&self, hop: Hop) -> Option<&Histogram> {
+        self.hop_latency.get(&hop)
+    }
+
+    /// The drop attribution table: `(hop, reason, count)` rows, in hop then
+    /// reason order.
+    pub fn drop_table(&self) -> Vec<(Hop, DropReason, u64)> {
+        self.drops
+            .iter()
+            .map(|(&(hop, reason), &n)| (hop, reason, n))
+            .collect()
+    }
+
+    /// Total drop records across all hops.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Renders one trace's chain as text (for `trace-dump` and debugging).
+    pub fn format_chain(&self, trace_id: TraceId) -> String {
+        let chain = self.chain(trace_id);
+        if chain.is_empty() {
+            return format!("{trace_id}: no records");
+        }
+        let mut out = String::new();
+        let first = chain[0].at;
+        out.push_str(&format!("{trace_id}:\n"));
+        let mut prev = first;
+        for r in &chain {
+            out.push_str(&format!(
+                "  {r}  (+{:.3}ms)\n",
+                r.at.saturating_since(prev).as_millis_f64()
+            ));
+            prev = r.at;
+        }
+        match (self.is_delivered(trace_id), self.drop_of(trace_id)) {
+            (true, _) => {
+                let last = chain.last().expect("non-empty").at;
+                out.push_str(&format!(
+                    "  delivered in {:.3}ms\n",
+                    last.saturating_since(first).as_millis_f64()
+                ));
+            }
+            (false, Some((hop, reason))) => {
+                out.push_str(&format!("  dropped at {hop}: {reason}\n"));
+            }
+            (false, None) => out.push_str("  still in flight\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn delivered_chain_latencies_telescope() {
+        let mut l = TraceLedger::new();
+        let t = TraceId(7);
+        l.record(t, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(t, Hop::PylonPublish, ms(10), HopOutcome::Ok);
+        l.record(t, Hop::PylonDeliver, ms(25), HopOutcome::Ok);
+        l.record(t, Hop::BrassSend, ms(40), HopOutcome::Ok);
+        l.record(t, Hop::BurstDeliver, ms(55), HopOutcome::Ok);
+        l.record(t, Hop::DeviceRender, ms(100), HopOutcome::Ok);
+        assert!(l.is_delivered(t));
+        assert_eq!(l.deliveries(), &[(t, SimDuration::from_millis(100))]);
+        // Per-hop latencies sum to the end-to-end latency.
+        let chain = l.chain(t);
+        let sum: f64 = chain
+            .windows(2)
+            .map(|w| w[1].at.saturating_since(w[0].at).as_millis_f64())
+            .sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        // Each hop histogram saw exactly one sample.
+        for (hop, expect) in [
+            (Hop::PylonPublish, 10.0),
+            (Hop::PylonDeliver, 15.0),
+            (Hop::BrassSend, 15.0),
+            (Hop::BurstDeliver, 15.0),
+            (Hop::DeviceRender, 45.0),
+        ] {
+            let h = l.hop_histogram(hop).unwrap();
+            assert_eq!(h.count(), 1);
+            assert!((h.mean() - expect).abs() < 1.0, "{hop}: {}", h.mean());
+        }
+        assert!(
+            l.hop_histogram(Hop::TaoCommit).is_none(),
+            "first hop has no predecessor"
+        );
+        assert!(l.unaccounted().is_empty());
+    }
+
+    #[test]
+    fn drops_attributed_to_hop_and_reason() {
+        let mut l = TraceLedger::new();
+        let a = TraceId(1);
+        l.record(a, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(
+            a,
+            Hop::PylonPublish,
+            ms(5),
+            HopOutcome::Dropped(DropReason::NoSubscribers),
+        );
+        let b = TraceId(2);
+        l.record(b, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(b, Hop::PylonPublish, ms(5), HopOutcome::Ok);
+        l.record(b, Hop::PylonDeliver, ms(9), HopOutcome::Ok);
+        l.record(
+            b,
+            Hop::BrassProcess,
+            ms(9),
+            HopOutcome::Dropped(DropReason::LanguageFilter),
+        );
+        assert_eq!(
+            l.drop_of(a),
+            Some((Hop::PylonPublish, DropReason::NoSubscribers))
+        );
+        assert_eq!(
+            l.drop_of(b),
+            Some((Hop::BrassProcess, DropReason::LanguageFilter))
+        );
+        assert_eq!(
+            l.drop_table(),
+            vec![
+                (Hop::PylonPublish, DropReason::NoSubscribers, 1),
+                (Hop::BrassProcess, DropReason::LanguageFilter, 1),
+            ]
+        );
+        assert_eq!(l.total_drops(), 2);
+        assert!(!l.is_delivered(a));
+        assert!(l.unaccounted().is_empty());
+    }
+
+    #[test]
+    fn unaccounted_finds_in_flight_traces() {
+        let mut l = TraceLedger::new();
+        let t = TraceId(3);
+        l.record(t, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(t, Hop::PylonPublish, ms(4), HopOutcome::Ok);
+        assert_eq!(l.unaccounted(), vec![t]);
+    }
+
+    #[test]
+    fn slowest_orders_descending() {
+        let mut l = TraceLedger::new();
+        for (id, e2e) in [(1u64, 50u64), (2, 200), (3, 120)] {
+            let t = TraceId(id);
+            l.record(t, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+            l.record(t, Hop::DeviceRender, ms(e2e), HopOutcome::Ok);
+        }
+        let slowest = l.slowest(2);
+        assert_eq!(
+            slowest,
+            vec![
+                (TraceId(2), SimDuration::from_millis(200)),
+                (TraceId(3), SimDuration::from_millis(120)),
+            ]
+        );
+        assert_eq!(l.slowest(10).len(), 3);
+    }
+
+    #[test]
+    fn format_chain_renders_outcomes() {
+        let mut l = TraceLedger::new();
+        let t = TraceId(9);
+        l.record(t, Hop::TaoCommit, ms(1), HopOutcome::Ok);
+        l.record(
+            t,
+            Hop::PylonPublish,
+            ms(2),
+            HopOutcome::Dropped(DropReason::NoSubscribers),
+        );
+        let text = l.format_chain(t);
+        assert!(text.contains("tao_commit"));
+        assert!(text.contains("no_subscribers"));
+        assert!(text.contains("dropped at pylon_publish"));
+        assert_eq!(l.format_chain(TraceId(999)), "t999: no records");
+    }
+
+    #[test]
+    fn ledgers_compare_equal_iff_same_history() {
+        let build = |shift: u64| {
+            let mut l = TraceLedger::new();
+            let t = TraceId(1);
+            l.record(t, Hop::TaoCommit, ms(shift), HopOutcome::Ok);
+            l.record(t, Hop::DeviceRender, ms(shift + 10), HopOutcome::Ok);
+            l
+        };
+        assert_eq!(build(0), build(0));
+        assert_ne!(build(0), build(1));
+    }
+}

@@ -105,7 +105,12 @@ impl Shard {
     /// Point lookup of specific associations; returns them in `id2s` order.
     ///
     /// The second element of the return is the number of rows scanned.
-    pub fn get_assocs(&mut self, id1: ObjectId, atype: &str, id2s: &[ObjectId]) -> (Vec<Assoc>, u64) {
+    pub fn get_assocs(
+        &mut self,
+        id1: ObjectId,
+        atype: &str,
+        id2s: &[ObjectId],
+    ) -> (Vec<Assoc>, u64) {
         self.reads += 1;
         let mut scanned = 0;
         let mut out = Vec::new();

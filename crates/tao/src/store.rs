@@ -327,14 +327,12 @@ impl Tao {
         let key = CacheKey::AssocHead(id1, atype.to_owned());
         let want = offset + limit;
         if want <= ASSOC_HEAD_LEN {
-            if let Some(CacheVal::AssocHead(head)) = self.regions[region as usize].cache.get(&key)
-            {
+            if let Some(CacheVal::AssocHead(head)) = self.regions[region as usize].cache.get(&key) {
                 // Serve from the cached head when it covers the request:
                 // either the range fits, or the whole list is shorter than
                 // the cached head capacity (so the head is the full list).
                 if head.len() >= want || head.len() < ASSOC_HEAD_LEN {
-                    let rows: Vec<Assoc> =
-                        head.iter().skip(offset).take(limit).cloned().collect();
+                    let rows: Vec<Assoc> = head.iter().skip(offset).take(limit).cloned().collect();
                     cost.cache_hits = 1;
                     cost.rows_read = rows.len() as u64;
                     let cost = cost.finish();
@@ -434,7 +432,12 @@ impl Tao {
     }
 
     /// Association count for a list.
-    pub fn assoc_count(&mut self, region: RegionId, id1: ObjectId, atype: &str) -> (u64, QueryCost) {
+    pub fn assoc_count(
+        &mut self,
+        region: RegionId,
+        id1: ObjectId,
+        atype: &str,
+    ) -> (u64, QueryCost) {
         let mut cost = QueryCost {
             shards_touched: 1,
             rows_read: 1,
@@ -444,7 +447,9 @@ impl Tao {
         let shard = self.shard_of(id1) as usize;
         let n = self.shards[shard].assoc_count(id1, atype);
         cost = cost.finish();
-        self.regions[region as usize].counters.record(cost, n as usize);
+        self.regions[region as usize]
+            .counters
+            .record(cost, n as usize);
         (n, cost)
     }
 
@@ -511,7 +516,9 @@ mod tests {
         let id = t.obj_add("user", vec![("v".into(), Value::from(1i64))]);
         t.obj_get(0, id);
         t.obj_get(1, id);
-        let events = t.obj_update(id, vec![("v".into(), Value::from(2i64))]).unwrap();
+        let events = t
+            .obj_update(id, vec![("v".into(), Value::from(2i64))])
+            .unwrap();
         // Events for regions 1 and 2 (region 0 is local).
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.region != 0));

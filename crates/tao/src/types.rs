@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn data_lookup() {
-        let data: Data = vec![("a".into(), Value::from(1i64)), ("b".into(), Value::from("x"))];
+        let data: Data = vec![
+            ("a".into(), Value::from(1i64)),
+            ("b".into(), Value::from("x")),
+        ];
         assert_eq!(data_get(&data, "b").unwrap().as_str(), Some("x"));
         assert!(data_get(&data, "c").is_none());
     }

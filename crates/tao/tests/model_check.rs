@@ -11,11 +11,26 @@ enum Op {
     AddObject,
     UpdateObject(usize),
     DeleteObject(usize),
-    AddAssoc { from: usize, to: usize, time: u64 },
-    DeleteAssoc { from: usize, to: usize },
+    AddAssoc {
+        from: usize,
+        to: usize,
+        time: u64,
+    },
+    DeleteAssoc {
+        from: usize,
+        to: usize,
+    },
     Get(usize),
-    Range { from: usize, offset: usize, limit: usize },
-    TimeRange { from: usize, low: u64, high: u64 },
+    Range {
+        from: usize,
+        offset: usize,
+        limit: usize,
+    },
+    TimeRange {
+        from: usize,
+        low: u64,
+        high: u64,
+    },
     Count(usize),
 }
 
@@ -24,14 +39,23 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::AddObject),
         (0usize..12).prop_map(Op::UpdateObject),
         (0usize..12).prop_map(Op::DeleteObject),
-        (0usize..12, 0usize..12, 0u64..50)
-            .prop_map(|(from, to, time)| Op::AddAssoc { from, to, time }),
+        (0usize..12, 0usize..12, 0u64..50).prop_map(|(from, to, time)| Op::AddAssoc {
+            from,
+            to,
+            time
+        }),
         (0usize..12, 0usize..12).prop_map(|(from, to)| Op::DeleteAssoc { from, to }),
         (0usize..12).prop_map(Op::Get),
-        (0usize..12, 0usize..4, 1usize..8)
-            .prop_map(|(from, offset, limit)| Op::Range { from, offset, limit }),
-        (0usize..12, 0u64..50, 0u64..50)
-            .prop_map(|(from, low, high)| Op::TimeRange { from, low, high }),
+        (0usize..12, 0usize..4, 1usize..8).prop_map(|(from, offset, limit)| Op::Range {
+            from,
+            offset,
+            limit
+        }),
+        (0usize..12, 0u64..50, 0u64..50).prop_map(|(from, low, high)| Op::TimeRange {
+            from,
+            low,
+            high
+        }),
         (0usize..12).prop_map(Op::Count),
     ]
 }
@@ -49,7 +73,7 @@ impl Model {
         let mut list = self.assocs.get(&from).cloned().unwrap_or_default();
         // Newest first; ties keep earlier-inserted first (matches shard
         // insertion: equal times order by insertion).
-        list.sort_by(|a, b| b.1.cmp(&a.1));
+        list.sort_by_key(|e| std::cmp::Reverse(e.1));
         list
     }
 }

@@ -145,7 +145,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GraphQL parse error at {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "GraphQL parse error at {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -408,7 +412,12 @@ fn parse_field(ts: &mut TokenStream) -> Result<Field, ParseError> {
                     ts.expect_punct(':')?;
                     args.push((arg_name, parse_value(ts)?));
                 }
-                _ => return Err(ParseError::new(ts.offset(), "expected argument name or ')'")),
+                _ => {
+                    return Err(ParseError::new(
+                        ts.offset(),
+                        "expected argument name or ')'",
+                    ))
+                }
             }
         }
         if args.is_empty() {
@@ -478,10 +487,8 @@ mod tests {
 
     #[test]
     fn parses_arguments_of_all_types() {
-        let op = parse(
-            r#"{ f(a: 1, b: -2.5, c: "hi\n", d: true, e: null, g: UP, h: [1, 2, 3]) }"#,
-        )
-        .unwrap();
+        let op = parse(r#"{ f(a: 1, b: -2.5, c: "hi\n", d: true, e: null, g: UP, h: [1, 2, 3]) }"#)
+            .unwrap();
         let f = &op.selections[0];
         assert_eq!(f.arg("a"), Some(&GqlValue::Int(1)));
         assert_eq!(f.arg("b"), Some(&GqlValue::Float(-2.5)));
@@ -507,8 +514,8 @@ mod tests {
 
     #[test]
     fn nested_selections() {
-        let op = parse("{ video(id: 7) { comments(first: 10) { text author { name } } } }")
-            .unwrap();
+        let op =
+            parse("{ video(id: 7) { comments(first: 10) { text author { name } } } }").unwrap();
         let video = &op.selections[0];
         assert_eq!(video.arg_id("id").unwrap(), 7);
         let comments = &video.selections[0];

@@ -7,7 +7,7 @@
 //! implements the checks the sample applications need, backed by TAO
 //! `blocked` associations and per-object audience rules.
 
-use tao::{Tao, ObjectId, QueryCost};
+use tao::{ObjectId, QueryCost, Tao};
 
 /// Audience restriction attached to content (`audience` field on objects).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -329,14 +329,21 @@ impl WebApplicationServer {
 
     /// Makes `a` and `b` friends (both directions).
     pub fn add_friend(&mut self, a: u64, b: u64, time: u64) {
-        self.tao.assoc_add(ObjectId(a), "friend", ObjectId(b), time, vec![]);
-        self.tao.assoc_add(ObjectId(b), "friend", ObjectId(a), time, vec![]);
+        self.tao
+            .assoc_add(ObjectId(a), "friend", ObjectId(b), time, vec![]);
+        self.tao
+            .assoc_add(ObjectId(b), "friend", ObjectId(a), time, vec![]);
     }
 
     /// Records that `blocker` blocked `blocked`.
     pub fn block(&mut self, blocker: u64, blocked: u64, time: u64) {
-        self.tao
-            .assoc_add(ObjectId(blocker), "blocked", ObjectId(blocked), time, vec![]);
+        self.tao.assoc_add(
+            ObjectId(blocker),
+            "blocked",
+            ObjectId(blocked),
+            time,
+            vec![],
+        );
     }
 
     /// Friend ids of a user.
@@ -858,7 +865,11 @@ impl WebApplicationServer {
                 )),
                 "lastOnlineMs" => pairs.push((
                     "lastOnlineMs".into(),
-                    Rv::Int(obj.get("last_online_ms").and_then(Value::as_int).unwrap_or(0)),
+                    Rv::Int(
+                        obj.get("last_online_ms")
+                            .and_then(Value::as_int)
+                            .unwrap_or(0),
+                    ),
                 )),
                 other => return Err(WasError::UnknownField(other.to_owned())),
             }
@@ -876,7 +887,9 @@ impl WebApplicationServer {
         // of the viewer's friends (§3.4 Stories).
         let viewer = field.arg_id("viewerId").map_err(bad)?;
         let first = field.arg("first").and_then(|v| v.as_int()).unwrap_or(10) as usize;
-        let (friends, c) = self.tao.assoc_range(region, ObjectId(viewer), "friend", 0, 5_000);
+        let (friends, c) = self
+            .tao
+            .assoc_range(region, ObjectId(viewer), "friend", 0, 5_000);
         *cost += c;
         let friend_ids: Vec<ObjectId> = friends.iter().map(|a| a.id2).collect();
         let (stories, c) = self
@@ -914,7 +927,9 @@ impl WebApplicationServer {
                 u64::MAX,
                 first,
             ),
-            None => self.tao.assoc_range(region, ObjectId(uid), "mailbox", 0, first),
+            None => self
+                .tao
+                .assoc_range(region, ObjectId(uid), "mailbox", 0, first),
         };
         *cost += c;
         let mut items: Vec<Rv> = assocs
@@ -1011,7 +1026,10 @@ mod tests {
         assert_eq!(out.was_latency_ms, 2_000, "ranked path costs 2s (Table 3)");
         // The comment is queryable.
         let q = w
-            .execute_query(0, &format!("{{ video(id: {v}) {{ comments(first: 5) {{ text }} }} }}"))
+            .execute_query(
+                0,
+                &format!("{{ video(id: {v}) {{ comments(first: 5) {{ text }} }} }}"),
+            )
             .unwrap();
         let comments = q.response.get("video").unwrap().get("comments").unwrap();
         assert_eq!(comments.items().len(), 1);
@@ -1059,7 +1077,10 @@ mod tests {
                 Some(_) => per_uid += 1,
             }
         }
-        assert!(headline > 0, "some high-quality comments hit the main topic");
+        assert!(
+            headline > 0,
+            "some high-quality comments hit the main topic"
+        );
         assert!(per_uid > 0, "mid-quality comments go to per-poster topics");
         assert!(discarded > 0, "low-quality comments are discarded at WAS");
         assert_eq!(w.counters().preranked_discards, discarded);
@@ -1100,7 +1121,9 @@ mod tests {
     #[test]
     fn send_message_fans_to_all_mailboxes_with_seq() {
         let mut w = was();
-        let users: Vec<u64> = (0..5).map(|i| w.create_user(&format!("u{i}"), "en")).collect();
+        let users: Vec<u64> = (0..5)
+            .map(|i| w.create_user(&format!("u{i}"), "en"))
+            .collect();
         let t = w.create_thread(&users);
         let out = w
             .execute_mutation(
@@ -1123,7 +1146,9 @@ mod tests {
     #[test]
     fn mailbox_query_replays_after_seq() {
         let mut w = was();
-        let users: Vec<u64> = (0..2).map(|i| w.create_user(&format!("u{i}"), "en")).collect();
+        let users: Vec<u64> = (0..2)
+            .map(|i| w.create_user(&format!("u{i}"), "en"))
+            .collect();
         let t = w.create_thread(&users);
         for i in 0..5 {
             w.execute_mutation(
@@ -1136,7 +1161,10 @@ mod tests {
             .execute_query(0, &format!("{{ mailbox(uid: {}, afterSeq: 2) }}", users[1]))
             .unwrap();
         let items = q.response.get("mailbox").unwrap().items();
-        let seqs: Vec<i64> = items.iter().map(|m| m.get("seq").unwrap().as_int().unwrap()).collect();
+        let seqs: Vec<i64> = items
+            .iter()
+            .map(|m| m.get("seq").unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(seqs, vec![3, 4], "only messages after seq 2, oldest first");
     }
 
@@ -1154,12 +1182,19 @@ mod tests {
             .unwrap();
         }
         let q = w
-            .execute_query(0, &format!("{{ storiesTray(viewerId: {viewer}, first: 3) }}"))
+            .execute_query(
+                0,
+                &format!("{{ storiesTray(viewerId: {viewer}, first: 3) }}"),
+            )
             .unwrap();
         let tray = q.response.get("storiesTray").unwrap().items();
         assert_eq!(tray.len(), 3);
         // The tray query is the expensive intersect shape.
-        assert!(q.cost.shards_touched >= 3, "shards {}", q.cost.shards_touched);
+        assert!(
+            q.cost.shards_touched >= 3,
+            "shards {}",
+            q.cost.shards_touched
+        );
     }
 
     #[test]
@@ -1232,10 +1267,18 @@ mod tests {
         let q = w
             .execute_query(
                 0,
-                &format!("{{ video(id: {v}) {{ commentsSince(since: 100, first: 50) {{ text }} }} }}"),
+                &format!(
+                    "{{ video(id: {v}) {{ commentsSince(since: 100, first: 50) {{ text }} }} }}"
+                ),
             )
             .unwrap();
-        let items = q.response.get("video").unwrap().get("commentsSince").unwrap().items();
+        let items = q
+            .response
+            .get("video")
+            .unwrap()
+            .get("commentsSince")
+            .unwrap()
+            .items();
         assert_eq!(items.len(), 10, "comments at times 100..190");
         assert!(q.cost.cache_misses >= 1, "since-queries hit storage");
     }

@@ -30,7 +30,12 @@ fn multi_root_query_resolves_every_field() {
     assert_eq!(video.get("title").unwrap().as_str(), Some("eclipse"));
     assert_eq!(video.get("comments").unwrap().items().len(), 1);
     assert_eq!(
-        q.response.get("user").unwrap().get("name").unwrap().as_str(),
+        q.response
+            .get("user")
+            .unwrap()
+            .get("name")
+            .unwrap()
+            .as_str(),
         Some("ada")
     );
 }
@@ -62,10 +67,16 @@ fn stories_tray_cost_grows_with_friend_count() {
         .unwrap();
     }
     let small = w
-        .execute_query(0, &format!("{{ storiesTray(viewerId: {small_viewer}, first: 5) }}"))
+        .execute_query(
+            0,
+            &format!("{{ storiesTray(viewerId: {small_viewer}, first: 5) }}"),
+        )
         .unwrap();
     let big = w
-        .execute_query(0, &format!("{{ storiesTray(viewerId: {big_viewer}, first: 5) }}"))
+        .execute_query(
+            0,
+            &format!("{{ storiesTray(viewerId: {big_viewer}, first: 5) }}"),
+        )
         .unwrap();
     assert!(
         big.cost.cpu_us > small.cost.cpu_us * 3,
@@ -154,7 +165,9 @@ fn hot_mode_reduces_pylon_event_volume() {
 #[test]
 fn thread_members_and_mailbox_fanout_agree() {
     let mut w = was();
-    let users: Vec<u64> = (0..5).map(|i| w.create_user(&format!("u{i}"), "en")).collect();
+    let users: Vec<u64> = (0..5)
+        .map(|i| w.create_user(&format!("u{i}"), "en"))
+        .collect();
     let thread = w.create_thread(&users);
     let out = w
         .execute_mutation(
@@ -182,6 +195,12 @@ fn verified_flag_survives_status_updates() {
     w.execute_mutation(&format!("mutation {{ setOnline(uid: {u}) {{ ok }} }}"), 5)
         .unwrap();
     let obj = w.tao_mut().obj_get(0, tao::ObjectId(u)).0.unwrap();
-    assert_eq!(obj.get("verified").and_then(tao::Value::as_bool), Some(true));
-    assert_eq!(obj.get("last_online_ms").and_then(tao::Value::as_int), Some(5));
+    assert_eq!(
+        obj.get("verified").and_then(tao::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        obj.get("last_online_ms").and_then(tao::Value::as_int),
+        Some(5)
+    );
 }

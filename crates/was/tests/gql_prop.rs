@@ -62,7 +62,10 @@ fn print_value(v: &GqlValue) -> String {
 
 fn arb_name() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        !matches!(s.as_str(), "true" | "false" | "null" | "query" | "mutation" | "subscription")
+        !matches!(
+            s.as_str(),
+            "true" | "false" | "null" | "query" | "mutation" | "subscription"
+        )
     })
 }
 
@@ -81,13 +84,15 @@ fn arb_value() -> impl Strategy<Value = GqlValue> {
 }
 
 fn arb_field() -> impl Strategy<Value = Field> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_value()), 0..3)).prop_map(
-        |(name, args)| Field {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_value()), 0..3),
+    )
+        .prop_map(|(name, args)| Field {
             name,
             args,
             selections: vec![],
-        },
-    );
+        });
     leaf.prop_recursive(3, 12, 3, |inner| {
         (
             arb_name(),

@@ -6,7 +6,7 @@
 //! which comments for a video are posted is infeasible" (§2), so the
 //! harnesses pick per-video intensities at random.
 
-use simkit::dist::{Exponential, Distribution, Mmpp2, Mmpp2State};
+use simkit::dist::{Distribution, Exponential, Mmpp2, Mmpp2State};
 use simkit::rng::DetRng;
 use simkit::time::{SimDuration, SimTime};
 

@@ -154,7 +154,7 @@ impl SocialGraph {
         let mut stubs: Vec<usize> = Vec::new();
         for i in 0..n {
             let degree = (friend_dist.sample(rng).round() as usize).clamp(1, n - 1);
-            stubs.extend(std::iter::repeat(i).take(degree));
+            stubs.extend(std::iter::repeat_n(i, degree));
         }
         rng.shuffle(&mut stubs);
         let mut edges = std::collections::HashSet::new();
@@ -179,9 +179,7 @@ impl SocialGraph {
         // Videos: Zipf viewership over users; commenting intensity is
         // log-uniform and independent of viewership.
         let zipf = Zipf::new(config.videos.max(1) as u64, config.video_zipf_s);
-        let mut video_rank: Vec<u64> = (0..config.videos)
-            .map(|_| zipf.sample_rank(rng))
-            .collect();
+        let mut video_rank: Vec<u64> = (0..config.videos).map(|_| zipf.sample_rank(rng)).collect();
         video_rank.sort_unstable();
         let videos: Vec<VideoSpec> = (0..config.videos)
             .map(|i| {
@@ -207,8 +205,8 @@ impl SocialGraph {
         // where possible.
         let threads: Vec<ThreadSpec> = (0..config.threads)
             .map(|i| {
-                let size = (simkit::dist::Poisson::new(config.mean_thread_size)
-                    .sample_count(rng) as usize)
+                let size = (simkit::dist::Poisson::new(config.mean_thread_size).sample_count(rng)
+                    as usize)
                     .clamp(2, 10);
                 let seed = rng.index(n);
                 let mut members = vec![seed];
@@ -239,8 +237,7 @@ impl SocialGraph {
 
     /// Mean friend count of the generated population.
     pub fn mean_friends(&self) -> f64 {
-        self.users.iter().map(|u| u.friends.len()).sum::<usize>() as f64
-            / self.users.len() as f64
+        self.users.iter().map(|u| u.friends.len()).sum::<usize>() as f64 / self.users.len() as f64
     }
 }
 
@@ -307,7 +304,10 @@ mod tests {
         let g = generate();
         let first = g.videos.first().unwrap().viewers.len();
         let last = g.videos.last().unwrap().viewers.len();
-        assert!(first > last, "rank 1 video ({first}) must outdraw rank n ({last})");
+        assert!(
+            first > last,
+            "rank 1 video ({first}) must outdraw rank n ({last})"
+        );
     }
 
     #[test]

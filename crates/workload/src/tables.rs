@@ -25,8 +25,8 @@ const AREA_BUCKETS: [(u64, u64); 6] = [
     (0, 0),
     (1, 9),
     (10, 99),
-    (100, 999_999),          // residual mass between the published rows
-    (1_000_001, 99_999_999), // "> 1M"
+    (100, 999_999),               // residual mass between the published rows
+    (1_000_001, 99_999_999),      // "> 1M"
     (100_000_001, 2_000_000_000), // "> 100M"
 ];
 
@@ -159,9 +159,15 @@ mod tests {
             counts[AreaUpdateModel::bucket_of(model.sample_daily_updates(&mut rng))] += 1;
         }
         let zero_frac = counts[0] as f64 / n as f64;
-        assert!((zero_frac - 0.83).abs() < 0.005, "zero fraction {zero_frac}");
+        assert!(
+            (zero_frac - 0.83).abs() < 0.005,
+            "zero fraction {zero_frac}"
+        );
         let small_frac = counts[1] as f64 / n as f64;
-        assert!((small_frac - 0.16).abs() < 0.005, "small fraction {small_frac}");
+        assert!(
+            (small_frac - 0.16).abs() < 0.005,
+            "small fraction {small_frac}"
+        );
         // The extreme tail exists but is tiny.
         assert!(counts[4] + counts[5] < n / 500);
     }
@@ -207,13 +213,34 @@ mod tests {
 
     #[test]
     fn lifetime_bucket_boundaries() {
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_secs(10)), 0);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(14)), 0);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(15)), 1);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_mins(59)), 1);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(1)), 2);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(23)), 2);
-        assert_eq!(StreamLifetimeModel::bucket_of(SimDuration::from_hours(25)), 3);
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_secs(10)),
+            0
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_mins(14)),
+            0
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_mins(15)),
+            1
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_mins(59)),
+            1
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_hours(1)),
+            2
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_hours(23)),
+            2
+        );
+        assert_eq!(
+            StreamLifetimeModel::bucket_of(SimDuration::from_hours(25)),
+            3
+        );
     }
 
     #[test]

@@ -96,7 +96,12 @@ fn video_viewership_and_comment_intensity_are_decoupled() {
     let g = SocialGraph::generate(&config, &mut rng);
     let n = g.videos.len() as f64;
     let mean_rank = (n - 1.0) / 2.0;
-    let mean_int: f64 = g.videos.iter().map(|v| v.comment_intensity.ln()).sum::<f64>() / n;
+    let mean_int: f64 = g
+        .videos
+        .iter()
+        .map(|v| v.comment_intensity.ln())
+        .sum::<f64>()
+        / n;
     let mut cov = 0.0;
     let mut var_r = 0.0;
     let mut var_i = 0.0;

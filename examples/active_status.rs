@@ -41,8 +41,7 @@ fn main() {
     println!("BRASS decisions (per-event bookkeeping): {decisions}");
     println!(
         "batched deliveries to the device: {} (batching collapses {} pings)",
-        m.deliveries,
-        m.publications
+        m.deliveries, m.publications
     );
     assert!(
         m.deliveries.get() < m.publications.get() / 2,

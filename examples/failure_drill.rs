@@ -53,7 +53,10 @@ fn main() {
     println!("== failure drill results ==");
     println!("deliveries:                 {}", m.deliveries);
     println!("connection drops:           {}", m.connection_drops);
-    println!("proxy-induced reconnects:   {}", sim.total_proxy_reconnects());
+    println!(
+        "proxy-induced reconnects:   {}",
+        sim.total_proxy_reconnects()
+    );
     println!("pylon quorum failures seen: {}", m.quorum_failures);
     println!("stream resubscriptions:     {}", m.subscriptions);
 

@@ -1,0 +1,290 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the small subset of the `bytes` API it actually uses:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits. Semantics
+//! match the real crate for this subset; zero-copy sharing is replaced by
+//! plain owned vectors, which is fine for a simulator.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Returns `true` while unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Copies the next `len` bytes out as an owned [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.remaining()`.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write-side interface for growable byte buffers.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied; this shim has no zero-copy path).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", &self[..])
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, keeping the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", &self.data)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        self.data.drain(..cnt);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_freeze() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_slice(&[2, 3, 4]);
+        assert_eq!(m.len(), 4);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.copy_to_bytes(2).to_vec(), vec![2, 3]);
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[1, 2, 3, 4, 5]);
+        m.advance(1);
+        let head = m.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&m[..], &[4, 5]);
+    }
+
+    #[test]
+    fn slice_buf_impl() {
+        let mut s: &[u8] = &[7, 8, 9];
+        assert_eq!(s.get_u8(), 7);
+        assert_eq!(s.remaining(), 2);
+        s.advance(2);
+        assert!(!s.has_remaining());
+    }
+}

@@ -144,7 +144,8 @@ fn hot_video_strategy_switch_maintains_delivery() {
             s.was_mut().add_friend(v, p, 1);
         }
     }
-    s.was_mut().set_video_hot(lv.video, Some(Default::default()));
+    s.was_mut()
+        .set_video_hot(lv.video, Some(Default::default()));
     lv.drive_comments(
         &mut s,
         SimTime::from_secs(5),
@@ -165,11 +166,21 @@ fn cancels_stop_delivery() {
     let viewer = s.create_user_device("viewer", "en");
     let poster = s.create_user_device("poster", "en");
     s.subscribe_lvc(SimTime::ZERO, viewer, video);
-    s.post_comment(SimTime::from_secs(2), poster, video, "before cancel this arrives");
+    s.post_comment(
+        SimTime::from_secs(2),
+        poster,
+        video,
+        "before cancel this arrives",
+    );
     s.run_until(SimTime::from_secs(20));
     assert_eq!(s.metrics().deliveries.get(), 1);
     s.cancel_stream(SimTime::from_secs(21), viewer, burst::frame::StreamId(1));
-    s.post_comment(SimTime::from_secs(30), poster, video, "after cancel this is unheard");
+    s.post_comment(
+        SimTime::from_secs(30),
+        poster,
+        video,
+        "after cancel this is unheard",
+    );
     s.run_until(SimTime::from_secs(60));
     assert_eq!(s.metrics().deliveries.get(), 1, "no delivery after cancel");
 }

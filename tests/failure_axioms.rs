@@ -22,11 +22,21 @@ fn axiom1_device_drop_is_detected_and_propagated() {
     s.run_until(SimTime::from_secs(10));
     s.schedule_device_drop(SimTime::from_secs(11), viewer);
     // Run only briefly: comments posted while dropped find no stream.
-    s.post_comment(SimTime::from_secs(12), poster, video, "into the dead zone it goes");
+    s.post_comment(
+        SimTime::from_secs(12),
+        poster,
+        video,
+        "into the dead zone it goes",
+    );
     s.run_until(SimTime::from_secs(12));
     assert_eq!(s.metrics().connection_drops.get(), 1);
     // After reconnect (2 s) the stream recovers and deliveries resume.
-    s.post_comment(SimTime::from_secs(30), poster, video, "back in the land of living");
+    s.post_comment(
+        SimTime::from_secs(30),
+        poster,
+        video,
+        "back in the land of living",
+    );
     s.run_until(SimTime::from_secs(90));
     assert!(s.metrics().deliveries.get() >= 1, "post-reconnect delivery");
 }
@@ -71,7 +81,12 @@ fn axiom3_messenger_state_recovers_via_rewrites() {
     let thread = s.was_mut().create_thread(&[alice, bob]);
     s.subscribe_mailbox(SimTime::ZERO, bob);
     for i in 0..4u64 {
-        s.send_message(SimTime::from_secs(5 + i * 5), alice, thread, &format!("pre {i}"));
+        s.send_message(
+            SimTime::from_secs(5 + i * 5),
+            alice,
+            thread,
+            &format!("pre {i}"),
+        );
     }
     s.run_until(SimTime::from_secs(40));
     let delivered_before = s.metrics().deliveries.get();
@@ -82,7 +97,12 @@ fn axiom3_messenger_state_recovers_via_rewrites() {
         s.schedule_brass_upgrade(SimTime::from_secs(41), h, SimDuration::from_secs(10));
     }
     for i in 0..3u64 {
-        s.send_message(SimTime::from_secs(70 + i * 5), alice, thread, &format!("post {i}"));
+        s.send_message(
+            SimTime::from_secs(70 + i * 5),
+            alice,
+            thread,
+            &format!("post {i}"),
+        );
     }
     s.run_until(SimTime::from_secs(160));
     assert_eq!(
@@ -116,7 +136,10 @@ fn pylon_quorum_loss_is_cp_for_subscribes_ap_for_delivery() {
             break;
         }
     }
-    assert!(!s.pylon_mut().quorum_available(&topic2), "probe broke quorum");
+    assert!(
+        !s.pylon_mut().quorum_available(&topic2),
+        "probe broke quorum"
+    );
     for &n in &kill {
         s.pylon_mut().node_up(n);
     }
@@ -128,10 +151,23 @@ fn pylon_quorum_loss_is_cp_for_subscribes_ap_for_delivery() {
     // deduplicated by the host subscription manager): it fails and
     // retries. The established stream keeps receiving (AP).
     s.subscribe_lvc(SimTime::from_secs(10), late, video2);
-    s.post_comment(SimTime::from_secs(15), poster, video, "published during the outage");
-    s.post_comment(SimTime::from_secs(15), poster, video2, "unheard during the outage here");
+    s.post_comment(
+        SimTime::from_secs(15),
+        poster,
+        video,
+        "published during the outage",
+    );
+    s.post_comment(
+        SimTime::from_secs(15),
+        poster,
+        video2,
+        "unheard during the outage here",
+    );
     s.run_until(SimTime::from_secs(40));
-    assert!(s.metrics().quorum_failures.get() >= 1, "CP subscribe failed");
+    assert!(
+        s.metrics().quorum_failures.get() >= 1,
+        "CP subscribe failed"
+    );
     assert_eq!(
         s.device(established).unwrap().delivered(),
         1,
@@ -140,7 +176,12 @@ fn pylon_quorum_loss_is_cp_for_subscribes_ap_for_delivery() {
     assert_eq!(s.device(late).unwrap().delivered(), 0);
     // After the outage, the (backed-off) retry lands and the late viewer
     // receives: the last retry fires ~74s in, so post after it.
-    s.post_comment(SimTime::from_secs(90), poster, video2, "published after the recovery");
+    s.post_comment(
+        SimTime::from_secs(90),
+        poster,
+        video2,
+        "published after the recovery",
+    );
     s.run_until(SimTime::from_secs(150));
     assert_eq!(s.device(late).unwrap().delivered(), 1, "retry succeeded");
 }
@@ -156,7 +197,12 @@ fn best_effort_drops_are_not_retransmitted_for_lvc() {
     let viewer = s.create_user_device("viewer", "en");
     let poster = s.create_user_device("poster", "en");
     s.subscribe_lvc(SimTime::ZERO, viewer, video);
-    s.post_comment(SimTime::from_secs(5), poster, video, "lost to the void forever");
+    s.post_comment(
+        SimTime::from_secs(5),
+        poster,
+        video,
+        "lost to the void forever",
+    );
     s.run_until(SimTime::from_secs(40));
     assert_eq!(s.metrics().deliveries.get(), 0);
     assert!(s.metrics().frames_lost.get() >= 1);
@@ -181,7 +227,11 @@ fn upgrades_preserve_sticky_routing_benefits() {
         .cloned();
     assert!(before.is_some());
     for h in 0..4usize {
-        s.schedule_brass_upgrade(SimTime::from_secs(12 + h as u64, ), h, SimDuration::from_secs(20));
+        s.schedule_brass_upgrade(
+            SimTime::from_secs(12 + h as u64),
+            h,
+            SimDuration::from_secs(20),
+        );
     }
     s.run_until(SimTime::from_secs(60));
     let after = s
@@ -235,9 +285,17 @@ fn redirect_migrates_stream_transparently() {
         .get("brass_host")
         .and_then(burst::json::Json::as_u64)
         .unwrap() as usize;
-    assert_eq!(now_serving, target, "header rewritten to the redirect target");
+    assert_eq!(
+        now_serving, target,
+        "header rewritten to the redirect target"
+    );
     // ...and delivery flows through it.
-    s.post_comment(SimTime::from_secs(25), poster, video, "after the redirect it arrives");
+    s.post_comment(
+        SimTime::from_secs(25),
+        poster,
+        video,
+        "after the redirect it arrives",
+    );
     s.run_until(SimTime::from_secs(60));
     assert_eq!(s.metrics().deliveries.get(), 1);
 }

@@ -96,7 +96,10 @@ fn failover_resumes_from_rewritten_state() {
     // A server records progress via rewrites; after it dies, the proxy
     // rebuilds the subscribe from stored state and a NEW server resumes
     // sequence numbering where the old one stopped.
-    let header = Json::obj([("viewer", Json::from(9u64)), ("topic", Json::from("/Msgr/9"))]);
+    let header = Json::obj([
+        ("viewer", Json::from(9u64)),
+        ("topic", Json::from("/Msgr/9")),
+    ]);
     let mut client = ClientStream::new(StreamId(5), header.clone(), vec![]);
     let mut proxy = ProxyStreamTable::new();
     proxy.on_subscribe(9, StreamId(5), header.clone(), vec![], Some(1), 0);
@@ -123,7 +126,11 @@ fn failover_resumes_from_rewritten_state() {
     client.on_batch(&[Delta::FlowStatus(burst::frame::FlowStatus::Recovered)]);
 
     let mut server_b = ServerStream::accept(sid, header, true);
-    assert_eq!(server_b.next_seq(), 2, "resumes after the rewritten last_seq");
+    assert_eq!(
+        server_b.next_seq(),
+        2,
+        "resumes after the rewritten last_seq"
+    );
     let batch = vec![server_b.push(b"m2".to_vec())];
     let actions = client.on_batch(&batch);
     assert_eq!(actions, vec![ClientAction::Deliver(b"m2".to_vec())]);
@@ -132,7 +139,10 @@ fn failover_resumes_from_rewritten_state() {
 
 #[test]
 fn redirect_flow() {
-    let header = Json::obj([("viewer", Json::from(1u64)), ("topic", Json::from("/LVC/1"))]);
+    let header = Json::obj([
+        ("viewer", Json::from(1u64)),
+        ("topic", Json::from("/LVC/1")),
+    ]);
     let mut client = ClientStream::new(StreamId(2), header.clone(), vec![]);
     let mut server = ServerStream::accept(StreamId(2), header, false);
     // The BRASS wants this stream elsewhere: rewrite routing info, then
@@ -153,7 +163,10 @@ fn redirect_flow() {
 
 #[test]
 fn ack_retention_replay_cycle() {
-    let header = Json::obj([("viewer", Json::from(1u64)), ("topic", Json::from("/Msgr/1"))]);
+    let header = Json::obj([
+        ("viewer", Json::from(1u64)),
+        ("topic", Json::from("/Msgr/1")),
+    ]);
     let mut client = ClientStream::new(StreamId(3), header.clone(), vec![]);
     let mut server = ServerStream::accept(StreamId(3), header, true);
     let batch = vec![

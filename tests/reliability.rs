@@ -14,7 +14,12 @@ fn messenger_exactly_once_under_repeated_drops() {
     s.subscribe_mailbox(SimTime::ZERO, bob);
     // 20 messages over 5 minutes; bob drops every 45 seconds.
     for i in 0..20u64 {
-        s.send_message(SimTime::from_secs(5 + i * 15), alice, thread, &format!("m{i}"));
+        s.send_message(
+            SimTime::from_secs(5 + i * 15),
+            alice,
+            thread,
+            &format!("m{i}"),
+        );
     }
     for k in 0..6u64 {
         s.schedule_device_drop(SimTime::from_secs(40 + k * 45), bob);
@@ -40,7 +45,12 @@ fn messenger_survives_lossy_last_mile() {
     let thread = s.was_mut().create_thread(&[alice, bob]);
     s.subscribe_mailbox(SimTime::ZERO, bob);
     for i in 0..15u64 {
-        s.send_message(SimTime::from_secs(5 + i * 10), alice, thread, &format!("m{i}"));
+        s.send_message(
+            SimTime::from_secs(5 + i * 10),
+            alice,
+            thread,
+            &format!("m{i}"),
+        );
     }
     // A final drop-reconnect forces a backfill that sweeps up any frames
     // the lossy link ate.
@@ -129,7 +139,12 @@ fn pylon_straggler_replicas_still_deliver() {
     s.schedule_pylon_outage(SimTime::ZERO, 0, SimDuration::from_secs(15));
     s.subscribe_lvc(SimTime::from_secs(2), viewer, video);
     s.run_until(SimTime::from_secs(20));
-    s.post_comment(SimTime::from_secs(25), poster, video, "through the patched replica set");
+    s.post_comment(
+        SimTime::from_secs(25),
+        poster,
+        video,
+        "through the patched replica set",
+    );
     s.run_until(SimTime::from_secs(60));
     assert_eq!(s.metrics().deliveries.get(), 1);
 }
