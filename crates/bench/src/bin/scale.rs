@@ -1,0 +1,199 @@
+//! Simulator-throughput benchmark: a fixed large mixed workload (LVC
+//! audiences plus per-user notification topics), reported as wall-clock
+//! events/sec with per-subsystem event counts and peak RSS.
+//!
+//! Run: `cargo run --release -p bench --bin scale [--devices N] [--out F]`
+//!
+//! Writes a machine-readable summary (default `BENCH_PR2.json`) so future
+//! PRs have a perf trajectory to regress against; see the README's
+//! "Simulator throughput" note for how to read it.
+
+use std::time::Instant;
+
+use bench::arg_or;
+use bladerunner::config::SystemConfig;
+use bladerunner::sim::SystemSim;
+use pylon::PylonConfig;
+use simkit::time::{SimDuration, SimTime};
+use tao::TaoConfig;
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+/// 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// A system shape sized for six-figure device counts.
+fn scale_config() -> SystemConfig {
+    let mut config = SystemConfig::medium();
+    config.tao = TaoConfig {
+        shards: 64,
+        regions: 3,
+        cache_capacity: 1 << 20,
+    };
+    config.pylon = PylonConfig {
+        topic_shards: 65_536,
+        servers: 64,
+        kv_nodes: 16,
+        replicas: 3,
+    };
+    config.brass_hosts = 32;
+    config.proxies = 8;
+    config.pops = 8;
+    // The bench measures simulator throughput, not loss behaviour; keep the
+    // last mile lossless so delivered-event counts track the workload.
+    config.last_mile_drop = 0.0;
+    config
+}
+
+fn main() {
+    let devices: usize = arg_or("--devices", 100_000);
+    let videos: usize = arg_or("--videos", (devices / 500).max(1));
+    let comments_per_video: usize = arg_or("--comments-per-video", 6);
+    let sim_seconds: u64 = arg_or("--seconds", 60);
+    let seed: u64 = arg_or("--seed", 42);
+    let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
+
+    let mut sim = SystemSim::new(scale_config(), seed);
+
+    // Fixture: `videos` live videos, each device subscribed to one via a
+    // deterministic scatter, every 4th device also holding a per-user
+    // notification topic (the paper's dominant topic shape), subscribes
+    // spread over the first five simulated seconds.
+    let video_ids: Vec<u64> = (0..videos)
+        .map(|i| sim.was_mut().create_video(&format!("live{i}")))
+        .collect();
+    let mut device_ids = Vec::with_capacity(devices);
+    for i in 0..devices {
+        let d = sim.create_user_device(&format!("u{i}"), "en");
+        let at = SimTime::from_micros(i as u64 * 5_000_000 / devices as u64);
+        sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
+        if i % 4 == 0 {
+            sim.subscribe_notifications(at + SimDuration::from_millis(10), d);
+        }
+        device_ids.push(d);
+    }
+    // Comments: each video receives `comments_per_video`, staggered over
+    // [10s, 40s) and offset per video so publishes interleave.
+    let window_us = 30_000_000u64;
+    for (v, &video) in video_ids.iter().enumerate() {
+        for k in 0..comments_per_video {
+            let at = SimTime::from_secs(10)
+                + SimDuration::from_micros(
+                    k as u64 * window_us / comments_per_video as u64
+                        + (v as u64 * 7_919) % (window_us / comments_per_video as u64).max(1),
+                );
+            sim.post_comment(at, device_ids[v % devices], video, "scale bench comment");
+        }
+    }
+    // Churn: one in a thousand devices drops mid-run and reconnects.
+    for (i, &d) in device_ids.iter().enumerate() {
+        if i % 1_000 == 500 {
+            sim.schedule_device_drop(SimTime::from_secs(20), d);
+        }
+    }
+
+    let started = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_seconds));
+    let wall = started.elapsed().as_secs_f64();
+
+    let stats = sim.event_stats().clone();
+    let m = sim.metrics();
+    let events_per_sec = stats.total as f64 / wall.max(1e-9);
+    let rss = peak_rss_bytes();
+
+    println!(
+        "scale: {devices} devices, {videos} videos, {} comments, {sim_seconds}s simulated",
+        videos * comments_per_video
+    );
+    println!(
+        "  events: {} in {wall:.2}s wall -> {events_per_sec:.0} events/sec",
+        stats.total
+    );
+    println!(
+        "  by subsystem: workload={} pylon={} tao={} brass={} up={} down={} churn={} metrics={}",
+        stats.workload,
+        stats.pylon,
+        stats.tao,
+        stats.brass,
+        stats.transport_up,
+        stats.transport_down,
+        stats.device_churn,
+        stats.metrics
+    );
+    println!(
+        "  deliveries={} publications={} subscriptions={} peak_rss={:.1} MiB",
+        m.deliveries.get(),
+        m.publications.get(),
+        m.subscriptions.get(),
+        rss as f64 / (1024.0 * 1024.0)
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scale\",\n",
+            "  \"devices\": {},\n",
+            "  \"videos\": {},\n",
+            "  \"comments\": {},\n",
+            "  \"sim_seconds\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"wall_seconds\": {:.3},\n",
+            "  \"events_total\": {},\n",
+            "  \"events_per_sec\": {:.1},\n",
+            "  \"peak_rss_bytes\": {},\n",
+            "  \"events_by_subsystem\": {{\n",
+            "    \"workload\": {},\n",
+            "    \"pylon\": {},\n",
+            "    \"tao\": {},\n",
+            "    \"brass\": {},\n",
+            "    \"transport_up\": {},\n",
+            "    \"transport_down\": {},\n",
+            "    \"device_churn\": {},\n",
+            "    \"metrics\": {}\n",
+            "  }},\n",
+            "  \"metrics\": {{\n",
+            "    \"deliveries\": {},\n",
+            "    \"publications\": {},\n",
+            "    \"subscriptions\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        devices,
+        videos,
+        videos * comments_per_video,
+        sim_seconds,
+        seed,
+        wall,
+        stats.total,
+        events_per_sec,
+        rss,
+        stats.workload,
+        stats.pylon,
+        stats.tao,
+        stats.brass,
+        stats.transport_up,
+        stats.transport_down,
+        stats.device_churn,
+        stats.metrics,
+        m.deliveries.get(),
+        m.publications.get(),
+        m.subscriptions.get(),
+    );
+    std::fs::write(&out, json).expect("write bench summary");
+    println!("  wrote {out}");
+}

@@ -38,8 +38,8 @@ pub struct Delivery {
     pub device: u64,
     /// Stream the update arrived on.
     pub sid: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared with the in-sim fan-out).
+    pub payload: burst::frame::Payload,
 }
 
 /// Handle to a running real-time system.
@@ -147,7 +147,7 @@ impl Backend {
         match request {
             WasRequest::FetchObject { viewer, object } => {
                 match self.was.fetch_for_viewer(0, viewer, object) {
-                    Ok((payload, _)) => WasResponse::Payload(payload),
+                    Ok((payload, _)) => WasResponse::Payload(payload.into()),
                     Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
                     Err(_) => WasResponse::NotFound,
                 }
@@ -335,7 +335,7 @@ mod tests {
         let delivery = rt.recv_delivery(Duration::from_secs(10));
         let delivery = delivery.expect("delivery within the timer period");
         assert_eq!(delivery.device, 2);
-        let text = String::from_utf8(delivery.payload).unwrap();
+        let text = String::from_utf8(delivery.payload.to_vec()).unwrap();
         assert!(text.contains("wall clock"), "{text}");
     }
 }

@@ -6,7 +6,7 @@
 //! [`crate::latency::LatencyModel`]. All randomness flows
 //! from one seed, so any run is exactly reproducible.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use brass::app::{DeviceId, FetchToken, WasRequest, WasResponse};
 use brass::host::{BrassHost, HostConfig, HostEffect};
@@ -16,6 +16,7 @@ use edge::device::{Device, DeviceOutput};
 use edge::pop::{Pop, PopEffect};
 use edge::proxy::{ProxyEffect, ReverseProxy};
 use pylon::{HostId, PylonCluster, Topic};
+use simkit::fxhash::FxHashMap;
 use simkit::queue::EventQueue;
 use simkit::rng::DetRng;
 use simkit::time::{SimDuration, SimTime};
@@ -27,6 +28,62 @@ use was::UpdateEvent;
 use crate::config::{LinkClass, SystemConfig};
 use crate::latency::LatencyModel;
 use crate::metrics::SystemMetrics;
+
+/// Per-subsystem event-loop accounting: how many events the simulator
+/// popped and handled, grouped by the layer the event models. This is the
+/// denominator of the `scale` bench's events/sec figure and shows where
+/// simulated work concentrates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// All events handled.
+    pub total: u64,
+    /// Workload injections: subscribes, cancels, mutations.
+    pub workload: u64,
+    /// Pylon publish / fan-out / subscription / node events.
+    pub pylon: u64,
+    /// TAO cross-region replication applies.
+    pub tao: u64,
+    /// BRASS-side work: WAS round-trips, timers, host maintenance.
+    pub brass: u64,
+    /// Client → server frame hops (POP, proxy, BRASS arrival).
+    pub transport_up: u64,
+    /// Server → client frame hops (proxy, POP, device arrival).
+    pub transport_down: u64,
+    /// Device churn: drops and reconnects.
+    pub device_churn: u64,
+    /// Periodic metrics ticks.
+    pub metrics: u64,
+}
+
+impl EventStats {
+    fn note(&mut self, ev: &Ev) {
+        self.total += 1;
+        let bucket = match ev {
+            Ev::DeviceSubscribe { .. } | Ev::DeviceCancel { .. } | Ev::WasMutationExec { .. } => {
+                &mut self.workload
+            }
+            Ev::PylonPublish { .. }
+            | Ev::PylonDeliverHost { .. }
+            | Ev::PylonSubscribeExec { .. }
+            | Ev::PylonUnsubscribeExec { .. }
+            | Ev::PylonNode { .. } => &mut self.pylon,
+            Ev::TaoReplicate { .. } => &mut self.tao,
+            Ev::WasExec { .. }
+            | Ev::WasReply { .. }
+            | Ev::BrassTimer { .. }
+            | Ev::BrassRedirect { .. }
+            | Ev::BrassUpgrade { .. }
+            | Ev::BrassHostBack { .. } => &mut self.brass,
+            Ev::AtPop { .. } | Ev::AtProxy { .. } | Ev::AtBrass { .. } => &mut self.transport_up,
+            Ev::DownAtProxy { .. } | Ev::DownAtPop { .. } | Ev::AtDevice { .. } => {
+                &mut self.transport_down
+            }
+            Ev::DeviceDrop { .. } | Ev::DeviceReconnect { .. } => &mut self.device_churn,
+            Ev::MetricsTick => &mut self.metrics,
+        };
+        *bucket += 1;
+    }
+}
 
 /// A simulation event.
 enum Ev {
@@ -46,8 +103,12 @@ enum Ev {
     // ------------------------------------------------------------------
     /// An update event reaches Pylon.
     PylonPublish { event: UpdateEvent },
-    /// Pylon forwards an event to one BRASS host.
-    PylonDeliverHost { host: usize, event: UpdateEvent },
+    /// Pylon forwards an event to one BRASS host. The event is shared:
+    /// fanning out to N hosts enqueues N pointers to one allocation.
+    PylonDeliverHost {
+        host: usize,
+        event: Arc<UpdateEvent>,
+    },
     /// A cross-region TAO cache invalidation applies.
     TaoReplicate { event: tao::ReplicationEvent },
 
@@ -170,9 +231,9 @@ pub struct SystemSim {
     hosts: Vec<BrassHost>,
     proxies: Vec<ReverseProxy>,
     pops: Vec<Pop>,
-    devices: HashMap<u64, DeviceState>,
+    devices: FxHashMap<u64, DeviceState>,
     /// device → proxy carrying its streams (learned from POP routing).
-    device_proxy: HashMap<u64, usize>,
+    device_proxy: FxHashMap<u64, usize>,
 
     metrics: SystemMetrics,
     /// The per-update hop ledger: every admitted update's journey through
@@ -182,19 +243,25 @@ pub struct SystemSim {
     /// to attribute payload fetches, frames, and renders back to traces.
     /// (Updates sharing an object — e.g. one message fanned to N mailboxes —
     /// resolve to the most recent trace.)
-    object_trace: HashMap<ObjectId, TraceId>,
+    object_trace: FxHashMap<ObjectId, TraceId>,
     /// Streams subscribed per topic (Fig. 7 publication accounting).
-    topic_streams: HashMap<Topic, Vec<(u64, StreamId)>>,
+    topic_streams: FxHashMap<Topic, Vec<(u64, StreamId)>>,
+    /// Reverse of [`Self::topic_streams`]: the topic each open stream
+    /// subscribed to. Makes per-frame app attribution and stream teardown
+    /// O(1) instead of a scan over every topic in the registry.
+    stream_topic: FxHashMap<(u64, StreamId), Topic>,
     /// Pylon event delivery time per (host, object), for BRASS-latency
     /// attribution of later payload fetches.
-    object_delivered: HashMap<(usize, ObjectId), SimTime>,
+    object_delivered: FxHashMap<(usize, ObjectId), SimTime>,
     /// Subscription start times (device-observed subscribe latency).
-    sub_started: HashMap<(u64, StreamId), SimTime>,
+    sub_started: FxHashMap<(u64, StreamId), SimTime>,
     /// Decisions seen at the last metrics tick (for per-bucket deltas).
     decisions_at_tick: u64,
     last_proxy_reconnects: u64,
     /// Scenario bookkeeping: predicted next stream id per device.
-    scenario_sids: HashMap<u64, u64>,
+    scenario_sids: FxHashMap<u64, u64>,
+    /// Per-subsystem event-loop accounting.
+    event_stats: EventStats,
 }
 
 impl SystemSim {
@@ -230,17 +297,19 @@ impl SystemSim {
             hosts,
             proxies,
             pops,
-            devices: HashMap::new(),
-            device_proxy: HashMap::new(),
+            devices: FxHashMap::default(),
+            device_proxy: FxHashMap::default(),
             metrics,
             ledger: TraceLedger::new(),
-            object_trace: HashMap::new(),
-            topic_streams: HashMap::new(),
-            object_delivered: HashMap::new(),
-            sub_started: HashMap::new(),
+            object_trace: FxHashMap::default(),
+            topic_streams: FxHashMap::default(),
+            stream_topic: FxHashMap::default(),
+            object_delivered: FxHashMap::default(),
+            sub_started: FxHashMap::default(),
             decisions_at_tick: 0,
             last_proxy_reconnects: 0,
-            scenario_sids: HashMap::new(),
+            scenario_sids: FxHashMap::default(),
+            event_stats: EventStats::default(),
             config,
         }
     }
@@ -308,7 +377,7 @@ impl SystemSim {
 
     /// Scenario bookkeeping: per-device counters predicting the next
     /// client-generated stream id (devices allocate sids sequentially).
-    pub fn scenario_sid_counters(&mut self) -> &mut HashMap<u64, u64> {
+    pub fn scenario_sid_counters(&mut self) -> &mut FxHashMap<u64, u64> {
         &mut self.scenario_sids
     }
 
@@ -521,8 +590,14 @@ impl SystemSim {
     /// Runs the simulation until `until` (inclusive of events at `until`).
     pub fn run_until(&mut self, until: SimTime) {
         while let Some((now, ev)) = self.queue.pop_until(until) {
+            self.event_stats.note(&ev);
             self.handle(now, ev);
         }
+    }
+
+    /// Per-subsystem counts of events handled so far.
+    pub fn event_stats(&self) -> &EventStats {
+        &self.event_stats
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -642,18 +717,20 @@ impl SystemSim {
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
-        let (sid, frame) = state.device.open_stream(header.clone(), Vec::new());
+        // Fig. 7 registry: which topic does this stream's subscription
+        // target? Resolved before the header moves into the stream.
+        let sub_topic = brass::resolve::resolve(&header).ok().map(|sub| sub.topic);
+        let (sid, frame) = state.device.open_stream(header, Vec::new());
         self.metrics.subscriptions.inc();
         self.metrics.ts_subscriptions.inc(now);
         self.metrics.stream_opened(device, sid, now);
         self.sub_started.insert((device, sid), now);
-        // Fig. 7 registry: which topic does this stream's subscription
-        // target?
-        if let Ok(sub) = brass::resolve::resolve(&header) {
+        if let Some(topic) = sub_topic {
             self.topic_streams
-                .entry(sub.topic)
+                .entry(topic)
                 .or_default()
                 .push((device, sid));
+            self.stream_topic.insert((device, sid), topic);
         }
         let link = state.link;
         let delay = self.latency.last_mile(link, &mut self.rng);
@@ -670,8 +747,14 @@ impl SystemSim {
         };
         self.metrics.cancellations.inc();
         self.metrics.stream_closed(device, sid, now);
-        for streams in self.topic_streams.values_mut() {
-            streams.retain(|&(d, s)| !(d == device && s == sid));
+        // O(1) de-registration via the reverse map. (The old scan over
+        // `topic_streams.values_mut()` also visited topics in hash-map
+        // iteration order — harmless for `retain`, but a latent trap for
+        // any future per-topic side effect.)
+        if let Some(topic) = self.stream_topic.remove(&(device, sid)) {
+            if let Some(streams) = self.topic_streams.get_mut(&topic) {
+                streams.retain(|&(d, s)| !(d == device && s == sid));
+            }
         }
         let link = state.link;
         let delay = self.latency.last_mile(link, &mut self.rng);
@@ -711,8 +794,7 @@ impl SystemSim {
         self.metrics.publications.inc();
         self.metrics.ts_publications.inc(now);
         if let Some(streams) = self.topic_streams.get(&event.topic) {
-            let targets: Vec<(u64, StreamId)> = streams.clone();
-            for (d, s) in targets {
+            for &(d, s) in streams {
                 self.metrics.publication_for_stream(d, s);
             }
         }
@@ -735,12 +817,14 @@ impl SystemSim {
                 .pylon_fanout_large
                 .record(fanout.as_millis_f64());
         }
+        // One allocation, N pointers: the fan-out shares the event.
+        let event = Arc::new(event);
         for host in outcome.fast_forwards {
             self.queue.schedule(
                 now + fanout,
                 Ev::PylonDeliverHost {
                     host: host.0 as usize,
-                    event: event.clone(),
+                    event: Arc::clone(&event),
                 },
             );
         }
@@ -750,13 +834,13 @@ impl SystemSim {
                 now + fanout + extra,
                 Ev::PylonDeliverHost {
                     host: host.0 as usize,
-                    event: event.clone(),
+                    event: Arc::clone(&event),
                 },
             );
         }
     }
 
-    fn on_pylon_deliver(&mut self, now: SimTime, host: usize, event: UpdateEvent) {
+    fn on_pylon_deliver(&mut self, now: SimTime, host: usize, event: Arc<UpdateEvent>) {
         if host >= self.hosts.len() {
             return;
         }
@@ -801,7 +885,7 @@ impl SystemSim {
         let response = match request {
             WasRequest::FetchObject { viewer, object } => {
                 let response = match self.was.fetch_for_viewer(0, viewer, object) {
-                    Ok((payload, _)) => WasResponse::Payload(payload),
+                    Ok((payload, _)) => WasResponse::Payload(payload.into()),
                     Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
                     Err(_) => WasResponse::NotFound,
                 };
@@ -972,27 +1056,25 @@ impl SystemSim {
         }
     }
 
-    /// Best-effort application attribution for a downstream frame, keyed by
-    /// the stream's topic registry.
+    /// Best-effort application attribution for a downstream frame: one
+    /// reverse-map lookup on the stream's registered topic.
     fn app_of_device_frame(&self, device: u64, frame: &Frame) -> String {
-        let Some(sid) = frame.sid() else {
+        let topic = frame
+            .sid()
+            .and_then(|sid| self.stream_topic.get(&(device, sid)));
+        let Some(topic) = topic else {
             return "unknown".into();
         };
-        for (topic, streams) in &self.topic_streams {
-            if streams.iter().any(|&(d, s)| d == device && s == sid) {
-                return match topic.family() {
-                    "LVC" => "lvc".into(),
-                    "TI" => "typing".into(),
-                    "Status" => "active_status".into(),
-                    "Stories" => "stories".into(),
-                    "Msgr" => "messenger".into(),
-                    "Likes" => "likes".into(),
-                    "Notif" => "notifications".into(),
-                    other => other.to_owned(),
-                };
-            }
+        match topic.family() {
+            "LVC" => "lvc".into(),
+            "TI" => "typing".into(),
+            "Status" => "active_status".into(),
+            "Stories" => "stories".into(),
+            "Msgr" => "messenger".into(),
+            "Likes" => "likes".into(),
+            "Notif" => "notifications".into(),
+            other => other.to_owned(),
         }
-        "unknown".into()
     }
 
     fn on_at_pop(&mut self, now: SimTime, device: u64, frame: Frame) {
@@ -1126,9 +1208,15 @@ impl SystemSim {
     /// Resolves an update payload to its trace id via the embedded TAO
     /// object id. Payloads without an `"id"` field (or for objects written
     /// before tracing started) are simply untraced.
-    fn payload_trace(object_trace: &HashMap<ObjectId, TraceId>, payload: &[u8]) -> Option<TraceId> {
-        let json = Json::parse(std::str::from_utf8(payload).unwrap_or("")).ok()?;
-        let id = json.get("id").and_then(Json::as_u64)?;
+    ///
+    /// Runs on every update of every frame at every transport hop, so the
+    /// id is pulled out with the single-pass [`burst::json::top_level_u64`]
+    /// scanner instead of a full allocating parse.
+    fn payload_trace(
+        object_trace: &FxHashMap<ObjectId, TraceId>,
+        payload: &[u8],
+    ) -> Option<TraceId> {
+        let id = burst::json::top_level_u64(payload, "id")?;
         object_trace.get(&ObjectId(id)).copied()
     }
 
@@ -1232,17 +1320,15 @@ impl SystemSim {
                         .record(now.saturating_since(sent_at).as_millis_f64());
                     // Total publish time: the payload carries the original
                     // application timestamp.
-                    if let Ok(json) = Json::parse(std::str::from_utf8(&payload).unwrap_or("")) {
-                        if let Some(created) = json.get("created_ms").and_then(Json::as_u64) {
-                            let created = SimTime::from_millis(created);
-                            lat.total
-                                .record(now.saturating_since(created).as_millis_f64());
-                        }
-                        if let Some(id) = json.get("id").and_then(Json::as_u64) {
-                            if let Some(&trace) = self.object_trace.get(&ObjectId(id)) {
-                                self.ledger
-                                    .record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
-                            }
+                    if let Some(created) = burst::json::top_level_u64(&payload, "created_ms") {
+                        let created = SimTime::from_millis(created);
+                        lat.total
+                            .record(now.saturating_since(created).as_millis_f64());
+                    }
+                    if let Some(id) = burst::json::top_level_u64(&payload, "id") {
+                        if let Some(&trace) = self.object_trace.get(&ObjectId(id)) {
+                            self.ledger
+                                .record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
                         }
                     }
                 }
@@ -1700,5 +1786,104 @@ mod tests {
         assert_eq!(s.metrics().sub_e2e.count(), 1);
         // The sticky-routing rewrite response travels device→BRASS→device.
         assert!(s.metrics().sub_e2e.mean() > 100.0);
+    }
+
+    /// Runs a multi-app scenario and returns an exact fingerprint of the
+    /// metrics: any dependence on `TopicId` assignment order would perturb
+    /// at least one of these numbers.
+    fn metrics_fingerprint() -> String {
+        let mut s = sim();
+        let video = s.was_mut().create_video("eclipse");
+        let poster = s.create_user_device("poster", "en");
+        let viewer = s.create_user_device("viewer", "en");
+        let thread = s.was_mut().create_thread(&[poster, viewer]);
+        s.subscribe_lvc(SimTime::ZERO, viewer, video);
+        s.subscribe_mailbox(SimTime::from_millis(10), viewer);
+        s.subscribe_typing(SimTime::from_millis(20), viewer, thread, poster);
+        s.subscribe_active_status(SimTime::from_millis(30), viewer);
+        for i in 0..8 {
+            s.post_comment(
+                SimTime::from_millis(2_000 + i * 700),
+                poster,
+                video,
+                &format!("comment number {i} with enough words to rank"),
+            );
+        }
+        s.set_typing(SimTime::from_secs(3), poster, thread, true);
+        s.send_message(SimTime::from_secs(4), poster, thread, "hello there");
+        s.set_online(SimTime::from_secs(5), poster);
+        s.run_until(SimTime::from_secs(60));
+        let m = s.metrics();
+        let mut apps: Vec<_> = m.per_app.iter().collect();
+        apps.sort_by(|a, b| a.0.cmp(b.0));
+        let per_app: Vec<String> = apps
+            .iter()
+            .map(|(name, lat)| {
+                format!(
+                    "{name}:{}:{:x}",
+                    lat.total.count(),
+                    lat.total.mean().to_bits()
+                )
+            })
+            .collect();
+        format!(
+            "deliveries={} publications={} subscriptions={} mutations={} \
+             decisions={} events={} apps=[{}]",
+            m.deliveries.get(),
+            m.publications.get(),
+            m.subscriptions.get(),
+            m.mutations.get(),
+            s.total_decisions(),
+            s.event_stats().total,
+            per_app.join(",")
+        )
+    }
+
+    /// Child half of `intern_order_does_not_change_metrics`: only active
+    /// when re-executed by the parent with `BR_INTERN_DECOYS` set. Interns
+    /// that many decoy topics *first* — shifting every `TopicId` the
+    /// scenario will allocate — then prints the metrics fingerprint.
+    #[test]
+    fn intern_order_child() {
+        let Ok(decoys) = std::env::var("BR_INTERN_DECOYS") else {
+            return;
+        };
+        let decoys: u32 = decoys.parse().expect("BR_INTERN_DECOYS is a count");
+        for i in 0..decoys {
+            Topic::new(&format!("/Decoy/{i}")).unwrap();
+        }
+        println!("FINGERPRINT {}", metrics_fingerprint());
+    }
+
+    /// Interning is process-global, so perturbing id assignment requires a
+    /// fresh process: the test re-executes its own binary twice, once with
+    /// no decoy topics and once with 64 interned up front, and asserts the
+    /// two runs produce bit-identical metrics. Referenced from the module
+    /// docs of `pylon::topic`.
+    #[test]
+    fn intern_order_does_not_change_metrics() {
+        let exe = std::env::current_exe().expect("test binary path");
+        let run = |decoys: &str| -> String {
+            let out = std::process::Command::new(&exe)
+                .args(["sim::tests::intern_order_child", "--exact", "--nocapture"])
+                .env("BR_INTERN_DECOYS", decoys)
+                .output()
+                .expect("re-exec test binary");
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            assert!(out.status.success(), "child failed:\n{stdout}");
+            // The harness may prefix its own status on the same line, so
+            // split on the marker rather than anchoring at column zero.
+            stdout
+                .lines()
+                .find_map(|l| l.split("FINGERPRINT ").nth(1))
+                .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
+                .to_owned()
+        };
+        let baseline = run("0");
+        let shifted = run("64");
+        assert_eq!(
+            baseline, shifted,
+            "metrics must not depend on topic intern order"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! event loop, executing logic on each incoming … request and each backend
 //! service response" (§3.2).
 
-use burst::frame::{Delta, StreamId};
+use burst::frame::{Delta, Payload, StreamId};
 use burst::json::Json;
 use pylon::Topic;
 use simkit::time::{SimDuration, SimTime};
@@ -63,8 +63,9 @@ pub enum WasRequest {
 /// The response to a [`WasRequest`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum WasResponse {
-    /// A privacy-checked payload, ready to push.
-    Payload(Vec<u8>),
+    /// A privacy-checked payload, ready to push (shared, never copied on
+    /// fan-out).
+    Payload(Payload),
     /// The privacy check denied the viewer.
     Denied,
     /// The object no longer exists.
@@ -95,7 +96,7 @@ pub enum Effect {
         /// Target stream.
         stream: StreamKey,
         /// Payloads, in order.
-        payloads: Vec<Vec<u8>>,
+        payloads: Vec<Payload>,
         /// Optional header rewrite delivered in the *same* atomic batch —
         /// progress state advances if and only if the payloads arrive.
         rewrite: Option<Json>,
@@ -212,22 +213,22 @@ impl<'a> Ctx<'a> {
     }
 
     /// Sends one payload to a stream (counts one delivery).
-    pub fn send(&mut self, stream: StreamKey, payload: Vec<u8>) {
+    pub fn send(&mut self, stream: StreamKey, payload: impl Into<Payload>) {
         self.counters.deliveries += 1;
         self.effects.push(Effect::SendPayloads {
             stream,
-            payloads: vec![payload],
+            payloads: vec![payload.into()],
             rewrite: None,
         });
     }
 
     /// Sends several payloads as one atomic batch (each counts a delivery).
-    pub fn send_batch(&mut self, stream: StreamKey, payloads: Vec<Vec<u8>>) {
+    pub fn send_batch(&mut self, stream: StreamKey, payloads: Vec<impl Into<Payload>>) {
         if !payloads.is_empty() {
             self.counters.deliveries += payloads.len() as u64;
             self.effects.push(Effect::SendPayloads {
                 stream,
-                payloads,
+                payloads: payloads.into_iter().map(Into::into).collect(),
                 rewrite: None,
             });
         }
@@ -236,11 +237,16 @@ impl<'a> Ctx<'a> {
     /// Sends payloads plus a header rewrite in one atomic batch: the
     /// rewritten state (e.g. delivery progress) takes effect exactly when
     /// the payloads do — a dropped frame loses both together.
-    pub fn send_batch_rewriting(&mut self, stream: StreamKey, payloads: Vec<Vec<u8>>, patch: Json) {
+    pub fn send_batch_rewriting(
+        &mut self,
+        stream: StreamKey,
+        payloads: Vec<impl Into<Payload>>,
+        patch: Json,
+    ) {
         self.counters.deliveries += payloads.len() as u64;
         self.effects.push(Effect::SendPayloads {
             stream,
-            payloads,
+            payloads: payloads.into_iter().map(Into::into).collect(),
             rewrite: Some(patch),
         });
     }
@@ -406,7 +412,7 @@ impl<A: BrassApp> TestDriver<A> {
     }
 
     /// Payload sends among emitted effects.
-    pub fn sent_payloads(&self) -> Vec<(StreamKey, Vec<Vec<u8>>)> {
+    pub fn sent_payloads(&self) -> Vec<(StreamKey, Vec<Payload>)> {
         self.effects
             .iter()
             .filter_map(|e| match e {
@@ -441,7 +447,7 @@ mod tests {
             sid: StreamId(1),
         };
         ctx.send(stream, b"x".to_vec());
-        ctx.send_batch(stream, vec![]);
+        ctx.send_batch(stream, Vec::<Vec<u8>>::new());
         ctx.timer(SimDuration::from_secs(2), 77);
         assert_eq!(effects.len(), 5, "empty batch is elided");
         assert_eq!(counters.decisions, 3);

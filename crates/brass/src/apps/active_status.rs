@@ -116,7 +116,7 @@ impl BrassApp for ActiveStatusApp {
             for f in friends {
                 let topic = Topic::active_status(f);
                 if !state.friend_topics.contains(&topic) {
-                    state.friend_topics.push(topic.clone());
+                    state.friend_topics.push(topic);
                 }
                 let w = self.watchers.entry(f).or_default();
                 if !w.contains(&stream) {
@@ -188,7 +188,7 @@ impl BrassApp for ActiveStatusApp {
                 }
             }
             // One unsubscribe per per-friend subscribe; host refcounts.
-            ctx.unsubscribe(topic.clone());
+            ctx.unsubscribe(*topic);
         }
     }
 }
@@ -272,7 +272,7 @@ mod tests {
             .iter()
             .find_map(|e| match e {
                 Effect::SendPayloads { payloads, .. } => {
-                    Some(String::from_utf8(payloads[0].clone()).unwrap())
+                    Some(String::from_utf8(payloads[0].to_vec()).unwrap())
                 }
                 _ => None,
             })
@@ -327,7 +327,7 @@ mod tests {
             .iter()
             .find_map(|e| match e {
                 Effect::SendPayloads { payloads, .. } => {
-                    Some(String::from_utf8(payloads[0].clone()).unwrap())
+                    Some(String::from_utf8(payloads[0].to_vec()).unwrap())
                 }
                 _ => None,
             })

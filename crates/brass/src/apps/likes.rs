@@ -207,7 +207,7 @@ mod tests {
         fx.iter()
             .filter_map(|e| match e {
                 Effect::SendPayloads { payloads, .. } => {
-                    Some(String::from_utf8(payloads[0].clone()).unwrap())
+                    Some(String::from_utf8(payloads[0].to_vec()).unwrap())
                 }
                 _ => None,
             })

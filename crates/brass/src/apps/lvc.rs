@@ -154,7 +154,7 @@ impl BrassApp for LvcApp {
         let limiter = TokenBucket::from_header(header)
             .unwrap_or_else(|| TokenBucket::per_interval(self.config.push_interval));
 
-        ctx.subscribe(sub.topic.clone());
+        ctx.subscribe(sub.topic);
         let hot = header.get("hot").and_then(Json::as_bool).unwrap_or(false);
         let state = StreamState {
             viewer: sub.viewer,
@@ -293,7 +293,7 @@ impl BrassApp for LvcApp {
                 if let WasResponse::Friends(friends) = response {
                     for f in friends {
                         let topic = Topic::live_video_comments_by(state.video, f);
-                        state.friend_topics.push(topic.clone());
+                        state.friend_topics.push(topic);
                         ctx.subscribe(topic);
                     }
                 }
@@ -422,7 +422,7 @@ mod tests {
         let (tok, obj, viewer) = fetch.expect("tick fetches the best comment");
         assert_eq!(obj, ObjectId(102));
         assert_eq!(viewer, 9);
-        let fx = d.was_response(tok, WasResponse::Payload(b"payload".to_vec()));
+        let fx = d.was_response(tok, WasResponse::Payload(b"payload".to_vec().into()));
         assert!(matches!(fx[0], Effect::SendPayloads { .. }));
         assert_eq!(d.counters.deliveries, 1);
     }
@@ -576,7 +576,7 @@ mod tests {
                 } => Some(*token),
                 _ => None,
             }) {
-                let fx = d.was_response(tok, WasResponse::Payload(vec![1]));
+                let fx = d.was_response(tok, WasResponse::Payload(vec![1].into()));
                 rewrites += fx
                     .iter()
                     .filter(|e| matches!(e, Effect::SendDeltas { .. }))
@@ -622,7 +622,7 @@ mod tests {
                     })
                     .collect();
                 for tok in toks {
-                    d.was_response(tok, WasResponse::Payload(vec![0]));
+                    d.was_response(tok, WasResponse::Payload(vec![0].into()));
                 }
             }
         }

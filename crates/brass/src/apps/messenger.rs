@@ -22,6 +22,8 @@ use simkit::time::SimDuration;
 use tao::ObjectId;
 use was::{EventKind, UpdateEvent};
 
+use burst::frame::Payload;
+
 use crate::app::{BrassApp, Ctx, FetchToken, StreamKey, WasRequest, WasResponse};
 use crate::resolve::resolve;
 
@@ -30,7 +32,7 @@ enum Slot {
     /// Event seen; payload fetch in flight.
     Fetching,
     /// Payload ready to deliver once all earlier sequences are.
-    Ready(Vec<u8>),
+    Ready(Payload),
 }
 
 struct StreamState {
@@ -88,7 +90,7 @@ impl MessengerApp {
     /// Delivers every contiguous ready message starting at `next_seq`, then
     /// persists progress into the header.
     fn drain_ready(state: &mut StreamState, stream: StreamKey, ctx: &mut Ctx<'_>) {
-        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut batch: Vec<Payload> = Vec::new();
         while let Some(Slot::Ready(_)) = state.pending.get(&state.next_seq) {
             let Slot::Ready(payload) = state
                 .pending
@@ -168,7 +170,7 @@ impl BrassApp for MessengerApp {
             .and_then(Json::as_u64)
             .map(|s| s + 1)
             .unwrap_or(0);
-        ctx.subscribe(sub.topic.clone());
+        ctx.subscribe(sub.topic);
         self.streams.insert(
             stream,
             StreamState {
@@ -369,7 +371,7 @@ mod tests {
                 Effect::SendPayloads { payloads, .. } => Some(
                     payloads
                         .iter()
-                        .map(|p| String::from_utf8(p.clone()).unwrap())
+                        .map(|p| String::from_utf8(p.to_vec()).unwrap())
                         .collect::<Vec<_>>(),
                 ),
                 _ => None,
@@ -387,7 +389,7 @@ mod tests {
             let toks = fetch_tokens(&fx);
             let fx = d.was_response(
                 toks[0],
-                WasResponse::Payload(format!("m{seq}").into_bytes()),
+                WasResponse::Payload(format!("m{seq}").into_bytes().into()),
             );
             assert_eq!(sent(&fx), vec![format!("m{seq}")]);
         }
@@ -404,10 +406,10 @@ mod tests {
         let fx1 = d.event(&msg_event(7, 1, 101));
         let t1 = fetch_tokens(&fx1)[0];
         // Fetch for seq 1 completes first: nothing is sent yet.
-        let fx = d.was_response(t1, WasResponse::Payload(b"m1".to_vec()));
+        let fx = d.was_response(t1, WasResponse::Payload(b"m1".to_vec().into()));
         assert!(sent(&fx).is_empty(), "seq 1 must wait for seq 0");
         // Seq 0 completes: both flush, in order, in one batch.
-        let fx = d.was_response(t0, WasResponse::Payload(b"m0".to_vec()));
+        let fx = d.was_response(t0, WasResponse::Payload(b"m0".to_vec().into()));
         assert_eq!(sent(&fx), vec!["m0", "m1"]);
     }
 
@@ -443,9 +445,9 @@ mod tests {
         // Resolve all three fetches (2 was requested by the event).
         let all_effects = d.effects.clone();
         let ev_tok = fetch_tokens(&all_effects)[0];
-        d.was_response(ev_tok, WasResponse::Payload(b"m2".to_vec()));
-        d.was_response(toks[0], WasResponse::Payload(b"m0".to_vec()));
-        let fx = d.was_response(toks[1], WasResponse::Payload(b"m1".to_vec()));
+        d.was_response(ev_tok, WasResponse::Payload(b"m2".to_vec().into()));
+        d.was_response(toks[0], WasResponse::Payload(b"m0".to_vec().into()));
+        let fx = d.was_response(toks[1], WasResponse::Payload(b"m1".to_vec().into()));
         assert_eq!(
             sent(&fx),
             vec!["m1", "m2"],
@@ -486,7 +488,7 @@ mod tests {
         subscribe_empty(&mut d, stream(1), 7);
         let fx = d.event(&msg_event(7, 0, 100));
         let t = fetch_tokens(&fx)[0];
-        let fx = d.was_response(t, WasResponse::Payload(b"m0".to_vec()));
+        let fx = d.was_response(t, WasResponse::Payload(b"m0".to_vec().into()));
         // The rewrite rides in the same atomic batch as the payloads.
         let rewrite = fx.iter().find_map(|e| match e {
             Effect::SendPayloads {
@@ -506,7 +508,7 @@ mod tests {
         let t0 = fetch_tokens(&fx)[0];
         let fx = d.event(&msg_event(7, 1, 101));
         let t1 = fetch_tokens(&fx)[0];
-        d.was_response(t1, WasResponse::Payload(b"m1".to_vec()));
+        d.was_response(t1, WasResponse::Payload(b"m1".to_vec().into()));
         // Seq 0 is privacy-denied: skipped, and m1 flushes.
         let fx = d.was_response(t0, WasResponse::Denied);
         assert_eq!(sent(&fx), vec!["m1"]);

@@ -222,7 +222,7 @@ mod tests {
                 Effect::SendPayloads { payloads, .. } => Some(
                     payloads
                         .iter()
-                        .map(|p| String::from_utf8(p.clone()).unwrap())
+                        .map(|p| String::from_utf8(p.to_vec()).unwrap())
                         .collect::<Vec<_>>(),
                 ),
                 _ => None,

@@ -129,7 +129,7 @@ impl BrassApp for StoriesApp {
             for f in friends {
                 let topic = Topic::stories(f);
                 if !state.friend_topics.contains(&topic) {
-                    state.friend_topics.push(topic.clone());
+                    state.friend_topics.push(topic);
                 }
                 let w = self.watchers.entry(f).or_default();
                 if !w.contains(&stream) {
@@ -197,7 +197,7 @@ impl BrassApp for StoriesApp {
                 }
             }
             // One unsubscribe per per-friend subscribe; host refcounts.
-            ctx.unsubscribe(topic.clone());
+            ctx.unsubscribe(*topic);
         }
     }
 }
@@ -258,7 +258,7 @@ mod tests {
                 Effect::SendPayloads { payloads, .. } => Some(
                     payloads
                         .iter()
-                        .map(|p| String::from_utf8(p.clone()).unwrap())
+                        .map(|p| String::from_utf8(p.to_vec()).unwrap())
                         .collect::<Vec<_>>(),
                 ),
                 _ => None,

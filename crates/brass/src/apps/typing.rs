@@ -59,8 +59,8 @@ impl BrassApp for TypingApp {
             ctx.terminate(stream, burst::frame::TerminateReason::Error);
             return;
         };
-        ctx.subscribe(sub.topic.clone());
-        let watchers = self.by_topic.entry(sub.topic.clone()).or_default();
+        ctx.subscribe(sub.topic);
+        let watchers = self.by_topic.entry(sub.topic).or_default();
         if !watchers.contains(&stream) {
             watchers.push(stream);
         }
@@ -200,10 +200,10 @@ mod tests {
             }
             _ => None,
         });
-        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(b"user".to_vec()));
+        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(b"user".to_vec().into()));
         let sent = match &fx[0] {
             Effect::SendPayloads { payloads, .. } => {
-                String::from_utf8(payloads[0].clone()).unwrap()
+                String::from_utf8(payloads[0].to_vec()).unwrap()
             }
             other => panic!("expected send, got {other:?}"),
         };
@@ -257,7 +257,7 @@ mod tests {
             _ => None,
         });
         d.close(stream(1));
-        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(vec![1]));
+        let fx = d.was_response(tok.unwrap(), WasResponse::Payload(vec![1].into()));
         assert!(fx.is_empty(), "no sends to closed streams");
     }
 }

@@ -261,8 +261,8 @@ impl BrassHost {
                         .instances
                         .get_mut(app)
                         .expect("caller ensured instance");
-                    *inst.topic_refs.entry(topic.clone()).or_insert(0) += 1;
-                    let host_refs = self.host_topic_refs.entry(topic.clone()).or_insert(0);
+                    *inst.topic_refs.entry(topic).or_insert(0) += 1;
+                    let host_refs = self.host_topic_refs.entry(topic).or_insert(0);
                     *host_refs += 1;
                     if *host_refs == 1 {
                         out.push(HostEffect::PylonSubscribe(topic));
@@ -720,7 +720,12 @@ mod tests {
                 _ => None,
             })
             .expect("timer triggers WAS fetch");
-        let fx = h.on_was_response("lvc", token, WasResponse::Payload(b"hi".to_vec()), now);
+        let fx = h.on_was_response(
+            "lvc",
+            token,
+            WasResponse::Payload(b"hi".to_vec().into()),
+            now,
+        );
         let frame = fx
             .iter()
             .find_map(|e| match e {
@@ -905,7 +910,7 @@ mod tests {
         let fx = h.on_was_response(
             "messenger",
             token,
-            WasResponse::Payload(b"m0".to_vec()),
+            WasResponse::Payload(b"m0".to_vec().into()),
             SimTime::ZERO,
         );
         assert!(fx.iter().any(|e| matches!(e, HostEffect::Send { .. })));

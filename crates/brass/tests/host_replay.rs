@@ -52,7 +52,7 @@ fn update_frames(fx: &[HostEffect]) -> Vec<(u64, Vec<Vec<u8>>)> {
                 let updates: Vec<Vec<u8>> = batch
                     .iter()
                     .filter_map(|d| match d {
-                        Delta::Update { payload, .. } => Some(payload.clone()),
+                        Delta::Update { payload, .. } => Some(payload.to_vec()),
                         _ => None,
                     })
                     .collect();
@@ -100,7 +100,7 @@ fn unacked_messages_are_retransmitted_until_acked() {
     let fx = host.on_was_response(
         &app,
         token,
-        WasResponse::Payload(b"m0".to_vec()),
+        WasResponse::Payload(b"m0".to_vec().into()),
         SimTime::from_secs(1),
     );
     assert_eq!(update_frames(&fx).len(), 1, "first transmission");
@@ -166,7 +166,7 @@ fn best_effort_streams_retain_nothing() {
     let fx = host.on_was_response(
         &app,
         token,
-        WasResponse::Payload(b"c".to_vec()),
+        WasResponse::Payload(b"c".to_vec().into()),
         SimTime::from_secs(2),
     );
     assert_eq!(update_frames(&fx).len(), 1);

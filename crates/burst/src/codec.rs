@@ -184,7 +184,10 @@ fn decode_delta(buf: &mut Bytes) -> Result<Delta, DecodeError> {
         tag::D_UPDATE => {
             let seq = get_varint(buf)?;
             let payload = get_blob(buf)?;
-            Ok(Delta::Update { seq, payload })
+            Ok(Delta::Update {
+                seq,
+                payload: payload.into(),
+            })
         }
         tag::D_FLOW => {
             if !buf.has_remaining() {

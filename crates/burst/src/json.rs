@@ -492,10 +492,157 @@ impl fmt::Display for Json {
     }
 }
 
+/// Extracts a `u64` field from the top level of a JSON object without
+/// building a [`Json`] value.
+///
+/// Scans the raw bytes once — skipping strings (with escapes) and nested
+/// containers — and reads the first top-level value for `key` with the same
+/// rules as [`Json::as_u64`] (the number still round-trips through `f64`,
+/// so out-of-range integers behave identically). For well-formed input this
+/// matches `Json::parse(s).ok()?.get(key)?.as_u64()`; malformed documents
+/// yield `None` or a best-effort value instead of an error. Keys containing
+/// escape sequences are not matched.
+///
+/// Built for hot paths that attribute update payloads by an embedded id:
+/// the full parser allocates for every field of every payload on every hop,
+/// while this touches each byte at most once and never allocates.
+pub fn top_level_u64(input: &[u8], key: &str) -> Option<u64> {
+    let key = key.as_bytes();
+    let mut depth = 0u32;
+    let mut i = 0usize;
+    while i < input.len() {
+        match input[i] {
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                let end = skip_string(input, start)?;
+                // A string followed by ':' is an object key; anything else
+                // is a value (valid JSON never puts ':' after a value).
+                if depth == 1 && &input[start..end] == key {
+                    let mut j = end + 1;
+                    while j < input.len() && input[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < input.len() && input[j] == b':' {
+                        j += 1;
+                        while j < input.len() && input[j].is_ascii_whitespace() {
+                            j += 1;
+                        }
+                        return parse_number_u64(input, j);
+                    }
+                }
+                i = end + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Returns the index of the closing quote of a string starting at `i`
+/// (first content byte), honouring backslash escapes.
+fn skip_string(input: &[u8], mut i: usize) -> Option<usize> {
+    while i < input.len() {
+        match input[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parses the number token at `start` under [`Json::as_u64`] semantics;
+/// `None` if the value there is not a non-negative integral number.
+fn parse_number_u64(input: &[u8], start: usize) -> Option<u64> {
+    let mut end = start;
+    while end < input.len() && matches!(input[end], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        end += 1;
+    }
+    if end == start {
+        return None;
+    }
+    let n: f64 = std::str::from_utf8(&input[start..end]).ok()?.parse().ok()?;
+    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The fast path must agree with the full parser on well-formed docs.
+    fn both_ways(doc: &str, key: &str) -> (Option<u64>, Option<u64>) {
+        let slow = Json::parse(doc)
+            .ok()
+            .and_then(|j| j.get(key).and_then(Json::as_u64));
+        (top_level_u64(doc.as_bytes(), key), slow)
+    }
+
+    #[test]
+    fn top_level_u64_matches_full_parse() {
+        for doc in [
+            r#"{"id":42,"x":"y"}"#,
+            r#"{"x":{"id":1},"id":7}"#,
+            r#"{"id": 99 , "z": null}"#,
+            r#"{"a":"id","id":5}"#,
+            r#"{"a":"tricky \" id","id":6}"#,
+            r#"{"id":"not-a-number"}"#,
+            r#"{"id":-3}"#,
+            r#"{"id":1.5}"#,
+            r#"{"id":1e3}"#,
+            r#"{"id":[1,2]}"#,
+            r#"{"other":1}"#,
+            r#"["id",{"id":9}]"#,
+            r#"{"nested":{"deep":{"id":4}},"id":11}"#,
+            r#"{"created_ms":123456,"id":8}"#,
+            "5",
+            "null",
+            r#""id""#,
+        ] {
+            let (fast, slow) = both_ways(doc, "id");
+            assert_eq!(fast, slow, "mismatch on {doc}");
+        }
+    }
+
+    #[test]
+    fn top_level_u64_none_on_garbage() {
+        assert_eq!(top_level_u64(b"user", "id"), None);
+        assert_eq!(top_level_u64(&[1, 2, 3], "id"), None);
+        assert_eq!(top_level_u64(b"", "id"), None);
+        assert_eq!(top_level_u64(br#"{"id""#, "id"), None);
+        assert_eq!(top_level_u64(br#"{"id":"#, "id"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn top_level_u64_differential(id in any::<u64>(), created in any::<u64>(), s in "[a-z \\\\\"]{0,12}") {
+            let doc = Json::obj([
+                ("note", Json::from(s.as_str())),
+                ("id", Json::from(id)),
+                ("created_ms", Json::from(created)),
+            ])
+            .to_string();
+            let (fast, slow) = both_ways(&doc, "id");
+            prop_assert_eq!(fast, slow);
+            let (fast, slow) = both_ways(&doc, "created_ms");
+            prop_assert_eq!(fast, slow);
+            let (fast, slow) = both_ways(&doc, "missing");
+            prop_assert_eq!(fast, slow);
+        }
+    }
 
     #[test]
     fn parse_scalars() {

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::frame::{Delta, FlowStatus, Frame, StreamId, TerminateReason};
+use crate::frame::{Delta, FlowStatus, Frame, Payload, StreamId, TerminateReason};
 use crate::json::Json;
 
 /// Lifecycle of a stream, as seen by the client.
@@ -34,7 +34,7 @@ pub enum StreamState {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ClientAction {
     /// Deliver this payload to the application.
-    Deliver(Vec<u8>),
+    Deliver(Payload),
     /// A sequence gap was observed: updates in `[expected, got)` were lost.
     ///
     /// Best-effort applications ignore this; reliable ones (Messenger)
@@ -233,7 +233,7 @@ pub struct ServerStream {
     acked_seq: Option<u64>,
     /// Updates sent but not yet acknowledged, retained for apps that need
     /// replay after reconnect. Best-effort apps leave `retain` off.
-    unacked: Vec<(u64, Vec<u8>)>,
+    unacked: Vec<(u64, Payload)>,
     retain: bool,
 }
 
@@ -273,12 +273,14 @@ impl ServerStream {
         self.next_seq
     }
 
-    /// Builds an update delta, assigning the next sequence number.
-    pub fn push(&mut self, payload: Vec<u8>) -> Delta {
+    /// Builds an update delta, assigning the next sequence number. The
+    /// payload is shared (not copied) with the retention buffer.
+    pub fn push(&mut self, payload: impl Into<Payload>) -> Delta {
+        let payload = payload.into();
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.retain {
-            self.unacked.push((seq, payload.clone()));
+            self.unacked.push((seq, Payload::clone(&payload)));
         }
         Delta::Update { seq, payload }
     }
@@ -304,7 +306,7 @@ impl ServerStream {
     }
 
     /// Retained (sent but unacknowledged) updates, oldest first.
-    pub fn unacked(&self) -> &[(u64, Vec<u8>)] {
+    pub fn unacked(&self) -> &[(u64, Payload)] {
         &self.unacked
     }
 
@@ -314,7 +316,7 @@ impl ServerStream {
             .iter()
             .map(|(seq, payload)| Delta::Update {
                 seq: *seq,
-                payload: payload.clone(),
+                payload: Payload::clone(payload),
             })
             .collect()
     }
@@ -503,8 +505,8 @@ mod tests {
         assert_eq!(
             a,
             vec![
-                ClientAction::Deliver(b"a".to_vec()),
-                ClientAction::Deliver(b"b".to_vec())
+                ClientAction::Deliver(b"a".to_vec().into()),
+                ClientAction::Deliver(b"b".to_vec().into())
             ]
         );
         assert_eq!(c.delivered(), 2);
@@ -522,7 +524,7 @@ mod tests {
                 got: 3
             }
         );
-        assert_eq!(a[1], ClientAction::Deliver(b"x".to_vec()));
+        assert_eq!(a[1], ClientAction::Deliver(b"x".to_vec().into()));
         assert_eq!(c.gaps(), 1);
         // A replay of an old seq is silently dropped.
         let a = c.on_batch(&[Delta::update(2, b"old".to_vec())]);
@@ -549,7 +551,10 @@ mod tests {
         c.on_batch(&[Delta::FlowStatus(FlowStatus::Degraded)]);
         c.on_batch(&[Delta::FlowStatus(FlowStatus::Recovered)]);
         let a = c.on_batch(&[Delta::update(0, b"new-incarnation".to_vec())]);
-        assert_eq!(a, vec![ClientAction::Deliver(b"new-incarnation".to_vec())]);
+        assert_eq!(
+            a,
+            vec![ClientAction::Deliver(b"new-incarnation".to_vec().into())]
+        );
     }
 
     #[test]
@@ -599,14 +604,14 @@ mod tests {
         // Without resumption state, a fresh incarnation restarts at 0.
         c.resubscribe_request();
         let a = c.on_batch(&[Delta::update(0, b"fresh".to_vec())]);
-        assert_eq!(a, vec![ClientAction::Deliver(b"fresh".to_vec())]);
+        assert_eq!(a, vec![ClientAction::Deliver(b"fresh".to_vec().into())]);
         // With a last_seq rewrite, numbering resumes after it.
         c.on_batch(&[Delta::RewriteRequest {
             patch: Json::obj([("last_seq", Json::from(9u64))]),
         }]);
         c.resubscribe_request();
         let a = c.on_batch(&[Delta::update(10, b"resumed".to_vec())]);
-        assert_eq!(a, vec![ClientAction::Deliver(b"resumed".to_vec())]);
+        assert_eq!(a, vec![ClientAction::Deliver(b"resumed".to_vec().into())]);
         assert_eq!(c.gaps(), 0, "no false gap after resumption");
     }
 

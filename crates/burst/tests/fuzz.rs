@@ -13,8 +13,12 @@ use bytes::BytesMut;
 
 fn arb_delta() -> impl Strategy<Value = Delta> {
     prop_oneof![
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(seq, payload)| Delta::Update { seq, payload }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(|(seq, payload)| {
+            Delta::Update {
+                seq,
+                payload: payload.into(),
+            }
+        }),
         Just(Delta::FlowStatus(FlowStatus::Degraded)),
         Just(Delta::FlowStatus(FlowStatus::Recovered)),
         "[a-z]{1,8}".prop_map(|k| Delta::RewriteRequest {
@@ -155,7 +159,7 @@ proptest! {
         for (i, &(sid, len)) in lens.iter().enumerate() {
             sender.enqueue(Frame::Response {
                 sid: StreamId(sid),
-                batch: vec![Delta::Update { seq: i as u64, payload: vec![0; len] }],
+                batch: vec![Delta::Update { seq: i as u64, payload: vec![0; len].into() }],
             });
         }
         let mut received = 0usize;

@@ -9,7 +9,7 @@
 //! thanks to server rewrites, lands on the same BRASS (sticky routing) at
 //! the right resume point.
 
-use burst::frame::{Frame, StreamId, TerminateReason};
+use burst::frame::{Frame, Payload, StreamId, TerminateReason};
 use burst::json::Json;
 use burst::stream::{ClientAction, ClientStream, StreamState};
 
@@ -22,8 +22,8 @@ pub enum DeviceOutput {
     Render {
         /// The stream it arrived on.
         sid: StreamId,
-        /// The payload.
-        payload: Vec<u8>,
+        /// The payload (shared with every other stream it fanned out to).
+        payload: Payload,
     },
     /// A sequence gap means updates were lost; reliable apps poll the WAS.
     BackfillPoll {
@@ -242,11 +242,11 @@ mod tests {
             vec![
                 DeviceOutput::Render {
                     sid,
-                    payload: b"a".to_vec()
+                    payload: b"a".to_vec().into()
                 },
                 DeviceOutput::Render {
                     sid,
-                    payload: b"b".to_vec()
+                    payload: b"b".to_vec().into()
                 },
             ]
         );

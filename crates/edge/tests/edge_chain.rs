@@ -76,7 +76,9 @@ fn full_chain_subscribe_deliver() {
         batch: vec![Delta::update(0, b"payload".to_vec())],
     };
     let outputs = brass_to_device(&mut pop, &mut proxy, &mut device, 7, response, 1);
-    assert!(matches!(&outputs[0], DeviceOutput::Render { payload, .. } if payload == b"payload"));
+    assert!(
+        matches!(&outputs[0], DeviceOutput::Render { payload, .. } if &payload[..] == b"payload")
+    );
     assert_eq!(device.delivered(), 1);
     // Both intermediaries track the stream.
     assert_eq!(pop.stream_count(), 1);

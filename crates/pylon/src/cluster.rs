@@ -172,7 +172,10 @@ impl PylonCluster {
 
     /// The topic shard a topic maps to.
     pub fn shard_of(&self, topic: &Topic) -> u32 {
-        (hash::hash_key(topic.as_str().as_bytes()) % self.config.topic_shards as u64) as u32
+        // The interned handle caches FNV-1a of the topic string, so shard
+        // placement is identical to hashing the string — without touching
+        // the bytes.
+        (topic.route_hash() % self.config.topic_shards as u64) as u32
     }
 
     /// The server currently responsible for a topic shard.
@@ -193,11 +196,7 @@ impl PylonCluster {
 
     /// The KV replica set for a topic (rendezvous hashing).
     fn replica_set(&self, topic: &Topic) -> Vec<u64> {
-        hash::top_n(
-            hash::hash_key(topic.as_str().as_bytes()),
-            &self.node_ids,
-            self.config.replicas,
-        )
+        hash::top_n(topic.route_hash(), &self.node_ids, self.config.replicas)
     }
 
     fn quorum(&self) -> usize {
@@ -302,24 +301,32 @@ impl PylonCluster {
         };
 
         outcome.fast_forwards = self.nodes[first as usize].read(topic);
-        let mut seen: Vec<HostId> = outcome.fast_forwards.clone();
 
         // Straggler replicas: union in hosts the first responder missed.
-        let mut entry_maps = vec![self.nodes[first as usize].read_entries(topic)];
+        // Dedup against the outcome's own vecs — no scratch `seen` clone;
+        // fan-out lists are replica-set sized, so the linear scans are
+        // cheaper than the allocation they replace.
         for &n in &up[1..] {
             let hosts = self.nodes[n as usize].read(topic);
             for h in hosts {
-                if !seen.contains(&h) {
-                    seen.push(h);
+                if !outcome.fast_forwards.contains(&h) && !outcome.late_forwards.contains(&h) {
                     outcome.late_forwards.push(h);
                 }
             }
-            entry_maps.push(self.nodes[n as usize].read_entries(topic));
         }
 
-        // Detect and repair inconsistency across replicas.
-        let disagreement = entry_maps.windows(2).any(|w| w[0] != w[1]);
+        // Detect inconsistency by borrowing the entry maps (the common,
+        // agreeing path clones nothing); only a detected disagreement pays
+        // for owned copies to merge and patch back.
+        let first_entries = self.nodes[first as usize].entries(topic);
+        let disagreement = up[1..]
+            .iter()
+            .any(|&n| self.nodes[n as usize].entries(topic) != first_entries);
         if disagreement {
+            let entry_maps: Vec<_> = up
+                .iter()
+                .map(|&n| self.nodes[n as usize].read_entries(topic))
+                .collect();
             let merged = merge_entries(&entry_maps);
             for &n in &up {
                 self.nodes[n as usize].patch(topic, &merged);

@@ -7,7 +7,7 @@
 //! inconsistencies in the subscriber information received from the replicas,
 //! it performs patch operations based on a quorum of responses").
 
-use std::collections::HashMap;
+use simkit::fxhash::FxHashMap;
 
 use crate::cluster::HostId;
 use crate::topic::Topic;
@@ -27,7 +27,7 @@ pub struct KvNode {
     /// Whether the node is reachable. Down nodes neither serve reads nor
     /// accept writes; they keep (possibly stale) state for when they return.
     pub up: bool,
-    store: HashMap<Topic, HashMap<HostId, SubEntry>>,
+    store: FxHashMap<Topic, FxHashMap<HostId, SubEntry>>,
     writes: u64,
     reads: u64,
 }
@@ -46,7 +46,7 @@ impl KvNode {
     pub fn write(&mut self, topic: &Topic, host: HostId, entry: SubEntry) {
         debug_assert!(self.up, "caller must not write to a down node");
         self.writes += 1;
-        let subs = self.store.entry(topic.clone()).or_default();
+        let subs = self.store.entry(*topic).or_default();
         match subs.get(&host) {
             Some(existing) if existing.version >= entry.version => {}
             _ => {
@@ -74,13 +74,23 @@ impl KvNode {
     }
 
     /// Reads the full versioned entry map for a topic (for repair).
-    pub fn read_entries(&self, topic: &Topic) -> HashMap<HostId, SubEntry> {
+    pub fn read_entries(&self, topic: &Topic) -> FxHashMap<HostId, SubEntry> {
         self.store.get(topic).cloned().unwrap_or_default()
     }
 
+    /// Borrows the versioned entry map for a topic, if any state exists.
+    ///
+    /// Allocation-free replica comparison: a present map is never empty
+    /// (entries are tombstoned, not removed), so `None` vs `Some` compares
+    /// exactly like the owned empty-vs-populated maps from
+    /// [`read_entries`].
+    pub fn entries(&self, topic: &Topic) -> Option<&FxHashMap<HostId, SubEntry>> {
+        self.store.get(topic)
+    }
+
     /// Merges `entries` into this node's state (newest version wins).
-    pub fn patch(&mut self, topic: &Topic, entries: &HashMap<HostId, SubEntry>) {
-        let subs = self.store.entry(topic.clone()).or_default();
+    pub fn patch(&mut self, topic: &Topic, entries: &FxHashMap<HostId, SubEntry>) {
+        let subs = self.store.entry(*topic).or_default();
         for (host, entry) in entries {
             match subs.get(host) {
                 Some(existing) if existing.version >= entry.version => {}
@@ -125,8 +135,8 @@ impl KvNode {
 }
 
 /// Merges entry maps from several replicas, newest version winning per host.
-pub fn merge_entries(maps: &[HashMap<HostId, SubEntry>]) -> HashMap<HostId, SubEntry> {
-    let mut merged: HashMap<HostId, SubEntry> = HashMap::new();
+pub fn merge_entries(maps: &[FxHashMap<HostId, SubEntry>]) -> FxHashMap<HostId, SubEntry> {
+    let mut merged: FxHashMap<HostId, SubEntry> = FxHashMap::default();
     for map in maps {
         for (host, entry) in map {
             match merged.get(host) {
@@ -228,7 +238,7 @@ mod tests {
                 tombstone: false,
             },
         );
-        let mut incoming = HashMap::new();
+        let mut incoming = FxHashMap::default();
         incoming.insert(
             HostId(1),
             SubEntry {
@@ -249,7 +259,7 @@ mod tests {
 
     #[test]
     fn merge_entries_takes_max_version() {
-        let mut m1 = HashMap::new();
+        let mut m1 = FxHashMap::default();
         m1.insert(
             HostId(1),
             SubEntry {
@@ -264,7 +274,7 @@ mod tests {
                 tombstone: true,
             },
         );
-        let mut m2 = HashMap::new();
+        let mut m2 = FxHashMap::default();
         m2.insert(
             HostId(1),
             SubEntry {

@@ -36,4 +36,4 @@ pub mod kv;
 pub mod topic;
 
 pub use cluster::{HostId, PublishOutcome, PylonCluster, PylonConfig, SubscribeError};
-pub use topic::Topic;
+pub use topic::{Topic, TopicId};

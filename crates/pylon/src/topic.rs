@@ -4,12 +4,76 @@
 //! similarly to file names" (§3). Constructors are provided for the topic
 //! families the paper names: `/LVC/videoID`, `/LVC/videoID/uid`,
 //! `/TI/threadId/uid`, `/Status/uid`, and `/Stories/uid`.
+//!
+//! # Interning
+//!
+//! Pylon keys *everything* on topics (§4), so [`Topic`] is an interned
+//! handle, not an owned string: a process-wide intern table maps each
+//! distinct topic string to a dense [`TopicId`] exactly once, and the
+//! handle carries the id, the leaked `&'static str` name, and a cached
+//! routing hash. That makes `Topic` `Copy`, equality an integer compare,
+//! and map lookups integer hashes — publish/subscribe/fan-out never hash
+//! or clone topic strings.
+//!
+//! Determinism: within a process the same string always interns to the
+//! same id, and nothing behaviour-visible depends on id *values* — shard
+//! and replica placement use the cached string hash ([`Topic::route_hash`],
+//! identical to the pre-interning hashing), and ordering
+//! ([`Ord`]) remains lexicographic on the name. Id assignment order (e.g.
+//! from concurrently running tests) therefore cannot perturb simulation
+//! results; `sim::tests::intern_order_does_not_change_metrics` pins this.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::hash;
+
+/// Dense identifier of an interned topic string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(pub u32);
 
 /// A hierarchical pub/sub topic, e.g. `/LVC/42` or `/TI/7/1001`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Topic(String);
+///
+/// Interned and `Copy`: compare, hash, and pass by value freely.
+#[derive(Clone, Copy)]
+pub struct Topic {
+    id: TopicId,
+    /// FNV-1a of the topic string, cached at intern time; drives shard
+    /// and replica placement exactly as hashing the string did.
+    route_hash: u64,
+    name: &'static str,
+}
+
+/// The process-wide intern table.
+struct Interner {
+    by_name: HashMap<&'static str, Topic>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+        })
+    })
+}
+
+/// Interns a pre-validated topic string.
+fn intern(s: &str) -> Topic {
+    let mut table = interner().lock().expect("topic interner poisoned");
+    if let Some(&t) = table.by_name.get(s) {
+        return t;
+    }
+    let name: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let topic = Topic {
+        id: TopicId(u32::try_from(table.by_name.len()).expect("topic table overflow")),
+        route_hash: hash::hash_key(name.as_bytes()),
+        name,
+    };
+    table.by_name.insert(name, topic);
+    topic
+}
 
 /// Error returned for malformed topic strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,7 +99,7 @@ impl fmt::Display for TopicError {
 impl std::error::Error for TopicError {}
 
 impl Topic {
-    /// Parses and validates a topic string.
+    /// Parses, validates, and interns a topic string.
     ///
     /// # Examples
     ///
@@ -56,17 +120,28 @@ impl Topic {
         if s[1..].split('/').any(|seg| seg.is_empty()) {
             return Err(TopicError::EmptySegment);
         }
-        Ok(Topic(s.to_owned()))
+        Ok(intern(s))
+    }
+
+    /// The interned id: dense, unique per distinct topic string.
+    pub fn id(&self) -> TopicId {
+        self.id
+    }
+
+    /// The cached routing hash (FNV-1a of the topic string), used for
+    /// shard selection and rendezvous replica placement.
+    pub fn route_hash(&self) -> u64 {
+        self.route_hash
     }
 
     /// The full topic string.
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.name
     }
 
     /// Iterates over the path segments.
     pub fn segments(&self) -> impl Iterator<Item = &str> {
-        self.0[1..].split('/')
+        self.name[1..].split('/')
     }
 
     /// The application family (first segment), e.g. `"LVC"`.
@@ -78,50 +153,79 @@ impl Topic {
 
     /// Topic carrying comments on a live video: `/LVC/videoID`.
     pub fn live_video_comments(video_id: u64) -> Topic {
-        Topic(format!("/LVC/{video_id}"))
+        intern(&format!("/LVC/{video_id}"))
     }
 
     /// Per-poster overflow topic used by the hot-video strategy:
     /// `/LVC/videoID/uid`.
     pub fn live_video_comments_by(video_id: u64, uid: u64) -> Topic {
-        Topic(format!("/LVC/{video_id}/{uid}"))
+        intern(&format!("/LVC/{video_id}/{uid}"))
     }
 
     /// Typing-indicator topic: `/TI/threadId/uid`.
     pub fn typing_indicator(thread_id: u64, uid: u64) -> Topic {
-        Topic(format!("/TI/{thread_id}/{uid}"))
+        intern(&format!("/TI/{thread_id}/{uid}"))
     }
 
     /// Online-status topic: `/Status/uid`.
     pub fn active_status(uid: u64) -> Topic {
-        Topic(format!("/Status/{uid}"))
+        intern(&format!("/Status/{uid}"))
     }
 
     /// Stories container topic: `/Stories/uid`.
     pub fn stories(uid: u64) -> Topic {
-        Topic(format!("/Stories/{uid}"))
+        intern(&format!("/Stories/{uid}"))
     }
 
     /// Messenger mailbox topic: `/Msgr/uid`.
     pub fn messenger_mailbox(uid: u64) -> Topic {
-        Topic(format!("/Msgr/{uid}"))
+        intern(&format!("/Msgr/{uid}"))
     }
 
     /// Website-notifications topic: `/Notif/uid`.
     pub fn notifications(uid: u64) -> Topic {
-        Topic(format!("/Notif/{uid}"))
+        intern(&format!("/Notif/{uid}"))
+    }
+}
+
+impl PartialEq for Topic {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Topic {}
+
+impl std::hash::Hash for Topic {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id.0);
+    }
+}
+
+// Ordering stays lexicographic on the topic string (not id order), so any
+// sorted view is identical to the pre-interning behaviour and independent
+// of intern order. Consistent with `Eq`: distinct strings ⇔ distinct ids.
+impl PartialOrd for Topic {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Topic {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name.cmp(other.name)
     }
 }
 
 impl fmt::Debug for Topic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name)
     }
 }
 
 impl fmt::Display for Topic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name)
     }
 }
 
@@ -167,5 +271,30 @@ mod tests {
     fn error_display() {
         assert!(TopicError::Empty.to_string().contains("empty"));
         assert!(TopicError::MissingLeadingSlash.to_string().contains('/'));
+    }
+
+    #[test]
+    fn interning_is_stable_and_id_keyed() {
+        let a = Topic::new("/LVC/4242").unwrap();
+        let b = Topic::live_video_comments(4242);
+        assert_eq!(a, b, "same string interns to the same handle");
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.route_hash(), b.route_hash());
+        assert_eq!(a.route_hash(), hash::hash_key(b"/LVC/4242"));
+        let c = Topic::new("/LVC/4243").unwrap();
+        assert_ne!(a, c);
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order: ids follow intern order,
+        // but Ord must still compare the strings.
+        let z = Topic::new("/ZZZ/ordering/9").unwrap();
+        let a = Topic::new("/AAA/ordering/9").unwrap();
+        assert!(a < z);
+        let mut v = [z, a];
+        v.sort();
+        assert_eq!(v[0].as_str(), "/AAA/ordering/9");
     }
 }

@@ -1,0 +1,154 @@
+//! A deterministic, fast, non-cryptographic hasher (the FxHash algorithm
+//! from the Firefox/rustc tradition), vendored so hot-path maps can avoid
+//! both SipHash's per-key cost and `RandomState`'s per-process seed.
+//!
+//! Determinism is the point: the standard library's default hasher is
+//! randomly seeded per process, so `HashMap` iteration order varies from
+//! run to run. Simulation state must never depend on that (order-dependent
+//! effects are drained through sorted views), but switching the hot maps to
+//! [`FxHashMap`] removes the hazard class at the container level while also
+//! making integer-keyed lookups (topic ids, stream ids, seqs) a few
+//! multiplies instead of a SipHash round.
+//!
+//! Not DoS-resistant — never use for maps keyed by untrusted external
+//! input. Every key in this workspace originates inside the simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::fxhash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (a 64-bit truncation of π's golden-ratio cousin
+/// used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash state: one 64-bit word folded with rotate-xor-multiply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`]; zero-sized, no per-process
+/// seed, so two maps built the same way hash identically in every run.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // The whole point: no per-process randomness.
+        let a = FxBuildHasher::default().hash_one(12345u64);
+        let b = FxBuildHasher::default().hash_one(12345u64);
+        assert_eq!(a, b);
+        assert_eq!(hash_one(&"topic"), hash_one(&"topic"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_one(&1u32), hash_one(&2u32));
+        assert_ne!(hash_one(&"/LVC/1"), hash_one(&"/LVC/2"));
+        // Byte-tail disambiguation: same prefix, different lengths.
+        let mut h1 = FxHasher::default();
+        h1.write(b"abcdefgh\x00");
+        let mut h2 = FxHasher::default();
+        h2.write(b"abcdefgh");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+            s.insert(i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&617), Some(&1234));
+        assert!(s.contains(&999));
+        assert!(!s.contains(&1000));
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod dist;
+pub mod fxhash;
 pub mod metrics;
 pub mod queue;
 pub mod rng;

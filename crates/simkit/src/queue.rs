@@ -4,11 +4,45 @@
 //! tie-breaking: two events scheduled for the same instant pop in the order
 //! they were scheduled. Determinism here is what makes whole-system runs
 //! reproducible bit-for-bit from a seed.
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! Scheduling and popping near-future events is the simulator's innermost
+//! loop, so the queue is a hierarchical timing wheel rather than a binary
+//! heap: [`LEVELS`] levels of [`SLOTS`] slots each, with level `l` covering
+//! `64^(l+1)` microseconds at a granularity of `64^l` µs (level 0 slots are
+//! exactly one microsecond wide). A per-level 64-bit occupancy bitmap turns
+//! "find the next non-empty slot" into a mask and `trailing_zeros`, so
+//! `schedule` and `pop` are O(1) for events within the wheel horizon
+//! (`64^LEVELS` µs ≈ 19 simulated hours ahead) and events beyond it fall
+//! back to an overflow binary heap, promoted into the wheel when the
+//! cursor catches up.
+//!
+//! FIFO correctness falls out of three invariants: slot vectors are
+//! append-only and cascaded in order (so same-timestamp events keep their
+//! scheduling order), a level-0 slot is one microsecond wide (so everything
+//! in it shares a timestamp), and cancellation is lazy (a live-seq set is
+//! consulted at pop, never reordering storage). One subtlety: skipping a
+//! *cancelled* event moves the wheel cursor past its slot without advancing
+//! simulated time, and a handler may then legally schedule into that gap —
+//! such entries go to a small `backfill` heap, which always drains before
+//! the wheel because its entries are strictly earlier than every wheel
+//! entry.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::fxhash::FxHashSet;
 use crate::time::SimTime;
+
+/// Slots per wheel level (64, so occupancy fits one `u64` bitmap).
+const SLOTS: usize = 64;
+/// Bits of the time value consumed per level.
+const SLOT_BITS: usize = 6;
+/// Wheel levels; the horizon is `2^(SLOT_BITS * LEVELS)` µs ≈ 19.1 h.
+const LEVELS: usize = 6;
+/// Events at or beyond `cursor + 2^HORIZON_BITS` µs overflow to a heap.
+const HORIZON_BITS: usize = SLOT_BITS * LEVELS;
 
 /// Handle identifying a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -62,13 +96,31 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop().unwrap().1, "even later");
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Slot rings for all levels, flattened level-major
+    /// (`slots[l * SLOTS + j]`). Slot vectors stay seq-ordered per
+    /// timestamp: appends happen in scheduling order and cascades preserve
+    /// relative order.
+    slots: Vec<VecDeque<Entry<E>>>,
+    /// Per-level bitmaps: bit `j` set iff `slots[l * SLOTS + j]` is
+    /// non-empty.
+    occupancy: [u64; LEVELS],
+    /// Wheel position in µs. Every entry stored in the wheel fires at or
+    /// after this; it advances monotonically as slots drain.
+    cursor: u64,
+    /// Entries scheduled into `(now, cursor)` after the wheel structurally
+    /// passed their timestamp (possible when cancelled events were
+    /// skipped). Strictly earlier than every wheel entry, so this drains
+    /// first.
+    backfill: BinaryHeap<Entry<E>>,
+    /// Entries beyond the wheel horizon; strictly later than every wheel
+    /// entry, promoted when the wheel drains up to them.
+    overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     /// Seqs scheduled but not yet fired or cancelled. Tracking the live set
     /// (rather than a tombstone set of cancelled seqs) makes `cancel` of an
     /// already-fired id a no-op returning `false` instead of corrupting
     /// `len()`.
-    pending: std::collections::HashSet<u64>,
+    pending: FxHashSet<u64>,
     now: SimTime,
 }
 
@@ -82,9 +134,13 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupancy: [0; LEVELS],
+            cursor: 0,
+            backfill: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
+            pending: FxHashSet::default(),
             now: SimTime::ZERO,
         }
     }
@@ -103,8 +159,118 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(seq);
-        self.heap.push(Entry { at, seq, event });
+        self.insert(Entry { at, seq, event });
         EventId(seq)
+    }
+
+    /// Routes an entry to the wheel, the backfill heap (behind the cursor),
+    /// or the overflow heap (beyond the horizon).
+    fn insert(&mut self, entry: Entry<E>) {
+        let at_us = entry.at.as_micros();
+        if at_us < self.cursor {
+            self.backfill.push(entry);
+            return;
+        }
+        let xor = at_us ^ self.cursor;
+        if xor >> HORIZON_BITS != 0 {
+            self.overflow.push(entry);
+            return;
+        }
+        let level = if xor == 0 {
+            0
+        } else {
+            (63 - xor.leading_zeros() as usize) / SLOT_BITS
+        };
+        let slot = (at_us >> (SLOT_BITS * level)) as usize & (SLOTS - 1);
+        self.occupancy[level] |= 1u64 << slot;
+        self.slots[level * SLOTS + slot].push_back(entry);
+    }
+
+    /// Timestamp (µs) of the earliest wheel entry, cancelled or not,
+    /// without mutating anything.
+    ///
+    /// Levels are strictly time-ordered (level `l` entries all precede
+    /// level `l+1` entries, because each level is confined to the cursor's
+    /// current parent slot), so the first occupied slot of the lowest
+    /// occupied level holds the minimum. Level-0 slots are 1 µs wide so the
+    /// slot index *is* the timestamp; higher-level slots need a scan.
+    fn wheel_earliest(&self) -> Option<u64> {
+        for level in 0..LEVELS {
+            let current = (self.cursor >> (SLOT_BITS * level)) as u32 & (SLOTS as u32 - 1);
+            let masked = self.occupancy[level] & (!0u64 << current);
+            if masked == 0 {
+                continue;
+            }
+            let j = masked.trailing_zeros() as u64;
+            if level == 0 {
+                return Some((self.cursor & !(SLOTS as u64 - 1)) + j);
+            }
+            let slot = &self.slots[level * SLOTS + j as usize];
+            return slot.iter().map(|e| e.at.as_micros()).min();
+        }
+        None
+    }
+
+    /// Advances the cursor to the earliest wheel entry, cascading
+    /// higher-level slots down until it sits in level 0, and returns its
+    /// level-0 slot index. Must only be called when the wheel is non-empty.
+    fn settle_head(&mut self) -> usize {
+        loop {
+            let current = (self.cursor & (SLOTS as u64 - 1)) as u32;
+            let masked = self.occupancy[0] & (!0u64 << current);
+            if masked != 0 {
+                let j = masked.trailing_zeros() as usize;
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) + j as u64;
+                return j;
+            }
+            let mut progressed = false;
+            for level in 1..LEVELS {
+                let current = (self.cursor >> (SLOT_BITS * level)) as u32 & (SLOTS as u32 - 1);
+                let masked = self.occupancy[level] & (!0u64 << current);
+                if masked == 0 {
+                    continue;
+                }
+                let j = masked.trailing_zeros() as usize;
+                // Jump to the start of that slot and redistribute its
+                // entries relative to the new cursor: each lands at a
+                // strictly lower level, preserving order (the vector is
+                // seq-ordered per timestamp and drained front to back).
+                let width = SLOT_BITS * (level + 1);
+                let slot_start =
+                    (self.cursor & !((1u64 << width) - 1)) + ((j as u64) << (SLOT_BITS * level));
+                debug_assert!(slot_start > self.cursor);
+                self.cursor = slot_start;
+                self.occupancy[level] &= !(1u64 << j);
+                let entries = std::mem::take(&mut self.slots[level * SLOTS + j]);
+                for entry in entries {
+                    self.insert(entry);
+                }
+                progressed = true;
+                break;
+            }
+            debug_assert!(progressed, "settle_head called on an empty wheel");
+            if !progressed {
+                unreachable!("settle_head called on an empty wheel");
+            }
+        }
+    }
+
+    /// Jumps the cursor to the overflow head and promotes every overflow
+    /// entry that now fits the wheel horizon. Only called when the wheel
+    /// and backfill are empty, so the jump cannot leapfrog anything.
+    fn promote_overflow(&mut self) {
+        let Some(head) = self.overflow.peek() else {
+            return;
+        };
+        debug_assert!(head.at.as_micros() >= self.cursor);
+        self.cursor = head.at.as_micros();
+        while let Some(head) = self.overflow.peek() {
+            if (head.at.as_micros() ^ self.cursor) >> HORIZON_BITS != 0 {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists");
+            self.insert(entry);
+        }
     }
 
     /// Cancels a previously scheduled event.
@@ -120,29 +286,56 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
-                continue; // cancelled before firing
-            }
-            self.now = entry.at;
-            return Some((entry.at, entry.event));
-        }
-        None
+        self.pop_bounded(u64::MAX)
     }
 
     /// Pops the earliest pending event only if it fires at or before `until`.
     pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        self.pop_bounded(until.as_micros())
+    }
+
+    /// Shared pop core: drains backfill, then the wheel, then promotes
+    /// overflow, skipping cancelled entries, never firing past `limit_us`.
+    /// Like the head of a heap, the earliest *stored* entry bounds the
+    /// earliest *live* entry, so a cancelled head past the limit still
+    /// (conservatively and correctly) returns `None`.
+    fn pop_bounded(&mut self, limit_us: u64) -> Option<(SimTime, E)> {
         loop {
-            let head = self.heap.peek()?;
-            if head.at > until {
+            // Backfill entries precede every wheel entry (at < cursor).
+            if let Some(head) = self.backfill.peek() {
+                if head.at.as_micros() > limit_us {
+                    return None;
+                }
+                let entry = self.backfill.pop().expect("peeked entry exists");
+                if !self.pending.remove(&entry.seq) {
+                    continue; // cancelled before firing
+                }
+                self.now = entry.at;
+                return Some((entry.at, entry.event));
+            }
+            // Wheel entries precede every overflow entry (at within horizon).
+            if let Some(at_us) = self.wheel_earliest() {
+                if at_us > limit_us {
+                    return None;
+                }
+                let j = self.settle_head();
+                let slot = &mut self.slots[j];
+                let entry = slot.pop_front().expect("settled slot is non-empty");
+                debug_assert_eq!(entry.at.as_micros(), at_us);
+                if slot.is_empty() {
+                    self.occupancy[0] &= !(1u64 << j);
+                }
+                if !self.pending.remove(&entry.seq) {
+                    continue; // cancelled before firing
+                }
+                self.now = entry.at;
+                return Some((entry.at, entry.event));
+            }
+            let head_at = self.overflow.peek()?.at;
+            if head_at.as_micros() > limit_us {
                 return None;
             }
-            let entry = self.heap.pop().expect("peeked entry exists");
-            if !self.pending.remove(&entry.seq) {
-                continue; // cancelled before firing
-            }
-            self.now = entry.at;
-            return Some((entry.at, entry.event));
+            self.promote_overflow();
         }
     }
 
@@ -160,7 +353,13 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         // Cancelled entries may sit at the head; this is a conservative
         // bound, exact once compaction occurs on pop.
-        self.heap.peek().map(|e| e.at)
+        if let Some(head) = self.backfill.peek() {
+            return Some(head.at);
+        }
+        if let Some(at_us) = self.wheel_earliest() {
+            return Some(SimTime::from_micros(at_us));
+        }
+        self.overflow.peek().map(|e| e.at)
     }
 }
 
@@ -288,5 +487,101 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 50_000);
+    }
+
+    #[test]
+    fn far_future_overflows_and_promotes_between_levels() {
+        // An event beyond the 64^6 µs ≈ 19 h wheel horizon lands in the
+        // overflow heap, then promotes into the wheel (cascading down
+        // through the levels) once everything nearer has drained — and
+        // pops in exact (time, seq) order throughout.
+        let mut q = EventQueue::new();
+        let horizon_us = 1u64 << HORIZON_BITS;
+        let far = SimTime::from_micros(horizon_us + 12_345);
+        let farther = SimTime::from_micros(3 * horizon_us + 99);
+        q.schedule(far, "far");
+        q.schedule(farther, "farther");
+        assert_eq!(q.overflow.len(), 2, "beyond-horizon events overflow");
+        q.schedule(SimTime::from_micros(5), "near");
+        assert_eq!(q.overflow.len(), 2);
+
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(5), "near"));
+        // Popping the far event forces a promotion out of overflow and a
+        // cascade down every wheel level to a 1 µs level-0 slot.
+        assert_eq!(q.pop().unwrap(), (far, "far"));
+        assert_eq!(q.overflow.len(), 1, "still-too-far event stays in overflow");
+        assert_eq!(q.pop().unwrap(), (farther, "farther"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_fifo_across_wheel_and_promotion() {
+        // FIFO ties must hold even when same-timestamp events take
+        // different routes into the wheel (direct insert at different
+        // levels vs. overflow promotion).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros((1 << HORIZON_BITS) + 77);
+        q.schedule(t, 0); // overflow
+        q.schedule(SimTime::from_micros(1), 100); // near
+        q.schedule(t, 1); // overflow, after 0
+        assert_eq!(q.pop().unwrap().1, 100);
+        q.schedule(t, 2); // still overflow relative to cursor=1
+        for expect in 0..3 {
+            let (at, v) = q.pop().unwrap();
+            assert_eq!(at, t);
+            assert_eq!(v, expect, "same-instant events pop in schedule order");
+        }
+    }
+
+    #[test]
+    fn schedule_into_cursor_gap_after_cancelled_skip() {
+        // Skipping a cancelled event moves the wheel cursor to its slot;
+        // a handler may then schedule an event earlier than that slot
+        // (but after `now`). It must still pop, and in time order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "t10");
+        let c = q.schedule(SimTime::from_micros(5_000), "cancelled");
+        q.schedule(SimTime::from_micros(9_000), "t9000");
+        assert_eq!(q.pop().unwrap().1, "t10");
+        assert!(q.cancel(c));
+        // No live event ≤ 6000: this skips the cancelled 5000 µs entry,
+        // structurally advancing the wheel past it.
+        assert!(q.pop_until(SimTime::from_micros(6_000)).is_none());
+        // Schedule into the gap the cursor already passed.
+        q.schedule(SimTime::from_micros(2_000), "gap");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(2_000), "gap"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(9_000), "t9000"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stress_mixed_horizons_and_cancels_sorted() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::DetRng::new(1234);
+        let mut ids = Vec::new();
+        for i in 0..20_000u64 {
+            // Mix near-future, mid-wheel, and beyond-horizon times.
+            let at = match rng.below(10) {
+                0..=5 => rng.below(1 << 18),
+                6..=8 => rng.below(1 << 34),
+                _ => (1 << HORIZON_BITS) + rng.below(1 << 38),
+            };
+            ids.push(q.schedule(SimTime::from_micros(at), i));
+        }
+        for (k, id) in ids.iter().enumerate() {
+            if k % 3 == 0 {
+                q.cancel(*id);
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!(t >= last);
+            assert!(i % 3 != 0, "cancelled events never fire");
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 20_000 - ids.len().div_ceil(3));
+        assert!(q.is_empty());
     }
 }

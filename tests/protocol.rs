@@ -74,8 +74,8 @@ fn subscribe_rewrite_deliver_cancel_across_hops() {
         actions,
         vec![
             ClientAction::HeaderRewritten,
-            ClientAction::Deliver(b"u0".to_vec()),
-            ClientAction::Deliver(b"u1".to_vec()),
+            ClientAction::Deliver(b"u0".to_vec().into()),
+            ClientAction::Deliver(b"u1".to_vec().into()),
         ]
     );
     assert_eq!(client.state(), StreamState::Active);
@@ -133,7 +133,7 @@ fn failover_resumes_from_rewritten_state() {
     );
     let batch = vec![server_b.push(b"m2".to_vec())];
     let actions = client.on_batch(&batch);
-    assert_eq!(actions, vec![ClientAction::Deliver(b"m2".to_vec())]);
+    assert_eq!(actions, vec![ClientAction::Deliver(b"m2".to_vec().into())]);
     assert_eq!(client.gaps(), 0, "no gap, no replay");
 }
 
@@ -187,7 +187,7 @@ fn ack_retention_replay_cycle() {
     let replay = server.replay_unacked();
     assert_eq!(replay, vec![Delta::update(3, b"d".to_vec())]);
     let actions = client.on_batch(&replay);
-    assert_eq!(actions, vec![ClientAction::Deliver(b"d".to_vec())]);
+    assert_eq!(actions, vec![ClientAction::Deliver(b"d".to_vec().into())]);
 }
 
 #[test]
