@@ -10,32 +10,12 @@
 
 use std::time::Instant;
 
-use bench::arg_or;
+use bench::{arg_or, peak_rss_bytes};
 use bladerunner::config::SystemConfig;
 use bladerunner::sim::SystemSim;
 use pylon::PylonConfig;
 use simkit::time::{SimDuration, SimTime};
 use tao::TaoConfig;
-
-/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
-/// 0 where procfs is unavailable.
-fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
-    0
-}
 
 /// A system shape sized for six-figure device counts.
 fn scale_config() -> SystemConfig {

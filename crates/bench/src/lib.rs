@@ -91,6 +91,26 @@ pub fn summary_row(label: &str, h: &Histogram) -> Vec<String> {
 /// Header matching [`summary_row`].
 pub const SUMMARY_HEADER: [&str; 8] = ["series", "n", "mean", "p50", "p75", "p90", "p95", "p99"];
 
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+/// 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Parses a `--key value` style argument from the process args, with a
 /// default.
 pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {

@@ -3,6 +3,7 @@
 use edge::proxy::RouteStrategy;
 use pylon::PylonConfig;
 use simkit::time::SimDuration;
+use simkit::trace::Retention;
 use tao::TaoConfig;
 
 /// Connectivity class of a device's last mile, driving latency and drop
@@ -39,8 +40,24 @@ pub struct SystemConfig {
     pub link_mix: Vec<(LinkClass, f64)>,
     /// Probability that any individual last-mile frame is lost.
     pub last_mile_drop: f64,
-    /// Delay before a dropped device reconnects.
+    /// Base delay before a dropped device reconnects. Repeated drops back
+    /// off exponentially (capped, with deterministic jitter) to tame
+    /// thundering-herd reconnect storms.
     pub reconnect_delay: SimDuration,
+    /// Interval between heartbeat ticks (proxy→BRASS pings, and POP→device
+    /// pings when [`Self::device_heartbeats`] is on). §4 footnote 11.
+    pub heartbeat_interval: SimDuration,
+    /// Unanswered pings before a proxy declares a BRASS host dead.
+    pub heartbeat_misses: u32,
+    /// Whether POPs ping devices to detect silent (unannounced) drops.
+    /// Costs one ping/pong round-trip per device per interval, so the
+    /// scale bench turns it off.
+    pub device_heartbeats: bool,
+    /// Trace-ledger retention: `Full` keeps every hop record (what
+    /// `trace-dump` wants); `Bounded` folds accounting into histograms and
+    /// keeps only a ring of recent records, bounding peak RSS at bench
+    /// scale.
+    pub trace_retention: Retention,
     /// Maximum concurrent streams per device ("each mobile app up to 20",
     /// §5); the oldest stream is cancelled to make room.
     pub max_streams_per_device: usize,
@@ -67,6 +84,10 @@ impl SystemConfig {
             ],
             last_mile_drop: 0.0,
             reconnect_delay: SimDuration::from_secs(2),
+            heartbeat_interval: SimDuration::from_secs(5),
+            heartbeat_misses: 3,
+            device_heartbeats: true,
+            trace_retention: Retention::Full,
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
@@ -98,6 +119,10 @@ impl SystemConfig {
             ],
             last_mile_drop: 0.002,
             reconnect_delay: SimDuration::from_secs(3),
+            heartbeat_interval: SimDuration::from_secs(5),
+            heartbeat_misses: 3,
+            device_heartbeats: false,
+            trace_retention: Retention::Bounded(4_096),
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
@@ -118,6 +143,8 @@ mod tests {
             let total: f64 = config.link_mix.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-9, "link mix sums to 1");
             assert!(!config.metrics_interval.is_zero());
+            assert!(!config.heartbeat_interval.is_zero());
+            assert!(config.heartbeat_misses > 0);
         }
     }
 }

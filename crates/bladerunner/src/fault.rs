@@ -1,0 +1,426 @@
+//! Declarative chaos: fault plans, episodes, and the post-heal
+//! convergence audit.
+//!
+//! A [`FaultPlan`] is data — a list of [`FaultEpisode`]s with absolute
+//! start times — compiled onto the simulator's event queue by
+//! [`FaultPlan::apply`]. Everything downstream of injection (detection,
+//! signalling, repair) is the system's own job: unplanned BRASS crashes
+//! are discovered only through missed heartbeat pongs, POPs repair
+//! streams across proxy outages, devices reconnect with capped backoff
+//! and recover losses through WAS backfill. After the last episode heals
+//! (plus a grace period), [`crate::sim::SystemSim::convergence_report`]
+//! audits that the system actually converged.
+
+use burst::frame::StreamId;
+use simkit::rng::DetRng;
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::TraceId;
+
+use crate::config::SystemConfig;
+use crate::sim::SystemSim;
+
+/// One kind of injectable failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// An *unplanned* BRASS host crash: in-memory state dies with no
+    /// signal to anyone; proxies detect it by missed heartbeat pongs and
+    /// repair its streams onto healthy hosts.
+    BrassCrash {
+        /// The host that dies.
+        host: usize,
+        /// How long it stays down.
+        down: SimDuration,
+    },
+    /// A *planned* rolling-upgrade wave: hosts drain one after another,
+    /// `stagger` apart, each down for `down`, with immediate signalling
+    /// (the operational path — contrast [`FaultKind::BrassCrash`]).
+    BrassUpgradeWave {
+        /// Hosts upgraded, in order.
+        hosts: Vec<usize>,
+        /// Delay between consecutive drains.
+        stagger: SimDuration,
+        /// Per-host downtime.
+        down: SimDuration,
+    },
+    /// A Pylon subscriber-KV partition: these nodes drop out together and
+    /// heal together. A minority cut leaves CP subscribe quorums intact;
+    /// a majority cut fails fresh subscribes (AP publishes continue).
+    PylonPartition {
+        /// The partitioned nodes.
+        nodes: Vec<u64>,
+        /// How long the partition lasts.
+        down: SimDuration,
+    },
+    /// A reverse-proxy / PoP-regional outage: POPs repair affected
+    /// streams onto surviving proxies.
+    ProxyOutage {
+        /// The proxy that goes dark.
+        proxy: usize,
+        /// How long it stays dark.
+        down: SimDuration,
+    },
+    /// Flaky last-mile links: each device drops (announced) `flaps`
+    /// times, `gap` apart, reconnecting on its backoff schedule.
+    DeviceFlap {
+        /// The flapping devices.
+        devices: Vec<u64>,
+        /// Drops per device.
+        flaps: u32,
+        /// Time between a device's consecutive drops.
+        gap: SimDuration,
+    },
+    /// A reconnect storm: every listed device vanishes *silently* at the
+    /// same instant (no FIN — POP heartbeats or the devices' own
+    /// resubscribes must converge server-side state).
+    ReconnectStorm {
+        /// The vanishing devices.
+        devices: Vec<u64>,
+    },
+}
+
+impl FaultKind {
+    /// Stable label for reports and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BrassCrash { .. } => "brass_crash",
+            FaultKind::BrassUpgradeWave { .. } => "brass_upgrade_wave",
+            FaultKind::PylonPartition { .. } => "pylon_partition",
+            FaultKind::ProxyOutage { .. } => "proxy_outage",
+            FaultKind::DeviceFlap { .. } => "device_flap",
+            FaultKind::ReconnectStorm { .. } => "reconnect_storm",
+        }
+    }
+
+    /// When this episode's *injection* is over, relative to its start
+    /// (healing of detection/repair consequences takes longer; that is
+    /// what the availability timeline measures).
+    pub fn heal_after(&self) -> SimDuration {
+        match self {
+            FaultKind::BrassCrash { down, .. } => *down,
+            FaultKind::BrassUpgradeWave {
+                hosts,
+                stagger,
+                down,
+            } => *stagger * hosts.len().saturating_sub(1) as u64 + *down,
+            FaultKind::PylonPartition { down, .. } => *down,
+            FaultKind::ProxyOutage { down, .. } => *down,
+            FaultKind::DeviceFlap { flaps, gap, .. } => *gap * flaps.saturating_sub(1) as u64,
+            FaultKind::ReconnectStorm { .. } => SimDuration::ZERO,
+        }
+    }
+}
+
+/// A [`FaultKind`] injected at an absolute simulation time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEpisode {
+    /// When the episode starts.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEpisode {
+    /// When the episode's injection is fully over.
+    pub fn heals_at(&self) -> SimTime {
+        self.at + self.kind.heal_after()
+    }
+}
+
+/// A declarative chaos schedule: episodes compiled onto the event queue.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The planned episodes (need not be sorted).
+    pub episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends an episode (builder style).
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.episodes.push(FaultEpisode { at, kind });
+        self
+    }
+
+    /// When the last episode's injection is over.
+    pub fn heal_time(&self) -> SimTime {
+        self.episodes
+            .iter()
+            .map(FaultEpisode::heals_at)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// The distinct fault kinds this plan covers, sorted.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut kinds: Vec<&'static str> = self.episodes.iter().map(|e| e.kind.label()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Compiles every episode onto the simulator's event queue. Purely
+    /// schedules events — all detection and repair behaviour comes from
+    /// the system itself.
+    pub fn apply(&self, sim: &mut SystemSim) {
+        for ep in &self.episodes {
+            match &ep.kind {
+                FaultKind::BrassCrash { host, down } => {
+                    sim.schedule_brass_crash(ep.at, *host, *down);
+                }
+                FaultKind::BrassUpgradeWave {
+                    hosts,
+                    stagger,
+                    down,
+                } => {
+                    for (i, &host) in hosts.iter().enumerate() {
+                        sim.schedule_brass_upgrade(ep.at + *stagger * i as u64, host, *down);
+                    }
+                }
+                FaultKind::PylonPartition { nodes, down } => {
+                    for &node in nodes {
+                        sim.schedule_pylon_outage(ep.at, node, *down);
+                    }
+                }
+                FaultKind::ProxyOutage { proxy, down } => {
+                    sim.schedule_proxy_outage(ep.at, *proxy, *down);
+                }
+                FaultKind::DeviceFlap {
+                    devices,
+                    flaps,
+                    gap,
+                } => {
+                    for &device in devices {
+                        for f in 0..*flaps {
+                            sim.schedule_device_drop(ep.at + *gap * f as u64, device);
+                        }
+                    }
+                }
+                FaultKind::ReconnectStorm { devices } => {
+                    for &device in devices {
+                        sim.schedule_device_vanish(ep.at, device);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A canned plan covering every fault kind, scaled to the system shape.
+/// All choices draw from `rng`, so one seed fixes the whole timeline.
+pub fn canned_plan(
+    start: SimTime,
+    config: &SystemConfig,
+    devices: &[u64],
+    rng: &mut DetRng,
+) -> FaultPlan {
+    let hosts = config.brass_hosts as usize;
+    let s = |secs: u64| SimDuration::from_secs(secs);
+    let pick_devices = |rng: &mut DetRng, frac_denom: u64| -> Vec<u64> {
+        let mut pool: Vec<u64> = devices.to_vec();
+        rng.shuffle(&mut pool);
+        let take = (pool.len() as u64 / frac_denom).max(1) as usize;
+        pool.truncate(take);
+        pool.sort_unstable();
+        pool
+    };
+
+    // Unplanned crash of one host.
+    let crash_host = rng.index(hosts);
+    // A rolling wave over (up to) a quarter of the fleet, skipping the
+    // crashed host so the two episodes stress different machines.
+    let wave: Vec<usize> = (0..hosts)
+        .filter(|&h| h != crash_host)
+        .take((hosts / 4).max(1))
+        .collect();
+    // Pylon cuts: a minority of one replica (quorum holds) and then a
+    // majority cut of about two-thirds of the nodes (some topics lose
+    // their CP subscribe quorum until healing).
+    let minority: Vec<u64> = vec![rng.below(config.pylon.kv_nodes as u64)];
+    let mut majority: Vec<u64> = (0..config.pylon.kv_nodes as u64).collect();
+    rng.shuffle(&mut majority);
+    majority.truncate(((config.pylon.kv_nodes as usize) * 2 / 3).max(1));
+    majority.sort_unstable();
+
+    FaultPlan::new()
+        .with(
+            start,
+            FaultKind::BrassCrash {
+                host: crash_host,
+                down: s(25),
+            },
+        )
+        .with(
+            start + s(45),
+            FaultKind::BrassUpgradeWave {
+                hosts: wave,
+                stagger: s(5),
+                down: s(20),
+            },
+        )
+        .with(
+            start + s(90),
+            FaultKind::PylonPartition {
+                nodes: minority,
+                down: s(20),
+            },
+        )
+        .with(
+            start + s(120),
+            FaultKind::PylonPartition {
+                nodes: majority,
+                down: s(25),
+            },
+        )
+        .with(
+            start + s(160),
+            FaultKind::ProxyOutage {
+                proxy: rng.index(config.proxies as usize),
+                down: s(30),
+            },
+        )
+        .with(
+            start + s(200),
+            FaultKind::DeviceFlap {
+                devices: pick_devices(rng, 10),
+                flaps: 3,
+                gap: s(10),
+            },
+        )
+        .with(
+            start + s(230),
+            FaultKind::ReconnectStorm {
+                devices: pick_devices(rng, 5),
+            },
+        )
+}
+
+/// The post-heal audit produced by
+/// [`crate::sim::SystemSim::convergence_report`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConvergenceReport {
+    /// Devices currently connected.
+    pub connected_devices: u64,
+    /// Open streams across connected devices.
+    pub open_streams: u64,
+    /// Streams a connected device believes are open but no live BRASS
+    /// host is serving.
+    pub stranded: Vec<(u64, StreamId)>,
+    /// Streams still registered on hosts that are currently down.
+    pub dead_host_streams: u64,
+    /// Admitted updates rendered on a device.
+    pub delivered: u64,
+    /// Drop records with attributed reasons.
+    pub dropped: u64,
+    /// Updates recovered via WAS backfill.
+    pub backfilled: u64,
+    /// Admitted updates with no delivery, no attributed drop, and no
+    /// backfill — each one is an accounting hole.
+    pub unaccounted: Vec<TraceId>,
+}
+
+impl ConvergenceReport {
+    /// Whether the system converged: no stranded streams, nothing pinned
+    /// to a dead host, and a fully-accounted ledger.
+    pub fn converged(&self) -> bool {
+        self.stranded.is_empty() && self.dead_host_streams == 0 && self.unaccounted.is_empty()
+    }
+
+    /// Human-readable failure lines (empty when converged).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.stranded.is_empty() {
+            out.push(format!(
+                "{} stream(s) stranded without a live host (first: device {} sid {})",
+                self.stranded.len(),
+                self.stranded[0].0,
+                self.stranded[0].1 .0,
+            ));
+        }
+        if self.dead_host_streams > 0 {
+            out.push(format!(
+                "{} stream(s) still registered on dead hosts",
+                self.dead_host_streams
+            ));
+        }
+        if !self.unaccounted.is_empty() {
+            out.push(format!(
+                "{} admitted update(s) unaccounted (first: trace {})",
+                self.unaccounted.len(),
+                self.unaccounted[0].0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heal_time_is_the_last_heal() {
+        let plan = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::BrassCrash {
+                    host: 0,
+                    down: SimDuration::from_secs(30),
+                },
+            )
+            .with(
+                SimTime::from_secs(20),
+                FaultKind::BrassUpgradeWave {
+                    hosts: vec![1, 2, 3],
+                    stagger: SimDuration::from_secs(5),
+                    down: SimDuration::from_secs(20),
+                },
+            );
+        // Wave: starts 20, last drain 30, back at 50 — after the crash's 40.
+        assert_eq!(plan.heal_time(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn canned_plan_covers_every_kind() {
+        let config = SystemConfig::small();
+        let devices: Vec<u64> = (0..20).collect();
+        let mut rng = DetRng::new(99);
+        let plan = canned_plan(SimTime::from_secs(30), &config, &devices, &mut rng);
+        assert_eq!(
+            plan.kinds(),
+            vec![
+                "brass_crash",
+                "brass_upgrade_wave",
+                "device_flap",
+                "proxy_outage",
+                "pylon_partition",
+                "reconnect_storm",
+            ]
+        );
+        assert!(plan.heal_time() > SimTime::from_secs(230));
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let config = SystemConfig::small();
+        let devices: Vec<u64> = (0..50).collect();
+        let a = canned_plan(SimTime::ZERO, &config, &devices, &mut DetRng::new(7));
+        let b = canned_plan(SimTime::ZERO, &config, &devices, &mut DetRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_failures_name_each_hole() {
+        let report = ConvergenceReport {
+            stranded: vec![(3, StreamId(1))],
+            dead_host_streams: 2,
+            unaccounted: vec![TraceId(77)],
+            ..ConvergenceReport::default()
+        };
+        assert!(!report.converged());
+        assert_eq!(report.failures().len(), 3);
+        assert!(ConvergenceReport::default().converged());
+    }
+}

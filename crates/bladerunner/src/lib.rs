@@ -9,6 +9,8 @@
 //! over BURST streams through reverse proxies and POPs to devices.
 //!
 //! * [`config`] — system-level configuration ([`SystemConfig`]).
+//! * [`fault`] — declarative chaos: fault plans, heartbeat-detected
+//!   failures, and the post-heal convergence audit.
 //! * [`latency`] — the hop latency model, calibrated to the paper's
 //!   Table 3 measurements.
 //! * [`metrics`] — every series/histogram the §5 figures need.
@@ -38,6 +40,7 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod rt;

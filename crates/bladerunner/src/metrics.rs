@@ -44,6 +44,22 @@ pub struct SystemMetrics {
     pub frames_lost: Counter,
     /// Pylon subscribe attempts that failed on quorum loss.
     pub quorum_failures: Counter,
+    /// Unplanned BRASS host crashes injected by a fault plan.
+    pub host_crashes: Counter,
+    /// Heartbeat-driven host-failure detections (one per proxy that
+    /// independently declared a host dead).
+    pub host_failures_detected: Counter,
+    /// Heartbeat pings sent (proxy→BRASS).
+    pub hb_pings: Counter,
+    /// Proxy outages injected by a fault plan.
+    pub proxy_outages: Counter,
+    /// Silent device drops (link death without a FIN; detected only by
+    /// POP heartbeats and the device's own reconnect).
+    pub device_vanishes: Counter,
+    /// Device gap-detection backfill polls issued to the WAS.
+    pub backfill_polls: Counter,
+    /// Updates recovered via WAS backfill after a loss.
+    pub backfills: Counter,
 
     // ------------------------------------------------------------------
     // Latency histograms.
@@ -78,6 +94,16 @@ pub struct SystemMetrics {
     pub ts_proxy_reconnects: TimeSeries,
 
     // ------------------------------------------------------------------
+    // Availability timeline (chaos harness).
+    // ------------------------------------------------------------------
+    /// One sample per metrics tick: `(when, fraction of connected devices'
+    /// open streams that a live BRASS host is actually serving)`. 1.0 when
+    /// healthy; dips during fault episodes and climbs back as repair
+    /// converges. The chaos bench derives per-episode recovery times from
+    /// this.
+    pub availability_timeline: Vec<(SimTime, f64)>,
+
+    // ------------------------------------------------------------------
     // Per-stream accounting (Fig. 7 / Table 2).
     // ------------------------------------------------------------------
     /// Publications targeting each stream's subscription, over the
@@ -102,6 +128,13 @@ impl SystemMetrics {
             connection_drops: Counter::new(),
             frames_lost: Counter::new(),
             quorum_failures: Counter::new(),
+            host_crashes: Counter::new(),
+            host_failures_detected: Counter::new(),
+            hb_pings: Counter::new(),
+            proxy_outages: Counter::new(),
+            device_vanishes: Counter::new(),
+            backfill_polls: Counter::new(),
+            backfills: Counter::new(),
             per_app: HashMap::new(),
             pylon_fanout_small: Histogram::new(),
             pylon_fanout_large: Histogram::new(),
@@ -114,6 +147,7 @@ impl SystemMetrics {
             ts_deliveries: ts(),
             ts_connection_drops: ts(),
             ts_proxy_reconnects: ts(),
+            availability_timeline: Vec::new(),
             stream_publications: HashMap::new(),
             stream_opened: HashMap::new(),
             stream_lifetimes: Vec::new(),
@@ -123,6 +157,29 @@ impl SystemMetrics {
     /// The per-app latency bucket, created on first use.
     pub fn app(&mut self, app: &str) -> &mut AppLatencies {
         self.per_app.entry(app.to_owned()).or_default()
+    }
+
+    /// Appends one availability sample (fraction of subscribed streams a
+    /// live host is serving, sampled on the metrics tick).
+    pub fn record_availability(&mut self, at: SimTime, fraction: f64) {
+        self.availability_timeline.push((at, fraction));
+    }
+
+    /// `(min, mean)` availability over samples in `[from, to]`; `(1, 1)`
+    /// when the window holds no samples.
+    pub fn availability_stats(&self, from: SimTime, to: SimTime) -> (f64, f64) {
+        let window: Vec<f64> = self
+            .availability_timeline
+            .iter()
+            .filter(|(at, _)| *at >= from && *at <= to)
+            .map(|&(_, f)| f)
+            .collect();
+        if window.is_empty() {
+            return (1.0, 1.0);
+        }
+        let min = window.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        (min, mean)
     }
 
     /// Records a stream opening.

@@ -16,7 +16,7 @@ use edge::device::{Device, DeviceOutput};
 use edge::pop::{Pop, PopEffect};
 use edge::proxy::{ProxyEffect, ReverseProxy};
 use pylon::{HostId, PylonCluster, Topic};
-use simkit::fxhash::FxHashMap;
+use simkit::fxhash::{FxHashMap, FxHashSet};
 use simkit::queue::EventQueue;
 use simkit::rng::DetRng;
 use simkit::time::{SimDuration, SimTime};
@@ -51,6 +51,10 @@ pub struct EventStats {
     pub transport_down: u64,
     /// Device churn: drops and reconnects.
     pub device_churn: u64,
+    /// Fault-plan episodes: crashes, outages, recoveries, vanishes.
+    pub faults: u64,
+    /// Heartbeat ticks and pong round-trips.
+    pub heartbeats: u64,
     /// Periodic metrics ticks.
     pub metrics: u64,
 }
@@ -73,12 +77,19 @@ impl EventStats {
             | Ev::BrassTimer { .. }
             | Ev::BrassRedirect { .. }
             | Ev::BrassUpgrade { .. }
-            | Ev::BrassHostBack { .. } => &mut self.brass,
+            | Ev::BrassHostBack { .. }
+            | Ev::WasBackfillExec { .. } => &mut self.brass,
             Ev::AtPop { .. } | Ev::AtProxy { .. } | Ev::AtBrass { .. } => &mut self.transport_up,
             Ev::DownAtProxy { .. } | Ev::DownAtPop { .. } | Ev::AtDevice { .. } => {
                 &mut self.transport_down
             }
             Ev::DeviceDrop { .. } | Ev::DeviceReconnect { .. } => &mut self.device_churn,
+            Ev::BrassCrash { .. }
+            | Ev::BrassRecover { .. }
+            | Ev::ProxyOutage { .. }
+            | Ev::ProxyBack { .. }
+            | Ev::DeviceVanish { .. } => &mut self.faults,
+            Ev::HeartbeatTick | Ev::PongFromHost { .. } => &mut self.heartbeats,
             Ev::MetricsTick => &mut self.metrics,
         };
         *bucket += 1;
@@ -207,6 +218,36 @@ enum Ev {
     BrassHostBack { host: usize },
     /// A Pylon subscriber-KV node goes down / comes back.
     PylonNode { node: u64, up: bool },
+
+    // ------------------------------------------------------------------
+    // Chaos: unplanned failures and heartbeat-driven detection.
+    // ------------------------------------------------------------------
+    /// An *unplanned* BRASS host crash: its in-memory state dies and —
+    /// unlike [`Ev::BrassUpgrade`] — nobody is told. Proxies learn only by
+    /// missed heartbeat pongs.
+    BrassCrash { host: usize },
+    /// A crashed BRASS host comes back up (empty) and rejoins the pools.
+    BrassRecover { host: usize },
+    /// A reverse proxy goes dark (regional outage); POPs repair its
+    /// streams onto surviving proxies.
+    ProxyOutage { proxy: usize },
+    /// A recovered reverse proxy rejoins its POPs.
+    ProxyBack { proxy: usize },
+    /// A device's last-mile link dies silently (no FIN): the server side
+    /// learns only via POP heartbeats; the device reconnects with backoff.
+    DeviceVanish { device: u64 },
+    /// The global heartbeat tick driving proxy→BRASS (and optionally
+    /// POP→device) monitors.
+    HeartbeatTick,
+    /// A live BRASS host answers a proxy's heartbeat ping.
+    PongFromHost {
+        proxy: usize,
+        host: usize,
+        token: u64,
+    },
+    /// A device's gap-detection backfill poll executes at the WAS,
+    /// recovering updates lost on the last mile.
+    WasBackfillExec { device: u64, sid: StreamId },
     /// Periodic metrics snapshot.
     MetricsTick,
 }
@@ -217,6 +258,10 @@ struct DeviceState {
     link: LinkClass,
     lang: String,
     connected: bool,
+    /// Consecutive recent drops, driving exponential reconnect backoff.
+    drop_streak: u32,
+    /// When the last drop happened (streaks decay after quiet periods).
+    last_drop_at: SimTime,
 }
 
 /// The assembled Bladerunner system under simulation.
@@ -231,9 +276,18 @@ pub struct SystemSim {
     hosts: Vec<BrassHost>,
     proxies: Vec<ReverseProxy>,
     pops: Vec<Pop>,
+    /// Liveness of each BRASS host. A `false` entry swallows frames and
+    /// Pylon deliveries — the rest of the system must *detect* the death
+    /// through missed heartbeats, never observe this flag directly.
+    host_up: Vec<bool>,
+    /// Liveness of each reverse proxy.
+    proxy_up: Vec<bool>,
     devices: FxHashMap<u64, DeviceState>,
     /// device → proxy carrying its streams (learned from POP routing).
     device_proxy: FxHashMap<u64, usize>,
+    /// (device, sid) → traces lost in delivery to that stream, recoverable
+    /// by a WAS backfill poll (gap detection or reconnect).
+    pending_backfill: FxHashMap<(u64, StreamId), Vec<TraceId>>,
 
     metrics: SystemMetrics,
     /// The per-update hop ledger: every admitted update's journey through
@@ -279,7 +333,12 @@ impl SystemSim {
             .collect();
         let host_ids: Vec<u32> = (0..config.brass_hosts).collect();
         let proxies: Vec<ReverseProxy> = (0..config.proxies)
-            .map(|i| ReverseProxy::new(i, config.route_strategy, host_ids.clone()))
+            .map(|i| {
+                ReverseProxy::new(i, config.route_strategy, host_ids.clone()).with_heartbeat(
+                    config.heartbeat_interval.as_micros(),
+                    config.heartbeat_misses,
+                )
+            })
             .collect();
         let proxy_ids: Vec<u32> = (0..config.proxies).collect();
         let pops: Vec<Pop> = (0..config.pops)
@@ -288,6 +347,7 @@ impl SystemSim {
         let metrics = SystemMetrics::new(config.metrics_horizon, config.metrics_interval);
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO + config.metrics_interval, Ev::MetricsTick);
+        queue.schedule(SimTime::ZERO + config.heartbeat_interval, Ev::HeartbeatTick);
         SystemSim {
             latency: LatencyModel::table3(),
             rng,
@@ -297,10 +357,13 @@ impl SystemSim {
             hosts,
             proxies,
             pops,
+            host_up: vec![true; config.brass_hosts as usize],
+            proxy_up: vec![true; config.proxies as usize],
             devices: FxHashMap::default(),
             device_proxy: FxHashMap::default(),
+            pending_backfill: FxHashMap::default(),
             metrics,
-            ledger: TraceLedger::new(),
+            ledger: TraceLedger::with_retention(config.trace_retention),
             object_trace: FxHashMap::default(),
             topic_streams: FxHashMap::default(),
             stream_topic: FxHashMap::default(),
@@ -365,6 +428,24 @@ impl SystemSim {
         self.devices.get(&device).map(|d| &d.device)
     }
 
+    /// Whether a BRASS host is currently up (testing / fault plans).
+    pub fn host_is_up(&self, host: usize) -> bool {
+        self.host_up.get(host).copied().unwrap_or(false)
+    }
+
+    /// Whether a reverse proxy is currently up (testing / fault plans).
+    pub fn proxy_is_up(&self, proxy: usize) -> bool {
+        self.proxy_up.get(proxy).copied().unwrap_or(false)
+    }
+
+    /// The `(device, sid)` keys a BRASS host currently serves, sorted.
+    pub fn host_stream_keys(&self, host: usize) -> Vec<(u64, StreamId)> {
+        self.hosts
+            .get(host)
+            .map(|h| h.stream_keys())
+            .unwrap_or_default()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -401,6 +482,8 @@ impl SystemSim {
                 link,
                 lang: lang.to_owned(),
                 connected: true,
+                drop_streak: 0,
+                last_drop_at: SimTime::ZERO,
             },
         );
         uid
@@ -583,6 +666,31 @@ impl SystemSim {
             .schedule(at + duration, Ev::PylonNode { node, up: true });
     }
 
+    /// Schedules an *unplanned* BRASS host crash lasting `duration`.
+    ///
+    /// Unlike [`Self::schedule_brass_upgrade`], nothing is signalled at
+    /// crash time: proxies discover the death through missed heartbeat
+    /// pongs and only then repair its streams (axiom 2).
+    pub fn schedule_brass_crash(&mut self, at: SimTime, host: usize, duration: SimDuration) {
+        self.queue.schedule(at, Ev::BrassCrash { host });
+        self.queue
+            .schedule(at + duration, Ev::BrassRecover { host });
+    }
+
+    /// Schedules a reverse-proxy outage (e.g. a regional PoP-to-DC link
+    /// cut) lasting `duration`.
+    pub fn schedule_proxy_outage(&mut self, at: SimTime, proxy: usize, duration: SimDuration) {
+        self.queue.schedule(at, Ev::ProxyOutage { proxy });
+        self.queue.schedule(at + duration, Ev::ProxyBack { proxy });
+    }
+
+    /// Schedules a *silent* device drop: the link dies without a FIN, so
+    /// the POP learns only via heartbeats while the device reconnects on
+    /// its own backoff schedule.
+    pub fn schedule_device_vanish(&mut self, at: SimTime, device: u64) {
+        self.queue.schedule(at, Ev::DeviceVanish { device });
+    }
+
     // ------------------------------------------------------------------
     // Execution.
     // ------------------------------------------------------------------
@@ -673,19 +781,7 @@ impl SystemSim {
                 self.process_host_effects(now, host, fx, None);
             }
             Ev::BrassUpgrade { host } => self.on_brass_upgrade(now, host),
-            Ev::BrassHostBack { host } => {
-                let before = self.total_proxy_reconnects();
-                let all_fx: Vec<Vec<ProxyEffect>> = self
-                    .proxies
-                    .iter_mut()
-                    .map(|p| p.add_host(host as u32))
-                    .collect();
-                for fx in all_fx {
-                    self.process_proxy_effects(now, fx);
-                }
-                let delta = self.total_proxy_reconnects() - before;
-                self.metrics.ts_proxy_reconnects.record(now, delta as f64);
-            }
+            Ev::BrassHostBack { host } => self.on_brass_host_back(now, host),
             Ev::PylonNode { node, up } => {
                 if up {
                     self.pylon.node_up(node);
@@ -693,6 +789,18 @@ impl SystemSim {
                     self.pylon.node_down(node);
                 }
             }
+            Ev::BrassCrash { host } => self.on_brass_crash(now, host),
+            Ev::BrassRecover { host } => self.on_brass_recover(now, host),
+            Ev::ProxyOutage { proxy } => self.on_proxy_outage(now, proxy),
+            Ev::ProxyBack { proxy } => self.on_proxy_back(now, proxy),
+            Ev::DeviceVanish { device } => self.on_device_vanish(now, device),
+            Ev::HeartbeatTick => self.on_heartbeat_tick(now),
+            Ev::PongFromHost { proxy, host, token } => {
+                if self.proxy_up[proxy] {
+                    self.proxies[proxy].on_host_pong(host as u32, token);
+                }
+            }
+            Ev::WasBackfillExec { device, sid } => self.on_was_backfill(now, device, sid),
             Ev::MetricsTick => self.on_metrics_tick(now),
         }
     }
@@ -844,6 +952,18 @@ impl SystemSim {
         if host >= self.hosts.len() {
             return;
         }
+        if !self.host_up[host] {
+            // Pylon has not yet purged a crashed host's subscriptions
+            // (that happens when a proxy's heartbeats detect the death);
+            // events fanned to it meanwhile die here.
+            self.ledger.record(
+                TraceId(event.id),
+                Hop::PylonDeliver,
+                now,
+                HopOutcome::Dropped(DropReason::HostDown),
+            );
+            return;
+        }
         self.object_delivered.insert((host, event.object), now);
         self.ledger
             .record(TraceId(event.id), Hop::PylonDeliver, now, HopOutcome::Ok);
@@ -856,21 +976,26 @@ impl SystemSim {
             Ok(()) => {}
             Err(_) => {
                 self.metrics.quorum_failures.inc();
-                if attempt < 8 {
-                    // CP subscribe failed; BRASS retries with capped
-                    // exponential backoff until quorum returns.
-                    let backoff = SimDuration::from_secs((1u64 << attempt).min(30));
-                    self.queue.schedule(
-                        now + backoff,
-                        Ev::PylonSubscribeExec {
-                            host,
-                            topic,
-                            attempt: attempt + 1,
-                        },
-                    );
-                }
+                // CP subscribe failed; BRASS retries with capped
+                // exponential backoff until quorum returns.
+                self.queue.schedule(
+                    now + Self::quorum_retry_backoff(attempt),
+                    Ev::PylonSubscribeExec {
+                        host,
+                        topic,
+                        attempt: attempt.saturating_add(1),
+                    },
+                );
             }
         }
+    }
+
+    /// Backoff before quorum-subscribe retry `attempt + 1`. The exponent
+    /// is clamped *before* shifting: attempts grow without bound under a
+    /// long partition, and `1u64 << 64` would overflow.
+    fn quorum_retry_backoff(attempt: u32) -> SimDuration {
+        const CAP_SECS: u64 = 30;
+        SimDuration::from_secs((1u64 << attempt.min(5)).min(CAP_SECS))
     }
 
     fn on_was_exec(
@@ -1083,44 +1208,25 @@ impl SystemSim {
         };
         let pop = state.pop;
         let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
-        for effect in fx {
-            match effect {
-                PopEffect::ToProxy {
-                    proxy,
-                    device,
-                    frame,
-                } => {
-                    self.device_proxy.insert(device, proxy as usize);
-                    let d = self.latency.pop_proxy(&mut self.rng);
-                    self.queue.schedule(
-                        now + d,
-                        Ev::AtProxy {
-                            proxy: proxy as usize,
-                            device,
-                            frame,
-                        },
-                    );
-                }
-                PopEffect::ToDevice { device, frame } => {
-                    self.schedule_to_device(now, device, frame, now);
-                }
-                PopEffect::DeviceGone { proxy, device } => {
-                    let fx = self.proxies[proxy as usize].on_device_disconnected(device);
-                    self.process_proxy_effects(now, fx);
-                }
-            }
-        }
+        self.process_pop_effects(now, fx);
     }
 
     fn on_at_proxy(&mut self, now: SimTime, proxy: usize, device: u64, frame: Frame) {
         if proxy >= self.proxies.len() {
             return;
         }
+        if !self.proxy_up[proxy] {
+            // Connection refused: the POP retries through its (repaired)
+            // proxy assignment, modelling the edge's TCP-level failover.
+            let d = self.latency.pop_proxy(&mut self.rng);
+            self.queue.schedule(now + d, Ev::AtPop { device, frame });
+            return;
+        }
         let fx = self.proxies[proxy].on_downstream_frame(device, frame, now.as_micros());
-        self.process_proxy_effects(now, fx);
+        self.process_proxy_effects(now, proxy, fx);
     }
 
-    fn process_proxy_effects(&mut self, now: SimTime, effects: Vec<ProxyEffect>) {
+    fn process_proxy_effects(&mut self, now: SimTime, proxy: usize, effects: Vec<ProxyEffect>) {
         for effect in effects {
             match effect {
                 ProxyEffect::ToBrass {
@@ -1149,12 +1255,35 @@ impl SystemSim {
                         },
                     );
                 }
+                ProxyEffect::PingHost { host, token } => {
+                    self.metrics.hb_pings.inc();
+                    let host = host as usize;
+                    // A dead host never answers; the ping just vanishes.
+                    if host < self.host_up.len() && self.host_up[host] {
+                        let rtt = self.latency.proxy_brass(&mut self.rng) * 2u64;
+                        self.queue
+                            .schedule(now + rtt, Ev::PongFromHost { proxy, host, token });
+                    }
+                }
+                ProxyEffect::HostDown { host } => {
+                    // Heartbeat-detected BRASS death: signal Pylon so the
+                    // dead host's subscriptions are purged (axiom 1). The
+                    // proxy's own stream repair rides in the same batch.
+                    self.metrics.host_failures_detected.inc();
+                    self.pylon.host_failed(HostId(host));
+                }
             }
         }
     }
 
     fn on_at_brass(&mut self, now: SimTime, host: usize, device: u64, frame: Frame) {
         if host >= self.hosts.len() {
+            return;
+        }
+        if !self.host_up[host] {
+            // Frames to a crashed host vanish. Streams routed here stay
+            // broken until a proxy's heartbeats detect the death and
+            // repair them onto a healthy host.
             return;
         }
         let fx = match frame {
@@ -1174,6 +1303,22 @@ impl SystemSim {
             return;
         };
         if proxy >= self.proxies.len() {
+            return;
+        }
+        if !self.proxy_up[proxy] {
+            // Downstream frames through a dead proxy are lost until the
+            // POP re-homes the device's streams onto a live proxy.
+            let traces: Vec<TraceId> = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::HostDown,
+                );
+            }
             return;
         }
         let fx = self.proxies[proxy].on_upstream_frame(device, frame, now.as_micros());
@@ -1229,35 +1374,60 @@ impl SystemSim {
             .collect()
     }
 
+    /// Records a lost delivery and — when the losing stream is known —
+    /// remembers the trace so a later WAS backfill poll (gap detection or
+    /// reconnect) can recover it.
+    fn register_backfill_drop(
+        &mut self,
+        now: SimTime,
+        device: u64,
+        sid: Option<StreamId>,
+        trace: TraceId,
+        hop: Hop,
+        reason: DropReason,
+    ) {
+        self.ledger
+            .record(trace, hop, now, HopOutcome::Dropped(reason));
+        if let Some(sid) = sid {
+            self.pending_backfill
+                .entry((device, sid))
+                .or_default()
+                .push(trace);
+        }
+    }
+
     fn schedule_to_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
         let Some(state) = self.devices.get(&device) else {
             return;
         };
         if !state.connected {
-            // Best effort: frames to disconnected devices vanish.
-            for p in frame.update_payloads() {
-                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
-                    self.ledger.record(
-                        trace,
-                        Hop::BurstDeliver,
-                        now,
-                        HopOutcome::Dropped(DropReason::DeviceDisconnected),
-                    );
-                }
+            // Best effort: frames to disconnected devices vanish (the
+            // traces stay backfill-recoverable after reconnect).
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::DeviceDisconnected,
+                );
             }
             return;
         }
         if self.rng.chance(self.config.last_mile_drop) {
             self.metrics.frames_lost.inc();
-            for p in frame.update_payloads() {
-                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
-                    self.ledger.record(
-                        trace,
-                        Hop::BurstDeliver,
-                        now,
-                        HopOutcome::Dropped(DropReason::LastMileLoss),
-                    );
-                }
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::LastMileLoss,
+                );
             }
             return;
         }
@@ -1287,15 +1457,16 @@ impl SystemSim {
         if !state.connected {
             // The device dropped while the frame was in flight on the last
             // mile.
-            for p in frame.update_payloads() {
-                if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
-                    self.ledger.record(
-                        trace,
-                        Hop::DeviceRender,
-                        now,
-                        HopOutcome::Dropped(DropReason::DeviceDisconnected),
-                    );
-                }
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::DeviceRender,
+                    DropReason::DeviceDisconnected,
+                );
             }
             return;
         }
@@ -1342,9 +1513,24 @@ impl SystemSim {
                         }
                     }
                 }
-                DeviceOutput::Send(_)
-                | DeviceOutput::BackfillPoll { .. }
-                | DeviceOutput::ConnectivityChanged { .. } => {}
+                DeviceOutput::Send(frame) => {
+                    // Protocol replies (pongs, flow-control) go back up.
+                    let link = state.link;
+                    let d = self.latency.last_mile(link, &mut self.rng);
+                    self.queue.schedule(now + d, Ev::AtPop { device, frame });
+                }
+                DeviceOutput::BackfillPoll { sid } => {
+                    // Gap detected: the device polls the WAS directly for
+                    // the window it missed (the paper's at-most-once
+                    // streams push reliability into app-level refetch).
+                    self.metrics.backfill_polls.inc();
+                    let link = state.link;
+                    let d = self.latency.last_mile(link, &mut self.rng)
+                        + self.latency.edge_to_was(&mut self.rng);
+                    self.queue
+                        .schedule(now + d, Ev::WasBackfillExec { device, sid });
+                }
+                DeviceOutput::ConnectivityChanged { .. } => {}
             }
         }
         // Reliable applications acknowledge receipt; the BRASS's retention
@@ -1364,6 +1550,28 @@ impl SystemSim {
         }
     }
 
+    /// The delay before a dropped device's next reconnect attempt: capped
+    /// exponential backoff on its recent drop streak, plus deterministic
+    /// jitter so a mass-disconnect does not come back as one synchronized
+    /// thundering herd.
+    fn reconnect_backoff(&mut self, now: SimTime, device: u64) -> SimDuration {
+        let base = self.config.reconnect_delay;
+        let Some(state) = self.devices.get_mut(&device) else {
+            return base;
+        };
+        // A quiet couple of minutes forgives the streak.
+        if now.saturating_since(state.last_drop_at) > SimDuration::from_secs(120) {
+            state.drop_streak = 0;
+        }
+        let streak = state.drop_streak;
+        state.drop_streak = streak.saturating_add(1);
+        state.last_drop_at = now;
+        let capped_us =
+            (base.as_micros() << streak.min(5)).min(SimDuration::from_secs(60).as_micros());
+        let jitter_us = self.rng.below(capped_us / 2 + 1);
+        SimDuration::from_micros(capped_us + jitter_us)
+    }
+
     fn on_device_drop(&mut self, now: SimTime, device: u64) {
         let Some(state) = self.devices.get_mut(&device) else {
             return;
@@ -1380,11 +1588,39 @@ impl SystemSim {
         for effect in fx {
             if let PopEffect::DeviceGone { proxy, device } = effect {
                 let pfx = self.proxies[proxy as usize].on_device_disconnected(device);
-                self.process_proxy_effects(now, pfx);
+                self.process_proxy_effects(now, proxy as usize, pfx);
             }
         }
+        let backoff = self.reconnect_backoff(now, device);
         self.queue.schedule(
-            now + self.config.reconnect_delay,
+            now + backoff,
+            Ev::DeviceReconnect {
+                device,
+                frames: resubscribes,
+            },
+        );
+    }
+
+    /// A *silent* link death: no FIN reaches the POP, so server-side state
+    /// lingers until POP heartbeats notice (or the device's reconnect
+    /// overwrites it). The device itself notices quickly and reconnects on
+    /// the same backoff schedule as an announced drop.
+    fn on_device_vanish(&mut self, now: SimTime, device: u64) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        state.connected = false;
+        self.metrics.device_vanishes.inc();
+        self.metrics.connection_drops.inc();
+        self.metrics.ts_connection_drops.inc(now);
+        let resubscribes = state.device.on_connection_lost();
+        // Deliberately NO pop/proxy notification here — that's the point.
+        let backoff = self.reconnect_backoff(now, device);
+        self.queue.schedule(
+            now + backoff,
             Ev::DeviceReconnect {
                 device,
                 frames: resubscribes,
@@ -1407,41 +1643,346 @@ impl SystemSim {
             let d = self.latency.last_mile(link, &mut self.rng);
             self.queue.schedule(now + d, Ev::AtPop { device, frame });
         }
+        // Anything lost while the device was away is refetched from the
+        // WAS once the connection is back.
+        let mut missed: Vec<StreamId> = self
+            .pending_backfill
+            .keys()
+            .filter(|&&(d, _)| d == device)
+            .map(|&(_, sid)| sid)
+            .collect();
+        missed.sort_unstable_by_key(|sid| sid.0);
+        for sid in missed {
+            self.metrics.backfill_polls.inc();
+            let d = self.latency.last_mile(link, &mut self.rng)
+                + self.latency.edge_to_was(&mut self.rng);
+            self.queue
+                .schedule(now + d, Ev::WasBackfillExec { device, sid });
+        }
+    }
+
+    /// Executes a device's backfill poll at the WAS: every trace lost on
+    /// the way to this stream that never made it by other means is
+    /// recovered out-of-band.
+    fn on_was_backfill(&mut self, now: SimTime, device: u64, sid: StreamId) {
+        let Some(lost) = self.pending_backfill.remove(&(device, sid)) else {
+            return;
+        };
+        for trace in lost {
+            if self.ledger.is_delivered(trace) || self.ledger.is_backfilled(trace) {
+                continue;
+            }
+            self.metrics.backfills.inc();
+            self.ledger
+                .record(trace, Hop::WasBackfill, now, HopOutcome::Ok);
+        }
+    }
+
+    /// Drops (with attribution) every update recently delivered to a host
+    /// that it may still have been buffering when its in-memory state
+    /// died. Traces that already rendered are left alone; anything else
+    /// gets a `HostDown` drop so the ledger still accounts for it.
+    fn spill_host_buffers(&mut self, now: SimTime, host: usize) {
+        let mut objects: Vec<ObjectId> = self
+            .object_delivered
+            .keys()
+            .filter(|&&(h, _)| h == host)
+            .map(|&(_, o)| o)
+            .collect();
+        objects.sort_unstable_by_key(|o| o.0);
+        for object in objects {
+            if let Some(&trace) = self.object_trace.get(&object) {
+                if self.ledger.is_delivered(trace) || self.ledger.is_backfilled(trace) {
+                    continue;
+                }
+                self.ledger.record(
+                    trace,
+                    Hop::BrassProcess,
+                    now,
+                    HopOutcome::Dropped(DropReason::HostDown),
+                );
+            }
+        }
     }
 
     fn on_brass_upgrade(&mut self, now: SimTime, host: usize) {
         // The host's in-memory stream state is lost; Pylon drops its
         // subscriptions; proxies repair every affected stream elsewhere.
+        // This is the *planned* path: everyone is told immediately.
+        self.spill_host_buffers(now, host);
         let mut fresh = BrassHost::new(HostConfig::small(host as u32));
         fresh.register_standard_apps();
         self.hosts[host] = fresh;
         self.pylon.host_failed(HostId(host as u32));
         let before = self.total_proxy_reconnects();
-        let all_fx: Vec<Vec<ProxyEffect>> = self
-            .proxies
-            .iter_mut()
-            .map(|p| p.on_brass_host_failed(host as u32, now.as_micros()))
-            .collect();
-        for fx in all_fx {
-            self.process_proxy_effects(now, fx);
+        for proxy in 0..self.proxies.len() {
+            if !self.proxy_up[proxy] {
+                continue;
+            }
+            let fx = self.proxies[proxy].on_brass_host_failed(host as u32, now.as_micros());
+            self.process_proxy_effects(now, proxy, fx);
         }
         let delta = self.total_proxy_reconnects() - before;
         self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
+    /// A planned (upgrade) or healed (crash) host rejoins every live
+    /// proxy's routing pool with a fresh heartbeat monitor.
+    fn on_brass_host_back(&mut self, now: SimTime, host: usize) {
+        let before = self.total_proxy_reconnects();
+        for proxy in 0..self.proxies.len() {
+            if !self.proxy_up[proxy] {
+                continue;
+            }
+            let fx = self.proxies[proxy].add_host(host as u32);
+            self.process_proxy_effects(now, proxy, fx);
+        }
+        let delta = self.total_proxy_reconnects() - before;
+        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
+    fn on_brass_crash(&mut self, now: SimTime, host: usize) {
+        if host >= self.hosts.len() || !self.host_up[host] {
+            return;
+        }
+        self.host_up[host] = false;
+        self.metrics.host_crashes.inc();
+        // In-memory state — stream tables, app buffers — dies instantly;
+        // updates the host was still holding are dropped with attribution.
+        self.spill_host_buffers(now, host);
+        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
+        fresh.register_standard_apps();
+        self.hosts[host] = fresh;
+        // Crucially, NOTHING is signalled here: Pylon keeps fanning events
+        // at the corpse and proxies keep routing to it until their
+        // heartbeat monitors cross the miss threshold.
+    }
+
+    fn on_brass_recover(&mut self, now: SimTime, host: usize) {
+        if host >= self.hosts.len() || self.host_up[host] {
+            return;
+        }
+        self.host_up[host] = true;
+        self.on_brass_host_back(now, host);
+    }
+
+    fn on_proxy_outage(&mut self, now: SimTime, proxy: usize) {
+        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
+            return;
+        }
+        self.proxy_up[proxy] = false;
+        self.metrics.proxy_outages.inc();
+        // POPs see the region's connections reset: each drops the proxy
+        // from its pool and repairs affected streams onto survivors
+        // (axiom 2), signalling Degraded/Recovered to devices (axiom 1).
+        for pop in 0..self.pops.len() {
+            let fx = self.pops[pop].on_proxy_failed(proxy as u32);
+            self.process_pop_effects(now, fx);
+        }
+    }
+
+    fn on_proxy_back(&mut self, _now: SimTime, proxy: usize) {
+        if proxy >= self.proxies.len() || self.proxy_up[proxy] {
+            return;
+        }
+        // The proxy restarts empty with the full host roster minus hosts
+        // already known dead; anything that dies later is re-detected by
+        // its fresh heartbeat monitors.
+        let host_ids: Vec<u32> = (0..self.config.brass_hosts).collect();
+        let mut fresh = ReverseProxy::new(proxy as u32, self.config.route_strategy, host_ids)
+            .with_heartbeat(
+                self.config.heartbeat_interval.as_micros(),
+                self.config.heartbeat_misses,
+            );
+        for (h, up) in self.host_up.iter().enumerate() {
+            if !*up {
+                fresh.remove_host(h as u32);
+            }
+        }
+        self.proxies[proxy] = fresh;
+        self.proxy_up[proxy] = true;
+        for pop in self.pops.iter_mut() {
+            pop.add_proxy(proxy as u32);
+        }
+    }
+
+    /// The global heartbeat tick: live proxies ping their BRASS hosts (and
+    /// repair streams off hosts that crossed the miss threshold); POPs
+    /// ping devices when device heartbeats are enabled.
+    fn on_heartbeat_tick(&mut self, now: SimTime) {
+        for proxy in 0..self.proxies.len() {
+            if !self.proxy_up[proxy] {
+                continue;
+            }
+            let before = self.total_proxy_reconnects();
+            let fx = self.proxies[proxy].on_heartbeat_tick(now.as_micros());
+            self.process_proxy_effects(now, proxy, fx);
+            let delta = self.total_proxy_reconnects() - before;
+            if delta > 0 {
+                self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+            }
+        }
+        if self.config.device_heartbeats {
+            for pop in 0..self.pops.len() {
+                let fx = self.pops[pop].on_heartbeat_tick(now.as_micros());
+                self.process_pop_effects(now, fx);
+            }
+        }
+        self.queue
+            .schedule(now + self.config.heartbeat_interval, Ev::HeartbeatTick);
+    }
+
+    /// One availability sample: of all open streams on currently-connected
+    /// devices, the fraction a live BRASS host is serving right now.
+    fn sample_availability(&mut self, now: SimTime) {
+        let mut live: FxHashSet<(u64, StreamId)> = FxHashSet::default();
+        for (h, host) in self.hosts.iter().enumerate() {
+            if self.host_up[h] {
+                live.extend(host.stream_keys());
+            }
+        }
+        let mut open = 0u64;
+        let mut served = 0u64;
+        for (&id, state) in &self.devices {
+            if !state.connected {
+                continue;
+            }
+            for sid in state.device.open_sids() {
+                open += 1;
+                if live.contains(&(id, sid)) {
+                    served += 1;
+                }
+            }
+        }
+        let fraction = if open == 0 {
+            1.0
+        } else {
+            served as f64 / open as f64
+        };
+        self.metrics.record_availability(now, fraction);
     }
 
     fn on_metrics_tick(&mut self, now: SimTime) {
         let active: usize = self.devices.values().map(|d| d.device.open_streams()).sum();
         self.metrics.ts_active_streams.record(now, active as f64);
         let decisions = self.total_decisions();
+        // Saturating: a crashed/upgraded host restarts with zeroed
+        // counters, so the fleet total can move backwards across a tick.
         self.metrics
             .ts_decisions
-            .record(now, (decisions - self.decisions_at_tick) as f64);
+            .record(now, decisions.saturating_sub(self.decisions_at_tick) as f64);
         self.decisions_at_tick = decisions;
         self.last_proxy_reconnects = self.total_proxy_reconnects();
-        // Rotate the attribution map so it cannot grow without bound.
-        self.object_delivered.clear();
+        self.sample_availability(now);
+        // Rotate the attribution map so it cannot grow without bound —
+        // but keep a window covering application buffering horizons, so a
+        // crash can still attribute the updates it takes down with it.
+        const ATTRIBUTION_WINDOW: SimDuration = SimDuration::from_secs(30);
+        self.object_delivered
+            .retain(|_, at| now.saturating_since(*at) <= ATTRIBUTION_WINDOW);
         self.queue
             .schedule(now + self.config.metrics_interval, Ev::MetricsTick);
+    }
+
+    /// Audits post-heal convergence: every connected device's open streams
+    /// are served by a live BRASS host, and the trace ledger accounts for
+    /// every admitted update as delivered, dropped-with-reason, or
+    /// backfilled.
+    pub fn convergence_report(&self) -> crate::fault::ConvergenceReport {
+        let mut live: FxHashSet<(u64, StreamId)> = FxHashSet::default();
+        let mut dead_host_streams = 0u64;
+        for (h, host) in self.hosts.iter().enumerate() {
+            if self.host_up[h] {
+                live.extend(host.stream_keys());
+            } else {
+                dead_host_streams += host.stream_count() as u64;
+            }
+        }
+        let mut ids: Vec<u64> = self.devices.keys().copied().collect();
+        ids.sort_unstable();
+        let mut open_streams = 0u64;
+        let mut connected_devices = 0u64;
+        let mut stranded: Vec<(u64, StreamId)> = Vec::new();
+        for id in ids {
+            let state = &self.devices[&id];
+            if !state.connected {
+                continue;
+            }
+            connected_devices += 1;
+            for sid in state.device.open_sids() {
+                open_streams += 1;
+                if !live.contains(&(id, sid)) {
+                    stranded.push((id, sid));
+                }
+            }
+        }
+        crate::fault::ConvergenceReport {
+            connected_devices,
+            open_streams,
+            stranded,
+            dead_host_streams,
+            delivered: self.ledger.delivered_count(),
+            dropped: self.ledger.total_drops(),
+            backfilled: self.ledger.backfilled_count(),
+            unaccounted: self.ledger.unaccounted(),
+        }
+    }
+
+    /// Shared POP-effect fan-out (frames up to proxies, frames down to
+    /// devices, device-gone teardown at the owning proxy).
+    fn process_pop_effects(&mut self, now: SimTime, effects: Vec<PopEffect>) {
+        for effect in effects {
+            match effect {
+                PopEffect::ToProxy {
+                    proxy,
+                    device,
+                    frame,
+                } => {
+                    self.device_proxy.insert(device, proxy as usize);
+                    let d = self.latency.pop_proxy(&mut self.rng);
+                    self.queue.schedule(
+                        now + d,
+                        Ev::AtProxy {
+                            proxy: proxy as usize,
+                            device,
+                            frame,
+                        },
+                    );
+                }
+                PopEffect::ToDevice { device, frame } => {
+                    self.schedule_to_device(now, device, frame, now);
+                }
+                PopEffect::DeviceGone { proxy, device } => {
+                    let proxy = proxy as usize;
+                    if proxy < self.proxies.len() && self.proxy_up[proxy] {
+                        let pfx = self.proxies[proxy].on_device_disconnected(device);
+                        self.process_proxy_effects(now, proxy, pfx);
+                    }
+                    // The reap can be a false positive: the device is alive
+                    // but its pongs died on a lossy link. The POP has
+                    // already closed the connection under it, so the device
+                    // sees the transport die and reconnects on the normal
+                    // backoff schedule (otherwise it would sit "connected"
+                    // with streams no server knows about, forever).
+                    if let Some(state) = self.devices.get_mut(&device) {
+                        if state.connected {
+                            state.connected = false;
+                            self.metrics.connection_drops.inc();
+                            self.metrics.ts_connection_drops.inc(now);
+                            let resubscribes = state.device.on_connection_lost();
+                            let backoff = self.reconnect_backoff(now, device);
+                            self.queue.schedule(
+                                now + backoff,
+                                Ev::DeviceReconnect {
+                                    device,
+                                    frames: resubscribes,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1451,6 +1992,17 @@ mod tests {
 
     fn sim() -> SystemSim {
         SystemSim::new(SystemConfig::small(), 7)
+    }
+
+    #[test]
+    fn quorum_retry_backoff_is_capped_at_any_attempt() {
+        // Early attempts double; later attempts clamp at the cap instead
+        // of shifting past 63 bits (attempt 64+ would have overflowed).
+        let secs: Vec<u64> = [0u32, 1, 2, 3, 4, 5, 6, 8, 63, 64, 1_000, u32::MAX]
+            .iter()
+            .map(|&a| SystemSim::quorum_retry_backoff(a).as_secs())
+            .collect();
+        assert_eq!(secs, vec![1, 2, 4, 8, 16, 30, 30, 30, 30, 30, 30, 30]);
     }
 
     #[test]

@@ -41,6 +41,51 @@ fn same_seed_reproduces_metrics_and_ledger_exactly() {
     assert_eq!(l1, l2, "the full ledgers must be bit-identical");
 }
 
+/// A chaos scenario: the canned fault plan (itself seeded) on top of a
+/// steady workload — heartbeat detection, stream repair, reconnect
+/// backoff with jitter, and WAS backfill all replay from the one seed.
+fn chaos_scenario(seed: u64) -> (SystemMetrics, TraceLedger, bladerunner::fault::FaultPlan) {
+    let mut config = SystemConfig::small();
+    config.metrics_interval = simkit::time::SimDuration::from_secs(2);
+    config.metrics_horizon = simkit::time::SimDuration::from_hours(1);
+    let mut s = SystemSim::new(config.clone(), seed);
+    let video = s.was_mut().create_video("chaos-replay");
+    let poster = s.create_user_device("poster", "en");
+    let viewers: Vec<u64> = (0..8)
+        .map(|i| s.create_user_device(&format!("v{i}"), "en"))
+        .collect();
+    for &v in &viewers {
+        s.subscribe_lvc(SimTime::ZERO, v, video);
+    }
+    let mut plan_rng = s.rng_mut().fork(0xFA);
+    let plan =
+        bladerunner::fault::canned_plan(SimTime::from_secs(20), &config, &viewers, &mut plan_rng);
+    plan.apply(&mut s);
+    for i in 0..18 {
+        s.post_comment(
+            SimTime::from_secs(5 + i * 15),
+            poster,
+            video,
+            &format!("chaos comment {i}"),
+        );
+    }
+    let end = plan.heal_time() + simkit::time::SimDuration::from_secs(45);
+    s.run_until(end);
+    (s.metrics().clone(), s.trace_ledger().clone(), plan)
+}
+
+#[test]
+fn same_seed_and_fault_plan_replay_bit_identically() {
+    let (m1, l1, p1) = chaos_scenario(1234);
+    let (m2, l2, p2) = chaos_scenario(1234);
+    assert_eq!(p1, p2, "the compiled fault timeline must be identical");
+    assert_eq!(
+        m1, m2,
+        "metrics (incl. availability timeline) must replay exactly"
+    );
+    assert_eq!(l1, l2, "the ledgers must be bit-identical under faults");
+}
+
 #[test]
 fn different_seed_diverges() {
     let (m1, l1) = lvc_scenario(42);

@@ -183,6 +183,24 @@ impl BrassHost {
         self.streams.len()
     }
 
+    /// The `(device, sid)` keys of every active stream, sorted. Used by the
+    /// chaos convergence checker and availability sampling to ask which
+    /// subscriptions a host is actually serving.
+    pub fn stream_keys(&self) -> Vec<(u64, StreamId)> {
+        let mut keys: Vec<(u64, StreamId)> =
+            self.streams.keys().map(|k| (k.device.0, k.sid)).collect();
+        keys.sort_unstable_by_key(|&(d, s)| (d, s.0));
+        keys
+    }
+
+    /// Whether this host serves the given stream.
+    pub fn has_stream(&self, device: u64, sid: StreamId) -> bool {
+        self.streams.contains_key(&StreamKey {
+            device: DeviceId(device),
+            sid,
+        })
+    }
+
     /// Host counters.
     pub fn counters(&self) -> &HostCounters {
         &self.counters

@@ -61,6 +61,28 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
     ]
 }
 
+/// A failure-path frame: exactly the repair signalling that flows during
+/// fault episodes — degraded/recovered flow status, sticky-routing
+/// rewrites, and redirect/shutdown terminations.
+fn arb_failure_frame() -> impl Strategy<Value = Frame> {
+    let failure_delta = prop_oneof![
+        Just(Delta::FlowStatus(FlowStatus::Degraded)),
+        Just(Delta::FlowStatus(FlowStatus::Recovered)),
+        ("[a-z]{1,8}", any::<u64>()).prop_map(|(k, host)| Delta::RewriteRequest {
+            patch: Json::obj([(k, Json::from(host))]),
+        }),
+        Just(Delta::Terminate(TerminateReason::Redirect)),
+        Just(Delta::Terminate(TerminateReason::ServerShutdown)),
+        Just(Delta::Terminate(TerminateReason::Error)),
+    ];
+    (any::<u64>(), proptest::collection::vec(failure_delta, 1..5)).prop_map(|(sid, batch)| {
+        Frame::Response {
+            sid: StreamId(sid),
+            batch,
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -110,6 +132,64 @@ proptest! {
         for _ in 0..frames.len() + 2 {
             match dec.next_frame() {
                 Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Truncation at EVERY byte boundary: a prefix of encoded failure
+    /// frames decodes to an exact prefix of the original sequence (never
+    /// an error, never an invented frame), and feeding the remainder
+    /// completes the stream exactly.
+    #[test]
+    fn truncated_failure_frames_resume_exactly(
+        frames in proptest::collection::vec(arb_failure_frame(), 1..4),
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        for cut in 0..wire.len() {
+            let mut dec = Decoder::new();
+            dec.feed(&wire[..cut]);
+            let mut got = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            prop_assert!(got.len() < frames.len(), "a strict prefix cannot finish");
+            prop_assert_eq!(&frames[..got.len()], &got[..]);
+            dec.feed(&wire[cut..]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            prop_assert_eq!(&got[..], &frames[..]);
+        }
+    }
+
+    /// Corrupting one byte of failure-path signalling never panics the
+    /// decoder, and whatever frames still decode re-encode cleanly (no
+    /// structurally-broken frame escapes the codec).
+    #[test]
+    fn corrupted_failure_frames_fail_closed(
+        frames in proptest::collection::vec(arb_failure_frame(), 1..4),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let idx = flip_at % wire.len();
+        wire[idx] ^= flip_bits;
+        let mut dec = Decoder::new();
+        dec.feed(&wire);
+        for _ in 0..frames.len() + 2 {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    let mut reenc = BytesMut::new();
+                    encode_frame(&frame, &mut reenc);
+                    prop_assert!(!reenc.is_empty());
+                }
                 Ok(None) | Err(_) => break,
             }
         }

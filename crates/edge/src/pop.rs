@@ -184,7 +184,14 @@ impl Pop {
     pub fn on_heartbeat_tick(&mut self, now_us: u64) -> Vec<PopEffect> {
         let mut out = Vec::new();
         let mut dead = Vec::new();
-        for (&device, hb) in &mut self.heartbeats {
+        // Stable (sorted) iteration: effect order must not depend on hash
+        // order, or simulations lose run-to-run determinism.
+        let mut monitored: Vec<u64> = self.heartbeats.keys().copied().collect();
+        monitored.sort_unstable();
+        for device in monitored {
+            let Some(hb) = self.heartbeats.get_mut(&device) else {
+                continue;
+            };
             if let Some(ping) = hb.on_tick(now_us) {
                 out.push(PopEffect::ToDevice {
                     device,
@@ -195,7 +202,6 @@ impl Pop {
                 dead.push(device);
             }
         }
-        dead.sort_unstable();
         for device in dead {
             out.extend(self.on_device_disconnected(device));
         }

@@ -15,8 +15,14 @@
 use std::collections::HashMap;
 
 use burst::frame::{Delta, FlowStatus, Frame, StreamId};
+use burst::heartbeat::{HeartbeatMonitor, PeerHealth};
 use burst::json::Json;
 use burst::stream::ProxyStreamTable;
+
+/// Default microseconds between proxy→BRASS heartbeat pings.
+pub const HOST_HEARTBEAT_INTERVAL_US: u64 = 5_000_000;
+/// Default unanswered pings before a BRASS host is declared dead.
+pub const HOST_HEARTBEAT_MISSES: u32 = 3;
 
 /// How the proxy picks a BRASS host for a fresh (non-sticky) subscribe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +53,19 @@ pub enum ProxyEffect {
         /// The frame.
         frame: Frame,
     },
+    /// Send a heartbeat ping to a BRASS host (§4 footnote 11).
+    PingHost {
+        /// Target host.
+        host: u32,
+        /// Ping token (echoed back in the pong).
+        token: u64,
+    },
+    /// This proxy's heartbeat monitor declared a BRASS host dead. Emitted
+    /// once per (proxy, failure), right before the repair effects.
+    HostDown {
+        /// The dead host.
+        host: u32,
+    },
 }
 
 /// Proxy counters (Fig. 10 bottom: proxy-induced stream reconnects).
@@ -68,6 +87,11 @@ pub struct ReverseProxy {
     host_loads: HashMap<u32, u64>,
     table: ProxyStreamTable,
     counters: ProxyCounters,
+    /// One heartbeat monitor per host in the routing pool: the proxy's only
+    /// way of learning that a host died unplanned (no omniscient teardown).
+    heartbeats: HashMap<u32, HeartbeatMonitor>,
+    hb_interval_us: u64,
+    hb_misses: u32,
 }
 
 impl ReverseProxy {
@@ -82,10 +106,38 @@ impl ReverseProxy {
             id,
             strategy,
             host_loads: hosts.iter().map(|&h| (h, 0)).collect(),
+            heartbeats: hosts
+                .iter()
+                .map(|&h| {
+                    (
+                        h,
+                        HeartbeatMonitor::new(HOST_HEARTBEAT_INTERVAL_US, HOST_HEARTBEAT_MISSES),
+                    )
+                })
+                .collect(),
+            hb_interval_us: HOST_HEARTBEAT_INTERVAL_US,
+            hb_misses: HOST_HEARTBEAT_MISSES,
             hosts,
             table: ProxyStreamTable::new(),
             counters: ProxyCounters::default(),
         }
+    }
+
+    /// Overrides the heartbeat cadence (builder-style; recreates the
+    /// per-host monitors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_us` or `misses` is zero.
+    pub fn with_heartbeat(mut self, interval_us: u64, misses: u32) -> Self {
+        self.hb_interval_us = interval_us;
+        self.hb_misses = misses;
+        self.heartbeats = self
+            .hosts
+            .iter()
+            .map(|&h| (h, HeartbeatMonitor::new(interval_us, misses)))
+            .collect();
+        self
     }
 
     /// This proxy's id.
@@ -107,6 +159,7 @@ impl ReverseProxy {
     pub fn remove_host(&mut self, host: u32) {
         self.hosts.retain(|&h| h != host);
         self.host_loads.remove(&host);
+        self.heartbeats.remove(&host);
     }
 
     /// Adds a (possibly recovered) host to the routing pool and repairs any
@@ -118,6 +171,9 @@ impl ReverseProxy {
             self.hosts.push(host);
             self.host_loads.insert(host, 0);
         }
+        self.heartbeats
+            .entry(host)
+            .or_insert_with(|| HeartbeatMonitor::new(self.hb_interval_us, self.hb_misses));
         let live: Vec<u64> = self.hosts.iter().map(|&h| h as u64).collect();
         let orphans = self.table.streams_not_via(&live);
         let mut out = Vec::new();
@@ -140,6 +196,42 @@ impl ReverseProxy {
             }
         }
         out
+    }
+
+    /// Drives heartbeat-based failure detection (§4 footnote 11): emits a
+    /// ping per host whose interval elapsed, and — for hosts whose miss
+    /// threshold was crossed — a [`ProxyEffect::HostDown`] marker followed
+    /// by the stream-repair effects of
+    /// [`on_brass_host_failed`](Self::on_brass_host_failed). This is the
+    /// only path by which a proxy learns of an unplanned host crash.
+    pub fn on_heartbeat_tick(&mut self, now_us: u64) -> Vec<ProxyEffect> {
+        let mut pool: Vec<u32> = self.hosts.clone();
+        pool.sort_unstable();
+        let mut out = Vec::new();
+        let mut dead = Vec::new();
+        for host in pool {
+            let Some(hb) = self.heartbeats.get_mut(&host) else {
+                continue;
+            };
+            if let Some(Frame::Ping { token }) = hb.on_tick(now_us) {
+                out.push(ProxyEffect::PingHost { host, token });
+            }
+            if hb.health() == PeerHealth::Failed {
+                dead.push(host);
+            }
+        }
+        for host in dead {
+            out.push(ProxyEffect::HostDown { host });
+            out.extend(self.on_brass_host_failed(host, now_us));
+        }
+        out
+    }
+
+    /// Handles a heartbeat pong from a BRASS host.
+    pub fn on_host_pong(&mut self, host: u32, token: u64) {
+        if let Some(hb) = self.heartbeats.get_mut(&host) {
+            hb.on_pong(token);
+        }
     }
 
     fn pick_host(&self, header: &Json) -> u32 {
@@ -560,5 +652,94 @@ mod tests {
         let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]);
         let fx = p.on_downstream_frame(1, Frame::Cancel { sid: StreamId(9) }, 0);
         assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_tick_pings_every_host() {
+        let mut p =
+            ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]).with_heartbeat(1_000, 3);
+        let fx = p.on_heartbeat_tick(1_000);
+        let pinged: Vec<u32> = fx
+            .iter()
+            .filter_map(|e| match e {
+                ProxyEffect::PingHost { host, .. } => Some(*host),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pinged, vec![10, 11]);
+    }
+
+    #[test]
+    fn silent_host_is_detected_and_streams_repaired() {
+        let mut p =
+            ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]).with_heartbeat(1_000, 3);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0); // → 10
+        for t in 1..=4u64 {
+            let fx = p.on_heartbeat_tick(t * 1_000);
+            // Host 11 answers its pings; host 10 stays silent.
+            for e in &fx {
+                if let ProxyEffect::PingHost { host: 11, token } = e {
+                    p.on_host_pong(11, *token);
+                }
+            }
+            if t < 4 {
+                assert!(
+                    !fx.iter().any(|e| matches!(e, ProxyEffect::HostDown { .. })),
+                    "not declared dead before the miss threshold (t={t})"
+                );
+            } else {
+                // Miss threshold crossed: HostDown, then degraded →
+                // resubscribe-to-11 → recovered repair effects.
+                assert!(fx.contains(&ProxyEffect::HostDown { host: 10 }));
+                assert!(fx.iter().any(|e| matches!(
+                    e,
+                    ProxyEffect::ToBrass {
+                        host: 11,
+                        device: 1,
+                        frame: Frame::Subscribe { .. }
+                    }
+                )));
+            }
+        }
+        assert_eq!(p.counters().induced_reconnects, 1);
+    }
+
+    #[test]
+    fn responsive_hosts_are_never_declared_dead() {
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]).with_heartbeat(1_000, 3);
+        for t in 1..=20u64 {
+            let fx = p.on_heartbeat_tick(t * 1_000);
+            for e in &fx {
+                assert!(!matches!(e, ProxyEffect::HostDown { .. }));
+                if let ProxyEffect::PingHost { host, token } = e {
+                    p.on_host_pong(*host, *token);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn readded_host_gets_a_fresh_monitor() {
+        let mut p =
+            ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10, 11]).with_heartbeat(1_000, 3);
+        for t in 1..=4u64 {
+            for e in p.on_heartbeat_tick(t * 1_000) {
+                if let ProxyEffect::PingHost { host: 11, token } = e {
+                    p.on_host_pong(11, token);
+                }
+            }
+        }
+        // Host 10 is gone from the pool; ticks stop mentioning it.
+        let fx = p.on_heartbeat_tick(5_000);
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, ProxyEffect::PingHost { host: 10, .. })));
+        // It recovers: pings resume and it is not instantly re-failed.
+        p.add_host(10);
+        let fx = p.on_heartbeat_tick(6_000);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, ProxyEffect::PingHost { host: 10, .. })));
+        assert!(!fx.iter().any(|e| matches!(e, ProxyEffect::HostDown { .. })));
     }
 }

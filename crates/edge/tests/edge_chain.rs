@@ -108,6 +108,7 @@ fn brass_failure_ripples_degraded_and_recovered_to_device() {
                 }
             }
             ProxyEffect::ToBrass { host, .. } => resubscribed_to = Some(host),
+            _ => {}
         }
     }
     assert!(device_outputs.contains(&DeviceOutput::ConnectivityChanged { degraded: true }));

@@ -300,7 +300,7 @@ impl TimeSeries {
 
 /// Summary statistics extracted from a [`Histogram`], printable as a table
 /// row.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,

@@ -13,9 +13,24 @@
 //! Records are append-only and fully deterministic: two runs from the same
 //! seed produce bit-identical ledgers, which the determinism regression
 //! tests rely on.
+//!
+//! # Retention
+//!
+//! A ledger runs in one of two [`Retention`] modes. [`Retention::Full`]
+//! (the default, what `trace-dump` wants) keeps every record and a
+//! per-trace index, so full chains can be reconstructed — O(records)
+//! memory. [`Retention::Bounded`] keeps only a fixed-size ring of the most
+//! recent records plus compact per-trace accounting state (delivered /
+//! first drop / backfilled, first and last timestamps) and folds latencies
+//! into histograms on the fly, so bench-scale chaos runs don't blow peak
+//! RSS. Accounting queries ([`TraceLedger::is_delivered`],
+//! [`TraceLedger::drop_of`], [`TraceLedger::unaccounted`], the drop table,
+//! hop summaries, e2e latency summary) answer identically in both modes;
+//! only full-chain reconstruction degrades to the retained ring.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::metrics::{Histogram, Summary};
@@ -49,6 +64,9 @@ pub enum Hop {
     BurstDeliver,
     /// The device received and rendered the update.
     DeviceRender,
+    /// The device recovered a previously lost update by polling the WAS
+    /// (gap-detection backfill, §5).
+    WasBackfill,
 }
 
 impl Hop {
@@ -62,6 +80,7 @@ impl Hop {
             Hop::BrassSend => "brass_send",
             Hop::BurstDeliver => "burst_deliver",
             Hop::DeviceRender => "device_render",
+            Hop::WasBackfill => "was_backfill",
         }
     }
 }
@@ -96,6 +115,9 @@ pub enum DropReason {
     DeviceDisconnected,
     /// The frame was lost on the last mile.
     LastMileLoss,
+    /// The target BRASS host was down (crashed or mid-upgrade); anything
+    /// addressed to it — or buffered inside it — died with it.
+    HostDown,
 }
 
 impl DropReason {
@@ -112,6 +134,7 @@ impl DropReason {
             DropReason::NoSubscribers => "no_subscribers",
             DropReason::DeviceDisconnected => "device_disconnected",
             DropReason::LastMileLoss => "last_mile_loss",
+            DropReason::HostDown => "host_down",
         }
     }
 }
@@ -165,6 +188,32 @@ impl fmt::Display for HopRecord {
     }
 }
 
+/// How much raw record history a [`TraceLedger`] keeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep every record and a per-trace index (full chains forever).
+    #[default]
+    Full,
+    /// Keep a ring of at most this many recent records; per-trace state is
+    /// folded into compact accounting entries and histograms on the fly.
+    Bounded(usize),
+}
+
+/// Compact always-on accounting state for one trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TraceState {
+    /// When the trace's first record landed (e2e latency origin).
+    first_at: SimTime,
+    /// When the trace's latest record landed (per-hop latency origin).
+    last_at: SimTime,
+    /// Rendered on at least one device.
+    delivered: bool,
+    /// Recovered via a WAS backfill poll after a loss.
+    backfilled: bool,
+    /// The first drop recorded, if any.
+    first_drop: Option<(Hop, DropReason)>,
+}
+
 /// The central append-only hop ledger of a simulation run.
 ///
 /// # Examples
@@ -183,110 +232,207 @@ impl fmt::Display for HopRecord {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceLedger {
+    retention: Retention,
+    /// Every record in append order ([`Retention::Full`] only).
     records: Vec<HopRecord>,
-    /// Indices into `records`, per trace, in append order.
+    /// Indices into `records`, per trace ([`Retention::Full`] only).
     by_trace: HashMap<TraceId, Vec<u32>>,
+    /// Ring of the most recent records ([`Retention::Bounded`] only).
+    recent: VecDeque<HopRecord>,
+    /// Compact per-trace accounting, maintained in both modes.
+    states: HashMap<TraceId, TraceState>,
     /// Latency from the previous hop of the same trace to this hop (ms).
     hop_latency: BTreeMap<Hop, Histogram>,
     /// (hop, reason) → updates killed there.
     drops: BTreeMap<(Hop, DropReason), u64>,
-    /// Completed deliveries: (trace, end-to-end latency), in render order.
+    /// Completed deliveries: (trace, end-to-end latency), in render order
+    /// ([`Retention::Full`] only — use [`Self::e2e_histogram`] otherwise).
     delivered: Vec<(TraceId, SimDuration)>,
+    /// End-to-end latency of every delivery (ms), both modes.
+    e2e: Histogram,
+    /// Total successful renders (first per trace), both modes.
+    delivered_count: u64,
 }
 
 impl TraceLedger {
-    /// Creates an empty ledger.
+    /// Creates an empty full-retention ledger.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty ledger with the given retention mode.
+    pub fn with_retention(retention: Retention) -> Self {
+        TraceLedger {
+            retention,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a bounded ledger retaining at most `recent` raw records.
+    pub fn bounded(recent: usize) -> Self {
+        Self::with_retention(Retention::Bounded(recent))
+    }
+
+    /// This ledger's retention mode.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
     /// Appends one hop record, updating the per-hop latency histogram (the
     /// time since the trace's previous record) and, on a
-    /// [`Hop::DeviceRender`] success, the delivery list.
+    /// [`Hop::DeviceRender`] success, the delivery accounting.
     pub fn record(&mut self, trace_id: TraceId, hop: Hop, at: SimTime, outcome: HopOutcome) {
-        let idx = self.records.len() as u32;
-        let entries = self.by_trace.entry(trace_id).or_default();
-        if let Some(&prev) = entries.last() {
-            let prev_at = self.records[prev as usize].at;
+        if let Some(st) = self.states.get(&trace_id) {
             self.hop_latency
                 .entry(hop)
                 .or_default()
-                .record(at.saturating_since(prev_at).as_millis_f64());
+                .record(at.saturating_since(st.last_at).as_millis_f64());
         }
         if let HopOutcome::Dropped(reason) = outcome {
             *self.drops.entry((hop, reason)).or_insert(0) += 1;
         }
+        let st = self.states.entry(trace_id).or_insert(TraceState {
+            first_at: at,
+            last_at: at,
+            delivered: false,
+            backfilled: false,
+            first_drop: None,
+        });
+        if let HopOutcome::Dropped(reason) = outcome {
+            if st.first_drop.is_none() {
+                st.first_drop = Some((hop, reason));
+            }
+        }
         if hop == Hop::DeviceRender && outcome == HopOutcome::Ok {
-            if let Some(&first) = entries.first() {
-                let e2e = at.saturating_since(self.records[first as usize].at);
+            let e2e = at.saturating_since(st.first_at);
+            self.e2e.record(e2e.as_millis_f64());
+            self.delivered_count += 1;
+            st.delivered = true;
+            if self.retention == Retention::Full {
                 self.delivered.push((trace_id, e2e));
             }
         }
-        entries.push(idx);
-        self.records.push(HopRecord {
+        if hop == Hop::WasBackfill && outcome == HopOutcome::Ok {
+            st.backfilled = true;
+        }
+        st.last_at = at;
+        let rec = HopRecord {
             trace_id,
             hop,
             at,
             outcome,
-        });
+        };
+        match self.retention {
+            Retention::Full => {
+                let idx = self.records.len() as u32;
+                self.by_trace.entry(trace_id).or_default().push(idx);
+                self.records.push(rec);
+            }
+            Retention::Bounded(cap) => {
+                self.recent.push_back(rec);
+                while self.recent.len() > cap {
+                    self.recent.pop_front();
+                }
+            }
+        }
     }
 
-    /// All records, in append order.
+    /// All records, in append order. Empty in [`Retention::Bounded`] mode —
+    /// see [`Self::recent_records`] for the retained ring.
     pub fn records(&self) -> &[HopRecord] {
         &self.records
     }
 
-    /// Number of distinct traces seen.
-    pub fn trace_count(&self) -> usize {
-        self.by_trace.len()
+    /// The retained ring of most recent records ([`Retention::Bounded`]
+    /// mode; empty under [`Retention::Full`], where [`Self::records`] has
+    /// everything).
+    pub fn recent_records(&self) -> impl Iterator<Item = &HopRecord> {
+        self.recent.iter()
     }
 
-    /// The hop chain of one trace, in order.
+    /// Number of distinct traces seen.
+    pub fn trace_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The hop chain of one trace, in order. Under [`Retention::Bounded`]
+    /// this is only the part still inside the retained ring.
     pub fn chain(&self, trace_id: TraceId) -> Vec<HopRecord> {
-        self.by_trace
-            .get(&trace_id)
-            .map(|idxs| idxs.iter().map(|&i| self.records[i as usize]).collect())
-            .unwrap_or_default()
+        match self.retention {
+            Retention::Full => self
+                .by_trace
+                .get(&trace_id)
+                .map(|idxs| idxs.iter().map(|&i| self.records[i as usize]).collect())
+                .unwrap_or_default(),
+            Retention::Bounded(_) => self
+                .recent
+                .iter()
+                .filter(|r| r.trace_id == trace_id)
+                .copied()
+                .collect(),
+        }
     }
 
     /// All trace ids, ascending.
     pub fn trace_ids(&self) -> Vec<TraceId> {
-        let mut ids: Vec<TraceId> = self.by_trace.keys().copied().collect();
+        let mut ids: Vec<TraceId> = self.states.keys().copied().collect();
         ids.sort();
         ids
     }
 
     /// Whether the trace rendered on at least one device.
     pub fn is_delivered(&self, trace_id: TraceId) -> bool {
-        self.chain(trace_id)
-            .iter()
-            .any(|r| r.hop == Hop::DeviceRender && r.outcome == HopOutcome::Ok)
+        self.states.get(&trace_id).is_some_and(|s| s.delivered)
+    }
+
+    /// Whether the trace was recovered via WAS backfill after a loss.
+    pub fn is_backfilled(&self, trace_id: TraceId) -> bool {
+        self.states.get(&trace_id).is_some_and(|s| s.backfilled)
     }
 
     /// The first drop recorded for a trace, if any.
     pub fn drop_of(&self, trace_id: TraceId) -> Option<(Hop, DropReason)> {
-        self.chain(trace_id).iter().find_map(|r| match r.outcome {
-            HopOutcome::Dropped(reason) => Some((r.hop, reason)),
-            HopOutcome::Ok => None,
-        })
+        self.states.get(&trace_id).and_then(|s| s.first_drop)
     }
 
-    /// Traces that neither rendered anywhere nor have a drop record — an
-    /// update the ledger lost track of (or one still in flight when the run
-    /// stopped). The complete-accounting tests assert this is empty.
+    /// Traces that neither rendered anywhere nor have a drop record nor
+    /// were backfilled — an update the ledger lost track of (or one still
+    /// in flight when the run stopped). The complete-accounting tests and
+    /// the chaos convergence checker assert this is empty.
     pub fn unaccounted(&self) -> Vec<TraceId> {
-        self.trace_ids()
-            .into_iter()
-            .filter(|&t| !self.is_delivered(t) && self.drop_of(t).is_none())
-            .collect()
+        let mut ids: Vec<TraceId> = self
+            .states
+            .iter()
+            .filter(|(_, s)| !s.delivered && !s.backfilled && s.first_drop.is_none())
+            .map(|(&t, _)| t)
+            .collect();
+        ids.sort();
+        ids
     }
 
-    /// Completed deliveries as `(trace, end-to-end latency)`, render order.
+    /// Completed deliveries as `(trace, end-to-end latency)`, render order
+    /// ([`Retention::Full`] only; empty when bounded).
     pub fn deliveries(&self) -> &[(TraceId, SimDuration)] {
         &self.delivered
     }
 
+    /// Total successful renders (first render per trace), both modes.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Traces recovered by WAS backfill, both modes.
+    pub fn backfilled_count(&self) -> u64 {
+        self.states.values().filter(|s| s.backfilled).count() as u64
+    }
+
+    /// The end-to-end delivery latency histogram (ms), both modes.
+    pub fn e2e_histogram(&self) -> &Histogram {
+        &self.e2e
+    }
+
     /// The `n` slowest deliveries, slowest first (ties: lower trace first).
+    /// [`Retention::Full`] only; empty when bounded.
     pub fn slowest(&self, n: usize) -> Vec<(TraceId, SimDuration)> {
         let mut all = self.delivered.clone();
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -349,6 +495,9 @@ impl TraceLedger {
             }
             (false, Some((hop, reason))) => {
                 out.push_str(&format!("  dropped at {hop}: {reason}\n"));
+                if self.is_backfilled(trace_id) {
+                    out.push_str("  recovered via was_backfill\n");
+                }
             }
             (false, None) => out.push_str("  still in flight\n"),
         }
@@ -376,6 +525,8 @@ mod tests {
         l.record(t, Hop::DeviceRender, ms(100), HopOutcome::Ok);
         assert!(l.is_delivered(t));
         assert_eq!(l.deliveries(), &[(t, SimDuration::from_millis(100))]);
+        assert_eq!(l.delivered_count(), 1);
+        assert_eq!(l.e2e_histogram().count(), 1);
         // Per-hop latencies sum to the end-to-end latency.
         let chain = l.chain(t);
         let sum: f64 = chain
@@ -453,6 +604,26 @@ mod tests {
     }
 
     #[test]
+    fn backfill_marks_trace_recovered() {
+        let mut l = TraceLedger::new();
+        let t = TraceId(4);
+        l.record(t, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(
+            t,
+            Hop::BurstDeliver,
+            ms(8),
+            HopOutcome::Dropped(DropReason::LastMileLoss),
+        );
+        assert!(!l.is_backfilled(t));
+        l.record(t, Hop::WasBackfill, ms(30), HopOutcome::Ok);
+        assert!(l.is_backfilled(t));
+        assert_eq!(l.backfilled_count(), 1);
+        assert!(l.unaccounted().is_empty());
+        let text = l.format_chain(t);
+        assert!(text.contains("recovered via was_backfill"));
+    }
+
+    #[test]
     fn slowest_orders_descending() {
         let mut l = TraceLedger::new();
         for (id, e2e) in [(1u64, 50u64), (2, 200), (3, 120)] {
@@ -500,5 +671,64 @@ mod tests {
         };
         assert_eq!(build(0), build(0));
         assert_ne!(build(0), build(1));
+    }
+
+    /// Bounded and full ledgers fed the same history agree on every
+    /// accounting query; only raw-record retention differs.
+    #[test]
+    fn bounded_ledger_accounts_like_full() {
+        let mut full = TraceLedger::new();
+        let mut bounded = TraceLedger::bounded(4);
+        for l in [&mut full, &mut bounded] {
+            for id in 0..10u64 {
+                let t = TraceId(id);
+                l.record(t, Hop::TaoCommit, ms(id), HopOutcome::Ok);
+                l.record(t, Hop::PylonPublish, ms(id + 2), HopOutcome::Ok);
+                if id % 3 == 0 {
+                    l.record(
+                        t,
+                        Hop::BurstDeliver,
+                        ms(id + 5),
+                        HopOutcome::Dropped(DropReason::LastMileLoss),
+                    );
+                    l.record(t, Hop::WasBackfill, ms(id + 40), HopOutcome::Ok);
+                } else {
+                    l.record(t, Hop::DeviceRender, ms(id + 7), HopOutcome::Ok);
+                }
+            }
+        }
+        assert_eq!(full.trace_count(), bounded.trace_count());
+        assert_eq!(full.trace_ids(), bounded.trace_ids());
+        assert_eq!(full.delivered_count(), bounded.delivered_count());
+        assert_eq!(full.backfilled_count(), bounded.backfilled_count());
+        assert_eq!(full.drop_table(), bounded.drop_table());
+        assert_eq!(full.hop_summaries(), bounded.hop_summaries());
+        assert_eq!(full.e2e_histogram(), bounded.e2e_histogram());
+        assert_eq!(full.unaccounted(), bounded.unaccounted());
+        for id in 0..10u64 {
+            let t = TraceId(id);
+            assert_eq!(full.is_delivered(t), bounded.is_delivered(t));
+            assert_eq!(full.drop_of(t), bounded.drop_of(t));
+            assert_eq!(full.is_backfilled(t), bounded.is_backfilled(t));
+        }
+        // Raw history: full keeps everything, bounded keeps the ring.
+        assert_eq!(full.records().len(), 34);
+        assert!(bounded.records().is_empty());
+        assert_eq!(bounded.recent_records().count(), 4);
+        let last = bounded.recent_records().last().unwrap();
+        assert_eq!(last.trace_id, TraceId(9));
+    }
+
+    #[test]
+    fn bounded_chain_is_partial_but_recent() {
+        let mut l = TraceLedger::bounded(2);
+        let t = TraceId(5);
+        l.record(t, Hop::TaoCommit, ms(0), HopOutcome::Ok);
+        l.record(t, Hop::PylonPublish, ms(1), HopOutcome::Ok);
+        l.record(t, Hop::DeviceRender, ms(2), HopOutcome::Ok);
+        let chain = l.chain(t);
+        assert_eq!(chain.len(), 2, "ring holds only the last two records");
+        assert_eq!(chain[1].hop, Hop::DeviceRender);
+        assert!(l.is_delivered(t), "accounting survives ring eviction");
     }
 }
