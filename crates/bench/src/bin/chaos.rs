@@ -2,7 +2,9 @@
 //! timeline, per-episode recovery times, and the post-heal convergence
 //! audit as the pass/fail gate.
 //!
-//! Run: `cargo run --release -p bench --bin chaos [--devices N] [--out F]`
+//! Run: `cargo run --release -p bench --bin chaos [--devices N]
+//! [--shards W] [--out F]` — `--shards` sets the worker-thread count for
+//! the sharded executor; results are bit-identical at any value.
 //!
 //! The plan covers all six fault kinds (unplanned BRASS crash, rolling
 //! upgrade wave, minority + majority Pylon partitions, proxy outage,
@@ -58,10 +60,14 @@ fn main() {
     let videos: usize = arg_or("--videos", (devices / 500).max(1));
     let seed: u64 = arg_or("--seed", 42);
     let grace_secs: u64 = arg_or("--grace", 60);
+    let shards: usize = arg_or("--shards", 1);
     let out: String = arg_or("--out", "BENCH_PR3.json".to_string());
 
     let config = chaos_config();
     let mut sim = SystemSim::new(config.clone(), seed);
+    // Worker threads executing the logical shards. Results are identical
+    // at any value; only wall-clock changes.
+    sim.set_workers(shards);
 
     // Fixture: live videos with the audience scattered across them,
     // subscribes spread over the first five simulated seconds.
@@ -202,6 +208,7 @@ fn main() {
             "  \"videos\": {},\n",
             "  \"comments\": {},\n",
             "  \"seed\": {},\n",
+            "  \"shards\": {},\n",
             "  \"plan_start_secs\": {:.0},\n",
             "  \"plan_heal_secs\": {:.0},\n",
             "  \"plan_kinds\": [{}],\n",
@@ -250,6 +257,7 @@ fn main() {
         videos,
         comments,
         seed,
+        shards,
         plan_start.as_micros() as f64 / 1e6,
         heal.as_micros() as f64 / 1e6,
         kinds_json,

@@ -2,7 +2,9 @@
 //! audiences plus per-user notification topics), reported as wall-clock
 //! events/sec with per-subsystem event counts and peak RSS.
 //!
-//! Run: `cargo run --release -p bench --bin scale [--devices N] [--out F]`
+//! Run: `cargo run --release -p bench --bin scale [--devices N]
+//! [--shards W] [--out F]` — `--shards` sets the worker-thread count for
+//! the sharded executor; results are bit-identical at any value.
 //!
 //! Writes a machine-readable summary (default `BENCH_PR2.json`) so future
 //! PRs have a perf trajectory to regress against; see the README's
@@ -46,9 +48,13 @@ fn main() {
     let comments_per_video: usize = arg_or("--comments-per-video", 6);
     let sim_seconds: u64 = arg_or("--seconds", 60);
     let seed: u64 = arg_or("--seed", 42);
+    let shards: usize = arg_or("--shards", 1);
     let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
 
     let mut sim = SystemSim::new(scale_config(), seed);
+    // Worker threads executing the logical shards. Results are identical
+    // at any value; only wall-clock changes.
+    sim.set_workers(shards);
 
     // Fixture: `videos` live videos, each device subscribed to one via a
     // deterministic scatter, every 4th device also holding a per-user
@@ -132,6 +138,7 @@ fn main() {
             "  \"comments\": {},\n",
             "  \"sim_seconds\": {},\n",
             "  \"seed\": {},\n",
+            "  \"shards\": {},\n",
             "  \"wall_seconds\": {:.3},\n",
             "  \"events_total\": {},\n",
             "  \"events_per_sec\": {:.1},\n",
@@ -158,6 +165,7 @@ fn main() {
         videos * comments_per_video,
         sim_seconds,
         seed,
+        shards,
         wall,
         stats.total,
         events_per_sec,

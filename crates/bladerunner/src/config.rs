@@ -65,6 +65,12 @@ pub struct SystemConfig {
     pub metrics_interval: SimDuration,
     /// Metrics horizon (how much simulated time the series cover).
     pub metrics_horizon: SimDuration,
+    /// Number of logical event-loop shards the simulator partitions state
+    /// into. Fixed per configuration (not per run): results are a pure
+    /// function of `(config, seed)` regardless of how many worker threads
+    /// execute the shards, so this is part of the experiment definition
+    /// while the worker count is a free performance knob.
+    pub logical_shards: usize,
 }
 
 impl SystemConfig {
@@ -91,6 +97,7 @@ impl SystemConfig {
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
+            logical_shards: 4,
         }
     }
 
@@ -126,6 +133,7 @@ impl SystemConfig {
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
+            logical_shards: 8,
         }
     }
 }
@@ -145,6 +153,7 @@ mod tests {
             assert!(!config.metrics_interval.is_zero());
             assert!(!config.heartbeat_interval.is_zero());
             assert!(config.heartbeat_misses > 0);
+            assert!(config.logical_shards > 0);
         }
     }
 }

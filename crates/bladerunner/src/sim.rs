@@ -5,8 +5,36 @@
 //! event, delayed by a sampled hop latency from the
 //! [`crate::latency::LatencyModel`]. All randomness flows
 //! from one seed, so any run is exactly reproducible.
+//!
+//! # Sharded parallel execution
+//!
+//! The system is partitioned into `config.logical_shards` independent
+//! event loops ([`Shard`]), each owning a disjoint slice of the world:
+//! devices and POPs shard by `device % pops` (a device always lives with
+//! its POP), reverse proxies by `proxy`, BRASS hosts by `host`, and the
+//! singleton backend (WAS, TAO, Pylon) lives on shard 0. Each shard has
+//! its own event queue, RNG stream, metrics, and trace buffer.
+//!
+//! Execution proceeds in conservative windows: every round the
+//! coordinator computes the earliest pending event across shards and runs
+//! each shard — serially or on a worker pool, see
+//! [`SystemSim::set_workers`] — up to `next + lookahead`, where the
+//! lookahead is [`LatencyModel::min_cross_shard_hop`]. Events that target
+//! another shard are collected in per-shard outboxes, merged at the
+//! window barrier in `(time, src_shard, seq)` order
+//! ([`simkit::shard::merge`]), clamped out of the closed window
+//! ([`simkit::shard::clamp_to_window`]) and delivered before the
+//! destination pops anything from the next window. Shared read-mostly
+//! state (trace registry, topic subscriptions, device routing) lives
+//! behind a lock that shards only *read* during a window; all writes are
+//! queued as [`SharedOp`]s and applied at the barrier in shard order.
+//!
+//! The result is a simulation whose outputs are a pure function of
+//! `(config, seed, workload)` — the worker count only decides which OS
+//! thread executes a shard's window, never the order anything merges.
 
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use brass::app::{DeviceId, FetchToken, WasRequest, WasResponse};
 use brass::host::{BrassHost, HostConfig, HostEffect};
@@ -19,6 +47,7 @@ use pylon::{HostId, PylonCluster, Topic};
 use simkit::fxhash::{FxHashMap, FxHashSet};
 use simkit::queue::EventQueue;
 use simkit::rng::DetRng;
+use simkit::shard::{clamp_to_window, merge, Envelope};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::{DropReason, Hop, HopOutcome, TraceId, TraceLedger};
 use tao::{ObjectId, Tao};
@@ -49,13 +78,13 @@ pub struct EventStats {
     pub transport_up: u64,
     /// Server → client frame hops (proxy, POP, device arrival).
     pub transport_down: u64,
-    /// Device churn: drops and reconnects.
+    /// Device churn: drops, reconnects and disconnect teardown.
     pub device_churn: u64,
-    /// Fault-plan episodes: crashes, outages, recoveries, vanishes.
+    /// Fault-plan episodes: crashes, outages, recoveries, repairs.
     pub faults: u64,
-    /// Heartbeat ticks and pong round-trips.
+    /// Heartbeat ticks, pings and pong round-trips.
     pub heartbeats: u64,
-    /// Periodic metrics ticks.
+    /// Periodic metrics ticks (driven by the coordinator).
     pub metrics: u64,
 }
 
@@ -70,6 +99,7 @@ impl EventStats {
             | Ev::PylonDeliverHost { .. }
             | Ev::PylonSubscribeExec { .. }
             | Ev::PylonUnsubscribeExec { .. }
+            | Ev::PylonHostFailed { .. }
             | Ev::PylonNode { .. } => &mut self.pylon,
             Ev::TaoReplicate { .. } => &mut self.tao,
             Ev::WasExec { .. }
@@ -78,21 +108,44 @@ impl EventStats {
             | Ev::BrassRedirect { .. }
             | Ev::BrassUpgrade { .. }
             | Ev::BrassHostBack { .. }
-            | Ev::WasBackfillExec { .. } => &mut self.brass,
+            | Ev::WasBackfillExec { .. }
+            | Ev::NoteBackfill { .. } => &mut self.brass,
             Ev::AtPop { .. } | Ev::AtProxy { .. } | Ev::AtBrass { .. } => &mut self.transport_up,
             Ev::DownAtProxy { .. } | Ev::DownAtPop { .. } | Ev::AtDevice { .. } => {
                 &mut self.transport_down
             }
-            Ev::DeviceDrop { .. } | Ev::DeviceReconnect { .. } => &mut self.device_churn,
+            Ev::DeviceDrop { .. } | Ev::DeviceReconnect { .. } | Ev::ProxyDeviceGone { .. } => {
+                &mut self.device_churn
+            }
             Ev::BrassCrash { .. }
             | Ev::BrassRecover { .. }
             | Ev::ProxyOutage { .. }
             | Ev::ProxyBack { .. }
+            | Ev::ProxyHostFailed { .. }
+            | Ev::ProxyAddHost { .. }
+            | Ev::PopProxyFailed { .. }
+            | Ev::PopAddProxy { .. }
             | Ev::DeviceVanish { .. } => &mut self.faults,
-            Ev::HeartbeatTick | Ev::PongFromHost { .. } => &mut self.heartbeats,
-            Ev::MetricsTick => &mut self.metrics,
+            Ev::HeartbeatTick | Ev::HbPingAtHost { .. } | Ev::PongFromHost { .. } => {
+                &mut self.heartbeats
+            }
         };
         *bucket += 1;
+    }
+
+    /// Field-wise accumulation (shard aggregation).
+    fn accumulate(&mut self, other: &EventStats) {
+        self.total += other.total;
+        self.workload += other.workload;
+        self.pylon += other.pylon;
+        self.tao += other.tao;
+        self.brass += other.brass;
+        self.transport_up += other.transport_up;
+        self.transport_down += other.transport_down;
+        self.device_churn += other.device_churn;
+        self.faults += other.faults;
+        self.heartbeats += other.heartbeats;
+        self.metrics += other.metrics;
     }
 }
 
@@ -179,7 +232,11 @@ enum Ev {
     // Frame transport, server → client.
     // ------------------------------------------------------------------
     /// A response frame arrives at the stream's proxy on its way down.
+    /// The proxy is resolved from the routing registry when the BRASS
+    /// sends the frame; frames for devices with no known route are
+    /// dropped at send time (they had nowhere to go).
     DownAtProxy {
+        proxy: usize,
         device: u64,
         frame: Frame,
         sent_at: SimTime,
@@ -236,10 +293,19 @@ enum Ev {
     /// A device's last-mile link dies silently (no FIN): the server side
     /// learns only via POP heartbeats; the device reconnects with backoff.
     DeviceVanish { device: u64 },
-    /// The global heartbeat tick driving proxy→BRASS (and optionally
-    /// POP→device) monitors.
+    /// The per-shard heartbeat tick driving proxy→BRASS (and optionally
+    /// POP→device) monitors for the proxies and POPs this shard owns.
+    /// Never crosses shards: each shard self-schedules its own.
     HeartbeatTick,
-    /// A live BRASS host answers a proxy's heartbeat ping.
+    /// A proxy's heartbeat ping arrives at a BRASS host. The host-owning
+    /// shard consults the *authoritative* liveness flag; a dead host
+    /// simply never answers.
+    HbPingAtHost {
+        proxy: usize,
+        host: usize,
+        token: u64,
+    },
+    /// A live BRASS host's heartbeat answer arrives back at the proxy.
     PongFromHost {
         proxy: usize,
         host: usize,
@@ -248,8 +314,84 @@ enum Ev {
     /// A device's gap-detection backfill poll executes at the WAS,
     /// recovering updates lost on the last mile.
     WasBackfillExec { device: u64, sid: StreamId },
-    /// Periodic metrics snapshot.
-    MetricsTick,
+
+    // ------------------------------------------------------------------
+    // Cross-shard control messages (replacing what used to be direct
+    // method calls between subsystems owned by different shards).
+    // ------------------------------------------------------------------
+    /// Pylon learns a BRASS host failed (heartbeat detection or planned
+    /// drain) and purges its subscriptions. Runs on shard 0 with Pylon.
+    PylonHostFailed { host: usize },
+    /// A proxy learns a BRASS host failed (planned drain) and repairs the
+    /// streams it had routed there.
+    ProxyHostFailed { proxy: usize, host: usize },
+    /// A proxy learns a BRASS host (re)joined and adds it to its pool.
+    ProxyAddHost { proxy: usize, host: usize },
+    /// A POP learns a reverse proxy went dark and repairs its streams
+    /// onto surviving proxies.
+    PopProxyFailed { pop: usize, proxy: usize },
+    /// A POP learns a reverse proxy recovered.
+    PopAddProxy { pop: usize, proxy: usize },
+    /// A proxy learns (from a POP) that a device disconnected and tears
+    /// its streams down.
+    ProxyDeviceGone { proxy: usize, device: u64 },
+    /// The device-owning shard learns that one of its streams lost a
+    /// traced update somewhere else in the system, so a later backfill
+    /// poll can recover it.
+    NoteBackfill {
+        device: u64,
+        sid: StreamId,
+        trace: TraceId,
+    },
+}
+
+/// Routes an event to the shard owning the state it touches.
+///
+/// Devices co-locate with their POP (`device % pops`), so every
+/// device-and-POP interaction is shard-local; proxies and hosts shard by
+/// id; the singleton backend (WAS, TAO, Pylon) lives on shard 0.
+fn shard_route(ev: &Ev, pops: usize, shards: usize) -> usize {
+    let of_device = |d: u64| (d as usize % pops) % shards;
+    match ev {
+        Ev::DeviceSubscribe { device, .. }
+        | Ev::DeviceCancel { device, .. }
+        | Ev::DeviceDrop { device }
+        | Ev::DeviceReconnect { device, .. }
+        | Ev::DeviceVanish { device }
+        | Ev::AtPop { device, .. }
+        | Ev::DownAtPop { device, .. }
+        | Ev::AtDevice { device, .. }
+        | Ev::WasBackfillExec { device, .. }
+        | Ev::NoteBackfill { device, .. } => of_device(*device),
+        Ev::PopProxyFailed { pop, .. } | Ev::PopAddProxy { pop, .. } => pop % shards,
+        Ev::AtProxy { proxy, .. }
+        | Ev::DownAtProxy { proxy, .. }
+        | Ev::ProxyOutage { proxy }
+        | Ev::ProxyBack { proxy }
+        | Ev::PongFromHost { proxy, .. }
+        | Ev::ProxyHostFailed { proxy, .. }
+        | Ev::ProxyAddHost { proxy, .. }
+        | Ev::ProxyDeviceGone { proxy, .. } => proxy % shards,
+        Ev::AtBrass { host, .. }
+        | Ev::WasReply { host, .. }
+        | Ev::BrassTimer { host, .. }
+        | Ev::BrassRedirect { host, .. }
+        | Ev::BrassUpgrade { host }
+        | Ev::BrassHostBack { host }
+        | Ev::BrassCrash { host }
+        | Ev::BrassRecover { host }
+        | Ev::PylonDeliverHost { host, .. }
+        | Ev::HbPingAtHost { host, .. } => host % shards,
+        Ev::WasMutationExec { .. }
+        | Ev::PylonPublish { .. }
+        | Ev::TaoReplicate { .. }
+        | Ev::PylonSubscribeExec { .. }
+        | Ev::PylonUnsubscribeExec { .. }
+        | Ev::WasExec { .. }
+        | Ev::PylonNode { .. }
+        | Ev::PylonHostFailed { .. } => 0,
+        Ev::HeartbeatTick => unreachable!("heartbeat ticks are shard-local, never routed"),
+    }
 }
 
 struct DeviceState {
@@ -262,37 +404,23 @@ struct DeviceState {
     drop_streak: u32,
     /// When the last drop happened (streaks decay after quiet periods).
     last_drop_at: SimTime,
+    /// Earliest time the next downstream frame may reach the device. The
+    /// device ↔ POP link is one ordered connection, so frames must not
+    /// overtake each other just because their latency samples happened to
+    /// invert — a reordered reliable-app frame would be discarded as
+    /// stale, turning a latency fluke into a lost message.
+    next_arrival: SimTime,
 }
 
-/// The assembled Bladerunner system under simulation.
-pub struct SystemSim {
-    config: SystemConfig,
-    latency: LatencyModel,
-    rng: DetRng,
-    queue: EventQueue<Ev>,
+// ----------------------------------------------------------------------
+// Shared cross-shard state.
+// ----------------------------------------------------------------------
 
-    was: WebApplicationServer,
-    pylon: PylonCluster,
-    hosts: Vec<BrassHost>,
-    proxies: Vec<ReverseProxy>,
-    pops: Vec<Pop>,
-    /// Liveness of each BRASS host. A `false` entry swallows frames and
-    /// Pylon deliveries — the rest of the system must *detect* the death
-    /// through missed heartbeats, never observe this flag directly.
-    host_up: Vec<bool>,
-    /// Liveness of each reverse proxy.
-    proxy_up: Vec<bool>,
-    devices: FxHashMap<u64, DeviceState>,
-    /// device → proxy carrying its streams (learned from POP routing).
-    device_proxy: FxHashMap<u64, usize>,
-    /// (device, sid) → traces lost in delivery to that stream, recoverable
-    /// by a WAS backfill poll (gap detection or reconnect).
-    pending_backfill: FxHashMap<(u64, StreamId), Vec<TraceId>>,
-
-    metrics: SystemMetrics,
-    /// The per-update hop ledger: every admitted update's journey through
-    /// write → Pylon → BRASS → BURST → device, with drop attribution.
-    ledger: TraceLedger,
+/// Read-mostly registries every shard consults. Shards take short read
+/// locks during a window; all writes are queued as [`SharedOp`]s and
+/// applied by the coordinator at the window barrier, in shard order, so
+/// the contents are identical no matter how shards are scheduled.
+struct SharedInner {
     /// object → trace of the most recent update event referencing it, used
     /// to attribute payload fetches, frames, and renders back to traces.
     /// (Updates sharing an object — e.g. one message fanned to N mailboxes —
@@ -301,29 +429,158 @@ pub struct SystemSim {
     /// Streams subscribed per topic (Fig. 7 publication accounting).
     topic_streams: FxHashMap<Topic, Vec<(u64, StreamId)>>,
     /// Reverse of [`Self::topic_streams`]: the topic each open stream
-    /// subscribed to. Makes per-frame app attribution and stream teardown
-    /// O(1) instead of a scan over every topic in the registry.
+    /// subscribed to; powers per-frame app attribution.
     stream_topic: FxHashMap<(u64, StreamId), Topic>,
-    /// Pylon event delivery time per (host, object), for BRASS-latency
-    /// attribution of later payload fetches.
+    /// device → proxy carrying its streams (learned from POP routing).
+    device_proxy: FxHashMap<u64, usize>,
+    /// Mirror of host liveness, maintained from crash/recover ops. Only
+    /// consulted when a recovered proxy rebuilds its host roster; the
+    /// *authoritative* flags live on each host's owning shard.
+    host_up: Vec<bool>,
+}
+
+/// A deferred write to [`SharedInner`], applied at the window barrier.
+enum SharedOp {
+    /// Register (or re-point) an object's trace.
+    ObjectTrace(ObjectId, TraceId),
+    /// Register a stream's subscription topic.
+    StreamTopicInsert(u64, StreamId, Topic),
+    /// A stream closed: drop its topic registration on both sides.
+    StreamRemove(u64, StreamId),
+    /// A stream subscribed to a topic (Fig. 7 accounting).
+    TopicStreamPush(Topic, u64, StreamId),
+    /// A POP routed a device through a proxy.
+    DeviceProxy(u64, usize),
+    /// A BRASS host crashed or recovered (liveness mirror).
+    HostUp(usize, bool),
+}
+
+fn apply_shared_op(shared: &mut SharedInner, op: SharedOp) {
+    match op {
+        SharedOp::ObjectTrace(object, trace) => {
+            shared.object_trace.insert(object, trace);
+        }
+        SharedOp::StreamTopicInsert(device, sid, topic) => {
+            shared.stream_topic.insert((device, sid), topic);
+        }
+        SharedOp::StreamRemove(device, sid) => {
+            if let Some(topic) = shared.stream_topic.remove(&(device, sid)) {
+                if let Some(streams) = shared.topic_streams.get_mut(&topic) {
+                    streams.retain(|&(d, s)| !(d == device && s == sid));
+                }
+            }
+        }
+        SharedOp::TopicStreamPush(topic, device, sid) => {
+            shared
+                .topic_streams
+                .entry(topic)
+                .or_default()
+                .push((device, sid));
+        }
+        SharedOp::DeviceProxy(device, proxy) => {
+            shared.device_proxy.insert(device, proxy);
+        }
+        SharedOp::HostUp(host, up) => {
+            if host < shared.host_up.len() {
+                shared.host_up[host] = up;
+            }
+        }
+    }
+}
+
+/// State shared between shards: the registries and the trace ledger.
+struct World {
+    shared: RwLock<SharedInner>,
+    /// The per-update hop ledger: every admitted update's journey through
+    /// write → Pylon → BRASS → BURST → device, with drop attribution.
+    /// Shards buffer records locally and the coordinator folds them in at
+    /// each barrier, in shard order.
+    ledger: RwLock<TraceLedger>,
+}
+
+/// A buffered trace-ledger record awaiting the window barrier.
+type LedRec = (TraceId, Hop, SimTime, HopOutcome);
+
+/// What one shard reports from a coordinator-driven metrics tick.
+struct TickSummary {
+    /// Open streams across ALL owned devices (connected or not).
+    active_streams: u64,
+    /// Sum of BRASS delivery decisions over owned hosts.
+    decisions: u64,
+    /// `(device, sid)` keys served by owned, live hosts.
+    live: Vec<(u64, StreamId)>,
+    /// `(device, sid)` keys open on owned, connected devices.
+    open: Vec<(u64, StreamId)>,
+}
+
+// ----------------------------------------------------------------------
+// A shard: one event loop over a disjoint slice of the system.
+// ----------------------------------------------------------------------
+
+/// One logical event loop owning a disjoint slice of the system: the
+/// devices/POPs, proxies, and BRASS hosts whose ids hash to it, plus —
+/// on shard 0 — the singleton backend (WAS, TAO, Pylon). Component
+/// vectors are allocated full-size on every shard so indices stay global;
+/// a shard only ever touches the slots it owns.
+struct Shard {
+    id: usize,
+    /// Total logical shard count (`config.logical_shards`).
+    shards: usize,
+    config: SystemConfig,
+    latency: LatencyModel,
+    /// This shard's private RNG stream, forked off the master seed.
+    rng: DetRng,
+    queue: EventQueue<Ev>,
+    world: Arc<World>,
+
+    /// The web application servers + TAO (shard 0 only).
+    was: Option<WebApplicationServer>,
+    /// The Pylon cluster (shard 0 only).
+    pylon: Option<PylonCluster>,
+
+    hosts: Vec<BrassHost>,
+    proxies: Vec<ReverseProxy>,
+    pops: Vec<Pop>,
+    /// Authoritative liveness for *owned* hosts (a crash is invisible to
+    /// Pylon deliveries — the rest of the system must *detect* the death
+    /// through missed heartbeats, never observe this flag directly).
+    host_up: Vec<bool>,
+    /// Authoritative liveness for *owned* proxies.
+    proxy_up: Vec<bool>,
+
+    devices: FxHashMap<u64, DeviceState>,
+    /// (device, sid) → traces lost in delivery to that stream, recoverable
+    /// by a WAS backfill poll (gap detection or reconnect).
+    pending_backfill: FxHashMap<(u64, StreamId), Vec<TraceId>>,
+    /// Pylon event delivery time per (owned host, object), for
+    /// BRASS-latency attribution of later payload fetches.
     object_delivered: FxHashMap<(usize, ObjectId), SimTime>,
     /// Subscription start times (device-observed subscribe latency).
     sub_started: FxHashMap<(u64, StreamId), SimTime>,
-    /// Decisions seen at the last metrics tick (for per-bucket deltas).
-    decisions_at_tick: u64,
-    last_proxy_reconnects: u64,
-    /// Scenario bookkeeping: predicted next stream id per device.
-    scenario_sids: FxHashMap<u64, u64>,
-    /// Per-subsystem event-loop accounting.
+
+    metrics: SystemMetrics,
     event_stats: EventStats,
+
+    // Window products, drained by the coordinator at each barrier.
+    /// Events targeting other shards, in emission order.
+    outbox: Vec<(SimTime, Ev)>,
+    /// Deferred writes to the shared registries, in emission order.
+    ops: Vec<SharedOp>,
+    /// Trace-ledger records buffered for the barrier, in emission order.
+    led_pending: Vec<LedRec>,
 }
 
-impl SystemSim {
-    /// Builds a system and schedules the periodic metrics tick.
-    pub fn new(config: SystemConfig, seed: u64) -> Self {
-        let rng = DetRng::new(seed);
-        let was = WebApplicationServer::new(Tao::new(config.tao.clone()));
-        let pylon = PylonCluster::new(config.pylon.clone());
+impl Shard {
+    fn new(id: usize, config: &SystemConfig, master: &DetRng, world: Arc<World>) -> Self {
+        let shards = config.logical_shards;
+        let (was, pylon) = if id == 0 {
+            (
+                Some(WebApplicationServer::new(Tao::new(config.tao.clone()))),
+                Some(PylonCluster::new(config.pylon.clone())),
+            )
+        } else {
+            (None, None)
+        };
         let hosts: Vec<BrassHost> = (0..config.brass_hosts)
             .map(|i| {
                 let mut h = BrassHost::new(HostConfig::small(i));
@@ -344,14 +601,17 @@ impl SystemSim {
         let pops: Vec<Pop> = (0..config.pops)
             .map(|i| Pop::new(i, proxy_ids.clone()))
             .collect();
-        let metrics = SystemMetrics::new(config.metrics_horizon, config.metrics_interval);
         let mut queue = EventQueue::new();
-        queue.schedule(SimTime::ZERO + config.metrics_interval, Ev::MetricsTick);
+        // Every shard drives its own heartbeat monitors; ticks never
+        // cross shards.
         queue.schedule(SimTime::ZERO + config.heartbeat_interval, Ev::HeartbeatTick);
-        SystemSim {
+        Shard {
+            id,
+            shards,
             latency: LatencyModel::table3(),
-            rng,
+            rng: master.fork(0x5A4D_0000 + id as u64),
             queue,
+            world,
             was,
             pylon,
             hosts,
@@ -360,95 +620,1721 @@ impl SystemSim {
             host_up: vec![true; config.brass_hosts as usize],
             proxy_up: vec![true; config.proxies as usize],
             devices: FxHashMap::default(),
-            device_proxy: FxHashMap::default(),
             pending_backfill: FxHashMap::default(),
-            metrics,
-            ledger: TraceLedger::with_retention(config.trace_retention),
-            object_trace: FxHashMap::default(),
-            topic_streams: FxHashMap::default(),
-            stream_topic: FxHashMap::default(),
             object_delivered: FxHashMap::default(),
             sub_started: FxHashMap::default(),
-            decisions_at_tick: 0,
-            last_proxy_reconnects: 0,
-            scenario_sids: FxHashMap::default(),
+            metrics: SystemMetrics::new(config.metrics_horizon, config.metrics_interval),
             event_stats: EventStats::default(),
-            config,
+            outbox: Vec::new(),
+            ops: Vec::new(),
+            led_pending: Vec::new(),
+            config: config.clone(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing.
+    // ------------------------------------------------------------------
+
+    fn was_ref(&mut self) -> &mut WebApplicationServer {
+        self.was.as_mut().expect("the WAS lives on shard 0")
+    }
+
+    fn pylon_ref(&mut self) -> &mut PylonCluster {
+        self.pylon.as_mut().expect("Pylon lives on shard 0")
+    }
+
+    fn owns_device(&self, device: u64) -> bool {
+        (device as usize % self.pops.len()) % self.shards == self.id
+    }
+
+    /// Schedules an event: locally if this shard owns the target state,
+    /// otherwise into the outbox for the barrier exchange. All handler
+    /// scheduling funnels through here, so the serial and threaded drivers
+    /// produce byte-identical schedules by construction.
+    fn send(&mut self, at: SimTime, ev: Ev) {
+        let dest = shard_route(&ev, self.pops.len(), self.shards);
+        if dest == self.id {
+            self.queue.schedule(at, ev);
+        } else {
+            self.outbox.push((at, ev));
+        }
+    }
+
+    /// A short-lived read guard over the shared registries. Guards are
+    /// always taken sequentially (never nested) inside handlers.
+    fn shared(&self) -> RwLockReadGuard<'_, SharedInner> {
+        self.world.shared.read().unwrap()
+    }
+
+    /// Buffers a trace-ledger record for the window barrier.
+    fn record(&mut self, trace: TraceId, hop: Hop, at: SimTime, outcome: HopOutcome) {
+        self.led_pending.push((trace, hop, at, outcome));
+    }
+
+    /// Queues a shared-registry write for the window barrier.
+    fn op(&mut self, op: SharedOp) {
+        self.ops.push(op);
+    }
+
+    /// Whether a trace already reached its device (rendered or
+    /// backfilled), per the merged ledger *plus this shard's own buffered
+    /// records*. Other shards' unmerged records are deliberately invisible
+    /// — the serial driver has exactly the same visibility, which is what
+    /// keeps worker counts out of the results.
+    fn trace_resolved(&self, trace: TraceId) -> bool {
+        {
+            let ledger = self.world.ledger.read().unwrap();
+            if ledger.is_delivered(trace) || ledger.is_backfilled(trace) {
+                return true;
+            }
+        }
+        self.led_pending.iter().any(|(t, hop, _, out)| {
+            *t == trace
+                && *out == HopOutcome::Ok
+                && matches!(hop, Hop::DeviceRender | Hop::WasBackfill)
+        })
+    }
+
+    /// Runs this shard's loop up to and including `end`, after folding in
+    /// the envelopes the barrier routed here.
+    fn run_window(&mut self, end: SimTime, incoming: Vec<Envelope<Ev>>) {
+        for env in incoming {
+            self.queue.schedule(env.at, env.event);
+        }
+        while let Some((now, ev)) = self.queue.pop_until(end) {
+            self.event_stats.note(&ev);
+            self.handle(now, ev);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::DeviceSubscribe { device, header } => self.on_device_subscribe(now, device, header),
+            Ev::DeviceCancel { device, sid } => self.on_device_cancel(now, device, sid),
+            Ev::WasMutationExec { gql, app } => self.on_was_mutation(now, &gql, app),
+            Ev::PylonPublish { event } => self.on_pylon_publish(now, event),
+            Ev::PylonDeliverHost { host, event } => self.on_pylon_deliver(now, host, event),
+            Ev::TaoReplicate { event } => self.was_ref().tao_mut().apply_replication(&event),
+            Ev::PylonSubscribeExec {
+                host,
+                topic,
+                attempt,
+            } => self.on_pylon_subscribe_exec(now, host, topic, attempt),
+            Ev::PylonUnsubscribeExec { host, topic } => {
+                let _ = self.pylon_ref().unsubscribe(&topic, HostId(host as u32));
+            }
+            Ev::WasExec {
+                host,
+                app,
+                token,
+                request,
+                attributed,
+            } => self.on_was_exec(now, host, app, token, request, attributed),
+            Ev::WasReply {
+                host,
+                app,
+                token,
+                response,
+                attributed,
+            } => self.on_was_reply(now, host, app, token, response, attributed),
+            Ev::BrassTimer { host, app, token } => {
+                let fx = self.hosts[host].on_timer(&app, token, now);
+                self.process_host_effects(now, host, fx, None);
+            }
+            Ev::AtPop { device, frame } => self.on_at_pop(now, device, frame),
+            Ev::AtProxy {
+                proxy,
+                device,
+                frame,
+            } => self.on_at_proxy(now, proxy, device, frame),
+            Ev::AtBrass {
+                host,
+                device,
+                frame,
+            } => self.on_at_brass(now, host, device, frame),
+            Ev::DownAtProxy {
+                proxy,
+                device,
+                frame,
+                sent_at,
+            } => self.on_down_at_proxy(now, proxy, device, frame, sent_at),
+            Ev::DownAtPop {
+                device,
+                frame,
+                sent_at,
+            } => self.on_down_at_pop(now, device, frame, sent_at),
+            Ev::AtDevice {
+                device,
+                frame,
+                sent_at,
+            } => self.on_at_device(now, device, frame, sent_at),
+            Ev::DeviceDrop { device } => self.on_device_drop(now, device),
+            Ev::DeviceReconnect { device, frames } => self.on_device_reconnect(now, device, frames),
+            Ev::BrassRedirect {
+                host,
+                device,
+                sid,
+                to_host,
+            } => {
+                let fx =
+                    self.hosts[host].redirect_stream(DeviceId(device), sid, to_host as u32, now);
+                self.process_host_effects(now, host, fx, None);
+            }
+            Ev::BrassUpgrade { host } => self.on_brass_upgrade(now, host),
+            Ev::BrassHostBack { host } => self.on_brass_host_back(now, host),
+            Ev::PylonNode { node, up } => {
+                if up {
+                    self.pylon_ref().node_up(node);
+                } else {
+                    self.pylon_ref().node_down(node);
+                }
+            }
+            Ev::BrassCrash { host } => self.on_brass_crash(now, host),
+            Ev::BrassRecover { host } => self.on_brass_recover(now, host),
+            Ev::ProxyOutage { proxy } => self.on_proxy_outage(now, proxy),
+            Ev::ProxyBack { proxy } => self.on_proxy_back(now, proxy),
+            Ev::DeviceVanish { device } => self.on_device_vanish(now, device),
+            Ev::HeartbeatTick => self.on_heartbeat_tick(now),
+            Ev::HbPingAtHost { proxy, host, token } => {
+                // The host-owning shard consults the authoritative flag: a
+                // dead host simply never answers.
+                if host < self.host_up.len() && self.host_up[host] {
+                    let back = self.latency.proxy_brass(&mut self.rng);
+                    self.send(now + back, Ev::PongFromHost { proxy, host, token });
+                }
+            }
+            Ev::PongFromHost { proxy, host, token } => {
+                if self.proxy_up[proxy] {
+                    self.proxies[proxy].on_host_pong(host as u32, token);
+                }
+            }
+            Ev::PylonHostFailed { host } => self.pylon_ref().host_failed(HostId(host as u32)),
+            Ev::ProxyHostFailed { proxy, host } => self.on_proxy_host_failed(now, proxy, host),
+            Ev::ProxyAddHost { proxy, host } => self.on_proxy_add_host(now, proxy, host),
+            Ev::PopProxyFailed { pop, proxy } => {
+                let fx = self.pops[pop].on_proxy_failed(proxy as u32);
+                self.process_pop_effects(now, fx);
+            }
+            Ev::PopAddProxy { pop, proxy } => self.pops[pop].add_proxy(proxy as u32),
+            Ev::ProxyDeviceGone { proxy, device } => {
+                if proxy < self.proxies.len() && self.proxy_up[proxy] {
+                    let pfx = self.proxies[proxy].on_device_disconnected(device);
+                    self.process_proxy_effects(now, proxy, pfx);
+                }
+            }
+            Ev::NoteBackfill { device, sid, trace } => {
+                self.pending_backfill
+                    .entry((device, sid))
+                    .or_default()
+                    .push(trace);
+            }
+            Ev::WasBackfillExec { device, sid } => self.on_was_backfill(now, device, sid),
+        }
+    }
+}
+
+impl Shard {
+    fn on_device_subscribe(&mut self, now: SimTime, device: u64, header: Json) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        // Device stream cap ("each mobile app up to 20 concurrent
+        // streams"): the oldest stream makes room for the new one.
+        let evict: Vec<StreamId> = {
+            let open = state.device.open_sids();
+            let over = (open.len() + 1).saturating_sub(self.config.max_streams_per_device);
+            open.into_iter().take(over).collect()
+        };
+        for sid in evict {
+            self.on_device_cancel(now, device, sid);
+        }
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        // Fig. 7 registry: which topic does this stream's subscription
+        // target? Resolved before the header moves into the stream.
+        let sub_topic = brass::resolve::resolve(&header).ok().map(|sub| sub.topic);
+        let (sid, frame) = state.device.open_stream(header, Vec::new());
+        let link = state.link;
+        self.metrics.subscriptions.inc();
+        self.metrics.ts_subscriptions.inc(now);
+        self.metrics.stream_opened(device, sid, now);
+        self.sub_started.insert((device, sid), now);
+        if let Some(topic) = sub_topic {
+            self.op(SharedOp::TopicStreamPush(topic, device, sid));
+            self.op(SharedOp::StreamTopicInsert(device, sid, topic));
+        }
+        let delay = self.latency.last_mile(link, &mut self.rng);
+        self.send(now + delay, Ev::AtPop { device, frame });
+    }
+
+    fn on_device_cancel(&mut self, now: SimTime, device: u64, sid: StreamId) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        let Some(frame) = state.device.cancel_stream(sid) else {
+            return;
+        };
+        let link = state.link;
+        self.metrics.cancellations.inc();
+        self.metrics.stream_closed(device, sid, now);
+        self.op(SharedOp::StreamRemove(device, sid));
+        let delay = self.latency.last_mile(link, &mut self.rng);
+        self.send(now + delay, Ev::AtPop { device, frame });
+    }
+
+    fn on_was_mutation(&mut self, now: SimTime, gql: &str, app: &'static str) {
+        let Ok(outcome) = self.was_ref().execute_mutation(gql, now.as_millis()) else {
+            return;
+        };
+        self.metrics.mutations.inc();
+        for rep in outcome.replication {
+            let d = self.latency.cross_region(&mut self.rng);
+            self.send(now + d, Ev::TaoReplicate { event: rep });
+        }
+        let was_delay = self
+            .latency
+            .was_mutation(outcome.was_latency_ms, &mut self.rng);
+        self.metrics
+            .app(app)
+            .was_handling
+            .record(was_delay.as_millis_f64());
+        for event in outcome.events {
+            // The write committed: open the update's trace.
+            let trace = TraceId(event.id);
+            self.op(SharedOp::ObjectTrace(event.object, trace));
+            self.record(trace, Hop::TaoCommit, now, HopOutcome::Ok);
+            self.send(now + was_delay, Ev::PylonPublish { event });
+        }
+    }
+
+    fn on_pylon_publish(&mut self, now: SimTime, event: UpdateEvent) {
+        self.metrics.publications.inc();
+        self.metrics.ts_publications.inc(now);
+        let watchers: Vec<(u64, StreamId)> = {
+            let shared = self.shared();
+            shared
+                .topic_streams
+                .get(&event.topic)
+                .cloned()
+                .unwrap_or_default()
+        };
+        for (d, s) in watchers {
+            self.metrics.publication_for_stream(d, s);
+        }
+        let outcome = self.pylon_ref().publish(&event.topic, event.id);
+        let subscribers = outcome.fast_forwards.len() + outcome.late_forwards.len();
+        let publish_outcome = if subscribers == 0 {
+            HopOutcome::Dropped(DropReason::NoSubscribers)
+        } else {
+            HopOutcome::Ok
+        };
+        self.record(TraceId(event.id), Hop::PylonPublish, now, publish_outcome);
+        let fanout = self.latency.pylon_fanout(subscribers, &mut self.rng);
+        if subscribers < 10_000 {
+            self.metrics
+                .pylon_fanout_small
+                .record(fanout.as_millis_f64());
+        } else {
+            self.metrics
+                .pylon_fanout_large
+                .record(fanout.as_millis_f64());
+        }
+        // One allocation, N pointers: the fan-out shares the event.
+        let event = Arc::new(event);
+        for host in outcome.fast_forwards {
+            self.send(
+                now + fanout,
+                Ev::PylonDeliverHost {
+                    host: host.0 as usize,
+                    event: Arc::clone(&event),
+                },
+            );
+        }
+        for host in outcome.late_forwards {
+            let extra = self.latency.pylon_late_extra(&mut self.rng);
+            self.send(
+                now + fanout + extra,
+                Ev::PylonDeliverHost {
+                    host: host.0 as usize,
+                    event: Arc::clone(&event),
+                },
+            );
+        }
+    }
+
+    fn on_pylon_deliver(&mut self, now: SimTime, host: usize, event: Arc<UpdateEvent>) {
+        if host >= self.hosts.len() {
+            return;
+        }
+        if !self.host_up[host] {
+            // Pylon has not yet purged a crashed host's subscriptions
+            // (that happens when a proxy's heartbeats detect the death);
+            // events fanned to it meanwhile die here.
+            self.record(
+                TraceId(event.id),
+                Hop::PylonDeliver,
+                now,
+                HopOutcome::Dropped(DropReason::HostDown),
+            );
+            return;
+        }
+        self.object_delivered.insert((host, event.object), now);
+        self.record(TraceId(event.id), Hop::PylonDeliver, now, HopOutcome::Ok);
+        let fx = self.hosts[host].on_pylon_event(&event, now);
+        self.process_host_effects(now, host, fx, Some(now));
+    }
+
+    fn on_pylon_subscribe_exec(&mut self, now: SimTime, host: usize, topic: Topic, attempt: u32) {
+        match self.pylon_ref().subscribe(&topic, HostId(host as u32)) {
+            Ok(()) => {}
+            Err(_) => {
+                self.metrics.quorum_failures.inc();
+                // CP subscribe failed; BRASS retries with capped
+                // exponential backoff until quorum returns.
+                self.send(
+                    now + SystemSim::quorum_retry_backoff(attempt),
+                    Ev::PylonSubscribeExec {
+                        host,
+                        topic,
+                        attempt: attempt.saturating_add(1),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_was_exec(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        app: String,
+        token: FetchToken,
+        request: WasRequest,
+        attributed: Option<SimTime>,
+    ) {
+        let response = match request {
+            WasRequest::FetchObject { viewer, object } => {
+                let response = match self.was_ref().fetch_for_viewer(0, viewer, object) {
+                    Ok((payload, _)) => WasResponse::Payload(payload.into()),
+                    Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
+                    Err(_) => WasResponse::NotFound,
+                };
+                // The payload fetch is the final BRASS-processing gate:
+                // the WAS privacy check decides whether the update survives.
+                let trace = { self.shared().object_trace.get(&object).copied() };
+                if let Some(trace) = trace {
+                    let outcome = match &response {
+                        WasResponse::Payload(_) => HopOutcome::Ok,
+                        WasResponse::Denied => HopOutcome::Dropped(DropReason::PrivacyBlock),
+                        _ => HopOutcome::Dropped(DropReason::NotFound),
+                    };
+                    self.record(trace, Hop::BrassProcess, now, outcome);
+                }
+                response
+            }
+            WasRequest::Friends { uid } => WasResponse::Friends(self.was_ref().friends_of(uid)),
+            WasRequest::MailboxAfter { uid, after_seq } => {
+                let q = match after_seq {
+                    Some(a) => format!("{{ mailbox(uid: {uid}, afterSeq: {a}) }}"),
+                    None => format!("{{ mailbox(uid: {uid}) }}"),
+                };
+                let entries = self
+                    .was_ref()
+                    .execute_query(0, &q)
+                    .ok()
+                    .and_then(|o| {
+                        o.response.get("mailbox").map(|m| {
+                            m.items()
+                                .iter()
+                                .filter_map(|e| {
+                                    let seq = e.get("seq").and_then(Rv::as_int)? as u64;
+                                    let obj = e.get("messageId").and_then(Rv::as_int)? as u64;
+                                    Some((seq, ObjectId(obj)))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .unwrap_or_default();
+                WasResponse::Mailbox(entries)
+            }
+        };
+        let back = self.latency.brass_was_rtt(&mut self.rng) / 2;
+        self.send(
+            now + back,
+            Ev::WasReply {
+                host,
+                app,
+                token,
+                response,
+                attributed,
+            },
+        );
+    }
+
+    fn on_was_reply(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        app: String,
+        token: FetchToken,
+        response: WasResponse,
+        attributed: Option<SimTime>,
+    ) {
+        let fx = self.hosts[host].on_was_response(&app, token, response, now);
+        self.process_host_effects(now, host, fx, attributed);
+    }
+
+    /// Converts BRASS host effects into scheduled events.
+    ///
+    /// `attributed` carries the instant the update event arrived at the
+    /// host, for the Fig. 9 "BRASS host processing" histogram.
+    fn process_host_effects(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        effects: Vec<HostEffect>,
+        attributed: Option<SimTime>,
+    ) {
+        for effect in effects {
+            match effect {
+                HostEffect::PylonSubscribe(topic) => {
+                    let d = self.latency.sub_replication(&mut self.rng);
+                    self.metrics.sub_replication.record(d.as_millis_f64());
+                    self.send(
+                        now + d,
+                        Ev::PylonSubscribeExec {
+                            host,
+                            topic,
+                            attempt: 0,
+                        },
+                    );
+                }
+                HostEffect::PylonUnsubscribe(topic) => {
+                    let d = self.latency.sub_replication(&mut self.rng);
+                    self.send(now + d, Ev::PylonUnsubscribeExec { host, topic });
+                }
+                HostEffect::Was {
+                    app,
+                    token,
+                    request,
+                } => {
+                    // Payload fetches inherit attribution from the event
+                    // that referenced the object (covers buffered apps).
+                    let attr = match &request {
+                        WasRequest::FetchObject { object, .. } => self
+                            .object_delivered
+                            .get(&(host, *object))
+                            .copied()
+                            .or(attributed),
+                        _ => attributed,
+                    };
+                    let d = self.latency.brass_was_rtt(&mut self.rng) / 2;
+                    self.send(
+                        now + d,
+                        Ev::WasExec {
+                            host,
+                            app,
+                            token,
+                            request,
+                            attributed: attr,
+                        },
+                    );
+                }
+                HostEffect::DropUpdate { object, reason } => {
+                    let trace = { self.shared().object_trace.get(&object).copied() };
+                    if let Some(trace) = trace {
+                        self.record(trace, Hop::BrassProcess, now, HopOutcome::Dropped(reason));
+                    }
+                }
+                HostEffect::Send { device, frame } => {
+                    let proc = self.latency.brass_processing(&mut self.rng);
+                    let send_at = now + proc;
+                    for trace in self.frame_traces(&frame) {
+                        self.record(trace, Hop::BrassSend, send_at, HopOutcome::Ok);
+                    }
+                    if let Some(event_at) = attributed {
+                        // Only data batches count as event processing.
+                        if matches!(&frame, Frame::Response { batch, .. }
+                            if batch.iter().any(|d| matches!(d, burst::frame::Delta::Update { .. })))
+                        {
+                            let app_name = self.app_of_device_frame(device.0, &frame);
+                            self.metrics
+                                .app(&app_name)
+                                .brass_processing
+                                .record(send_at.saturating_since(event_at).as_millis_f64());
+                        }
+                    }
+                    // The downstream route is resolved *at send time* from
+                    // the shared registry; frames for devices with no known
+                    // route die here (they had nowhere to go), exactly as
+                    // they used to die unrouted at the proxy layer.
+                    let proxy = { self.shared().device_proxy.get(&device.0).copied() };
+                    if let Some(proxy) = proxy {
+                        let d = self.latency.proxy_brass(&mut self.rng);
+                        self.send(
+                            send_at + d,
+                            Ev::DownAtProxy {
+                                proxy,
+                                device: device.0,
+                                frame,
+                                sent_at: send_at,
+                            },
+                        );
+                    }
+                }
+                HostEffect::Timer { at, app, token } => {
+                    self.send(at, Ev::BrassTimer { host, app, token });
+                }
+            }
+        }
+    }
+
+    /// Best-effort application attribution for a downstream frame: one
+    /// reverse-map lookup on the stream's registered topic.
+    fn app_of_device_frame(&self, device: u64, frame: &Frame) -> String {
+        let shared = self.shared();
+        let topic = frame
+            .sid()
+            .and_then(|sid| shared.stream_topic.get(&(device, sid)));
+        let Some(topic) = topic else {
+            return "unknown".into();
+        };
+        match topic.family() {
+            "LVC" => "lvc".into(),
+            "TI" => "typing".into(),
+            "Status" => "active_status".into(),
+            "Stories" => "stories".into(),
+            "Msgr" => "messenger".into(),
+            "Likes" => "likes".into(),
+            "Notif" => "notifications".into(),
+            other => other.to_owned(),
+        }
+    }
+
+    /// The trace ids of every update payload a frame carries, in batch
+    /// order.
+    fn frame_traces(&self, frame: &Frame) -> Vec<TraceId> {
+        let shared = self.shared();
+        frame
+            .update_payloads()
+            .filter_map(|p| payload_trace(&shared.object_trace, p))
+            .collect()
+    }
+}
+
+/// Resolves an update payload to its trace id via the embedded TAO
+/// object id. Payloads without an `"id"` field (or for objects written
+/// before tracing started) are simply untraced.
+///
+/// Runs on every update of every frame at every transport hop, so the
+/// id is pulled out with the single-pass [`burst::json::top_level_u64`]
+/// scanner instead of a full allocating parse.
+fn payload_trace(object_trace: &FxHashMap<ObjectId, TraceId>, payload: &[u8]) -> Option<TraceId> {
+    let id = burst::json::top_level_u64(payload, "id")?;
+    object_trace.get(&ObjectId(id)).copied()
+}
+
+impl Shard {
+    fn on_at_pop(&mut self, now: SimTime, device: u64, frame: Frame) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        let pop = state.pop;
+        let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
+        self.process_pop_effects(now, fx);
+    }
+
+    fn on_at_proxy(&mut self, now: SimTime, proxy: usize, device: u64, frame: Frame) {
+        if proxy >= self.proxies.len() {
+            return;
+        }
+        if !self.proxy_up[proxy] {
+            // Connection refused: the POP retries through its (repaired)
+            // proxy assignment, modelling the edge's TCP-level failover.
+            let d = self.latency.pop_proxy(&mut self.rng);
+            self.send(now + d, Ev::AtPop { device, frame });
+            return;
+        }
+        let fx = self.proxies[proxy].on_downstream_frame(device, frame, now.as_micros());
+        self.process_proxy_effects(now, proxy, fx);
+    }
+
+    fn process_proxy_effects(&mut self, now: SimTime, proxy: usize, effects: Vec<ProxyEffect>) {
+        for effect in effects {
+            match effect {
+                ProxyEffect::ToBrass {
+                    host,
+                    device,
+                    frame,
+                } => {
+                    let d = self.latency.proxy_brass(&mut self.rng);
+                    self.send(
+                        now + d,
+                        Ev::AtBrass {
+                            host: host as usize,
+                            device,
+                            frame,
+                        },
+                    );
+                }
+                ProxyEffect::ToDevice { device, frame } => {
+                    let d = self.latency.pop_proxy(&mut self.rng);
+                    self.send(
+                        now + d,
+                        Ev::DownAtPop {
+                            device,
+                            frame,
+                            sent_at: now,
+                        },
+                    );
+                }
+                ProxyEffect::PingHost { host, token } => {
+                    self.metrics.hb_pings.inc();
+                    // The ping travels to the host's shard, which holds the
+                    // authoritative liveness flag; a dead host never answers.
+                    let d = self.latency.proxy_brass(&mut self.rng);
+                    self.send(
+                        now + d,
+                        Ev::HbPingAtHost {
+                            proxy,
+                            host: host as usize,
+                            token,
+                        },
+                    );
+                }
+                ProxyEffect::HostDown { host } => {
+                    // Heartbeat-detected BRASS death: signal Pylon so the
+                    // dead host's subscriptions are purged (axiom 1). The
+                    // proxy's own stream repair rides in the same batch.
+                    self.metrics.host_failures_detected.inc();
+                    self.send(
+                        now,
+                        Ev::PylonHostFailed {
+                            host: host as usize,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_at_brass(&mut self, now: SimTime, host: usize, device: u64, frame: Frame) {
+        if host >= self.hosts.len() {
+            return;
+        }
+        if !self.host_up[host] {
+            // Frames to a crashed host vanish. Streams routed here stay
+            // broken until a proxy's heartbeats detect the death and
+            // repair them onto a healthy host.
+            return;
+        }
+        let fx = match frame {
+            Frame::Subscribe { sid, header, .. } => {
+                self.hosts[host].on_subscribe(DeviceId(device), sid, header, now)
+            }
+            Frame::Cancel { sid } => self.hosts[host].on_cancel(DeviceId(device), sid, now),
+            Frame::Ack { sid, seq } => self.hosts[host].on_ack(DeviceId(device), sid, seq, now),
+            _ => Vec::new(),
+        };
+        self.process_host_effects(now, host, fx, None);
+    }
+
+    fn on_down_at_proxy(
+        &mut self,
+        now: SimTime,
+        proxy: usize,
+        device: u64,
+        frame: Frame,
+        sent_at: SimTime,
+    ) {
+        if proxy >= self.proxies.len() {
+            return;
+        }
+        if !self.proxy_up[proxy] {
+            // Downstream frames through a dead proxy are lost until the
+            // POP re-homes the device's streams onto a live proxy.
+            let traces: Vec<TraceId> = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::HostDown,
+                );
+            }
+            return;
+        }
+        let fx = self.proxies[proxy].on_upstream_frame(device, frame, now.as_micros());
+        for effect in fx {
+            if let ProxyEffect::ToDevice { device, frame } = effect {
+                let d = self.latency.pop_proxy(&mut self.rng);
+                self.send(
+                    now + d,
+                    Ev::DownAtPop {
+                        device,
+                        frame,
+                        sent_at,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_down_at_pop(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        let pop = state.pop;
+        let fx = self.pops[pop].on_proxy_frame(device, frame, now.as_micros());
+        for effect in fx {
+            if let PopEffect::ToDevice { device, frame } = effect {
+                self.schedule_to_device(now, device, frame, sent_at);
+            }
+        }
+    }
+
+    /// Records a lost delivery and — when the losing stream is known —
+    /// remembers the trace so a later WAS backfill poll (gap detection or
+    /// reconnect) can recover it. When the loss happens away from the
+    /// device's shard, the note travels there as an event.
+    fn register_backfill_drop(
+        &mut self,
+        now: SimTime,
+        device: u64,
+        sid: Option<StreamId>,
+        trace: TraceId,
+        hop: Hop,
+        reason: DropReason,
+    ) {
+        self.record(trace, hop, now, HopOutcome::Dropped(reason));
+        if let Some(sid) = sid {
+            if self.owns_device(device) {
+                self.pending_backfill
+                    .entry((device, sid))
+                    .or_default()
+                    .push(trace);
+            } else {
+                self.send(now, Ev::NoteBackfill { device, sid, trace });
+            }
+        }
+    }
+
+    fn schedule_to_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let Some(state) = self.devices.get(&device) else {
+            return;
+        };
+        let link = state.link;
+        if !state.connected {
+            // Best effort: frames to disconnected devices vanish (the
+            // traces stay backfill-recoverable after reconnect).
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::DeviceDisconnected,
+                );
+            }
+            return;
+        }
+        if self.rng.chance(self.config.last_mile_drop) {
+            self.metrics.frames_lost.inc();
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::BurstDeliver,
+                    DropReason::LastMileLoss,
+                );
+            }
+            return;
+        }
+        for trace in self.frame_traces(&frame) {
+            self.record(trace, Hop::BurstDeliver, now, HopOutcome::Ok);
+        }
+        let d = self.latency.last_mile(link, &mut self.rng);
+        // FIFO last mile: the connection is ordered, so a frame sent later
+        // never arrives earlier (head-of-line, not reordering).
+        let at = (now + d).max(self.devices[&device].next_arrival);
+        self.devices
+            .get_mut(&device)
+            .expect("checked above")
+            .next_arrival = at;
+        self.send(
+            at,
+            Ev::AtDevice {
+                device,
+                frame,
+                sent_at,
+            },
+        );
+    }
+
+    fn on_at_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        let app = self.app_of_device_frame(device, &frame);
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            // The device dropped while the frame was in flight on the last
+            // mile.
+            let traces = self.frame_traces(&frame);
+            for trace in traces {
+                self.register_backfill_drop(
+                    now,
+                    device,
+                    frame.sid(),
+                    trace,
+                    Hop::DeviceRender,
+                    DropReason::DeviceDisconnected,
+                );
+            }
+            return;
+        }
+        // Device-observed subscription latency: first response on a stream.
+        if let Some(sid) = frame.sid() {
+            if let Some(started) = self.sub_started.remove(&(device, sid)) {
+                self.metrics
+                    .sub_e2e
+                    .record(now.saturating_since(started).as_millis_f64());
+            }
+        }
+        let outputs = state.device.on_frame(&frame);
+        let mut rendered_on: Option<StreamId> = None;
+        for out in outputs {
+            match out {
+                DeviceOutput::Render { payload, sid } => {
+                    rendered_on = Some(sid);
+                    self.metrics.deliveries.inc();
+                    self.metrics.ts_deliveries.inc(now);
+                    let lat = self.metrics.app(&app);
+                    lat.brass_to_device
+                        .record(now.saturating_since(sent_at).as_millis_f64());
+                    // Total publish time: the payload carries the original
+                    // application timestamp.
+                    if let Some(created) = burst::json::top_level_u64(&payload, "created_ms") {
+                        let created = SimTime::from_millis(created);
+                        lat.total
+                            .record(now.saturating_since(created).as_millis_f64());
+                    }
+                    if let Some(id) = burst::json::top_level_u64(&payload, "id") {
+                        let trace = { self.shared().object_trace.get(&ObjectId(id)).copied() };
+                        if let Some(trace) = trace {
+                            self.record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
+                        }
+                    }
+                }
+                DeviceOutput::StreamEnded { sid, retry } => {
+                    self.metrics.stream_closed(device, sid, now);
+                    if retry {
+                        let Some(state) = self.devices.get_mut(&device) else {
+                            return;
+                        };
+                        if let Some(frame) = state.device.retry_stream(sid) {
+                            let link = state.link;
+                            let d = self.latency.last_mile(link, &mut self.rng);
+                            self.send(now + d, Ev::AtPop { device, frame });
+                        }
+                    }
+                }
+                DeviceOutput::Send(frame) => {
+                    // Protocol replies (pongs, flow-control) go back up.
+                    let link = self.devices[&device].link;
+                    let d = self.latency.last_mile(link, &mut self.rng);
+                    self.send(now + d, Ev::AtPop { device, frame });
+                }
+                DeviceOutput::BackfillPoll { sid } => {
+                    // Gap detected: the device polls the WAS directly for
+                    // the window it missed (the paper's at-most-once
+                    // streams push reliability into app-level refetch).
+                    self.metrics.backfill_polls.inc();
+                    let link = self.devices[&device].link;
+                    let d = self.latency.last_mile(link, &mut self.rng)
+                        + self.latency.edge_to_was(&mut self.rng);
+                    self.send(now + d, Ev::WasBackfillExec { device, sid });
+                }
+                DeviceOutput::ConnectivityChanged { .. } => {}
+            }
+        }
+        // Reliable applications acknowledge receipt; the BRASS's retention
+        // buffer shrinks and retransmission stops.
+        if app == "messenger" {
+            if let Some(sid) = rendered_on {
+                let Some(state) = self.devices.get(&device) else {
+                    return;
+                };
+                if let Some(ack) = state.device.ack(sid) {
+                    let link = state.link;
+                    let d = self.latency.last_mile(link, &mut self.rng);
+                    self.send(now + d, Ev::AtPop { device, frame: ack });
+                }
+            }
+        }
+    }
+
+    /// The delay before a dropped device's next reconnect attempt: capped
+    /// exponential backoff on its recent drop streak, plus deterministic
+    /// jitter so a mass-disconnect does not come back as one synchronized
+    /// thundering herd.
+    fn reconnect_backoff(&mut self, now: SimTime, device: u64) -> SimDuration {
+        let base = self.config.reconnect_delay;
+        let Some(state) = self.devices.get_mut(&device) else {
+            return base;
+        };
+        // A quiet couple of minutes forgives the streak.
+        if now.saturating_since(state.last_drop_at) > SimDuration::from_secs(120) {
+            state.drop_streak = 0;
+        }
+        let streak = state.drop_streak;
+        state.drop_streak = streak.saturating_add(1);
+        state.last_drop_at = now;
+        let capped_us =
+            (base.as_micros() << streak.min(5)).min(SimDuration::from_secs(60).as_micros());
+        let jitter_us = self.rng.below(capped_us / 2 + 1);
+        SimDuration::from_micros(capped_us + jitter_us)
+    }
+
+    fn on_device_drop(&mut self, now: SimTime, device: u64) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        state.connected = false;
+        self.metrics.connection_drops.inc();
+        self.metrics.ts_connection_drops.inc(now);
+        let pop = state.pop;
+        let resubscribes = state.device.on_connection_lost();
+        let fx = self.pops[pop].on_device_disconnected(device);
+        // DeviceGone teardown rides through the shared effect fan-out; the
+        // false-positive reconnect branch inside it no-ops because the
+        // device is already marked disconnected.
+        self.process_pop_effects(now, fx);
+        let backoff = self.reconnect_backoff(now, device);
+        self.send(
+            now + backoff,
+            Ev::DeviceReconnect {
+                device,
+                frames: resubscribes,
+            },
+        );
+    }
+
+    /// A *silent* link death: no FIN reaches the POP, so server-side state
+    /// lingers until POP heartbeats notice (or the device's reconnect
+    /// overwrites it). The device itself notices quickly and reconnects on
+    /// the same backoff schedule as an announced drop.
+    fn on_device_vanish(&mut self, now: SimTime, device: u64) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        if !state.connected {
+            return;
+        }
+        state.connected = false;
+        self.metrics.device_vanishes.inc();
+        self.metrics.connection_drops.inc();
+        self.metrics.ts_connection_drops.inc(now);
+        let resubscribes = state.device.on_connection_lost();
+        // Deliberately NO pop/proxy notification here — that's the point.
+        let backoff = self.reconnect_backoff(now, device);
+        self.send(
+            now + backoff,
+            Ev::DeviceReconnect {
+                device,
+                frames: resubscribes,
+            },
+        );
+    }
+
+    fn on_device_reconnect(&mut self, now: SimTime, device: u64, frames: Vec<Frame>) {
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        state.connected = true;
+        let link = state.link;
+        for frame in frames {
+            self.metrics.subscriptions.inc();
+            self.metrics.ts_subscriptions.inc(now);
+            if let Some(sid) = frame.sid() {
+                self.sub_started.insert((device, sid), now);
+            }
+            let d = self.latency.last_mile(link, &mut self.rng);
+            self.send(now + d, Ev::AtPop { device, frame });
+        }
+        // Anything lost while the device was away is refetched from the
+        // WAS once the connection is back.
+        let mut missed: Vec<StreamId> = self
+            .pending_backfill
+            .keys()
+            .filter(|&&(d, _)| d == device)
+            .map(|&(_, sid)| sid)
+            .collect();
+        missed.sort_unstable_by_key(|sid| sid.0);
+        for sid in missed {
+            self.metrics.backfill_polls.inc();
+            let d = self.latency.last_mile(link, &mut self.rng)
+                + self.latency.edge_to_was(&mut self.rng);
+            self.send(now + d, Ev::WasBackfillExec { device, sid });
+        }
+    }
+
+    /// Executes a device's backfill poll at the WAS: every trace lost on
+    /// the way to this stream that never made it by other means is
+    /// recovered out-of-band.
+    fn on_was_backfill(&mut self, now: SimTime, device: u64, sid: StreamId) {
+        let Some(lost) = self.pending_backfill.remove(&(device, sid)) else {
+            return;
+        };
+        for trace in lost {
+            if self.trace_resolved(trace) {
+                continue;
+            }
+            self.metrics.backfills.inc();
+            self.record(trace, Hop::WasBackfill, now, HopOutcome::Ok);
+        }
+    }
+
+    /// Drops (with attribution) every update recently delivered to a host
+    /// that it may still have been buffering when its in-memory state
+    /// died. Traces that already rendered are left alone; anything else
+    /// gets a `HostDown` drop so the ledger still accounts for it.
+    fn spill_host_buffers(&mut self, now: SimTime, host: usize) {
+        let mut objects: Vec<ObjectId> = self
+            .object_delivered
+            .keys()
+            .filter(|&&(h, _)| h == host)
+            .map(|&(_, o)| o)
+            .collect();
+        objects.sort_unstable_by_key(|o| o.0);
+        let traces: Vec<TraceId> = {
+            let shared = self.shared();
+            objects
+                .iter()
+                .filter_map(|o| shared.object_trace.get(o).copied())
+                .collect()
+        };
+        for trace in traces {
+            if self.trace_resolved(trace) {
+                continue;
+            }
+            self.record(
+                trace,
+                Hop::BrassProcess,
+                now,
+                HopOutcome::Dropped(DropReason::HostDown),
+            );
+        }
+    }
+
+    fn on_brass_upgrade(&mut self, now: SimTime, host: usize) {
+        // The host's in-memory stream state is lost; Pylon drops its
+        // subscriptions; proxies repair every affected stream elsewhere.
+        // This is the *planned* path: everyone is told immediately.
+        self.spill_host_buffers(now, host);
+        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
+        fresh.register_standard_apps();
+        self.hosts[host] = fresh;
+        self.send(now, Ev::PylonHostFailed { host });
+        for proxy in 0..self.config.proxies as usize {
+            self.send(now, Ev::ProxyHostFailed { proxy, host });
+        }
+    }
+
+    /// A planned (upgrade) or healed (crash) host rejoins every live
+    /// proxy's routing pool with a fresh heartbeat monitor.
+    fn on_brass_host_back(&mut self, now: SimTime, host: usize) {
+        for proxy in 0..self.config.proxies as usize {
+            self.send(now, Ev::ProxyAddHost { proxy, host });
+        }
+    }
+
+    /// One proxy learns a BRASS host died (planned drain) and repairs the
+    /// streams it had routed there. The repair burst is recorded in the
+    /// proxy-reconnect series (additive buckets, so per-proxy records sum
+    /// to the fleet-wide delta).
+    fn on_proxy_host_failed(&mut self, now: SimTime, proxy: usize, host: usize) {
+        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
+            return;
+        }
+        let before = self.proxies[proxy].counters().induced_reconnects;
+        let fx = self.proxies[proxy].on_brass_host_failed(host as u32, now.as_micros());
+        self.process_proxy_effects(now, proxy, fx);
+        let delta = self.proxies[proxy].counters().induced_reconnects - before;
+        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
+    fn on_proxy_add_host(&mut self, now: SimTime, proxy: usize, host: usize) {
+        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
+            return;
+        }
+        let before = self.proxies[proxy].counters().induced_reconnects;
+        let fx = self.proxies[proxy].add_host(host as u32);
+        self.process_proxy_effects(now, proxy, fx);
+        let delta = self.proxies[proxy].counters().induced_reconnects - before;
+        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
+    fn on_brass_crash(&mut self, now: SimTime, host: usize) {
+        if host >= self.hosts.len() || !self.host_up[host] {
+            return;
+        }
+        self.host_up[host] = false;
+        self.op(SharedOp::HostUp(host, false));
+        self.metrics.host_crashes.inc();
+        // In-memory state — stream tables, app buffers — dies instantly;
+        // updates the host was still holding are dropped with attribution.
+        self.spill_host_buffers(now, host);
+        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
+        fresh.register_standard_apps();
+        self.hosts[host] = fresh;
+        // Crucially, NOTHING is signalled here: Pylon keeps fanning events
+        // at the corpse and proxies keep routing to it until their
+        // heartbeat monitors cross the miss threshold.
+    }
+
+    fn on_brass_recover(&mut self, now: SimTime, host: usize) {
+        if host >= self.hosts.len() || self.host_up[host] {
+            return;
+        }
+        self.host_up[host] = true;
+        self.op(SharedOp::HostUp(host, true));
+        self.on_brass_host_back(now, host);
+    }
+
+    fn on_proxy_outage(&mut self, now: SimTime, proxy: usize) {
+        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
+            return;
+        }
+        self.proxy_up[proxy] = false;
+        self.metrics.proxy_outages.inc();
+        // POPs see the region's connections reset: each drops the proxy
+        // from its pool and repairs affected streams onto survivors
+        // (axiom 2), signalling Degraded/Recovered to devices (axiom 1).
+        for pop in 0..self.config.pops as usize {
+            self.send(now, Ev::PopProxyFailed { pop, proxy });
+        }
+    }
+
+    fn on_proxy_back(&mut self, now: SimTime, proxy: usize) {
+        if proxy >= self.proxies.len() || self.proxy_up[proxy] {
+            return;
+        }
+        // The proxy restarts empty with the full host roster minus hosts
+        // already known dead (per the shared liveness mirror); anything
+        // that dies later is re-detected by its fresh heartbeat monitors.
+        let host_ids: Vec<u32> = (0..self.config.brass_hosts).collect();
+        let mut fresh = ReverseProxy::new(proxy as u32, self.config.route_strategy, host_ids)
+            .with_heartbeat(
+                self.config.heartbeat_interval.as_micros(),
+                self.config.heartbeat_misses,
+            );
+        {
+            let shared = self.shared();
+            for (h, up) in shared.host_up.iter().enumerate() {
+                if !*up {
+                    fresh.remove_host(h as u32);
+                }
+            }
+        }
+        self.proxies[proxy] = fresh;
+        self.proxy_up[proxy] = true;
+        for pop in 0..self.config.pops as usize {
+            self.send(now, Ev::PopAddProxy { pop, proxy });
+        }
+    }
+
+    /// The per-shard heartbeat tick: the shard's live proxies ping their
+    /// BRASS hosts (and repair streams off hosts that crossed the miss
+    /// threshold); its POPs ping devices when device heartbeats are on.
+    fn on_heartbeat_tick(&mut self, now: SimTime) {
+        for proxy in 0..self.proxies.len() {
+            if proxy % self.shards != self.id || !self.proxy_up[proxy] {
+                continue;
+            }
+            let before = self.proxies[proxy].counters().induced_reconnects;
+            let fx = self.proxies[proxy].on_heartbeat_tick(now.as_micros());
+            self.process_proxy_effects(now, proxy, fx);
+            let delta = self.proxies[proxy].counters().induced_reconnects - before;
+            if delta > 0 {
+                self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+            }
+        }
+        if self.config.device_heartbeats {
+            for pop in 0..self.pops.len() {
+                if pop % self.shards != self.id {
+                    continue;
+                }
+                let fx = self.pops[pop].on_heartbeat_tick(now.as_micros());
+                self.process_pop_effects(now, fx);
+            }
+        }
+        self.queue
+            .schedule(now + self.config.heartbeat_interval, Ev::HeartbeatTick);
+    }
+
+    /// Shared POP-effect fan-out (frames up to proxies, frames down to
+    /// devices, device-gone teardown at the owning proxy).
+    fn process_pop_effects(&mut self, now: SimTime, effects: Vec<PopEffect>) {
+        for effect in effects {
+            match effect {
+                PopEffect::ToProxy {
+                    proxy,
+                    device,
+                    frame,
+                } => {
+                    self.op(SharedOp::DeviceProxy(device, proxy as usize));
+                    let d = self.latency.pop_proxy(&mut self.rng);
+                    self.send(
+                        now + d,
+                        Ev::AtProxy {
+                            proxy: proxy as usize,
+                            device,
+                            frame,
+                        },
+                    );
+                }
+                PopEffect::ToDevice { device, frame } => {
+                    self.schedule_to_device(now, device, frame, now);
+                }
+                PopEffect::DeviceGone { proxy, device } => {
+                    self.send(
+                        now,
+                        Ev::ProxyDeviceGone {
+                            proxy: proxy as usize,
+                            device,
+                        },
+                    );
+                    // The reap can be a false positive: the device is alive
+                    // but its pongs died on a lossy link. The POP has
+                    // already closed the connection under it, so the device
+                    // sees the transport die and reconnects on the normal
+                    // backoff schedule (otherwise it would sit "connected"
+                    // with streams no server knows about, forever).
+                    let resubscribes = match self.devices.get_mut(&device) {
+                        Some(state) if state.connected => {
+                            state.connected = false;
+                            self.metrics.connection_drops.inc();
+                            self.metrics.ts_connection_drops.inc(now);
+                            Some(state.device.on_connection_lost())
+                        }
+                        _ => None,
+                    };
+                    if let Some(resubscribes) = resubscribes {
+                        let backoff = self.reconnect_backoff(now, device);
+                        self.send(
+                            now + backoff,
+                            Ev::DeviceReconnect {
+                                device,
+                                frames: resubscribes,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One coordinator-driven metrics tick: samples this shard's slice of
+    /// the fleet and reports the cross-shard aggregates the root series
+    /// need. Also rotates the object-attribution window.
+    fn shard_tick(&mut self, at: SimTime) -> TickSummary {
+        let active_streams: u64 = self
+            .devices
+            .values()
+            .map(|d| d.device.open_streams() as u64)
+            .sum();
+        let decisions: u64 = (0..self.hosts.len())
+            .filter(|h| h % self.shards == self.id)
+            .map(|h| self.hosts[h].total_app_counters().decisions)
+            .sum();
+        let mut live: Vec<(u64, StreamId)> = Vec::new();
+        for h in 0..self.hosts.len() {
+            if h % self.shards == self.id && self.host_up[h] {
+                live.extend(self.hosts[h].stream_keys());
+            }
+        }
+        let mut open: Vec<(u64, StreamId)> = Vec::new();
+        for (&id, state) in &self.devices {
+            if !state.connected {
+                continue;
+            }
+            open.extend(state.device.open_sids().into_iter().map(|sid| (id, sid)));
+        }
+        // Rotate the attribution map so it cannot grow without bound —
+        // but keep a window covering application buffering horizons, so a
+        // crash can still attribute the updates it takes down with it.
+        const ATTRIBUTION_WINDOW: SimDuration = SimDuration::from_secs(30);
+        self.object_delivered
+            .retain(|_, t| at.saturating_since(*t) <= ATTRIBUTION_WINDOW);
+        TickSummary {
+            active_streams,
+            decisions,
+            live,
+            open,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The coordinator: conservative windows over the shard set.
+// ----------------------------------------------------------------------
+
+/// A command the coordinator sends a worker thread.
+enum Cmd {
+    /// Run one shard's loop up to `end` after delivering `incoming`.
+    Run {
+        shard: usize,
+        end: SimTime,
+        incoming: Vec<Envelope<Ev>>,
+    },
+    /// Take one shard's metrics-tick sample at `at`.
+    Tick { shard: usize, at: SimTime },
+}
+
+/// What one shard hands back from a window: its barrier products and the
+/// time of its next pending event.
+struct WindowRes {
+    shard: usize,
+    outbox: Vec<(SimTime, Ev)>,
+    ops: Vec<SharedOp>,
+    led: Vec<LedRec>,
+    next: Option<SimTime>,
+}
+
+enum WorkerRes {
+    Window(WindowRes),
+    Tick { shard: usize, summary: TickSummary },
+}
+
+/// A worker thread's loop: serve Run/Tick commands for the shards this
+/// worker owns until the coordinator hangs up.
+fn worker_loop(
+    mut shards: Vec<(usize, &mut Shard)>,
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<WorkerRes>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Run {
+                shard,
+                end,
+                incoming,
+            } => {
+                let (_, s) = shards
+                    .iter_mut()
+                    .find(|(i, _)| *i == shard)
+                    .expect("command routed to the owning worker");
+                s.run_window(end, incoming);
+                let res = WindowRes {
+                    shard,
+                    outbox: std::mem::take(&mut s.outbox),
+                    ops: std::mem::take(&mut s.ops),
+                    led: std::mem::take(&mut s.led_pending),
+                    next: s.queue.peek_time(),
+                };
+                let _ = tx.send(WorkerRes::Window(res));
+            }
+            Cmd::Tick { shard, at } => {
+                let (_, s) = shards
+                    .iter_mut()
+                    .find(|(i, _)| *i == shard)
+                    .expect("command routed to the owning worker");
+                let summary = s.shard_tick(at);
+                let _ = tx.send(WorkerRes::Tick { shard, summary });
+            }
+        }
+    }
+}
+
+/// The window barrier, shared verbatim by the serial and threaded
+/// drivers: apply deferred registry writes and ledger records in shard
+/// order, then wrap, merge, and route the cross-shard mail. Everything
+/// here is ordered by `(shard, emission index)` or `(time, src, seq)` —
+/// never by thread completion order.
+fn apply_barrier(
+    world: &World,
+    pending_incoming: &mut [Vec<Envelope<Ev>>],
+    pops: usize,
+    shards: usize,
+    window_end: SimTime,
+    mut results: Vec<WindowRes>,
+) {
+    debug_assert!(results.windows(2).all(|w| w[0].shard < w[1].shard));
+    {
+        let mut shared = world.shared.write().unwrap();
+        for r in results.iter_mut() {
+            for op in r.ops.drain(..) {
+                apply_shared_op(&mut shared, op);
+            }
+        }
+    }
+    {
+        let mut ledger = world.ledger.write().unwrap();
+        for r in results.iter_mut() {
+            for (trace, hop, at, outcome) in r.led.drain(..) {
+                ledger.record(trace, hop, at, outcome);
+            }
+        }
+    }
+    let outboxes: Vec<Vec<Envelope<Ev>>> = results
+        .into_iter()
+        .map(|r| {
+            let src = r.shard;
+            r.outbox
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, event))| Envelope {
+                    at: clamp_to_window(at, window_end),
+                    src_shard: src,
+                    seq: i as u64,
+                    event,
+                })
+                .collect()
+        })
+        .collect();
+    for env in merge(outboxes) {
+        let dest = shard_route(&env.event, pops, shards);
+        pending_incoming[dest].push(env);
+    }
+}
+
+/// Folds per-shard tick samples into the root time series (active
+/// streams, decision deltas, stream availability) exactly as the
+/// un-sharded metrics tick used to.
+fn record_tick(
+    root_metrics: &mut SystemMetrics,
+    root_stats: &mut EventStats,
+    decisions_at_tick: &mut u64,
+    at: SimTime,
+    summaries: Vec<TickSummary>,
+) {
+    root_stats.total += 1;
+    root_stats.metrics += 1;
+    let active: u64 = summaries.iter().map(|s| s.active_streams).sum();
+    root_metrics.ts_active_streams.record(at, active as f64);
+    let decisions: u64 = summaries.iter().map(|s| s.decisions).sum();
+    // Saturating: a crashed/upgraded host restarts with zeroed counters,
+    // so the fleet total can move backwards across a tick.
+    root_metrics
+        .ts_decisions
+        .record(at, decisions.saturating_sub(*decisions_at_tick) as f64);
+    *decisions_at_tick = decisions;
+    // One availability sample: of all open streams on currently-connected
+    // devices, the fraction a live BRASS host is serving right now.
+    let mut live: FxHashSet<(u64, StreamId)> = FxHashSet::default();
+    for s in &summaries {
+        live.extend(s.live.iter().copied());
+    }
+    let mut open = 0u64;
+    let mut served = 0u64;
+    for s in &summaries {
+        for key in &s.open {
+            open += 1;
+            if live.contains(key) {
+                served += 1;
+            }
+        }
+    }
+    let fraction = if open == 0 {
+        1.0
+    } else {
+        served as f64 / open as f64
+    };
+    root_metrics.record_availability(at, fraction);
+}
+
+/// The full-system simulation: a set of logical shards driven in
+/// conservative parallel windows by this coordinator. See the module docs
+/// for the synchronisation contract.
+pub struct SystemSim {
+    config: SystemConfig,
+    latency: LatencyModel,
+    /// The master RNG: workload generators and fixture setup draw from it;
+    /// every shard's private stream is forked off it at construction.
+    rng: DetRng,
+    /// Worker threads driving shard windows (1 = serial). Purely a
+    /// performance knob: results are identical for any value.
+    workers: usize,
+    now: SimTime,
+    next_metrics_tick: SimTime,
+    world: Arc<World>,
+    shards: Vec<Shard>,
+    /// Cross-shard envelopes awaiting delivery at each shard's next
+    /// window, in `(time, src_shard, seq)` order.
+    pending_incoming: Vec<Vec<Envelope<Ev>>>,
+    /// Root-recorded series (metrics ticks aggregate across shards).
+    root_metrics: SystemMetrics,
+    root_stats: EventStats,
+    /// Root + all shards, folded after every `run_until`.
+    merged_metrics: SystemMetrics,
+    merged_stats: EventStats,
+    /// Decisions seen at the last metrics tick (for per-bucket deltas).
+    decisions_at_tick: u64,
+    /// Scenario bookkeeping: predicted next stream id per device.
+    scenario_sids: FxHashMap<u64, u64>,
+}
+
+impl SystemSim {
+    /// Builds a system: `config.logical_shards` event loops around a
+    /// shared world, with the periodic metrics tick driven from here.
+    pub fn new(config: SystemConfig, seed: u64) -> Self {
+        let rng = DetRng::new(seed);
+        let world = Arc::new(World {
+            shared: RwLock::new(SharedInner {
+                object_trace: FxHashMap::default(),
+                topic_streams: FxHashMap::default(),
+                stream_topic: FxHashMap::default(),
+                device_proxy: FxHashMap::default(),
+                host_up: vec![true; config.brass_hosts as usize],
+            }),
+            ledger: RwLock::new(TraceLedger::with_retention(config.trace_retention)),
+        });
+        let shards: Vec<Shard> = (0..config.logical_shards)
+            .map(|id| Shard::new(id, &config, &rng, Arc::clone(&world)))
+            .collect();
+        let pending_incoming = (0..config.logical_shards).map(|_| Vec::new()).collect();
+        let mut sim = SystemSim {
+            latency: LatencyModel::table3(),
+            rng,
+            workers: 1,
+            now: SimTime::ZERO,
+            next_metrics_tick: SimTime::ZERO + config.metrics_interval,
+            world,
+            shards,
+            pending_incoming,
+            root_metrics: SystemMetrics::new(config.metrics_horizon, config.metrics_interval),
+            root_stats: EventStats::default(),
+            merged_metrics: SystemMetrics::new(config.metrics_horizon, config.metrics_interval),
+            merged_stats: EventStats::default(),
+            decisions_at_tick: 0,
+            scenario_sids: FxHashMap::default(),
+            config,
+        };
+        sim.rebuild_merged();
+        sim
+    }
+
+    /// Sets the number of worker threads driving shard windows. `1` (the
+    /// default) runs shards serially on the caller's thread. Any value is
+    /// safe at any time: the worker count decides only which OS thread
+    /// executes a shard, never what the simulation computes — metrics and
+    /// trace ledger are bit-identical across worker counts.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// The WAS (for fixture setup: videos, threads, friendships).
     pub fn was_mut(&mut self) -> &mut WebApplicationServer {
-        &mut self.was
+        self.shards[0].was_ref()
     }
 
     /// The Pylon cluster (failure injection, counters).
     pub fn pylon(&self) -> &PylonCluster {
-        &self.pylon
+        self.shards[0]
+            .pylon
+            .as_ref()
+            .expect("Pylon lives on shard 0")
     }
 
     /// Mutable Pylon access (tests probe quorum topology directly).
     pub fn pylon_mut(&mut self) -> &mut PylonCluster {
-        &mut self.pylon
+        self.shards[0].pylon_ref()
     }
 
-    /// Collected metrics.
+    /// Collected metrics, aggregated across shards.
     pub fn metrics(&self) -> &SystemMetrics {
-        &self.metrics
+        &self.merged_metrics
     }
 
     /// Mutable metrics access (harnesses add their own annotations).
+    /// Annotations land on the merged aggregate, which is rebuilt — and
+    /// the annotation lost — by the next `run_until`.
     pub fn metrics_mut(&mut self) -> &mut SystemMetrics {
-        &mut self.metrics
+        &mut self.merged_metrics
     }
 
     /// The hop-ledger of every update traced through this run.
-    pub fn trace_ledger(&self) -> &TraceLedger {
-        &self.ledger
+    pub fn trace_ledger(&self) -> RwLockReadGuard<'_, TraceLedger> {
+        self.world.ledger.read().unwrap()
+    }
+
+    /// Per-subsystem counts of events handled so far, across shards.
+    pub fn event_stats(&self) -> &EventStats {
+        &self.merged_stats
     }
 
     /// Total BRASS delivery decisions across hosts.
     pub fn total_decisions(&self) -> u64 {
-        self.hosts
-            .iter()
-            .map(|h| h.total_app_counters().decisions)
+        let l = self.shards.len();
+        (0..self.config.brass_hosts as usize)
+            .map(|h| self.shards[h % l].hosts[h].total_app_counters().decisions)
             .sum()
     }
 
     /// Total proxy-induced stream reconnects across proxies.
     pub fn total_proxy_reconnects(&self) -> u64 {
-        self.proxies
-            .iter()
-            .map(|p| p.counters().induced_reconnects)
+        let l = self.shards.len();
+        (0..self.config.proxies as usize)
+            .map(|p| self.shards[p % l].proxies[p].counters().induced_reconnects)
             .sum()
     }
 
     /// A device's current state (testing).
     pub fn device(&self, device: u64) -> Option<&Device> {
-        self.devices.get(&device).map(|d| &d.device)
+        self.shards[self.device_shard(device)]
+            .devices
+            .get(&device)
+            .map(|d| &d.device)
     }
 
     /// Whether a BRASS host is currently up (testing / fault plans).
     pub fn host_is_up(&self, host: usize) -> bool {
-        self.host_up.get(host).copied().unwrap_or(false)
+        let l = self.shards.len();
+        self.shards[host % l]
+            .host_up
+            .get(host)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Whether a reverse proxy is currently up (testing / fault plans).
     pub fn proxy_is_up(&self, proxy: usize) -> bool {
-        self.proxy_up.get(proxy).copied().unwrap_or(false)
+        let l = self.shards.len();
+        self.shards[proxy % l]
+            .proxy_up
+            .get(proxy)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// The `(device, sid)` keys a BRASS host currently serves, sorted.
     pub fn host_stream_keys(&self, host: usize) -> Vec<(u64, StreamId)> {
-        self.hosts
+        let l = self.shards.len();
+        self.shards[host % l]
+            .hosts
             .get(host)
             .map(|h| h.stream_keys())
             .unwrap_or_default()
     }
 
-    /// Current simulated time.
+    /// Current simulated time (the high-water mark of `run_until`).
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.now
     }
 
     /// The per-run RNG (workload generators share the seed stream).
@@ -462,6 +2348,24 @@ impl SystemSim {
         &mut self.scenario_sids
     }
 
+    fn device_shard(&self, device: u64) -> usize {
+        (device as usize % self.config.pops as usize) % self.shards.len()
+    }
+
+    /// Routes an externally-scheduled event into the owning shard's queue.
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        let dest = shard_route(&ev, self.config.pops as usize, self.shards.len());
+        self.shards[dest].queue.schedule(at, ev);
+    }
+
+    /// Backoff before quorum-subscribe retry `attempt + 1`. The exponent
+    /// is clamped *before* shifting: attempts grow without bound under a
+    /// long partition, and `1u64 << 64` would overflow.
+    fn quorum_retry_backoff(attempt: u32) -> SimDuration {
+        const CAP_SECS: u64 = 30;
+        SimDuration::from_secs((1u64 << attempt.min(5)).min(CAP_SECS))
+    }
+
     // ------------------------------------------------------------------
     // Fixture and workload helpers.
     // ------------------------------------------------------------------
@@ -469,12 +2373,13 @@ impl SystemSim {
     /// Creates a user in the WAS plus their device at the edge.
     /// Returns the shared id (user uid == device id).
     pub fn create_user_device(&mut self, name: &str, lang: &str) -> u64 {
-        let uid = self.was.create_user(name, lang);
-        let pop = (uid % self.pops.len() as u64) as usize;
+        let uid = self.was_mut().create_user(name, lang);
+        let pop = (uid % self.config.pops as u64) as usize;
         let weights: Vec<f64> = self.config.link_mix.iter().map(|(_, p)| *p).collect();
         let cat = simkit::dist::Categorical::new(&weights);
         let link = self.config.link_mix[cat.sample_index(&mut self.rng)].0;
-        self.devices.insert(
+        let shard = self.device_shard(uid);
+        self.shards[shard].devices.insert(
             uid,
             DeviceState {
                 device: Device::new(uid),
@@ -484,6 +2389,7 @@ impl SystemSim {
                 connected: true,
                 drop_streak: 0,
                 last_drop_at: SimTime::ZERO,
+                next_arrival: SimTime::ZERO,
             },
         );
         uid
@@ -491,12 +2397,11 @@ impl SystemSim {
 
     /// Schedules a subscription with an explicit header.
     pub fn subscribe_with_header(&mut self, at: SimTime, device: u64, header: Json) {
-        self.queue
-            .schedule(at, Ev::DeviceSubscribe { device, header });
+        self.schedule(at, Ev::DeviceSubscribe { device, header });
     }
 
     fn gql_header(&self, device: u64, gql: String) -> Json {
-        let lang = self
+        let lang = self.shards[self.device_shard(device)]
             .devices
             .get(&device)
             .map(|d| d.lang.as_str())
@@ -569,20 +2474,19 @@ impl SystemSim {
 
     /// Schedules a stream cancellation.
     pub fn cancel_stream(&mut self, at: SimTime, device: u64, sid: StreamId) {
-        self.queue.schedule(at, Ev::DeviceCancel { device, sid });
+        self.schedule(at, Ev::DeviceCancel { device, sid });
     }
 
     fn schedule_mutation(&mut self, at: SimTime, device: u64, gql: String, app: &'static str) {
         // Device → POP → edge → WAS; sampled as one compound delay.
-        let link = self
+        let link = self.shards[self.device_shard(device)]
             .devices
             .get(&device)
             .map(|d| d.link)
             .unwrap_or(LinkClass::Mobile);
         let delay =
             self.latency.last_mile(link, &mut self.rng) + self.latency.edge_to_was(&mut self.rng);
-        self.queue
-            .schedule(at + delay, Ev::WasMutationExec { gql, app });
+        self.schedule(at + delay, Ev::WasMutationExec { gql, app });
     }
 
     /// Schedules a live-video comment post.
@@ -628,7 +2532,7 @@ impl SystemSim {
 
     /// Schedules a last-mile connection drop for a device.
     pub fn schedule_device_drop(&mut self, at: SimTime, device: u64) {
-        self.queue.schedule(at, Ev::DeviceDrop { device });
+        self.schedule(at, Ev::DeviceDrop { device });
     }
 
     /// Schedules a BRASS-initiated redirect of one stream to another host
@@ -641,7 +2545,7 @@ impl SystemSim {
         sid: StreamId,
         to_host: usize,
     ) {
-        self.queue.schedule(
+        self.schedule(
             at,
             Ev::BrassRedirect {
                 host,
@@ -654,16 +2558,14 @@ impl SystemSim {
 
     /// Schedules a BRASS host drain/upgrade lasting `duration`.
     pub fn schedule_brass_upgrade(&mut self, at: SimTime, host: usize, duration: SimDuration) {
-        self.queue.schedule(at, Ev::BrassUpgrade { host });
-        self.queue
-            .schedule(at + duration, Ev::BrassHostBack { host });
+        self.schedule(at, Ev::BrassUpgrade { host });
+        self.schedule(at + duration, Ev::BrassHostBack { host });
     }
 
     /// Schedules a Pylon subscriber-KV node outage of `duration`.
     pub fn schedule_pylon_outage(&mut self, at: SimTime, node: u64, duration: SimDuration) {
-        self.queue.schedule(at, Ev::PylonNode { node, up: false });
-        self.queue
-            .schedule(at + duration, Ev::PylonNode { node, up: true });
+        self.schedule(at, Ev::PylonNode { node, up: false });
+        self.schedule(at + duration, Ev::PylonNode { node, up: true });
     }
 
     /// Schedules an *unplanned* BRASS host crash lasting `duration`.
@@ -672,1216 +2574,280 @@ impl SystemSim {
     /// crash time: proxies discover the death through missed heartbeat
     /// pongs and only then repair its streams (axiom 2).
     pub fn schedule_brass_crash(&mut self, at: SimTime, host: usize, duration: SimDuration) {
-        self.queue.schedule(at, Ev::BrassCrash { host });
-        self.queue
-            .schedule(at + duration, Ev::BrassRecover { host });
+        self.schedule(at, Ev::BrassCrash { host });
+        self.schedule(at + duration, Ev::BrassRecover { host });
     }
 
     /// Schedules a reverse-proxy outage (e.g. a regional PoP-to-DC link
     /// cut) lasting `duration`.
     pub fn schedule_proxy_outage(&mut self, at: SimTime, proxy: usize, duration: SimDuration) {
-        self.queue.schedule(at, Ev::ProxyOutage { proxy });
-        self.queue.schedule(at + duration, Ev::ProxyBack { proxy });
+        self.schedule(at, Ev::ProxyOutage { proxy });
+        self.schedule(at + duration, Ev::ProxyBack { proxy });
     }
 
     /// Schedules a *silent* device drop: the link dies without a FIN, so
     /// the POP learns only via heartbeats while the device reconnects on
     /// its own backoff schedule.
     pub fn schedule_device_vanish(&mut self, at: SimTime, device: u64) {
-        self.queue.schedule(at, Ev::DeviceVanish { device });
+        self.schedule(at, Ev::DeviceVanish { device });
     }
 
     // ------------------------------------------------------------------
     // Execution.
     // ------------------------------------------------------------------
 
-    /// Runs the simulation until `until` (inclusive of events at `until`).
+    /// Runs the simulation until `until` (inclusive of events at `until`),
+    /// serially or on the configured worker pool — the results are
+    /// identical either way.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some((now, ev)) = self.queue.pop_until(until) {
-            self.event_stats.note(&ev);
-            self.handle(now, ev);
-        }
-    }
-
-    /// Per-subsystem counts of events handled so far.
-    pub fn event_stats(&self) -> &EventStats {
-        &self.event_stats
-    }
-
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::DeviceSubscribe { device, header } => self.on_device_subscribe(now, device, header),
-            Ev::DeviceCancel { device, sid } => self.on_device_cancel(now, device, sid),
-            Ev::WasMutationExec { gql, app } => self.on_was_mutation(now, &gql, app),
-            Ev::PylonPublish { event } => self.on_pylon_publish(now, event),
-            Ev::PylonDeliverHost { host, event } => self.on_pylon_deliver(now, host, event),
-            Ev::TaoReplicate { event } => self.was.tao_mut().apply_replication(&event),
-            Ev::PylonSubscribeExec {
-                host,
-                topic,
-                attempt,
-            } => self.on_pylon_subscribe_exec(now, host, topic, attempt),
-            Ev::PylonUnsubscribeExec { host, topic } => {
-                let _ = self.pylon.unsubscribe(&topic, HostId(host as u32));
-            }
-            Ev::WasExec {
-                host,
-                app,
-                token,
-                request,
-                attributed,
-            } => self.on_was_exec(now, host, app, token, request, attributed),
-            Ev::WasReply {
-                host,
-                app,
-                token,
-                response,
-                attributed,
-            } => self.on_was_reply(now, host, app, token, response, attributed),
-            Ev::BrassTimer { host, app, token } => {
-                let fx = self.hosts[host].on_timer(&app, token, now);
-                self.process_host_effects(now, host, fx, None);
-            }
-            Ev::AtPop { device, frame } => self.on_at_pop(now, device, frame),
-            Ev::AtProxy {
-                proxy,
-                device,
-                frame,
-            } => self.on_at_proxy(now, proxy, device, frame),
-            Ev::AtBrass {
-                host,
-                device,
-                frame,
-            } => self.on_at_brass(now, host, device, frame),
-            Ev::DownAtProxy {
-                device,
-                frame,
-                sent_at,
-            } => self.on_down_at_proxy(now, device, frame, sent_at),
-            Ev::DownAtPop {
-                device,
-                frame,
-                sent_at,
-            } => self.on_down_at_pop(now, device, frame, sent_at),
-            Ev::AtDevice {
-                device,
-                frame,
-                sent_at,
-            } => self.on_at_device(now, device, frame, sent_at),
-            Ev::DeviceDrop { device } => self.on_device_drop(now, device),
-            Ev::DeviceReconnect { device, frames } => self.on_device_reconnect(now, device, frames),
-            Ev::BrassRedirect {
-                host,
-                device,
-                sid,
-                to_host,
-            } => {
-                let fx =
-                    self.hosts[host].redirect_stream(DeviceId(device), sid, to_host as u32, now);
-                self.process_host_effects(now, host, fx, None);
-            }
-            Ev::BrassUpgrade { host } => self.on_brass_upgrade(now, host),
-            Ev::BrassHostBack { host } => self.on_brass_host_back(now, host),
-            Ev::PylonNode { node, up } => {
-                if up {
-                    self.pylon.node_up(node);
-                } else {
-                    self.pylon.node_down(node);
-                }
-            }
-            Ev::BrassCrash { host } => self.on_brass_crash(now, host),
-            Ev::BrassRecover { host } => self.on_brass_recover(now, host),
-            Ev::ProxyOutage { proxy } => self.on_proxy_outage(now, proxy),
-            Ev::ProxyBack { proxy } => self.on_proxy_back(now, proxy),
-            Ev::DeviceVanish { device } => self.on_device_vanish(now, device),
-            Ev::HeartbeatTick => self.on_heartbeat_tick(now),
-            Ev::PongFromHost { proxy, host, token } => {
-                if self.proxy_up[proxy] {
-                    self.proxies[proxy].on_host_pong(host as u32, token);
-                }
-            }
-            Ev::WasBackfillExec { device, sid } => self.on_was_backfill(now, device, sid),
-            Ev::MetricsTick => self.on_metrics_tick(now),
-        }
-    }
-
-    fn on_device_subscribe(&mut self, now: SimTime, device: u64, header: Json) {
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        if !state.connected {
-            return;
-        }
-        // Device stream cap ("each mobile app up to 20 concurrent
-        // streams"): the oldest stream makes room for the new one.
-        let evict: Vec<StreamId> = {
-            let open = state.device.open_sids();
-            let over = (open.len() + 1).saturating_sub(self.config.max_streams_per_device);
-            open.into_iter().take(over).collect()
-        };
-        for sid in evict {
-            self.on_device_cancel(now, device, sid);
-        }
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        // Fig. 7 registry: which topic does this stream's subscription
-        // target? Resolved before the header moves into the stream.
-        let sub_topic = brass::resolve::resolve(&header).ok().map(|sub| sub.topic);
-        let (sid, frame) = state.device.open_stream(header, Vec::new());
-        self.metrics.subscriptions.inc();
-        self.metrics.ts_subscriptions.inc(now);
-        self.metrics.stream_opened(device, sid, now);
-        self.sub_started.insert((device, sid), now);
-        if let Some(topic) = sub_topic {
-            self.topic_streams
-                .entry(topic)
-                .or_default()
-                .push((device, sid));
-            self.stream_topic.insert((device, sid), topic);
-        }
-        let link = state.link;
-        let delay = self.latency.last_mile(link, &mut self.rng);
-        self.queue
-            .schedule(now + delay, Ev::AtPop { device, frame });
-    }
-
-    fn on_device_cancel(&mut self, now: SimTime, device: u64, sid: StreamId) {
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        let Some(frame) = state.device.cancel_stream(sid) else {
-            return;
-        };
-        self.metrics.cancellations.inc();
-        self.metrics.stream_closed(device, sid, now);
-        // O(1) de-registration via the reverse map. (The old scan over
-        // `topic_streams.values_mut()` also visited topics in hash-map
-        // iteration order — harmless for `retain`, but a latent trap for
-        // any future per-topic side effect.)
-        if let Some(topic) = self.stream_topic.remove(&(device, sid)) {
-            if let Some(streams) = self.topic_streams.get_mut(&topic) {
-                streams.retain(|&(d, s)| !(d == device && s == sid));
-            }
-        }
-        let link = state.link;
-        let delay = self.latency.last_mile(link, &mut self.rng);
-        self.queue
-            .schedule(now + delay, Ev::AtPop { device, frame });
-    }
-
-    fn on_was_mutation(&mut self, now: SimTime, gql: &str, app: &'static str) {
-        let Ok(outcome) = self.was.execute_mutation(gql, now.as_millis()) else {
-            return;
-        };
-        self.metrics.mutations.inc();
-        for rep in outcome.replication {
-            let d = self.latency.cross_region(&mut self.rng);
-            self.queue
-                .schedule(now + d, Ev::TaoReplicate { event: rep });
-        }
-        let was_delay = self
-            .latency
-            .was_mutation(outcome.was_latency_ms, &mut self.rng);
-        self.metrics
-            .app(app)
-            .was_handling
-            .record(was_delay.as_millis_f64());
-        for event in outcome.events {
-            // The write committed: open the update's trace.
-            let trace = TraceId(event.id);
-            self.object_trace.insert(event.object, trace);
-            self.ledger
-                .record(trace, Hop::TaoCommit, now, HopOutcome::Ok);
-            self.queue
-                .schedule(now + was_delay, Ev::PylonPublish { event });
-        }
-    }
-
-    fn on_pylon_publish(&mut self, now: SimTime, event: UpdateEvent) {
-        self.metrics.publications.inc();
-        self.metrics.ts_publications.inc(now);
-        if let Some(streams) = self.topic_streams.get(&event.topic) {
-            for &(d, s) in streams {
-                self.metrics.publication_for_stream(d, s);
-            }
-        }
-        let outcome = self.pylon.publish(&event.topic, event.id);
-        let subscribers = outcome.fast_forwards.len() + outcome.late_forwards.len();
-        let publish_outcome = if subscribers == 0 {
-            HopOutcome::Dropped(DropReason::NoSubscribers)
+        let lookahead = self.latency.min_cross_shard_hop();
+        // Windows are closed intervals; the last in-window microsecond is
+        // `next + lookahead - 1`.
+        let w_minus = SimDuration::from_micros(lookahead.as_micros().saturating_sub(1));
+        if self.workers > 1 && self.shards.len() > 1 {
+            self.run_windows_threaded(until, w_minus);
         } else {
-            HopOutcome::Ok
-        };
-        self.ledger
-            .record(TraceId(event.id), Hop::PylonPublish, now, publish_outcome);
-        let fanout = self.latency.pylon_fanout(subscribers, &mut self.rng);
-        if subscribers < 10_000 {
-            self.metrics
-                .pylon_fanout_small
-                .record(fanout.as_millis_f64());
-        } else {
-            self.metrics
-                .pylon_fanout_large
-                .record(fanout.as_millis_f64());
+            self.run_windows_serial(until, w_minus);
         }
-        // One allocation, N pointers: the fan-out shares the event.
-        let event = Arc::new(event);
-        for host in outcome.fast_forwards {
-            self.queue.schedule(
-                now + fanout,
-                Ev::PylonDeliverHost {
-                    host: host.0 as usize,
-                    event: Arc::clone(&event),
-                },
-            );
+        if until > self.now {
+            self.now = until;
         }
-        for host in outcome.late_forwards {
-            let extra = self.latency.pylon_late_extra(&mut self.rng);
-            self.queue.schedule(
-                now + fanout + extra,
-                Ev::PylonDeliverHost {
-                    host: host.0 as usize,
-                    event: Arc::clone(&event),
-                },
-            );
-        }
+        self.rebuild_merged();
     }
 
-    fn on_pylon_deliver(&mut self, now: SimTime, host: usize, event: Arc<UpdateEvent>) {
-        if host >= self.hosts.len() {
-            return;
+    /// Earliest pending event over every shard queue and mailbox.
+    fn earliest_pending(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        for (s, shard) in self.shards.iter().enumerate() {
+            // Mailboxes are (time, src, seq)-sorted, so `first` is min.
+            let cands = [
+                shard.queue.peek_time(),
+                self.pending_incoming[s].first().map(|e| e.at),
+            ];
+            for cand in cands.into_iter().flatten() {
+                next = Some(match next {
+                    Some(n) if n <= cand => n,
+                    _ => cand,
+                });
+            }
         }
-        if !self.host_up[host] {
-            // Pylon has not yet purged a crashed host's subscriptions
-            // (that happens when a proxy's heartbeats detect the death);
-            // events fanned to it meanwhile die here.
-            self.ledger.record(
-                TraceId(event.id),
-                Hop::PylonDeliver,
-                now,
-                HopOutcome::Dropped(DropReason::HostDown),
-            );
-            return;
-        }
-        self.object_delivered.insert((host, event.object), now);
-        self.ledger
-            .record(TraceId(event.id), Hop::PylonDeliver, now, HopOutcome::Ok);
-        let fx = self.hosts[host].on_pylon_event(&event, now);
-        self.process_host_effects(now, host, fx, Some(now));
+        next
     }
 
-    fn on_pylon_subscribe_exec(&mut self, now: SimTime, host: usize, topic: Topic, attempt: u32) {
-        match self.pylon.subscribe(&topic, HostId(host as u32)) {
-            Ok(()) => {}
-            Err(_) => {
-                self.metrics.quorum_failures.inc();
-                // CP subscribe failed; BRASS retries with capped
-                // exponential backoff until quorum returns.
-                self.queue.schedule(
-                    now + Self::quorum_retry_backoff(attempt),
-                    Ev::PylonSubscribeExec {
-                        host,
-                        topic,
-                        attempt: attempt.saturating_add(1),
-                    },
+    /// The last timestamp inside the window opening at `next`: capped by
+    /// the lookahead, the next metrics tick, and the run horizon.
+    fn window_end(next: SimTime, until: SimTime, tick: SimTime, w_minus: SimDuration) -> SimTime {
+        let mut end = next + w_minus;
+        // The tick must observe every event before it, so the window stops
+        // one microsecond short. (`tick > next` holds here, or the tick
+        // would have fired instead of a window.)
+        let cap = SimTime::from_micros(tick.as_micros().saturating_sub(1));
+        if cap < end {
+            end = cap;
+        }
+        if until < end {
+            end = until;
+        }
+        end
+    }
+
+    fn run_windows_serial(&mut self, until: SimTime, w_minus: SimDuration) {
+        let nshards = self.shards.len();
+        let prof = std::env::var("BR_PROF").is_ok();
+        let mut n_windows = 0u64;
+        let mut n_empty = 0u64;
+        let mut t_window = std::time::Duration::ZERO;
+        let mut t_barrier = std::time::Duration::ZERO;
+        let t_all = std::time::Instant::now();
+        loop {
+            let next = self.earliest_pending();
+            let tick = self.next_metrics_tick;
+            if tick <= until && next.is_none_or(|n| tick <= n) {
+                // The tick outranks same-time events, matching the old
+                // single-queue schedule order.
+                let summaries: Vec<TickSummary> =
+                    self.shards.iter_mut().map(|s| s.shard_tick(tick)).collect();
+                record_tick(
+                    &mut self.root_metrics,
+                    &mut self.root_stats,
+                    &mut self.decisions_at_tick,
+                    tick,
+                    summaries,
                 );
-            }
-        }
-    }
-
-    /// Backoff before quorum-subscribe retry `attempt + 1`. The exponent
-    /// is clamped *before* shifting: attempts grow without bound under a
-    /// long partition, and `1u64 << 64` would overflow.
-    fn quorum_retry_backoff(attempt: u32) -> SimDuration {
-        const CAP_SECS: u64 = 30;
-        SimDuration::from_secs((1u64 << attempt.min(5)).min(CAP_SECS))
-    }
-
-    fn on_was_exec(
-        &mut self,
-        now: SimTime,
-        host: usize,
-        app: String,
-        token: FetchToken,
-        request: WasRequest,
-        attributed: Option<SimTime>,
-    ) {
-        let response = match request {
-            WasRequest::FetchObject { viewer, object } => {
-                let response = match self.was.fetch_for_viewer(0, viewer, object) {
-                    Ok((payload, _)) => WasResponse::Payload(payload.into()),
-                    Err(was::WasError::PrivacyDenied) => WasResponse::Denied,
-                    Err(_) => WasResponse::NotFound,
-                };
-                // The payload fetch is the final BRASS-processing gate:
-                // the WAS privacy check decides whether the update survives.
-                if let Some(&trace) = self.object_trace.get(&object) {
-                    let outcome = match &response {
-                        WasResponse::Payload(_) => HopOutcome::Ok,
-                        WasResponse::Denied => HopOutcome::Dropped(DropReason::PrivacyBlock),
-                        _ => HopOutcome::Dropped(DropReason::NotFound),
-                    };
-                    self.ledger.record(trace, Hop::BrassProcess, now, outcome);
-                }
-                response
-            }
-            WasRequest::Friends { uid } => WasResponse::Friends(self.was.friends_of(uid)),
-            WasRequest::MailboxAfter { uid, after_seq } => {
-                let q = match after_seq {
-                    Some(a) => format!("{{ mailbox(uid: {uid}, afterSeq: {a}) }}"),
-                    None => format!("{{ mailbox(uid: {uid}) }}"),
-                };
-                let entries = self
-                    .was
-                    .execute_query(0, &q)
-                    .ok()
-                    .and_then(|o| {
-                        o.response.get("mailbox").map(|m| {
-                            m.items()
-                                .iter()
-                                .filter_map(|e| {
-                                    let seq = e.get("seq").and_then(Rv::as_int)? as u64;
-                                    let obj = e.get("messageId").and_then(Rv::as_int)? as u64;
-                                    Some((seq, ObjectId(obj)))
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .unwrap_or_default();
-                WasResponse::Mailbox(entries)
-            }
-        };
-        let back = self.latency.brass_was_rtt(&mut self.rng) / 2;
-        self.queue.schedule(
-            now + back,
-            Ev::WasReply {
-                host,
-                app,
-                token,
-                response,
-                attributed,
-            },
-        );
-    }
-
-    fn on_was_reply(
-        &mut self,
-        now: SimTime,
-        host: usize,
-        app: String,
-        token: FetchToken,
-        response: WasResponse,
-        attributed: Option<SimTime>,
-    ) {
-        let fx = self.hosts[host].on_was_response(&app, token, response, now);
-        self.process_host_effects(now, host, fx, attributed);
-    }
-
-    /// Converts BRASS host effects into scheduled events.
-    ///
-    /// `attributed` carries the instant the update event arrived at the
-    /// host, for the Fig. 9 "BRASS host processing" histogram.
-    fn process_host_effects(
-        &mut self,
-        now: SimTime,
-        host: usize,
-        effects: Vec<HostEffect>,
-        attributed: Option<SimTime>,
-    ) {
-        for effect in effects {
-            match effect {
-                HostEffect::PylonSubscribe(topic) => {
-                    let d = self.latency.sub_replication(&mut self.rng);
-                    self.metrics.sub_replication.record(d.as_millis_f64());
-                    self.queue.schedule(
-                        now + d,
-                        Ev::PylonSubscribeExec {
-                            host,
-                            topic,
-                            attempt: 0,
-                        },
-                    );
-                }
-                HostEffect::PylonUnsubscribe(topic) => {
-                    let d = self.latency.sub_replication(&mut self.rng);
-                    self.queue
-                        .schedule(now + d, Ev::PylonUnsubscribeExec { host, topic });
-                }
-                HostEffect::Was {
-                    app,
-                    token,
-                    request,
-                } => {
-                    // Payload fetches inherit attribution from the event
-                    // that referenced the object (covers buffered apps).
-                    let attr = match &request {
-                        WasRequest::FetchObject { object, .. } => self
-                            .object_delivered
-                            .get(&(host, *object))
-                            .copied()
-                            .or(attributed),
-                        _ => attributed,
-                    };
-                    let d = self.latency.brass_was_rtt(&mut self.rng) / 2;
-                    self.queue.schedule(
-                        now + d,
-                        Ev::WasExec {
-                            host,
-                            app,
-                            token,
-                            request,
-                            attributed: attr,
-                        },
-                    );
-                }
-                HostEffect::DropUpdate { object, reason } => {
-                    if let Some(&trace) = self.object_trace.get(&object) {
-                        self.ledger.record(
-                            trace,
-                            Hop::BrassProcess,
-                            now,
-                            HopOutcome::Dropped(reason),
-                        );
-                    }
-                }
-                HostEffect::Send { device, frame } => {
-                    let proc = self.latency.brass_processing(&mut self.rng);
-                    let send_at = now + proc;
-                    for trace in self.frame_traces(&frame) {
-                        self.ledger
-                            .record(trace, Hop::BrassSend, send_at, HopOutcome::Ok);
-                    }
-                    if let Some(event_at) = attributed {
-                        // Only data batches count as event processing.
-                        if matches!(&frame, Frame::Response { batch, .. }
-                            if batch.iter().any(|d| matches!(d, burst::frame::Delta::Update { .. })))
-                        {
-                            let app_name = self.app_of_device_frame(device.0, &frame);
-                            self.metrics
-                                .app(&app_name)
-                                .brass_processing
-                                .record(send_at.saturating_since(event_at).as_millis_f64());
-                        }
-                    }
-                    let d = self.latency.proxy_brass(&mut self.rng);
-                    self.queue.schedule(
-                        send_at + d,
-                        Ev::DownAtProxy {
-                            device: device.0,
-                            frame,
-                            sent_at: send_at,
-                        },
-                    );
-                }
-                HostEffect::Timer { at, app, token } => {
-                    self.queue.schedule(at, Ev::BrassTimer { host, app, token });
-                }
-            }
-        }
-    }
-
-    /// Best-effort application attribution for a downstream frame: one
-    /// reverse-map lookup on the stream's registered topic.
-    fn app_of_device_frame(&self, device: u64, frame: &Frame) -> String {
-        let topic = frame
-            .sid()
-            .and_then(|sid| self.stream_topic.get(&(device, sid)));
-        let Some(topic) = topic else {
-            return "unknown".into();
-        };
-        match topic.family() {
-            "LVC" => "lvc".into(),
-            "TI" => "typing".into(),
-            "Status" => "active_status".into(),
-            "Stories" => "stories".into(),
-            "Msgr" => "messenger".into(),
-            "Likes" => "likes".into(),
-            "Notif" => "notifications".into(),
-            other => other.to_owned(),
-        }
-    }
-
-    fn on_at_pop(&mut self, now: SimTime, device: u64, frame: Frame) {
-        let Some(state) = self.devices.get(&device) else {
-            return;
-        };
-        let pop = state.pop;
-        let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
-        self.process_pop_effects(now, fx);
-    }
-
-    fn on_at_proxy(&mut self, now: SimTime, proxy: usize, device: u64, frame: Frame) {
-        if proxy >= self.proxies.len() {
-            return;
-        }
-        if !self.proxy_up[proxy] {
-            // Connection refused: the POP retries through its (repaired)
-            // proxy assignment, modelling the edge's TCP-level failover.
-            let d = self.latency.pop_proxy(&mut self.rng);
-            self.queue.schedule(now + d, Ev::AtPop { device, frame });
-            return;
-        }
-        let fx = self.proxies[proxy].on_downstream_frame(device, frame, now.as_micros());
-        self.process_proxy_effects(now, proxy, fx);
-    }
-
-    fn process_proxy_effects(&mut self, now: SimTime, proxy: usize, effects: Vec<ProxyEffect>) {
-        for effect in effects {
-            match effect {
-                ProxyEffect::ToBrass {
-                    host,
-                    device,
-                    frame,
-                } => {
-                    let d = self.latency.proxy_brass(&mut self.rng);
-                    self.queue.schedule(
-                        now + d,
-                        Ev::AtBrass {
-                            host: host as usize,
-                            device,
-                            frame,
-                        },
-                    );
-                }
-                ProxyEffect::ToDevice { device, frame } => {
-                    let d = self.latency.pop_proxy(&mut self.rng);
-                    self.queue.schedule(
-                        now + d,
-                        Ev::DownAtPop {
-                            device,
-                            frame,
-                            sent_at: now,
-                        },
-                    );
-                }
-                ProxyEffect::PingHost { host, token } => {
-                    self.metrics.hb_pings.inc();
-                    let host = host as usize;
-                    // A dead host never answers; the ping just vanishes.
-                    if host < self.host_up.len() && self.host_up[host] {
-                        let rtt = self.latency.proxy_brass(&mut self.rng) * 2u64;
-                        self.queue
-                            .schedule(now + rtt, Ev::PongFromHost { proxy, host, token });
-                    }
-                }
-                ProxyEffect::HostDown { host } => {
-                    // Heartbeat-detected BRASS death: signal Pylon so the
-                    // dead host's subscriptions are purged (axiom 1). The
-                    // proxy's own stream repair rides in the same batch.
-                    self.metrics.host_failures_detected.inc();
-                    self.pylon.host_failed(HostId(host));
-                }
-            }
-        }
-    }
-
-    fn on_at_brass(&mut self, now: SimTime, host: usize, device: u64, frame: Frame) {
-        if host >= self.hosts.len() {
-            return;
-        }
-        if !self.host_up[host] {
-            // Frames to a crashed host vanish. Streams routed here stay
-            // broken until a proxy's heartbeats detect the death and
-            // repair them onto a healthy host.
-            return;
-        }
-        let fx = match frame {
-            Frame::Subscribe { sid, header, .. } => {
-                self.hosts[host].on_subscribe(DeviceId(device), sid, header, now)
-            }
-            Frame::Cancel { sid } => self.hosts[host].on_cancel(DeviceId(device), sid, now),
-            Frame::Ack { sid, seq } => self.hosts[host].on_ack(DeviceId(device), sid, seq, now),
-            _ => Vec::new(),
-        };
-        self.process_host_effects(now, host, fx, None);
-    }
-
-    fn on_down_at_proxy(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
-        let Some(&proxy) = self.device_proxy.get(&device) else {
-            // No known route (device never subscribed through a proxy).
-            return;
-        };
-        if proxy >= self.proxies.len() {
-            return;
-        }
-        if !self.proxy_up[proxy] {
-            // Downstream frames through a dead proxy are lost until the
-            // POP re-homes the device's streams onto a live proxy.
-            let traces: Vec<TraceId> = self.frame_traces(&frame);
-            for trace in traces {
-                self.register_backfill_drop(
-                    now,
-                    device,
-                    frame.sid(),
-                    trace,
-                    Hop::BurstDeliver,
-                    DropReason::HostDown,
-                );
-            }
-            return;
-        }
-        let fx = self.proxies[proxy].on_upstream_frame(device, frame, now.as_micros());
-        for effect in fx {
-            if let ProxyEffect::ToDevice { device, frame } = effect {
-                let d = self.latency.pop_proxy(&mut self.rng);
-                self.queue.schedule(
-                    now + d,
-                    Ev::DownAtPop {
-                        device,
-                        frame,
-                        sent_at,
-                    },
-                );
-            }
-        }
-    }
-
-    fn on_down_at_pop(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
-        let Some(state) = self.devices.get(&device) else {
-            return;
-        };
-        let pop = state.pop;
-        let fx = self.pops[pop].on_proxy_frame(device, frame, now.as_micros());
-        for effect in fx {
-            if let PopEffect::ToDevice { device, frame } = effect {
-                self.schedule_to_device(now, device, frame, sent_at);
-            }
-        }
-    }
-
-    /// Resolves an update payload to its trace id via the embedded TAO
-    /// object id. Payloads without an `"id"` field (or for objects written
-    /// before tracing started) are simply untraced.
-    ///
-    /// Runs on every update of every frame at every transport hop, so the
-    /// id is pulled out with the single-pass [`burst::json::top_level_u64`]
-    /// scanner instead of a full allocating parse.
-    fn payload_trace(
-        object_trace: &FxHashMap<ObjectId, TraceId>,
-        payload: &[u8],
-    ) -> Option<TraceId> {
-        let id = burst::json::top_level_u64(payload, "id")?;
-        object_trace.get(&ObjectId(id)).copied()
-    }
-
-    /// The trace ids of every update payload a frame carries, in batch
-    /// order.
-    fn frame_traces(&self, frame: &Frame) -> Vec<TraceId> {
-        frame
-            .update_payloads()
-            .filter_map(|p| Self::payload_trace(&self.object_trace, p))
-            .collect()
-    }
-
-    /// Records a lost delivery and — when the losing stream is known —
-    /// remembers the trace so a later WAS backfill poll (gap detection or
-    /// reconnect) can recover it.
-    fn register_backfill_drop(
-        &mut self,
-        now: SimTime,
-        device: u64,
-        sid: Option<StreamId>,
-        trace: TraceId,
-        hop: Hop,
-        reason: DropReason,
-    ) {
-        self.ledger
-            .record(trace, hop, now, HopOutcome::Dropped(reason));
-        if let Some(sid) = sid {
-            self.pending_backfill
-                .entry((device, sid))
-                .or_default()
-                .push(trace);
-        }
-    }
-
-    fn schedule_to_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
-        let Some(state) = self.devices.get(&device) else {
-            return;
-        };
-        if !state.connected {
-            // Best effort: frames to disconnected devices vanish (the
-            // traces stay backfill-recoverable after reconnect).
-            let traces = self.frame_traces(&frame);
-            for trace in traces {
-                self.register_backfill_drop(
-                    now,
-                    device,
-                    frame.sid(),
-                    trace,
-                    Hop::BurstDeliver,
-                    DropReason::DeviceDisconnected,
-                );
-            }
-            return;
-        }
-        if self.rng.chance(self.config.last_mile_drop) {
-            self.metrics.frames_lost.inc();
-            let traces = self.frame_traces(&frame);
-            for trace in traces {
-                self.register_backfill_drop(
-                    now,
-                    device,
-                    frame.sid(),
-                    trace,
-                    Hop::BurstDeliver,
-                    DropReason::LastMileLoss,
-                );
-            }
-            return;
-        }
-        for p in frame.update_payloads() {
-            if let Some(trace) = Self::payload_trace(&self.object_trace, p) {
-                self.ledger
-                    .record(trace, Hop::BurstDeliver, now, HopOutcome::Ok);
-            }
-        }
-        let link = state.link;
-        let d = self.latency.last_mile(link, &mut self.rng);
-        self.queue.schedule(
-            now + d,
-            Ev::AtDevice {
-                device,
-                frame,
-                sent_at,
-            },
-        );
-    }
-
-    fn on_at_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
-        let app = self.app_of_device_frame(device, &frame);
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        if !state.connected {
-            // The device dropped while the frame was in flight on the last
-            // mile.
-            let traces = self.frame_traces(&frame);
-            for trace in traces {
-                self.register_backfill_drop(
-                    now,
-                    device,
-                    frame.sid(),
-                    trace,
-                    Hop::DeviceRender,
-                    DropReason::DeviceDisconnected,
-                );
-            }
-            return;
-        }
-        // Device-observed subscription latency: first response on a stream.
-        if let Some(sid) = frame.sid() {
-            if let Some(started) = self.sub_started.remove(&(device, sid)) {
-                self.metrics
-                    .sub_e2e
-                    .record(now.saturating_since(started).as_millis_f64());
-            }
-        }
-        let outputs = state.device.on_frame(&frame);
-        let mut rendered_on: Option<StreamId> = None;
-        for out in outputs {
-            match out {
-                DeviceOutput::Render { payload, sid } => {
-                    rendered_on = Some(sid);
-                    self.metrics.deliveries.inc();
-                    self.metrics.ts_deliveries.inc(now);
-                    let lat = self.metrics.app(&app);
-                    lat.brass_to_device
-                        .record(now.saturating_since(sent_at).as_millis_f64());
-                    // Total publish time: the payload carries the original
-                    // application timestamp.
-                    if let Some(created) = burst::json::top_level_u64(&payload, "created_ms") {
-                        let created = SimTime::from_millis(created);
-                        lat.total
-                            .record(now.saturating_since(created).as_millis_f64());
-                    }
-                    if let Some(id) = burst::json::top_level_u64(&payload, "id") {
-                        if let Some(&trace) = self.object_trace.get(&ObjectId(id)) {
-                            self.ledger
-                                .record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
-                        }
-                    }
-                }
-                DeviceOutput::StreamEnded { sid, retry } => {
-                    self.metrics.stream_closed(device, sid, now);
-                    if retry {
-                        if let Some(frame) = state.device.retry_stream(sid) {
-                            let link = state.link;
-                            let d = self.latency.last_mile(link, &mut self.rng);
-                            self.queue.schedule(now + d, Ev::AtPop { device, frame });
-                        }
-                    }
-                }
-                DeviceOutput::Send(frame) => {
-                    // Protocol replies (pongs, flow-control) go back up.
-                    let link = state.link;
-                    let d = self.latency.last_mile(link, &mut self.rng);
-                    self.queue.schedule(now + d, Ev::AtPop { device, frame });
-                }
-                DeviceOutput::BackfillPoll { sid } => {
-                    // Gap detected: the device polls the WAS directly for
-                    // the window it missed (the paper's at-most-once
-                    // streams push reliability into app-level refetch).
-                    self.metrics.backfill_polls.inc();
-                    let link = state.link;
-                    let d = self.latency.last_mile(link, &mut self.rng)
-                        + self.latency.edge_to_was(&mut self.rng);
-                    self.queue
-                        .schedule(now + d, Ev::WasBackfillExec { device, sid });
-                }
-                DeviceOutput::ConnectivityChanged { .. } => {}
-            }
-        }
-        // Reliable applications acknowledge receipt; the BRASS's retention
-        // buffer shrinks and retransmission stops.
-        if app == "messenger" {
-            if let Some(sid) = rendered_on {
-                let Some(state) = self.devices.get(&device) else {
-                    return;
-                };
-                if let Some(ack) = state.device.ack(sid) {
-                    let link = state.link;
-                    let d = self.latency.last_mile(link, &mut self.rng);
-                    self.queue
-                        .schedule(now + d, Ev::AtPop { device, frame: ack });
-                }
-            }
-        }
-    }
-
-    /// The delay before a dropped device's next reconnect attempt: capped
-    /// exponential backoff on its recent drop streak, plus deterministic
-    /// jitter so a mass-disconnect does not come back as one synchronized
-    /// thundering herd.
-    fn reconnect_backoff(&mut self, now: SimTime, device: u64) -> SimDuration {
-        let base = self.config.reconnect_delay;
-        let Some(state) = self.devices.get_mut(&device) else {
-            return base;
-        };
-        // A quiet couple of minutes forgives the streak.
-        if now.saturating_since(state.last_drop_at) > SimDuration::from_secs(120) {
-            state.drop_streak = 0;
-        }
-        let streak = state.drop_streak;
-        state.drop_streak = streak.saturating_add(1);
-        state.last_drop_at = now;
-        let capped_us =
-            (base.as_micros() << streak.min(5)).min(SimDuration::from_secs(60).as_micros());
-        let jitter_us = self.rng.below(capped_us / 2 + 1);
-        SimDuration::from_micros(capped_us + jitter_us)
-    }
-
-    fn on_device_drop(&mut self, now: SimTime, device: u64) {
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        if !state.connected {
-            return;
-        }
-        state.connected = false;
-        self.metrics.connection_drops.inc();
-        self.metrics.ts_connection_drops.inc(now);
-        let pop = state.pop;
-        let resubscribes = state.device.on_connection_lost();
-        let fx = self.pops[pop].on_device_disconnected(device);
-        for effect in fx {
-            if let PopEffect::DeviceGone { proxy, device } = effect {
-                let pfx = self.proxies[proxy as usize].on_device_disconnected(device);
-                self.process_proxy_effects(now, proxy as usize, pfx);
-            }
-        }
-        let backoff = self.reconnect_backoff(now, device);
-        self.queue.schedule(
-            now + backoff,
-            Ev::DeviceReconnect {
-                device,
-                frames: resubscribes,
-            },
-        );
-    }
-
-    /// A *silent* link death: no FIN reaches the POP, so server-side state
-    /// lingers until POP heartbeats notice (or the device's reconnect
-    /// overwrites it). The device itself notices quickly and reconnects on
-    /// the same backoff schedule as an announced drop.
-    fn on_device_vanish(&mut self, now: SimTime, device: u64) {
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        if !state.connected {
-            return;
-        }
-        state.connected = false;
-        self.metrics.device_vanishes.inc();
-        self.metrics.connection_drops.inc();
-        self.metrics.ts_connection_drops.inc(now);
-        let resubscribes = state.device.on_connection_lost();
-        // Deliberately NO pop/proxy notification here — that's the point.
-        let backoff = self.reconnect_backoff(now, device);
-        self.queue.schedule(
-            now + backoff,
-            Ev::DeviceReconnect {
-                device,
-                frames: resubscribes,
-            },
-        );
-    }
-
-    fn on_device_reconnect(&mut self, now: SimTime, device: u64, frames: Vec<Frame>) {
-        let Some(state) = self.devices.get_mut(&device) else {
-            return;
-        };
-        state.connected = true;
-        let link = state.link;
-        for frame in frames {
-            self.metrics.subscriptions.inc();
-            self.metrics.ts_subscriptions.inc(now);
-            if let Some(sid) = frame.sid() {
-                self.sub_started.insert((device, sid), now);
-            }
-            let d = self.latency.last_mile(link, &mut self.rng);
-            self.queue.schedule(now + d, Ev::AtPop { device, frame });
-        }
-        // Anything lost while the device was away is refetched from the
-        // WAS once the connection is back.
-        let mut missed: Vec<StreamId> = self
-            .pending_backfill
-            .keys()
-            .filter(|&&(d, _)| d == device)
-            .map(|&(_, sid)| sid)
-            .collect();
-        missed.sort_unstable_by_key(|sid| sid.0);
-        for sid in missed {
-            self.metrics.backfill_polls.inc();
-            let d = self.latency.last_mile(link, &mut self.rng)
-                + self.latency.edge_to_was(&mut self.rng);
-            self.queue
-                .schedule(now + d, Ev::WasBackfillExec { device, sid });
-        }
-    }
-
-    /// Executes a device's backfill poll at the WAS: every trace lost on
-    /// the way to this stream that never made it by other means is
-    /// recovered out-of-band.
-    fn on_was_backfill(&mut self, now: SimTime, device: u64, sid: StreamId) {
-        let Some(lost) = self.pending_backfill.remove(&(device, sid)) else {
-            return;
-        };
-        for trace in lost {
-            if self.ledger.is_delivered(trace) || self.ledger.is_backfilled(trace) {
+                self.next_metrics_tick = tick + self.config.metrics_interval;
                 continue;
             }
-            self.metrics.backfills.inc();
-            self.ledger
-                .record(trace, Hop::WasBackfill, now, HopOutcome::Ok);
+            let Some(next) = next else { break };
+            if next > until {
+                break;
+            }
+            let end = Self::window_end(next, until, tick, w_minus);
+            let t0 = std::time::Instant::now();
+            n_windows += 1;
+            let mut popped = 0u64;
+            let mut results: Vec<WindowRes> = Vec::with_capacity(nshards);
+            for i in 0..nshards {
+                let incoming = std::mem::take(&mut self.pending_incoming[i]);
+                let shard = &mut self.shards[i];
+                let s0 = shard.event_stats.total;
+                shard.run_window(end, incoming);
+                popped += shard.event_stats.total - s0;
+                results.push(WindowRes {
+                    shard: i,
+                    outbox: std::mem::take(&mut shard.outbox),
+                    ops: std::mem::take(&mut shard.ops),
+                    led: std::mem::take(&mut shard.led_pending),
+                    next: shard.queue.peek_time(),
+                });
+            }
+            if popped == 0 {
+                n_empty += 1;
+            }
+            let t1 = std::time::Instant::now();
+            t_window += t1 - t0;
+            apply_barrier(
+                &self.world,
+                &mut self.pending_incoming,
+                self.config.pops as usize,
+                nshards,
+                end,
+                results,
+            );
+            t_barrier += t1.elapsed();
+        }
+        if prof {
+            eprintln!(
+                "BR_PROF windows={n_windows} empty={n_empty} t_window={:.2}s t_barrier={:.2}s t_total={:.2}s",
+                t_window.as_secs_f64(),
+                t_barrier.as_secs_f64(),
+                t_all.elapsed().as_secs_f64()
+            );
         }
     }
 
-    /// Drops (with attribution) every update recently delivered to a host
-    /// that it may still have been buffering when its in-memory state
-    /// died. Traces that already rendered are left alone; anything else
-    /// gets a `HostDown` drop so the ledger still accounts for it.
-    fn spill_host_buffers(&mut self, now: SimTime, host: usize) {
-        let mut objects: Vec<ObjectId> = self
-            .object_delivered
-            .keys()
-            .filter(|&&(h, _)| h == host)
-            .map(|&(_, o)| o)
-            .collect();
-        objects.sort_unstable_by_key(|o| o.0);
-        for object in objects {
-            if let Some(&trace) = self.object_trace.get(&object) {
-                if self.ledger.is_delivered(trace) || self.ledger.is_backfilled(trace) {
+    fn run_windows_threaded(&mut self, until: SimTime, w_minus: SimDuration) {
+        let nshards = self.shards.len();
+        let nworkers = self.workers.min(nshards);
+        let mut next_times: Vec<Option<SimTime>> =
+            self.shards.iter().map(|s| s.queue.peek_time()).collect();
+        // Split the borrow: the worker scope holds `shards`, the
+        // coordinator below touches everything else.
+        let SystemSim {
+            shards,
+            pending_incoming,
+            world,
+            config,
+            root_metrics,
+            root_stats,
+            decisions_at_tick,
+            next_metrics_tick,
+            ..
+        } = self;
+        std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<WorkerRes>();
+            let mut cmd_txs: Vec<mpsc::Sender<Cmd>> = Vec::with_capacity(nworkers);
+            let mut assignments: Vec<Vec<(usize, &mut Shard)>> =
+                (0..nworkers).map(|_| Vec::new()).collect();
+            for (i, shard) in shards.iter_mut().enumerate() {
+                assignments[i % nworkers].push((i, shard));
+            }
+            for owned in assignments {
+                let (tx, rx) = mpsc::channel::<Cmd>();
+                cmd_txs.push(tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || worker_loop(owned, rx, res_tx));
+            }
+            drop(res_tx);
+            loop {
+                let mut next: Option<SimTime> = None;
+                for s in 0..nshards {
+                    let cands = [next_times[s], pending_incoming[s].first().map(|e| e.at)];
+                    for cand in cands.into_iter().flatten() {
+                        next = Some(match next {
+                            Some(n) if n <= cand => n,
+                            _ => cand,
+                        });
+                    }
+                }
+                let tick = *next_metrics_tick;
+                if tick <= until && next.is_none_or(|n| tick <= n) {
+                    for s in 0..nshards {
+                        cmd_txs[s % nworkers]
+                            .send(Cmd::Tick { shard: s, at: tick })
+                            .expect("worker alive");
+                    }
+                    let mut summaries: Vec<Option<TickSummary>> =
+                        (0..nshards).map(|_| None).collect();
+                    for _ in 0..nshards {
+                        match res_rx.recv().expect("worker alive") {
+                            WorkerRes::Tick { shard, summary } => summaries[shard] = Some(summary),
+                            WorkerRes::Window(_) => unreachable!("tick round"),
+                        }
+                    }
+                    let summaries: Vec<TickSummary> = summaries
+                        .into_iter()
+                        .map(|s| s.expect("every shard ticked"))
+                        .collect();
+                    record_tick(root_metrics, root_stats, decisions_at_tick, tick, summaries);
+                    *next_metrics_tick = tick + config.metrics_interval;
                     continue;
                 }
-                self.ledger.record(
-                    trace,
-                    Hop::BrassProcess,
-                    now,
-                    HopOutcome::Dropped(DropReason::HostDown),
+                let Some(next) = next else { break };
+                if next > until {
+                    break;
+                }
+                let end = Self::window_end(next, until, tick, w_minus);
+                for s in 0..nshards {
+                    let incoming = std::mem::take(&mut pending_incoming[s]);
+                    cmd_txs[s % nworkers]
+                        .send(Cmd::Run {
+                            shard: s,
+                            end,
+                            incoming,
+                        })
+                        .expect("worker alive");
+                }
+                let mut results: Vec<Option<WindowRes>> = (0..nshards).map(|_| None).collect();
+                for _ in 0..nshards {
+                    match res_rx.recv().expect("worker alive") {
+                        WorkerRes::Window(r) => {
+                            let i = r.shard;
+                            results[i] = Some(r);
+                        }
+                        WorkerRes::Tick { .. } => unreachable!("window round"),
+                    }
+                }
+                let results: Vec<WindowRes> = results
+                    .into_iter()
+                    .map(|r| r.expect("every shard ran"))
+                    .collect();
+                for r in &results {
+                    next_times[r.shard] = r.next;
+                }
+                apply_barrier(
+                    world,
+                    pending_incoming,
+                    config.pops as usize,
+                    nshards,
+                    end,
+                    results,
                 );
             }
-        }
+            // Dropping the command senders here ends every worker loop.
+        });
     }
 
-    fn on_brass_upgrade(&mut self, now: SimTime, host: usize) {
-        // The host's in-memory stream state is lost; Pylon drops its
-        // subscriptions; proxies repair every affected stream elsewhere.
-        // This is the *planned* path: everyone is told immediately.
-        self.spill_host_buffers(now, host);
-        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
-        fresh.register_standard_apps();
-        self.hosts[host] = fresh;
-        self.pylon.host_failed(HostId(host as u32));
-        let before = self.total_proxy_reconnects();
-        for proxy in 0..self.proxies.len() {
-            if !self.proxy_up[proxy] {
-                continue;
-            }
-            let fx = self.proxies[proxy].on_brass_host_failed(host as u32, now.as_micros());
-            self.process_proxy_effects(now, proxy, fx);
+    /// Folds root series and per-shard metrics/stats into the public
+    /// aggregates. Shards merge in id order, so the fold is deterministic.
+    fn rebuild_merged(&mut self) {
+        let mut metrics = self.root_metrics.clone();
+        let mut stats = self.root_stats.clone();
+        for shard in &self.shards {
+            metrics.merge(&shard.metrics);
+            stats.accumulate(&shard.event_stats);
         }
-        let delta = self.total_proxy_reconnects() - before;
-        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
-    }
-
-    /// A planned (upgrade) or healed (crash) host rejoins every live
-    /// proxy's routing pool with a fresh heartbeat monitor.
-    fn on_brass_host_back(&mut self, now: SimTime, host: usize) {
-        let before = self.total_proxy_reconnects();
-        for proxy in 0..self.proxies.len() {
-            if !self.proxy_up[proxy] {
-                continue;
-            }
-            let fx = self.proxies[proxy].add_host(host as u32);
-            self.process_proxy_effects(now, proxy, fx);
-        }
-        let delta = self.total_proxy_reconnects() - before;
-        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
-    }
-
-    fn on_brass_crash(&mut self, now: SimTime, host: usize) {
-        if host >= self.hosts.len() || !self.host_up[host] {
-            return;
-        }
-        self.host_up[host] = false;
-        self.metrics.host_crashes.inc();
-        // In-memory state — stream tables, app buffers — dies instantly;
-        // updates the host was still holding are dropped with attribution.
-        self.spill_host_buffers(now, host);
-        let mut fresh = BrassHost::new(HostConfig::small(host as u32));
-        fresh.register_standard_apps();
-        self.hosts[host] = fresh;
-        // Crucially, NOTHING is signalled here: Pylon keeps fanning events
-        // at the corpse and proxies keep routing to it until their
-        // heartbeat monitors cross the miss threshold.
-    }
-
-    fn on_brass_recover(&mut self, now: SimTime, host: usize) {
-        if host >= self.hosts.len() || self.host_up[host] {
-            return;
-        }
-        self.host_up[host] = true;
-        self.on_brass_host_back(now, host);
-    }
-
-    fn on_proxy_outage(&mut self, now: SimTime, proxy: usize) {
-        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
-            return;
-        }
-        self.proxy_up[proxy] = false;
-        self.metrics.proxy_outages.inc();
-        // POPs see the region's connections reset: each drops the proxy
-        // from its pool and repairs affected streams onto survivors
-        // (axiom 2), signalling Degraded/Recovered to devices (axiom 1).
-        for pop in 0..self.pops.len() {
-            let fx = self.pops[pop].on_proxy_failed(proxy as u32);
-            self.process_pop_effects(now, fx);
-        }
-    }
-
-    fn on_proxy_back(&mut self, _now: SimTime, proxy: usize) {
-        if proxy >= self.proxies.len() || self.proxy_up[proxy] {
-            return;
-        }
-        // The proxy restarts empty with the full host roster minus hosts
-        // already known dead; anything that dies later is re-detected by
-        // its fresh heartbeat monitors.
-        let host_ids: Vec<u32> = (0..self.config.brass_hosts).collect();
-        let mut fresh = ReverseProxy::new(proxy as u32, self.config.route_strategy, host_ids)
-            .with_heartbeat(
-                self.config.heartbeat_interval.as_micros(),
-                self.config.heartbeat_misses,
-            );
-        for (h, up) in self.host_up.iter().enumerate() {
-            if !*up {
-                fresh.remove_host(h as u32);
-            }
-        }
-        self.proxies[proxy] = fresh;
-        self.proxy_up[proxy] = true;
-        for pop in self.pops.iter_mut() {
-            pop.add_proxy(proxy as u32);
-        }
-    }
-
-    /// The global heartbeat tick: live proxies ping their BRASS hosts (and
-    /// repair streams off hosts that crossed the miss threshold); POPs
-    /// ping devices when device heartbeats are enabled.
-    fn on_heartbeat_tick(&mut self, now: SimTime) {
-        for proxy in 0..self.proxies.len() {
-            if !self.proxy_up[proxy] {
-                continue;
-            }
-            let before = self.total_proxy_reconnects();
-            let fx = self.proxies[proxy].on_heartbeat_tick(now.as_micros());
-            self.process_proxy_effects(now, proxy, fx);
-            let delta = self.total_proxy_reconnects() - before;
-            if delta > 0 {
-                self.metrics.ts_proxy_reconnects.record(now, delta as f64);
-            }
-        }
-        if self.config.device_heartbeats {
-            for pop in 0..self.pops.len() {
-                let fx = self.pops[pop].on_heartbeat_tick(now.as_micros());
-                self.process_pop_effects(now, fx);
-            }
-        }
-        self.queue
-            .schedule(now + self.config.heartbeat_interval, Ev::HeartbeatTick);
-    }
-
-    /// One availability sample: of all open streams on currently-connected
-    /// devices, the fraction a live BRASS host is serving right now.
-    fn sample_availability(&mut self, now: SimTime) {
-        let mut live: FxHashSet<(u64, StreamId)> = FxHashSet::default();
-        for (h, host) in self.hosts.iter().enumerate() {
-            if self.host_up[h] {
-                live.extend(host.stream_keys());
-            }
-        }
-        let mut open = 0u64;
-        let mut served = 0u64;
-        for (&id, state) in &self.devices {
-            if !state.connected {
-                continue;
-            }
-            for sid in state.device.open_sids() {
-                open += 1;
-                if live.contains(&(id, sid)) {
-                    served += 1;
-                }
-            }
-        }
-        let fraction = if open == 0 {
-            1.0
-        } else {
-            served as f64 / open as f64
-        };
-        self.metrics.record_availability(now, fraction);
-    }
-
-    fn on_metrics_tick(&mut self, now: SimTime) {
-        let active: usize = self.devices.values().map(|d| d.device.open_streams()).sum();
-        self.metrics.ts_active_streams.record(now, active as f64);
-        let decisions = self.total_decisions();
-        // Saturating: a crashed/upgraded host restarts with zeroed
-        // counters, so the fleet total can move backwards across a tick.
-        self.metrics
-            .ts_decisions
-            .record(now, decisions.saturating_sub(self.decisions_at_tick) as f64);
-        self.decisions_at_tick = decisions;
-        self.last_proxy_reconnects = self.total_proxy_reconnects();
-        self.sample_availability(now);
-        // Rotate the attribution map so it cannot grow without bound —
-        // but keep a window covering application buffering horizons, so a
-        // crash can still attribute the updates it takes down with it.
-        const ATTRIBUTION_WINDOW: SimDuration = SimDuration::from_secs(30);
-        self.object_delivered
-            .retain(|_, at| now.saturating_since(*at) <= ATTRIBUTION_WINDOW);
-        self.queue
-            .schedule(now + self.config.metrics_interval, Ev::MetricsTick);
+        self.merged_metrics = metrics;
+        self.merged_stats = stats;
     }
 
     /// Audits post-heal convergence: every connected device's open streams
@@ -1889,22 +2855,28 @@ impl SystemSim {
     /// every admitted update as delivered, dropped-with-reason, or
     /// backfilled.
     pub fn convergence_report(&self) -> crate::fault::ConvergenceReport {
+        let l = self.shards.len();
         let mut live: FxHashSet<(u64, StreamId)> = FxHashSet::default();
         let mut dead_host_streams = 0u64;
-        for (h, host) in self.hosts.iter().enumerate() {
-            if self.host_up[h] {
-                live.extend(host.stream_keys());
+        for h in 0..self.config.brass_hosts as usize {
+            let shard = &self.shards[h % l];
+            if shard.host_up[h] {
+                live.extend(shard.hosts[h].stream_keys());
             } else {
-                dead_host_streams += host.stream_count() as u64;
+                dead_host_streams += shard.hosts[h].stream_count() as u64;
             }
         }
-        let mut ids: Vec<u64> = self.devices.keys().copied().collect();
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.devices.keys().copied())
+            .collect();
         ids.sort_unstable();
         let mut open_streams = 0u64;
         let mut connected_devices = 0u64;
         let mut stranded: Vec<(u64, StreamId)> = Vec::new();
         for id in ids {
-            let state = &self.devices[&id];
+            let state = &self.shards[self.device_shard(id)].devices[&id];
             if !state.connected {
                 continue;
             }
@@ -1916,76 +2888,19 @@ impl SystemSim {
                 }
             }
         }
+        let ledger = self.world.ledger.read().unwrap();
         crate::fault::ConvergenceReport {
             connected_devices,
             open_streams,
             stranded,
             dead_host_streams,
-            delivered: self.ledger.delivered_count(),
-            dropped: self.ledger.total_drops(),
-            backfilled: self.ledger.backfilled_count(),
-            unaccounted: self.ledger.unaccounted(),
-        }
-    }
-
-    /// Shared POP-effect fan-out (frames up to proxies, frames down to
-    /// devices, device-gone teardown at the owning proxy).
-    fn process_pop_effects(&mut self, now: SimTime, effects: Vec<PopEffect>) {
-        for effect in effects {
-            match effect {
-                PopEffect::ToProxy {
-                    proxy,
-                    device,
-                    frame,
-                } => {
-                    self.device_proxy.insert(device, proxy as usize);
-                    let d = self.latency.pop_proxy(&mut self.rng);
-                    self.queue.schedule(
-                        now + d,
-                        Ev::AtProxy {
-                            proxy: proxy as usize,
-                            device,
-                            frame,
-                        },
-                    );
-                }
-                PopEffect::ToDevice { device, frame } => {
-                    self.schedule_to_device(now, device, frame, now);
-                }
-                PopEffect::DeviceGone { proxy, device } => {
-                    let proxy = proxy as usize;
-                    if proxy < self.proxies.len() && self.proxy_up[proxy] {
-                        let pfx = self.proxies[proxy].on_device_disconnected(device);
-                        self.process_proxy_effects(now, proxy, pfx);
-                    }
-                    // The reap can be a false positive: the device is alive
-                    // but its pongs died on a lossy link. The POP has
-                    // already closed the connection under it, so the device
-                    // sees the transport die and reconnects on the normal
-                    // backoff schedule (otherwise it would sit "connected"
-                    // with streams no server knows about, forever).
-                    if let Some(state) = self.devices.get_mut(&device) {
-                        if state.connected {
-                            state.connected = false;
-                            self.metrics.connection_drops.inc();
-                            self.metrics.ts_connection_drops.inc(now);
-                            let resubscribes = state.device.on_connection_lost();
-                            let backoff = self.reconnect_backoff(now, device);
-                            self.queue.schedule(
-                                now + backoff,
-                                Ev::DeviceReconnect {
-                                    device,
-                                    frames: resubscribes,
-                                },
-                            );
-                        }
-                    }
-                }
-            }
+            delivered: ledger.delivered_count(),
+            dropped: ledger.total_drops(),
+            backfilled: ledger.backfilled_count(),
+            unaccounted: ledger.unaccounted(),
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2436,6 +3351,104 @@ mod tests {
         assert_eq!(
             baseline, shifted,
             "metrics must not depend on topic intern order"
+        );
+    }
+
+    /// Runs a fault-heavy multi-app scenario on `workers` threads and
+    /// returns an exhaustive fingerprint: metrics counters, per-app
+    /// latency bit patterns, event stats, and the full trace ledger
+    /// (every hop record of every chain). Any scheduling dependence in
+    /// the sharded executor perturbs at least one component.
+    fn parallel_fingerprint(workers: usize) -> String {
+        let mut s = SystemSim::new(SystemConfig::small(), 4242);
+        s.set_workers(workers);
+        let video = s.was_mut().create_video("parallel");
+        let poster = s.create_user_device("poster", "en");
+        let mut viewers = Vec::new();
+        for i in 0..12 {
+            let v = s.create_user_device(&format!("viewer{i}"), "en");
+            s.subscribe_lvc(SimTime::from_millis(i * 37), v, video);
+            viewers.push(v);
+        }
+        let thread = s.was_mut().create_thread(&[poster, viewers[0]]);
+        s.subscribe_mailbox(SimTime::from_millis(500), viewers[0]);
+        s.subscribe_typing(SimTime::from_millis(600), viewers[0], thread, poster);
+        for i in 0..20 {
+            s.post_comment(
+                SimTime::from_millis(2_000 + i * 450),
+                poster,
+                video,
+                &format!("comment number {i} with enough words to rank"),
+            );
+        }
+        s.set_typing(SimTime::from_secs(3), poster, thread, true);
+        s.send_message(SimTime::from_secs(4), poster, thread, "hello there");
+        // Faults across every subsystem: device churn, a planned upgrade,
+        // an unplanned crash, and a proxy outage.
+        s.schedule_device_drop(SimTime::from_secs(6), viewers[1]);
+        s.schedule_device_vanish(SimTime::from_secs(7), viewers[2]);
+        s.schedule_brass_upgrade(SimTime::from_secs(8), 1, SimDuration::from_secs(20));
+        s.schedule_brass_crash(SimTime::from_secs(10), 2, SimDuration::from_secs(25));
+        s.schedule_proxy_outage(SimTime::from_secs(12), 0, SimDuration::from_secs(15));
+        s.run_until(SimTime::from_secs(90));
+
+        let m = s.metrics();
+        let mut apps: Vec<_> = m.per_app.iter().collect();
+        apps.sort_by(|a, b| a.0.cmp(b.0));
+        let per_app: Vec<String> = apps
+            .iter()
+            .map(|(name, lat)| {
+                format!(
+                    "{name}:{}:{:x}",
+                    lat.total.count(),
+                    lat.total.mean().to_bits()
+                )
+            })
+            .collect();
+        let ledger = s.trace_ledger();
+        let mut chains = String::new();
+        for trace in ledger.trace_ids() {
+            chains.push_str(&format!("{trace:?}=["));
+            for rec in ledger.chain(trace) {
+                chains.push_str(&format!(
+                    "{:?}@{}:{:?};",
+                    rec.hop,
+                    rec.at.as_micros(),
+                    rec.outcome
+                ));
+            }
+            chains.push(']');
+        }
+        format!(
+            "deliveries={} publications={} subscriptions={} mutations={} \
+             drops={} reconnects={} hb_false={} proxy_rec={} decisions={} \
+             events={} heartbeats={} apps=[{}] traces={} chains={chains}",
+            m.deliveries.get(),
+            m.publications.get(),
+            m.subscriptions.get(),
+            m.mutations.get(),
+            m.connection_drops.get(),
+            m.host_failures_detected.get(),
+            m.device_vanishes.get(),
+            s.total_proxy_reconnects(),
+            s.total_decisions(),
+            s.event_stats().total,
+            s.event_stats().heartbeats,
+            per_app.join(","),
+            ledger.trace_count(),
+        )
+    }
+
+    /// The tentpole acceptance test: the same seed must produce
+    /// bit-identical metrics and trace ledger whether the logical shards
+    /// run serially on one thread or in parallel on several.
+    #[test]
+    fn parallel_workers_match_serial() {
+        let serial = parallel_fingerprint(1);
+        let threaded = parallel_fingerprint(3);
+        assert_eq!(
+            serial, threaded,
+            "worker count must not perturb simulation results"
         );
     }
 }

@@ -1,6 +1,9 @@
 //! Determinism regression: all randomness flows from the single seed, so
 //! the same seed must reproduce the run bit-for-bit — every metric and
-//! every trace-ledger hop record — while a different seed must not.
+//! every trace-ledger hop record — while a different seed must not. The
+//! worker-thread count of the sharded executor is a pure performance knob
+//! and must never show up in the results either: every scenario here is
+//! also replayed at several worker counts and compared bit-for-bit.
 
 use bladerunner::{SystemConfig, SystemMetrics, SystemSim};
 use simkit::time::SimTime;
@@ -9,8 +12,9 @@ use simkit::trace::TraceLedger;
 /// An LVC end-to-end scenario with enough entropy sources to catch a
 /// nondeterminism regression: ranking, buffer pressure, rate-limit expiry,
 /// last-mile loss, and a mid-run device drop with reconnect.
-fn lvc_scenario(seed: u64) -> (SystemMetrics, TraceLedger) {
+fn lvc_scenario(seed: u64, workers: usize) -> (SystemMetrics, TraceLedger) {
     let mut s = SystemSim::new(SystemConfig::small(), seed);
+    s.set_workers(workers);
     let video = s.was_mut().create_video("replay");
     let poster = s.create_user_device("poster", "en");
     let viewer = s.create_user_device("viewer", "en");
@@ -25,13 +29,15 @@ fn lvc_scenario(seed: u64) -> (SystemMetrics, TraceLedger) {
     }
     s.schedule_device_drop(SimTime::from_secs(6), viewer);
     s.run_until(SimTime::from_secs(60));
-    (s.metrics().clone(), s.trace_ledger().clone())
+    let metrics = s.metrics().clone();
+    let ledger = s.trace_ledger().clone();
+    (metrics, ledger)
 }
 
 #[test]
 fn same_seed_reproduces_metrics_and_ledger_exactly() {
-    let (m1, l1) = lvc_scenario(42);
-    let (m2, l2) = lvc_scenario(42);
+    let (m1, l1) = lvc_scenario(42, 1);
+    let (m2, l2) = lvc_scenario(42, 1);
     assert_eq!(m1, m2, "metrics must be bit-identical across replays");
     assert_eq!(
         l1.records(),
@@ -41,14 +47,28 @@ fn same_seed_reproduces_metrics_and_ledger_exactly() {
     assert_eq!(l1, l2, "the full ledgers must be bit-identical");
 }
 
+#[test]
+fn worker_count_does_not_perturb_lvc_scenario() {
+    let (m1, l1) = lvc_scenario(42, 1);
+    for workers in [2, 4] {
+        let (m, l) = lvc_scenario(42, workers);
+        assert_eq!(m1, m, "metrics identical at {workers} workers");
+        assert_eq!(l1, l, "ledger identical at {workers} workers");
+    }
+}
+
 /// A chaos scenario: the canned fault plan (itself seeded) on top of a
 /// steady workload — heartbeat detection, stream repair, reconnect
 /// backoff with jitter, and WAS backfill all replay from the one seed.
-fn chaos_scenario(seed: u64) -> (SystemMetrics, TraceLedger, bladerunner::fault::FaultPlan) {
+fn chaos_scenario(
+    seed: u64,
+    workers: usize,
+) -> (SystemMetrics, TraceLedger, bladerunner::fault::FaultPlan) {
     let mut config = SystemConfig::small();
     config.metrics_interval = simkit::time::SimDuration::from_secs(2);
     config.metrics_horizon = simkit::time::SimDuration::from_hours(1);
     let mut s = SystemSim::new(config.clone(), seed);
+    s.set_workers(workers);
     let video = s.was_mut().create_video("chaos-replay");
     let poster = s.create_user_device("poster", "en");
     let viewers: Vec<u64> = (0..8)
@@ -71,13 +91,15 @@ fn chaos_scenario(seed: u64) -> (SystemMetrics, TraceLedger, bladerunner::fault:
     }
     let end = plan.heal_time() + simkit::time::SimDuration::from_secs(45);
     s.run_until(end);
-    (s.metrics().clone(), s.trace_ledger().clone(), plan)
+    let metrics = s.metrics().clone();
+    let ledger = s.trace_ledger().clone();
+    (metrics, ledger, plan)
 }
 
 #[test]
 fn same_seed_and_fault_plan_replay_bit_identically() {
-    let (m1, l1, p1) = chaos_scenario(1234);
-    let (m2, l2, p2) = chaos_scenario(1234);
+    let (m1, l1, p1) = chaos_scenario(1234, 1);
+    let (m2, l2, p2) = chaos_scenario(1234, 1);
     assert_eq!(p1, p2, "the compiled fault timeline must be identical");
     assert_eq!(
         m1, m2,
@@ -87,9 +109,20 @@ fn same_seed_and_fault_plan_replay_bit_identically() {
 }
 
 #[test]
+fn worker_count_does_not_perturb_chaos_scenario() {
+    let (m1, l1, p1) = chaos_scenario(1234, 1);
+    for workers in [2, 4] {
+        let (m, l, p) = chaos_scenario(1234, workers);
+        assert_eq!(p1, p, "fault timeline identical at {workers} workers");
+        assert_eq!(m1, m, "metrics identical at {workers} workers under faults");
+        assert_eq!(l1, l, "ledger identical at {workers} workers under faults");
+    }
+}
+
+#[test]
 fn different_seed_diverges() {
-    let (m1, l1) = lvc_scenario(42);
-    let (m2, l2) = lvc_scenario(777);
+    let (m1, l1) = lvc_scenario(42, 1);
+    let (m2, l2) = lvc_scenario(777, 1);
     assert!(
         m1 != m2 || l1 != l2,
         "different seeds must not produce identical runs"

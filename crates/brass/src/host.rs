@@ -213,8 +213,14 @@ impl BrassHost {
 
     /// Aggregate counters across all instances on this host.
     pub fn total_app_counters(&self) -> AppCounters {
+        // Integer sums are order-independent, but aggregate in sorted app
+        // order anyway so this stays safe if a non-commutative field (a
+        // float, a "last app" sample) is ever added.
+        let mut names: Vec<&String> = self.instances.keys().collect();
+        names.sort_unstable();
         let mut total = AppCounters::default();
-        for i in self.instances.values() {
+        for name in names {
+            let i = &self.instances[name];
             total.decisions += i.counters.decisions;
             total.deliveries += i.counters.deliveries;
             total.events_in += i.counters.events_in;
@@ -460,12 +466,16 @@ impl BrassHost {
     /// subscription to its topic.
     pub fn on_pylon_event(&mut self, event: &was::UpdateEvent, now: SimTime) -> Vec<HostEffect> {
         let mut out = Vec::new();
-        let apps: Vec<String> = self
+        // Sorted by app name: `instances` is a hash map, and the handler
+        // order decides the order of emitted effects (and therefore of
+        // every downstream event) — iteration order must never leak in.
+        let mut apps: Vec<String> = self
             .instances
             .iter()
             .filter(|(_, i)| i.topic_refs.contains_key(&event.topic))
             .map(|(name, _)| name.clone())
             .collect();
+        apps.sort_unstable();
         for app in apps {
             if let Some(i) = self.instances.get_mut(&app) {
                 i.counters.events_in += 1;
@@ -532,12 +542,15 @@ impl BrassHost {
     /// closed (§4: the POP "will inform all BRASSes servicing streams
     /// instantiated by the device").
     pub fn on_device_disconnected(&mut self, device: DeviceId, now: SimTime) -> Vec<HostEffect> {
-        let affected: Vec<StreamKey> = self
+        let mut affected: Vec<StreamKey> = self
             .streams
             .keys()
             .filter(|k| k.device == device)
             .copied()
             .collect();
+        // Hash-map key order must not decide teardown order: close-handler
+        // effects (unsubscribes, buffer flushes) feed scheduled events.
+        affected.sort_unstable_by_key(|k| (k.device.0, k.sid.0));
         let mut out = Vec::new();
         for stream in affected {
             if let Some(meta) = self.streams.remove(&stream) {
@@ -592,7 +605,10 @@ impl BrassHost {
     /// Drains this host for shutdown (software upgrade / rebalancing):
     /// every stream receives a redirect-terminate so proxies re-route it.
     pub fn drain_for_shutdown(&mut self, now: SimTime) -> Vec<HostEffect> {
-        let streams: Vec<StreamKey> = self.streams.keys().copied().collect();
+        let mut streams: Vec<StreamKey> = self.streams.keys().copied().collect();
+        // Chaos-time stream repair replays these terminates: the order
+        // must be a function of the streams, not of hash-map iteration.
+        streams.sort_unstable_by_key(|k| (k.device.0, k.sid.0));
         let mut out = Vec::new();
         for stream in streams {
             if let Some(meta) = self.streams.remove(&stream) {
@@ -846,6 +862,61 @@ mod tests {
         assert!(!fx
             .iter()
             .any(|e| matches!(e, HostEffect::PylonUnsubscribe(t) if t.as_str() == "/LVC/42")));
+    }
+
+    /// Regression for the `streams.keys()` hash-order family of bugs: a
+    /// host crammed with many streams (both the shutdown drain and a
+    /// device disconnect touch multiple keys) must emit its teardown
+    /// effects in `(device, sid)` order, independent of insertion order.
+    #[test]
+    fn teardown_order_is_sorted_not_hash_order() {
+        let drain_order = |subscribe_order: &[(u64, u64)]| -> Vec<(u64, StreamId)> {
+            let mut h = host();
+            for &(device, sid) in subscribe_order {
+                h.on_subscribe(
+                    DeviceId(device),
+                    StreamId(sid),
+                    lvc_header(40 + device % 3, device),
+                    SimTime::ZERO,
+                );
+            }
+            h.drain_for_shutdown(SimTime::ZERO)
+                .iter()
+                .filter_map(|e| match e {
+                    HostEffect::Send {
+                        device,
+                        frame: Frame::Response { sid, batch },
+                    } if batch.contains(&Delta::Terminate(
+                        burst::frame::TerminateReason::ServerShutdown,
+                    )) =>
+                    {
+                        Some((device.0, *sid))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        // Enough streams that std-HashMap iteration order would scramble.
+        let forward: Vec<(u64, u64)> = (1..=64).map(|d| (d, 1 + d % 4)).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = drain_order(&forward);
+        let b = drain_order(&reversed);
+        assert_eq!(a, b, "drain order must not depend on insertion order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable_by_key(|&(d, s)| (d, s.0));
+        assert_eq!(a, sorted, "drain order is (device, sid)-sorted");
+        assert_eq!(a.len(), 64);
+
+        // Same property for a multi-stream device disconnect.
+        let mut h = host();
+        for sid in [9u64, 3, 7, 1, 5, 2, 8, 4, 6, 10] {
+            h.on_subscribe(DeviceId(1), StreamId(sid), lvc_header(42, 1), SimTime::ZERO);
+        }
+        let before = h.stream_count();
+        assert_eq!(before, 10);
+        h.on_device_disconnected(DeviceId(1), SimTime::ZERO);
+        assert_eq!(h.stream_count(), 0);
     }
 
     #[test]

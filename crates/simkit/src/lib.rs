@@ -20,6 +20,9 @@
 //! * [`trace`] — the per-update hop ledger ([`trace::TraceLedger`]): every
 //!   update admitted to a simulation is followed write → Pylon → BRASS →
 //!   BURST → device, with per-hop latency histograms and drop attribution.
+//! * [`shard`] — cross-shard mailboxes for conservative parallel
+//!   simulation: window-clamped envelopes merged in `(time, src_shard,
+//!   seq)` order so results never depend on thread scheduling.
 //!
 //! All components in the workspace are written *sans-io*: they are pure
 //! state machines that consume inputs and emit outputs, and the simulation
@@ -44,6 +47,7 @@ pub mod fxhash;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 

@@ -287,6 +287,28 @@ impl TimeSeries {
         self.buckets.iter().map(|&v| v * scale).collect()
     }
 
+    /// Merges another series into this one, bucket by bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series differ in interval or bucket count — a
+    /// sharded simulation must build every shard's series from the same
+    /// horizon/interval config for the merge to be meaningful.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.interval, other.interval,
+            "merged series must share a bucket interval"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merged series must share a horizon"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
     /// Labels each bucket with its start time, for table output.
     pub fn labeled(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         self.buckets.iter().enumerate().map(move |(i, &v)| {
@@ -465,6 +487,29 @@ mod tests {
         }
         let r = ts.rates(SimDuration::from_mins(1));
         assert!((r[0] - 2.0).abs() < 1e-9, "rate {}", r[0]);
+    }
+
+    #[test]
+    fn timeseries_merge_adds_elementwise() {
+        let horizon = SimDuration::from_mins(60);
+        let interval = SimDuration::from_mins(15);
+        let mut a = TimeSeries::new(horizon, interval);
+        let mut b = TimeSeries::new(horizon, interval);
+        a.inc(SimTime::from_secs(10));
+        b.record(SimTime::from_secs(10), 2.0);
+        b.inc(SimTime::from_secs(16 * 60));
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[3.0, 1.0, 0.0, 0.0]);
+        // b is untouched.
+        assert_eq!(b.buckets(), &[2.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket interval")]
+    fn timeseries_merge_rejects_mismatched_interval() {
+        let mut a = TimeSeries::new(SimDuration::from_mins(60), SimDuration::from_mins(15));
+        let b = TimeSeries::new(SimDuration::from_mins(60), SimDuration::from_mins(10));
+        a.merge(&b);
     }
 
     #[test]

@@ -258,6 +258,19 @@ impl<E> EventQueue<E> {
     /// Jumps the cursor to the overflow head and promotes every overflow
     /// entry that now fits the wheel horizon. Only called when the wheel
     /// and backfill are empty, so the jump cannot leapfrog anything.
+    ///
+    /// Horizon-boundary audit: [`Self::insert`] overflows on
+    /// `(at ^ cursor) >> HORIZON_BITS != 0`, i.e. whenever `at` falls in a
+    /// different `2^HORIZON_BITS`-µs block than the cursor — which is
+    /// *not* the same as `at >= cursor + 2^HORIZON_BITS`. An event only
+    /// 1µs away can overflow (cursor `2^36 − 1`, at `2^36`), and an event
+    /// nearly `2^36` µs away can stay in the wheel (cursor `2^36`, at
+    /// `2^37 − 1`). Both are correct: every overflow entry has strictly
+    /// greater high bits than the cursor had at insert time, so it sorts
+    /// after every wheel entry of that block and the cursor jump here can
+    /// never move backwards past a stored event. The
+    /// `dense_events_straddling_horizon_boundary_*` tests pin exactly the
+    /// `cursor + 2^HORIZON_BITS` seam against the heap reference.
     fn promote_overflow(&mut self) {
         let Some(head) = self.overflow.peek() else {
             return;
@@ -583,5 +596,114 @@ mod tests {
         }
         assert_eq!(count, 20_000 - ids.len().div_ceil(3));
         assert!(q.is_empty());
+    }
+
+    /// Differential reference: a plain binary heap with FIFO tie-breaking,
+    /// mirroring the queue's contract without any wheel/overflow structure.
+    fn heap_reference(events: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut sorted: Vec<(u64, u64, u64)> = events
+            .iter()
+            .enumerate()
+            .map(|(seq, &(at, v))| (at, seq as u64, v))
+            .collect();
+        sorted.sort_unstable();
+        sorted.into_iter().map(|(at, _, v)| (at, v)).collect()
+    }
+
+    /// Satellite audit test: dense events straddling exactly
+    /// `cursor + 2^HORIZON_BITS` while the cursor sits just below the
+    /// block seam, so the overflow condition `(at ^ cursor) >> HORIZON_BITS`
+    /// flips for events only a microsecond apart. Pop order must match the
+    /// heap reference bit for bit.
+    #[test]
+    fn dense_events_straddling_horizon_boundary_pop_in_order() {
+        let seam = 1u64 << HORIZON_BITS;
+        // Park the cursor just below the seam: pop a pilot event there.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(seam - 100), 999_999u64);
+        assert_eq!(q.pop().unwrap().0.as_micros(), seam - 100);
+        // Dense cluster across the seam: seam + [-3, +3] (one µs apart,
+        // flipping the XOR-block test), plus the exact distance-2^36
+        // points from the parked cursor and from the seam itself.
+        let mut events = Vec::new();
+        let mut tag = 0u64;
+        for delta in 0..7u64 {
+            events.push((seam - 3 + delta, tag));
+            tag += 1;
+        }
+        for at in [seam - 100 + seam, seam + seam, seam + seam + 1] {
+            events.push((at, tag));
+            tag += 1;
+        }
+        for &(at, v) in &events {
+            q.schedule(SimTime::from_micros(at), v);
+        }
+        let expect = heap_reference(&events);
+        let mut got = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            got.push((t.as_micros(), v));
+        }
+        assert_eq!(got, expect);
+    }
+
+    /// Randomised differential across the horizon seam: events scattered
+    /// densely on both sides of `cursor + 2^HORIZON_BITS` (including exact
+    /// seam hits), with interleaved pops that drag the cursor across the
+    /// boundary and cancellations thinning the wheel so promotion runs
+    /// from many different cursor positions.
+    #[test]
+    fn dense_events_straddling_horizon_boundary_differential() {
+        let seam = 1u64 << HORIZON_BITS;
+        for seed in 0..8u64 {
+            let mut rng = crate::rng::DetRng::new(0xB0D5 + seed);
+            // Base cursor position below the seam varies per round so the
+            // XOR block boundary is exercised from aligned and unaligned
+            // cursors alike.
+            let base = seam - 1 - rng.below(1 << 12);
+            let mut q = EventQueue::new();
+            q.schedule(SimTime::from_micros(base), 0u64);
+            assert_eq!(q.pop().unwrap().0.as_micros(), base);
+
+            let mut events: Vec<(u64, u64)> = Vec::new();
+            for i in 1..=2_000u64 {
+                // Cluster radius ±2^13 around the seam, plus exact seam and
+                // exact `base + 2^HORIZON_BITS` hits sprinkled in.
+                let at = match rng.below(20) {
+                    0 => seam,
+                    1 => base + seam,
+                    2 => base + seam + 1,
+                    3 => base.wrapping_add(seam).wrapping_sub(1),
+                    _ => seam - (1 << 13) + rng.below(1 << 14),
+                };
+                events.push((at.max(base), i));
+            }
+            let mut ids = Vec::new();
+            for &(at, v) in &events {
+                ids.push((q.schedule(SimTime::from_micros(at), v), v));
+            }
+            // Cancel a third; drop them from the reference too.
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (k, (&(at, v), &(id, _))) in events.iter().zip(ids.iter()).enumerate() {
+                if k % 3 == 1 {
+                    assert!(q.cancel(id));
+                } else {
+                    live.push((at, v));
+                }
+            }
+            let expect: Vec<(u64, u64)> = heap_reference(&events)
+                .into_iter()
+                .filter(|&(at, v)| live.contains(&(at, v)))
+                .collect();
+            // Pop half through a limit below the seam first (bounded pops
+            // straddle the promotion), then drain.
+            let mut got = Vec::new();
+            while let Some((t, v)) = q.pop_until(SimTime::from_micros(seam - 1)) {
+                got.push((t.as_micros(), v));
+            }
+            while let Some((t, v)) = q.pop() {
+                got.push((t.as_micros(), v));
+            }
+            assert_eq!(got, expect, "seed {seed} diverged from heap reference");
+        }
     }
 }

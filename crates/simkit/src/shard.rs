@@ -1,0 +1,144 @@
+//! Cross-shard mailboxes for conservative parallel simulation.
+//!
+//! A sharded simulation runs each shard's event loop independently up to a
+//! conservative window horizon, collecting events destined for *other*
+//! shards into per-shard outboxes. At the window barrier every outbox is
+//! merged into one globally ordered batch and routed to the destination
+//! shards, which insert the messages into their queues *before* popping
+//! anything from the next window.
+//!
+//! The merge contract is the whole ballgame: the order in which two
+//! same-window messages are inserted at a destination must be a pure
+//! function of `(time, src_shard, seq)` — never of thread scheduling —
+//! because insertion order assigns queue sequence numbers, and sequence
+//! numbers break timestamp ties. [`merge`] implements exactly that order.
+//!
+//! Causality is enforced by [`clamp_to_window`]: a message generated inside
+//! window `[start, end]` may carry a nominal timestamp that lands inside
+//! the same window (its destination shard has already simulated past it).
+//! Clamping to `end + 1µs` keeps the message in the destination's future.
+//! The window width is therefore purely a throughput knob: any message
+//! whose sampled hop latency exceeds the window width is never clamped,
+//! and the lookahead is chosen so that clamping is rare (see
+//! `bladerunner::latency::min_cross_shard_hop`).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A cross-shard message: an event bound for another shard's queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<E> {
+    /// When the event should fire at the destination (already clamped).
+    pub at: SimTime,
+    /// The shard whose event loop produced the message.
+    pub src_shard: usize,
+    /// Position in the source shard's outbox for this window: the
+    /// deterministic within-shard tiebreaker.
+    pub seq: u64,
+    /// The event itself.
+    pub event: E,
+}
+
+/// Clamps a cross-shard timestamp out of the window that produced it.
+///
+/// Returns `at` unchanged when it is already past the window, otherwise
+/// `window_end + 1µs` — the first instant the destination shard has not
+/// yet simulated.
+pub fn clamp_to_window(at: SimTime, window_end: SimTime) -> SimTime {
+    let floor = window_end + SimDuration::from_micros(1);
+    if at < floor {
+        floor
+    } else {
+        at
+    }
+}
+
+/// Merges per-shard outboxes into one batch ordered by
+/// `(time, src_shard, seq)`.
+///
+/// The input is one outbox per source shard (index = shard id); each
+/// outbox is expected to already be in `seq` order (the order the shard
+/// produced the messages). The output order depends only on the message
+/// keys, so any interleaving of shard execution — serial, two workers,
+/// sixteen workers — yields the same batch.
+pub fn merge<E>(outboxes: Vec<Vec<Envelope<E>>>) -> Vec<Envelope<E>> {
+    let mut all: Vec<Envelope<E>> = outboxes.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.at, e.src_shard, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(at_us: u64, src: usize, seq: u64, tag: &'static str) -> Envelope<&'static str> {
+        Envelope {
+            at: SimTime::from_micros(at_us),
+            src_shard: src,
+            seq,
+            event: tag,
+        }
+    }
+
+    #[test]
+    fn same_timestamp_merges_by_src_shard_then_seq() {
+        // Three shards emit messages for the same instant; shard order and
+        // then outbox order must decide, regardless of input arrangement.
+        let outboxes = vec![
+            vec![env(100, 0, 0, "s0a"), env(100, 0, 1, "s0b")],
+            vec![env(100, 1, 0, "s1a")],
+            vec![env(100, 2, 0, "s2a"), env(100, 2, 1, "s2b")],
+        ];
+        let merged = merge(outboxes);
+        let tags: Vec<_> = merged.iter().map(|e| e.event).collect();
+        assert_eq!(tags, vec!["s0a", "s0b", "s1a", "s2a", "s2b"]);
+    }
+
+    #[test]
+    fn merge_is_independent_of_outbox_arrival_order() {
+        // The same messages presented with shards swapped (as if a
+        // different worker finished first) merge identically because the
+        // key is (time, src_shard, seq), not arrival order.
+        let a = vec![
+            vec![env(7, 0, 0, "x"), env(5, 0, 1, "y")],
+            vec![env(5, 1, 0, "z")],
+        ];
+        let b = vec![
+            vec![env(5, 1, 0, "z")],
+            vec![env(7, 0, 0, "x"), env(5, 0, 1, "y")],
+        ];
+        let ta: Vec<_> = merge(a).into_iter().map(|e| e.event).collect();
+        let tb: Vec<_> = merge(b).into_iter().map(|e| e.event).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(ta, vec!["y", "z", "x"]);
+    }
+
+    #[test]
+    fn time_dominates_shard_and_seq() {
+        let outboxes = vec![vec![env(200, 0, 0, "late")], vec![env(100, 1, 5, "early")]];
+        let tags: Vec<_> = merge(outboxes).into_iter().map(|e| e.event).collect();
+        assert_eq!(tags, vec!["early", "late"]);
+    }
+
+    #[test]
+    fn clamp_moves_in_window_times_past_the_barrier() {
+        let end = SimTime::from_micros(1_000);
+        // In-window (or at-window) timestamps clamp to end + 1µs.
+        assert_eq!(
+            clamp_to_window(SimTime::from_micros(500), end),
+            SimTime::from_micros(1_001)
+        );
+        assert_eq!(
+            clamp_to_window(SimTime::from_micros(1_000), end),
+            SimTime::from_micros(1_001)
+        );
+        // Future timestamps pass through untouched.
+        assert_eq!(
+            clamp_to_window(SimTime::from_micros(1_001), end),
+            SimTime::from_micros(1_001)
+        );
+        assert_eq!(
+            clamp_to_window(SimTime::from_micros(9_999), end),
+            SimTime::from_micros(9_999)
+        );
+    }
+}
