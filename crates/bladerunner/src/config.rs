@@ -65,6 +65,24 @@ pub struct SystemConfig {
     pub metrics_interval: SimDuration,
     /// Metrics horizon (how much simulated time the series cover).
     pub metrics_horizon: SimDuration,
+    /// Per-update service time (µs) at a BRASS host's ingress: the
+    /// overload model. Events arriving faster than one per `brass_service_us`
+    /// queue behind the host's backlog; downstream effects (and heartbeat
+    /// pongs) are delayed by the backlog. `0` disables the model (hosts
+    /// are infinitely fast), which is the pre-overload-PR behaviour.
+    pub brass_service_us: u64,
+    /// Maximum backlog depth (in queued events) at a BRASS host's ingress
+    /// mailbox before arriving updates are shed with a `mailbox_overflow`
+    /// drop. `0` means unbounded (no shedding — backlog, and therefore
+    /// latency, can grow without limit). Only meaningful with
+    /// [`Self::brass_service_us`] > 0.
+    pub brass_mailbox_capacity: u64,
+    /// Per-device BURST egress flow-control window in bytes: data frames
+    /// beyond this many bytes in flight on the last mile are shed with a
+    /// `flow_control` drop and the device is signalled
+    /// `FlowStatus::Degraded` (then `Recovered` once the backlog drains
+    /// past half the window). `0` disables egress flow control.
+    pub egress_window_bytes: u64,
     /// Number of logical event-loop shards the simulator partitions state
     /// into. Fixed per configuration (not per run): results are a pure
     /// function of `(config, seed)` regardless of how many worker threads
@@ -97,6 +115,9 @@ impl SystemConfig {
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
+            brass_service_us: 0,
+            brass_mailbox_capacity: 0,
+            egress_window_bytes: 0,
             logical_shards: 4,
         }
     }
@@ -133,6 +154,9 @@ impl SystemConfig {
             max_streams_per_device: 20,
             metrics_interval: SimDuration::from_mins(15),
             metrics_horizon: SimDuration::from_hours(24),
+            brass_service_us: 0,
+            brass_mailbox_capacity: 0,
+            egress_window_bytes: 0,
             logical_shards: 8,
         }
     }

@@ -319,13 +319,20 @@ pub struct ConvergenceReport {
     /// Admitted updates with no delivery, no attributed drop, and no
     /// backfill — each one is an accounting hole.
     pub unaccounted: Vec<TraceId>,
+    /// Connected devices whose egress flow window is still degraded: each
+    /// one was told `FlowStatus::Degraded` during overload and never got
+    /// its terminal `Recovered` after the load passed.
+    pub flow_degraded_devices: u64,
 }
 
 impl ConvergenceReport {
     /// Whether the system converged: no stranded streams, nothing pinned
     /// to a dead host, and a fully-accounted ledger.
     pub fn converged(&self) -> bool {
-        self.stranded.is_empty() && self.dead_host_streams == 0 && self.unaccounted.is_empty()
+        self.stranded.is_empty()
+            && self.dead_host_streams == 0
+            && self.unaccounted.is_empty()
+            && self.flow_degraded_devices == 0
     }
 
     /// Human-readable failure lines (empty when converged).
@@ -350,6 +357,12 @@ impl ConvergenceReport {
                 "{} admitted update(s) unaccounted (first: trace {})",
                 self.unaccounted.len(),
                 self.unaccounted[0].0,
+            ));
+        }
+        if self.flow_degraded_devices > 0 {
+            out.push(format!(
+                "{} device(s) stuck flow-degraded after load passed",
+                self.flow_degraded_devices
             ));
         }
         out

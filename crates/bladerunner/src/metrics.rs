@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use burst::frame::StreamId;
-use simkit::metrics::{Counter, Histogram, TimeSeries};
+use simkit::metrics::{Counter, Histogram, QueueGauge, TimeSeries};
 use simkit::time::{SimDuration, SimTime};
 
 /// Per-application latency histograms (Fig. 9 decomposition).
@@ -71,6 +71,30 @@ pub struct SystemMetrics {
     pub backfill_polls: Counter,
     /// Updates recovered via WAS backfill after a loss.
     pub backfills: Counter,
+    /// Updates shed at a BRASS host's bounded ingress mailbox.
+    pub mailbox_sheds: Counter,
+    /// Data frames shed at the POP egress by an exhausted flow window.
+    pub flow_sheds: Counter,
+    /// `FlowStatus::Degraded` signals sent to devices by egress flow
+    /// control (one per degradation episode, not per shed frame).
+    pub flow_degraded_signals: Counter,
+    /// `FlowStatus::Recovered` signals sent after a degraded window
+    /// drained past its low-water mark.
+    pub flow_recovered_signals: Counter,
+
+    // ------------------------------------------------------------------
+    // Per-stage queue depths (mempulse-style overload observability).
+    // ------------------------------------------------------------------
+    /// Pylon fan-out burst size: deliveries in flight out of one publish.
+    pub q_pylon_fanout: QueueGauge,
+    /// BRASS ingress-mailbox backlog (deepest single host's queue).
+    pub q_brass_mailbox: QueueGauge,
+    /// BURST egress flow-window occupancy in bytes (deepest single
+    /// device's in-flight backlog).
+    pub q_flow_window: QueueGauge,
+    /// POP egress: frames in flight on the last mile (deepest single
+    /// device's FIFO).
+    pub q_pop_egress: QueueGauge,
 
     // ------------------------------------------------------------------
     // Latency histograms.
@@ -146,6 +170,14 @@ impl SystemMetrics {
             device_vanishes: Counter::new(),
             backfill_polls: Counter::new(),
             backfills: Counter::new(),
+            mailbox_sheds: Counter::new(),
+            flow_sheds: Counter::new(),
+            flow_degraded_signals: Counter::new(),
+            flow_recovered_signals: Counter::new(),
+            q_pylon_fanout: QueueGauge::new(horizon, interval),
+            q_brass_mailbox: QueueGauge::new(horizon, interval),
+            q_flow_window: QueueGauge::new(horizon, interval),
+            q_pop_egress: QueueGauge::new(horizon, interval),
             per_app: HashMap::new(),
             pylon_fanout_small: Histogram::new(),
             pylon_fanout_large: Histogram::new(),
@@ -259,6 +291,16 @@ impl SystemMetrics {
         self.device_vanishes.add(shard.device_vanishes.get());
         self.backfill_polls.add(shard.backfill_polls.get());
         self.backfills.add(shard.backfills.get());
+        self.mailbox_sheds.add(shard.mailbox_sheds.get());
+        self.flow_sheds.add(shard.flow_sheds.get());
+        self.flow_degraded_signals
+            .add(shard.flow_degraded_signals.get());
+        self.flow_recovered_signals
+            .add(shard.flow_recovered_signals.get());
+        self.q_pylon_fanout.merge(&shard.q_pylon_fanout);
+        self.q_brass_mailbox.merge(&shard.q_brass_mailbox);
+        self.q_flow_window.merge(&shard.q_flow_window);
+        self.q_pop_egress.merge(&shard.q_pop_egress);
 
         let mut names: Vec<&String> = shard.per_app.keys().collect();
         names.sort_unstable();

@@ -74,6 +74,128 @@ impl LiveVideo {
     }
 }
 
+/// A flash-crowd overload driver: a celebrity goes live and the audience
+/// piles onto ONE topic. Three stressors compose, each schedulable on its
+/// own timeline:
+///
+/// 1. **subscribe surge** — every viewer subscribes to the same video's
+///    comment stream inside a short ramp window ([`FlashCrowd::setup`]);
+/// 2. **viral-comment hot key** — a Poisson comment storm on that video
+///    at a configurable offered rate, each comment fanning to the whole
+///    audience ([`FlashCrowd::drive_storm`]);
+/// 3. **reconnect storm** — a regional outage (proxy dark, or a slice of
+///    devices vanishing) that slams the herd back through resubscribes
+///    ([`FlashCrowd::regional_outage`], [`FlashCrowd::reconnect_storm`]).
+pub struct FlashCrowd {
+    /// The TAO video id everyone is watching.
+    pub video: u64,
+    /// Device ids of the subscribed audience.
+    pub viewers: Vec<u64>,
+    /// Device ids of commenting users.
+    pub posters: Vec<u64>,
+}
+
+impl FlashCrowd {
+    /// Creates the crowd: `viewers` devices all subscribing to one fresh
+    /// video's comment stream, evenly spread over `[start, start + ramp)`
+    /// — the celebrity-goes-live surge. `ramp == ZERO` is the worst case:
+    /// the entire audience subscribes in the same instant.
+    pub fn setup(
+        sim: &mut SystemSim,
+        viewers: usize,
+        posters: usize,
+        start: SimTime,
+        ramp: SimDuration,
+    ) -> FlashCrowd {
+        let video = sim.was_mut().create_video("celebrity-live");
+        let viewer_ids: Vec<u64> = (0..viewers)
+            .map(|i| sim.create_user_device(&format!("crowd{i}"), "en"))
+            .collect();
+        let poster_ids: Vec<u64> = (0..posters)
+            .map(|i| sim.create_user_device(&format!("hotposter{i}"), "en"))
+            .collect();
+        let n = viewer_ids.len().max(1) as u64;
+        for (i, &v) in viewer_ids.iter().enumerate() {
+            let offset = SimDuration::from_micros(ramp.as_micros().saturating_mul(i as u64) / n);
+            sim.subscribe_lvc(start + offset, v, video);
+        }
+        FlashCrowd {
+            video,
+            viewers: viewer_ids,
+            posters: poster_ids,
+        }
+    }
+
+    /// Schedules the viral-comment storm: Poisson arrivals on the hot
+    /// video at `rate_per_sec` over `[from, from + duration)`, cycling
+    /// through the posters. Every comment fans out to the whole audience,
+    /// so the *delivered* offered load is `rate × viewers`.
+    ///
+    /// Returns the number of comments scheduled.
+    pub fn drive_storm(
+        &self,
+        sim: &mut SystemSim,
+        from: SimTime,
+        duration: SimDuration,
+        rate_per_sec: f64,
+    ) -> usize {
+        let gap = Exponential::new(rate_per_sec);
+        let mut t = from;
+        let mut n = 0usize;
+        loop {
+            let step = SimDuration::from_secs_f64(gap.sample(sim.rng_mut()));
+            t += step;
+            if t.saturating_since(from) >= duration {
+                return n;
+            }
+            let poster = self.posters[n % self.posters.len()];
+            sim.post_comment(t, poster, self.video, "the whole internet is watching this");
+            n += 1;
+        }
+    }
+
+    /// Schedules a regional POP outage: the proxy goes dark at `at` and
+    /// comes back after `down`. POPs repair the orphaned streams onto
+    /// surviving proxies — under flash-crowd load, the repair burst lands
+    /// on top of the comment storm.
+    pub fn regional_outage(
+        &self,
+        sim: &mut SystemSim,
+        at: SimTime,
+        proxy: usize,
+        down: SimDuration,
+    ) {
+        sim.schedule_proxy_outage(at, proxy, down);
+    }
+
+    /// Schedules a reconnect storm: every `stride`-th viewer's link dies
+    /// silently, spread over `[at, at + ramp)`. Each victim reconnects on
+    /// the normal backoff schedule and re-subscribes — the thundering
+    /// herd arriving while the system is already hot.
+    ///
+    /// Returns the number of devices vanished.
+    pub fn reconnect_storm(
+        &self,
+        sim: &mut SystemSim,
+        at: SimTime,
+        ramp: SimDuration,
+        stride: usize,
+    ) -> usize {
+        let victims: Vec<u64> = self
+            .viewers
+            .iter()
+            .copied()
+            .step_by(stride.max(1))
+            .collect();
+        let n = victims.len().max(1) as u64;
+        for (i, device) in victims.iter().enumerate() {
+            let offset = SimDuration::from_micros(ramp.as_micros().saturating_mul(i as u64) / n);
+            sim.schedule_device_vanish(at + offset, *device);
+        }
+        victims.len()
+    }
+}
+
 /// A 24-hour diurnal population driver: devices open and close streams with
 /// Table-2 lifetimes at Fig. 8 subscription rates, post mutations at Fig. 8
 /// publication rates, and refresh online status.
@@ -279,6 +401,37 @@ mod tests {
         sim.run_until(SimTime::from_secs(90));
         assert!(sim.metrics().deliveries.get() > 0);
         assert_eq!(sim.metrics().subscriptions.get(), 3);
+    }
+
+    #[test]
+    fn flash_crowd_surges_onto_one_topic() {
+        let mut sim = SystemSim::new(SystemConfig::small(), 9);
+        let fc = FlashCrowd::setup(
+            &mut sim,
+            8,
+            2,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+        );
+        let n = fc.drive_storm(
+            &mut sim,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            2.0,
+        );
+        assert!(n > 0, "some storm comments scheduled");
+        let vanished = fc.reconnect_storm(
+            &mut sim,
+            SimTime::from_secs(8),
+            SimDuration::from_secs(1),
+            4,
+        );
+        assert_eq!(vanished, 2, "every 4th of 8 viewers");
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.metrics().subscriptions.get(), 8 + vanished as u64);
+        assert!(sim.metrics().deliveries.get() > 0);
+        let report = sim.convergence_report();
+        assert!(report.converged(), "{:?}", report.failures());
     }
 
     #[test]

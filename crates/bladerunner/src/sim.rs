@@ -38,7 +38,8 @@ use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use brass::app::{DeviceId, FetchToken, WasRequest, WasResponse};
 use brass::host::{BrassHost, HostConfig, HostEffect};
-use burst::frame::{Frame, StreamId};
+use burst::flow::{Admit, FlowWindow};
+use burst::frame::{Delta, FlowStatus, Frame, StreamId};
 use burst::json::Json;
 use edge::device::{Device, DeviceOutput};
 use edge::pop::{Pop, PopEffect};
@@ -237,6 +238,10 @@ enum Ev {
     /// dropped at send time (they had nowhere to go).
     DownAtProxy {
         proxy: usize,
+        /// The BRASS host that sent the frame; data flowing through the
+        /// proxy credits this host's heartbeat monitor (a host drowning
+        /// in load still proves liveness by the very frames it emits).
+        host: usize,
         device: u64,
         frame: Frame,
         sent_at: SimTime,
@@ -410,6 +415,16 @@ struct DeviceState {
     /// invert — a reordered reliable-app frame would be discarded as
     /// stale, turning a latency fluke into a lost message.
     next_arrival: SimTime,
+    /// Egress flow-control window over the last mile: data bytes put on
+    /// the wire and not yet arrived. Sized by
+    /// `config.egress_window_bytes` (0 = flow control off).
+    flow: FlowWindow,
+    /// Streams told `FlowStatus::Degraded` and still owed their terminal
+    /// `Recovered` once the window drains.
+    degraded_sids: Vec<StreamId>,
+    /// Frames (data *and* control) currently on the wire toward the
+    /// device — the POP-egress queue depth.
+    inflight_frames: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -547,6 +562,12 @@ struct Shard {
     host_up: Vec<bool>,
     /// Authoritative liveness for *owned* proxies.
     proxy_up: Vec<bool>,
+    /// The overload model's backlog clock per owned BRASS host: the
+    /// instant the host finishes everything admitted so far. Events
+    /// arriving while `busy_until > now` queue behind the backlog (and
+    /// are shed once the mailbox cap is hit). Unused (stays ZERO) when
+    /// `config.brass_service_us == 0`.
+    host_busy_until: Vec<SimTime>,
 
     devices: FxHashMap<u64, DeviceState>,
     /// (device, sid) → traces lost in delivery to that stream, recoverable
@@ -619,6 +640,7 @@ impl Shard {
             pops,
             host_up: vec![true; config.brass_hosts as usize],
             proxy_up: vec![true; config.proxies as usize],
+            host_busy_until: vec![SimTime::ZERO; config.brass_hosts as usize],
             devices: FxHashMap::default(),
             pending_backfill: FxHashMap::default(),
             object_delivered: FxHashMap::default(),
@@ -755,10 +777,11 @@ impl Shard {
             } => self.on_at_brass(now, host, device, frame),
             Ev::DownAtProxy {
                 proxy,
+                host,
                 device,
                 frame,
                 sent_at,
-            } => self.on_down_at_proxy(now, proxy, device, frame, sent_at),
+            } => self.on_down_at_proxy(now, proxy, host, device, frame, sent_at),
             Ev::DownAtPop {
                 device,
                 frame,
@@ -798,10 +821,16 @@ impl Shard {
             Ev::HeartbeatTick => self.on_heartbeat_tick(now),
             Ev::HbPingAtHost { proxy, host, token } => {
                 // The host-owning shard consults the authoritative flag: a
-                // dead host simply never answers.
+                // dead host simply never answers. A *live but overloaded*
+                // host answers late — the pong waits behind the ingress
+                // backlog, which is exactly how overload masquerades as
+                // death to a naive heartbeat monitor.
                 if host < self.host_up.len() && self.host_up[host] {
+                    let qdelay = self
+                        .host_admit(now, host, false)
+                        .unwrap_or(SimDuration::ZERO);
                     let back = self.latency.proxy_brass(&mut self.rng);
-                    self.send(now + back, Ev::PongFromHost { proxy, host, token });
+                    self.send(now + qdelay + back, Ev::PongFromHost { proxy, host, token });
                 }
             }
             Ev::PongFromHost { proxy, host, token } => {
@@ -816,7 +845,10 @@ impl Shard {
                 let fx = self.pops[pop].on_proxy_failed(proxy as u32);
                 self.process_pop_effects(now, fx);
             }
-            Ev::PopAddProxy { pop, proxy } => self.pops[pop].add_proxy(proxy as u32),
+            Ev::PopAddProxy { pop, proxy } => {
+                let fx = self.pops[pop].add_proxy(proxy as u32);
+                self.process_pop_effects(now, fx);
+            }
             Ev::ProxyDeviceGone { proxy, device } => {
                 if proxy < self.proxies.len() && self.proxy_up[proxy] {
                     let pfx = self.proxies[proxy].on_device_disconnected(device);
@@ -944,6 +976,12 @@ impl Shard {
                 .pylon_fanout_large
                 .record(fanout.as_millis_f64());
         }
+        // Fan-out pressure: one publish puts `subscribers` deliveries in
+        // flight at once — the Pylon-stage queue depth under a hot topic.
+        self.metrics.q_pylon_fanout.enqueued_n(subscribers as u64);
+        self.metrics
+            .q_pylon_fanout
+            .observe_depth(now, subscribers as u64);
         // One allocation, N pointers: the fan-out shares the event.
         let event = Arc::new(event);
         for host in outcome.fast_forwards {
@@ -971,6 +1009,7 @@ impl Shard {
         if host >= self.hosts.len() {
             return;
         }
+        self.metrics.q_pylon_fanout.dequeued_n(1);
         if !self.host_up[host] {
             // Pylon has not yet purged a crashed host's subscriptions
             // (that happens when a proxy's heartbeats detect the death);
@@ -983,10 +1022,26 @@ impl Shard {
             );
             return;
         }
+        // The host's ingress mailbox: events beyond the service rate
+        // queue; events beyond the mailbox cap are shed — attributed, so
+        // the ledger never shows unaccounted loss under overload.
+        let Some(qdelay) = self.host_admit(now, host, true) else {
+            self.record(
+                TraceId(event.id),
+                Hop::PylonDeliver,
+                now,
+                HopOutcome::Dropped(DropReason::MailboxOverflow),
+            );
+            return;
+        };
         self.object_delivered.insert((host, event.object), now);
         self.record(TraceId(event.id), Hop::PylonDeliver, now, HopOutcome::Ok);
         let fx = self.hosts[host].on_pylon_event(&event, now);
-        self.process_host_effects(now, host, fx, Some(now));
+        // Effects materialise once the host works through its backlog;
+        // attribution stays at `now`, so the brass_processing histogram
+        // captures the queueing delay — that's the latency curve bending
+        // upward as offered load approaches capacity.
+        self.process_host_effects(now + qdelay, host, fx, Some(now));
     }
 
     fn on_pylon_subscribe_exec(&mut self, now: SimTime, host: usize, topic: Topic, attempt: u32) {
@@ -1089,6 +1144,42 @@ impl Shard {
         self.process_host_effects(now, host, fx, attributed);
     }
 
+    /// The M/D/1-style BRASS ingress model: each admitted piece of work
+    /// costs `brass_service_us` of host time, so work arriving faster
+    /// than the service rate queues behind the host's `busy_until` clock.
+    ///
+    /// Returns the queueing delay the arrival waits behind (`None` means
+    /// the mailbox cap was hit and the arrival must be shed). With
+    /// `charge == false` the arrival only *observes* the backlog (control
+    /// frames and heartbeat pongs are delayed by the queue but don't
+    /// consume a service slot). A no-op returning zero delay when the
+    /// overload model is off (`brass_service_us == 0`).
+    fn host_admit(&mut self, now: SimTime, host: usize, charge: bool) -> Option<SimDuration> {
+        let service = self.config.brass_service_us;
+        if service == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        let busy = self.host_busy_until[host];
+        let backlog = busy.saturating_since(now);
+        if !charge {
+            return Some(backlog);
+        }
+        let depth = backlog.as_micros() / service;
+        let cap = self.config.brass_mailbox_capacity;
+        if cap > 0 && depth >= cap {
+            self.metrics.q_brass_mailbox.observe_depth(now, depth);
+            self.metrics.q_brass_mailbox.dropped_n(1);
+            self.metrics.mailbox_sheds.inc();
+            return None;
+        }
+        let start = if busy > now { busy } else { now };
+        self.host_busy_until[host] = start + SimDuration::from_micros(service);
+        self.metrics.q_brass_mailbox.enqueued_n(1);
+        self.metrics.q_brass_mailbox.dequeued_n(1);
+        self.metrics.q_brass_mailbox.observe_depth(now, depth + 1);
+        Some(backlog)
+    }
+
     /// Converts BRASS host effects into scheduled events.
     ///
     /// `attributed` carries the instant the update event arrived at the
@@ -1180,6 +1271,7 @@ impl Shard {
                             send_at + d,
                             Ev::DownAtProxy {
                                 proxy,
+                                host,
                                 device: device.0,
                                 frame,
                                 sent_at: send_at,
@@ -1237,6 +1329,22 @@ impl Shard {
 fn payload_trace(object_trace: &FxHashMap<ObjectId, TraceId>, payload: &[u8]) -> Option<TraceId> {
     let id = burst::json::top_level_u64(payload, "id")?;
     object_trace.get(&ObjectId(id)).copied()
+}
+
+/// The wire bytes a frame charges against a device's egress flow window,
+/// or `None` for control frames. Only data (update-carrying response)
+/// frames consume window: flow-control signalling, terminations and
+/// protocol replies must keep flowing through the very congestion the
+/// window reports, or Degraded/Recovered could never be delivered.
+fn frame_data_bytes(frame: &Frame) -> Option<u64> {
+    match frame {
+        Frame::Response { batch, .. }
+            if batch.iter().any(|d| matches!(d, Delta::Update { .. })) =>
+        {
+            Some(frame.wire_size() as u64)
+        }
+        _ => None,
+    }
 }
 
 impl Shard {
@@ -1341,13 +1449,21 @@ impl Shard {
             Frame::Ack { sid, seq } => self.hosts[host].on_ack(DeviceId(device), sid, seq, now),
             _ => Vec::new(),
         };
-        self.process_host_effects(now, host, fx, None);
+        // Control frames ride the same ingress queue as data (their
+        // replies wait behind the backlog) but don't consume a service
+        // slot or get shed — subscribes must survive the very overload
+        // they arrive into.
+        let qdelay = self
+            .host_admit(now, host, false)
+            .unwrap_or(SimDuration::ZERO);
+        self.process_host_effects(now + qdelay, host, fx, None);
     }
 
     fn on_down_at_proxy(
         &mut self,
         now: SimTime,
         proxy: usize,
+        host: usize,
         device: u64,
         frame: Frame,
         sent_at: SimTime,
@@ -1371,6 +1487,12 @@ impl Shard {
             }
             return;
         }
+        // Overload starvation fix: a host too backlogged to answer pings
+        // promptly still streams data through this proxy — that data is
+        // proof of life, so credit its heartbeat monitor before the miss
+        // counter can cross the threshold and trigger a spurious repair
+        // storm on a healthy (just slow) host.
+        self.proxies[proxy].note_host_activity(host as u32);
         let fx = self.proxies[proxy].on_upstream_frame(device, frame, now.as_micros());
         for effect in fx {
             if let ProxyEffect::ToDevice { device, frame } = effect {
@@ -1462,6 +1584,58 @@ impl Shard {
             }
             return;
         }
+        // Egress flow control: data frames beyond the device's byte window
+        // are shed *with attribution* (backfill-recoverable), and the
+        // first shed of an episode tells the device it is Degraded. Only
+        // frames that actually reach the wire charge the window, so the
+        // admit sits after the disconnect/loss checks above.
+        if let Some(bytes) = frame_data_bytes(&frame) {
+            let admit = self
+                .devices
+                .get_mut(&device)
+                .expect("checked above")
+                .flow
+                .try_send(bytes);
+            match admit {
+                Admit::Ok => {
+                    let depth = self.devices[&device].flow.in_flight();
+                    self.metrics.q_flow_window.enqueued_n(1);
+                    self.metrics.q_flow_window.observe_depth(now, depth);
+                }
+                shed => {
+                    self.metrics.flow_sheds.inc();
+                    self.metrics.q_flow_window.dropped_n(1);
+                    let traces = self.frame_traces(&frame);
+                    for trace in traces {
+                        self.register_backfill_drop(
+                            now,
+                            device,
+                            frame.sid(),
+                            trace,
+                            Hop::BurstDeliver,
+                            DropReason::FlowControl,
+                        );
+                    }
+                    if matches!(shed, Admit::ShedDegrade) {
+                        if let Some(sid) = frame.sid() {
+                            let state = self.devices.get_mut(&device).expect("checked above");
+                            if !state.degraded_sids.contains(&sid) {
+                                state.degraded_sids.push(sid);
+                            }
+                            self.metrics.flow_degraded_signals.inc();
+                            let notice = Frame::Response {
+                                sid,
+                                batch: vec![Delta::FlowStatus(FlowStatus::Degraded)],
+                            };
+                            // Control frame: bypasses the window on the
+                            // recursive call, so this terminates.
+                            self.schedule_to_device(now, device, notice, now);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
         for trace in self.frame_traces(&frame) {
             self.record(trace, Hop::BurstDeliver, now, HopOutcome::Ok);
         }
@@ -1469,10 +1643,14 @@ impl Shard {
         // FIFO last mile: the connection is ordered, so a frame sent later
         // never arrives earlier (head-of-line, not reordering).
         let at = (now + d).max(self.devices[&device].next_arrival);
-        self.devices
-            .get_mut(&device)
-            .expect("checked above")
-            .next_arrival = at;
+        {
+            let state = self.devices.get_mut(&device).expect("checked above");
+            state.next_arrival = at;
+            state.inflight_frames += 1;
+        }
+        self.metrics.q_pop_egress.enqueued_n(1);
+        let depth = self.devices[&device].inflight_frames;
+        self.metrics.q_pop_egress.observe_depth(now, depth);
         self.send(
             at,
             Ev::AtDevice {
@@ -1485,6 +1663,40 @@ impl Shard {
 
     fn on_at_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
         let app = self.app_of_device_frame(device, &frame);
+        let Some(state) = self.devices.get_mut(&device) else {
+            return;
+        };
+        // Egress accounting drains unconditionally — every frame put on
+        // the wire arrives here exactly once, delivered or not. Draining
+        // before the connected check is what makes admission/drain
+        // symmetric, and that symmetry guarantees the terminal Recovered.
+        state.inflight_frames = state.inflight_frames.saturating_sub(1);
+        let egress_depth = state.inflight_frames;
+        let mut recovered_sids: Vec<StreamId> = Vec::new();
+        let mut flow_depth = None;
+        if let Some(bytes) = frame_data_bytes(&frame) {
+            if state.flow.on_drained(bytes) {
+                recovered_sids = std::mem::take(&mut state.degraded_sids);
+                recovered_sids.sort_unstable_by_key(|sid| sid.0);
+            }
+            flow_depth = Some(state.flow.in_flight());
+        }
+        self.metrics.q_pop_egress.dequeued_n(1);
+        self.metrics.q_pop_egress.observe_depth(now, egress_depth);
+        if let Some(depth) = flow_depth {
+            self.metrics.q_flow_window.dequeued_n(1);
+            self.metrics.q_flow_window.observe_depth(now, depth);
+        }
+        for sid in recovered_sids {
+            // The backlog drained past the low-water mark: every stream
+            // that was told Degraded now gets its terminal Recovered.
+            self.metrics.flow_recovered_signals.inc();
+            let notice = Frame::Response {
+                sid,
+                batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+            };
+            self.schedule_to_device(now, device, notice, now);
+        }
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
@@ -1607,7 +1819,20 @@ impl Shard {
         SimDuration::from_micros(capped_us + jitter_us)
     }
 
+    /// Forgets a device's flow-control state when its connection dies:
+    /// the window (and any pending Degraded episode) lives on the
+    /// connection, and reconnect starts a fresh one. `inflight_frames`
+    /// is deliberately left alone — frames still on the wire will arrive
+    /// and decrement it regardless of connection state.
+    fn reset_flow_state(&mut self, device: u64) {
+        if let Some(state) = self.devices.get_mut(&device) {
+            state.flow.reset();
+            state.degraded_sids.clear();
+        }
+    }
+
     fn on_device_drop(&mut self, now: SimTime, device: u64) {
+        self.reset_flow_state(device);
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
@@ -1639,6 +1864,7 @@ impl Shard {
     /// overwrites it). The device itself notices quickly and reconnects on
     /// the same backoff schedule as an announced drop.
     fn on_device_vanish(&mut self, now: SimTime, device: u64) {
+        self.reset_flow_state(device);
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
@@ -1662,6 +1888,7 @@ impl Shard {
     }
 
     fn on_device_reconnect(&mut self, now: SimTime, device: u64, frames: Vec<Frame>) {
+        self.reset_flow_state(device);
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
@@ -1749,6 +1976,8 @@ impl Shard {
         let mut fresh = BrassHost::new(HostConfig::small(host as u32));
         fresh.register_standard_apps();
         self.hosts[host] = fresh;
+        // A replacement process starts with an empty ingress mailbox.
+        self.host_busy_until[host] = SimTime::ZERO;
         self.send(now, Ev::PylonHostFailed { host });
         for proxy in 0..self.config.proxies as usize {
             self.send(now, Ev::ProxyHostFailed { proxy, host });
@@ -1802,6 +2031,9 @@ impl Shard {
         let mut fresh = BrassHost::new(HostConfig::small(host as u32));
         fresh.register_standard_apps();
         self.hosts[host] = fresh;
+        // The backlog died with the process: whatever replaces it starts
+        // with an empty ingress mailbox.
+        self.host_busy_until[host] = SimTime::ZERO;
         // Crucially, NOTHING is signalled here: Pylon keeps fanning events
         // at the corpse and proxies keep routing to it until their
         // heartbeat monitors cross the miss threshold.
@@ -1928,6 +2160,8 @@ impl Shard {
                     let resubscribes = match self.devices.get_mut(&device) {
                         Some(state) if state.connected => {
                             state.connected = false;
+                            state.flow.reset();
+                            state.degraded_sids.clear();
                             self.metrics.connection_drops.inc();
                             self.metrics.ts_connection_drops.inc(now);
                             Some(state.device.on_connection_lost())
@@ -2390,6 +2624,9 @@ impl SystemSim {
                 drop_streak: 0,
                 last_drop_at: SimTime::ZERO,
                 next_arrival: SimTime::ZERO,
+                flow: FlowWindow::new(self.config.egress_window_bytes),
+                degraded_sids: Vec::new(),
+                inflight_frames: 0,
             },
         );
         uid
@@ -2875,12 +3112,16 @@ impl SystemSim {
         let mut open_streams = 0u64;
         let mut connected_devices = 0u64;
         let mut stranded: Vec<(u64, StreamId)> = Vec::new();
+        let mut flow_degraded_devices = 0u64;
         for id in ids {
             let state = &self.shards[self.device_shard(id)].devices[&id];
             if !state.connected {
                 continue;
             }
             connected_devices += 1;
+            if state.flow.is_degraded() || !state.degraded_sids.is_empty() {
+                flow_degraded_devices += 1;
+            }
             for sid in state.device.open_sids() {
                 open_streams += 1;
                 if !live.contains(&(id, sid)) {
@@ -2898,6 +3139,7 @@ impl SystemSim {
             dropped: ledger.total_drops(),
             backfilled: ledger.backfilled_count(),
             unaccounted: ledger.unaccounted(),
+            flow_degraded_devices,
         }
     }
 }

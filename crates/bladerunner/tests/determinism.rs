@@ -119,6 +119,79 @@ fn worker_count_does_not_perturb_chaos_scenario() {
     }
 }
 
+/// The flash-crowd overload scenario with every backpressure knob engaged:
+/// an M/D/1 host backlog, a capped mailbox shedding to the ledger, and the
+/// byte-window flow control with Degraded/Recovered hysteresis. The queue
+/// gauges, shed counters, and drop attributions all live inside
+/// [`SystemMetrics`]/[`TraceLedger`], so bit-equality here proves the whole
+/// overload path — including its per-stage queue-depth series — replays
+/// identically regardless of the worker count.
+fn flashcrowd_scenario(seed: u64, workers: usize) -> (SystemMetrics, TraceLedger) {
+    let mut config = SystemConfig::small();
+    config.metrics_interval = simkit::time::SimDuration::from_secs(2);
+    config.metrics_horizon = simkit::time::SimDuration::from_hours(1);
+    config.brass_service_us = 20_000;
+    config.brass_mailbox_capacity = 50;
+    config.egress_window_bytes = 256;
+    let mut s = SystemSim::new(config, seed);
+    s.set_workers(workers);
+    let fc = bladerunner::scenario::FlashCrowd::setup(
+        &mut s,
+        10,
+        3,
+        SimTime::from_secs(1),
+        simkit::time::SimDuration::from_secs(2),
+    );
+    fc.drive_storm(
+        &mut s,
+        SimTime::from_secs(4),
+        simkit::time::SimDuration::from_secs(15),
+        120.0,
+    );
+    fc.regional_outage(
+        &mut s,
+        SimTime::from_secs(10),
+        1,
+        simkit::time::SimDuration::from_secs(8),
+    );
+    fc.reconnect_storm(
+        &mut s,
+        SimTime::from_secs(12),
+        simkit::time::SimDuration::from_secs(2),
+        3,
+    );
+    s.run_until(SimTime::from_secs(120));
+    let metrics = s.metrics().clone();
+    let ledger = s.trace_ledger().clone();
+    (metrics, ledger)
+}
+
+#[test]
+fn same_seed_replays_flashcrowd_overload_exactly() {
+    let (m1, l1) = flashcrowd_scenario(4242, 1);
+    let (m2, l2) = flashcrowd_scenario(4242, 1);
+    assert_eq!(m1, m2, "overload metrics must replay bit-identically");
+    assert_eq!(l1, l2, "overload ledger must replay bit-identically");
+    assert!(
+        m1.mailbox_sheds.get() > 0 || m1.flow_sheds.get() > 0,
+        "the determinism case must actually exercise shedding"
+    );
+}
+
+#[test]
+fn worker_count_does_not_perturb_flashcrowd_scenario() {
+    let (m1, l1) = flashcrowd_scenario(4242, 1);
+    for workers in [2, 4] {
+        let (m, l) = flashcrowd_scenario(4242, workers);
+        assert_eq!(
+            m1.q_brass_mailbox, m.q_brass_mailbox,
+            "mailbox depth series identical at {workers} workers"
+        );
+        assert_eq!(m1, m, "overload metrics identical at {workers} workers");
+        assert_eq!(l1, l, "overload ledger identical at {workers} workers");
+    }
+}
+
 #[test]
 fn different_seed_diverges() {
     let (m1, l1) = lvc_scenario(42, 1);

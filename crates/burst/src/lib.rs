@@ -26,6 +26,8 @@
 //! * [`mux`] — multiplexing many streams over one connection with
 //!   **byte-based** credit flow control (the paper's critique of RSocket is
 //!   that message-count flow control breaks down with diverse sizes).
+//! * [`flow`] — egress windows with Degraded/Recovered hysteresis: the
+//!   shed-and-signal side of overload, feeding `flow_status` deltas.
 //!
 //! # Examples
 //!
@@ -43,12 +45,14 @@
 //! ```
 
 pub mod codec;
+pub mod flow;
 pub mod frame;
 pub mod heartbeat;
 pub mod json;
 pub mod mux;
 pub mod stream;
 
+pub use flow::{Admit, FlowWindow};
 pub use frame::{Delta, FlowStatus, Frame, StreamId, TerminateReason};
 pub use heartbeat::{HeartbeatMonitor, PeerHealth};
 pub use json::Json;

@@ -224,6 +224,10 @@ impl Pop {
                 },
             });
             if self.proxies.is_empty() {
+                // Nothing to repair onto; mark the stream orphaned so
+                // [`add_proxy`](Self::add_proxy) can find and repair it
+                // when a proxy returns.
+                self.table.clear_upstream(device, sid);
                 continue;
             }
             let new_proxy = self.proxies[(device % self.proxies.len() as u64) as usize];
@@ -247,11 +251,42 @@ impl Pop {
         out
     }
 
-    /// Re-adds a recovered proxy to the pool.
-    pub fn add_proxy(&mut self, proxy: u32) {
+    /// Re-adds a recovered proxy to the pool and repairs any orphaned
+    /// streams — streams degraded by [`on_proxy_failed`](Self::on_proxy_failed)
+    /// while the pool was empty. Without this re-repair the devices
+    /// behind a fully-dark POP region stayed `Degraded` forever after
+    /// the outage healed: the failure path only ever emitted the
+    /// terminal `Recovered` when an alternate proxy existed *at failure
+    /// time*, and nothing retried later (the proxy layer's
+    /// [`add_host`](crate::proxy::ReverseProxy::add_host) already did;
+    /// the POP layer did not).
+    pub fn add_proxy(&mut self, proxy: u32) -> Vec<PopEffect> {
         if !self.proxies.contains(&proxy) {
             self.proxies.push(proxy);
         }
+        let live: Vec<u64> = self.proxies.iter().map(|&p| p as u64).collect();
+        let orphans = self.table.streams_not_via(&live);
+        let mut out = Vec::new();
+        for (device, sid) in orphans {
+            let new_proxy = self.proxies[(device % self.proxies.len() as u64) as usize];
+            self.device_proxy.insert(device, new_proxy);
+            if let Some(frame) = self.table.rebuild_subscribe(device, sid, new_proxy as u64) {
+                self.counters.repaired_streams += 1;
+                out.push(PopEffect::ToProxy {
+                    proxy: new_proxy,
+                    device,
+                    frame,
+                });
+                out.push(PopEffect::ToDevice {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+                    },
+                });
+            }
+        }
+        out
     }
 }
 
@@ -407,6 +442,60 @@ mod tests {
         p.on_device_frame(200, sub(1), 0);
         let fx = p.on_proxy_failed(100);
         assert_eq!(fx.len(), 1);
+        assert_eq!(p.counters().repaired_streams, 0);
+    }
+
+    #[test]
+    fn proxy_return_repairs_streams_orphaned_by_total_outage() {
+        // Regional outage: every proxy fails, so on_proxy_failed can only
+        // degrade. When a proxy returns, add_proxy must repair the
+        // orphans and send the terminal Recovered — otherwise the
+        // devices stay Degraded forever.
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(200, sub(1), 0);
+        p.on_device_frame(201, sub(1), 0);
+        let fx = p.on_proxy_failed(100);
+        assert_eq!(fx.len(), 2, "degraded-only: no repair target exists");
+        assert_eq!(p.counters().repaired_streams, 0);
+
+        let fx = p.add_proxy(101);
+        let resubs = fx
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    PopEffect::ToProxy {
+                        proxy: 101,
+                        frame: Frame::Subscribe { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        let recovered = fx
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    PopEffect::ToDevice { frame: Frame::Response { batch, .. }, .. }
+                    if batch == &vec![Delta::FlowStatus(FlowStatus::Recovered)]
+                )
+            })
+            .count();
+        assert_eq!(resubs, 2, "both orphaned streams resubscribed");
+        assert_eq!(recovered, 2, "both devices told Recovered");
+        assert_eq!(p.counters().repaired_streams, 2);
+        // Future frames from the devices go to the new proxy.
+        let fx = p.on_device_frame(200, sub(2), 10);
+        assert!(matches!(fx[0], PopEffect::ToProxy { proxy: 101, .. }));
+    }
+
+    #[test]
+    fn add_proxy_with_healthy_streams_repairs_nothing() {
+        let mut p = Pop::new(1, vec![100]);
+        p.on_device_frame(200, sub(1), 0);
+        let fx = p.add_proxy(101);
+        assert!(fx.is_empty(), "healthy streams are left on their proxy");
         assert_eq!(p.counters().repaired_streams, 0);
     }
 

@@ -234,6 +234,22 @@ impl ReverseProxy {
         }
     }
 
+    /// Credits any frame received from a BRASS host as heartbeat
+    /// liveness evidence.
+    ///
+    /// Without this, an overloaded-but-healthy host whose pong responses
+    /// queue behind a data backlog is declared dead the moment the miss
+    /// threshold crosses — even while it is actively streaming updates
+    /// through this proxy — and the resulting repair storm re-subscribes
+    /// every stream onto other hosts, amplifying the very overload that
+    /// delayed the pongs. Data frames are proof of life; only true
+    /// silence should fail a host.
+    pub fn note_host_activity(&mut self, host: u32) {
+        if let Some(hb) = self.heartbeats.get_mut(&host) {
+            hb.on_activity();
+        }
+    }
+
     fn pick_host(&self, header: &Json) -> u32 {
         // Sticky routing first: a header-carried brass_host wins if alive.
         if let Some(h) = header.get("brass_host").and_then(Json::as_u64) {
@@ -716,6 +732,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overloaded_host_streaming_data_is_never_declared_dead() {
+        // Heartbeat-starvation regression: a host under pure overload
+        // whose pong responses queue behind its data backlog must not
+        // trip crash detection while its data frames keep arriving.
+        let mut p = ReverseProxy::new(1, RouteStrategy::ByLoad, vec![10]).with_heartbeat(1_000, 3);
+        p.on_downstream_frame(1, sub_frame(1, header("/LVC/5")), 0);
+        for t in 1..=20u64 {
+            let fx = p.on_heartbeat_tick(t * 1_000);
+            assert!(
+                !fx.iter().any(|e| matches!(e, ProxyEffect::HostDown { .. })),
+                "data-emitting host declared dead at t={t} despite activity"
+            );
+            // The host never answers a single ping — every pong is stuck
+            // behind the backlog — but its update stream keeps flowing.
+            p.note_host_activity(10);
+        }
+        assert_eq!(p.counters().induced_reconnects, 0);
     }
 
     #[test]

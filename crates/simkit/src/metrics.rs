@@ -309,6 +309,43 @@ impl TimeSeries {
         }
     }
 
+    /// Raises the bucket covering `at` to at least `value` (per-bucket
+    /// maximum instead of the default sum) — the right reduction for
+    /// sampled gauge series like queue depths, where adding samples would
+    /// conflate sampling frequency with level.
+    pub fn record_max(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_micros() / self.interval.as_micros()) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        if value > self.buckets[idx] {
+            self.buckets[idx] = value;
+        }
+    }
+
+    /// Merges another series into this one taking the per-bucket maximum
+    /// (for series built with [`TimeSeries::record_max`]). Max is
+    /// commutative and associative, so shard merge order cannot change the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series differ in interval or bucket count.
+    pub fn merge_max(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.interval, other.interval,
+            "merged series must share a bucket interval"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merged series must share a horizon"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
     /// Labels each bucket with its start time, for table output.
     pub fn labeled(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         self.buckets.iter().enumerate().map(move |(i, &v)| {
@@ -317,6 +354,112 @@ impl TimeSeries {
                 v,
             )
         })
+    }
+}
+
+/// Occupancy accounting for one bounded queueing stage (a Pylon fan-out
+/// backlog, a BRASS host mailbox, a BURST flow-control window, a POP
+/// egress link).
+///
+/// Tracks the classic mempulse-style triple — current depth, peak depth,
+/// and total items rejected at the queue — plus enqueue/dequeue totals and
+/// a per-bucket-max [`TimeSeries`] of sampled depth, so overload benches
+/// can plot backlog against offered load and invariant tests can assert
+/// bounded growth.
+///
+/// One gauge instance may aggregate several queues of the same stage
+/// (e.g. every BRASS mailbox a shard owns): `current`/`peak` then read as
+/// "the deepest single queue at this stage", which is the quantity the
+/// graceful-shed invariant bounds. Shard merge keeps that reading:
+/// `current` and `peak` merge by maximum, volume counters by sum — all
+/// commutative and associative, so the fold is order-independent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueGauge {
+    current: u64,
+    peak: u64,
+    enqueued: u64,
+    dequeued: u64,
+    dropped: u64,
+    depth: TimeSeries,
+}
+
+impl QueueGauge {
+    /// Creates a gauge whose depth series covers `horizon` at `interval`.
+    pub fn new(horizon: SimDuration, interval: SimDuration) -> Self {
+        QueueGauge {
+            current: 0,
+            peak: 0,
+            enqueued: 0,
+            dequeued: 0,
+            dropped: 0,
+            depth: TimeSeries::new(horizon, interval),
+        }
+    }
+
+    /// Observes the depth of one queue at this stage (absolute, not a
+    /// delta): updates current/peak and the sampled depth series.
+    pub fn observe_depth(&mut self, at: SimTime, depth: u64) {
+        self.current = depth;
+        if depth > self.peak {
+            self.peak = depth;
+        }
+        self.depth.record_max(at, depth as f64);
+    }
+
+    /// Records `n` items admitted into the queue.
+    pub fn enqueued_n(&mut self, n: u64) {
+        self.enqueued += n;
+    }
+
+    /// Records `n` items leaving the queue (serviced).
+    pub fn dequeued_n(&mut self, n: u64) {
+        self.dequeued += n;
+    }
+
+    /// Records `n` items rejected at the queue (shed, not admitted).
+    pub fn dropped_n(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Most recently observed depth.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Deepest single-queue depth ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total items admitted.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total items serviced.
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Total items rejected at the queue.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The sampled depth series (per-bucket maximum).
+    pub fn depth_series(&self) -> &TimeSeries {
+        &self.depth
+    }
+
+    /// Merges another shard's gauge: volume counters add, depth readings
+    /// take the maximum (see the type-level docs for why).
+    pub fn merge(&mut self, other: &QueueGauge) {
+        self.current = self.current.max(other.current);
+        self.peak = self.peak.max(other.peak);
+        self.enqueued += other.enqueued;
+        self.dequeued += other.dequeued;
+        self.dropped += other.dropped;
+        self.depth.merge_max(&other.depth);
     }
 }
 
@@ -517,6 +660,65 @@ mod tests {
         let mut ts = TimeSeries::new(SimDuration::from_mins(30), SimDuration::from_mins(15));
         ts.inc(SimTime::from_secs(10_000_000));
         assert_eq!(ts.buckets()[1], 1.0);
+    }
+
+    #[test]
+    fn timeseries_record_max_keeps_bucket_peak() {
+        let mut ts = TimeSeries::new(SimDuration::from_mins(30), SimDuration::from_mins(15));
+        ts.record_max(SimTime::from_secs(10), 3.0);
+        ts.record_max(SimTime::from_secs(20), 1.0);
+        ts.record_max(SimTime::from_secs(16 * 60), 7.0);
+        assert_eq!(ts.buckets(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn timeseries_merge_max_elementwise() {
+        let horizon = SimDuration::from_mins(30);
+        let interval = SimDuration::from_mins(15);
+        let mut a = TimeSeries::new(horizon, interval);
+        let mut b = TimeSeries::new(horizon, interval);
+        a.record_max(SimTime::from_secs(10), 5.0);
+        b.record_max(SimTime::from_secs(10), 2.0);
+        b.record_max(SimTime::from_secs(16 * 60), 9.0);
+        a.merge_max(&b);
+        assert_eq!(a.buckets(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_depth_and_volume() {
+        let mut q = QueueGauge::new(SimDuration::from_mins(30), SimDuration::from_mins(15));
+        q.enqueued_n(3);
+        q.observe_depth(SimTime::from_secs(1), 3);
+        q.dequeued_n(2);
+        q.observe_depth(SimTime::from_secs(2), 1);
+        q.dropped_n(4);
+        assert_eq!(q.current(), 1);
+        assert_eq!(q.peak(), 3);
+        assert_eq!(q.enqueued(), 3);
+        assert_eq!(q.dequeued(), 2);
+        assert_eq!(q.dropped(), 4);
+        assert_eq!(q.depth_series().buckets()[0], 3.0);
+    }
+
+    #[test]
+    fn queue_gauge_merge_is_order_independent() {
+        let horizon = SimDuration::from_mins(30);
+        let interval = SimDuration::from_mins(15);
+        let mut a = QueueGauge::new(horizon, interval);
+        let mut b = QueueGauge::new(horizon, interval);
+        a.enqueued_n(10);
+        a.observe_depth(SimTime::from_secs(1), 6);
+        b.enqueued_n(4);
+        b.dropped_n(2);
+        b.observe_depth(SimTime::from_secs(1), 9);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.peak(), 9);
+        assert_eq!(ab.enqueued(), 14);
+        assert_eq!(ab.dropped(), 2);
     }
 
     #[test]

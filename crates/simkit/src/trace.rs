@@ -118,6 +118,12 @@ pub enum DropReason {
     /// The target BRASS host was down (crashed or mid-upgrade); anything
     /// addressed to it — or buffered inside it — died with it.
     HostDown,
+    /// Shed at a BRASS host's bounded ingress mailbox under overload.
+    MailboxOverflow,
+    /// Shed at the POP egress because the device's BURST flow-control
+    /// window was exhausted; the device was told via
+    /// `FlowStatus::Degraded`.
+    FlowControl,
 }
 
 impl DropReason {
@@ -135,6 +141,8 @@ impl DropReason {
             DropReason::DeviceDisconnected => "device_disconnected",
             DropReason::LastMileLoss => "last_mile_loss",
             DropReason::HostDown => "host_down",
+            DropReason::MailboxOverflow => "mailbox_overflow",
+            DropReason::FlowControl => "flow_control",
         }
     }
 }
