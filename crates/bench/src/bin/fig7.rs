@@ -49,7 +49,7 @@ fn main() {
     print_table(
         &format!(
             "Fig. 7 — publications per stream subscription ({} streams over {hours}h)",
-            sim.metrics().stream_publications.len()
+            sim.metrics().streams_tracked()
         ),
         &["publications", "measured", "paper"],
         &rows,

@@ -1,25 +1,52 @@
-//! Simulator-throughput benchmark: a fixed large mixed workload (LVC
+//! Simulator-throughput and memory benchmark: a large mixed workload (LVC
 //! audiences plus per-user notification topics), reported as wall-clock
-//! events/sec with per-subsystem event counts and peak RSS.
+//! events/sec, peak RSS, and bytes-per-device.
 //!
 //! Run: `cargo run --release -p bench --bin scale [--devices N]
 //! [--shards W] [--out F]` — `--shards` sets the worker-thread count for
 //! the sharded executor; results are bit-identical at any value.
 //!
-//! Writes a machine-readable summary (default `BENCH_PR2.json`) so future
-//! PRs have a perf trajectory to regress against; see the README's
-//! "Simulator throughput" note for how to read it.
+//! `--tiers 100000,300000,1000000` runs each tier in a fresh child process
+//! (so every tier gets its own peak-RSS measurement) and writes one
+//! combined summary (default `BENCH_PR7.json`) with the memory curve.
+//!
+//! Build with `--features count-alloc` to additionally report *live heap
+//! bytes* via the counting global allocator — RSS folds allocator slack
+//! and code pages into the number; live bytes is what the fleet actually
+//! holds.
+//!
+//! The workload is generated lazily: arrival processes are pumped one
+//! chunk of simulated time ahead of the executor, so workload memory is
+//! O(chunk) instead of O(total events). Pre-building the schedule at a
+//! million devices costs more than the resident fleet itself (~1.25M
+//! queued subscribes, each holding a header).
+//!
+//! `--active-fraction F` models the paper's diurnal duty cycle (Fig. 8:
+//! most devices are idle most of the time): a deterministic fraction `F`
+//! of the fleet is *engaged* — streams open for the whole run — while the
+//! rest are *brief visitors* who subscribe, watch for a short session,
+//! cancel, and hibernate. Defaults to 1.0 (every device engaged, the
+//! historical bench shape) below 500k devices and to 0.3 at fleet scale,
+//! where an always-on million-stream fleet would model a workload the
+//! paper says does not exist. The fraction used is recorded in the
+//! summary JSON.
 
 use std::time::Instant;
 
 use bench::{arg_or, peak_rss_bytes};
 use bladerunner::config::SystemConfig;
 use bladerunner::sim::SystemSim;
+use burst::frame::StreamId;
 use pylon::PylonConfig;
 use simkit::time::{SimDuration, SimTime};
 use tao::TaoConfig;
+use workload::activity::PoissonArrivals;
 
-/// A system shape sized for six-figure device counts.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static ALLOC: simkit::alloc::CountingAlloc = simkit::alloc::CountingAlloc;
+
+/// A system shape sized for six- and seven-figure device counts.
 fn scale_config() -> SystemConfig {
     let mut config = SystemConfig::medium();
     config.tao = TaoConfig {
@@ -43,68 +70,229 @@ fn scale_config() -> SystemConfig {
 }
 
 fn main() {
+    let tiers: String = arg_or("--tiers", String::new());
+    if !tiers.is_empty() {
+        run_tiers(&tiers);
+        return;
+    }
     let devices: usize = arg_or("--devices", 100_000);
+    let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
+    let json = run_one(devices);
+    std::fs::write(&out, json).expect("write bench summary");
+    println!("  wrote {out}");
+}
+
+/// Runs each tier in a fresh child process (its own address space, so
+/// peak RSS is per-tier, not max-so-far) and writes the combined curve.
+fn run_tiers(tiers: &str) {
+    let out: String = arg_or("--out", "BENCH_PR7.json".to_string());
+    let exe = std::env::current_exe().expect("current exe");
+    let mut bodies = Vec::new();
+    for tier in tiers.split(',').filter(|t| !t.is_empty()) {
+        let devices: usize = tier.trim().parse().expect("tier device count");
+        let tmp = std::env::temp_dir().join(format!("scale-tier-{devices}.json"));
+        let forward = |key: &str, args: &mut Vec<String>| {
+            if let Some(v) = std::env::args()
+                .skip_while(|a| a != key)
+                .nth(1)
+                .filter(|v| !v.starts_with("--"))
+            {
+                args.push(key.to_string());
+                args.push(v);
+            }
+        };
+        let mut args = vec![
+            "--devices".to_string(),
+            devices.to_string(),
+            "--out".to_string(),
+            tmp.display().to_string(),
+        ];
+        for key in [
+            "--seconds",
+            "--seed",
+            "--shards",
+            "--comments-per-video",
+            "--active-fraction",
+        ] {
+            forward(key, &mut args);
+        }
+        let status = std::process::Command::new(&exe)
+            .args(&args)
+            .status()
+            .expect("spawn tier child");
+        assert!(status.success(), "tier {devices} failed");
+        let body = std::fs::read_to_string(&tmp).expect("read tier summary");
+        let _ = std::fs::remove_file(&tmp);
+        let indented: String = body
+            .trim_end()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        bodies.push(indented.trim_start().to_string());
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"scale-tiers\",\n",
+            "  \"note\": \"Tiers below 500k devices default to full duty ",
+            "(active fraction 1.0, the historical BENCH_PR2/PR5 workload ",
+            "shape); larger tiers default to the diurnal 0.3 (see ",
+            "--active-fraction). Event and delivery counts are ",
+            "seed-deterministic and comparable across hosts; wall-clock ",
+            "events/sec is not -- compare it only against a same-host run.\",\n",
+            "  \"tiers\": [\n    {}\n  ]\n}}\n"
+        ),
+        bodies.join(",\n    ")
+    );
+    std::fs::write(&out, json).expect("write tier summary");
+    println!("wrote {out}");
+}
+
+/// Whether device `i` is in the always-engaged fraction. A multiplicative
+/// hash (distinct from the video-scatter one) so engagement is a
+/// deterministic, seed-independent property of the device index.
+fn engaged(i: usize, active_fraction: f64) -> bool {
+    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+    (h as f64) < active_fraction * (1u64 << 24) as f64
+}
+
+fn run_one(devices: usize) -> String {
     let videos: usize = arg_or("--videos", (devices / 500).max(1));
     let comments_per_video: usize = arg_or("--comments-per-video", 6);
     let sim_seconds: u64 = arg_or("--seconds", 60);
     let seed: u64 = arg_or("--seed", 42);
     let shards: usize = arg_or("--shards", 1);
-    let out: String = arg_or("--out", "BENCH_PR2.json".to_string());
+    let active_fraction: f64 = arg_or(
+        "--active-fraction",
+        if devices >= 500_000 { 0.3 } else { 1.0 },
+    );
+    assert!(
+        active_fraction > 0.0 && active_fraction <= 1.0,
+        "--active-fraction must be in (0, 1]"
+    );
 
     let mut sim = SystemSim::new(scale_config(), seed);
     // Worker threads executing the logical shards. Results are identical
     // at any value; only wall-clock changes.
     sim.set_workers(shards);
 
-    // Fixture: `videos` live videos, each device subscribed to one via a
-    // deterministic scatter, every 4th device also holding a per-user
-    // notification topic (the paper's dominant topic shape), subscribes
-    // spread over the first five simulated seconds.
+    // Resident fixture: `videos` live videos and the device fleet. This is
+    // the state whose footprint we are measuring; everything *scheduled*
+    // against it is generated lazily below.
     let video_ids: Vec<u64> = (0..videos)
         .map(|i| sim.was_mut().create_video(&format!("live{i}")))
         .collect();
-    let mut device_ids = Vec::with_capacity(devices);
-    for i in 0..devices {
-        let d = sim.create_user_device(&format!("u{i}"), "en");
-        let at = SimTime::from_micros(i as u64 * 5_000_000 / devices as u64);
-        sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
-        if i % 4 == 0 {
-            sim.subscribe_notifications(at + SimDuration::from_millis(10), d);
-        }
-        device_ids.push(d);
-    }
-    // Comments: each video receives `comments_per_video`, staggered over
-    // [10s, 40s) and offset per video so publishes interleave.
-    let window_us = 30_000_000u64;
-    for (v, &video) in video_ids.iter().enumerate() {
-        for k in 0..comments_per_video {
-            let at = SimTime::from_secs(10)
-                + SimDuration::from_micros(
-                    k as u64 * window_us / comments_per_video as u64
-                        + (v as u64 * 7_919) % (window_us / comments_per_video as u64).max(1),
-                );
-            sim.post_comment(at, device_ids[v % devices], video, "scale bench comment");
-        }
-    }
-    // Churn: one in a thousand devices drops mid-run and reconnects.
-    for (i, &d) in device_ids.iter().enumerate() {
-        if i % 1_000 == 500 {
-            sim.schedule_device_drop(SimTime::from_secs(20), d);
-        }
-    }
+    let device_ids: Vec<u64> = (0..devices)
+        .map(|i| sim.create_user_device(&format!("u{i}"), "en"))
+        .collect();
+    let fleet_live_heap = simkit::alloc::live_bytes();
 
+    // Lazy workload, pumped one chunk ahead of the executor:
+    //  - engaged subscribes: the engaged fraction joins one video each via
+    //    a deterministic scatter, spread over the first five simulated
+    //    seconds; every 4th engaged device also opens a per-user
+    //    notification topic (the paper's dominant topic shape).
+    //  - brief visitors: the rest subscribe on a ramp across the first
+    //    60% of the horizon, watch for one short session, cancel, and
+    //    hibernate — so their server-side stream state never all
+    //    coexists.
+    //  - comments: a Poisson stream over [10s, 40s) whose mean total is
+    //    `videos * comments_per_video`, round-robined across videos.
+    //  - churn: one in a thousand devices drops at 20s and reconnects.
+    let sub_span_us = 5_000_000u64;
+    let mut next_sub = 0usize;
+    let brief_span_us = SimTime::from_secs(sim_seconds).as_micros() * 3 / 5;
+    let brief_session = SimDuration::from_micros((brief_span_us / 12).clamp(250_000, 3_000_000));
+    let mut next_brief = 0usize;
+    let comment_rate = (videos * comments_per_video) as f64 / 30.0;
+    let comment_start = SimTime::from_secs(10);
+    let comment_end = SimTime::from_secs(40);
+    let mut comments = PoissonArrivals::new(comment_rate, comment_start, sim.rng_mut());
+    let mut comment_idx = 0usize;
+    let churn_at = SimTime::from_secs(20);
+    let mut churned = false;
+
+    let end = SimTime::from_secs(sim_seconds);
+    let chunk = SimDuration::from_millis(250);
     let started = Instant::now();
-    sim.run_until(SimTime::from_secs(sim_seconds));
+    let mut t = SimTime::ZERO;
+    while t < end {
+        let next_t = if t + chunk > end { end } else { t + chunk };
+        // Engaged subscribe ramp: all arrivals in [t, next_t).
+        while next_sub < devices {
+            let at = SimTime::from_micros(next_sub as u64 * sub_span_us / devices as u64);
+            if at >= next_t {
+                break;
+            }
+            let i = next_sub;
+            next_sub += 1;
+            if !engaged(i, active_fraction) {
+                continue;
+            }
+            let d = device_ids[i];
+            sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
+            if i.is_multiple_of(4) {
+                sim.subscribe_notifications(at + SimDuration::from_millis(10), d);
+            }
+        }
+        // Brief-visitor ramp: subscribe, one short session, cancel. The
+        // cancel targets the visitor's only stream (devices allocate
+        // stream ids from 1).
+        while next_brief < devices {
+            let at = SimTime::from_micros(next_brief as u64 * brief_span_us / devices as u64);
+            if at >= next_t {
+                break;
+            }
+            let i = next_brief;
+            next_brief += 1;
+            if engaged(i, active_fraction) {
+                continue;
+            }
+            let d = device_ids[i];
+            sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
+            sim.cancel_stream(at + brief_session, d, StreamId(1));
+        }
+        // Comment arrivals in [t, next_t) ∩ [start, end).
+        while comments.peek() < next_t && comments.peek() < comment_end {
+            let at = comments.pop(sim.rng_mut());
+            let v = comment_idx % videos;
+            comment_idx += 1;
+            sim.post_comment(
+                at,
+                device_ids[v % devices],
+                video_ids[v],
+                "scale bench comment",
+            );
+        }
+        // Churn burst, scheduled in the chunk that contains it.
+        if !churned && churn_at < next_t {
+            for (i, &d) in device_ids.iter().enumerate() {
+                if i % 1_000 == 500 {
+                    sim.schedule_device_drop(churn_at, d);
+                }
+            }
+            churned = true;
+        }
+        sim.run_until(next_t);
+        t = next_t;
+    }
     let wall = started.elapsed().as_secs_f64();
 
     let stats = sim.event_stats().clone();
+    let (parked, _fleet) = sim.hibernation_census();
+    let engaged_devices = (0..devices)
+        .filter(|&i| engaged(i, active_fraction))
+        .count();
     let m = sim.metrics();
     let events_per_sec = stats.total as f64 / wall.max(1e-9);
     let rss = peak_rss_bytes();
+    let live_heap = simkit::alloc::live_bytes();
+    let live_heap_peak = simkit::alloc::peak_bytes();
 
     println!(
-        "scale: {devices} devices, {videos} videos, {} comments, {sim_seconds}s simulated",
-        videos * comments_per_video
+        "scale: {devices} devices ({engaged_devices} engaged, fraction {active_fraction}), \
+         {videos} videos, ~{} comments, {sim_seconds}s simulated, {parked} parked at end",
+        comment_idx
     );
     println!(
         "  events: {} in {wall:.2}s wall -> {events_per_sec:.0} events/sec",
@@ -122,18 +310,31 @@ fn main() {
         stats.metrics
     );
     println!(
-        "  deliveries={} publications={} subscriptions={} peak_rss={:.1} MiB",
+        "  deliveries={} publications={} subscriptions={} peak_rss={:.1} MiB ({:.0} B/device)",
         m.deliveries.get(),
         m.publications.get(),
         m.subscriptions.get(),
-        rss as f64 / (1024.0 * 1024.0)
+        rss as f64 / (1024.0 * 1024.0),
+        rss as f64 / devices as f64
     );
+    if live_heap_peak > 0 {
+        println!(
+            "  live heap: fleet={:.1} MiB end={:.1} MiB peak={:.1} MiB ({:.0} live B/device)",
+            fleet_live_heap as f64 / (1024.0 * 1024.0),
+            live_heap as f64 / (1024.0 * 1024.0),
+            live_heap_peak as f64 / (1024.0 * 1024.0),
+            live_heap as f64 / devices as f64
+        );
+    }
 
-    let json = format!(
+    format!(
         concat!(
             "{{\n",
             "  \"bench\": \"scale\",\n",
             "  \"devices\": {},\n",
+            "  \"active_fraction\": {},\n",
+            "  \"engaged_devices\": {},\n",
+            "  \"parked_devices\": {},\n",
             "  \"videos\": {},\n",
             "  \"comments\": {},\n",
             "  \"sim_seconds\": {},\n",
@@ -143,6 +344,11 @@ fn main() {
             "  \"events_total\": {},\n",
             "  \"events_per_sec\": {:.1},\n",
             "  \"peak_rss_bytes\": {},\n",
+            "  \"bytes_per_device\": {:.1},\n",
+            "  \"fleet_live_heap_bytes\": {},\n",
+            "  \"live_heap_bytes\": {},\n",
+            "  \"live_heap_peak_bytes\": {},\n",
+            "  \"live_heap_bytes_per_device\": {:.1},\n",
             "  \"events_by_subsystem\": {{\n",
             "    \"workload\": {},\n",
             "    \"pylon\": {},\n",
@@ -161,8 +367,11 @@ fn main() {
             "}}\n"
         ),
         devices,
+        active_fraction,
+        engaged_devices,
+        parked,
         videos,
-        videos * comments_per_video,
+        comment_idx,
         sim_seconds,
         seed,
         shards,
@@ -170,6 +379,11 @@ fn main() {
         stats.total,
         events_per_sec,
         rss,
+        rss as f64 / devices as f64,
+        fleet_live_heap,
+        live_heap,
+        live_heap_peak,
+        live_heap as f64 / devices as f64,
         stats.workload,
         stats.pylon,
         stats.tao,
@@ -181,7 +395,5 @@ fn main() {
         m.deliveries.get(),
         m.publications.get(),
         m.subscriptions.get(),
-    );
-    std::fs::write(&out, json).expect("write bench summary");
-    println!("  wrote {out}");
+    )
 }

@@ -89,6 +89,13 @@ pub struct SystemConfig {
     /// execute the shards, so this is part of the experiment definition
     /// while the worker count is a free performance knob.
     pub logical_shards: usize,
+    /// Whether quiescent connected devices are parked into their compact
+    /// frozen form between events (rehydrated on the next event that
+    /// touches them). Purely a memory knob: parking and rehydrating are
+    /// pure data transforms, so metrics and the trace ledger are
+    /// bit-identical either way (pinned by the hibernation equivalence
+    /// test).
+    pub hibernation: bool,
 }
 
 impl SystemConfig {
@@ -119,6 +126,7 @@ impl SystemConfig {
             brass_mailbox_capacity: 0,
             egress_window_bytes: 0,
             logical_shards: 4,
+            hibernation: true,
         }
     }
 
@@ -158,6 +166,7 @@ impl SystemConfig {
             brass_mailbox_capacity: 0,
             egress_window_bytes: 0,
             logical_shards: 8,
+            hibernation: true,
         }
     }
 }

@@ -141,13 +141,23 @@ pub struct SystemMetrics {
     // ------------------------------------------------------------------
     // Per-stream accounting (Fig. 7 / Table 2).
     // ------------------------------------------------------------------
-    /// Publications targeting each stream's subscription, over the
-    /// stream's lifetime.
-    pub stream_publications: HashMap<(u64, StreamId), u64>,
-    /// Stream open times (for lifetime accounting).
-    pub stream_opened: HashMap<(u64, StreamId), SimTime>,
+    /// Per-stream stats, one entry per stream ever opened. A single map
+    /// rather than parallel `opened`/`publications` maps: at fleet scale
+    /// every map shows up in bytes-per-device, and both fields are keyed
+    /// identically.
+    pub stream_stats: HashMap<(u64, StreamId), StreamStat>,
     /// Closed streams' lifetimes.
     pub stream_lifetimes: Vec<SimDuration>,
+}
+
+/// Lifetime + publication accounting for one stream (Fig. 7 / Table 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamStat {
+    /// When the stream opened; `None` once it has closed.
+    pub opened: Option<SimTime>,
+    /// Publications targeting this stream's subscription, over the
+    /// stream's lifetime.
+    pub publications: u64,
 }
 
 impl SystemMetrics {
@@ -191,8 +201,7 @@ impl SystemMetrics {
             ts_connection_drops: ts(),
             ts_proxy_reconnects: ts(),
             availability_timeline: Vec::new(),
-            stream_publications: HashMap::new(),
-            stream_opened: HashMap::new(),
+            stream_stats: HashMap::new(),
             stream_lifetimes: Vec::new(),
         }
     }
@@ -227,29 +236,40 @@ impl SystemMetrics {
 
     /// Records a stream opening.
     pub fn stream_opened(&mut self, device: u64, sid: StreamId, at: SimTime) {
-        self.stream_opened.insert((device, sid), at);
-        self.stream_publications.entry((device, sid)).or_insert(0);
+        self.stream_stats.entry((device, sid)).or_default().opened = Some(at);
     }
 
     /// Records a stream closing, accumulating its lifetime.
     pub fn stream_closed(&mut self, device: u64, sid: StreamId, at: SimTime) {
-        if let Some(opened) = self.stream_opened.remove(&(device, sid)) {
+        if let Some(opened) = self
+            .stream_stats
+            .get_mut(&(device, sid))
+            .and_then(|s| s.opened.take())
+        {
             self.stream_lifetimes.push(at.saturating_since(opened));
         }
     }
 
     /// Counts one publication targeting a stream's subscription.
     pub fn publication_for_stream(&mut self, device: u64, sid: StreamId) {
-        *self.stream_publications.entry((device, sid)).or_insert(0) += 1;
+        self.stream_stats
+            .entry((device, sid))
+            .or_default()
+            .publications += 1;
+    }
+
+    /// Streams ever opened (Fig. 7 denominator).
+    pub fn streams_tracked(&self) -> usize {
+        self.stream_stats.len()
     }
 
     /// Fig. 7 summary: fraction of streams with 0 / 1–9 / 10–99 / 100+
     /// publications.
     pub fn publication_buckets(&self) -> [f64; 4] {
-        let total = self.stream_publications.len().max(1) as f64;
+        let total = self.stream_stats.len().max(1) as f64;
         let mut counts = [0usize; 4];
-        for &n in self.stream_publications.values() {
-            let b = match n {
+        for s in self.stream_stats.values() {
+            let b = match s.publications {
                 0 => 0,
                 1..=9 => 1,
                 10..=99 => 2,
@@ -323,11 +343,13 @@ impl SystemMetrics {
         self.availability_timeline
             .extend(shard.availability_timeline.iter().copied());
 
-        for (&key, &n) in &shard.stream_publications {
-            *self.stream_publications.entry(key).or_insert(0) += n;
+        for (&key, s) in &shard.stream_stats {
+            let slot = self.stream_stats.entry(key).or_default();
+            slot.publications += s.publications;
+            if s.opened.is_some() {
+                slot.opened = s.opened;
+            }
         }
-        self.stream_opened
-            .extend(shard.stream_opened.iter().map(|(&k, &v)| (k, v)));
         self.stream_lifetimes
             .extend(shard.stream_lifetimes.iter().copied());
     }
@@ -405,8 +427,8 @@ mod tests {
         assert_eq!(a.deliveries.get(), 7);
         assert_eq!(a.per_app["lvc"].total.count(), 2);
         assert_eq!(a.per_app["typing"].total.count(), 1);
-        assert_eq!(a.stream_publications[&(1, StreamId(1))], 2);
-        assert_eq!(a.stream_publications[&(2, StreamId(1))], 1);
+        assert_eq!(a.stream_stats[&(1, StreamId(1))].publications, 2);
+        assert_eq!(a.stream_stats[&(2, StreamId(1))].publications, 1);
         assert_eq!(a.ts_deliveries.buckets()[0], 7.0);
         assert_eq!(
             a.stream_lifetimes,

@@ -166,8 +166,9 @@ enum Ev {
     // ------------------------------------------------------------------
     // Backend publish path.
     // ------------------------------------------------------------------
-    /// An update event reaches Pylon.
-    PylonPublish { event: UpdateEvent },
+    /// An update event reaches Pylon. Boxed: every pending queue entry
+    /// pays `size_of::<Ev>()`, so the fat payload lives behind a pointer.
+    PylonPublish { event: Box<UpdateEvent> },
     /// Pylon forwards an event to one BRASS host. The event is shared:
     /// fanning out to N hosts enqueues N pointers to one allocation.
     PylonDeliverHost {
@@ -175,7 +176,7 @@ enum Ev {
         event: Arc<UpdateEvent>,
     },
     /// A cross-region TAO cache invalidation applies.
-    TaoReplicate { event: tao::ReplicationEvent },
+    TaoReplicate { event: Box<tao::ReplicationEvent> },
 
     // ------------------------------------------------------------------
     // BRASS subscriptions and async work.
@@ -214,19 +215,22 @@ enum Ev {
     // ------------------------------------------------------------------
     // Frame transport, client → server.
     // ------------------------------------------------------------------
-    /// A device frame arrives at its POP.
-    AtPop { device: u64, frame: Frame },
+    /// A device frame arrives at its POP. Frames are boxed throughout the
+    /// transport variants: one long-lived timer or in-flight frame per
+    /// stream would otherwise inflate every `Ev` in the wheel to the size
+    /// of the fattest variant.
+    AtPop { device: u64, frame: Box<Frame> },
     /// A frame arrives at a reverse proxy.
     AtProxy {
         proxy: usize,
         device: u64,
-        frame: Frame,
+        frame: Box<Frame>,
     },
     /// A frame arrives at a BRASS host.
     AtBrass {
         host: usize,
         device: u64,
-        frame: Frame,
+        frame: Box<Frame>,
     },
 
     // ------------------------------------------------------------------
@@ -243,19 +247,19 @@ enum Ev {
         /// in load still proves liveness by the very frames it emits).
         host: usize,
         device: u64,
-        frame: Frame,
+        frame: Box<Frame>,
         sent_at: SimTime,
     },
     /// A response frame arrives at the device's POP.
     DownAtPop {
         device: u64,
-        frame: Frame,
+        frame: Box<Frame>,
         sent_at: SimTime,
     },
     /// A response frame arrives at the device.
     AtDevice {
         device: u64,
-        frame: Frame,
+        frame: Box<Frame>,
         sent_at: SimTime,
     },
 
@@ -399,11 +403,25 @@ fn shard_route(ev: &Ev, pops: usize, shards: usize) -> usize {
     }
 }
 
+/// A device's protocol machine, either live or parked in its compact
+/// hibernation form.
+///
+/// Parking and rehydrating are pure data transforms ([`Device::hibernate`]
+/// / [`Device::rehydrate`]): no RNG draws, no scheduling, no observable
+/// state change — so whether a device happens to be parked when an event
+/// arrives can never perturb results, only resident bytes.
+enum DeviceSlot {
+    Live(Device),
+    Parked(Box<[u8]>),
+}
+
 struct DeviceState {
-    device: Device,
-    pop: usize,
+    slot: DeviceSlot,
     link: LinkClass,
-    lang: String,
+    /// Interned header language: an index into [`SystemSim`]'s lang table
+    /// (devices overwhelmingly share a handful of languages, so a u16 id
+    /// replaces a per-device heap `String`).
+    lang: u16,
     connected: bool,
     /// Consecutive recent drops, driving exponential reconnect backoff.
     drop_streak: u32,
@@ -425,6 +443,60 @@ struct DeviceState {
     /// Frames (data *and* control) currently on the wire toward the
     /// device — the POP-egress queue depth.
     inflight_frames: u64,
+}
+
+impl DeviceState {
+    /// The live device machine, rehydrating first if parked. `id` is the
+    /// map key (not stored in the state — that would duplicate it).
+    fn wake(&mut self, id: u64) -> &mut Device {
+        if let DeviceSlot::Parked(blob) = &self.slot {
+            self.slot = DeviceSlot::Live(Device::rehydrate(id, blob));
+        }
+        match &mut self.slot {
+            DeviceSlot::Live(d) => d,
+            DeviceSlot::Parked(_) => unreachable!("rehydrated above"),
+        }
+    }
+
+    /// Open-stream count without waking a parked device (the metrics tick
+    /// peeks the frozen blob instead of rehydrating the whole fleet).
+    fn open_streams(&self) -> usize {
+        match &self.slot {
+            DeviceSlot::Live(d) => d.open_streams(),
+            DeviceSlot::Parked(blob) => Device::frozen_open_streams(blob),
+        }
+    }
+
+    /// Open stream ids without waking a parked device.
+    fn open_sids(&self) -> Vec<StreamId> {
+        match &self.slot {
+            DeviceSlot::Live(d) => d.open_sids(),
+            DeviceSlot::Parked(blob) => Device::frozen_open_sids(blob),
+        }
+    }
+
+    /// Parks the device into its compact frozen form if it is quiescent:
+    /// connected, nothing on the wire toward it, no flow-control episode
+    /// in progress, and no recent drop streak (churning devices stay live
+    /// to avoid park/rehydrate thrash around their reconnect bursts).
+    /// Devices with no streams stay live too — an empty `Device` holds no
+    /// heap at all, so its blob would cost more than it saves.
+    fn maybe_park(&mut self, hibernation: bool) {
+        if !hibernation
+            || !self.connected
+            || self.inflight_frames != 0
+            || !self.degraded_sids.is_empty()
+            || self.flow.in_flight() != 0
+            || self.drop_streak != 0
+        {
+            return;
+        }
+        if let DeviceSlot::Live(d) = &self.slot {
+            if d.open_streams() > 0 {
+                self.slot = DeviceSlot::Parked(d.hibernate());
+            }
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -569,7 +641,11 @@ struct Shard {
     /// `config.brass_service_us == 0`.
     host_busy_until: Vec<SimTime>,
 
-    devices: FxHashMap<u64, DeviceState>,
+    /// The shard's device fleet, keyed by uid. A sorted vec, not a hash
+    /// map: the fleet is built in ascending-id order, lives for the whole
+    /// run, and at seven figures a hash table's empty buckets alone cost
+    /// hundreds of megabytes (entries are 144 B each).
+    devices: simkit::collections::SortedVecMap<u64, DeviceState>,
     /// (device, sid) → traces lost in delivery to that stream, recoverable
     /// by a WAS backfill poll (gap detection or reconnect).
     pending_backfill: FxHashMap<(u64, StreamId), Vec<TraceId>>,
@@ -641,7 +717,7 @@ impl Shard {
             host_up: vec![true; config.brass_hosts as usize],
             proxy_up: vec![true; config.proxies as usize],
             host_busy_until: vec![SimTime::ZERO; config.brass_hosts as usize],
-            devices: FxHashMap::default(),
+            devices: simkit::collections::SortedVecMap::new(),
             pending_backfill: FxHashMap::default(),
             object_delivered: FxHashMap::default(),
             sub_started: FxHashMap::default(),
@@ -735,7 +811,7 @@ impl Shard {
             Ev::DeviceSubscribe { device, header } => self.on_device_subscribe(now, device, header),
             Ev::DeviceCancel { device, sid } => self.on_device_cancel(now, device, sid),
             Ev::WasMutationExec { gql, app } => self.on_was_mutation(now, &gql, app),
-            Ev::PylonPublish { event } => self.on_pylon_publish(now, event),
+            Ev::PylonPublish { event } => self.on_pylon_publish(now, *event),
             Ev::PylonDeliverHost { host, event } => self.on_pylon_deliver(now, host, event),
             Ev::TaoReplicate { event } => self.was_ref().tao_mut().apply_replication(&event),
             Ev::PylonSubscribeExec {
@@ -764,34 +840,34 @@ impl Shard {
                 let fx = self.hosts[host].on_timer(&app, token, now);
                 self.process_host_effects(now, host, fx, None);
             }
-            Ev::AtPop { device, frame } => self.on_at_pop(now, device, frame),
+            Ev::AtPop { device, frame } => self.on_at_pop(now, device, *frame),
             Ev::AtProxy {
                 proxy,
                 device,
                 frame,
-            } => self.on_at_proxy(now, proxy, device, frame),
+            } => self.on_at_proxy(now, proxy, device, *frame),
             Ev::AtBrass {
                 host,
                 device,
                 frame,
-            } => self.on_at_brass(now, host, device, frame),
+            } => self.on_at_brass(now, host, device, *frame),
             Ev::DownAtProxy {
                 proxy,
                 host,
                 device,
                 frame,
                 sent_at,
-            } => self.on_down_at_proxy(now, proxy, host, device, frame, sent_at),
+            } => self.on_down_at_proxy(now, proxy, host, device, *frame, sent_at),
             Ev::DownAtPop {
                 device,
                 frame,
                 sent_at,
-            } => self.on_down_at_pop(now, device, frame, sent_at),
+            } => self.on_down_at_pop(now, device, *frame, sent_at),
             Ev::AtDevice {
                 device,
                 frame,
                 sent_at,
-            } => self.on_at_device(now, device, frame, sent_at),
+            } => self.on_at_device(now, device, *frame, sent_at),
             Ev::DeviceDrop { device } => self.on_device_drop(now, device),
             Ev::DeviceReconnect { device, frames } => self.on_device_reconnect(now, device, frames),
             Ev::BrassRedirect {
@@ -867,6 +943,16 @@ impl Shard {
 }
 
 impl Shard {
+    /// Re-freezes a device if it is eligible (see
+    /// [`DeviceState::maybe_park`]). Called at the end of every handler
+    /// that woke the device machine.
+    fn park(&mut self, device: u64) {
+        let hibernation = self.config.hibernation;
+        if let Some(state) = self.devices.get_mut(&device) {
+            state.maybe_park(hibernation);
+        }
+    }
+
     fn on_device_subscribe(&mut self, now: SimTime, device: u64, header: Json) {
         let Some(state) = self.devices.get_mut(&device) else {
             return;
@@ -877,7 +963,7 @@ impl Shard {
         // Device stream cap ("each mobile app up to 20 concurrent
         // streams"): the oldest stream makes room for the new one.
         let evict: Vec<StreamId> = {
-            let open = state.device.open_sids();
+            let open = state.open_sids();
             let over = (open.len() + 1).saturating_sub(self.config.max_streams_per_device);
             open.into_iter().take(over).collect()
         };
@@ -890,8 +976,9 @@ impl Shard {
         // Fig. 7 registry: which topic does this stream's subscription
         // target? Resolved before the header moves into the stream.
         let sub_topic = brass::resolve::resolve(&header).ok().map(|sub| sub.topic);
-        let (sid, frame) = state.device.open_stream(header, Vec::new());
+        let (sid, frame) = state.wake(device).open_stream(header, Vec::new());
         let link = state.link;
+        state.maybe_park(self.config.hibernation);
         self.metrics.subscriptions.inc();
         self.metrics.ts_subscriptions.inc(now);
         self.metrics.stream_opened(device, sid, now);
@@ -901,22 +988,36 @@ impl Shard {
             self.op(SharedOp::StreamTopicInsert(device, sid, topic));
         }
         let delay = self.latency.last_mile(link, &mut self.rng);
-        self.send(now + delay, Ev::AtPop { device, frame });
+        self.send(
+            now + delay,
+            Ev::AtPop {
+                device,
+                frame: frame.into(),
+            },
+        );
     }
 
     fn on_device_cancel(&mut self, now: SimTime, device: u64, sid: StreamId) {
         let Some(state) = self.devices.get_mut(&device) else {
             return;
         };
-        let Some(frame) = state.device.cancel_stream(sid) else {
+        let frame = state.wake(device).cancel_stream(sid);
+        let link = state.link;
+        state.maybe_park(self.config.hibernation);
+        let Some(frame) = frame else {
             return;
         };
-        let link = state.link;
         self.metrics.cancellations.inc();
         self.metrics.stream_closed(device, sid, now);
         self.op(SharedOp::StreamRemove(device, sid));
         let delay = self.latency.last_mile(link, &mut self.rng);
-        self.send(now + delay, Ev::AtPop { device, frame });
+        self.send(
+            now + delay,
+            Ev::AtPop {
+                device,
+                frame: frame.into(),
+            },
+        );
     }
 
     fn on_was_mutation(&mut self, now: SimTime, gql: &str, app: &'static str) {
@@ -926,7 +1027,7 @@ impl Shard {
         self.metrics.mutations.inc();
         for rep in outcome.replication {
             let d = self.latency.cross_region(&mut self.rng);
-            self.send(now + d, Ev::TaoReplicate { event: rep });
+            self.send(now + d, Ev::TaoReplicate { event: rep.into() });
         }
         let was_delay = self
             .latency
@@ -940,7 +1041,12 @@ impl Shard {
             let trace = TraceId(event.id);
             self.op(SharedOp::ObjectTrace(event.object, trace));
             self.record(trace, Hop::TaoCommit, now, HopOutcome::Ok);
-            self.send(now + was_delay, Ev::PylonPublish { event });
+            self.send(
+                now + was_delay,
+                Ev::PylonPublish {
+                    event: event.into(),
+                },
+            );
         }
     }
 
@@ -1273,7 +1379,7 @@ impl Shard {
                                 proxy,
                                 host,
                                 device: device.0,
-                                frame,
+                                frame: frame.into(),
                                 sent_at: send_at,
                             },
                         );
@@ -1349,10 +1455,12 @@ fn frame_data_bytes(frame: &Frame) -> Option<u64> {
 
 impl Shard {
     fn on_at_pop(&mut self, now: SimTime, device: u64, frame: Frame) {
-        let Some(state) = self.devices.get(&device) else {
+        if !self.devices.contains_key(&device) {
             return;
-        };
-        let pop = state.pop;
+        }
+        // A device's POP is derived, not stored: devices co-locate with
+        // `device % pops` (the same rule `shard_route` uses).
+        let pop = device as usize % self.pops.len();
         let fx = self.pops[pop].on_device_frame(device, frame, now.as_micros());
         self.process_pop_effects(now, fx);
     }
@@ -1365,7 +1473,13 @@ impl Shard {
             // Connection refused: the POP retries through its (repaired)
             // proxy assignment, modelling the edge's TCP-level failover.
             let d = self.latency.pop_proxy(&mut self.rng);
-            self.send(now + d, Ev::AtPop { device, frame });
+            self.send(
+                now + d,
+                Ev::AtPop {
+                    device,
+                    frame: frame.into(),
+                },
+            );
             return;
         }
         let fx = self.proxies[proxy].on_downstream_frame(device, frame, now.as_micros());
@@ -1386,7 +1500,7 @@ impl Shard {
                         Ev::AtBrass {
                             host: host as usize,
                             device,
-                            frame,
+                            frame: frame.into(),
                         },
                     );
                 }
@@ -1396,7 +1510,7 @@ impl Shard {
                         now + d,
                         Ev::DownAtPop {
                             device,
-                            frame,
+                            frame: frame.into(),
                             sent_at: now,
                         },
                     );
@@ -1501,7 +1615,7 @@ impl Shard {
                     now + d,
                     Ev::DownAtPop {
                         device,
-                        frame,
+                        frame: frame.into(),
                         sent_at,
                     },
                 );
@@ -1510,10 +1624,10 @@ impl Shard {
     }
 
     fn on_down_at_pop(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
-        let Some(state) = self.devices.get(&device) else {
+        if !self.devices.contains_key(&device) {
             return;
-        };
-        let pop = state.pop;
+        }
+        let pop = device as usize % self.pops.len();
         let fx = self.pops[pop].on_proxy_frame(device, frame, now.as_micros());
         for effect in fx {
             if let PopEffect::ToDevice { device, frame } = effect {
@@ -1655,13 +1769,20 @@ impl Shard {
             at,
             Ev::AtDevice {
                 device,
-                frame,
+                frame: frame.into(),
                 sent_at,
             },
         );
     }
 
     fn on_at_device(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
+        self.at_device_inner(now, device, frame, sent_at);
+        // The frame drained and the machine reacted: if the device is now
+        // quiescent it goes back to its frozen form until the next event.
+        self.park(device);
+    }
+
+    fn at_device_inner(&mut self, now: SimTime, device: u64, frame: Frame, sent_at: SimTime) {
         let app = self.app_of_device_frame(device, &frame);
         let Some(state) = self.devices.get_mut(&device) else {
             return;
@@ -1724,7 +1845,7 @@ impl Shard {
                     .record(now.saturating_since(started).as_millis_f64());
             }
         }
-        let outputs = state.device.on_frame(&frame);
+        let outputs = state.wake(device).on_frame(&frame);
         let mut rendered_on: Option<StreamId> = None;
         for out in outputs {
             match out {
@@ -1755,10 +1876,16 @@ impl Shard {
                         let Some(state) = self.devices.get_mut(&device) else {
                             return;
                         };
-                        if let Some(frame) = state.device.retry_stream(sid) {
+                        if let Some(frame) = state.wake(device).retry_stream(sid) {
                             let link = state.link;
                             let d = self.latency.last_mile(link, &mut self.rng);
-                            self.send(now + d, Ev::AtPop { device, frame });
+                            self.send(
+                                now + d,
+                                Ev::AtPop {
+                                    device,
+                                    frame: frame.into(),
+                                },
+                            );
                         }
                     }
                 }
@@ -1766,7 +1893,13 @@ impl Shard {
                     // Protocol replies (pongs, flow-control) go back up.
                     let link = self.devices[&device].link;
                     let d = self.latency.last_mile(link, &mut self.rng);
-                    self.send(now + d, Ev::AtPop { device, frame });
+                    self.send(
+                        now + d,
+                        Ev::AtPop {
+                            device,
+                            frame: frame.into(),
+                        },
+                    );
                 }
                 DeviceOutput::BackfillPoll { sid } => {
                     // Gap detected: the device polls the WAS directly for
@@ -1785,13 +1918,19 @@ impl Shard {
         // buffer shrinks and retransmission stops.
         if app == "messenger" {
             if let Some(sid) = rendered_on {
-                let Some(state) = self.devices.get(&device) else {
+                let Some(state) = self.devices.get_mut(&device) else {
                     return;
                 };
-                if let Some(ack) = state.device.ack(sid) {
+                if let Some(ack) = state.wake(device).ack(sid) {
                     let link = state.link;
                     let d = self.latency.last_mile(link, &mut self.rng);
-                    self.send(now + d, Ev::AtPop { device, frame: ack });
+                    self.send(
+                        now + d,
+                        Ev::AtPop {
+                            device,
+                            frame: ack.into(),
+                        },
+                    );
                 }
             }
         }
@@ -1840,10 +1979,10 @@ impl Shard {
             return;
         }
         state.connected = false;
+        let resubscribes = state.wake(device).on_connection_lost();
         self.metrics.connection_drops.inc();
         self.metrics.ts_connection_drops.inc(now);
-        let pop = state.pop;
-        let resubscribes = state.device.on_connection_lost();
+        let pop = device as usize % self.pops.len();
         let fx = self.pops[pop].on_device_disconnected(device);
         // DeviceGone teardown rides through the shared effect fan-out; the
         // false-positive reconnect branch inside it no-ops because the
@@ -1872,10 +2011,10 @@ impl Shard {
             return;
         }
         state.connected = false;
+        let resubscribes = state.wake(device).on_connection_lost();
         self.metrics.device_vanishes.inc();
         self.metrics.connection_drops.inc();
         self.metrics.ts_connection_drops.inc(now);
-        let resubscribes = state.device.on_connection_lost();
         // Deliberately NO pop/proxy notification here — that's the point.
         let backoff = self.reconnect_backoff(now, device);
         self.send(
@@ -1901,7 +2040,13 @@ impl Shard {
                 self.sub_started.insert((device, sid), now);
             }
             let d = self.latency.last_mile(link, &mut self.rng);
-            self.send(now + d, Ev::AtPop { device, frame });
+            self.send(
+                now + d,
+                Ev::AtPop {
+                    device,
+                    frame: frame.into(),
+                },
+            );
         }
         // Anything lost while the device was away is refetched from the
         // WAS once the connection is back.
@@ -2136,7 +2281,7 @@ impl Shard {
                         Ev::AtProxy {
                             proxy: proxy as usize,
                             device,
-                            frame,
+                            frame: frame.into(),
                         },
                     );
                 }
@@ -2164,7 +2309,7 @@ impl Shard {
                             state.degraded_sids.clear();
                             self.metrics.connection_drops.inc();
                             self.metrics.ts_connection_drops.inc(now);
-                            Some(state.device.on_connection_lost())
+                            Some(state.wake(device).on_connection_lost())
                         }
                         _ => None,
                     };
@@ -2187,11 +2332,7 @@ impl Shard {
     /// the fleet and reports the cross-shard aggregates the root series
     /// need. Also rotates the object-attribution window.
     fn shard_tick(&mut self, at: SimTime) -> TickSummary {
-        let active_streams: u64 = self
-            .devices
-            .values()
-            .map(|d| d.device.open_streams() as u64)
-            .sum();
+        let active_streams: u64 = self.devices.values().map(|d| d.open_streams() as u64).sum();
         let decisions: u64 = (0..self.hosts.len())
             .filter(|h| h % self.shards == self.id)
             .map(|h| self.hosts[h].total_app_counters().decisions)
@@ -2207,7 +2348,7 @@ impl Shard {
             if !state.connected {
                 continue;
             }
-            open.extend(state.device.open_sids().into_iter().map(|sid| (id, sid)));
+            open.extend(state.open_sids().into_iter().map(|sid| (id, sid)));
         }
         // Rotate the attribution map so it cannot grow without bound —
         // but keep a window covering application buffering horizons, so a
@@ -2421,6 +2562,9 @@ pub struct SystemSim {
     decisions_at_tick: u64,
     /// Scenario bookkeeping: predicted next stream id per device.
     scenario_sids: FxHashMap<u64, u64>,
+    /// The interned header-language table; [`DeviceState::lang`] indexes
+    /// into it.
+    langs: Vec<String>,
 }
 
 impl SystemSim {
@@ -2457,6 +2601,7 @@ impl SystemSim {
             merged_stats: EventStats::default(),
             decisions_at_tick: 0,
             scenario_sids: FxHashMap::default(),
+            langs: Vec::new(),
             config,
         };
         sim.rebuild_merged();
@@ -2528,12 +2673,33 @@ impl SystemSim {
             .sum()
     }
 
-    /// A device's current state (testing).
-    pub fn device(&self, device: u64) -> Option<&Device> {
+    /// A device's current state (testing). Returns an owned snapshot: the
+    /// resident form may be the compact hibernation blob, which is
+    /// rehydrated here without disturbing the simulation.
+    pub fn device(&self, device: u64) -> Option<Device> {
         self.shards[self.device_shard(device)]
             .devices
             .get(&device)
-            .map(|d| &d.device)
+            .map(|d| match &d.slot {
+                DeviceSlot::Live(dev) => dev.clone(),
+                DeviceSlot::Parked(blob) => Device::rehydrate(device, blob),
+            })
+    }
+
+    /// Fleet hibernation census: `(parked, total)` devices. Parked devices
+    /// hold their whole protocol state in one compact frozen blob.
+    pub fn hibernation_census(&self) -> (usize, usize) {
+        let mut parked = 0;
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.devices.len();
+            parked += shard
+                .devices
+                .values()
+                .filter(|d| matches!(d.slot, DeviceSlot::Parked(_)))
+                .count();
+        }
+        (parked, total)
     }
 
     /// Whether a BRASS host is currently up (testing / fault plans).
@@ -2608,18 +2774,17 @@ impl SystemSim {
     /// Returns the shared id (user uid == device id).
     pub fn create_user_device(&mut self, name: &str, lang: &str) -> u64 {
         let uid = self.was_mut().create_user(name, lang);
-        let pop = (uid % self.config.pops as u64) as usize;
         let weights: Vec<f64> = self.config.link_mix.iter().map(|(_, p)| *p).collect();
         let cat = simkit::dist::Categorical::new(&weights);
         let link = self.config.link_mix[cat.sample_index(&mut self.rng)].0;
+        let lang = self.intern_lang(lang);
         let shard = self.device_shard(uid);
         self.shards[shard].devices.insert(
             uid,
             DeviceState {
-                device: Device::new(uid),
-                pop,
+                slot: DeviceSlot::Live(Device::new(uid)),
                 link,
-                lang: lang.to_owned(),
+                lang,
                 connected: true,
                 drop_streak: 0,
                 last_drop_at: SimTime::ZERO,
@@ -2632,6 +2797,18 @@ impl SystemSim {
         uid
     }
 
+    /// Interns a header language into the u16 id table (the fleet speaks
+    /// a handful of languages; a per-device heap `String` would repeat
+    /// each of them a million times over).
+    fn intern_lang(&mut self, lang: &str) -> u16 {
+        if let Some(i) = self.langs.iter().position(|l| l == lang) {
+            return i as u16;
+        }
+        assert!(self.langs.len() < u16::MAX as usize, "lang table overflow");
+        self.langs.push(lang.to_owned());
+        (self.langs.len() - 1) as u16
+    }
+
     /// Schedules a subscription with an explicit header.
     pub fn subscribe_with_header(&mut self, at: SimTime, device: u64, header: Json) {
         self.schedule(at, Ev::DeviceSubscribe { device, header });
@@ -2641,8 +2818,8 @@ impl SystemSim {
         let lang = self.shards[self.device_shard(device)]
             .devices
             .get(&device)
-            .map(|d| d.lang.as_str())
-            .unwrap_or("en");
+            .and_then(|d| self.langs.get(d.lang as usize))
+            .map_or("en", String::as_str);
         Json::obj([
             ("viewer", Json::from(device)),
             ("lang", Json::from(lang)),
@@ -3122,7 +3299,7 @@ impl SystemSim {
             if state.flow.is_degraded() || !state.degraded_sids.is_empty() {
                 flow_degraded_devices += 1;
             }
-            for sid in state.device.open_sids() {
+            for sid in state.open_sids() {
                 open_streams += 1;
                 if !live.contains(&(id, sid)) {
                     stranded.push((id, sid));

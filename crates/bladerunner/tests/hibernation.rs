@@ -1,0 +1,137 @@
+//! Hibernation equivalence: parking a quiescent device into its compact
+//! frozen form (and rehydrating it on the next event) is a pure memory
+//! optimisation. Runs with hibernation enabled must be bit-identical —
+//! every metric and every trace-ledger hop record — to runs with it
+//! disabled, at every worker count. The scenarios here are built to
+//! actually cycle devices through park/rehydrate: activity bursts with
+//! quiet gaps between them, plus the chaos fault plan (drops, crashes and
+//! reconnect backoff interleave with parking eligibility).
+
+use bladerunner::{SystemConfig, SystemMetrics, SystemSim};
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::TraceLedger;
+
+/// An LVC scenario with idle gaps: viewers subscribe, a comment burst
+/// lands, then the fleet goes quiet (parking), then a second burst forces
+/// rehydration. One viewer cancels mid-run, one drops and reconnects.
+fn lvc_run(hibernation: bool, workers: usize) -> (SystemMetrics, TraceLedger, usize) {
+    let mut config = SystemConfig::small();
+    config.hibernation = hibernation;
+    let mut s = SystemSim::new(config, 42);
+    s.set_workers(workers);
+    let video = s.was_mut().create_video("hib");
+    let poster = s.create_user_device("poster", "en");
+    let viewers: Vec<u64> = (0..12)
+        .map(|i| s.create_user_device(&format!("v{i}"), "en"))
+        .collect();
+    for (i, &v) in viewers.iter().enumerate() {
+        s.subscribe_lvc(SimTime::from_millis(i as u64 * 150), v, video);
+    }
+    // Burst, quiet gap (everyone quiescent -> parks), second burst
+    // (everyone rehydrates), then quiet to the end.
+    for i in 0..10 {
+        s.post_comment(
+            SimTime::from_millis(3_000 + i * 250),
+            poster,
+            video,
+            &format!("burst one comment {i}"),
+        );
+    }
+    for i in 0..10 {
+        s.post_comment(
+            SimTime::from_millis(40_000 + i * 250),
+            poster,
+            video,
+            &format!("burst two comment {i}"),
+        );
+    }
+    s.cancel_stream(
+        SimTime::from_secs(40),
+        viewers[3],
+        burst::frame::StreamId(1),
+    );
+    s.schedule_device_drop(SimTime::from_secs(20), viewers[5]);
+    s.run_until(SimTime::from_secs(70));
+    let (parked, _) = s.hibernation_census();
+    let metrics = s.metrics().clone();
+    let ledger = s.trace_ledger().clone();
+    (metrics, ledger, parked)
+}
+
+#[test]
+fn hibernation_is_invisible_to_metrics_and_ledger() {
+    let (m_off, l_off, parked_off) = lvc_run(false, 1);
+    let (m_on, l_on, parked_on) = lvc_run(true, 1);
+    assert_eq!(parked_off, 0, "hibernation off must never park");
+    assert!(
+        parked_on > 0,
+        "the scenario must actually park devices, or it proves nothing"
+    );
+    assert_eq!(m_off, m_on, "metrics must not see park/rehydrate");
+    assert_eq!(l_off, l_on, "hop ledger must not see park/rehydrate");
+}
+
+#[test]
+fn hibernation_equivalence_holds_at_all_worker_counts() {
+    let (m_ref, l_ref, _) = lvc_run(false, 1);
+    for workers in [1, 2, 4] {
+        let (m, l, parked) = lvc_run(true, workers);
+        assert!(parked > 0, "parking must occur at {workers} workers");
+        assert_eq!(m_ref, m, "metrics identical at {workers} workers");
+        assert_eq!(l_ref, l, "ledger identical at {workers} workers");
+    }
+}
+
+/// The chaos fault plan on top of a parked-heavy fleet: crashes, proxy
+/// outages, silent device vanishes and reconnect backoff interleave with
+/// parking eligibility (drop streaks and inflight frames must veto parks
+/// without perturbing anything).
+fn chaos_run(hibernation: bool, workers: usize) -> (SystemMetrics, TraceLedger) {
+    let mut config = SystemConfig::small();
+    config.hibernation = hibernation;
+    config.metrics_interval = SimDuration::from_secs(2);
+    config.metrics_horizon = SimDuration::from_hours(1);
+    let mut s = SystemSim::new(config.clone(), 1234);
+    s.set_workers(workers);
+    let video = s.was_mut().create_video("hib-chaos");
+    let poster = s.create_user_device("poster", "en");
+    let viewers: Vec<u64> = (0..8)
+        .map(|i| s.create_user_device(&format!("v{i}"), "en"))
+        .collect();
+    for &v in &viewers {
+        s.subscribe_lvc(SimTime::ZERO, v, video);
+    }
+    let mut plan_rng = s.rng_mut().fork(0xFA);
+    let plan =
+        bladerunner::fault::canned_plan(SimTime::from_secs(20), &config, &viewers, &mut plan_rng);
+    plan.apply(&mut s);
+    for i in 0..18 {
+        s.post_comment(
+            SimTime::from_secs(5 + i * 15),
+            poster,
+            video,
+            &format!("chaos comment {i}"),
+        );
+    }
+    let end = plan.heal_time() + SimDuration::from_secs(45);
+    s.run_until(end);
+    let metrics = s.metrics().clone();
+    let ledger = s.trace_ledger().clone();
+    (metrics, ledger)
+}
+
+#[test]
+fn hibernation_is_invisible_under_chaos() {
+    let (m_off, l_off) = chaos_run(false, 1);
+    for workers in [1, 2, 4] {
+        let (m, l) = chaos_run(true, workers);
+        assert_eq!(
+            m_off, m,
+            "chaos metrics identical with hibernation at {workers} workers"
+        );
+        assert_eq!(
+            l_off, l,
+            "chaos ledger identical with hibernation at {workers} workers"
+        );
+    }
+}

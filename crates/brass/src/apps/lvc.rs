@@ -61,7 +61,10 @@ struct BufferedComment {
 
 struct StreamState {
     viewer: u64,
-    lang: String,
+    /// Viewer language as an index into [`LvcApp::langs`] — the fleet
+    /// speaks a handful of languages, so a per-stream heap `String` would
+    /// repeat each of them once per watcher.
+    lang: u16,
     video: u64,
     buffer: RankedBuffer<BufferedComment>,
     limiter: TokenBucket,
@@ -79,6 +82,8 @@ pub struct LvcApp {
     pending_fetch: HashMap<FetchToken, PendingFetch>,
     timers: HashMap<u64, StreamKey>,
     next_timer: u64,
+    /// Interned viewer languages (see [`StreamState::lang`]).
+    langs: Vec<Box<str>>,
 }
 
 enum PendingFetch {
@@ -96,7 +101,17 @@ impl LvcApp {
             pending_fetch: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 0,
+            langs: Vec::new(),
         }
+    }
+
+    fn intern_lang(&mut self, lang: &str) -> u16 {
+        if let Some(i) = self.langs.iter().position(|l| &**l == lang) {
+            return i as u16;
+        }
+        assert!(self.langs.len() < u16::MAX as usize, "lang table overflow");
+        self.langs.push(lang.into());
+        (self.langs.len() - 1) as u16
     }
 
     /// Streams currently served.
@@ -144,11 +159,7 @@ impl BrassApp for LvcApp {
             ctx.terminate(stream, burst::frame::TerminateReason::Error);
             return;
         };
-        let lang = header
-            .get("lang")
-            .and_then(Json::as_str)
-            .unwrap_or("en")
-            .to_owned();
+        let lang = self.intern_lang(header.get("lang").and_then(Json::as_str).unwrap_or("en"));
         // Resumption (§3.5): restore rate-limiter state a previous BRASS
         // stored in the header, if any.
         let limiter = TokenBucket::from_header(header)
@@ -198,7 +209,11 @@ impl BrassApp for LvcApp {
                 continue;
             };
             // Per-viewer filtering (§2): language, quality, staleness.
-            let lang_ok = event.meta.lang.as_deref().is_none_or(|l| l == state.lang);
+            let lang_ok = event.meta.lang.as_deref().is_none_or(|l| {
+                self.langs
+                    .get(state.lang as usize)
+                    .is_some_and(|s| l == &**s)
+            });
             let fresh = ctx.now.saturating_since(created) <= self.config.max_comment_age;
             let quality_ok = event.meta.quality >= self.config.min_quality;
             if !(lang_ok && fresh && quality_ok) {

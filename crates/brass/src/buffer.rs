@@ -66,8 +66,12 @@ impl<T> RankedBuffer<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, max_age: SimDuration) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        // The backing Vec is allocated lazily on first insert: one buffer
+        // exists per stream-connected device, and at fleet scale most sit
+        // empty at any instant — an eager `capacity + 1` allocation per
+        // stream is pure resident overhead.
         RankedBuffer {
-            entries: Vec::with_capacity(capacity + 1),
+            entries: Vec::new(),
             capacity,
             max_age,
             evicted: 0,
@@ -124,6 +128,9 @@ impl<T> RankedBuffer<T> {
             }
             evicted = self.entries.pop();
             self.evicted += 1;
+        }
+        if self.entries.capacity() == 0 {
+            self.entries.reserve_exact(self.capacity + 1);
         }
         self.entries.insert(
             pos,

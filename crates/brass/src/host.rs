@@ -15,6 +15,7 @@
 //! response frames, timers.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use burst::frame::{Delta, Frame, StreamId};
 use burst::json::Json;
@@ -94,7 +95,10 @@ struct Instance {
 }
 
 struct StreamMeta {
-    app: String,
+    /// The owning application's name, shared with every other stream of
+    /// the same app on this host — one entry exists per resident stream,
+    /// so a per-stream heap `String` would be fleet-scale overhead.
+    app: Arc<str>,
     server: ServerStream,
 }
 
@@ -121,6 +125,8 @@ pub struct BrassHost {
     /// Host-wide topic refcounts (the Pylon subscription manager).
     host_topic_refs: HashMap<Topic, u32>,
     streams: HashMap<StreamKey, StreamMeta>,
+    /// Interned app names handed to [`StreamMeta`] (a handful of entries).
+    app_names: Vec<Arc<str>>,
     counters: HostCounters,
 }
 
@@ -133,8 +139,19 @@ impl BrassHost {
             instances: HashMap::new(),
             host_topic_refs: HashMap::new(),
             streams: HashMap::new(),
+            app_names: Vec::new(),
             counters: HostCounters::default(),
         }
+    }
+
+    /// Returns the shared copy of an app name, allocating it on first use.
+    fn intern_app(&mut self, name: &str) -> Arc<str> {
+        if let Some(a) = self.app_names.iter().find(|a| &***a == name) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(name);
+        self.app_names.push(a.clone());
+        a
     }
 
     /// This host's Pylon identity.
@@ -436,10 +453,11 @@ impl BrassHost {
         // Reliable apps retain unacked updates for replay.
         let retain = app == "messenger";
         let server = ServerStream::accept(sid, header.clone(), retain);
+        let app_shared = self.intern_app(&app);
         self.streams.insert(
             stream,
             StreamMeta {
-                app: app.clone(),
+                app: app_shared,
                 server,
             },
         );

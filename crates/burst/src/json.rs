@@ -492,6 +492,79 @@ impl fmt::Display for Json {
     }
 }
 
+/// A [`Json`] value stored as its canonical compact text encoding.
+///
+/// Parsed headers are the dominant resident cost at bench scale: a typical
+/// subscribe header holds ~10 small heap allocations (object vec, key
+/// strings, value strings) totalling several hundred bytes, and the system
+/// keeps four long-lived copies per stream (device, POP, proxy, BRASS).
+/// The same header as compact text is one ~80-byte allocation. `PackedJson`
+/// is that text form, with the handful of operations resident copies
+/// actually need: cheap `u64` field reads (via [`top_level_u64`], no
+/// parse), rewrite merges (parse → merge → re-encode; rewrites are rare),
+/// and full unpacking when a frame must be rebuilt.
+///
+/// Because serialization is canonical (key order preserved, shortest
+/// round-trip floats) and `parse ∘ to_string` is the identity for every
+/// value the system produces (no NaN/Inf headers — those serialize as
+/// `null`), pack/unpack cycles are lossless: `pack(unpack(p)) == p`.
+/// This also makes the byte form directly usable as a serialized snapshot
+/// representation (device hibernation, and the ROADMAP's snapshot/replay
+/// item).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedJson(Box<[u8]>);
+
+impl PackedJson {
+    /// Packs a value into its canonical text form.
+    pub fn pack(value: &Json) -> Self {
+        PackedJson(value.to_string().into_bytes().into_boxed_slice())
+    }
+
+    /// Reconstructs the [`Json`] value.
+    pub fn unpack(&self) -> Json {
+        let text = std::str::from_utf8(&self.0).expect("canonical bytes are UTF-8");
+        Json::parse(text).expect("canonical bytes parse")
+    }
+
+    /// Reads a top-level `u64` field without parsing (hot-path reads like
+    /// `last_seq`). Matches `unpack().get(key).and_then(Json::as_u64)`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        top_level_u64(&self.0, key)
+    }
+
+    /// Applies a rewrite patch (object-merge semantics, like
+    /// [`Json::merge`]) by parsing, merging, and re-encoding.
+    pub fn merge(&mut self, patch: &Json) {
+        let mut value = self.unpack();
+        value.merge(patch);
+        *self = PackedJson::pack(&value);
+    }
+
+    /// The canonical encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Rebuilds a value from bytes previously produced by
+    /// [`PackedJson::as_bytes`] (snapshot thaw). The bytes must be a
+    /// canonical encoding; this is checked in debug builds.
+    pub fn from_canonical_bytes(bytes: Vec<u8>) -> Self {
+        let packed = PackedJson(bytes.into_boxed_slice());
+        debug_assert_eq!(
+            PackedJson::pack(&packed.unpack()),
+            packed,
+            "bytes must be a canonical Json encoding"
+        );
+        packed
+    }
+}
+
+impl From<&Json> for PackedJson {
+    fn from(value: &Json) -> Self {
+        PackedJson::pack(value)
+    }
+}
+
 /// Extracts a `u64` field from the top level of a JSON object without
 /// building a [`Json`] value.
 ///
@@ -762,6 +835,19 @@ mod tests {
             let text = j.to_string();
             let back = Json::parse(&text).unwrap();
             prop_assert_eq!(back, j);
+        }
+
+        /// Pack/unpack is lossless and idempotent, and packed field reads
+        /// agree with the full parser.
+        #[test]
+        fn packed_roundtrip(j in arb_json()) {
+            let packed = PackedJson::pack(&j);
+            prop_assert_eq!(packed.unpack(), j.clone());
+            prop_assert_eq!(PackedJson::pack(&packed.unpack()), packed.clone());
+            let reloaded = PackedJson::from_canonical_bytes(packed.as_bytes().to_vec());
+            prop_assert_eq!(reloaded, packed.clone());
+            let slow = j.get("a").and_then(Json::as_u64);
+            prop_assert_eq!(packed.get_u64("a"), slow);
         }
 
         /// Parsing arbitrary bytes never panics.

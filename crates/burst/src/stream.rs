@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use crate::frame::{Delta, FlowStatus, Frame, Payload, StreamId, TerminateReason};
-use crate::json::Json;
+use crate::json::{Json, PackedJson};
 
 /// Lifecycle of a stream, as seen by the client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,11 +56,16 @@ pub enum ClientAction {
 }
 
 /// Device-side state machine for one request-stream.
-#[derive(Clone, Debug)]
+///
+/// The header is held in its packed text form ([`PackedJson`]): a device
+/// keeps this state for the whole life of the subscription, so its resident
+/// size dominates memory at fleet scale, while the header is only ever
+/// *used* on rare events (rewrites, resubscribes, flow-status resyncs).
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClientStream {
     sid: StreamId,
-    header: Json,
-    body: Vec<u8>,
+    header: PackedJson,
+    body: Box<[u8]>,
     state: StreamState,
     next_seq: u64,
     delivered: u64,
@@ -73,8 +78,8 @@ impl ClientStream {
     pub fn new(sid: StreamId, header: Json, body: Vec<u8>) -> Self {
         ClientStream {
             sid,
-            header,
-            body,
+            header: PackedJson::pack(&header),
+            body: body.into_boxed_slice(),
             state: StreamState::Subscribing,
             next_seq: 0,
             delivered: 0,
@@ -93,9 +98,10 @@ impl ClientStream {
         self.state
     }
 
-    /// The current header (including any server rewrites).
-    pub fn header(&self) -> &Json {
-        &self.header
+    /// The current header (including any server rewrites), unpacked from
+    /// its resident text form.
+    pub fn header(&self) -> Json {
+        self.header.unpack()
     }
 
     /// Updates delivered to the application so far.
@@ -117,8 +123,8 @@ impl ClientStream {
     pub fn subscribe_request(&self) -> Frame {
         Frame::Subscribe {
             sid: self.sid,
-            header: self.header.clone(),
-            body: self.body.clone(),
+            header: self.header.unpack(),
+            body: self.body.to_vec(),
         }
     }
 
@@ -133,16 +139,11 @@ impl ClientStream {
     pub fn resubscribe_request(&mut self) -> Frame {
         self.state = StreamState::Subscribing;
         self.resubscribes += 1;
-        self.next_seq = self
-            .header
-            .get("last_seq")
-            .and_then(Json::as_u64)
-            .map(|s| s + 1)
-            .unwrap_or(0);
+        self.next_seq = self.header.get_u64("last_seq").map(|s| s + 1).unwrap_or(0);
         Frame::Subscribe {
             sid: self.sid,
-            header: self.header.clone(),
-            body: self.body.clone(),
+            header: self.header.unpack(),
+            body: self.body.to_vec(),
         }
     }
 
@@ -201,12 +202,7 @@ impl ClientStream {
                     // may have missed some updates" (§4) — sequence
                     // expectations resync (resuming after `last_seq` when
                     // the header carries it).
-                    self.next_seq = self
-                        .header
-                        .get("last_seq")
-                        .and_then(Json::as_u64)
-                        .map(|s| s + 1)
-                        .unwrap_or(0);
+                    self.next_seq = self.header.get_u64("last_seq").map(|s| s + 1).unwrap_or(0);
                     actions.push(ClientAction::NotifyRecovered);
                 }
                 Delta::RewriteRequest { patch } => {
@@ -222,13 +218,126 @@ impl ClientStream {
         }
         actions
     }
+
+    /// Serializes this stream's complete state into `out` as fixed-width
+    /// little-endian fields plus the packed header / body bytes. The frozen
+    /// form is the device-hibernation (and snapshot) representation:
+    /// [`ClientStream::thaw`] reconstructs a bit-identical stream.
+    pub fn freeze_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.sid.0.to_le_bytes());
+        out.push(encode_state(self.state));
+        out.extend_from_slice(&self.next_seq.to_le_bytes());
+        out.extend_from_slice(&self.delivered.to_le_bytes());
+        out.extend_from_slice(&self.gaps.to_le_bytes());
+        out.extend_from_slice(&self.resubscribes.to_le_bytes());
+        let header = self.header.as_bytes();
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(header);
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Reads just the id and open/terminated flag of a frozen stream,
+    /// advancing `*pos` past it — no header unpack, no allocation. Lets
+    /// holders of frozen state answer "which streams are open" without
+    /// thawing.
+    pub fn peek_frozen(buf: &[u8], pos: &mut usize) -> (StreamId, bool) {
+        let sid = StreamId(read_u64(buf, pos));
+        let state = read_u8(buf, pos);
+        *pos += 32; // next_seq, delivered, gaps, resubscribes
+        let header_len = read_u32(buf, pos) as usize;
+        *pos += header_len;
+        let body_len = read_u32(buf, pos) as usize;
+        *pos += body_len;
+        (sid, state < 3)
+    }
+
+    /// Reads one frozen stream out of `buf` starting at `*pos`, advancing
+    /// `*pos` past it. Panics on a malformed buffer: frozen bytes never
+    /// leave the process, so corruption is a logic bug, not input error.
+    pub fn thaw(buf: &[u8], pos: &mut usize) -> ClientStream {
+        let sid = StreamId(read_u64(buf, pos));
+        let state = decode_state(read_u8(buf, pos));
+        let next_seq = read_u64(buf, pos);
+        let delivered = read_u64(buf, pos);
+        let gaps = read_u64(buf, pos);
+        let resubscribes = read_u64(buf, pos);
+        let header_len = read_u32(buf, pos) as usize;
+        let header = PackedJson::from_canonical_bytes(buf[*pos..*pos + header_len].to_vec());
+        *pos += header_len;
+        let body_len = read_u32(buf, pos) as usize;
+        let body: Box<[u8]> = buf[*pos..*pos + body_len].into();
+        *pos += body_len;
+        ClientStream {
+            sid,
+            header,
+            body,
+            state,
+            next_seq,
+            delivered,
+            gaps,
+            resubscribes,
+        }
+    }
+}
+
+fn encode_state(state: StreamState) -> u8 {
+    match state {
+        StreamState::Subscribing => 0,
+        StreamState::Active => 1,
+        StreamState::Degraded => 2,
+        StreamState::Terminated(reason) => {
+            3 + match reason {
+                TerminateReason::Cancelled => 0,
+                TerminateReason::Redirect => 1,
+                TerminateReason::ServerShutdown => 2,
+                TerminateReason::Denied => 3,
+                TerminateReason::Error => 4,
+            }
+        }
+    }
+}
+
+fn decode_state(code: u8) -> StreamState {
+    match code {
+        0 => StreamState::Subscribing,
+        1 => StreamState::Active,
+        2 => StreamState::Degraded,
+        3 => StreamState::Terminated(TerminateReason::Cancelled),
+        4 => StreamState::Terminated(TerminateReason::Redirect),
+        5 => StreamState::Terminated(TerminateReason::ServerShutdown),
+        6 => StreamState::Terminated(TerminateReason::Denied),
+        7 => StreamState::Terminated(TerminateReason::Error),
+        other => panic!("bad frozen stream state code {other}"),
+    }
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> u8 {
+    let v = buf[*pos];
+    *pos += 1;
+    v
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32"));
+    *pos += 4;
+    v
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("u64"));
+    *pos += 8;
+    v
 }
 
 /// BRASS-side state for one request-stream.
+///
+/// Like [`ClientStream`], the header lives in packed text form: it is only
+/// read on rare control-plane events (accept, rewrite), never per-delivery.
 #[derive(Clone, Debug)]
 pub struct ServerStream {
     sid: StreamId,
-    header: Json,
+    header: PackedJson,
     next_seq: u64,
     acked_seq: Option<u64>,
     /// Updates sent but not yet acknowledged, retained for apps that need
@@ -243,11 +352,8 @@ impl ServerStream {
     /// If the header carries a `"last_seq"` field (installed by a previous
     /// incarnation via rewrite), sequence numbering resumes after it.
     pub fn accept(sid: StreamId, header: Json, retain: bool) -> Self {
-        let next_seq = header
-            .get("last_seq")
-            .and_then(Json::as_u64)
-            .map(|s| s + 1)
-            .unwrap_or(0);
+        let header = PackedJson::pack(&header);
+        let next_seq = header.get_u64("last_seq").map(|s| s + 1).unwrap_or(0);
         ServerStream {
             sid,
             header,
@@ -263,9 +369,9 @@ impl ServerStream {
         self.sid
     }
 
-    /// The header as last rewritten.
-    pub fn header(&self) -> &Json {
-        &self.header
+    /// The header as last rewritten, unpacked from its resident text form.
+    pub fn header(&self) -> Json {
+        self.header.unpack()
     }
 
     /// Next sequence number to be assigned.
@@ -325,10 +431,12 @@ impl ServerStream {
 /// One proxy's stored state for a stream passing through it.
 #[derive(Clone, Debug)]
 pub struct ProxyEntry {
-    /// The subscription header, kept current through rewrites.
-    pub header: Json,
+    /// The subscription header, kept current through rewrites, in packed
+    /// text form — proxies hold one entry per resident stream, so this is
+    /// a fleet-scale resident cost.
+    pub header: PackedJson,
     /// The opaque subscribe body.
-    pub body: Vec<u8>,
+    pub body: Box<[u8]>,
     /// The upstream (BRASS-side) hop this stream is routed to.
     pub upstream: Option<u64>,
     /// Last time any frame moved on this stream (for GC), in microseconds.
@@ -374,8 +482,8 @@ impl ProxyStreamTable {
         self.entries.insert(
             (conn, sid),
             ProxyEntry {
-                header,
-                body,
+                header: PackedJson::pack(&header),
+                body: body.into_boxed_slice(),
                 upstream,
                 last_activity_us: now_us,
             },
@@ -472,8 +580,8 @@ impl ProxyStreamTable {
         entry.upstream = Some(new_upstream);
         Some(Frame::Subscribe {
             sid,
-            header: entry.header.clone(),
-            body: entry.body.clone(),
+            header: entry.header.unpack(),
+            body: entry.body.to_vec(),
         })
     }
 
@@ -699,7 +807,10 @@ mod tests {
             10,
         );
         let e = t.get(1, StreamId(5)).unwrap();
-        assert_eq!(e.header.get("brass").unwrap().as_str(), Some("b-2"));
+        assert_eq!(
+            e.header.unpack().get("brass").unwrap().as_str(),
+            Some("b-2")
+        );
         assert_eq!(e.last_activity_us, 10);
     }
 
@@ -748,6 +859,28 @@ mod tests {
             other => panic!("expected Subscribe, got {other:?}"),
         }
         assert_eq!(t.get(1, StreamId(5)).unwrap().upstream, Some(300));
+    }
+
+    #[test]
+    fn client_freeze_thaw_roundtrip() {
+        let mut c = ClientStream::new(StreamId(7), header(), vec![1, 2, 3]);
+        c.on_batch(&[Delta::update(0, b"a".to_vec()), Delta::update(2, vec![])]);
+        c.on_batch(&[Delta::RewriteRequest {
+            patch: Json::obj([("last_seq", Json::from(2u64))]),
+        }]);
+        c.resubscribe_request();
+        let mut buf = Vec::new();
+        c.freeze_into(&mut buf);
+        // A second stream in the same buffer, in every terminal state.
+        let mut terminated = ClientStream::new(StreamId(8), header(), vec![]);
+        terminated.on_batch(&[Delta::Terminate(TerminateReason::Denied)]);
+        terminated.freeze_into(&mut buf);
+        let mut pos = 0;
+        let thawed = ClientStream::thaw(&buf, &mut pos);
+        assert_eq!(thawed, c);
+        let thawed2 = ClientStream::thaw(&buf, &mut pos);
+        assert_eq!(thawed2, terminated);
+        assert_eq!(pos, buf.len(), "thaw consumes exactly what freeze wrote");
     }
 
     #[test]

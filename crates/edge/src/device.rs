@@ -45,9 +45,16 @@ pub enum DeviceOutput {
 }
 
 /// An end-user device (mobile app or browser tab).
+///
+/// Streams live in a vec kept sorted by stream id (ids are assigned
+/// sequentially, so appends preserve order): at "10+ active
+/// request-streams" (§3) a sorted vec beats a hash map on both resident
+/// bytes and iteration determinism — there is no hasher state to leak into
+/// ordering, and no bucket array amortisation.
+#[derive(Clone)]
 pub struct Device {
     id: u64,
-    streams: std::collections::HashMap<StreamId, ClientStream>,
+    streams: Vec<ClientStream>,
     next_sid: u64,
     delivered: u64,
     renders: u64,
@@ -58,7 +65,7 @@ impl Device {
     pub fn new(id: u64) -> Self {
         Device {
             id,
-            streams: std::collections::HashMap::new(),
+            streams: Vec::new(),
             next_sid: 1,
             delivered: 0,
             renders: 0,
@@ -70,10 +77,14 @@ impl Device {
         self.id
     }
 
+    fn index_of(&self, sid: StreamId) -> Option<usize> {
+        self.streams.binary_search_by_key(&sid, |s| s.sid()).ok()
+    }
+
     /// Number of open (non-terminated) streams.
     pub fn open_streams(&self) -> usize {
         self.streams
-            .values()
+            .iter()
             .filter(|s| !matches!(s.state(), StreamState::Terminated(_)))
             .count()
     }
@@ -85,19 +96,16 @@ impl Device {
 
     /// Looks at a stream's state (testing / assertions).
     pub fn stream(&self, sid: StreamId) -> Option<&ClientStream> {
-        self.streams.get(&sid)
+        self.index_of(sid).map(|i| &self.streams[i])
     }
 
     /// Ids of open (non-terminated) streams, oldest first.
     pub fn open_sids(&self) -> Vec<StreamId> {
-        let mut sids: Vec<StreamId> = self
-            .streams
+        self.streams
             .iter()
-            .filter(|(_, s)| !matches!(s.state(), StreamState::Terminated(_)))
-            .map(|(&sid, _)| sid)
-            .collect();
-        sids.sort_unstable();
-        sids
+            .filter(|s| !matches!(s.state(), StreamState::Terminated(_)))
+            .map(|s| s.sid())
+            .collect()
     }
 
     /// Opens a new request-stream; returns its id and the subscribe frame.
@@ -106,13 +114,14 @@ impl Device {
         self.next_sid += 1;
         let stream = ClientStream::new(sid, header, body);
         let frame = stream.subscribe_request();
-        self.streams.insert(sid, stream);
+        self.streams.push(stream);
         (sid, frame)
     }
 
     /// Cancels a stream; returns the cancel frame.
     pub fn cancel_stream(&mut self, sid: StreamId) -> Option<Frame> {
-        self.streams.remove(&sid)?;
+        let i = self.index_of(sid)?;
+        self.streams.remove(i);
         Some(Frame::Cancel { sid })
     }
 
@@ -127,9 +136,10 @@ impl Device {
         let Frame::Response { sid, batch } = frame else {
             return out;
         };
-        let Some(stream) = self.streams.get_mut(sid) else {
+        let Some(index) = self.index_of(*sid) else {
             return out;
         };
+        let stream = &mut self.streams[index];
         for action in stream.on_batch(batch) {
             match action {
                 ClientAction::Deliver(payload) => {
@@ -157,14 +167,12 @@ impl Device {
             }
         }
         // Drop terminated streams that will not retry.
-        if let Some(s) = self.streams.get(sid) {
-            if let StreamState::Terminated(reason) = s.state() {
-                if !matches!(
-                    reason,
-                    TerminateReason::Redirect | TerminateReason::ServerShutdown
-                ) {
-                    self.streams.remove(sid);
-                }
+        if let StreamState::Terminated(reason) = self.streams[index].state() {
+            if !matches!(
+                reason,
+                TerminateReason::Redirect | TerminateReason::ServerShutdown
+            ) {
+                self.streams.remove(index);
             }
         }
         out
@@ -173,8 +181,8 @@ impl Device {
     /// Resubscribes a stream the server asked to retry (after a redirect or
     /// shutdown terminate). Returns the new subscribe frame.
     pub fn retry_stream(&mut self, sid: StreamId) -> Option<Frame> {
-        let stream = self.streams.get_mut(&sid)?;
-        Some(stream.resubscribe_request())
+        let i = self.index_of(sid)?;
+        Some(self.streams[i].resubscribe_request())
     }
 
     /// Handles loss of the POP connection: every stream degrades, and the
@@ -183,10 +191,7 @@ impl Device {
     /// and resumption need no extra device logic.
     pub fn on_connection_lost(&mut self) -> Vec<Frame> {
         let mut frames = Vec::new();
-        let mut sids: Vec<StreamId> = self.streams.keys().copied().collect();
-        sids.sort_unstable();
-        for sid in sids {
-            let stream = self.streams.get_mut(&sid).expect("key just listed");
+        for stream in &mut self.streams {
             if matches!(stream.state(), StreamState::Terminated(_)) {
                 continue;
             }
@@ -198,8 +203,78 @@ impl Device {
 
     /// Builds an ack frame for a stream (reliable applications).
     pub fn ack(&self, sid: StreamId) -> Option<Frame> {
-        self.streams.get(&sid).map(|s| s.ack_request())
+        self.index_of(sid).map(|i| self.streams[i].ack_request())
     }
+
+    /// Freezes the whole device into its compact hibernation form: scalar
+    /// counters plus each stream's [`ClientStream::freeze_into`] encoding.
+    /// [`Device::rehydrate`] reconstructs an identical device; the blob is
+    /// also the snapshot serialization of a device.
+    pub fn hibernate(&self) -> Box<[u8]> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.next_sid.to_le_bytes());
+        out.extend_from_slice(&self.delivered.to_le_bytes());
+        out.extend_from_slice(&self.renders.to_le_bytes());
+        out.extend_from_slice(&(self.streams.len() as u32).to_le_bytes());
+        for stream in &self.streams {
+            stream.freeze_into(&mut out);
+        }
+        out.into_boxed_slice()
+    }
+
+    /// Rebuilds a device from its hibernation blob.
+    pub fn rehydrate(id: u64, blob: &[u8]) -> Device {
+        let mut pos = 0;
+        let next_sid = read_u64(blob, &mut pos);
+        let delivered = read_u64(blob, &mut pos);
+        let renders = read_u64(blob, &mut pos);
+        let n = read_u32(blob, &mut pos) as usize;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            streams.push(ClientStream::thaw(blob, &mut pos));
+        }
+        debug_assert_eq!(pos, blob.len(), "hibernation blob fully consumed");
+        Device {
+            id,
+            streams,
+            next_sid,
+            delivered,
+            renders,
+        }
+    }
+
+    /// Open (non-terminated) stream ids of a hibernated device, read
+    /// straight from the blob — no rehydration, no header unpacking.
+    pub fn frozen_open_sids(blob: &[u8]) -> Vec<StreamId> {
+        let mut pos = 24; // skip next_sid, delivered, renders
+        let n = read_u32(blob, &mut pos) as usize;
+        let mut sids = Vec::new();
+        for _ in 0..n {
+            let (sid, open) = ClientStream::peek_frozen(blob, &mut pos);
+            if open {
+                sids.push(sid);
+            }
+        }
+        sids
+    }
+
+    /// Number of open streams in a hibernation blob (see
+    /// [`Device::frozen_open_sids`]).
+    pub fn frozen_open_streams(blob: &[u8]) -> usize {
+        Self::frozen_open_sids(blob).len()
+    }
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32"));
+    *pos += 4;
+    v
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("u64"));
+    *pos += 8;
+    v
 }
 
 #[cfg(test)]
@@ -370,6 +445,38 @@ mod tests {
             batch: vec![Delta::update(0, vec![])],
         });
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hibernate_rehydrate_roundtrip() {
+        let mut d = Device::new(17);
+        let (sid1, _) = d.open_stream(header("/LVC/1"), vec![5, 6]);
+        let (sid2, _) = d.open_stream(header("/Msgr/9"), vec![]);
+        d.on_frame(&Frame::Response {
+            sid: sid1,
+            batch: vec![
+                Delta::update(0, b"x".to_vec()),
+                Delta::RewriteRequest {
+                    patch: Json::obj([("brass_host", Json::from(3u64))]),
+                },
+            ],
+        });
+        d.on_frame(&Frame::Response {
+            sid: sid2,
+            batch: vec![Delta::Terminate(TerminateReason::Redirect)],
+        });
+        let blob = d.hibernate();
+        assert_eq!(Device::frozen_open_sids(&blob), vec![sid1]);
+        assert_eq!(Device::frozen_open_streams(&blob), 1);
+        let r = Device::rehydrate(17, &blob);
+        assert_eq!(r.id(), d.id());
+        assert_eq!(r.delivered(), d.delivered());
+        assert_eq!(r.open_sids(), d.open_sids());
+        assert_eq!(r.stream(sid1), d.stream(sid1));
+        assert_eq!(r.stream(sid2), d.stream(sid2));
+        // A rehydrated device keeps allocating fresh stream ids.
+        let (sid3, _) = Device::rehydrate(17, &blob).open_stream(header("/LVC/2"), vec![]);
+        assert_eq!(sid3, StreamId(3));
     }
 
     #[test]

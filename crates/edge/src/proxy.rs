@@ -382,11 +382,11 @@ impl ReverseProxy {
             let entry_header = self
                 .table
                 .get(device, sid)
-                .map(|e| e.header.clone())
+                .map(|e| e.header.unpack())
                 .expect("streams_via returned a live entry");
             let new_host = {
                 // Ignore the stale sticky hint pointing at the dead host.
-                let mut h = entry_header.clone();
+                let mut h = entry_header;
                 if h.get("brass_host")
                     .and_then(Json::as_u64)
                     .is_some_and(|x| x as u32 == host)

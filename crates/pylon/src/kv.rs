@@ -21,15 +21,37 @@ pub struct SubEntry {
     pub tombstone: bool,
 }
 
+/// A topic's versioned subscriber entries, sorted by host id.
+///
+/// A vec rather than a per-topic map: most topics carry one or two
+/// subscriber hosts (one notification topic per user), so at fleet scale
+/// the fixed overhead of an inner hash table per topic per replica
+/// dominates the entries themselves. Sorted order doubles as the
+/// deterministic comparison form for replica repair.
+pub type SubEntries = Vec<(HostId, SubEntry)>;
+
 /// One replica of the subscriber store.
 #[derive(Default)]
 pub struct KvNode {
     /// Whether the node is reachable. Down nodes neither serve reads nor
     /// accept writes; they keep (possibly stale) state for when they return.
     pub up: bool,
-    store: FxHashMap<Topic, FxHashMap<HostId, SubEntry>>,
+    store: FxHashMap<Topic, SubEntries>,
     writes: u64,
     reads: u64,
+}
+
+/// Inserts `entry` for `host` into a sorted entry list, newest version
+/// winning (equal versions are idempotent).
+fn upsert(subs: &mut SubEntries, host: HostId, entry: SubEntry) {
+    match subs.binary_search_by_key(&host, |&(h, _)| h) {
+        Ok(i) => {
+            if subs[i].1.version < entry.version {
+                subs[i].1 = entry;
+            }
+        }
+        Err(i) => subs.insert(i, (host, entry)),
+    }
 }
 
 impl KvNode {
@@ -46,58 +68,44 @@ impl KvNode {
     pub fn write(&mut self, topic: &Topic, host: HostId, entry: SubEntry) {
         debug_assert!(self.up, "caller must not write to a down node");
         self.writes += 1;
-        let subs = self.store.entry(*topic).or_default();
-        match subs.get(&host) {
-            Some(existing) if existing.version >= entry.version => {}
-            _ => {
-                subs.insert(host, entry);
-            }
-        }
+        upsert(self.store.entry(*topic).or_default(), host, entry);
     }
 
     /// Reads the live (non-tombstoned) subscribers of a topic.
     pub fn read(&mut self, topic: &Topic) -> Vec<HostId> {
         debug_assert!(self.up, "caller must not read from a down node");
         self.reads += 1;
-        let mut hosts: Vec<HostId> = self
-            .store
+        self.store
             .get(topic)
             .map(|subs| {
                 subs.iter()
                     .filter(|(_, e)| !e.tombstone)
-                    .map(|(h, _)| *h)
+                    .map(|&(h, _)| h)
                     .collect()
             })
-            .unwrap_or_default();
-        hosts.sort_unstable();
-        hosts
+            .unwrap_or_default()
     }
 
-    /// Reads the full versioned entry map for a topic (for repair).
-    pub fn read_entries(&self, topic: &Topic) -> FxHashMap<HostId, SubEntry> {
+    /// Reads the full versioned entry list for a topic (for repair).
+    pub fn read_entries(&self, topic: &Topic) -> SubEntries {
         self.store.get(topic).cloned().unwrap_or_default()
     }
 
-    /// Borrows the versioned entry map for a topic, if any state exists.
+    /// Borrows the versioned entry list for a topic, if any state exists.
     ///
-    /// Allocation-free replica comparison: a present map is never empty
-    /// (entries are tombstoned, not removed), so `None` vs `Some` compares
-    /// exactly like the owned empty-vs-populated maps from
-    /// [`read_entries`].
-    pub fn entries(&self, topic: &Topic) -> Option<&FxHashMap<HostId, SubEntry>> {
+    /// Allocation-free replica comparison: a present list is never empty
+    /// (entries are tombstoned, not removed) and always host-sorted, so
+    /// `None` vs `Some` compares exactly like the owned empty-vs-populated
+    /// lists from [`read_entries`].
+    pub fn entries(&self, topic: &Topic) -> Option<&SubEntries> {
         self.store.get(topic)
     }
 
     /// Merges `entries` into this node's state (newest version wins).
-    pub fn patch(&mut self, topic: &Topic, entries: &FxHashMap<HostId, SubEntry>) {
+    pub fn patch(&mut self, topic: &Topic, entries: &SubEntries) {
         let subs = self.store.entry(*topic).or_default();
-        for (host, entry) in entries {
-            match subs.get(host) {
-                Some(existing) if existing.version >= entry.version => {}
-                _ => {
-                    subs.insert(*host, *entry);
-                }
-            }
+        for &(host, entry) in entries {
+            upsert(subs, host, entry);
         }
     }
 
@@ -107,9 +115,9 @@ impl KvNode {
     /// subscriptions from that host" (§4).
     pub fn purge_host(&mut self, host: HostId, version: u64) {
         for subs in self.store.values_mut() {
-            if let Some(e) = subs.get_mut(&host) {
-                if e.version < version {
-                    *e = SubEntry {
+            if let Ok(i) = subs.binary_search_by_key(&host, |&(h, _)| h) {
+                if subs[i].1.version < version {
+                    subs[i].1 = SubEntry {
                         version,
                         tombstone: true,
                     };
@@ -134,17 +142,13 @@ impl KvNode {
     }
 }
 
-/// Merges entry maps from several replicas, newest version winning per host.
-pub fn merge_entries(maps: &[FxHashMap<HostId, SubEntry>]) -> FxHashMap<HostId, SubEntry> {
-    let mut merged: FxHashMap<HostId, SubEntry> = FxHashMap::default();
-    for map in maps {
-        for (host, entry) in map {
-            match merged.get(host) {
-                Some(existing) if existing.version >= entry.version => {}
-                _ => {
-                    merged.insert(*host, *entry);
-                }
-            }
+/// Merges entry lists from several replicas, newest version winning per
+/// host; the result is host-sorted like every [`SubEntries`].
+pub fn merge_entries(lists: &[SubEntries]) -> SubEntries {
+    let mut merged = SubEntries::new();
+    for list in lists {
+        for &(host, entry) in list {
+            upsert(&mut merged, host, entry);
         }
     }
     merged
@@ -238,71 +242,79 @@ mod tests {
                 tombstone: false,
             },
         );
-        let mut incoming = FxHashMap::default();
-        incoming.insert(
-            HostId(1),
-            SubEntry {
-                version: 2,
-                tombstone: true,
-            },
-        );
-        incoming.insert(
-            HostId(2),
-            SubEntry {
-                version: 1,
-                tombstone: false,
-            },
-        );
+        let incoming = vec![
+            (
+                HostId(1),
+                SubEntry {
+                    version: 2,
+                    tombstone: true,
+                },
+            ),
+            (
+                HostId(2),
+                SubEntry {
+                    version: 1,
+                    tombstone: false,
+                },
+            ),
+        ];
         a.patch(&topic(), &incoming);
         assert_eq!(a.read(&topic()), vec![HostId(2)]);
     }
 
     #[test]
     fn merge_entries_takes_max_version() {
-        let mut m1 = FxHashMap::default();
-        m1.insert(
-            HostId(1),
-            SubEntry {
-                version: 1,
-                tombstone: false,
-            },
-        );
-        m1.insert(
-            HostId(2),
-            SubEntry {
-                version: 3,
-                tombstone: true,
-            },
-        );
-        let mut m2 = FxHashMap::default();
-        m2.insert(
-            HostId(1),
-            SubEntry {
-                version: 2,
-                tombstone: true,
-            },
-        );
-        m2.insert(
-            HostId(2),
-            SubEntry {
-                version: 1,
-                tombstone: false,
-            },
-        );
+        let m1 = vec![
+            (
+                HostId(1),
+                SubEntry {
+                    version: 1,
+                    tombstone: false,
+                },
+            ),
+            (
+                HostId(2),
+                SubEntry {
+                    version: 3,
+                    tombstone: true,
+                },
+            ),
+        ];
+        let m2 = vec![
+            (
+                HostId(1),
+                SubEntry {
+                    version: 2,
+                    tombstone: true,
+                },
+            ),
+            (
+                HostId(2),
+                SubEntry {
+                    version: 1,
+                    tombstone: false,
+                },
+            ),
+        ];
         let merged = merge_entries(&[m1, m2]);
         assert_eq!(
-            merged[&HostId(1)],
-            SubEntry {
-                version: 2,
-                tombstone: true
-            }
-        );
-        assert_eq!(
-            merged[&HostId(2)],
-            SubEntry {
-                version: 3,
-                tombstone: true
-            }
+            merged,
+            vec![
+                (
+                    HostId(1),
+                    SubEntry {
+                        version: 2,
+                        tombstone: true
+                    }
+                ),
+                (
+                    HostId(2),
+                    SubEntry {
+                        version: 3,
+                        tombstone: true
+                    }
+                ),
+            ]
         );
     }
 

@@ -23,6 +23,8 @@
 //! * [`shard`] — cross-shard mailboxes for conservative parallel
 //!   simulation: window-clamped envelopes merged in `(time, src_shard,
 //!   seq)` order so results never depend on thread scheduling.
+//! * [`alloc`] — an opt-in counting global allocator so benches can report
+//!   live heap bytes (bytes-per-device) alongside coarse RSS.
 //!
 //! All components in the workspace are written *sans-io*: they are pure
 //! state machines that consume inputs and emit outputs, and the simulation
@@ -42,6 +44,8 @@
 //! assert_eq!(t.as_millis(), 1);
 //! ```
 
+pub mod alloc;
+pub mod collections;
 pub mod dist;
 pub mod fxhash;
 pub mod metrics;

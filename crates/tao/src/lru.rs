@@ -52,8 +52,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        // Capacity is an eviction bound, not a reservation: a scale config
+        // may set seven-figure capacities per follower tier, and an eager
+        // `with_capacity` would pin hundreds of megabytes of table that a
+        // run's working set never touches. Both the index map and the slot
+        // arena grow organically toward the bound.
         LruCache {
-            map: HashMap::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity.min(1024)),
             slots: Vec::with_capacity(capacity.min(1024)),
             free: Vec::new(),
             head: NIL,

@@ -88,6 +88,10 @@ pub struct Tao {
     shards: Vec<Shard>,
     regions: Vec<RegionTier>,
     next_id: u64,
+    /// Interned object-type names ([`Object::otype`] is shared, not owned).
+    otypes: Vec<std::sync::Arc<str>>,
+    /// Interned payload field names (see [`Tao::intern_data_keys`]).
+    keys: Vec<std::sync::Arc<str>>,
 }
 
 /// How many association-list entries a follower caches per list head.
@@ -113,6 +117,32 @@ impl Tao {
             shards,
             regions,
             next_id: 1,
+            otypes: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// The shared handle for an object-type name, interning on first use.
+    fn intern_otype(&mut self, otype: &str) -> std::sync::Arc<str> {
+        if let Some(t) = self.otypes.iter().find(|t| &***t == otype) {
+            return t.clone();
+        }
+        let t: std::sync::Arc<str> = otype.into();
+        self.otypes.push(t.clone());
+        t
+    }
+
+    /// Rewrites a payload's field names through the key intern table, so
+    /// stored objects share one allocation per distinct name. Callers
+    /// construct `Data` with fresh `Arc<str>` keys; those are transient —
+    /// what the shards (and cache copies) retain is the shared handle.
+    fn intern_data_keys(&mut self, data: &mut Data) {
+        for (k, _) in data.iter_mut() {
+            if let Some(shared) = self.keys.iter().find(|t| ***t == **k) {
+                *k = shared.clone();
+            } else {
+                self.keys.push(k.clone());
+            }
         }
     }
 
@@ -199,13 +229,15 @@ impl Tao {
     pub fn obj_add_with_events(
         &mut self,
         otype: &str,
-        data: Data,
+        mut data: Data,
     ) -> (ObjectId, Vec<ReplicationEvent>) {
         let id = self.alloc_id();
         let shard = self.shard_of(id) as usize;
+        let otype = self.intern_otype(otype);
+        self.intern_data_keys(&mut data);
         self.shards[shard].put_object(Object {
             id,
-            otype: otype.to_owned(),
+            otype,
             data,
             version: 0,
         });
@@ -215,8 +247,9 @@ impl Tao {
 
     /// Updates an object's data. Returns replication events, or `None` if
     /// the object does not exist.
-    pub fn obj_update(&mut self, id: ObjectId, data: Data) -> Option<Vec<ReplicationEvent>> {
+    pub fn obj_update(&mut self, id: ObjectId, mut data: Data) -> Option<Vec<ReplicationEvent>> {
         let shard = self.shard_of(id) as usize;
+        self.intern_data_keys(&mut data);
         if self.shards[shard].update_object(id, data) {
             Some(self.invalidate_all_regions(id, None))
         } else {
@@ -241,9 +274,10 @@ impl Tao {
         atype: &str,
         id2: ObjectId,
         time: u64,
-        data: Data,
+        mut data: Data,
     ) -> Vec<ReplicationEvent> {
         let shard = self.shard_of(id1) as usize;
+        self.intern_data_keys(&mut data);
         self.shards[shard].add_assoc(Assoc {
             id1,
             atype: atype.to_owned(),

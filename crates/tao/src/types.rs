@@ -99,12 +99,18 @@ impl From<bool> for Value {
     }
 }
 
+/// A field name in a [`Data`] payload. Shared, not owned: the store
+/// interns the handful of distinct field names once (like
+/// [`Object::otype`]), so a million user objects carry three pointers
+/// each instead of three heap strings each.
+pub type Key = std::sync::Arc<str>;
+
 /// Key-value payload attached to objects and associations.
-pub type Data = Vec<(String, Value)>;
+pub type Data = Vec<(Key, Value)>;
 
 /// Looks up a key in a [`Data`] payload.
 pub fn data_get<'a>(data: &'a Data, key: &str) -> Option<&'a Value> {
-    data.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    data.iter().find(|(k, _)| k.as_ref() == key).map(|(_, v)| v)
 }
 
 /// A social-graph object (node).
@@ -112,8 +118,11 @@ pub fn data_get<'a>(data: &'a Data, key: &str) -> Option<&'a Value> {
 pub struct Object {
     /// Globally unique id.
     pub id: ObjectId,
-    /// Object type, e.g. `"user"`, `"video"`, `"comment"`.
-    pub otype: String,
+    /// Object type, e.g. `"user"`, `"video"`, `"comment"`. Shared: the
+    /// store interns the handful of distinct type names once, so millions
+    /// of objects (and their cache copies) carry refcounted pointers
+    /// rather than per-object heap strings.
+    pub otype: std::sync::Arc<str>,
     /// Typed payload.
     pub data: Data,
     /// Version, bumped on every update (used by caches for freshness).

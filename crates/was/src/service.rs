@@ -551,7 +551,7 @@ impl WebApplicationServer {
         let uid = field.arg_id("uid").map_err(bad)?;
         let user = self.require_object(uid)?;
         let mut data = user.data.clone();
-        data.retain(|(k, _)| k != "last_online_ms");
+        data.retain(|(k, _)| k.as_ref() != "last_online_ms");
         data.push(("last_online_ms".into(), Value::Int(now_ms as i64)));
         let replication = self.tao.obj_update(ObjectId(uid), data).unwrap_or_default();
         let event = UpdateEvent {
@@ -983,7 +983,7 @@ impl WebApplicationServer {
                         Value::Float(f) => Rv::Float(*f),
                         Value::Bool(b) => Rv::Bool(*b),
                     };
-                    (k.clone(), rv)
+                    (k.to_string(), rv)
                 }))
                 .collect(),
         );

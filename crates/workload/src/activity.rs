@@ -91,6 +91,96 @@ impl PoissonArrivals {
     }
 }
 
+/// A lazily drawn arrival stream: anything that can report its next
+/// arrival instant and advance past it.
+///
+/// Chunked harnesses pump these with [`drain_window`] instead of
+/// materialising the whole schedule up front, so workload memory is O(1)
+/// per process — one pending arrival — no matter how many events the run
+/// will inject. At a million devices the difference is the bench's entire
+/// memory budget: a pre-built schedule holds every future subscribe and
+/// mutation (headers included) in the event queue at once.
+pub trait ArrivalProcess {
+    /// The next arrival instant (does not advance the process).
+    fn peek(&self) -> SimTime;
+    /// Consumes the next arrival, drawing the one after.
+    fn pop(&mut self, rng: &mut DetRng) -> SimTime;
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn peek(&self) -> SimTime {
+        PoissonArrivals::peek(self)
+    }
+    fn pop(&mut self, rng: &mut DetRng) -> SimTime {
+        PoissonArrivals::pop(self, rng)
+    }
+}
+
+/// A diurnally modulated Poisson stream (non-homogeneous, by thinning):
+/// candidate gaps are drawn at the curve's peak rate and kept with
+/// probability `rate(t) / peak` — the Lewis–Shedler construction — so
+/// arrivals follow `curve.value_at(t) * scale` while the process holds
+/// only one pending draw.
+#[derive(Clone, Debug)]
+pub struct DiurnalArrivals {
+    curve: DiurnalCurve,
+    scale: f64,
+    next: SimTime,
+}
+
+impl DiurnalArrivals {
+    /// Creates a stream whose instantaneous rate (events/second) is
+    /// `curve.value_at(t) * scale`, starting at `start`.
+    pub fn new(curve: DiurnalCurve, scale: f64, start: SimTime, rng: &mut DetRng) -> Self {
+        let mut s = DiurnalArrivals {
+            curve,
+            scale,
+            next: start,
+        };
+        s.advance(rng);
+        s
+    }
+
+    fn advance(&mut self, rng: &mut DetRng) {
+        let peak = self.curve.max * self.scale;
+        let gap = Exponential::new(peak);
+        let mut t = self.next;
+        loop {
+            t += SimDuration::from_secs_f64(gap.sample(rng));
+            let rate = self.curve.value_at(t) * self.scale;
+            if rng.chance(rate / peak) {
+                break;
+            }
+        }
+        self.next = t;
+    }
+}
+
+impl ArrivalProcess for DiurnalArrivals {
+    fn peek(&self) -> SimTime {
+        self.next
+    }
+    fn pop(&mut self, rng: &mut DetRng) -> SimTime {
+        let t = self.next;
+        self.advance(rng);
+        t
+    }
+}
+
+/// Drains every arrival strictly before `end`, invoking `f` with each
+/// instant in order. Windows are half-open, so pumping `[t0,t1) [t1,t2) …`
+/// visits every arrival exactly once.
+pub fn drain_window<P: ArrivalProcess, F: FnMut(SimTime)>(
+    process: &mut P,
+    end: SimTime,
+    rng: &mut DetRng,
+    mut f: F,
+) {
+    while process.peek() < end {
+        f(process.pop(rng));
+    }
+}
+
 /// A bursty arrival process (two-state MMPP) for comment storms: long quiet
 /// stretches punctuated by intense bursts — the lunar-eclipse pattern.
 #[derive(Clone, Debug)]

@@ -64,6 +64,7 @@ fn subscribe_rewrite_deliver_cancel_across_hops() {
             .get(9, sid)
             .unwrap()
             .header
+            .unpack()
             .get("brass_host")
             .and_then(Json::as_u64),
         Some(7),
