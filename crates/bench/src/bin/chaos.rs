@@ -3,8 +3,15 @@
 //! audit as the pass/fail gate.
 //!
 //! Run: `cargo run --release -p bench --bin chaos [--devices N]
-//! [--shards W] [--out F]` — `--shards` sets the worker-thread count for
-//! the sharded executor; results are bit-identical at any value.
+//! [--shards W] [--out F] [--snapshot-every T] [--snapshot-dir D]
+//! [--resume-from F]` — `--shards` sets the worker-thread count for the
+//! sharded executor; results are bit-identical at any value.
+//! `--snapshot-every` writes a sealed resumable snapshot every T metrics
+//! ticks; `--resume-from` restarts a run from one of those files and
+//! produces bit-identical metrics, ledgers, and fingerprints to the
+//! uninterrupted run (the fault plan and comment schedule are already in
+//! the snapshot's event queues; the run's timeline metadata rides in the
+//! snapshot's driver blob).
 //!
 //! The plan covers all six fault kinds (unplanned BRASS crash, rolling
 //! upgrade wave, minority + majority Pylon partitions, proxy outage,
@@ -17,11 +24,13 @@
 
 use std::time::Instant;
 
-use bench::{arg_or, peak_rss_bytes};
+use bench::{arg_or, peak_rss_bytes, snapctl};
 use bladerunner::config::SystemConfig;
 use bladerunner::fault::canned_plan;
+use bladerunner::replay;
 use bladerunner::sim::SystemSim;
 use pylon::PylonConfig;
+use simkit::snap::{SnapReader, SnapResult, SnapWriter};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::Retention;
 use tao::TaoConfig;
@@ -55,19 +64,87 @@ fn chaos_config() -> SystemConfig {
     config
 }
 
-fn main() {
+/// Everything the post-run report needs that is not recoverable from the
+/// sim itself. Rides in the snapshot's driver blob so `--resume-from`
+/// prints the same report the uninterrupted run would have.
+struct RunMeta {
+    devices: usize,
+    videos: usize,
+    comments: usize,
+    seed: u64,
+    plan_start: SimTime,
+    heal: SimTime,
+    end: SimTime,
+    kinds: Vec<String>,
+    /// Per-episode `(kind label, injected at, heals at)`.
+    episodes: Vec<(String, SimTime, SimTime)>,
+}
+
+fn encode_meta(m: &RunMeta) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_usize(m.devices);
+    w.put_usize(m.videos);
+    w.put_usize(m.comments);
+    w.put_u64(m.seed);
+    w.put_u64(m.plan_start.as_micros());
+    w.put_u64(m.heal.as_micros());
+    w.put_u64(m.end.as_micros());
+    w.put_usize(m.kinds.len());
+    for k in &m.kinds {
+        w.put_str(k);
+    }
+    w.put_usize(m.episodes.len());
+    for (label, at, heals) in &m.episodes {
+        w.put_str(label);
+        w.put_u64(at.as_micros());
+        w.put_u64(heals.as_micros());
+    }
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> SnapResult<RunMeta> {
+    let mut r = SnapReader::new(bytes);
+    let devices = r.get_usize()?;
+    let videos = r.get_usize()?;
+    let comments = r.get_usize()?;
+    let seed = r.get_u64()?;
+    let plan_start = SimTime::from_micros(r.get_u64()?);
+    let heal = SimTime::from_micros(r.get_u64()?);
+    let end = SimTime::from_micros(r.get_u64()?);
+    let mut kinds = Vec::new();
+    for _ in 0..r.get_usize()? {
+        kinds.push(r.get_str()?);
+    }
+    let mut episodes = Vec::new();
+    for _ in 0..r.get_usize()? {
+        let label = r.get_str()?;
+        let at = SimTime::from_micros(r.get_u64()?);
+        let heals = SimTime::from_micros(r.get_u64()?);
+        episodes.push((label, at, heals));
+    }
+    r.finish()?;
+    Ok(RunMeta {
+        devices,
+        videos,
+        comments,
+        seed,
+        plan_start,
+        heal,
+        end,
+        kinds,
+        episodes,
+    })
+}
+
+/// Builds the chaos run from scratch: fixture, fault plan, comment
+/// schedule — everything pre-scheduled before the clock moves.
+fn build_run(config: &SystemConfig) -> (SystemSim, RunMeta) {
     let devices: usize = arg_or("--devices", 20_000);
     let videos: usize = arg_or("--videos", (devices / 500).max(1));
     let seed: u64 = arg_or("--seed", 42);
     let grace_secs: u64 = arg_or("--grace", 60);
-    let shards: usize = arg_or("--shards", 1);
-    let out: String = arg_or("--out", "BENCH_PR3.json".to_string());
 
-    let config = chaos_config();
     let mut sim = SystemSim::new(config.clone(), seed);
-    // Worker threads executing the logical shards. Results are identical
-    // at any value; only wall-clock changes.
-    sim.set_workers(shards);
 
     // Fixture: live videos with the audience scattered across them,
     // subscribes spread over the first five simulated seconds.
@@ -85,7 +162,7 @@ fn main() {
     // The fault plan: all six kinds, compiled from the run's seed.
     let plan_start = SimTime::from_secs(30);
     let mut plan_rng = sim.rng_mut().fork(0xFA);
-    let plan = canned_plan(plan_start, &config, &device_ids, &mut plan_rng);
+    let plan = canned_plan(plan_start, config, &device_ids, &mut plan_rng);
     assert!(
         plan.kinds().len() >= 5,
         "the canned plan must cover at least 5 fault kinds (got {:?})",
@@ -111,6 +188,53 @@ fn main() {
     // Run through the last heal plus grace: detection windows close,
     // reconnect backoffs drain, backfills land.
     let end = heal + SimDuration::from_secs(grace_secs);
+    let meta = RunMeta {
+        devices,
+        videos,
+        comments,
+        seed,
+        plan_start,
+        heal,
+        end,
+        kinds: plan.kinds().iter().map(|k| k.to_string()).collect(),
+        episodes: plan
+            .episodes
+            .iter()
+            .map(|ep| (ep.kind.label().to_string(), ep.at, ep.heals_at()))
+            .collect(),
+    };
+    sim.set_driver_blob(encode_meta(&meta));
+    (sim, meta)
+}
+
+fn main() {
+    let shards: usize = arg_or("--shards", 1);
+    let out: String = arg_or("--out", "BENCH_PR3.json".to_string());
+    let snap_args = snapctl::from_args();
+
+    let config = chaos_config();
+    let (mut sim, meta) = match &snap_args.resume {
+        Some(path) => {
+            let sim = replay::resume_from_file(config.clone(), path)
+                .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+            let meta = decode_meta(sim.driver_blob()).expect("driver blob");
+            println!(
+                "resumed from {} at t={:.0}s",
+                path.display(),
+                sim.now().as_micros() as f64 / 1e6
+            );
+            (sim, meta)
+        }
+        None => build_run(&config),
+    };
+    // Worker threads executing the logical shards. Results are identical
+    // at any value; only wall-clock changes.
+    sim.set_workers(shards);
+    snapctl::apply(&mut sim, &snap_args);
+
+    let (devices, videos, comments, seed) = (meta.devices, meta.videos, meta.comments, meta.seed);
+    let (plan_start, heal, end) = (meta.plan_start, meta.heal, meta.end);
+    let grace_secs: u64 = end.saturating_since(heal).as_micros() / 1_000_000;
     let started = Instant::now();
     sim.run_until(end);
     let wall = started.elapsed().as_secs_f64();
@@ -131,8 +255,8 @@ fn main() {
     // overlapping episodes this attributes shared recovery tails to each
     // open episode, which is the conservative reading.
     let mut episode_rows = Vec::new();
-    for ep in &plan.episodes {
-        let heals_at = ep.heals_at();
+    for (kind, at, heals_at) in &meta.episodes {
+        let heals_at = *heals_at;
         let recovered_at = m
             .availability_timeline
             .iter()
@@ -146,15 +270,15 @@ fn main() {
                 "    {{ \"kind\": \"{}\", \"at_secs\": {:.0}, ",
                 "\"heals_at_secs\": {:.0}, \"recovery_secs\": {:.1} }}"
             ),
-            ep.kind.label(),
-            ep.at.as_micros() as f64 / 1e6,
+            kind,
+            at.as_micros() as f64 / 1e6,
             heals_at.as_micros() as f64 / 1e6,
             recovery_secs,
         ));
         println!(
             "episode {:>18} at {:>4.0}s heals {:>4.0}s reconverged {}",
-            ep.kind.label(),
-            ep.at.as_micros() as f64 / 1e6,
+            kind,
+            at.as_micros() as f64 / 1e6,
             heals_at.as_micros() as f64 / 1e6,
             if recovery_secs >= 0.0 {
                 format!("+{recovery_secs:.1}s")
@@ -194,8 +318,8 @@ fn main() {
     );
     println!("  peak_rss={:.1} MiB", rss as f64 / (1024.0 * 1024.0));
 
-    let kinds_json = plan
-        .kinds()
+    let kinds_json = meta
+        .kinds
         .iter()
         .map(|k| format!("\"{k}\""))
         .collect::<Vec<_>>()
@@ -226,6 +350,7 @@ fn main() {
             "  \"events_faults\": {},\n",
             "  \"events_heartbeats\": {},\n",
             "  \"peak_rss_bytes\": {},\n",
+            "  {},\n",
             "  \"metrics\": {{\n",
             "    \"deliveries\": {},\n",
             "    \"publications\": {},\n",
@@ -273,6 +398,7 @@ fn main() {
         stats.faults,
         stats.heartbeats,
         rss,
+        snapctl::fingerprint_json(&sim),
         m.deliveries.get(),
         m.publications.get(),
         m.subscriptions.get(),

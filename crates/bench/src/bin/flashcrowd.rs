@@ -3,7 +3,14 @@
 //! the pass/fail gate.
 //!
 //! Run: `cargo run --release -p bench --bin flashcrowd [--viewers N]
-//! [--rates R1,R2,R3] [--shards W] [--out F]`.
+//! [--rates R1,R2,R3] [--shards W] [--out F] [--snapshot-every T]
+//! [--snapshot-dir D] [--resume-from F]`.
+//!
+//! `--snapshot-every` writes sealed resumable snapshots every T metrics
+//! ticks, one subdirectory per tier (`D/tier-<rate>/`). `--resume-from`
+//! replays a single tier from one of those files — its rate and schedule
+//! ride in the snapshot — and reproduces that tier's metrics, ledger,
+//! and fingerprints bit-identically.
 //!
 //! Each tier runs the same scenario at a different comment rate against
 //! a system with the overload model on (finite BRASS service rate, a
@@ -24,10 +31,12 @@
 
 use std::time::Instant;
 
-use bench::{arg_or, peak_rss_bytes};
+use bench::{arg_or, peak_rss_bytes, snapctl};
 use bladerunner::config::SystemConfig;
+use bladerunner::replay;
 use bladerunner::scenario::FlashCrowd;
 use bladerunner::sim::SystemSim;
+use simkit::snap::{SnapReader, SnapResult, SnapWriter};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::Retention;
 
@@ -66,18 +75,51 @@ struct TierResult {
     failures: Vec<String>,
 }
 
-fn run_tier(
+/// Per-tier metadata the post-run report needs; rides in the snapshot's
+/// driver blob so `--resume-from` reproduces the tier's report.
+struct TierMeta {
+    rate: f64,
+    comments: usize,
+    vanished: usize,
+    end: SimTime,
+    p99_bound_ms: f64,
+}
+
+fn encode_tier_meta(m: &TierMeta) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_f64(m.rate);
+    w.put_usize(m.comments);
+    w.put_usize(m.vanished);
+    w.put_u64(m.end.as_micros());
+    w.put_f64(m.p99_bound_ms);
+    w.into_bytes()
+}
+
+fn decode_tier_meta(bytes: &[u8]) -> SnapResult<TierMeta> {
+    let mut r = SnapReader::new(bytes);
+    let meta = TierMeta {
+        rate: r.get_f64()?,
+        comments: r.get_usize()?,
+        vanished: r.get_usize()?,
+        end: SimTime::from_micros(r.get_u64()?),
+        p99_bound_ms: r.get_f64()?,
+    };
+    r.finish()?;
+    Ok(meta)
+}
+
+/// Builds one tier's run from scratch: crowd ramp, comment storm, and
+/// mid-storm faults, all scheduled before the clock moves.
+fn build_tier(
     rate: f64,
     viewers: usize,
     seed: u64,
-    workers: usize,
     storm_secs: u64,
     grace_secs: u64,
     p99_bound_ms: f64,
-) -> TierResult {
+) -> (SystemSim, TierMeta) {
     let config = flashcrowd_config();
     let mut sim = SystemSim::new(config, seed);
-    sim.set_workers(workers);
 
     // The crowd piles onto one topic over a 2 s ramp.
     let crowd = FlashCrowd::setup(
@@ -106,6 +148,27 @@ fn run_tier(
     );
 
     let end = storm_from + storm + SimDuration::from_secs(grace_secs);
+    let meta = TierMeta {
+        rate,
+        comments,
+        vanished,
+        end,
+        p99_bound_ms,
+    };
+    sim.set_driver_blob(encode_tier_meta(&meta));
+    (sim, meta)
+}
+
+/// Runs one tier (fresh or resumed) to its end and gates the result.
+fn run_tier(mut sim: SystemSim, meta: TierMeta, workers: usize) -> TierResult {
+    let TierMeta {
+        rate,
+        comments,
+        vanished,
+        end,
+        p99_bound_ms,
+    } = meta;
+    sim.set_workers(workers);
     let started = Instant::now();
     sim.run_until(end);
     let wall = started.elapsed().as_secs_f64();
@@ -207,6 +270,7 @@ fn run_tier(
             "      \"backfills\": {},\n",
             "      \"events_total\": {},\n",
             "      \"wall_seconds\": {:.3},\n",
+            "      {},\n",
             "      \"convergence\": {{ \"delivered\": {}, \"dropped\": {}, ",
             "\"backfilled\": {}, \"unaccounted\": {}, \"flow_degraded_devices\": {}, ",
             "\"stranded\": {}, \"converged\": {} }},\n",
@@ -234,6 +298,7 @@ fn run_tier(
         m.backfills.get(),
         stats.total,
         wall,
+        snapctl::fingerprint_json(&sim),
         report.delivered,
         report.dropped,
         report.backfilled,
@@ -264,6 +329,37 @@ fn main() {
     let p99_bound_ms: f64 = arg_or("--p99-bound-ms", 15_000.0);
     let rates_csv: String = arg_or("--rates", "25,100,300".to_string());
     let out: String = arg_or("--out", "BENCH_PR6.json".to_string());
+    let snap_args = snapctl::from_args();
+
+    // Resume mode replays one tier from a snapshot file: its rate and
+    // schedule are already inside, so the sweep flags are ignored.
+    if let Some(path) = &snap_args.resume {
+        let sim = replay::resume_from_file(flashcrowd_config(), path)
+            .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+        let meta = decode_tier_meta(sim.driver_blob()).expect("driver blob");
+        println!(
+            "resumed tier {:.0}/s from {} at t={:.0}s",
+            meta.rate,
+            path.display(),
+            sim.now().as_micros() as f64 / 1e6
+        );
+        let tier = run_tier(sim, meta, workers);
+        let json = format!(
+            "{{\n  \"bench\": \"flashcrowd-resumed\",\n  \"tiers\": [\n{}\n  ]\n}}\n",
+            tier.json
+        );
+        std::fs::write(&out, json).expect("write bench summary");
+        println!("wrote {out}");
+        if !tier.ok {
+            eprintln!("graceful-shed gate FAILED:");
+            for line in &tier.failures {
+                eprintln!("  - tier {:.0}/s: {line}", tier.rate);
+            }
+            std::process::exit(1);
+        }
+        println!("graceful-shed gate: OK (resumed tier)");
+        return;
+    }
 
     let rates: Vec<f64> = rates_csv
         .split(',')
@@ -287,15 +383,17 @@ fn main() {
     let results: Vec<TierResult> = rates
         .iter()
         .map(|&rate| {
-            run_tier(
-                rate,
-                viewers,
-                seed,
-                workers,
-                storm_secs,
-                grace_secs,
-                p99_bound_ms,
-            )
+            let (mut sim, meta) =
+                build_tier(rate, viewers, seed, storm_secs, grace_secs, p99_bound_ms);
+            if snap_args.every > 0 {
+                let tier_args = snapctl::SnapshotArgs {
+                    every: snap_args.every,
+                    dir: snap_args.dir.join(format!("tier-{rate:.0}")),
+                    resume: None,
+                };
+                snapctl::apply(&mut sim, &tier_args);
+            }
+            run_tier(sim, meta, workers)
         })
         .collect();
 

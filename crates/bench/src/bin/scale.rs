@@ -3,8 +3,15 @@
 //! events/sec, peak RSS, and bytes-per-device.
 //!
 //! Run: `cargo run --release -p bench --bin scale [--devices N]
-//! [--shards W] [--out F]` — `--shards` sets the worker-thread count for
-//! the sharded executor; results are bit-identical at any value.
+//! [--shards W] [--out F] [--snapshot-every T] [--snapshot-dir D]
+//! [--resume-from F]` — `--shards` sets the worker-thread count for the
+//! sharded executor; results are bit-identical at any value.
+//! `--snapshot-every` writes a sealed resumable snapshot every T metrics
+//! ticks; `--resume-from` restarts from one of those files and produces
+//! bit-identical results. The lazy workload driver's cursors (subscribe
+//! ramps, the Poisson comment stream's pending arrival, the churn flag)
+//! ride in each snapshot's driver blob, refreshed every chunk, so the
+//! resumed driver picks up scheduling exactly where the original was.
 //!
 //! `--tiers 100000,300000,1000000` runs each tier in a fresh child process
 //! (so every tier gets its own peak-RSS measurement) and writes one
@@ -33,11 +40,13 @@
 
 use std::time::Instant;
 
-use bench::{arg_or, peak_rss_bytes};
+use bench::{arg_or, peak_rss_bytes, snapctl};
 use bladerunner::config::SystemConfig;
+use bladerunner::replay;
 use bladerunner::sim::SystemSim;
 use burst::frame::StreamId;
 use pylon::PylonConfig;
+use simkit::snap::{SnapReader, SnapResult, SnapWriter};
 use simkit::time::{SimDuration, SimTime};
 use tao::TaoConfig;
 use workload::activity::PoissonArrivals;
@@ -66,6 +75,12 @@ fn scale_config() -> SystemConfig {
     // The bench measures simulator throughput, not loss behaviour; keep the
     // last mile lossless so delivered-event counts track the workload.
     config.last_mile_drop = 0.0;
+    // Metrics ticks are also the fingerprint/snapshot boundaries; the
+    // default 15-minute cadence never fires inside the usual 60 s run,
+    // so snapshot users pass a finer interval. Part of the experiment
+    // definition: a resumed run must pass the same value (the config is
+    // checked against the snapshot, so a mismatch fails closed).
+    config.metrics_interval = SimDuration::from_secs(arg_or("--metrics-secs", 900));
     config
 }
 
@@ -113,6 +128,7 @@ fn run_tiers(tiers: &str) {
             "--shards",
             "--comments-per-video",
             "--active-fraction",
+            "--metrics-secs",
         ] {
             forward(key, &mut args);
         }
@@ -156,36 +172,156 @@ fn engaged(i: usize, active_fraction: f64) -> bool {
     (h as f64) < active_fraction * (1u64 << 24) as f64
 }
 
-fn run_one(devices: usize) -> String {
-    let videos: usize = arg_or("--videos", (devices / 500).max(1));
-    let comments_per_video: usize = arg_or("--comments-per-video", 6);
-    let sim_seconds: u64 = arg_or("--seconds", 60);
-    let seed: u64 = arg_or("--seed", 42);
-    let shards: usize = arg_or("--shards", 1);
-    let active_fraction: f64 = arg_or(
-        "--active-fraction",
-        if devices >= 500_000 { 0.3 } else { 1.0 },
-    );
-    assert!(
-        active_fraction > 0.0 && active_fraction <= 1.0,
-        "--active-fraction must be in (0, 1]"
-    );
+/// The lazy workload driver's complete resumable state. Refreshed into
+/// the sim's driver blob before every chunk, so any snapshot carries
+/// cursors consistent with its event queues: everything scheduled
+/// strictly before `scheduled_through` is already in the queues, and a
+/// resumed driver continues scheduling from there.
+struct DriverState {
+    devices: usize,
+    videos: usize,
+    sim_seconds: u64,
+    seed: u64,
+    active_fraction: f64,
+    /// First video / device id (both ranges are contiguous).
+    video0: u64,
+    device0: u64,
+    comment_rate: f64,
+    next_sub: usize,
+    next_brief: usize,
+    /// The Poisson stream's pending arrival ([`PoissonArrivals::state`]).
+    comment_next: SimTime,
+    comment_idx: usize,
+    churned: bool,
+    scheduled_through: SimTime,
+}
 
-    let mut sim = SystemSim::new(scale_config(), seed);
+fn encode_driver(s: &DriverState) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_usize(s.devices);
+    w.put_usize(s.videos);
+    w.put_u64(s.sim_seconds);
+    w.put_u64(s.seed);
+    w.put_f64(s.active_fraction);
+    w.put_u64(s.video0);
+    w.put_u64(s.device0);
+    w.put_f64(s.comment_rate);
+    w.put_usize(s.next_sub);
+    w.put_usize(s.next_brief);
+    w.put_u64(s.comment_next.as_micros());
+    w.put_usize(s.comment_idx);
+    w.put_bool(s.churned);
+    w.put_u64(s.scheduled_through.as_micros());
+    w.into_bytes()
+}
+
+fn decode_driver(bytes: &[u8]) -> SnapResult<DriverState> {
+    let mut r = SnapReader::new(bytes);
+    let s = DriverState {
+        devices: r.get_usize()?,
+        videos: r.get_usize()?,
+        sim_seconds: r.get_u64()?,
+        seed: r.get_u64()?,
+        active_fraction: r.get_f64()?,
+        video0: r.get_u64()?,
+        device0: r.get_u64()?,
+        comment_rate: r.get_f64()?,
+        next_sub: r.get_usize()?,
+        next_brief: r.get_usize()?,
+        comment_next: SimTime::from_micros(r.get_u64()?),
+        comment_idx: r.get_usize()?,
+        churned: r.get_bool()?,
+        scheduled_through: SimTime::from_micros(r.get_u64()?),
+    };
+    r.finish()?;
+    Ok(s)
+}
+
+fn run_one(devices: usize) -> String {
+    let shards: usize = arg_or("--shards", 1);
+    let snap_args = snapctl::from_args();
+
+    let (mut sim, mut state, fleet_live_heap) = match &snap_args.resume {
+        Some(path) => {
+            let sim = replay::resume_from_file(scale_config(), path)
+                .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+            let state = decode_driver(sim.driver_blob()).expect("driver blob");
+            println!(
+                "resumed from {} at t={:.2}s (driver scheduled through {:.2}s)",
+                path.display(),
+                sim.now().as_micros() as f64 / 1e6,
+                state.scheduled_through.as_micros() as f64 / 1e6,
+            );
+            (sim, state, 0usize)
+        }
+        None => {
+            let videos: usize = arg_or("--videos", (devices / 500).max(1));
+            let comments_per_video: usize = arg_or("--comments-per-video", 6);
+            let sim_seconds: u64 = arg_or("--seconds", 60);
+            let seed: u64 = arg_or("--seed", 42);
+            let active_fraction: f64 = arg_or(
+                "--active-fraction",
+                if devices >= 500_000 { 0.3 } else { 1.0 },
+            );
+            assert!(
+                active_fraction > 0.0 && active_fraction <= 1.0,
+                "--active-fraction must be in (0, 1]"
+            );
+
+            let mut sim = SystemSim::new(scale_config(), seed);
+
+            // Resident fixture: `videos` live videos and the device fleet.
+            // This is the state whose footprint we are measuring;
+            // everything *scheduled* against it is generated lazily below.
+            let video_ids: Vec<u64> = (0..videos)
+                .map(|i| sim.was_mut().create_video(&format!("live{i}")))
+                .collect();
+            let device_ids: Vec<u64> = (0..devices)
+                .map(|i| sim.create_user_device(&format!("u{i}"), "en"))
+                .collect();
+            // The driver blob stores only the first id of each range; the
+            // allocator hands out contiguous ids, checked here so a resumed
+            // driver can rebuild any id from the base.
+            for (i, &v) in video_ids.iter().enumerate() {
+                assert_eq!(v, video_ids[0] + i as u64, "video ids not contiguous");
+            }
+            for (i, &d) in device_ids.iter().enumerate() {
+                assert_eq!(d, device_ids[0] + i as u64, "device ids not contiguous");
+            }
+            let fleet_live_heap = simkit::alloc::live_bytes();
+
+            let comment_rate = (videos * comments_per_video) as f64 / 30.0;
+            let comment_start = SimTime::from_secs(10);
+            let comments = PoissonArrivals::new(comment_rate, comment_start, sim.rng_mut());
+            let state = DriverState {
+                devices,
+                videos,
+                sim_seconds,
+                seed,
+                active_fraction,
+                video0: video_ids[0],
+                device0: device_ids[0],
+                comment_rate,
+                next_sub: 0,
+                next_brief: 0,
+                comment_next: comments.state(),
+                comment_idx: 0,
+                churned: false,
+                scheduled_through: SimTime::ZERO,
+            };
+            (sim, state, fleet_live_heap)
+        }
+    };
     // Worker threads executing the logical shards. Results are identical
     // at any value; only wall-clock changes.
     sim.set_workers(shards);
+    snapctl::apply(&mut sim, &snap_args);
 
-    // Resident fixture: `videos` live videos and the device fleet. This is
-    // the state whose footprint we are measuring; everything *scheduled*
-    // against it is generated lazily below.
-    let video_ids: Vec<u64> = (0..videos)
-        .map(|i| sim.was_mut().create_video(&format!("live{i}")))
-        .collect();
-    let device_ids: Vec<u64> = (0..devices)
-        .map(|i| sim.create_user_device(&format!("u{i}"), "en"))
-        .collect();
-    let fleet_live_heap = simkit::alloc::live_bytes();
+    let devices = state.devices;
+    let videos = state.videos;
+    let sim_seconds = state.sim_seconds;
+    let seed = state.seed;
+    let active_fraction = state.active_fraction;
 
     // Lazy workload, pumped one chunk ahead of the executor:
     //  - engaged subscribes: the engaged fraction joins one video each via
@@ -200,37 +336,34 @@ fn run_one(devices: usize) -> String {
     //    `videos * comments_per_video`, round-robined across videos.
     //  - churn: one in a thousand devices drops at 20s and reconnects.
     let sub_span_us = 5_000_000u64;
-    let mut next_sub = 0usize;
     let brief_span_us = SimTime::from_secs(sim_seconds).as_micros() * 3 / 5;
     let brief_session = SimDuration::from_micros((brief_span_us / 12).clamp(250_000, 3_000_000));
-    let mut next_brief = 0usize;
-    let comment_rate = (videos * comments_per_video) as f64 / 30.0;
-    let comment_start = SimTime::from_secs(10);
     let comment_end = SimTime::from_secs(40);
-    let mut comments = PoissonArrivals::new(comment_rate, comment_start, sim.rng_mut());
-    let mut comment_idx = 0usize;
+    // Rebuilding from the stored pending arrival draws no RNG, so the
+    // resumed master stream stays exactly where the original left it.
+    let mut comments = PoissonArrivals::from_state(state.comment_rate, state.comment_next);
     let churn_at = SimTime::from_secs(20);
-    let mut churned = false;
 
     let end = SimTime::from_secs(sim_seconds);
     let chunk = SimDuration::from_millis(250);
     let started = Instant::now();
-    let mut t = SimTime::ZERO;
+    let mut t = state.scheduled_through;
     while t < end {
         let next_t = if t + chunk > end { end } else { t + chunk };
         // Engaged subscribe ramp: all arrivals in [t, next_t).
-        while next_sub < devices {
-            let at = SimTime::from_micros(next_sub as u64 * sub_span_us / devices as u64);
+        while state.next_sub < devices {
+            let at = SimTime::from_micros(state.next_sub as u64 * sub_span_us / devices as u64);
             if at >= next_t {
                 break;
             }
-            let i = next_sub;
-            next_sub += 1;
+            let i = state.next_sub;
+            state.next_sub += 1;
             if !engaged(i, active_fraction) {
                 continue;
             }
-            let d = device_ids[i];
-            sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
+            let d = state.device0 + i as u64;
+            let v = state.video0 + (i.wrapping_mul(2_654_435_761) % videos) as u64;
+            sim.subscribe_lvc(at, d, v);
             if i.is_multiple_of(4) {
                 sim.subscribe_notifications(at + SimDuration::from_millis(10), d);
             }
@@ -238,45 +371,50 @@ fn run_one(devices: usize) -> String {
         // Brief-visitor ramp: subscribe, one short session, cancel. The
         // cancel targets the visitor's only stream (devices allocate
         // stream ids from 1).
-        while next_brief < devices {
-            let at = SimTime::from_micros(next_brief as u64 * brief_span_us / devices as u64);
+        while state.next_brief < devices {
+            let at = SimTime::from_micros(state.next_brief as u64 * brief_span_us / devices as u64);
             if at >= next_t {
                 break;
             }
-            let i = next_brief;
-            next_brief += 1;
+            let i = state.next_brief;
+            state.next_brief += 1;
             if engaged(i, active_fraction) {
                 continue;
             }
-            let d = device_ids[i];
-            sim.subscribe_lvc(at, d, video_ids[i.wrapping_mul(2_654_435_761) % videos]);
+            let d = state.device0 + i as u64;
+            let v = state.video0 + (i.wrapping_mul(2_654_435_761) % videos) as u64;
+            sim.subscribe_lvc(at, d, v);
             sim.cancel_stream(at + brief_session, d, StreamId(1));
         }
         // Comment arrivals in [t, next_t) ∩ [start, end).
         while comments.peek() < next_t && comments.peek() < comment_end {
             let at = comments.pop(sim.rng_mut());
-            let v = comment_idx % videos;
-            comment_idx += 1;
+            let v = state.comment_idx % videos;
+            state.comment_idx += 1;
             sim.post_comment(
                 at,
-                device_ids[v % devices],
-                video_ids[v],
+                state.device0 + (v % devices) as u64,
+                state.video0 + v as u64,
                 "scale bench comment",
             );
         }
         // Churn burst, scheduled in the chunk that contains it.
-        if !churned && churn_at < next_t {
-            for (i, &d) in device_ids.iter().enumerate() {
-                if i % 1_000 == 500 {
-                    sim.schedule_device_drop(churn_at, d);
-                }
+        if !state.churned && churn_at < next_t {
+            for i in (0..devices).filter(|i| i % 1_000 == 500) {
+                sim.schedule_device_drop(churn_at, state.device0 + i as u64);
             }
-            churned = true;
+            state.churned = true;
         }
+        // Refresh the blob so any snapshot taken inside this chunk carries
+        // cursors consistent with what is now in the queues.
+        state.comment_next = comments.state();
+        state.scheduled_through = next_t;
+        sim.set_driver_blob(encode_driver(&state));
         sim.run_until(next_t);
         t = next_t;
     }
     let wall = started.elapsed().as_secs_f64();
+    let comment_idx = state.comment_idx;
 
     let stats = sim.event_stats().clone();
     let (parked, _fleet) = sim.hibernation_census();
@@ -349,6 +487,7 @@ fn run_one(devices: usize) -> String {
             "  \"live_heap_bytes\": {},\n",
             "  \"live_heap_peak_bytes\": {},\n",
             "  \"live_heap_bytes_per_device\": {:.1},\n",
+            "  {},\n",
             "  \"events_by_subsystem\": {{\n",
             "    \"workload\": {},\n",
             "    \"pylon\": {},\n",
@@ -384,6 +523,7 @@ fn run_one(devices: usize) -> String {
         live_heap,
         live_heap_peak,
         live_heap as f64 / devices as f64,
+        snapctl::fingerprint_json(&sim),
         stats.workload,
         stats.pylon,
         stats.tao,

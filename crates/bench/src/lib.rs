@@ -122,6 +122,91 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Parses a `--key value` argument, `None` when absent.
+pub fn arg_opt(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Returns whether a bare `--flag` argument is present.
+pub fn arg_flag(key: &str) -> bool {
+    std::env::args().any(|a| a == key)
+}
+
+/// Snapshot/resume plumbing shared by the bench binaries: every bin that
+/// supports deterministic resume takes the same three flags
+/// (`--snapshot-every <ticks>`, `--snapshot-dir <dir>`,
+/// `--resume-from <path>`) and emits the same per-tick fingerprint block
+/// into its JSON summary.
+pub mod snapctl {
+    use std::path::PathBuf;
+
+    use bladerunner::sim::SystemSim;
+
+    /// Parsed snapshot CLI flags.
+    pub struct SnapshotArgs {
+        /// Snapshot every N metrics ticks (0: never).
+        pub every: u64,
+        /// Directory snapshot files land in (`snap-<t_us>.brsnap`).
+        pub dir: PathBuf,
+        /// Snapshot file to resume from instead of building the run fresh.
+        pub resume: Option<PathBuf>,
+    }
+
+    /// Reads `--snapshot-every` / `--snapshot-dir` / `--resume-from`.
+    pub fn from_args() -> SnapshotArgs {
+        SnapshotArgs {
+            every: super::arg_or("--snapshot-every", 0u64),
+            dir: PathBuf::from(super::arg_or("--snapshot-dir", "snapshots".to_string())),
+            resume: super::arg_opt("--resume-from").map(PathBuf::from),
+        }
+    }
+
+    /// Applies the snapshot policy to a (fresh or resumed) sim: creates
+    /// the target directory and arranges a sealed snapshot file every
+    /// `every` metrics ticks. No-op when `every` is 0.
+    pub fn apply(sim: &mut SystemSim, args: &SnapshotArgs) {
+        if args.every == 0 {
+            return;
+        }
+        std::fs::create_dir_all(&args.dir).expect("create snapshot dir");
+        sim.set_snapshot_policy(args.every, false, Some(args.dir.clone()));
+        println!(
+            "snapshots: every {} ticks into {}",
+            args.every,
+            args.dir.display()
+        );
+    }
+
+    /// The per-tick fingerprint block for a bench JSON summary (no
+    /// surrounding comma): the full `(tick, fingerprint)` series plus the
+    /// end-of-run state fingerprint. Two runs of the same
+    /// `(config, seed, workload)` — at any worker count, resumed or not —
+    /// produce identical blocks; the first differing tick brackets a
+    /// divergence.
+    pub fn fingerprint_json(sim: &SystemSim) -> String {
+        let ticks = sim
+            .tick_fingerprints()
+            .iter()
+            .map(|(t, fp)| {
+                format!(
+                    "    {{ \"t_us\": {}, \"fp\": \"{fp:016x}\" }}",
+                    t.as_micros()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "\"fingerprint\": {{\n  \"final\": \"{:016x}\",\n  \"ticks\": [\n{}\n  ]\n}}",
+            sim.fingerprint_now(),
+            ticks
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

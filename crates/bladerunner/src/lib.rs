@@ -43,6 +43,7 @@ pub mod config;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod replay;
 pub mod rt;
 pub mod scenario;
 pub mod sim;

@@ -33,6 +33,7 @@
 //! `(config, seed, workload)` — the worker count only decides which OS
 //! thread executes a shard's window, never the order anything merges.
 
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
@@ -49,6 +50,7 @@ use simkit::fxhash::{FxHashMap, FxHashSet};
 use simkit::queue::EventQueue;
 use simkit::rng::DetRng;
 use simkit::shard::{clamp_to_window, merge, Envelope};
+use simkit::snap::{self, Fp64, Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::{DropReason, Hop, HopOutcome, TraceId, TraceLedger};
 use tao::{ObjectId, Tao};
@@ -148,9 +150,67 @@ impl EventStats {
         self.heartbeats += other.heartbeats;
         self.metrics += other.metrics;
     }
+
+    /// The eleven counters in declaration order (snapshot layout).
+    fn fields(&self) -> [u64; 11] {
+        [
+            self.total,
+            self.workload,
+            self.pylon,
+            self.tao,
+            self.brass,
+            self.transport_up,
+            self.transport_down,
+            self.device_churn,
+            self.faults,
+            self.heartbeats,
+            self.metrics,
+        ]
+    }
+
+    /// Writes the stats into a snapshot.
+    fn snap(&self, w: &mut SnapWriter) {
+        for v in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    /// Reads stats back, rejecting totals that don't add up: `total` is
+    /// exactly the sum of the per-subsystem buckets by construction.
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let s = EventStats {
+            total: r.get_u64()?,
+            workload: r.get_u64()?,
+            pylon: r.get_u64()?,
+            tao: r.get_u64()?,
+            brass: r.get_u64()?,
+            transport_up: r.get_u64()?,
+            transport_down: r.get_u64()?,
+            device_churn: r.get_u64()?,
+            faults: r.get_u64()?,
+            heartbeats: r.get_u64()?,
+            metrics: r.get_u64()?,
+        };
+        let buckets: u64 = s.fields()[1..].iter().sum();
+        if buckets != s.total {
+            return Err(SnapError::Invalid(format!(
+                "event-stats buckets sum to {buckets}, total says {}",
+                s.total
+            )));
+        }
+        Ok(s)
+    }
+
+    /// Folds every counter into a rolling fingerprint.
+    fn mix_fp(&self, fp: &mut Fp64) {
+        for v in self.fields() {
+            fp.mix_u64(v);
+        }
+    }
 }
 
 /// A simulation event.
+#[derive(Debug)]
 enum Ev {
     // ------------------------------------------------------------------
     // Workload.
@@ -403,6 +463,475 @@ fn shard_route(ev: &Ev, pops: usize, shards: usize) -> usize {
     }
 }
 
+/// Maps a mutation-classification app name back to the `&'static str` the
+/// scheduling helpers use. The set is closed (every `schedule_mutation`
+/// call site passes one of these), so an unknown name in a snapshot means
+/// the bytes don't describe a world this build can produce.
+fn static_app(name: &str) -> Option<&'static str> {
+    [
+        "lvc",
+        "typing",
+        "active_status",
+        "stories",
+        "messenger",
+        "likes",
+        "notifications",
+    ]
+    .into_iter()
+    .find(|s| *s == name)
+}
+
+/// One-line rendering of an event for the bisect event log, truncated so a
+/// fat payload can't bloat the log.
+fn ev_summary(ev: &Ev) -> String {
+    let mut s = format!("{ev:?}");
+    const MAX: usize = 160;
+    if s.len() > MAX {
+        let mut cut = MAX;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push('…');
+    }
+    s
+}
+
+/// Events are snapshotted with one tag byte per variant (declaration
+/// order) followed by the fields in declaration order. `Box`/`Arc`
+/// wrappers are memory shape, not state: they are flattened on write and
+/// re-wrapped on read (an `Arc` shared across N queue entries restores as
+/// N independent allocations, which no behaviour can observe).
+impl Snap for Ev {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::DeviceSubscribe { device, header } => {
+                w.put_u8(0);
+                w.put_u64(*device);
+                header.snap(w);
+            }
+            Ev::DeviceCancel { device, sid } => {
+                w.put_u8(1);
+                w.put_u64(*device);
+                sid.snap(w);
+            }
+            Ev::WasMutationExec { gql, app } => {
+                w.put_u8(2);
+                w.put_str(gql);
+                w.put_str(app);
+            }
+            Ev::PylonPublish { event } => {
+                w.put_u8(3);
+                event.snap(w);
+            }
+            Ev::PylonDeliverHost { host, event } => {
+                w.put_u8(4);
+                w.put_usize(*host);
+                event.snap(w);
+            }
+            Ev::TaoReplicate { event } => {
+                w.put_u8(5);
+                event.snap(w);
+            }
+            Ev::PylonSubscribeExec {
+                host,
+                topic,
+                attempt,
+            } => {
+                w.put_u8(6);
+                w.put_usize(*host);
+                topic.snap(w);
+                w.put_u32(*attempt);
+            }
+            Ev::PylonUnsubscribeExec { host, topic } => {
+                w.put_u8(7);
+                w.put_usize(*host);
+                topic.snap(w);
+            }
+            Ev::WasExec {
+                host,
+                app,
+                token,
+                request,
+                attributed,
+            } => {
+                w.put_u8(8);
+                w.put_usize(*host);
+                w.put_str(app);
+                token.snap(w);
+                request.snap(w);
+                attributed.snap(w);
+            }
+            Ev::WasReply {
+                host,
+                app,
+                token,
+                response,
+                attributed,
+            } => {
+                w.put_u8(9);
+                w.put_usize(*host);
+                w.put_str(app);
+                token.snap(w);
+                response.snap(w);
+                attributed.snap(w);
+            }
+            Ev::BrassTimer { host, app, token } => {
+                w.put_u8(10);
+                w.put_usize(*host);
+                w.put_str(app);
+                w.put_u64(*token);
+            }
+            Ev::AtPop { device, frame } => {
+                w.put_u8(11);
+                w.put_u64(*device);
+                frame.snap(w);
+            }
+            Ev::AtProxy {
+                proxy,
+                device,
+                frame,
+            } => {
+                w.put_u8(12);
+                w.put_usize(*proxy);
+                w.put_u64(*device);
+                frame.snap(w);
+            }
+            Ev::AtBrass {
+                host,
+                device,
+                frame,
+            } => {
+                w.put_u8(13);
+                w.put_usize(*host);
+                w.put_u64(*device);
+                frame.snap(w);
+            }
+            Ev::DownAtProxy {
+                proxy,
+                host,
+                device,
+                frame,
+                sent_at,
+            } => {
+                w.put_u8(14);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+                w.put_u64(*device);
+                frame.snap(w);
+                sent_at.snap(w);
+            }
+            Ev::DownAtPop {
+                device,
+                frame,
+                sent_at,
+            } => {
+                w.put_u8(15);
+                w.put_u64(*device);
+                frame.snap(w);
+                sent_at.snap(w);
+            }
+            Ev::AtDevice {
+                device,
+                frame,
+                sent_at,
+            } => {
+                w.put_u8(16);
+                w.put_u64(*device);
+                frame.snap(w);
+                sent_at.snap(w);
+            }
+            Ev::DeviceDrop { device } => {
+                w.put_u8(17);
+                w.put_u64(*device);
+            }
+            Ev::DeviceReconnect { device, frames } => {
+                w.put_u8(18);
+                w.put_u64(*device);
+                w.put_usize(frames.len());
+                for f in frames {
+                    f.snap(w);
+                }
+            }
+            Ev::BrassRedirect {
+                host,
+                device,
+                sid,
+                to_host,
+            } => {
+                w.put_u8(19);
+                w.put_usize(*host);
+                w.put_u64(*device);
+                sid.snap(w);
+                w.put_usize(*to_host);
+            }
+            Ev::BrassUpgrade { host } => {
+                w.put_u8(20);
+                w.put_usize(*host);
+            }
+            Ev::BrassHostBack { host } => {
+                w.put_u8(21);
+                w.put_usize(*host);
+            }
+            Ev::PylonNode { node, up } => {
+                w.put_u8(22);
+                w.put_u64(*node);
+                w.put_bool(*up);
+            }
+            Ev::BrassCrash { host } => {
+                w.put_u8(23);
+                w.put_usize(*host);
+            }
+            Ev::BrassRecover { host } => {
+                w.put_u8(24);
+                w.put_usize(*host);
+            }
+            Ev::ProxyOutage { proxy } => {
+                w.put_u8(25);
+                w.put_usize(*proxy);
+            }
+            Ev::ProxyBack { proxy } => {
+                w.put_u8(26);
+                w.put_usize(*proxy);
+            }
+            Ev::DeviceVanish { device } => {
+                w.put_u8(27);
+                w.put_u64(*device);
+            }
+            Ev::HeartbeatTick => w.put_u8(28),
+            Ev::HbPingAtHost { proxy, host, token } => {
+                w.put_u8(29);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+                w.put_u64(*token);
+            }
+            Ev::PongFromHost { proxy, host, token } => {
+                w.put_u8(30);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+                w.put_u64(*token);
+            }
+            Ev::WasBackfillExec { device, sid } => {
+                w.put_u8(31);
+                w.put_u64(*device);
+                sid.snap(w);
+            }
+            Ev::PylonHostFailed { host } => {
+                w.put_u8(32);
+                w.put_usize(*host);
+            }
+            Ev::ProxyHostFailed { proxy, host } => {
+                w.put_u8(33);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+            }
+            Ev::ProxyAddHost { proxy, host } => {
+                w.put_u8(34);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+            }
+            Ev::PopProxyFailed { pop, proxy } => {
+                w.put_u8(35);
+                w.put_usize(*pop);
+                w.put_usize(*proxy);
+            }
+            Ev::PopAddProxy { pop, proxy } => {
+                w.put_u8(36);
+                w.put_usize(*pop);
+                w.put_usize(*proxy);
+            }
+            Ev::ProxyDeviceGone { proxy, device } => {
+                w.put_u8(37);
+                w.put_usize(*proxy);
+                w.put_u64(*device);
+            }
+            Ev::NoteBackfill { device, sid, trace } => {
+                w.put_u8(38);
+                w.put_u64(*device);
+                sid.snap(w);
+                trace.snap(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Ev> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => Ev::DeviceSubscribe {
+                device: r.get_u64()?,
+                header: Json::restore(r)?,
+            },
+            1 => Ev::DeviceCancel {
+                device: r.get_u64()?,
+                sid: StreamId::restore(r)?,
+            },
+            2 => {
+                let gql = r.get_str()?;
+                let name = r.get_str()?;
+                let app = static_app(&name)
+                    .ok_or_else(|| SnapError::Invalid(format!("unknown mutation app {name:?}")))?;
+                Ev::WasMutationExec { gql, app }
+            }
+            3 => Ev::PylonPublish {
+                event: Box::new(UpdateEvent::restore(r)?),
+            },
+            4 => Ev::PylonDeliverHost {
+                host: r.get_usize()?,
+                event: Arc::new(UpdateEvent::restore(r)?),
+            },
+            5 => Ev::TaoReplicate {
+                event: Box::new(tao::ReplicationEvent::restore(r)?),
+            },
+            6 => Ev::PylonSubscribeExec {
+                host: r.get_usize()?,
+                topic: Topic::restore(r)?,
+                attempt: r.get_u32()?,
+            },
+            7 => Ev::PylonUnsubscribeExec {
+                host: r.get_usize()?,
+                topic: Topic::restore(r)?,
+            },
+            8 => Ev::WasExec {
+                host: r.get_usize()?,
+                app: r.get_str()?,
+                token: FetchToken::restore(r)?,
+                request: WasRequest::restore(r)?,
+                attributed: Option::<SimTime>::restore(r)?,
+            },
+            9 => Ev::WasReply {
+                host: r.get_usize()?,
+                app: r.get_str()?,
+                token: FetchToken::restore(r)?,
+                response: WasResponse::restore(r)?,
+                attributed: Option::<SimTime>::restore(r)?,
+            },
+            10 => Ev::BrassTimer {
+                host: r.get_usize()?,
+                app: r.get_str()?,
+                token: r.get_u64()?,
+            },
+            11 => Ev::AtPop {
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+            },
+            12 => Ev::AtProxy {
+                proxy: r.get_usize()?,
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+            },
+            13 => Ev::AtBrass {
+                host: r.get_usize()?,
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+            },
+            14 => Ev::DownAtProxy {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+                sent_at: SimTime::restore(r)?,
+            },
+            15 => Ev::DownAtPop {
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+                sent_at: SimTime::restore(r)?,
+            },
+            16 => Ev::AtDevice {
+                device: r.get_u64()?,
+                frame: Box::new(Frame::restore(r)?),
+                sent_at: SimTime::restore(r)?,
+            },
+            17 => Ev::DeviceDrop {
+                device: r.get_u64()?,
+            },
+            18 => {
+                let device = r.get_u64()?;
+                let n = r.get_len()?;
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    frames.push(Frame::restore(r)?);
+                }
+                Ev::DeviceReconnect { device, frames }
+            }
+            19 => Ev::BrassRedirect {
+                host: r.get_usize()?,
+                device: r.get_u64()?,
+                sid: StreamId::restore(r)?,
+                to_host: r.get_usize()?,
+            },
+            20 => Ev::BrassUpgrade {
+                host: r.get_usize()?,
+            },
+            21 => Ev::BrassHostBack {
+                host: r.get_usize()?,
+            },
+            22 => Ev::PylonNode {
+                node: r.get_u64()?,
+                up: r.get_bool()?,
+            },
+            23 => Ev::BrassCrash {
+                host: r.get_usize()?,
+            },
+            24 => Ev::BrassRecover {
+                host: r.get_usize()?,
+            },
+            25 => Ev::ProxyOutage {
+                proxy: r.get_usize()?,
+            },
+            26 => Ev::ProxyBack {
+                proxy: r.get_usize()?,
+            },
+            27 => Ev::DeviceVanish {
+                device: r.get_u64()?,
+            },
+            28 => Ev::HeartbeatTick,
+            29 => Ev::HbPingAtHost {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+                token: r.get_u64()?,
+            },
+            30 => Ev::PongFromHost {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+                token: r.get_u64()?,
+            },
+            31 => Ev::WasBackfillExec {
+                device: r.get_u64()?,
+                sid: StreamId::restore(r)?,
+            },
+            32 => Ev::PylonHostFailed {
+                host: r.get_usize()?,
+            },
+            33 => Ev::ProxyHostFailed {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+            },
+            34 => Ev::ProxyAddHost {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+            },
+            35 => Ev::PopProxyFailed {
+                pop: r.get_usize()?,
+                proxy: r.get_usize()?,
+            },
+            36 => Ev::PopAddProxy {
+                pop: r.get_usize()?,
+                proxy: r.get_usize()?,
+            },
+            37 => Ev::ProxyDeviceGone {
+                proxy: r.get_usize()?,
+                device: r.get_u64()?,
+            },
+            38 => Ev::NoteBackfill {
+                device: r.get_u64()?,
+                sid: StreamId::restore(r)?,
+                trace: TraceId::restore(r)?,
+            },
+            other => return Err(SnapError::Invalid(format!("unknown event tag {other}"))),
+        })
+    }
+}
+
 /// A device's protocol machine, either live or parked in its compact
 /// hibernation form.
 ///
@@ -496,6 +1025,78 @@ impl DeviceState {
                 self.slot = DeviceSlot::Parked(d.hibernate());
             }
         }
+    }
+
+    /// Writes the device into a snapshot. The protocol machine reuses the
+    /// hibernation blob ([`Device::hibernate`] is total and lossless), with
+    /// a tag remembering whether the resident form was live or parked —
+    /// park state is pure memory shape, but preserving it keeps a resumed
+    /// process's hibernation census identical to the original's.
+    fn snap(&self, w: &mut SnapWriter) {
+        match &self.slot {
+            DeviceSlot::Live(d) => {
+                w.put_u8(0);
+                w.put_bytes(&d.hibernate());
+            }
+            DeviceSlot::Parked(blob) => {
+                w.put_u8(1);
+                w.put_bytes(blob);
+            }
+        }
+        w.put_u8(self.link.snap_tag());
+        w.put_u16(self.lang);
+        w.put_bool(self.connected);
+        w.put_u32(self.drop_streak);
+        self.last_drop_at.snap(w);
+        self.next_arrival.snap(w);
+        self.flow.snap(w);
+        w.put_usize(self.degraded_sids.len());
+        for sid in &self.degraded_sids {
+            sid.snap(w);
+        }
+        w.put_u64(self.inflight_frames);
+    }
+
+    /// Reads a device back. `id` is the map key (the blob doesn't store
+    /// it, mirroring [`DeviceState::wake`]).
+    fn restore(id: u64, r: &mut SnapReader<'_>) -> SnapResult<DeviceState> {
+        let slot_tag = r.get_u8()?;
+        let blob = r.get_bytes()?;
+        let slot = match slot_tag {
+            0 => DeviceSlot::Live(Device::rehydrate(id, &blob)),
+            1 => DeviceSlot::Parked(blob.into_boxed_slice()),
+            other => {
+                return Err(SnapError::Invalid(format!(
+                    "unknown device slot tag {other}"
+                )))
+            }
+        };
+        let link_tag = r.get_u8()?;
+        let link = LinkClass::from_snap_tag(link_tag)
+            .ok_or_else(|| SnapError::Invalid(format!("unknown link class tag {link_tag}")))?;
+        let lang = r.get_u16()?;
+        let connected = r.get_bool()?;
+        let drop_streak = r.get_u32()?;
+        let last_drop_at = SimTime::restore(r)?;
+        let next_arrival = SimTime::restore(r)?;
+        let flow = FlowWindow::restore(r)?;
+        let n = r.get_len()?;
+        let mut degraded_sids = Vec::with_capacity(n);
+        for _ in 0..n {
+            degraded_sids.push(StreamId::restore(r)?);
+        }
+        Ok(DeviceState {
+            slot,
+            link,
+            lang,
+            connected,
+            drop_streak,
+            last_drop_at,
+            next_arrival,
+            flow,
+            degraded_sids,
+            inflight_frames: r.get_u64()?,
+        })
     }
 }
 
@@ -598,6 +1199,9 @@ struct TickSummary {
     live: Vec<(u64, StreamId)>,
     /// `(device, sid)` keys open on owned, connected devices.
     open: Vec<(u64, StreamId)>,
+    /// The shard's rolling state fingerprint at this tick
+    /// ([`Shard::fingerprint`]).
+    fp: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -665,6 +1269,11 @@ struct Shard {
     ops: Vec<SharedOp>,
     /// Trace-ledger records buffered for the barrier, in emission order.
     led_pending: Vec<LedRec>,
+
+    /// Per-event log for divergence bisection: every popped event's
+    /// `(time, summary)` in execution order, kept only while a bisect
+    /// harness switches it on ([`SystemSim::set_event_log`]).
+    evlog: Option<Vec<(SimTime, String)>>,
 }
 
 impl Shard {
@@ -726,6 +1335,7 @@ impl Shard {
             outbox: Vec::new(),
             ops: Vec::new(),
             led_pending: Vec::new(),
+            evlog: None,
             config: config.clone(),
         }
     }
@@ -802,6 +1412,9 @@ impl Shard {
         }
         while let Some((now, ev)) = self.queue.pop_until(end) {
             self.event_stats.note(&ev);
+            if let Some(log) = &mut self.evlog {
+                log.push((now, ev_summary(&ev)));
+            }
             self.handle(now, ev);
         }
     }
@@ -2361,7 +2974,340 @@ impl Shard {
             decisions,
             live,
             open,
+            fp: self.fingerprint(),
         }
+    }
+
+    /// A cheap rolling fingerprint of this shard's *executed* history:
+    /// the RNG stream position, every event-stats counter, and the
+    /// metrics digest — all of which change only when events run, never
+    /// when they are merely scheduled. Two runs of the same
+    /// `(config, seed, workload)` agree on every shard's fingerprint at
+    /// every tick; the first tick where they disagree brackets the first
+    /// diverging event, and (deliberately) a future event sitting
+    /// unexecuted in the queue does not diverge the hash early — the
+    /// bisect engine depends on divergence showing up at the tick where
+    /// behaviour actually differs.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fp64::new();
+        fp.mix_u64(self.id as u64);
+        for word in self.rng.state() {
+            fp.mix_u64(word);
+        }
+        self.event_stats.mix_fp(&mut fp);
+        self.metrics.mix_fingerprint(&mut fp);
+        fp.value()
+    }
+
+    /// Writes this shard's complete state into a snapshot: RNG stream,
+    /// event queue, the shard-0 backend, every *owned* component slot,
+    /// liveness and backlog vectors, the device fleet, the attribution
+    /// maps, metrics, and event stats. Must be called at a window barrier
+    /// (the coordinator only snapshots at metrics-tick boundaries), where
+    /// the outbox, deferred registry writes, and buffered ledger records
+    /// are all drained — their contents are ordering products of a window
+    /// in flight, not resumable state.
+    fn snap(&self, w: &mut SnapWriter) {
+        assert!(
+            self.outbox.is_empty() && self.ops.is_empty() && self.led_pending.is_empty(),
+            "shard snapshot taken mid-window"
+        );
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.queue.snap(w);
+        match &self.was {
+            Some(was) => {
+                w.put_bool(true);
+                was.snap(w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.pylon {
+            Some(pylon) => {
+                w.put_bool(true);
+                pylon.snap(w);
+            }
+            None => w.put_bool(false),
+        }
+        // Component vectors are allocated full-size on every shard but a
+        // shard only ever touches the slots it owns; foreign slots are
+        // pristine `new()` state and are rebuilt, not serialized.
+        let owned = |i: usize| i % self.shards == self.id;
+        for section in [
+            (0..self.hosts.len())
+                .filter(|&h| owned(h))
+                .collect::<Vec<_>>(),
+            (0..self.proxies.len()).filter(|&p| owned(p)).collect(),
+            (0..self.pops.len())
+                .filter(|&p| p % self.shards == self.id)
+                .collect(),
+        ] {
+            w.put_usize(section.len());
+        }
+        for h in (0..self.hosts.len()).filter(|&h| owned(h)) {
+            w.put_usize(h);
+            self.hosts[h].snap(w);
+        }
+        for p in (0..self.proxies.len()).filter(|&p| owned(p)) {
+            w.put_usize(p);
+            self.proxies[p].snap(w);
+        }
+        for p in (0..self.pops.len()).filter(|&p| owned(p)) {
+            w.put_usize(p);
+            self.pops[p].snap(w);
+        }
+        w.put_usize(self.host_up.len());
+        for up in &self.host_up {
+            w.put_bool(*up);
+        }
+        w.put_usize(self.proxy_up.len());
+        for up in &self.proxy_up {
+            w.put_bool(*up);
+        }
+        w.put_usize(self.host_busy_until.len());
+        for t in &self.host_busy_until {
+            t.snap(w);
+        }
+        w.put_usize(self.devices.len());
+        for (&id, d) in &self.devices {
+            w.put_u64(id);
+            d.snap(w);
+        }
+        // Hash maps in sorted key order so the same logical state always
+        // snapshots to the same bytes; the Vec values keep their order
+        // verbatim (backfill traces replay in arrival order).
+        let mut backfill: Vec<_> = self.pending_backfill.iter().collect();
+        backfill.sort_by_key(|(k, _)| **k);
+        w.put_usize(backfill.len());
+        for (&(device, sid), traces) in backfill {
+            w.put_u64(device);
+            sid.snap(w);
+            w.put_usize(traces.len());
+            for t in traces {
+                t.snap(w);
+            }
+        }
+        let mut delivered: Vec<_> = self.object_delivered.iter().collect();
+        delivered.sort_by_key(|((host, object), _)| (*host, object.0));
+        w.put_usize(delivered.len());
+        for (&(host, object), at) in delivered {
+            w.put_usize(host);
+            w.put_u64(object.0);
+            at.snap(w);
+        }
+        let mut started: Vec<_> = self.sub_started.iter().collect();
+        started.sort_by_key(|(k, _)| **k);
+        w.put_usize(started.len());
+        for (&(device, sid), at) in started {
+            w.put_u64(device);
+            sid.snap(w);
+            at.snap(w);
+        }
+        self.metrics.snap(w);
+        self.event_stats.snap(w);
+    }
+
+    /// Rebuilds a shard from [`Shard::snap`] bytes, validating ownership
+    /// (every restored slot, device, and map key must hash to this shard)
+    /// and sorted-key order so a hostile or stale snapshot can't smuggle
+    /// in state the live sharding could never produce.
+    fn restore(
+        id: usize,
+        config: &SystemConfig,
+        world: Arc<World>,
+        r: &mut SnapReader<'_>,
+    ) -> SnapResult<Shard> {
+        // Start from a pristine shard (correct full-size component
+        // vectors, empty queue) and overwrite everything stateful. The
+        // fork seed doesn't matter: the RNG is replaced from the snapshot.
+        let mut s = Shard::new(id, config, &DetRng::new(0), world);
+        let shards = s.shards;
+        s.rng = DetRng::from_state([r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?]);
+        s.queue = EventQueue::restore(r)?;
+        let has_was = r.get_bool()?;
+        if has_was != (id == 0) {
+            return Err(SnapError::Invalid(format!(
+                "WAS present on shard {id} (singleton backend lives on shard 0)"
+            )));
+        }
+        s.was = if has_was {
+            Some(WebApplicationServer::restore(r)?)
+        } else {
+            None
+        };
+        let has_pylon = r.get_bool()?;
+        if has_pylon != (id == 0) {
+            return Err(SnapError::Invalid(format!(
+                "Pylon present on shard {id} (singleton backend lives on shard 0)"
+            )));
+        }
+        s.pylon = if has_pylon {
+            Some(PylonCluster::restore(r)?)
+        } else {
+            None
+        };
+        let owned = |i: usize| i % shards == id;
+        let expect = |len: usize| (0..len).filter(|&i| owned(i)).count();
+        let n_hosts = r.get_len()?;
+        let n_proxies = r.get_len()?;
+        let n_pops = r.get_len()?;
+        if n_hosts != expect(s.hosts.len())
+            || n_proxies != expect(s.proxies.len())
+            || n_pops != expect(s.pops.len())
+        {
+            return Err(SnapError::Invalid(format!(
+                "shard {id} owned-slot counts {n_hosts}/{n_proxies}/{n_pops} don't match config"
+            )));
+        }
+        let mut last: Option<usize> = None;
+        for _ in 0..n_hosts {
+            let h = r.get_usize()?;
+            if h >= s.hosts.len() || !owned(h) || last.is_some_and(|l| h <= l) {
+                return Err(SnapError::Invalid(format!(
+                    "bad host slot {h} on shard {id}"
+                )));
+            }
+            last = Some(h);
+            s.hosts[h] = BrassHost::restore(r)?;
+            if s.hosts[h].host_id() != HostId(h as u32) {
+                return Err(SnapError::Invalid(format!(
+                    "host slot {h} holds id {}",
+                    s.hosts[h].host_id().0
+                )));
+            }
+        }
+        let mut last: Option<usize> = None;
+        for _ in 0..n_proxies {
+            let p = r.get_usize()?;
+            if p >= s.proxies.len() || !owned(p) || last.is_some_and(|l| p <= l) {
+                return Err(SnapError::Invalid(format!(
+                    "bad proxy slot {p} on shard {id}"
+                )));
+            }
+            last = Some(p);
+            s.proxies[p] = ReverseProxy::restore(r)?;
+            if s.proxies[p].id() != p as u32 {
+                return Err(SnapError::Invalid(format!(
+                    "proxy slot {p} holds id {}",
+                    s.proxies[p].id()
+                )));
+            }
+        }
+        let mut last: Option<usize> = None;
+        for _ in 0..n_pops {
+            let p = r.get_usize()?;
+            if p >= s.pops.len() || !owned(p) || last.is_some_and(|l| p <= l) {
+                return Err(SnapError::Invalid(format!(
+                    "bad POP slot {p} on shard {id}"
+                )));
+            }
+            last = Some(p);
+            s.pops[p] = Pop::restore(r)?;
+            if s.pops[p].id() != p as u32 {
+                return Err(SnapError::Invalid(format!(
+                    "POP slot {p} holds id {}",
+                    s.pops[p].id()
+                )));
+            }
+        }
+        for (name, len) in [("host_up", s.host_up.len()), ("proxy_up", s.proxy_up.len())] {
+            let n = r.get_len()?;
+            if n != len {
+                return Err(SnapError::Invalid(format!(
+                    "{name} length {n}, config says {len}"
+                )));
+            }
+            for i in 0..n {
+                let up = r.get_bool()?;
+                if name == "host_up" {
+                    s.host_up[i] = up;
+                } else {
+                    s.proxy_up[i] = up;
+                }
+            }
+        }
+        let n = r.get_len()?;
+        if n != s.host_busy_until.len() {
+            return Err(SnapError::Invalid(format!(
+                "host_busy_until length {n}, config says {}",
+                s.host_busy_until.len()
+            )));
+        }
+        for i in 0..n {
+            s.host_busy_until[i] = SimTime::restore(r)?;
+        }
+        let n = r.get_len()?;
+        let mut last_dev: Option<u64> = None;
+        for _ in 0..n {
+            let dev = r.get_u64()?;
+            if last_dev.is_some_and(|l| dev <= l) {
+                return Err(SnapError::Invalid(format!(
+                    "device ids not strictly ascending at {dev}"
+                )));
+            }
+            if !s.owns_device(dev) {
+                return Err(SnapError::Invalid(format!(
+                    "device {dev} doesn't belong on shard {id}"
+                )));
+            }
+            last_dev = Some(dev);
+            let state = DeviceState::restore(dev, r)?;
+            s.devices.insert(dev, state);
+        }
+        let n = r.get_len()?;
+        let mut last_key: Option<(u64, StreamId)> = None;
+        for _ in 0..n {
+            let device = r.get_u64()?;
+            let sid = StreamId::restore(r)?;
+            if last_key.is_some_and(|l| (device, sid) <= l) {
+                return Err(SnapError::Invalid(
+                    "pending-backfill keys not strictly ascending".into(),
+                ));
+            }
+            last_key = Some((device, sid));
+            let m = r.get_len()?;
+            let mut traces = Vec::with_capacity(m);
+            for _ in 0..m {
+                traces.push(TraceId::restore(r)?);
+            }
+            s.pending_backfill.insert((device, sid), traces);
+        }
+        let n = r.get_len()?;
+        let mut last_key: Option<(usize, u64)> = None;
+        for _ in 0..n {
+            let host = r.get_usize()?;
+            let object = ObjectId(r.get_u64()?);
+            if last_key.is_some_and(|l| (host, object.0) <= l) {
+                return Err(SnapError::Invalid(
+                    "object-delivered keys not strictly ascending".into(),
+                ));
+            }
+            if host >= s.hosts.len() || !owned(host) {
+                return Err(SnapError::Invalid(format!(
+                    "object-delivered host {host} not owned by shard {id}"
+                )));
+            }
+            last_key = Some((host, object.0));
+            s.object_delivered
+                .insert((host, object), SimTime::restore(r)?);
+        }
+        let n = r.get_len()?;
+        let mut last_key: Option<(u64, StreamId)> = None;
+        for _ in 0..n {
+            let device = r.get_u64()?;
+            let sid = StreamId::restore(r)?;
+            if last_key.is_some_and(|l| (device, sid) <= l) {
+                return Err(SnapError::Invalid(
+                    "sub-started keys not strictly ascending".into(),
+                ));
+            }
+            last_key = Some((device, sid));
+            s.sub_started.insert((device, sid), SimTime::restore(r)?);
+        }
+        s.metrics = SystemMetrics::restore(r, config.metrics_horizon, config.metrics_interval)?;
+        s.event_stats = EventStats::restore(r)?;
+        Ok(s)
     }
 }
 
@@ -2379,6 +3325,8 @@ enum Cmd {
     },
     /// Take one shard's metrics-tick sample at `at`.
     Tick { shard: usize, at: SimTime },
+    /// Serialize one shard's state (only ever sent at a tick barrier).
+    Snap { shard: usize },
 }
 
 /// What one shard hands back from a window: its barrier products and the
@@ -2394,6 +3342,7 @@ struct WindowRes {
 enum WorkerRes {
     Window(WindowRes),
     Tick { shard: usize, summary: TickSummary },
+    Snap { shard: usize, bytes: Vec<u8> },
 }
 
 /// A worker thread's loop: serve Run/Tick commands for the shards this
@@ -2431,6 +3380,18 @@ fn worker_loop(
                     .expect("command routed to the owning worker");
                 let summary = s.shard_tick(at);
                 let _ = tx.send(WorkerRes::Tick { shard, summary });
+            }
+            Cmd::Snap { shard } => {
+                let (_, s) = shards
+                    .iter_mut()
+                    .find(|(i, _)| *i == shard)
+                    .expect("command routed to the owning worker");
+                let mut w = SnapWriter::new();
+                s.snap(&mut w);
+                let _ = tx.send(WorkerRes::Snap {
+                    shard,
+                    bytes: w.into_bytes(),
+                });
             }
         }
     }
@@ -2495,9 +3456,28 @@ fn record_tick(
     root_metrics: &mut SystemMetrics,
     root_stats: &mut EventStats,
     decisions_at_tick: &mut u64,
+    fingerprints: &mut Vec<(SimTime, u64)>,
+    ledger_fp: u64,
     at: SimTime,
     summaries: Vec<TickSummary>,
 ) {
+    // The per-tick run fingerprint: tick time, the ledger's rolling hash,
+    // and every shard's state digest (in shard order), plus the fleet
+    // aggregates the root series are about to record. Cumulative by
+    // construction — once two runs disagree at a tick, they disagree at
+    // every later tick, which is what lets the bisect harness
+    // binary-search the series.
+    let mut fp = Fp64::new();
+    fp.mix_u64(at.as_micros());
+    fp.mix_u64(ledger_fp);
+    for s in &summaries {
+        fp.mix_u64(s.fp);
+        fp.mix_u64(s.active_streams);
+        fp.mix_u64(s.decisions);
+        fp.mix_u64(s.live.len() as u64);
+        fp.mix_u64(s.open.len() as u64);
+    }
+    fingerprints.push((at, fp.value()));
     root_stats.total += 1;
     root_stats.metrics += 1;
     let active: u64 = summaries.iter().map(|s| s.active_streams).sum();
@@ -2533,6 +3513,134 @@ fn record_tick(
     root_metrics.record_availability(at, fraction);
 }
 
+/// Serializes the coordinator-level state plus the already-serialized
+/// per-shard bodies into one snapshot body (unsealed). Shared by the
+/// serial driver (which serializes shards inline) and the threaded driver
+/// (which collects bodies from the workers owning the shards).
+#[allow(clippy::too_many_arguments)]
+fn assemble_snapshot_body(
+    config: &SystemConfig,
+    at: SimTime,
+    next_metrics_tick: SimTime,
+    tick_index: u64,
+    decisions_at_tick: u64,
+    rng: &DetRng,
+    langs: &[String],
+    scenario_sids: &FxHashMap<u64, u64>,
+    world: &World,
+    root_metrics: &SystemMetrics,
+    root_stats: &EventStats,
+    fingerprints: &[(SimTime, u64)],
+    pending_incoming: &[Vec<Envelope<Ev>>],
+    shard_bodies: &[Vec<u8>],
+    driver_blob: &[u8],
+) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    // The config is part of the experiment definition, not the state:
+    // resume requires the caller to rebuild the exact same config and
+    // only validates it (by its Debug rendering, which covers every
+    // field) instead of round-tripping every nested knob.
+    w.put_str(&format!("{config:?}"));
+    at.snap(&mut w);
+    next_metrics_tick.snap(&mut w);
+    w.put_u64(tick_index);
+    w.put_u64(decisions_at_tick);
+    for word in rng.state() {
+        w.put_u64(word);
+    }
+    w.put_usize(langs.len());
+    for l in langs {
+        w.put_str(l);
+    }
+    snap::snap_map(scenario_sids, &mut w);
+    {
+        let shared = world.shared.read().unwrap();
+        let mut traces: Vec<_> = shared.object_trace.iter().collect();
+        traces.sort_by_key(|(k, _)| k.0);
+        w.put_usize(traces.len());
+        for (object, trace) in traces {
+            w.put_u64(object.0);
+            trace.snap(&mut w);
+        }
+        let mut topics: Vec<_> = shared.topic_streams.iter().collect();
+        topics.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        w.put_usize(topics.len());
+        for (topic, streams) in topics {
+            topic.snap(&mut w);
+            // Verbatim: publication fan-out walks this vec in push order.
+            w.put_usize(streams.len());
+            for (device, sid) in streams {
+                w.put_u64(*device);
+                sid.snap(&mut w);
+            }
+        }
+        let mut stream_topics: Vec<_> = shared.stream_topic.iter().collect();
+        stream_topics.sort_by_key(|(k, _)| **k);
+        w.put_usize(stream_topics.len());
+        for (&(device, sid), topic) in stream_topics {
+            w.put_u64(device);
+            sid.snap(&mut w);
+            topic.snap(&mut w);
+        }
+        let mut proxies: Vec<_> = shared.device_proxy.iter().collect();
+        proxies.sort_by_key(|(k, _)| **k);
+        w.put_usize(proxies.len());
+        for (&device, &proxy) in proxies {
+            w.put_u64(device);
+            w.put_usize(proxy);
+        }
+        w.put_usize(shared.host_up.len());
+        for up in &shared.host_up {
+            w.put_bool(*up);
+        }
+    }
+    world.ledger.read().unwrap().snap(&mut w);
+    root_metrics.snap(&mut w);
+    root_stats.snap(&mut w);
+    w.put_usize(fingerprints.len());
+    for (tick, fp) in fingerprints {
+        tick.snap(&mut w);
+        w.put_u64(*fp);
+    }
+    w.put_usize(pending_incoming.len());
+    for mailbox in pending_incoming {
+        // Verbatim: envelope order is queue insertion order, which breaks
+        // ties between same-time events.
+        w.put_usize(mailbox.len());
+        for env in mailbox {
+            env.at.snap(&mut w);
+            w.put_usize(env.src_shard);
+            w.put_u64(env.seq);
+            env.event.snap(&mut w);
+        }
+    }
+    w.put_usize(shard_bodies.len());
+    for body in shard_bodies {
+        w.put_bytes(body);
+    }
+    w.put_bytes(driver_blob);
+    w.into_bytes()
+}
+
+/// Delivers one policy-captured snapshot: into the in-memory ring and/or
+/// onto disk, per the configured policy.
+fn store_snapshot(
+    snapshots: &mut Vec<(SimTime, Vec<u8>)>,
+    keep: bool,
+    dir: &Option<PathBuf>,
+    tick: SimTime,
+    sealed: Vec<u8>,
+) {
+    if let Some(dir) = dir {
+        let path = dir.join(format!("snap-{:012}.brsnap", tick.as_micros()));
+        std::fs::write(&path, &sealed)
+            .unwrap_or_else(|e| panic!("writing snapshot {}: {e}", path.display()));
+    }
+    if keep {
+        snapshots.push((tick, sealed));
+    }
+}
+
 /// The full-system simulation: a set of logical shards driven in
 /// conservative parallel windows by this coordinator. See the module docs
 /// for the synchronisation contract.
@@ -2565,6 +3673,25 @@ pub struct SystemSim {
     /// The interned header-language table; [`DeviceState::lang`] indexes
     /// into it.
     langs: Vec<String>,
+    /// Per-metrics-tick rolling run fingerprints `(tick, fp)` accumulated
+    /// since construction (or since the snapshot this run resumed from,
+    /// which carries the earlier ones).
+    fingerprints: Vec<(SimTime, u64)>,
+    /// Metrics ticks fired so far (the snapshot cadence counter).
+    tick_index: u64,
+    /// Snapshot policy: capture every N metrics ticks (0 = never).
+    snapshot_every: u64,
+    /// Keep policy-captured snapshots in memory (the bisect harness
+    /// restores from them).
+    snapshot_keep: bool,
+    /// Also write policy-captured snapshots into this directory.
+    snapshot_dir: Option<PathBuf>,
+    /// In-memory snapshots captured by the policy: `(tick, sealed bytes)`.
+    snapshots: Vec<(SimTime, Vec<u8>)>,
+    /// Opaque harness state carried inside snapshots: the driving bench
+    /// serializes its workload cursors here so a resumed process can pick
+    /// up injection exactly where the original left off.
+    driver_blob: Vec<u8>,
 }
 
 impl SystemSim {
@@ -2602,6 +3729,13 @@ impl SystemSim {
             decisions_at_tick: 0,
             scenario_sids: FxHashMap::default(),
             langs: Vec::new(),
+            fingerprints: Vec::new(),
+            tick_index: 0,
+            snapshot_every: 0,
+            snapshot_keep: false,
+            snapshot_dir: None,
+            snapshots: Vec::new(),
+            driver_blob: Vec::new(),
             config,
         };
         sim.rebuild_merged();
@@ -3081,14 +4215,57 @@ impl SystemSim {
                 // single-queue schedule order.
                 let summaries: Vec<TickSummary> =
                     self.shards.iter_mut().map(|s| s.shard_tick(tick)).collect();
+                let ledger_fp = self.world.ledger.read().unwrap().fingerprint();
                 record_tick(
                     &mut self.root_metrics,
                     &mut self.root_stats,
                     &mut self.decisions_at_tick,
+                    &mut self.fingerprints,
+                    ledger_fp,
                     tick,
                     summaries,
                 );
                 self.next_metrics_tick = tick + self.config.metrics_interval;
+                self.tick_index += 1;
+                if self.snapshot_every > 0 && self.tick_index.is_multiple_of(self.snapshot_every) {
+                    // The tick is a natural barrier: all windows before it
+                    // are fully applied and the window schedule after it
+                    // depends only on queue state, so a run resumed here
+                    // is bit-identical to one that never stopped.
+                    let bodies: Vec<Vec<u8>> = self
+                        .shards
+                        .iter()
+                        .map(|s| {
+                            let mut w = SnapWriter::new();
+                            s.snap(&mut w);
+                            w.into_bytes()
+                        })
+                        .collect();
+                    let sealed = snap::seal(assemble_snapshot_body(
+                        &self.config,
+                        tick,
+                        self.next_metrics_tick,
+                        self.tick_index,
+                        self.decisions_at_tick,
+                        &self.rng,
+                        &self.langs,
+                        &self.scenario_sids,
+                        &self.world,
+                        &self.root_metrics,
+                        &self.root_stats,
+                        &self.fingerprints,
+                        &self.pending_incoming,
+                        &bodies,
+                        &self.driver_blob,
+                    ));
+                    store_snapshot(
+                        &mut self.snapshots,
+                        self.snapshot_keep,
+                        &self.snapshot_dir,
+                        tick,
+                        sealed,
+                    );
+                }
                 continue;
             }
             let Some(next) = next else { break };
@@ -3155,6 +4332,16 @@ impl SystemSim {
             root_stats,
             decisions_at_tick,
             next_metrics_tick,
+            rng,
+            langs,
+            scenario_sids,
+            fingerprints,
+            tick_index,
+            snapshot_every,
+            snapshot_keep,
+            snapshot_dir,
+            snapshots,
+            driver_blob,
             ..
         } = self;
         std::thread::scope(|scope| {
@@ -3195,15 +4382,65 @@ impl SystemSim {
                     for _ in 0..nshards {
                         match res_rx.recv().expect("worker alive") {
                             WorkerRes::Tick { shard, summary } => summaries[shard] = Some(summary),
-                            WorkerRes::Window(_) => unreachable!("tick round"),
+                            _ => unreachable!("tick round"),
                         }
                     }
                     let summaries: Vec<TickSummary> = summaries
                         .into_iter()
                         .map(|s| s.expect("every shard ticked"))
                         .collect();
-                    record_tick(root_metrics, root_stats, decisions_at_tick, tick, summaries);
+                    let ledger_fp = world.ledger.read().unwrap().fingerprint();
+                    record_tick(
+                        root_metrics,
+                        root_stats,
+                        decisions_at_tick,
+                        fingerprints,
+                        ledger_fp,
+                        tick,
+                        summaries,
+                    );
                     *next_metrics_tick = tick + config.metrics_interval;
+                    *tick_index += 1;
+                    if *snapshot_every > 0 && *tick_index % *snapshot_every == 0 {
+                        // Workers own the shards inside this scope, so the
+                        // coordinator asks each for its serialized body and
+                        // assembles the snapshot from the pieces — in shard
+                        // order, like everything else at a barrier.
+                        for s in 0..nshards {
+                            cmd_txs[s % nworkers]
+                                .send(Cmd::Snap { shard: s })
+                                .expect("worker alive");
+                        }
+                        let mut bodies: Vec<Option<Vec<u8>>> = (0..nshards).map(|_| None).collect();
+                        for _ in 0..nshards {
+                            match res_rx.recv().expect("worker alive") {
+                                WorkerRes::Snap { shard, bytes } => bodies[shard] = Some(bytes),
+                                _ => unreachable!("snap round"),
+                            }
+                        }
+                        let bodies: Vec<Vec<u8>> = bodies
+                            .into_iter()
+                            .map(|b| b.expect("every shard serialized"))
+                            .collect();
+                        let sealed = snap::seal(assemble_snapshot_body(
+                            config,
+                            tick,
+                            *next_metrics_tick,
+                            *tick_index,
+                            *decisions_at_tick,
+                            rng,
+                            langs,
+                            scenario_sids,
+                            world,
+                            root_metrics,
+                            root_stats,
+                            fingerprints,
+                            pending_incoming,
+                            &bodies,
+                            driver_blob,
+                        ));
+                        store_snapshot(snapshots, *snapshot_keep, snapshot_dir, tick, sealed);
+                    }
                     continue;
                 }
                 let Some(next) = next else { break };
@@ -3228,7 +4465,7 @@ impl SystemSim {
                             let i = r.shard;
                             results[i] = Some(r);
                         }
-                        WorkerRes::Tick { .. } => unreachable!("window round"),
+                        _ => unreachable!("window round"),
                     }
                 }
                 let results: Vec<WindowRes> = results
@@ -3249,6 +4486,357 @@ impl SystemSim {
             }
             // Dropping the command senders here ends every worker loop.
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot, resume, and divergence fingerprints.
+    // ------------------------------------------------------------------
+
+    /// Configures automatic snapshotting: capture the full sim state every
+    /// `every_ticks` metrics ticks (0 disables), keeping the sealed bytes
+    /// in memory (`keep_in_memory`) and/or writing them into `dir` as
+    /// `snap-<µs>.brsnap`. Captures happen *inside* the run loop at tick
+    /// barriers, so they never perturb the window schedule: a run with
+    /// snapshotting on is bit-identical to one with it off.
+    pub fn set_snapshot_policy(
+        &mut self,
+        every_ticks: u64,
+        keep_in_memory: bool,
+        dir: Option<PathBuf>,
+    ) {
+        self.snapshot_every = every_ticks;
+        self.snapshot_keep = keep_in_memory;
+        self.snapshot_dir = dir;
+    }
+
+    /// Policy-captured in-memory snapshots, oldest first.
+    pub fn snapshots(&self) -> &[(SimTime, Vec<u8>)] {
+        &self.snapshots
+    }
+
+    /// Serializes the complete current state into a sealed snapshot.
+    ///
+    /// Valid between `run_until` calls (every window is fully applied
+    /// there). A resumed copy is bit-identical to *this* process's future
+    /// — which matches an unchunked run's future only when the snapshot
+    /// instant coincides with a boundary the original run also had; the
+    /// in-loop policy ([`Self::set_snapshot_policy`]) captures at metrics
+    /// ticks, which satisfies that for any chunking.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let bodies: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut w = SnapWriter::new();
+                s.snap(&mut w);
+                w.into_bytes()
+            })
+            .collect();
+        snap::seal(assemble_snapshot_body(
+            &self.config,
+            self.now,
+            self.next_metrics_tick,
+            self.tick_index,
+            self.decisions_at_tick,
+            &self.rng,
+            &self.langs,
+            &self.scenario_sids,
+            &self.world,
+            &self.root_metrics,
+            &self.root_stats,
+            &self.fingerprints,
+            &self.pending_incoming,
+            &bodies,
+            &self.driver_blob,
+        ))
+    }
+
+    /// Rebuilds a simulation from a sealed snapshot, fail-closed: the
+    /// container checksum, the config (rebuilt by the caller and compared
+    /// field-for-field via its Debug rendering), every length, tag, key
+    /// order, and ownership invariant are validated before any state is
+    /// handed over — an error never yields a partial world. The resumed
+    /// sim continues bit-identically to the run that took the snapshot.
+    pub fn resume(config: SystemConfig, bytes: &[u8]) -> SnapResult<SystemSim> {
+        let body = snap::unseal(bytes)?;
+        let mut r = SnapReader::new(body);
+        let stored = r.get_str()?;
+        let live = format!("{config:?}");
+        if stored != live {
+            return Err(SnapError::Invalid(format!(
+                "config mismatch: snapshot took {stored}, resume built {live}"
+            )));
+        }
+        let at = SimTime::restore(&mut r)?;
+        let next_metrics_tick = SimTime::restore(&mut r)?;
+        let tick_index = r.get_u64()?;
+        let decisions_at_tick = r.get_u64()?;
+        let rng = DetRng::from_state([r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?]);
+        let n = r.get_len()?;
+        let mut langs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.get_str()?;
+            if langs.contains(&l) {
+                return Err(SnapError::Invalid(format!("duplicate interned lang {l:?}")));
+            }
+            langs.push(l);
+        }
+        let scenario_sids: FxHashMap<u64, u64> = snap::restore_map(&mut r)?;
+
+        let n = r.get_len()?;
+        let mut object_trace = FxHashMap::default();
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let object = r.get_u64()?;
+            if last.is_some_and(|l| object <= l) {
+                return Err(SnapError::Invalid(
+                    "object-trace keys not strictly ascending".into(),
+                ));
+            }
+            last = Some(object);
+            object_trace.insert(ObjectId(object), TraceId::restore(&mut r)?);
+        }
+        let n = r.get_len()?;
+        let mut topic_streams = FxHashMap::default();
+        let mut last_name: Option<String> = None;
+        for _ in 0..n {
+            let topic = Topic::restore(&mut r)?;
+            if last_name.as_deref().is_some_and(|l| topic.as_str() <= l) {
+                return Err(SnapError::Invalid(
+                    "topic-streams keys not strictly ascending".into(),
+                ));
+            }
+            last_name = Some(topic.as_str().to_owned());
+            let m = r.get_len()?;
+            let mut streams = Vec::with_capacity(m);
+            for _ in 0..m {
+                let device = r.get_u64()?;
+                streams.push((device, StreamId::restore(&mut r)?));
+            }
+            topic_streams.insert(topic, streams);
+        }
+        let n = r.get_len()?;
+        let mut stream_topic = FxHashMap::default();
+        let mut last: Option<(u64, StreamId)> = None;
+        for _ in 0..n {
+            let device = r.get_u64()?;
+            let sid = StreamId::restore(&mut r)?;
+            if last.is_some_and(|l| (device, sid) <= l) {
+                return Err(SnapError::Invalid(
+                    "stream-topic keys not strictly ascending".into(),
+                ));
+            }
+            last = Some((device, sid));
+            stream_topic.insert((device, sid), Topic::restore(&mut r)?);
+        }
+        let n = r.get_len()?;
+        let mut device_proxy = FxHashMap::default();
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let device = r.get_u64()?;
+            if last.is_some_and(|l| device <= l) {
+                return Err(SnapError::Invalid(
+                    "device-proxy keys not strictly ascending".into(),
+                ));
+            }
+            last = Some(device);
+            let proxy = r.get_usize()?;
+            if proxy >= config.proxies as usize {
+                return Err(SnapError::Invalid(format!(
+                    "device-proxy route to proxy {proxy}, config has {}",
+                    config.proxies
+                )));
+            }
+            device_proxy.insert(device, proxy);
+        }
+        let n = r.get_len()?;
+        if n != config.brass_hosts as usize {
+            return Err(SnapError::Invalid(format!(
+                "shared host_up length {n}, config says {}",
+                config.brass_hosts
+            )));
+        }
+        let mut host_up = Vec::with_capacity(n);
+        for _ in 0..n {
+            host_up.push(r.get_bool()?);
+        }
+        let ledger = TraceLedger::restore(&mut r)?;
+        let root_metrics =
+            SystemMetrics::restore(&mut r, config.metrics_horizon, config.metrics_interval)?;
+        let root_stats = EventStats::restore(&mut r)?;
+        let n = r.get_len()?;
+        let mut fingerprints = Vec::with_capacity(n);
+        let mut last_tick: Option<SimTime> = None;
+        for _ in 0..n {
+            let tick = SimTime::restore(&mut r)?;
+            if last_tick.is_some_and(|l| tick <= l) {
+                return Err(SnapError::Invalid(
+                    "fingerprint ticks not strictly ascending".into(),
+                ));
+            }
+            last_tick = Some(tick);
+            fingerprints.push((tick, r.get_u64()?));
+        }
+
+        let world = Arc::new(World {
+            shared: RwLock::new(SharedInner {
+                object_trace,
+                topic_streams,
+                stream_topic,
+                device_proxy,
+                host_up,
+            }),
+            ledger: RwLock::new(ledger),
+        });
+
+        let nshards = config.logical_shards;
+        let n = r.get_len()?;
+        if n != nshards {
+            return Err(SnapError::Invalid(format!(
+                "{n} shard mailboxes, config says {nshards}"
+            )));
+        }
+        let mut pending_incoming: Vec<Vec<Envelope<Ev>>> = Vec::with_capacity(nshards);
+        for slot in 0..nshards {
+            let m = r.get_len()?;
+            let mut mailbox = Vec::with_capacity(m);
+            for _ in 0..m {
+                let env_at = SimTime::restore(&mut r)?;
+                let src_shard = r.get_usize()?;
+                if src_shard >= nshards {
+                    return Err(SnapError::Invalid(format!(
+                        "envelope from shard {src_shard}, config has {nshards}"
+                    )));
+                }
+                let seq = r.get_u64()?;
+                let event = Ev::restore(&mut r)?;
+                let dest = shard_route(&event, config.pops as usize, nshards);
+                if dest != slot {
+                    return Err(SnapError::Invalid(format!(
+                        "envelope in shard {slot}'s mailbox routes to shard {dest}"
+                    )));
+                }
+                mailbox.push(Envelope {
+                    at: env_at,
+                    src_shard,
+                    seq,
+                    event,
+                });
+            }
+            pending_incoming.push(mailbox);
+        }
+        let n = r.get_len()?;
+        if n != nshards {
+            return Err(SnapError::Invalid(format!(
+                "{n} shard bodies, config says {nshards}"
+            )));
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        for id in 0..nshards {
+            let body = r.get_bytes()?;
+            let mut sr = SnapReader::new(&body);
+            let shard = Shard::restore(id, &config, Arc::clone(&world), &mut sr)?;
+            sr.finish()?;
+            shards.push(shard);
+        }
+        let driver_blob = r.get_bytes()?;
+        r.finish()?;
+
+        for shard in &shards {
+            for d in shard.devices.values() {
+                if d.lang as usize >= langs.len() {
+                    return Err(SnapError::Invalid(format!(
+                        "device lang index {} outside the {}-entry intern table",
+                        d.lang,
+                        langs.len()
+                    )));
+                }
+            }
+        }
+
+        let mut sim = SystemSim {
+            latency: LatencyModel::table3(),
+            rng,
+            workers: 1,
+            now: at,
+            next_metrics_tick,
+            world,
+            shards,
+            pending_incoming,
+            root_metrics,
+            root_stats,
+            merged_metrics: SystemMetrics::new(config.metrics_horizon, config.metrics_interval),
+            merged_stats: EventStats::default(),
+            decisions_at_tick,
+            scenario_sids,
+            langs,
+            fingerprints,
+            tick_index,
+            snapshot_every: 0,
+            snapshot_keep: false,
+            snapshot_dir: None,
+            snapshots: Vec::new(),
+            driver_blob,
+            config,
+        };
+        sim.rebuild_merged();
+        Ok(sim)
+    }
+
+    /// Attaches opaque harness state (workload cursors, scenario extents)
+    /// to be carried inside every snapshot this sim takes. Benches update
+    /// it before each `run_until` chunk.
+    pub fn set_driver_blob(&mut self, blob: Vec<u8>) {
+        self.driver_blob = blob;
+    }
+
+    /// The harness state carried by the snapshot this sim resumed from
+    /// (empty for a fresh sim).
+    pub fn driver_blob(&self) -> &[u8] {
+        &self.driver_blob
+    }
+
+    /// The per-metrics-tick rolling run fingerprints recorded so far.
+    /// Identical for identical `(config, seed, workload)` regardless of
+    /// worker count, chunking, hibernation, or snapshot policy; the first
+    /// differing entry between two runs brackets their first divergence.
+    pub fn tick_fingerprints(&self) -> &[(SimTime, u64)] {
+        &self.fingerprints
+    }
+
+    /// A state-only fingerprint of the current instant: the ledger's
+    /// rolling hash plus every shard's state digest. Cheap (no
+    /// serialization) and stable across equal states however they were
+    /// reached — run straight or resumed from a snapshot.
+    pub fn fingerprint_now(&self) -> u64 {
+        let mut fp = Fp64::new();
+        fp.mix_u64(self.world.ledger.read().unwrap().fingerprint());
+        for shard in &self.shards {
+            fp.mix_u64(shard.fingerprint());
+        }
+        fp.value()
+    }
+
+    /// Switches the per-event diagnostic log on or off for every shard.
+    /// While on, each shard records `(time, event summary)` for every
+    /// event it pops, in execution order — the bisect harness replays a
+    /// diverging tick under this log on both runs and diffs the streams.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.evlog = if enabled { Some(Vec::new()) } else { None };
+        }
+    }
+
+    /// Drains the per-shard event logs (index = shard id). Empty vecs for
+    /// shards that saw nothing; empty overall if the log was never on.
+    pub fn take_event_logs(&mut self) -> Vec<Vec<(SimTime, String)>> {
+        self.shards
+            .iter_mut()
+            .map(|s| match &mut s.evlog {
+                Some(log) => std::mem::take(log),
+                None => Vec::new(),
+            })
+            .collect()
     }
 
     /// Folds root series and per-shard metrics/stats into the public

@@ -29,9 +29,37 @@ pub struct StreamKey {
     pub sid: StreamId,
 }
 
+impl StreamKey {
+    /// Writes the key into a snapshot.
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        w.put_u64(self.device.0);
+        w.put_u64(self.sid.0);
+    }
+
+    /// Reads a key back.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Self> {
+        Ok(StreamKey {
+            device: DeviceId(r.get_u64()?),
+            sid: StreamId(r.get_u64()?),
+        })
+    }
+}
+
 /// Token correlating a WAS request with its asynchronous response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FetchToken(pub u64);
+
+impl FetchToken {
+    /// Writes the raw token.
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+
+    /// Reads a token back.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Self> {
+        Ok(FetchToken(r.get_u64()?))
+    }
+}
 
 /// A backend request a BRASS can issue ("BRASS … may invoke any backend
 /// service", §3.2). All data access goes through the WAS, where privacy
@@ -74,6 +102,111 @@ pub enum WasResponse {
     Friends(Vec<u64>),
     /// Mailbox entries `(seq, object)`, oldest first.
     Mailbox(Vec<(u64, ObjectId)>),
+}
+
+impl WasRequest {
+    /// Serializes the request (it rides inside queued simulator events).
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        match self {
+            WasRequest::FetchObject { viewer, object } => {
+                w.put_u8(0);
+                w.put_u64(*viewer);
+                w.put_u64(object.0);
+            }
+            WasRequest::Friends { uid } => {
+                w.put_u8(1);
+                w.put_u64(*uid);
+            }
+            WasRequest::MailboxAfter { uid, after_seq } => {
+                w.put_u8(2);
+                w.put_u64(*uid);
+                match after_seq {
+                    Some(seq) => {
+                        w.put_u8(1);
+                        w.put_u64(*seq);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+
+    /// Restores a request.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Self> {
+        use simkit::snap::SnapError;
+        Ok(match r.get_u8()? {
+            0 => WasRequest::FetchObject {
+                viewer: r.get_u64()?,
+                object: ObjectId(r.get_u64()?),
+            },
+            1 => WasRequest::Friends { uid: r.get_u64()? },
+            2 => WasRequest::MailboxAfter {
+                uid: r.get_u64()?,
+                after_seq: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    t => return Err(SnapError::Invalid(format!("MailboxAfter seq tag {t}"))),
+                },
+            },
+            t => return Err(SnapError::Invalid(format!("WasRequest tag {t}"))),
+        })
+    }
+}
+
+impl WasResponse {
+    /// Serializes the response.
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        match self {
+            WasResponse::Payload(payload) => {
+                w.put_u8(0);
+                w.put_bytes(payload);
+            }
+            WasResponse::Denied => w.put_u8(1),
+            WasResponse::NotFound => w.put_u8(2),
+            WasResponse::Friends(uids) => {
+                w.put_u8(3);
+                w.put_usize(uids.len());
+                for uid in uids {
+                    w.put_u64(*uid);
+                }
+            }
+            WasResponse::Mailbox(entries) => {
+                w.put_u8(4);
+                w.put_usize(entries.len());
+                for (seq, object) in entries {
+                    w.put_u64(*seq);
+                    w.put_u64(object.0);
+                }
+            }
+        }
+    }
+
+    /// Restores a response.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Self> {
+        use simkit::snap::SnapError;
+        Ok(match r.get_u8()? {
+            0 => WasResponse::Payload(r.get_bytes()?.into()),
+            1 => WasResponse::Denied,
+            2 => WasResponse::NotFound,
+            3 => {
+                let n = r.get_len()?;
+                let mut uids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    uids.push(r.get_u64()?);
+                }
+                WasResponse::Friends(uids)
+            }
+            4 => {
+                let n = r.get_len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((r.get_u64()?, ObjectId(r.get_u64()?)));
+                }
+                WasResponse::Mailbox(entries)
+            }
+            t => return Err(SnapError::Invalid(format!("WasResponse tag {t}"))),
+        })
+    }
 }
 
 /// An effect requested by application code, executed by the host.
@@ -318,6 +451,13 @@ pub trait BrassApp: Send {
 
     /// The device acknowledged updates up to `seq` (reliable apps only).
     fn on_ack(&mut self, _ctx: &mut Ctx<'_>, _stream: StreamKey, _seq: u64) {}
+
+    /// Writes this application's complete state into a snapshot.
+    ///
+    /// The default writes nothing: only the standard applications
+    /// participate in whole-simulation snapshots (the host's restore is
+    /// keyed by application name and recognizes only those).
+    fn snap(&self, _w: &mut simkit::snap::SnapWriter) {}
 }
 
 /// A test harness that runs a [`BrassApp`] and records its effects.

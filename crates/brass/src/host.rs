@@ -23,6 +23,8 @@ use burst::stream::ServerStream;
 use pylon::Topic;
 use simkit::time::SimTime;
 
+use simkit::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
+
 use crate::app::{AppCounters, BrassApp, Ctx, DeviceId, Effect, FetchToken, StreamKey, WasRequest};
 use crate::resolve::resolve;
 
@@ -647,6 +649,182 @@ impl BrassHost {
         }
         out
     }
+
+    /// Writes the host's complete state into a snapshot: config, every
+    /// running instance (counters, token counter, topic refcounts, app
+    /// state), the host-wide subscription manager, every server-side
+    /// stream, and the host counters. All maps go out in sorted key order.
+    /// Factories are code, not state — restore re-registers them.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.config.host_id.0);
+        w.put_u32(self.config.cores);
+        let mut apps: Vec<&String> = self.instances.keys().collect();
+        apps.sort_unstable();
+        w.put_usize(apps.len());
+        for name in apps {
+            let i = &self.instances[name];
+            w.put_str(name);
+            w.put_u64(i.counters.decisions);
+            w.put_u64(i.counters.deliveries);
+            w.put_u64(i.counters.events_in);
+            w.put_u64(i.counters.was_requests);
+            w.put_u64(i.next_token);
+            let mut topics: Vec<Topic> = i.topic_refs.keys().copied().collect();
+            topics.sort_unstable();
+            w.put_usize(topics.len());
+            for t in topics {
+                t.snap(w);
+                w.put_u32(i.topic_refs[&t]);
+            }
+            i.app.snap(w);
+        }
+        let mut topics: Vec<Topic> = self.host_topic_refs.keys().copied().collect();
+        topics.sort_unstable();
+        w.put_usize(topics.len());
+        for t in topics {
+            t.snap(w);
+            w.put_u32(self.host_topic_refs[&t]);
+        }
+        let mut keys: Vec<StreamKey> = self.streams.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for key in keys {
+            let meta = &self.streams[&key];
+            w.put_u64(key.device.0);
+            w.put_str(&meta.app);
+            meta.server.snap(w);
+        }
+        w.put_u64(self.counters.spool_ups);
+        w.put_u64(self.counters.streams_accepted);
+        w.put_u64(self.counters.streams_rejected);
+        w.put_u64(self.counters.dedup_subscribes);
+    }
+
+    /// Reads a host back. The standard application factories are
+    /// re-registered (closures aren't serializable) and each instance's
+    /// state is restored by dispatching on its application name — snapshots
+    /// holding non-standard applications are rejected.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        use crate::apps::{
+            ActiveStatusApp, LikesApp, LvcApp, MessengerApp, NotificationsApp, StoriesApp,
+            TypingApp,
+        };
+        let host_id = pylon::HostId(r.get_u32()?);
+        let cores = r.get_u32()?;
+        if cores == 0 {
+            return Err(SnapError::Invalid("brass host: zero cores".into()));
+        }
+        let mut host = BrassHost::new(HostConfig { host_id, cores });
+        host.register_standard_apps();
+        let ninst = r.get_len()?;
+        if ninst > host.capacity() {
+            return Err(SnapError::Invalid("brass host: over capacity".into()));
+        }
+        let mut prev_app: Option<String> = None;
+        for _ in 0..ninst {
+            let name = r.get_str()?.to_owned();
+            if prev_app.as_ref().is_some_and(|p| *p >= name) {
+                return Err(SnapError::Invalid(
+                    "brass host: instances out of order".into(),
+                ));
+            }
+            let counters = AppCounters {
+                decisions: r.get_u64()?,
+                deliveries: r.get_u64()?,
+                events_in: r.get_u64()?,
+                was_requests: r.get_u64()?,
+            };
+            let next_token = r.get_u64()?;
+            let nrefs = r.get_len()?;
+            let mut topic_refs: HashMap<Topic, u32> = HashMap::with_capacity(nrefs);
+            let mut prev_topic: Option<Topic> = None;
+            for _ in 0..nrefs {
+                let t = Topic::restore(r)?;
+                if prev_topic.is_some_and(|p| p >= t) {
+                    return Err(SnapError::Invalid(
+                        "brass host: topic refs out of order".into(),
+                    ));
+                }
+                prev_topic = Some(t);
+                let refs = r.get_u32()?;
+                if refs == 0 {
+                    return Err(SnapError::Invalid("brass host: zero topic refcount".into()));
+                }
+                topic_refs.insert(t, refs);
+            }
+            let app: Box<dyn BrassApp> = match name.as_str() {
+                "lvc" => Box::new(LvcApp::restore(r)?),
+                "typing" => Box::new(TypingApp::restore(r)?),
+                "active_status" => Box::new(ActiveStatusApp::restore(r)?),
+                "stories" => Box::new(StoriesApp::restore(r)?),
+                "messenger" => Box::new(MessengerApp::restore(r)?),
+                "likes" => Box::new(LikesApp::restore(r)?),
+                "notifications" => Box::new(NotificationsApp::restore(r)?),
+                other => {
+                    return Err(SnapError::Invalid(format!(
+                        "brass host: unknown application {other:?}"
+                    )))
+                }
+            };
+            host.instances.insert(
+                name.clone(),
+                Instance {
+                    app,
+                    counters,
+                    next_token,
+                    topic_refs,
+                },
+            );
+            prev_app = Some(name);
+        }
+        let nhost_refs = r.get_len()?;
+        let mut prev_topic: Option<Topic> = None;
+        for _ in 0..nhost_refs {
+            let t = Topic::restore(r)?;
+            if prev_topic.is_some_and(|p| p >= t) {
+                return Err(SnapError::Invalid(
+                    "brass host: host topic refs out of order".into(),
+                ));
+            }
+            prev_topic = Some(t);
+            let refs = r.get_u32()?;
+            if refs == 0 {
+                return Err(SnapError::Invalid("brass host: zero topic refcount".into()));
+            }
+            host.host_topic_refs.insert(t, refs);
+        }
+        let nstreams = r.get_len()?;
+        let mut prev_key: Option<StreamKey> = None;
+        for _ in 0..nstreams {
+            let device = DeviceId(r.get_u64()?);
+            let app_name = r.get_str()?.to_owned();
+            if !host.instances.contains_key(&app_name) {
+                return Err(SnapError::Invalid(
+                    "brass host: stream owned by absent instance".into(),
+                ));
+            }
+            let app = host.intern_app(&app_name);
+            let server = ServerStream::restore(r)?;
+            let key = StreamKey {
+                device,
+                sid: server.sid(),
+            };
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err(SnapError::Invalid(
+                    "brass host: streams out of order".into(),
+                ));
+            }
+            prev_key = Some(key);
+            host.streams.insert(key, StreamMeta { app, server });
+        }
+        host.counters = HostCounters {
+            spool_ups: r.get_u64()?,
+            streams_accepted: r.get_u64()?,
+            streams_rejected: r.get_u64()?,
+            dedup_subscribes: r.get_u64()?,
+        };
+        Ok(host)
+    }
 }
 
 #[cfg(test)]
@@ -1024,5 +1202,103 @@ mod tests {
         // Ack releases retained state (observable: no panic, stream intact).
         h.on_ack(DeviceId(1), StreamId(1), 0, SimTime::ZERO);
         assert_eq!(h.stream_count(), 1);
+    }
+
+    /// Builds a host with instances of several apps, live streams, pending
+    /// WAS fetches and timers — a state worth snapshotting.
+    fn busy_host() -> BrassHost {
+        let mut h = host();
+        for d in 1..=6u64 {
+            h.on_subscribe(
+                DeviceId(d),
+                StreamId(1),
+                lvc_header(40 + d % 3, d),
+                SimTime::ZERO,
+            );
+        }
+        h.on_pylon_event(&comment(41, 100, 0.95), SimTime::ZERO);
+        h.on_pylon_event(&comment(42, 101, 0.90), SimTime::ZERO);
+        let typing_header = Json::obj([
+            ("viewer", Json::from(9u64)),
+            (
+                "gql",
+                Json::from("subscription { typingIndicator(threadId: 5, counterpartyId: 6) }"),
+            ),
+        ]);
+        h.on_subscribe(DeviceId(7), StreamId(2), typing_header, SimTime::ZERO);
+        let msgr_header = Json::obj([
+            ("viewer", Json::from(8u64)),
+            ("gql", Json::from("subscription { mailbox(uid: 8) }")),
+        ]);
+        h.on_subscribe(DeviceId(8), StreamId(3), msgr_header, SimTime::ZERO);
+        h
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let h = busy_host();
+        let mut w = simkit::snap::SnapWriter::new();
+        h.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = simkit::snap::SnapReader::new(&bytes);
+        let restored = BrassHost::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        let mut w2 = simkit::snap::SnapWriter::new();
+        restored.snap(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "snap(restore(snap(h))) differs");
+        assert_eq!(restored.stream_count(), h.stream_count());
+        assert_eq!(restored.instance_count(), h.instance_count());
+        assert_eq!(restored.subscribed_topics(), h.subscribed_topics());
+        assert_eq!(restored.stream_keys(), h.stream_keys());
+    }
+
+    #[test]
+    fn restored_host_behaves_identically() {
+        let h = busy_host();
+        let mut w = simkit::snap::SnapWriter::new();
+        h.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = simkit::snap::SnapReader::new(&bytes);
+        let mut a = BrassHost::restore(&mut r).expect("restore");
+        let mut b = {
+            let mut r = simkit::snap::SnapReader::new(&bytes);
+            BrassHost::restore(&mut r).expect("restore")
+        };
+        drop(h);
+        // Drive both restored copies with the same inputs; every effect
+        // stream must match (Debug form covers frames, topics, tokens).
+        let now = SimTime::from_secs(2);
+        for (fa, fb) in [
+            (
+                a.on_pylon_event(&comment(41, 102, 0.99), now),
+                b.on_pylon_event(&comment(41, 102, 0.99), now),
+            ),
+            (a.on_timer("lvc", 0, now), b.on_timer("lvc", 0, now)),
+            (
+                a.on_cancel(DeviceId(2), StreamId(1), now),
+                b.on_cancel(DeviceId(2), StreamId(1), now),
+            ),
+            (
+                a.on_device_disconnected(DeviceId(3), now),
+                b.on_device_disconnected(DeviceId(3), now),
+            ),
+        ] {
+            assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+        }
+    }
+
+    #[test]
+    fn truncated_host_snapshot_fails_closed() {
+        let h = busy_host();
+        let mut w = simkit::snap::SnapWriter::new();
+        h.snap(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [1, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = simkit::snap::SnapReader::new(&bytes[..cut]);
+            assert!(
+                BrassHost::restore(&mut r).is_err() || r.finish().is_err(),
+                "truncation at {cut} must not produce a clean host"
+            );
+        }
     }
 }

@@ -651,6 +651,23 @@ fn parse_number_u64(input: &[u8], start: usize) -> Option<u64> {
     }
 }
 
+impl Json {
+    /// Serializes the value as its canonical compact text (the same
+    /// encoding [`PackedJson`] uses). `parse ∘ to_string` is the identity
+    /// for every value the system produces, so the text form doubles as
+    /// the snapshot serialization.
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        w.put_str(&self.to_string());
+    }
+
+    /// Restores a value from its canonical text form.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Json> {
+        let text = r.get_str()?;
+        Json::parse(&text)
+            .map_err(|e| simkit::snap::SnapError::Invalid(format!("Json snapshot: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,8 +14,26 @@
 
 use std::collections::HashMap;
 
+use simkit::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
+
 use crate::frame::{Delta, FlowStatus, Frame, Payload, StreamId, TerminateReason};
 use crate::json::{Json, PackedJson};
+
+/// Writes a packed header into a snapshot (canonical bytes).
+fn snap_packed(p: &PackedJson, w: &mut SnapWriter) {
+    w.put_bytes(p.as_bytes());
+}
+
+/// Reads a packed header back, fail-closed: the bytes must parse as JSON.
+/// Parsing then re-packing reproduces canonical bytes exactly, so a valid
+/// snapshot restores bit-identically.
+fn restore_packed(r: &mut SnapReader<'_>) -> SnapResult<PackedJson> {
+    let bytes = r.get_bytes()?;
+    let text =
+        std::str::from_utf8(&bytes).map_err(|_| SnapError::Invalid("header not UTF-8".into()))?;
+    let json = Json::parse(text).map_err(|_| SnapError::Invalid("header not valid JSON".into()))?;
+    Ok(PackedJson::pack(&json))
+}
 
 /// Lifecycle of a stream, as seen by the client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -426,6 +444,68 @@ impl ServerStream {
             })
             .collect()
     }
+
+    /// Writes this stream's complete state into a snapshot.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.sid.0);
+        snap_packed(&self.header, w);
+        w.put_u64(self.next_seq);
+        match self.acked_seq {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                w.put_u64(s);
+            }
+        }
+        w.put_usize(self.unacked.len());
+        for (seq, payload) in &self.unacked {
+            w.put_u64(*seq);
+            w.put_bytes(payload);
+        }
+        w.put_bool(self.retain);
+    }
+
+    /// Reads a stream back, rejecting snapshots that violate the retention
+    /// invariants (unacked seqs strictly ascending and below `next_seq`).
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let sid = StreamId(r.get_u64()?);
+        let header = restore_packed(r)?;
+        let next_seq = r.get_u64()?;
+        let acked_seq = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            _ => return Err(SnapError::Invalid("bad acked_seq tag".into())),
+        };
+        let n = r.get_len()?;
+        let mut unacked: Vec<(u64, Payload)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            if seq >= next_seq {
+                return Err(SnapError::Invalid("unacked seq beyond next_seq".into()));
+            }
+            if unacked.last().is_some_and(|(last, _)| *last >= seq) {
+                return Err(SnapError::Invalid(
+                    "unacked seqs not strictly ascending".into(),
+                ));
+            }
+            let payload: Payload = r.get_bytes()?.into();
+            unacked.push((seq, payload));
+        }
+        let retain = r.get_bool()?;
+        if !retain && !unacked.is_empty() {
+            return Err(SnapError::Invalid(
+                "unacked entries on !retain stream".into(),
+            ));
+        }
+        Ok(ServerStream {
+            sid,
+            header,
+            next_seq,
+            acked_seq,
+            unacked,
+            retain,
+        })
+    }
 }
 
 /// One proxy's stored state for a stream passing through it.
@@ -568,6 +648,63 @@ impl ProxyStreamTable {
         v
     }
 
+    /// Writes the table into a snapshot, entries in ascending `(conn, sid)`
+    /// order so the encoding is independent of hash-map iteration order.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        let mut keys: Vec<(u64, StreamId)> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for key in keys {
+            let entry = &self.entries[&key];
+            w.put_u64(key.0);
+            w.put_u64(key.1 .0);
+            snap_packed(&entry.header, w);
+            w.put_bytes(&entry.body);
+            match entry.upstream {
+                None => w.put_u8(0),
+                Some(u) => {
+                    w.put_u8(1);
+                    w.put_u64(u);
+                }
+            }
+            w.put_u64(entry.last_activity_us);
+        }
+    }
+
+    /// Reads a table back, rejecting duplicate or out-of-order keys.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let n = r.get_len()?;
+        let mut entries = HashMap::with_capacity(n);
+        let mut last: Option<(u64, StreamId)> = None;
+        for _ in 0..n {
+            let key = (r.get_u64()?, StreamId(r.get_u64()?));
+            if last.is_some_and(|l| l >= key) {
+                return Err(SnapError::Invalid(
+                    "proxy table keys not strictly ascending".into(),
+                ));
+            }
+            last = Some(key);
+            let header = restore_packed(r)?;
+            let body: Box<[u8]> = r.get_bytes()?.into();
+            let upstream = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64()?),
+                _ => return Err(SnapError::Invalid("bad upstream tag".into())),
+            };
+            let last_activity_us = r.get_u64()?;
+            entries.insert(
+                key,
+                ProxyEntry {
+                    header,
+                    body,
+                    upstream,
+                    last_activity_us,
+                },
+            );
+        }
+        Ok(ProxyStreamTable { entries })
+    }
+
     /// Re-routes a stream to a new upstream and returns the resubscribe
     /// frame built from the stored (last-rewritten) header.
     pub fn rebuild_subscribe(
@@ -599,6 +736,68 @@ mod tests {
 
     fn header() -> Json {
         Json::obj([("topic", Json::from("/LVC/1"))])
+    }
+
+    #[test]
+    fn server_stream_snapshot_roundtrip() {
+        let mut s = ServerStream::accept(StreamId(7), header(), true);
+        for i in 0..5u8 {
+            s.push(vec![i; 3]);
+        }
+        s.on_ack(1);
+        s.rewrite_progress();
+        let mut w = SnapWriter::new();
+        s.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = ServerStream::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored.sid(), s.sid());
+        assert_eq!(restored.next_seq(), s.next_seq());
+        assert_eq!(restored.header().to_string(), s.header().to_string());
+        assert_eq!(restored.unacked().len(), s.unacked().len());
+        for ((sa, pa), (sb, pb)) in restored.unacked().iter().zip(s.unacked()) {
+            assert_eq!(sa, sb);
+            assert_eq!(&pa[..], &pb[..]);
+        }
+        // The restored stream keeps numbering where the original left off.
+        let Delta::Update { seq, .. } = restored.push(vec![9]) else {
+            panic!("expected update");
+        };
+        assert_eq!(seq, s.next_seq());
+        // Truncation at every byte fails closed.
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(ServerStream::restore(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn proxy_table_snapshot_roundtrip() {
+        let mut t = ProxyStreamTable::new();
+        t.on_subscribe(2, StreamId(1), header(), vec![1, 2], Some(40), 100);
+        t.on_subscribe(1, StreamId(9), header(), vec![], None, 200);
+        t.on_subscribe(1, StreamId(3), header(), vec![7], Some(41), 300);
+        let mut w = SnapWriter::new();
+        t.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = ProxyStreamTable::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored.len(), 3);
+        for &(conn, sid) in &[(2, StreamId(1)), (1, StreamId(9)), (1, StreamId(3))] {
+            let a = t.get(conn, sid).unwrap();
+            let b = restored.get(conn, sid).unwrap();
+            assert_eq!(a.header.as_bytes(), b.header.as_bytes());
+            assert_eq!(a.body, b.body);
+            assert_eq!(a.upstream, b.upstream);
+            assert_eq!(a.last_activity_us, b.last_activity_us);
+        }
+        // Re-snapping the restored table yields identical bytes (the
+        // sorted-key encoding is canonical).
+        let mut w2 = SnapWriter::new();
+        restored.snap(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use simkit::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
+
 use crate::hash;
 use crate::kv::{merge_entries, KvNode, SubEntry};
 use crate::topic::Topic;
@@ -356,6 +358,111 @@ impl PylonCluster {
     /// unlike Kafka, supports dynamically created topics in the billions).
     pub fn topic_footprint(&self) -> usize {
         self.nodes.iter().map(|n| n.topic_count()).sum()
+    }
+
+    /// Writes the cluster's complete state into a snapshot.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.config.topic_shards);
+        w.put_u32(self.config.servers);
+        w.put_u32(self.config.kv_nodes);
+        w.put_usize(self.config.replicas);
+        w.put_usize(self.nodes.len());
+        for n in &self.nodes {
+            n.snap(w);
+        }
+        let mut shards: Vec<u32> = self.shard_overrides.keys().copied().collect();
+        shards.sort_unstable();
+        w.put_usize(shards.len());
+        for s in shards {
+            w.put_u32(s);
+            w.put_u32(self.shard_overrides[&s]);
+        }
+        w.put_usize(self.per_server_requests.len());
+        for &l in &self.per_server_requests {
+            w.put_u64(l);
+        }
+        w.put_u64(self.version_clock);
+        let c = &self.counters;
+        for v in [
+            c.subscribes,
+            c.unsubscribes,
+            c.quorum_failures,
+            c.publishes,
+            c.forwards,
+            c.repairs,
+            c.lost_publishes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Reads a cluster back, rejecting shapes `new` would refuse or that
+    /// disagree with their own config.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let config = PylonConfig {
+            topic_shards: r.get_u32()?,
+            servers: r.get_u32()?,
+            kv_nodes: r.get_u32()?,
+            replicas: r.get_usize()?,
+        };
+        if config.topic_shards == 0
+            || config.servers == 0
+            || config.kv_nodes == 0
+            || config.replicas == 0
+            || config.replicas > config.kv_nodes as usize
+        {
+            return Err(SnapError::Invalid("bad pylon config".into()));
+        }
+        let n = r.get_len()?;
+        if n != config.kv_nodes as usize {
+            return Err(SnapError::Invalid("kv node count != config".into()));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(KvNode::restore(r)?);
+        }
+        let n = r.get_len()?;
+        let mut shard_overrides = HashMap::with_capacity(n);
+        let mut last = None;
+        for _ in 0..n {
+            let shard = r.get_u32()?;
+            if last.is_some_and(|l| l >= shard) {
+                return Err(SnapError::Invalid("shard overrides not ascending".into()));
+            }
+            last = Some(shard);
+            let server = r.get_u32()?;
+            if shard >= config.topic_shards || server >= config.servers {
+                return Err(SnapError::Invalid("shard override out of range".into()));
+            }
+            shard_overrides.insert(shard, server);
+        }
+        let n = r.get_len()?;
+        if n != config.servers as usize {
+            return Err(SnapError::Invalid("server load count != config".into()));
+        }
+        let mut per_server_requests = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_server_requests.push(r.get_u64()?);
+        }
+        let version_clock = r.get_u64()?;
+        let counters = PylonCounters {
+            subscribes: r.get_u64()?,
+            unsubscribes: r.get_u64()?,
+            quorum_failures: r.get_u64()?,
+            publishes: r.get_u64()?,
+            forwards: r.get_u64()?,
+            repairs: r.get_u64()?,
+            lost_publishes: r.get_u64()?,
+        };
+        Ok(PylonCluster {
+            node_ids: (0..config.kv_nodes as u64).collect(),
+            nodes,
+            shard_overrides,
+            per_server_requests,
+            version_clock,
+            config,
+            counters,
+        })
     }
 }
 

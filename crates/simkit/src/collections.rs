@@ -127,6 +127,41 @@ impl<K: Ord, V> SortedVecMap<K, V> {
     }
 }
 
+impl<K, V> SortedVecMap<K, V>
+where
+    K: Ord + crate::snap::Snap,
+    V: crate::snap::Snap,
+{
+    /// Writes the map into a snapshot, entries in ascending key order
+    /// (which is also storage order — one of the type's invariants).
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_usize(self.entries.len());
+        for (k, v) in &self.entries {
+            k.snap(w);
+            v.snap(w);
+        }
+    }
+
+    /// Reads a map back, rejecting any snapshot whose keys are not
+    /// strictly ascending: accepting one would silently change iteration
+    /// order (and thus simulation behaviour) relative to the writer.
+    pub fn restore(r: &mut crate::snap::SnapReader<'_>) -> crate::snap::SnapResult<Self> {
+        let n = r.get_len()?;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = K::restore(r)?;
+            let v = V::restore(r)?;
+            if entries.last().is_some_and(|(last, _)| *last >= k) {
+                return Err(crate::snap::SnapError::Invalid(
+                    "SortedVecMap keys not strictly ascending".into(),
+                ));
+            }
+            entries.push((k, v));
+        }
+        Ok(SortedVecMap { entries })
+    }
+}
+
 impl<'a, K: Ord, V> IntoIterator for &'a SortedVecMap<K, V> {
     type Item = (&'a K, &'a V);
     type IntoIter = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (&'a K, &'a V)>;

@@ -25,6 +25,9 @@
 //!   seq)` order so results never depend on thread scheduling.
 //! * [`alloc`] — an opt-in counting global allocator so benches can report
 //!   live heap bytes (bytes-per-device) alongside coarse RSS.
+//! * [`snap`] — deterministic binary snapshots: a fail-closed, versioned,
+//!   checksummed encoding ([`snap::Snap`], [`snap::seal`]) plus the rolling
+//!   fingerprint ([`snap::Fp64`]) used to bisect diverging runs.
 //!
 //! All components in the workspace are written *sans-io*: they are pure
 //! state machines that consume inputs and emit outputs, and the simulation
@@ -52,6 +55,7 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod shard;
+pub mod snap;
 pub mod time;
 pub mod trace;
 

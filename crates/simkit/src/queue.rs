@@ -33,6 +33,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::fxhash::FxHashSet;
+use crate::snap::{Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 use crate::time::SimTime;
 
 /// Slots per wheel level (64, so occupancy fits one `u64` bitmap).
@@ -374,6 +375,158 @@ impl<E> EventQueue<E> {
         }
         self.overflow.peek().map(|e| e.at)
     }
+
+    /// The wheel placement `insert` would choose for `at_us` under `cursor`,
+    /// or `None` if the entry belongs in backfill/overflow instead.
+    fn placement(cursor: u64, at_us: u64) -> Option<(usize, usize)> {
+        if at_us < cursor {
+            return None;
+        }
+        let xor = at_us ^ cursor;
+        if xor >> HORIZON_BITS != 0 {
+            return None;
+        }
+        let level = if xor == 0 {
+            0
+        } else {
+            (63 - xor.leading_zeros() as usize) / SLOT_BITS
+        };
+        let slot = (at_us >> (SLOT_BITS * level)) as usize & (SLOTS - 1);
+        Some((level, slot))
+    }
+}
+
+impl<E: Snap> EventQueue<E> {
+    /// Writes the queue's complete structure: clock, cursor, live-seq set,
+    /// both heaps (as `(time, seq)`-sorted vectors), and every wheel slot
+    /// verbatim — including entries whose seq was cancelled (tombstones),
+    /// because their storage position feeds `peek_time`'s conservative
+    /// bound and thus window partitioning.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now.as_micros());
+        w.put_u64(self.cursor);
+        w.put_u64(self.next_seq);
+        let mut pending: Vec<u64> = self.pending.iter().copied().collect();
+        pending.sort_unstable();
+        pending.snap(w);
+        for heap in [&self.backfill, &self.overflow] {
+            let mut entries: Vec<&Entry<E>> = heap.iter().collect();
+            entries.sort_by_key(|e| (e.at, e.seq));
+            w.put_usize(entries.len());
+            for e in entries {
+                e.at.snap(w);
+                w.put_u64(e.seq);
+                e.event.snap(w);
+            }
+        }
+        for slot in &self.slots {
+            w.put_usize(slot.len());
+            for e in slot {
+                e.at.snap(w);
+                w.put_u64(e.seq);
+                e.event.snap(w);
+            }
+        }
+    }
+
+    /// Rebuilds a queue written by [`snap`](Self::snap), validating the
+    /// structural invariants the wheel relies on: heap vectors strictly
+    /// ascending in `(time, seq)`, every wheel entry stored exactly where
+    /// `insert` would place it under the restored cursor, seqs unique and
+    /// below `next_seq`, and the live-seq set a subset of stored entries.
+    /// Any violation is a clean error, never a partial queue.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let now = SimTime::restore(r)?;
+        let cursor = r.get_u64()?;
+        let next_seq = r.get_u64()?;
+        let pending_vec = Vec::<u64>::restore(r)?;
+        let mut pending = FxHashSet::default();
+        for s in &pending_vec {
+            if !pending.insert(*s) {
+                return Err(SnapError::Invalid("duplicate pending seq".into()));
+            }
+        }
+
+        let mut seen = FxHashSet::default();
+        let read_entry = |r: &mut SnapReader<'_>, seen: &mut FxHashSet<u64>| {
+            let at = SimTime::restore(r)?;
+            let seq = r.get_u64()?;
+            let event = E::restore(r)?;
+            if seq >= next_seq {
+                return Err(SnapError::Invalid(format!("seq {seq} >= next_seq")));
+            }
+            if !seen.insert(seq) {
+                return Err(SnapError::Invalid(format!("duplicate stored seq {seq}")));
+            }
+            Ok(Entry { at, seq, event })
+        };
+
+        let mut backfill = BinaryHeap::new();
+        let mut overflow = BinaryHeap::new();
+        for (which, heap) in [&mut backfill, &mut overflow].into_iter().enumerate() {
+            let n = r.get_len()?;
+            let mut last: Option<(SimTime, u64)> = None;
+            for _ in 0..n {
+                let e = read_entry(r, &mut seen)?;
+                if last.is_some_and(|l| l >= (e.at, e.seq)) {
+                    return Err(SnapError::Invalid("heap entries not ascending".into()));
+                }
+                last = Some((e.at, e.seq));
+                let at_us = e.at.as_micros();
+                let ok = if which == 0 {
+                    at_us < cursor
+                } else {
+                    at_us >= cursor && (at_us ^ cursor) >> HORIZON_BITS != 0
+                };
+                if !ok {
+                    return Err(SnapError::Invalid(format!(
+                        "heap entry at {at_us}µs inconsistent with cursor {cursor}"
+                    )));
+                }
+                heap.push(e);
+            }
+        }
+
+        let mut slots: Vec<VecDeque<Entry<E>>> =
+            (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect();
+        let mut occupancy = [0u64; LEVELS];
+        for (i, slot_q) in slots.iter_mut().enumerate() {
+            let n = r.get_len()?;
+            let (level, slot) = (i / SLOTS, i % SLOTS);
+            for _ in 0..n {
+                let e = read_entry(r, &mut seen)?;
+                if Self::placement(cursor, e.at.as_micros()) != Some((level, slot)) {
+                    return Err(SnapError::Invalid(format!(
+                        "wheel entry at {}µs misplaced in level {level} slot {slot}",
+                        e.at.as_micros()
+                    )));
+                }
+                slot_q.push_back(e);
+            }
+            if !slot_q.is_empty() {
+                occupancy[level] |= 1u64 << slot;
+            }
+        }
+
+        for s in &pending_vec {
+            if !seen.contains(s) {
+                return Err(SnapError::Invalid(format!(
+                    "pending seq {s} has no stored entry"
+                )));
+            }
+        }
+
+        Ok(EventQueue {
+            slots,
+            occupancy,
+            cursor,
+            backfill,
+            overflow,
+            next_seq,
+            pending,
+            now,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +797,91 @@ mod tests {
             got.push((t.as_micros(), v));
         }
         assert_eq!(got, expect);
+    }
+
+    /// Snapshots a queue mid-flight, restores it, and checks both copies
+    /// pop identically to the end — the core resume guarantee.
+    fn assert_snapshot_transparent(q: &mut EventQueue<u64>) {
+        let mut w = SnapWriter::new();
+        q.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = EventQueue::<u64>::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.now(), q.now());
+        assert_eq!(restored.peek_time(), q.peek_time());
+        loop {
+            let a = q.pop();
+            let b = restored.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_pop_order_with_overflow_and_tombstones() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::DetRng::new(0x5AFE);
+        let mut ids = Vec::new();
+        for i in 0..5_000u64 {
+            let at = match rng.below(10) {
+                0..=6 => rng.below(1 << 20),
+                7..=8 => rng.below(1 << 34),
+                _ => (1 << HORIZON_BITS) + rng.below(1 << 38),
+            };
+            ids.push(q.schedule(SimTime::from_micros(at), i));
+        }
+        // Cancel a quarter so tombstones sit in the wheel and heaps.
+        for (k, id) in ids.iter().enumerate() {
+            if k % 4 == 0 {
+                q.cancel(*id);
+            }
+        }
+        // Drain partway so cursor, backfill, and promotion state are all
+        // non-trivial at snapshot time.
+        for _ in 0..1_500 {
+            q.pop();
+        }
+        q.schedule(SimTime::from_micros(q.now().as_micros() + 3), 999_999);
+        assert_snapshot_transparent(&mut q);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_empty_and_pathological_cursors() {
+        // Empty queue.
+        let mut q: EventQueue<u64> = EventQueue::new();
+        assert_snapshot_transparent(&mut q);
+        // Cursor parked just below the horizon seam with straddling events.
+        let seam = 1u64 << HORIZON_BITS;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(seam - 2), 0u64);
+        q.pop();
+        for (i, at) in [seam - 1, seam, seam + 1, 3 * seam].into_iter().enumerate() {
+            q.schedule(SimTime::from_micros(at), i as u64 + 1);
+        }
+        assert_snapshot_transparent(&mut q);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corruption() {
+        let mut q = EventQueue::new();
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_micros(i * 7), i);
+        }
+        let c = q.schedule(SimTime::from_micros(999), 999);
+        q.cancel(c);
+        let mut w = SnapWriter::new();
+        q.snap(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation at every byte must error, never panic or half-build.
+        for n in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..n]);
+            let res = EventQueue::<u64>::restore(&mut r).and_then(|_| r.finish());
+            assert!(res.is_err(), "accepted {n}-byte prefix");
+        }
     }
 
     /// Randomised differential across the horizon seam: events scattered

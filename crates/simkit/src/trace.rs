@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::metrics::{Histogram, Summary};
+use crate::snap::{Fp64, Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of one traced update. The simulation assigns these at write
@@ -70,6 +71,35 @@ pub enum Hop {
 }
 
 impl Hop {
+    /// Stable numeric tag, used by snapshots and fingerprints. Never
+    /// reorder these; append only.
+    fn tag(self) -> u8 {
+        match self {
+            Hop::TaoCommit => 0,
+            Hop::PylonPublish => 1,
+            Hop::PylonDeliver => 2,
+            Hop::BrassProcess => 3,
+            Hop::BrassSend => 4,
+            Hop::BurstDeliver => 5,
+            Hop::DeviceRender => 6,
+            Hop::WasBackfill => 7,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Hop> {
+        Some(match t {
+            0 => Hop::TaoCommit,
+            1 => Hop::PylonPublish,
+            2 => Hop::PylonDeliver,
+            3 => Hop::BrassProcess,
+            4 => Hop::BrassSend,
+            5 => Hop::BurstDeliver,
+            6 => Hop::DeviceRender,
+            7 => Hop::WasBackfill,
+            _ => return None,
+        })
+    }
+
     /// Short stable name, used in tables and dumps.
     pub fn name(self) -> &'static str {
         match self {
@@ -127,6 +157,45 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// Stable numeric tag, used by snapshots and fingerprints. Never
+    /// reorder these; append only.
+    fn tag(self) -> u8 {
+        match self {
+            DropReason::LanguageFilter => 0,
+            DropReason::QualityFilter => 1,
+            DropReason::Stale => 2,
+            DropReason::PrivacyBlock => 3,
+            DropReason::RateLimit => 4,
+            DropReason::BufferOverflow => 5,
+            DropReason::NotFound => 6,
+            DropReason::NoSubscribers => 7,
+            DropReason::DeviceDisconnected => 8,
+            DropReason::LastMileLoss => 9,
+            DropReason::HostDown => 10,
+            DropReason::MailboxOverflow => 11,
+            DropReason::FlowControl => 12,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<DropReason> {
+        Some(match t {
+            0 => DropReason::LanguageFilter,
+            1 => DropReason::QualityFilter,
+            2 => DropReason::Stale,
+            3 => DropReason::PrivacyBlock,
+            4 => DropReason::RateLimit,
+            5 => DropReason::BufferOverflow,
+            6 => DropReason::NotFound,
+            7 => DropReason::NoSubscribers,
+            8 => DropReason::DeviceDisconnected,
+            9 => DropReason::LastMileLoss,
+            10 => DropReason::HostDown,
+            11 => DropReason::MailboxOverflow,
+            12 => DropReason::FlowControl,
+            _ => return None,
+        })
+    }
+
     /// Short stable name, used in tables and dumps.
     pub fn name(self) -> &'static str {
         match self {
@@ -196,6 +265,82 @@ impl fmt::Display for HopRecord {
     }
 }
 
+impl Snap for TraceId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(TraceId(r.get_u64()?))
+    }
+}
+
+impl Snap for Hop {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(self.tag());
+    }
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let t = r.get_u8()?;
+        Hop::from_tag(t).ok_or_else(|| SnapError::Invalid(format!("hop tag {t}")))
+    }
+}
+
+impl Snap for DropReason {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(self.tag());
+    }
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let t = r.get_u8()?;
+        DropReason::from_tag(t).ok_or_else(|| SnapError::Invalid(format!("drop-reason tag {t}")))
+    }
+}
+
+impl HopOutcome {
+    /// Compact code for fingerprinting: 0 for [`HopOutcome::Ok`],
+    /// `1 + reason` for a drop.
+    fn code(self) -> u64 {
+        match self {
+            HopOutcome::Ok => 0,
+            HopOutcome::Dropped(r) => 1 + r.tag() as u64,
+        }
+    }
+}
+
+impl Snap for HopOutcome {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            HopOutcome::Ok => w.put_u8(0),
+            HopOutcome::Dropped(r) => {
+                w.put_u8(1);
+                r.snap(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(HopOutcome::Ok),
+            1 => Ok(HopOutcome::Dropped(DropReason::restore(r)?)),
+            t => Err(SnapError::Invalid(format!("hop-outcome tag {t}"))),
+        }
+    }
+}
+
+impl Snap for HopRecord {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.trace_id.snap(w);
+        self.hop.snap(w);
+        self.at.snap(w);
+        self.outcome.snap(w);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(HopRecord {
+            trace_id: TraceId::restore(r)?,
+            hop: Hop::restore(r)?,
+            at: SimTime::restore(r)?,
+            outcome: HopOutcome::restore(r)?,
+        })
+    }
+}
+
 /// How much raw record history a [`TraceLedger`] keeps.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Retention {
@@ -260,6 +405,11 @@ pub struct TraceLedger {
     e2e: Histogram,
     /// Total successful renders (first per trace), both modes.
     delivered_count: u64,
+    /// Rolling hash over every record as it is appended. Because it folds
+    /// records in at [`Self::record`] time, its value is independent of
+    /// retention: a bounded ledger that evicted everything still carries
+    /// the same fingerprint as a full one fed the same history.
+    fp: Fp64,
 }
 
 impl TraceLedger {
@@ -290,6 +440,9 @@ impl TraceLedger {
     /// time since the trace's previous record) and, on a
     /// [`Hop::DeviceRender`] success, the delivery accounting.
     pub fn record(&mut self, trace_id: TraceId, hop: Hop, at: SimTime, outcome: HopOutcome) {
+        self.fp.mix_u64(trace_id.0);
+        self.fp.mix_u64(at.as_micros());
+        self.fp.mix_u64(((hop.tag() as u64) << 8) | outcome.code());
         if let Some(st) = self.states.get(&trace_id) {
             self.hop_latency
                 .entry(hop)
@@ -474,6 +627,124 @@ impl TraceLedger {
     /// Total drop records across all hops.
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// The rolling ledger fingerprint: a hash of every record ever
+    /// appended, in order, regardless of retention mode. Two ledgers have
+    /// equal fingerprints iff they were fed the same record history.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp.value()
+    }
+
+    /// Writes the ledger's complete state, including accounting maps,
+    /// latency histograms, and the rolling fingerprint.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        match self.retention {
+            Retention::Full => w.put_u8(0),
+            Retention::Bounded(cap) => {
+                w.put_u8(1);
+                w.put_usize(cap);
+            }
+        }
+        self.records.snap(w);
+        // `by_trace` is derived from `records` and rebuilt on restore.
+        let mut recent: Vec<&HopRecord> = self.recent.iter().collect();
+        w.put_usize(recent.len());
+        for rec in recent.drain(..) {
+            rec.snap(w);
+        }
+        let mut states: Vec<(&TraceId, &TraceState)> = self.states.iter().collect();
+        states.sort_by_key(|(t, _)| **t);
+        w.put_usize(states.len());
+        for (t, st) in states {
+            t.snap(w);
+            st.first_at.snap(w);
+            st.last_at.snap(w);
+            w.put_bool(st.delivered);
+            w.put_bool(st.backfilled);
+            st.first_drop.snap(w);
+        }
+        w.put_usize(self.hop_latency.len());
+        for (hop, h) in &self.hop_latency {
+            hop.snap(w);
+            h.snap(w);
+        }
+        self.drops.snap(w);
+        self.delivered.snap(w);
+        self.e2e.snap(w);
+        w.put_u64(self.delivered_count);
+        w.put_u64(self.fp.value());
+    }
+
+    /// Rebuilds a ledger written by [`snap`](Self::snap). The per-trace
+    /// record index is reconstructed from the record list; a bounded ring
+    /// longer than its cap is rejected.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let retention = match r.get_u8()? {
+            0 => Retention::Full,
+            1 => Retention::Bounded(r.get_usize()?),
+            t => return Err(SnapError::Invalid(format!("retention tag {t}"))),
+        };
+        let records = Vec::<HopRecord>::restore(r)?;
+        let mut by_trace: HashMap<TraceId, Vec<u32>> = HashMap::new();
+        for (i, rec) in records.iter().enumerate() {
+            by_trace.entry(rec.trace_id).or_default().push(i as u32);
+        }
+        let recent = VecDeque::<HopRecord>::restore(r)?;
+        match retention {
+            Retention::Full if !recent.is_empty() => {
+                return Err(SnapError::Invalid("full ledger has a recent ring".into()));
+            }
+            Retention::Bounded(cap) if recent.len() > cap => {
+                return Err(SnapError::Invalid(format!(
+                    "ring of {} exceeds cap {cap}",
+                    recent.len()
+                )));
+            }
+            _ => {}
+        }
+        let n = r.get_len()?;
+        let mut states = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let t = TraceId::restore(r)?;
+            let st = TraceState {
+                first_at: SimTime::restore(r)?,
+                last_at: SimTime::restore(r)?,
+                delivered: r.get_bool()?,
+                backfilled: r.get_bool()?,
+                first_drop: Option::<(Hop, DropReason)>::restore(r)?,
+            };
+            if states.insert(t, st).is_some() {
+                return Err(SnapError::Invalid("duplicate trace state".into()));
+            }
+        }
+        let n = r.get_len()?;
+        let mut hop_latency = BTreeMap::new();
+        for _ in 0..n {
+            let hop = Hop::restore(r)?;
+            let h = Histogram::restore(r)?;
+            if hop_latency.insert(hop, h).is_some() {
+                return Err(SnapError::Invalid("duplicate hop histogram".into()));
+            }
+        }
+        let drops = BTreeMap::<(Hop, DropReason), u64>::restore(r)?;
+        let delivered = Vec::<(TraceId, SimDuration)>::restore(r)?;
+        let e2e = Histogram::restore(r)?;
+        let delivered_count = r.get_u64()?;
+        let fp = Fp64::from_value(r.get_u64()?);
+        Ok(TraceLedger {
+            retention,
+            records,
+            by_trace,
+            recent,
+            states,
+            hop_latency,
+            drops,
+            delivered,
+            e2e,
+            delivered_count,
+            fp,
+        })
     }
 
     /// Renders one trace's chain as text (for `trace-dump` and debugging).
@@ -725,6 +996,86 @@ mod tests {
         assert_eq!(bounded.recent_records().count(), 4);
         let last = bounded.recent_records().last().unwrap();
         assert_eq!(last.trace_id, TraceId(9));
+    }
+
+    /// Satellite: the rolling fingerprint must not depend on retention —
+    /// a bounded ring that wrapped many times still hashes every record it
+    /// ever saw, identically to a full ledger.
+    #[test]
+    fn fingerprint_identical_bounded_vs_full_across_ring_wrap() {
+        let mut full = TraceLedger::new();
+        let mut bounded = TraceLedger::bounded(3); // wraps dozens of times
+        for l in [&mut full, &mut bounded] {
+            for id in 0..100u64 {
+                let t = TraceId(id);
+                l.record(t, Hop::TaoCommit, ms(id), HopOutcome::Ok);
+                l.record(t, Hop::PylonPublish, ms(id + 1), HopOutcome::Ok);
+                if id % 4 == 0 {
+                    l.record(
+                        t,
+                        Hop::BrassProcess,
+                        ms(id + 2),
+                        HopOutcome::Dropped(DropReason::QualityFilter),
+                    );
+                } else {
+                    l.record(t, Hop::DeviceRender, ms(id + 3), HopOutcome::Ok);
+                }
+            }
+        }
+        assert_eq!(bounded.recent_records().count(), 3);
+        assert_eq!(full.fingerprint(), bounded.fingerprint());
+        // And the fingerprint is history-sensitive, not just a count.
+        let mut other = TraceLedger::new();
+        for id in 0..100u64 {
+            let t = TraceId(id);
+            other.record(t, Hop::TaoCommit, ms(id), HopOutcome::Ok);
+            other.record(t, Hop::PylonPublish, ms(id + 1), HopOutcome::Ok);
+            other.record(t, Hop::DeviceRender, ms(id + 3), HopOutcome::Ok);
+        }
+        assert_ne!(full.fingerprint(), other.fingerprint());
+    }
+
+    /// Snapshot round-trip in both retention modes: the restored ledger
+    /// compares equal, answers queries identically, and keeps producing
+    /// the same fingerprint stream as the original when both are fed
+    /// identical further records.
+    #[test]
+    fn snapshot_roundtrip_both_retentions() {
+        for retention in [Retention::Full, Retention::Bounded(5)] {
+            let mut l = TraceLedger::with_retention(retention);
+            for id in 0..20u64 {
+                let t = TraceId(id);
+                l.record(t, Hop::TaoCommit, ms(id), HopOutcome::Ok);
+                if id % 3 == 0 {
+                    l.record(
+                        t,
+                        Hop::BurstDeliver,
+                        ms(id + 5),
+                        HopOutcome::Dropped(DropReason::LastMileLoss),
+                    );
+                } else {
+                    l.record(t, Hop::DeviceRender, ms(id + 7), HopOutcome::Ok);
+                }
+            }
+            let mut w = crate::snap::SnapWriter::new();
+            l.snap(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = crate::snap::SnapReader::new(&bytes);
+            let mut restored = TraceLedger::restore(&mut r).expect("restore");
+            r.finish().expect("no trailing bytes");
+            assert_eq!(restored, l);
+            assert_eq!(restored.fingerprint(), l.fingerprint());
+            l.record(TraceId(999), Hop::TaoCommit, ms(500), HopOutcome::Ok);
+            restored.record(TraceId(999), Hop::TaoCommit, ms(500), HopOutcome::Ok);
+            assert_eq!(restored.fingerprint(), l.fingerprint());
+            // Truncation never yields a partial ledger.
+            for n in 0..bytes.len() {
+                let mut r = crate::snap::SnapReader::new(&bytes[..n]);
+                assert!(TraceLedger::restore(&mut r)
+                    .and_then(|_| r.finish())
+                    .is_err());
+            }
+        }
     }
 
     #[test]

@@ -211,6 +211,44 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn invalidate(&mut self, key: &K) -> bool {
         self.remove(key).is_some()
     }
+
+    /// The eviction bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries in recency order, most-recently-used first. This is the
+    /// cache's canonical serialization order: it captures exactly the state
+    /// that determines future evictions.
+    pub fn iter_recency(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut idx = self.head;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let slot = &self.slots[idx];
+            idx = slot.next;
+            Some((&slot.key, slot.value.as_ref().expect("live slot has value")))
+        })
+    }
+
+    /// Rebuilds a cache from entries in most-recently-used-first order plus
+    /// the hit/miss statistics. The rebuilt cache evicts in exactly the same
+    /// order the original would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `entries.len() > capacity`.
+    pub fn from_recency(capacity: usize, entries: Vec<(K, V)>, hits: u64, misses: u64) -> Self {
+        assert!(entries.len() <= capacity, "more entries than capacity");
+        let mut cache = LruCache::new(capacity);
+        for (k, v) in entries.into_iter().rev() {
+            cache.insert(k, v);
+        }
+        cache.hits = hits;
+        cache.misses = misses;
+        cache
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! remote regions after a cross-region delay — which is exactly the window
 //! in which remote followers serve stale data, as in the real system.
 
+use simkit::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
+
 use crate::cost::{CostCounters, QueryCost};
 use crate::lru::LruCache;
 use crate::shard::Shard;
@@ -75,6 +77,43 @@ pub struct ReplicationEvent {
     pub object: ObjectId,
     /// If the mutation touched an association list, its `(id1, atype)`.
     pub assoc_head: Option<(ObjectId, String)>,
+}
+
+impl ReplicationEvent {
+    /// Serializes the replication event (it rides inside queued simulator
+    /// events, so it must round-trip through snapshots).
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u16(self.region);
+        w.put_u64(self.object.0);
+        match &self.assoc_head {
+            Some((id1, atype)) => {
+                w.put_u8(1);
+                w.put_u64(id1.0);
+                w.put_str(atype);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Restores a replication event.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<ReplicationEvent> {
+        let region = r.get_u16()?;
+        let object = ObjectId(r.get_u64()?);
+        let assoc_head = match r.get_u8()? {
+            0 => None,
+            1 => Some((ObjectId(r.get_u64()?), r.get_str()?)),
+            t => {
+                return Err(SnapError::Invalid(format!(
+                    "ReplicationEvent assoc tag {t}"
+                )))
+            }
+        };
+        Ok(ReplicationEvent {
+            region,
+            object,
+            assoc_head,
+        })
+    }
 }
 
 struct RegionTier {
@@ -517,6 +556,195 @@ impl Tao {
         let n = all.len();
         self.regions[region as usize].counters.record(cost, n);
         (all, cost)
+    }
+
+    /// Writes the store's complete state into a snapshot: config, intern
+    /// tables (in intern order), leader shards, and each region's follower
+    /// cache in recency order plus its cost counters.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.config.shards);
+        w.put_u16(self.config.regions);
+        w.put_usize(self.config.cache_capacity);
+        w.put_usize(self.otypes.len());
+        for t in &self.otypes {
+            w.put_str(t);
+        }
+        w.put_usize(self.keys.len());
+        for k in &self.keys {
+            w.put_str(k);
+        }
+        for shard in &self.shards {
+            shard.snap(w);
+        }
+        for tier in &self.regions {
+            w.put_usize(tier.cache.len());
+            for (key, val) in tier.cache.iter_recency() {
+                match key {
+                    CacheKey::Obj(id) => {
+                        w.put_u8(0);
+                        w.put_u64(id.0);
+                    }
+                    CacheKey::AssocHead(id, atype) => {
+                        w.put_u8(1);
+                        w.put_u64(id.0);
+                        w.put_str(atype);
+                    }
+                }
+                match val {
+                    CacheVal::Obj(obj) => {
+                        w.put_u8(0);
+                        obj.snap(w);
+                    }
+                    CacheVal::AssocHead(head) => {
+                        w.put_u8(1);
+                        w.put_usize(head.len());
+                        for a in head {
+                            a.snap(w);
+                        }
+                    }
+                }
+            }
+            w.put_u64(tier.cache.hits());
+            w.put_u64(tier.cache.misses());
+            let c = &tier.counters;
+            w.put_u64(c.ops);
+            w.put_u64(c.empty_ops);
+            for v in [
+                c.total.shards_touched,
+                c.total.rows_read,
+                c.total.rows_written,
+                c.total.cache_hits,
+                c.total.cache_misses,
+                c.total.cpu_us,
+            ] {
+                w.put_u64(v);
+            }
+        }
+        w.put_u64(self.next_id);
+    }
+
+    /// Reads a store back. Every restored `otype` and payload key is
+    /// re-pointed at the restored intern tables, reproducing the sharing
+    /// the live store maintains; strings absent from the tables are a
+    /// corruption signal and fail the restore.
+    pub fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        let config = TaoConfig {
+            shards: r.get_u32()?,
+            regions: r.get_u16()?,
+            cache_capacity: r.get_usize()?,
+        };
+        if config.shards == 0 || config.regions == 0 || config.cache_capacity == 0 {
+            return Err(SnapError::Invalid("bad tao config".into()));
+        }
+        let n = r.get_len()?;
+        let mut otypes: Vec<std::sync::Arc<str>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.get_str()?;
+            if otypes.iter().any(|t| t.as_ref() == s) {
+                return Err(SnapError::Invalid("duplicate interned otype".into()));
+            }
+            otypes.push(s.into());
+        }
+        let n = r.get_len()?;
+        let mut keys: Vec<std::sync::Arc<str>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.get_str()?;
+            if keys.iter().any(|t| t.as_ref() == s) {
+                return Err(SnapError::Invalid("duplicate interned key".into()));
+            }
+            keys.push(s.into());
+        }
+        let reintern = |table: &[std::sync::Arc<str>],
+                        s: &str,
+                        what: &str|
+         -> SnapResult<std::sync::Arc<str>> {
+            table
+                .iter()
+                .find(|t| ***t == *s)
+                .cloned()
+                .ok_or_else(|| SnapError::Invalid(format!("{what} {s:?} not in intern table")))
+        };
+        let reintern_data = |data: &mut Data| -> SnapResult<()> {
+            for (k, _) in data.iter_mut() {
+                *k = reintern(&keys, k, "payload key")?;
+            }
+            Ok(())
+        };
+        let mut shards = Vec::with_capacity(config.shards as usize);
+        for _ in 0..config.shards {
+            let mut shard = Shard::restore(r)?;
+            for obj in shard.objects_mut() {
+                obj.otype = reintern(&otypes, &obj.otype, "otype")?;
+                reintern_data(&mut obj.data)?;
+            }
+            for a in shard.assocs_mut() {
+                reintern_data(&mut a.data)?;
+            }
+            shards.push(shard);
+        }
+        let mut regions = Vec::with_capacity(config.regions as usize);
+        for _ in 0..config.regions {
+            let n = r.get_len()?;
+            if n > config.cache_capacity {
+                return Err(SnapError::Invalid("cache entries exceed capacity".into()));
+            }
+            let mut entries: Vec<(CacheKey, CacheVal)> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = match r.get_u8()? {
+                    0 => CacheKey::Obj(ObjectId(r.get_u64()?)),
+                    1 => CacheKey::AssocHead(ObjectId(r.get_u64()?), r.get_str()?),
+                    _ => return Err(SnapError::Invalid("bad cache key tag".into())),
+                };
+                if entries.iter().any(|(k, _)| *k == key) {
+                    return Err(SnapError::Invalid("duplicate cache key".into()));
+                }
+                let val = match r.get_u8()? {
+                    0 => {
+                        let mut obj = Object::restore(r)?;
+                        obj.otype = reintern(&otypes, &obj.otype, "otype")?;
+                        reintern_data(&mut obj.data)?;
+                        CacheVal::Obj(obj)
+                    }
+                    1 => {
+                        let m = r.get_len()?;
+                        let mut head = Vec::with_capacity(m);
+                        for _ in 0..m {
+                            let mut a = Assoc::restore(r)?;
+                            reintern_data(&mut a.data)?;
+                            head.push(a);
+                        }
+                        CacheVal::AssocHead(head)
+                    }
+                    _ => return Err(SnapError::Invalid("bad cache value tag".into())),
+                };
+                entries.push((key, val));
+            }
+            let hits = r.get_u64()?;
+            let misses = r.get_u64()?;
+            let cache = LruCache::from_recency(config.cache_capacity, entries, hits, misses);
+            let counters = CostCounters {
+                ops: r.get_u64()?,
+                empty_ops: r.get_u64()?,
+                total: QueryCost {
+                    shards_touched: r.get_u64()?,
+                    rows_read: r.get_u64()?,
+                    rows_written: r.get_u64()?,
+                    cache_hits: r.get_u64()?,
+                    cache_misses: r.get_u64()?,
+                    cpu_us: r.get_u64()?,
+                },
+            };
+            regions.push(RegionTier { cache, counters });
+        }
+        let next_id = r.get_u64()?;
+        Ok(Tao {
+            config,
+            shards,
+            regions,
+            next_id,
+            otypes,
+            keys,
+        })
     }
 }
 

@@ -255,6 +255,79 @@ impl WebApplicationServer {
         id
     }
 
+    /// Writes the WAS's complete state into a snapshot: the TAO store, the
+    /// event-id counter, mailbox sequence counters, hot-video policies, and
+    /// the aggregate counters. Maps go out in sorted key order.
+    pub fn snap(&self, w: &mut simkit::snap::SnapWriter) {
+        self.tao.snap(w);
+        w.put_u64(self.next_event_id);
+        simkit::snap::snap_map(&self.mailbox_seq, w);
+        let mut videos: Vec<u64> = self.hot_videos.keys().copied().collect();
+        videos.sort_unstable();
+        w.put_usize(videos.len());
+        for v in videos {
+            let p = &self.hot_videos[&v];
+            w.put_u64(v);
+            w.put_f64(p.discard_below);
+            w.put_f64(p.headline_at);
+        }
+        w.put_u64(self.counters.queries);
+        w.put_u64(self.counters.mutations);
+        w.put_u64(self.counters.events_published);
+        w.put_u64(self.counters.preranked_discards);
+        w.put_u64(self.counters.brass_fetches);
+        w.put_u64(self.counters.privacy_denials);
+    }
+
+    /// Reads a WAS back, rejecting snapshots with unsorted keys or
+    /// non-finite ranking thresholds.
+    pub fn restore(r: &mut simkit::snap::SnapReader<'_>) -> simkit::snap::SnapResult<Self> {
+        use simkit::snap::SnapError;
+        let tao = Tao::restore(r)?;
+        let next_event_id = r.get_u64()?;
+        if next_event_id == 0 {
+            return Err(SnapError::Invalid("was: zero event-id counter".into()));
+        }
+        let mailbox_seq = simkit::snap::restore_map(r)?;
+        let nhot = r.get_len()?;
+        let mut hot_videos: HashMap<u64, HotVideoPolicy> = HashMap::with_capacity(nhot);
+        let mut prev: Option<u64> = None;
+        for _ in 0..nhot {
+            let v = r.get_u64()?;
+            if prev.is_some_and(|p| p >= v) {
+                return Err(SnapError::Invalid("was: hot videos out of order".into()));
+            }
+            prev = Some(v);
+            let discard_below = r.get_f64()?;
+            let headline_at = r.get_f64()?;
+            if !discard_below.is_finite() || !headline_at.is_finite() {
+                return Err(SnapError::Invalid("was: non-finite hot policy".into()));
+            }
+            hot_videos.insert(
+                v,
+                HotVideoPolicy {
+                    discard_below,
+                    headline_at,
+                },
+            );
+        }
+        let counters = WasCounters {
+            queries: r.get_u64()?,
+            mutations: r.get_u64()?,
+            events_published: r.get_u64()?,
+            preranked_discards: r.get_u64()?,
+            brass_fetches: r.get_u64()?,
+            privacy_denials: r.get_u64()?,
+        };
+        Ok(WebApplicationServer {
+            tao,
+            next_event_id,
+            mailbox_seq,
+            hot_videos,
+            counters,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Setup helpers (fixtures used by workloads, examples, and tests).
     // ------------------------------------------------------------------
@@ -1002,6 +1075,52 @@ mod tests {
 
     fn was() -> WebApplicationServer {
         WebApplicationServer::new(Tao::new(TaoConfig::small()))
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut w = was();
+        let v = w.create_video("eclipse");
+        let u = w.create_user("ada", "en");
+        w.set_verified(u);
+        w.set_video_hot(
+            v,
+            Some(HotVideoPolicy {
+                discard_below: 0.3,
+                headline_at: 0.8,
+            }),
+        );
+        w.execute_mutation(
+            &format!(
+                r#"mutation {{ postComment(videoId: {v}, authorId: {u}, text: "hello") {{ id }} }}"#
+            ),
+            1_000,
+        )
+        .unwrap();
+        w.execute_query(
+            0,
+            &format!("{{ video(id: {v}) {{ comments(first: 5) {{ text }} }} }}"),
+        )
+        .unwrap();
+        let mut sw = simkit::snap::SnapWriter::new();
+        w.snap(&mut sw);
+        let bytes = sw.into_bytes();
+        let mut r = simkit::snap::SnapReader::new(&bytes);
+        let restored = WebApplicationServer::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        let mut sw2 = simkit::snap::SnapWriter::new();
+        restored.snap(&mut sw2);
+        assert_eq!(bytes, sw2.into_bytes(), "snap(restore(snap(w))) differs");
+        assert_eq!(restored.counters().mutations, w.counters().mutations);
+        assert_eq!(restored.counters().queries, w.counters().queries);
+        // Truncations must fail closed, never yield a partial WAS.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = simkit::snap::SnapReader::new(&bytes[..cut]);
+            assert!(
+                WebApplicationServer::restore(&mut r).is_err() || r.finish().is_err(),
+                "truncation at {cut} must not produce a clean WAS"
+            );
+        }
     }
 
     #[test]

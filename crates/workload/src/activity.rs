@@ -89,6 +89,24 @@ impl PoissonArrivals {
         self.next = t + SimDuration::from_secs_f64(self.gap.sample(rng));
         t
     }
+
+    /// The resumable state of the process: its pending arrival instant.
+    /// Together with the (configuration-derived) rate this is the whole
+    /// state — the gap distribution is memoryless.
+    pub fn state(&self) -> SimTime {
+        self.next
+    }
+
+    /// Rebuilds a process mid-stream from [`PoissonArrivals::state`]
+    /// without drawing from any RNG (unlike [`PoissonArrivals::new`],
+    /// which samples the first arrival), so resuming a snapshotted run
+    /// leaves the driving RNG stream exactly where the original left it.
+    pub fn from_state(rate_per_sec: f64, next: SimTime) -> Self {
+        PoissonArrivals {
+            gap: Exponential::new(rate_per_sec),
+            next,
+        }
+    }
 }
 
 /// A lazily drawn arrival stream: anything that can report its next
