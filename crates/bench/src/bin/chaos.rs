@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use bench::{arg_or, peak_rss_bytes, snapctl};
+use bench::{arg_or, peak_rss_bytes, snapctl, violations_json};
 use bladerunner::config::SystemConfig;
 use bladerunner::fault::canned_plan;
 use bladerunner::replay;
@@ -374,7 +374,8 @@ fn main() {
             "    \"dropped\": {},\n",
             "    \"backfilled\": {},\n",
             "    \"unaccounted\": {},\n",
-            "    \"converged\": {}\n",
+            "    \"converged\": {},\n",
+            "    \"violations\": {}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -420,6 +421,7 @@ fn main() {
         report.backfilled,
         report.unaccounted.len(),
         report.converged(),
+        violations_json(&report.violations),
     );
     std::fs::write(&out, json).expect("write bench summary");
     println!("  wrote {out}");

@@ -31,7 +31,7 @@
 
 use std::time::Instant;
 
-use bench::{arg_or, peak_rss_bytes, snapctl};
+use bench::{arg_or, peak_rss_bytes, snapctl, violations_json};
 use bladerunner::config::SystemConfig;
 use bladerunner::replay;
 use bladerunner::scenario::FlashCrowd;
@@ -273,7 +273,8 @@ fn run_tier(mut sim: SystemSim, meta: TierMeta, workers: usize) -> TierResult {
             "      {},\n",
             "      \"convergence\": {{ \"delivered\": {}, \"dropped\": {}, ",
             "\"backfilled\": {}, \"unaccounted\": {}, \"flow_degraded_devices\": {}, ",
-            "\"stranded\": {}, \"converged\": {} }},\n",
+            "\"stranded\": {}, \"converged\": {},\n",
+            "        \"violations\": {} }},\n",
             "      \"ok\": {}\n",
             "    }}"
         ),
@@ -306,6 +307,7 @@ fn run_tier(mut sim: SystemSim, meta: TierMeta, workers: usize) -> TierResult {
         report.flow_degraded_devices,
         report.stranded.len(),
         report.converged(),
+        violations_json(&report.violations),
         ok,
     );
     TierResult {

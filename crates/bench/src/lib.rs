@@ -111,6 +111,45 @@ pub fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// Escapes a string for embedding in the hand-rolled JSON summaries.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a convergence report's machine-readable violations as a JSON
+/// array, one `{oracle, entity, detail}` object per breach — the gate
+/// summaries embed this so CI can consume breaches without scraping
+/// log lines.
+pub fn violations_json(violations: &[bladerunner::fault::Violation]) -> String {
+    if violations.is_empty() {
+        return "[]".to_string();
+    }
+    let rows = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "      {{ \"oracle\": \"{}\", \"entity\": \"{}\", \"detail\": \"{}\" }}",
+                v.oracle.name(),
+                json_escape(&v.entity),
+                json_escape(&v.detail),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{rows}\n    ]")
+}
+
 /// Parses a `--key value` style argument from the process args, with a
 /// default.
 pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -134,6 +173,31 @@ pub fn arg_opt(key: &str) -> Option<String> {
 /// Returns whether a bare `--flag` argument is present.
 pub fn arg_flag(key: &str) -> bool {
     std::env::args().any(|a| a == key)
+}
+
+/// Parses a half-open `A..B` seed range ("0..200"); a bare number `N`
+/// means `N..N+1`.
+pub fn parse_seed_range(spec: &str) -> Result<std::ops::Range<u64>, String> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let lo: u64 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range start {a:?}"))?;
+        let hi: u64 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range end {b:?}"))?;
+        if hi <= lo {
+            return Err(format!("empty seed range {spec:?}"));
+        }
+        Ok(lo..hi)
+    } else {
+        let n: u64 = spec
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad seed {spec:?}"))?;
+        Ok(n..n + 1)
+    }
 }
 
 /// Snapshot/resume plumbing shared by the bench binaries: every bin that
@@ -237,5 +301,13 @@ mod tests {
     #[test]
     fn arg_or_default() {
         assert_eq!(arg_or("--nonexistent", 42u32), 42);
+    }
+
+    #[test]
+    fn seed_range_forms() {
+        assert_eq!(parse_seed_range("0..200"), Ok(0..200));
+        assert_eq!(parse_seed_range("7"), Ok(7..8));
+        assert!(parse_seed_range("5..5").is_err());
+        assert!(parse_seed_range("x..3").is_err());
     }
 }

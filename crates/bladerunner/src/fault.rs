@@ -11,8 +11,11 @@
 //! (plus a grace period), [`crate::sim::SystemSim::convergence_report`]
 //! audits that the system actually converged.
 
+use std::fmt;
+
 use burst::frame::StreamId;
 use simkit::rng::DetRng;
+use simkit::snap::{Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::TraceId;
 
@@ -161,10 +164,121 @@ impl FaultPlan {
         kinds
     }
 
+    /// Checks every episode against the system shape and a run horizon.
+    ///
+    /// The simulator silently no-ops (or, for some indices, panics deep
+    /// inside an event handler) on targets that do not exist; a fuzzer
+    /// or hand-written plan wants that rejected up front with a typed
+    /// error instead. Episode indices in errors refer to positions in
+    /// [`FaultPlan::episodes`].
+    pub fn validate(&self, config: &SystemConfig, horizon: SimTime) -> Result<(), PlanError> {
+        let hosts = config.brass_hosts as usize;
+        let proxies = config.proxies as usize;
+        let nodes = config.pylon.kv_nodes as u64;
+        for (i, ep) in self.episodes.iter().enumerate() {
+            if ep.at >= horizon {
+                return Err(PlanError::PastHorizon {
+                    episode: i,
+                    at: ep.at,
+                    horizon,
+                });
+            }
+            let zero = |d: SimDuration| d == SimDuration::ZERO;
+            match &ep.kind {
+                FaultKind::BrassCrash { host, down } => {
+                    if *host >= hosts {
+                        return Err(PlanError::HostOutOfRange {
+                            episode: i,
+                            host: *host,
+                            hosts,
+                        });
+                    }
+                    if zero(*down) {
+                        return Err(PlanError::ZeroDuration { episode: i });
+                    }
+                }
+                FaultKind::BrassUpgradeWave {
+                    hosts: wave, down, ..
+                } => {
+                    if wave.is_empty() {
+                        return Err(PlanError::EmptyTargets { episode: i });
+                    }
+                    for &host in wave {
+                        if host >= hosts {
+                            return Err(PlanError::HostOutOfRange {
+                                episode: i,
+                                host,
+                                hosts,
+                            });
+                        }
+                    }
+                    if zero(*down) {
+                        return Err(PlanError::ZeroDuration { episode: i });
+                    }
+                }
+                FaultKind::PylonPartition { nodes: cut, down } => {
+                    if cut.is_empty() {
+                        return Err(PlanError::EmptyTargets { episode: i });
+                    }
+                    for &node in cut {
+                        if node >= nodes {
+                            return Err(PlanError::NodeOutOfRange {
+                                episode: i,
+                                node,
+                                nodes,
+                            });
+                        }
+                    }
+                    if zero(*down) {
+                        return Err(PlanError::ZeroDuration { episode: i });
+                    }
+                }
+                FaultKind::ProxyOutage { proxy, down } => {
+                    if *proxy >= proxies {
+                        return Err(PlanError::ProxyOutOfRange {
+                            episode: i,
+                            proxy: *proxy,
+                            proxies,
+                        });
+                    }
+                    if zero(*down) {
+                        return Err(PlanError::ZeroDuration { episode: i });
+                    }
+                }
+                FaultKind::DeviceFlap {
+                    devices,
+                    flaps,
+                    gap,
+                } => {
+                    if devices.is_empty() {
+                        return Err(PlanError::EmptyTargets { episode: i });
+                    }
+                    if *flaps == 0 {
+                        return Err(PlanError::ZeroFlaps { episode: i });
+                    }
+                    if *flaps > 1 && zero(*gap) {
+                        return Err(PlanError::ZeroDuration { episode: i });
+                    }
+                }
+                FaultKind::ReconnectStorm { devices } => {
+                    if devices.is_empty() {
+                        return Err(PlanError::EmptyTargets { episode: i });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Compiles every episode onto the simulator's event queue. Purely
     /// schedules events — all detection and repair behaviour comes from
     /// the system itself.
     pub fn apply(&self, sim: &mut SystemSim) {
+        debug_assert_eq!(
+            self.validate(sim.config(), self.heal_time() + SimDuration::from_secs(1)),
+            Ok(()),
+            "applying an invalid fault plan"
+        );
         for ep in &self.episodes {
             match &ep.kind {
                 FaultKind::BrassCrash { host, down } => {
@@ -208,6 +322,224 @@ impl FaultPlan {
     }
 }
 
+/// A typed rejection from [`FaultPlan::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A BRASS host index is outside the configured fleet.
+    HostOutOfRange {
+        /// Offending episode index.
+        episode: usize,
+        /// The out-of-range host.
+        host: usize,
+        /// Configured host count.
+        hosts: usize,
+    },
+    /// A Pylon KV node id is outside the configured cluster.
+    NodeOutOfRange {
+        /// Offending episode index.
+        episode: usize,
+        /// The out-of-range node.
+        node: u64,
+        /// Configured node count.
+        nodes: u64,
+    },
+    /// A proxy index is outside the configured tier.
+    ProxyOutOfRange {
+        /// Offending episode index.
+        episode: usize,
+        /// The out-of-range proxy.
+        proxy: usize,
+        /// Configured proxy count.
+        proxies: usize,
+    },
+    /// A downtime (or a multi-flap gap) of zero: the episode would heal
+    /// the instant it starts, which is never what a plan author meant.
+    ZeroDuration {
+        /// Offending episode index.
+        episode: usize,
+    },
+    /// A device-targeting episode with an empty device (or host) list.
+    EmptyTargets {
+        /// Offending episode index.
+        episode: usize,
+    },
+    /// A [`FaultKind::DeviceFlap`] with `flaps == 0`.
+    ZeroFlaps {
+        /// Offending episode index.
+        episode: usize,
+    },
+    /// An episode scheduled at or past the run horizon: it would never
+    /// fire, so the plan does not test what it claims to.
+    PastHorizon {
+        /// Offending episode index.
+        episode: usize,
+        /// The episode's start time.
+        at: SimTime,
+        /// The run horizon it missed.
+        horizon: SimTime,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::HostOutOfRange {
+                episode,
+                host,
+                hosts,
+            } => write!(
+                f,
+                "episode {episode}: host {host} out of range (fleet has {hosts})"
+            ),
+            PlanError::NodeOutOfRange {
+                episode,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "episode {episode}: pylon node {node} out of range (cluster has {nodes})"
+            ),
+            PlanError::ProxyOutOfRange {
+                episode,
+                proxy,
+                proxies,
+            } => write!(
+                f,
+                "episode {episode}: proxy {proxy} out of range (tier has {proxies})"
+            ),
+            PlanError::ZeroDuration { episode } => {
+                write!(f, "episode {episode}: zero duration")
+            }
+            PlanError::EmptyTargets { episode } => {
+                write!(f, "episode {episode}: empty target list")
+            }
+            PlanError::ZeroFlaps { episode } => {
+                write!(f, "episode {episode}: device flap with zero flaps")
+            }
+            PlanError::PastHorizon {
+                episode,
+                at,
+                horizon,
+            } => write!(
+                f,
+                "episode {episode}: starts at {}us, at or past the {}us horizon",
+                at.as_micros(),
+                horizon.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+// ----------------------------------------------------------------------
+// Snap serde: plans ride `.brfuzz` artifacts and bench driver blobs.
+// Tag bytes are part of the on-disk format — append, never renumber.
+// ----------------------------------------------------------------------
+
+impl Snap for FaultKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            FaultKind::BrassCrash { host, down } => {
+                w.put_u8(0);
+                host.snap(w);
+                down.snap(w);
+            }
+            FaultKind::BrassUpgradeWave {
+                hosts,
+                stagger,
+                down,
+            } => {
+                w.put_u8(1);
+                hosts.snap(w);
+                stagger.snap(w);
+                down.snap(w);
+            }
+            FaultKind::PylonPartition { nodes, down } => {
+                w.put_u8(2);
+                nodes.snap(w);
+                down.snap(w);
+            }
+            FaultKind::ProxyOutage { proxy, down } => {
+                w.put_u8(3);
+                proxy.snap(w);
+                down.snap(w);
+            }
+            FaultKind::DeviceFlap {
+                devices,
+                flaps,
+                gap,
+            } => {
+                w.put_u8(4);
+                devices.snap(w);
+                flaps.snap(w);
+                gap.snap(w);
+            }
+            FaultKind::ReconnectStorm { devices } => {
+                w.put_u8(5);
+                devices.snap(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => FaultKind::BrassCrash {
+                host: Snap::restore(r)?,
+                down: Snap::restore(r)?,
+            },
+            1 => FaultKind::BrassUpgradeWave {
+                hosts: Snap::restore(r)?,
+                stagger: Snap::restore(r)?,
+                down: Snap::restore(r)?,
+            },
+            2 => FaultKind::PylonPartition {
+                nodes: Snap::restore(r)?,
+                down: Snap::restore(r)?,
+            },
+            3 => FaultKind::ProxyOutage {
+                proxy: Snap::restore(r)?,
+                down: Snap::restore(r)?,
+            },
+            4 => FaultKind::DeviceFlap {
+                devices: Snap::restore(r)?,
+                flaps: Snap::restore(r)?,
+                gap: Snap::restore(r)?,
+            },
+            5 => FaultKind::ReconnectStorm {
+                devices: Snap::restore(r)?,
+            },
+            t => return Err(SnapError::Invalid(format!("fault kind tag {t}"))),
+        })
+    }
+}
+
+impl Snap for FaultEpisode {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.at.snap(w);
+        self.kind.snap(w);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(FaultEpisode {
+            at: Snap::restore(r)?,
+            kind: Snap::restore(r)?,
+        })
+    }
+}
+
+impl Snap for FaultPlan {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.episodes.snap(w);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(FaultPlan {
+            episodes: Snap::restore(r)?,
+        })
+    }
+}
+
 /// A canned plan covering every fault kind, scaled to the system shape.
 /// All choices draw from `rng`, so one seed fixes the whole timeline.
 pub fn canned_plan(
@@ -244,7 +576,7 @@ pub fn canned_plan(
     majority.truncate(((config.pylon.kv_nodes as usize) * 2 / 3).max(1));
     majority.sort_unstable();
 
-    FaultPlan::new()
+    let plan = FaultPlan::new()
         .with(
             start,
             FaultKind::BrassCrash {
@@ -294,7 +626,128 @@ pub fn canned_plan(
             FaultKind::ReconnectStorm {
                 devices: pick_devices(rng, 5),
             },
-        )
+        );
+    debug_assert_eq!(
+        plan.validate(config, plan.heal_time() + s(1)),
+        Ok(()),
+        "canned plan must validate against the config that shaped it"
+    );
+    plan
+}
+
+/// Identifies which invariant a [`Violation`] breaks. Every check the
+/// convergence audit and the fuzz oracle suite perform maps to exactly
+/// one of these, so reports are machine-matchable (the shrinker keeps
+/// only candidates that re-fire the *same* oracle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OracleId {
+    /// Post-heal structural convergence: no stranded streams, nothing
+    /// registered on a dead host, no device stuck flow-degraded.
+    Convergence,
+    /// Trace-ledger completeness: every admitted update delivered,
+    /// dropped-with-reason, or backfilled.
+    Accounting,
+    /// No spurious host death: heartbeat detection must fire only when
+    /// an *unannounced* crash actually happened.
+    HeartbeatSanity,
+    /// Per-device, per-stream delivery order: applied sequence numbers
+    /// only move forward, and calm streams account for every sequence.
+    DeliveryOrder,
+    /// Workers-1-vs-N equivalence: the same (config, seed, plan) must
+    /// fingerprint identically at any worker count.
+    Determinism,
+    /// Test-only oracle for the shrinker self-test: "fires" on a planted
+    /// episode combination rather than a real system property.
+    Planted,
+}
+
+impl OracleId {
+    /// Stable name for reports, JSON, and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleId::Convergence => "convergence",
+            OracleId::Accounting => "accounting",
+            OracleId::HeartbeatSanity => "heartbeat_sanity",
+            OracleId::DeliveryOrder => "delivery_order",
+            OracleId::Determinism => "determinism",
+            OracleId::Planted => "planted",
+        }
+    }
+}
+
+impl Snap for OracleId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            OracleId::Convergence => 0,
+            OracleId::Accounting => 1,
+            OracleId::HeartbeatSanity => 2,
+            OracleId::DeliveryOrder => 3,
+            OracleId::Determinism => 4,
+            OracleId::Planted => 5,
+        });
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => OracleId::Convergence,
+            1 => OracleId::Accounting,
+            2 => OracleId::HeartbeatSanity,
+            3 => OracleId::DeliveryOrder,
+            4 => OracleId::Determinism,
+            5 => OracleId::Planted,
+            t => return Err(SnapError::Invalid(format!("oracle tag {t}"))),
+        })
+    }
+}
+
+/// One machine-readable invariant breach: which oracle fired, on which
+/// entity, and what it saw.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The invariant that fired.
+    pub oracle: OracleId,
+    /// The offending entity ("device 12 sid 3", "host 4", "trace 77").
+    pub entity: String,
+    /// What the oracle observed.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(oracle: OracleId, entity: impl Into<String>, detail: impl Into<String>) -> Self {
+        Violation {
+            oracle,
+            entity: entity.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// One-line rendering for gates and logs.
+    pub fn render(&self) -> String {
+        format!("[{}] {}: {}", self.oracle.name(), self.entity, self.detail)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl Snap for Violation {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.oracle.snap(w);
+        w.put_str(&self.entity);
+        w.put_str(&self.detail);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> SnapResult<Self> {
+        Ok(Violation {
+            oracle: Snap::restore(r)?,
+            entity: r.get_str()?,
+            detail: r.get_str()?,
+        })
+    }
 }
 
 /// The post-heal audit produced by
@@ -323,49 +776,96 @@ pub struct ConvergenceReport {
     /// one was told `FlowStatus::Degraded` during overload and never got
     /// its terminal `Recovered` after the load passed.
     pub flow_degraded_devices: u64,
+    /// Machine-readable invariant breaches derived from the fields above
+    /// by [`ConvergenceReport::finish`]: one entry per offending entity
+    /// (capped per category), each tagged with the [`OracleId`] it broke.
+    pub violations: Vec<Violation>,
 }
 
 impl ConvergenceReport {
+    /// Per-category cap on per-entity violations; pathological runs strand
+    /// thousands of streams and one summarizing entry beats a megabyte of
+    /// near-identical lines.
+    const PER_ENTITY_CAP: usize = 8;
+
+    /// Derives the machine-readable `violations` list from the raw audit
+    /// fields. [`crate::sim::SystemSim::convergence_report`] calls this;
+    /// hand-built reports (tests) must too, or `converged()` trivially
+    /// passes.
+    pub fn finish(mut self) -> Self {
+        let mut v = Vec::new();
+        for &(device, sid) in self.stranded.iter().take(Self::PER_ENTITY_CAP) {
+            v.push(Violation::new(
+                OracleId::Convergence,
+                format!("device {device} sid {}", sid.0),
+                "open stream with no live BRASS host serving it",
+            ));
+        }
+        if self.stranded.len() > Self::PER_ENTITY_CAP {
+            v.push(Violation::new(
+                OracleId::Convergence,
+                "streams",
+                format!(
+                    "{} more stream(s) stranded without a live host",
+                    self.stranded.len() - Self::PER_ENTITY_CAP
+                ),
+            ));
+        }
+        if self.dead_host_streams > 0 {
+            v.push(Violation::new(
+                OracleId::Convergence,
+                "hosts",
+                format!(
+                    "{} stream(s) still registered on dead hosts",
+                    self.dead_host_streams
+                ),
+            ));
+        }
+        if self.flow_degraded_devices > 0 {
+            v.push(Violation::new(
+                OracleId::Convergence,
+                "devices",
+                format!(
+                    "{} device(s) stuck flow-degraded after load passed",
+                    self.flow_degraded_devices
+                ),
+            ));
+        }
+        for trace in self.unaccounted.iter().take(Self::PER_ENTITY_CAP) {
+            v.push(Violation::new(
+                OracleId::Accounting,
+                format!("trace {}", trace.0),
+                "admitted update with no delivery, attributed drop, or backfill",
+            ));
+        }
+        if self.unaccounted.len() > Self::PER_ENTITY_CAP {
+            v.push(Violation::new(
+                OracleId::Accounting,
+                "traces",
+                format!(
+                    "{} more admitted update(s) unaccounted",
+                    self.unaccounted.len() - Self::PER_ENTITY_CAP
+                ),
+            ));
+        }
+        self.violations = v;
+        self
+    }
+
     /// Whether the system converged: no stranded streams, nothing pinned
     /// to a dead host, and a fully-accounted ledger.
     pub fn converged(&self) -> bool {
-        self.stranded.is_empty()
+        self.violations.is_empty()
+            && self.stranded.is_empty()
             && self.dead_host_streams == 0
             && self.unaccounted.is_empty()
             && self.flow_degraded_devices == 0
     }
 
-    /// Human-readable failure lines (empty when converged).
+    /// Human-readable failure lines (empty when converged): the rendered
+    /// form of [`ConvergenceReport::violations`].
     pub fn failures(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        if !self.stranded.is_empty() {
-            out.push(format!(
-                "{} stream(s) stranded without a live host (first: device {} sid {})",
-                self.stranded.len(),
-                self.stranded[0].0,
-                self.stranded[0].1 .0,
-            ));
-        }
-        if self.dead_host_streams > 0 {
-            out.push(format!(
-                "{} stream(s) still registered on dead hosts",
-                self.dead_host_streams
-            ));
-        }
-        if !self.unaccounted.is_empty() {
-            out.push(format!(
-                "{} admitted update(s) unaccounted (first: trace {})",
-                self.unaccounted.len(),
-                self.unaccounted[0].0,
-            ));
-        }
-        if self.flow_degraded_devices > 0 {
-            out.push(format!(
-                "{} device(s) stuck flow-degraded after load passed",
-                self.flow_degraded_devices
-            ));
-        }
-        out
+        self.violations.iter().map(Violation::render).collect()
     }
 }
 
@@ -431,9 +931,253 @@ mod tests {
             dead_host_streams: 2,
             unaccounted: vec![TraceId(77)],
             ..ConvergenceReport::default()
-        };
+        }
+        .finish();
         assert!(!report.converged());
         assert_eq!(report.failures().len(), 3);
-        assert!(ConvergenceReport::default().converged());
+        // Each violation is machine-tagged with the oracle it broke.
+        let oracles: Vec<OracleId> = report.violations.iter().map(|v| v.oracle).collect();
+        assert_eq!(
+            oracles,
+            vec![
+                OracleId::Convergence,
+                OracleId::Convergence,
+                OracleId::Accounting
+            ]
+        );
+        assert_eq!(report.violations[0].entity, "device 3 sid 1");
+        assert!(ConvergenceReport::default().finish().converged());
+    }
+
+    #[test]
+    fn unfinished_report_with_holes_still_fails_converged() {
+        // Belt and braces: a hand-built report that skipped `finish()`
+        // must not trivially pass the gate just because `violations` is
+        // empty.
+        let report = ConvergenceReport {
+            dead_host_streams: 1,
+            ..ConvergenceReport::default()
+        };
+        assert!(!report.converged());
+    }
+
+    #[test]
+    fn per_entity_violations_are_capped_with_a_summary() {
+        let report = ConvergenceReport {
+            stranded: (0..20).map(|d| (d, StreamId(1))).collect(),
+            ..ConvergenceReport::default()
+        }
+        .finish();
+        let strand_lines = report
+            .violations
+            .iter()
+            .filter(|v| v.oracle == OracleId::Convergence)
+            .count();
+        assert_eq!(strand_lines, ConvergenceReport::PER_ENTITY_CAP + 1);
+        assert!(report.violations.last().unwrap().detail.contains("12 more"));
+    }
+
+    // ------------------------------------------------------------------
+    // validate(): one test per typed rejection.
+    // ------------------------------------------------------------------
+
+    fn horizon() -> SimTime {
+        SimTime::from_secs(600)
+    }
+
+    #[test]
+    fn validate_accepts_the_canned_plan() {
+        let config = SystemConfig::small();
+        let devices: Vec<u64> = (0..20).collect();
+        let mut rng = DetRng::new(5);
+        let plan = canned_plan(SimTime::from_secs(10), &config, &devices, &mut rng);
+        assert_eq!(plan.validate(&config, horizon()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_host_out_of_range() {
+        let config = SystemConfig::small();
+        let hosts = config.brass_hosts as usize;
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::BrassCrash {
+                host: hosts,
+                down: SimDuration::from_secs(5),
+            },
+        );
+        assert_eq!(
+            plan.validate(&config, horizon()),
+            Err(PlanError::HostOutOfRange {
+                episode: 0,
+                host: hosts,
+                hosts,
+            })
+        );
+        // Same range check covers upgrade waves.
+        let wave = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::BrassUpgradeWave {
+                hosts: vec![0, hosts + 3],
+                stagger: SimDuration::from_secs(1),
+                down: SimDuration::from_secs(5),
+            },
+        );
+        assert!(matches!(
+            wave.validate(&config, horizon()),
+            Err(PlanError::HostOutOfRange { host, .. }) if host == hosts + 3
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_node_out_of_range() {
+        let config = SystemConfig::small();
+        let nodes = config.pylon.kv_nodes as u64;
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::PylonPartition {
+                nodes: vec![0, nodes],
+                down: SimDuration::from_secs(5),
+            },
+        );
+        assert_eq!(
+            plan.validate(&config, horizon()),
+            Err(PlanError::NodeOutOfRange {
+                episode: 0,
+                node: nodes,
+                nodes,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_proxy_out_of_range() {
+        let config = SystemConfig::small();
+        let proxies = config.proxies as usize;
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::ProxyOutage {
+                proxy: proxies,
+                down: SimDuration::from_secs(5),
+            },
+        );
+        assert_eq!(
+            plan.validate(&config, horizon()),
+            Err(PlanError::ProxyOutOfRange {
+                episode: 0,
+                proxy: proxies,
+                proxies,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_durations() {
+        let config = SystemConfig::small();
+        let crash = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::BrassCrash {
+                host: 0,
+                down: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            crash.validate(&config, horizon()),
+            Err(PlanError::ZeroDuration { episode: 0 })
+        );
+        // A multi-flap with zero gap collapses to duplicate same-instant
+        // drops; a single flap needs no gap.
+        let flap = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::DeviceFlap {
+                devices: vec![1],
+                flaps: 2,
+                gap: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            flap.validate(&config, horizon()),
+            Err(PlanError::ZeroDuration { episode: 0 })
+        );
+        let single = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::DeviceFlap {
+                devices: vec![1],
+                flaps: 1,
+                gap: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(single.validate(&config, horizon()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_targets_and_zero_flaps() {
+        let config = SystemConfig::small();
+        let storm = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::ReconnectStorm { devices: vec![] },
+        );
+        assert_eq!(
+            storm.validate(&config, horizon()),
+            Err(PlanError::EmptyTargets { episode: 0 })
+        );
+        let flap = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::DeviceFlap {
+                devices: vec![1],
+                flaps: 0,
+                gap: SimDuration::from_secs(1),
+            },
+        );
+        assert_eq!(
+            flap.validate(&config, horizon()),
+            Err(PlanError::ZeroFlaps { episode: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_episodes_past_the_horizon() {
+        let config = SystemConfig::small();
+        let plan = FaultPlan::new()
+            .with(
+                SimTime::from_secs(1),
+                FaultKind::BrassCrash {
+                    host: 0,
+                    down: SimDuration::from_secs(5),
+                },
+            )
+            .with(
+                horizon(),
+                FaultKind::ProxyOutage {
+                    proxy: 0,
+                    down: SimDuration::from_secs(5),
+                },
+            );
+        assert_eq!(
+            plan.validate(&config, horizon()),
+            Err(PlanError::PastHorizon {
+                episode: 1,
+                at: horizon(),
+                horizon: horizon(),
+            })
+        );
+    }
+
+    #[test]
+    fn plan_snap_roundtrips_bit_identically() {
+        let config = SystemConfig::small();
+        let devices: Vec<u64> = (0..30).collect();
+        let mut rng = DetRng::new(11);
+        let plan = canned_plan(SimTime::from_secs(7), &config, &devices, &mut rng);
+        let mut w = SnapWriter::new();
+        plan.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = FaultPlan::restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(plan, back);
+        // Re-serializing the restored plan gives the same bytes.
+        let mut w2 = SnapWriter::new();
+        back.snap(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
     }
 }

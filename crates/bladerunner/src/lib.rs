@@ -41,6 +41,7 @@
 
 pub mod config;
 pub mod fault;
+pub mod fuzz;
 pub mod latency;
 pub mod metrics;
 pub mod replay;

@@ -126,6 +126,7 @@ impl EventStats {
             | Ev::ProxyBack { .. }
             | Ev::ProxyHostFailed { .. }
             | Ev::ProxyAddHost { .. }
+            | Ev::ProxyHostRestarted { .. }
             | Ev::PopProxyFailed { .. }
             | Ev::PopAddProxy { .. }
             | Ev::DeviceVanish { .. } => &mut self.faults,
@@ -396,6 +397,11 @@ enum Ev {
     ProxyHostFailed { proxy: usize, host: usize },
     /// A proxy learns a BRASS host (re)joined and adds it to its pool.
     ProxyAddHost { proxy: usize, host: usize },
+    /// A proxy observes its connections to a revived BRASS host reset:
+    /// the crashed process restarted inside the heartbeat miss window,
+    /// so detection never fired, but the new incarnation holds none of
+    /// the old streams. The proxy re-establishes them from stored state.
+    ProxyHostRestarted { proxy: usize, host: usize },
     /// A POP learns a reverse proxy went dark and repairs its streams
     /// onto surviving proxies.
     PopProxyFailed { pop: usize, proxy: usize },
@@ -440,6 +446,7 @@ fn shard_route(ev: &Ev, pops: usize, shards: usize) -> usize {
         | Ev::PongFromHost { proxy, .. }
         | Ev::ProxyHostFailed { proxy, .. }
         | Ev::ProxyAddHost { proxy, .. }
+        | Ev::ProxyHostRestarted { proxy, .. }
         | Ev::ProxyDeviceGone { proxy, .. } => proxy % shards,
         Ev::AtBrass { host, .. }
         | Ev::WasReply { host, .. }
@@ -730,6 +737,11 @@ impl Snap for Ev {
                 w.put_usize(*proxy);
                 w.put_usize(*host);
             }
+            Ev::ProxyHostRestarted { proxy, host } => {
+                w.put_u8(39);
+                w.put_usize(*proxy);
+                w.put_usize(*host);
+            }
             Ev::PopProxyFailed { pop, proxy } => {
                 w.put_u8(35);
                 w.put_usize(*pop);
@@ -927,6 +939,10 @@ impl Snap for Ev {
                 sid: StreamId::restore(r)?,
                 trace: TraceId::restore(r)?,
             },
+            39 => Ev::ProxyHostRestarted {
+                proxy: r.get_usize()?,
+                host: r.get_usize()?,
+            },
             other => return Err(SnapError::Invalid(format!("unknown event tag {other}"))),
         })
     }
@@ -1114,6 +1130,12 @@ struct SharedInner {
     /// (Updates sharing an object — e.g. one message fanned to N mailboxes —
     /// resolve to the most recent trace.)
     object_trace: FxHashMap<ObjectId, TraceId>,
+    /// (topic, object) → trace. One mutation can fan one object to many
+    /// topics as *distinct* update events (a message separately added to
+    /// each member mailbox, §4); deliveries resolved through the stream's
+    /// subscription topic land on the exact per-mailbox trace instead of
+    /// collapsing onto the object's most recent one.
+    topic_object_trace: FxHashMap<(Topic, ObjectId), TraceId>,
     /// Streams subscribed per topic (Fig. 7 publication accounting).
     topic_streams: FxHashMap<Topic, Vec<(u64, StreamId)>>,
     /// Reverse of [`Self::topic_streams`]: the topic each open stream
@@ -1131,6 +1153,8 @@ struct SharedInner {
 enum SharedOp {
     /// Register (or re-point) an object's trace.
     ObjectTrace(ObjectId, TraceId),
+    /// Register the trace of one (topic, object) fan-out leg.
+    TopicObjectTrace(Topic, ObjectId, TraceId),
     /// Register a stream's subscription topic.
     StreamTopicInsert(u64, StreamId, Topic),
     /// A stream closed: drop its topic registration on both sides.
@@ -1147,6 +1171,9 @@ fn apply_shared_op(shared: &mut SharedInner, op: SharedOp) {
     match op {
         SharedOp::ObjectTrace(object, trace) => {
             shared.object_trace.insert(object, trace);
+        }
+        SharedOp::TopicObjectTrace(topic, object, trace) => {
+            shared.topic_object_trace.insert((topic, object), trace);
         }
         SharedOp::StreamTopicInsert(device, sid, topic) => {
             shared.stream_topic.insert((device, sid), topic);
@@ -1530,6 +1557,9 @@ impl Shard {
             Ev::PylonHostFailed { host } => self.pylon_ref().host_failed(HostId(host as u32)),
             Ev::ProxyHostFailed { proxy, host } => self.on_proxy_host_failed(now, proxy, host),
             Ev::ProxyAddHost { proxy, host } => self.on_proxy_add_host(now, proxy, host),
+            Ev::ProxyHostRestarted { proxy, host } => {
+                self.on_proxy_host_restarted(now, proxy, host)
+            }
             Ev::PopProxyFailed { pop, proxy } => {
                 let fx = self.pops[pop].on_proxy_failed(proxy as u32);
                 self.process_pop_effects(now, fx);
@@ -1653,6 +1683,7 @@ impl Shard {
             // The write committed: open the update's trace.
             let trace = TraceId(event.id);
             self.op(SharedOp::ObjectTrace(event.object, trace));
+            self.op(SharedOp::TopicObjectTrace(event.topic, event.object, trace));
             self.record(trace, Hop::TaoCommit, now, HopOutcome::Ok);
             self.send(
                 now + was_delay,
@@ -1964,7 +1995,7 @@ impl Shard {
                 HostEffect::Send { device, frame } => {
                     let proc = self.latency.brass_processing(&mut self.rng);
                     let send_at = now + proc;
-                    for trace in self.frame_traces(&frame) {
+                    for trace in self.frame_traces(device.0, &frame) {
                         self.record(trace, Hop::BrassSend, send_at, HopOutcome::Ok);
                     }
                     if let Some(event_at) = attributed {
@@ -2028,26 +2059,39 @@ impl Shard {
     }
 
     /// The trace ids of every update payload a frame carries, in batch
-    /// order.
-    fn frame_traces(&self, frame: &Frame) -> Vec<TraceId> {
+    /// order. The owning stream's subscription topic disambiguates
+    /// fan-out: one mutation can reference the same object from many
+    /// topics under distinct traces (per-mailbox message adds).
+    fn frame_traces(&self, device: u64, frame: &Frame) -> Vec<TraceId> {
         let shared = self.shared();
+        let topic = frame
+            .sid()
+            .and_then(|sid| shared.stream_topic.get(&(device, sid)).copied());
         frame
             .update_payloads()
-            .filter_map(|p| payload_trace(&shared.object_trace, p))
+            .filter_map(|p| payload_trace(&shared, topic, p))
             .collect()
     }
 }
 
 /// Resolves an update payload to its trace id via the embedded TAO
 /// object id. Payloads without an `"id"` field (or for objects written
-/// before tracing started) are simply untraced.
+/// before tracing started) are simply untraced. When the delivering
+/// stream's topic is known, the (topic, object) fan-out leg wins over
+/// the object's most recent trace.
 ///
 /// Runs on every update of every frame at every transport hop, so the
 /// id is pulled out with the single-pass [`burst::json::top_level_u64`]
 /// scanner instead of a full allocating parse.
-fn payload_trace(object_trace: &FxHashMap<ObjectId, TraceId>, payload: &[u8]) -> Option<TraceId> {
+fn payload_trace(shared: &SharedInner, topic: Option<Topic>, payload: &[u8]) -> Option<TraceId> {
     let id = burst::json::top_level_u64(payload, "id")?;
-    object_trace.get(&ObjectId(id)).copied()
+    let object = ObjectId(id);
+    if let Some(topic) = topic {
+        if let Some(trace) = shared.topic_object_trace.get(&(topic, object)) {
+            return Some(*trace);
+        }
+    }
+    shared.object_trace.get(&object).copied()
 }
 
 /// The wire bytes a frame charges against a device's egress flow window,
@@ -2201,7 +2245,7 @@ impl Shard {
         if !self.proxy_up[proxy] {
             // Downstream frames through a dead proxy are lost until the
             // POP re-homes the device's streams onto a live proxy.
-            let traces: Vec<TraceId> = self.frame_traces(&frame);
+            let traces: Vec<TraceId> = self.frame_traces(device, &frame);
             for trace in traces {
                 self.register_backfill_drop(
                     now,
@@ -2283,7 +2327,7 @@ impl Shard {
         if !state.connected {
             // Best effort: frames to disconnected devices vanish (the
             // traces stay backfill-recoverable after reconnect).
-            let traces = self.frame_traces(&frame);
+            let traces = self.frame_traces(device, &frame);
             for trace in traces {
                 self.register_backfill_drop(
                     now,
@@ -2298,7 +2342,7 @@ impl Shard {
         }
         if self.rng.chance(self.config.last_mile_drop) {
             self.metrics.frames_lost.inc();
-            let traces = self.frame_traces(&frame);
+            let traces = self.frame_traces(device, &frame);
             for trace in traces {
                 self.register_backfill_drop(
                     now,
@@ -2332,7 +2376,7 @@ impl Shard {
                 shed => {
                     self.metrics.flow_sheds.inc();
                     self.metrics.q_flow_window.dropped_n(1);
-                    let traces = self.frame_traces(&frame);
+                    let traces = self.frame_traces(device, &frame);
                     for trace in traces {
                         self.register_backfill_drop(
                             now,
@@ -2363,7 +2407,7 @@ impl Shard {
                 }
             }
         }
-        for trace in self.frame_traces(&frame) {
+        for trace in self.frame_traces(device, &frame) {
             self.record(trace, Hop::BurstDeliver, now, HopOutcome::Ok);
         }
         let d = self.latency.last_mile(link, &mut self.rng);
@@ -2437,7 +2481,7 @@ impl Shard {
         if !state.connected {
             // The device dropped while the frame was in flight on the last
             // mile.
-            let traces = self.frame_traces(&frame);
+            let traces = self.frame_traces(device, &frame);
             for trace in traces {
                 self.register_backfill_drop(
                     now,
@@ -2476,11 +2520,13 @@ impl Shard {
                         lat.total
                             .record(now.saturating_since(created).as_millis_f64());
                     }
-                    if let Some(id) = burst::json::top_level_u64(&payload, "id") {
-                        let trace = { self.shared().object_trace.get(&ObjectId(id)).copied() };
-                        if let Some(trace) = trace {
-                            self.record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
-                        }
+                    let trace = {
+                        let shared = self.shared();
+                        let topic = shared.stream_topic.get(&(device, sid)).copied();
+                        payload_trace(&shared, topic, &payload)
+                    };
+                    if let Some(trace) = trace {
+                        self.record(trace, Hop::DeviceRender, now, HopOutcome::Ok);
                     }
                 }
                 DeviceOutput::StreamEnded { sid, retry } => {
@@ -2765,6 +2811,21 @@ impl Shard {
         self.metrics.ts_proxy_reconnects.record(now, delta as f64);
     }
 
+    /// One proxy observes the connection reset from a sub-threshold
+    /// crash/revive and re-establishes the streams it had routed to the
+    /// restarted host. No-op when heartbeat detection already fired (the
+    /// host left the pool and the failed/add_host pair owns repair).
+    fn on_proxy_host_restarted(&mut self, now: SimTime, proxy: usize, host: usize) {
+        if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
+            return;
+        }
+        let before = self.proxies[proxy].counters().induced_reconnects;
+        let fx = self.proxies[proxy].on_host_restarted(host as u32, now.as_micros());
+        self.process_proxy_effects(now, proxy, fx);
+        let delta = self.proxies[proxy].counters().induced_reconnects - before;
+        self.metrics.ts_proxy_reconnects.record(now, delta as f64);
+    }
+
     fn on_proxy_add_host(&mut self, now: SimTime, proxy: usize, host: usize) {
         if proxy >= self.proxies.len() || !self.proxy_up[proxy] {
             return;
@@ -2803,6 +2864,12 @@ impl Shard {
         }
         self.host_up[host] = true;
         self.op(SharedOp::HostUp(host, true));
+        // The restarted process resets every proxy's connections to it —
+        // that reset, not heartbeat detection, is what lets proxies
+        // repair streams after a crash shorter than the miss window.
+        for proxy in 0..self.config.proxies as usize {
+            self.send(now, Ev::ProxyHostRestarted { proxy, host });
+        }
         self.on_brass_host_back(now, host);
     }
 
@@ -3562,6 +3629,15 @@ fn assemble_snapshot_body(
             w.put_u64(object.0);
             trace.snap(&mut w);
         }
+        let mut fanout_traces: Vec<_> = shared.topic_object_trace.iter().collect();
+        fanout_traces
+            .sort_by(|a, b| (a.0 .0.as_str(), a.0 .1 .0).cmp(&(b.0 .0.as_str(), b.0 .1 .0)));
+        w.put_usize(fanout_traces.len());
+        for (&(topic, object), trace) in fanout_traces {
+            topic.snap(&mut w);
+            w.put_u64(object.0);
+            trace.snap(&mut w);
+        }
         let mut topics: Vec<_> = shared.topic_streams.iter().collect();
         topics.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         w.put_usize(topics.len());
@@ -3702,6 +3778,7 @@ impl SystemSim {
         let world = Arc::new(World {
             shared: RwLock::new(SharedInner {
                 object_trace: FxHashMap::default(),
+                topic_object_trace: FxHashMap::default(),
                 topic_streams: FxHashMap::default(),
                 stream_topic: FxHashMap::default(),
                 device_proxy: FxHashMap::default(),
@@ -3767,6 +3844,11 @@ impl SystemSim {
     /// Mutable Pylon access (tests probe quorum topology directly).
     pub fn pylon_mut(&mut self) -> &mut PylonCluster {
         self.shards[0].pylon_ref()
+    }
+
+    /// The configuration this world was built under.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
     }
 
     /// Collected metrics, aggregated across shards.
@@ -4597,6 +4679,21 @@ impl SystemSim {
             object_trace.insert(ObjectId(object), TraceId::restore(&mut r)?);
         }
         let n = r.get_len()?;
+        let mut topic_object_trace = FxHashMap::default();
+        let mut last_leg: Option<(String, u64)> = None;
+        for _ in 0..n {
+            let topic = Topic::restore(&mut r)?;
+            let object = r.get_u64()?;
+            let key = (topic.as_str().to_owned(), object);
+            if last_leg.as_ref().is_some_and(|l| key <= *l) {
+                return Err(SnapError::Invalid(
+                    "topic-object-trace keys not strictly ascending".into(),
+                ));
+            }
+            last_leg = Some(key);
+            topic_object_trace.insert((topic, ObjectId(object)), TraceId::restore(&mut r)?);
+        }
+        let n = r.get_len()?;
         let mut topic_streams = FxHashMap::default();
         let mut last_name: Option<String> = None;
         for _ in 0..n {
@@ -4681,6 +4778,7 @@ impl SystemSim {
         let world = Arc::new(World {
             shared: RwLock::new(SharedInner {
                 object_trace,
+                topic_object_trace,
                 topic_streams,
                 stream_topic,
                 device_proxy,
@@ -4905,7 +5003,9 @@ impl SystemSim {
             backfilled: ledger.backfilled_count(),
             unaccounted: ledger.unaccounted(),
             flow_degraded_devices,
+            violations: Vec::new(),
         }
+        .finish()
     }
 }
 #[cfg(test)]

@@ -88,7 +88,11 @@ pub struct LvcApp {
 }
 
 enum PendingFetch {
-    Comment(StreamKey),
+    /// A popped comment awaiting its payload/privacy fetch. Carries the
+    /// object so the fetch outcome can be attributed if the comment never
+    /// reaches the device (privacy denial, deletion, stream teardown
+    /// while the fetch was in flight).
+    Comment(StreamKey, ObjectId),
     Friends(StreamKey),
 }
 
@@ -193,9 +197,10 @@ impl LvcApp {
         for t in fetches {
             w.put_u64(t.0);
             match &self.pending_fetch[&t] {
-                PendingFetch::Comment(k) => {
+                PendingFetch::Comment(k, object) => {
                     w.put_u8(0);
                     k.snap(w);
+                    w.put_u64(object.0);
                 }
                 PendingFetch::Friends(k) => {
                     w.put_u8(1);
@@ -312,7 +317,11 @@ impl LvcApp {
             }
             prev_tok = Some(tok);
             let pending = match r.get_u8()? {
-                0 => PendingFetch::Comment(StreamKey::restore(r)?),
+                0 => {
+                    let k = StreamKey::restore(r)?;
+                    let object = ObjectId(r.get_u64()?);
+                    PendingFetch::Comment(k, object)
+                }
                 1 => PendingFetch::Friends(StreamKey::restore(r)?),
                 _ => return Err(SnapError::Invalid("lvc: bad pending-fetch tag".into())),
             };
@@ -368,6 +377,38 @@ impl BrassApp for LvcApp {
             return;
         };
         let lang = self.intern_lang(header.get("lang").and_then(Json::as_str).unwrap_or("en"));
+        // Resubscribe to a stream this instance is already serving — the
+        // stream-repair path (proxy blip, failover retry) re-sends the
+        // Subscribe for a connection that never left this host. The live
+        // state is the resumption state: its buffer holds comments
+        // admitted but not yet pushed, its limiter is fresher than the
+        // header's persisted copy, and its timer chain is already armed.
+        // Rebuilding from scratch here silently lost every buffered
+        // comment, double-armed the pop timer, and leaked a topic
+        // subscription refcount per repair.
+        if let Some(existing) = self.streams.get_mut(&stream) {
+            if existing.viewer == sub.viewer && existing.video == video {
+                existing.lang = lang;
+                return;
+            }
+            // Same key, different identity: the old stream is gone for
+            // good. Account its buffer before replacing it, mirroring
+            // `on_stream_closed`.
+            let mut old = self.streams.remove(&stream).expect("checked above");
+            for e in old.buffer.drain() {
+                ctx.dropped(e.item.object, DropReason::DeviceDisconnected);
+            }
+            if let Some(watchers) = self.by_video.get_mut(&old.video) {
+                watchers.retain(|k| *k != stream);
+                if watchers.is_empty() {
+                    self.by_video.remove(&old.video);
+                }
+            }
+            ctx.unsubscribe(Topic::live_video_comments(old.video));
+            for topic in old.friend_topics {
+                ctx.unsubscribe(topic);
+            }
+        }
         // Resumption (§3.5): restore rate-limiter state a previous BRASS
         // stored in the header, if any.
         let limiter = TokenBucket::from_header(header)
@@ -475,7 +516,7 @@ impl BrassApp for LvcApp {
                     object: comment.object,
                 });
                 self.pending_fetch
-                    .insert(token, PendingFetch::Comment(stream));
+                    .insert(token, PendingFetch::Comment(stream, comment.object));
             }
             if let Some(state) = self.streams.get_mut(&stream) {
                 Self::account_buffer_losses(state, ctx);
@@ -486,8 +527,11 @@ impl BrassApp for LvcApp {
 
     fn on_was_response(&mut self, ctx: &mut Ctx<'_>, token: FetchToken, response: WasResponse) {
         match self.pending_fetch.remove(&token) {
-            Some(PendingFetch::Comment(stream)) => {
+            Some(PendingFetch::Comment(stream, object)) => {
                 if !self.streams.contains_key(&stream) {
+                    // The stream was torn down while the fetch was in
+                    // flight; the popped comment dies here with it.
+                    ctx.dropped(object, DropReason::DeviceDisconnected);
                     return;
                 }
                 match response {
@@ -503,9 +547,15 @@ impl BrassApp for LvcApp {
                             ctx.rewrite(stream, patch);
                         }
                     }
-                    // Privacy-denied or deleted comments are silently
-                    // dropped (the decision was already counted at pop).
-                    WasResponse::Denied | WasResponse::NotFound => {}
+                    // The decision was already counted at pop; the drop
+                    // still needs trace attribution or the update ledger
+                    // shows unaccounted loss.
+                    WasResponse::Denied => {
+                        ctx.dropped(object, DropReason::PrivacyBlock);
+                    }
+                    WasResponse::NotFound => {
+                        ctx.dropped(object, DropReason::NotFound);
+                    }
                     _ => {}
                 }
             }
@@ -706,6 +756,40 @@ mod tests {
     }
 
     #[test]
+    fn resubscribe_keeps_buffered_comments() {
+        let mut d = driver();
+        d.subscribe(stream(1), &header(42, 9));
+        d.event(&comment_event(42, 500, 0.9, "en", 0));
+        // Stream repair after a proxy blip re-sends Subscribe for a
+        // stream this instance is already serving: the buffered comment
+        // must survive, no duplicate topic subscription may be taken,
+        // and no second timer chain may be armed.
+        let timers_before = d.timers().len();
+        let fx = d.subscribe(stream(1), &header(42, 9));
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, Effect::SubscribeTopic(_) | Effect::Timer { .. })),
+            "same-identity resubscribe resumes live state: {fx:?}"
+        );
+        assert_eq!(d.timers().len(), timers_before);
+        d.advance(SimDuration::from_secs(2));
+        let (_, t) = d.timers()[0];
+        let fx = d.fire_timer(t);
+        let obj = fx.iter().find_map(|e| match e {
+            Effect::Was {
+                request: WasRequest::FetchObject { object, .. },
+                ..
+            } => Some(*object),
+            _ => None,
+        });
+        assert_eq!(
+            obj,
+            Some(ObjectId(500)),
+            "buffered comment survives the resubscribe"
+        );
+    }
+
+    #[test]
     fn privacy_denied_fetch_is_dropped() {
         let mut d = driver();
         d.subscribe(stream(1), &header(42, 9));
@@ -718,7 +802,19 @@ mod tests {
             _ => None,
         });
         let fx = d.was_response(tok.unwrap(), WasResponse::Denied);
-        assert!(fx.is_empty(), "denied payloads never reach the device");
+        // The denial never reaches the device, but the popped comment
+        // must still be attributed or its trace shows unaccounted loss.
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::SendPayloads { .. })),
+            "denied payloads never reach the device"
+        );
+        assert_eq!(
+            fx,
+            vec![Effect::DropUpdate {
+                object: ObjectId(400),
+                reason: DropReason::PrivacyBlock,
+            }]
+        );
         assert_eq!(d.counters.deliveries, 0);
         assert_eq!(d.counters.decisions, 1);
     }

@@ -33,6 +33,10 @@ pub struct TypingApp {
 
 struct Pending {
     stream: StreamKey,
+    /// The TAO object the update event referenced, echoed in the pushed
+    /// payload's `id` field so delivery tracing can follow the update
+    /// through its device-specific transformation.
+    object: u64,
     uid: u64,
     typing: bool,
     created_ms: u64,
@@ -80,6 +84,7 @@ impl TypingApp {
             let p = &self.pending[&t];
             w.put_u64(t.0);
             p.stream.snap(w);
+            w.put_u64(p.object);
             w.put_u64(p.uid);
             w.put_bool(p.typing);
             w.put_u64(p.created_ms);
@@ -136,6 +141,7 @@ impl TypingApp {
             }
             prev_tok = Some(tok);
             let stream = StreamKey::restore(r)?;
+            let object = r.get_u64()?;
             let uid = r.get_u64()?;
             let typing = r.get_bool()?;
             let created_ms = r.get_u64()?;
@@ -143,6 +149,7 @@ impl TypingApp {
                 FetchToken(tok),
                 Pending {
                     stream,
+                    object,
                     uid,
                     typing,
                     created_ms,
@@ -208,6 +215,7 @@ impl BrassApp for TypingApp {
                 token,
                 Pending {
                     stream: key,
+                    object: event.object.0,
                     uid: event.meta.uid,
                     typing,
                     created_ms: event.meta.created_ms,
@@ -225,10 +233,12 @@ impl BrassApp for TypingApp {
         }
         match response {
             WasResponse::Payload(_) => {
-                // Device-specific transform: the indicator payload is tiny.
+                // Device-specific transform: the indicator payload is
+                // tiny, but keeps the source object's `id` so the trace
+                // ledger can follow the transformed update to the device.
                 let payload = format!(
-                    r#"{{"uid":{},"typing":{},"created_ms":{}}}"#,
-                    pending.uid, pending.typing, pending.created_ms
+                    r#"{{"id":{},"uid":{},"typing":{},"created_ms":{}}}"#,
+                    pending.object, pending.uid, pending.typing, pending.created_ms
                 );
                 ctx.send(pending.stream, payload.into_bytes());
             }
@@ -319,7 +329,9 @@ mod tests {
             }
             other => panic!("expected send, got {other:?}"),
         };
-        assert_eq!(sent, r#"{"uid":2,"typing":true,"created_ms":0}"#);
+        // The payload leads with the TAO object id so downstream trace
+        // attribution can resolve which update a rendered frame carries.
+        assert_eq!(sent, r#"{"id":2,"uid":2,"typing":true,"created_ms":0}"#);
         assert_eq!(d.counters.decisions, 1);
         assert_eq!(d.counters.deliveries, 1);
     }

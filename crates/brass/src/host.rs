@@ -350,6 +350,15 @@ impl BrassHost {
                     if let Some(patch) = rewrite {
                         batch.push(meta.server.rewrite(patch));
                     }
+                    // Transport-level resumption ("Resumption", §3.5): every
+                    // data batch installs `last_seq`, so a resubscribe — to
+                    // this incarnation or a replacement — resumes sequence
+                    // numbering where delivery actually got to instead of
+                    // restarting at zero. Without this, a stale in-flight
+                    // frame from the old incarnation can push the client's
+                    // expectations permanently ahead of the new one, and
+                    // every later update is swallowed as a duplicate.
+                    batch.push(meta.server.rewrite_progress());
                     out.push(HostEffect::Send {
                         device: stream.device,
                         frame: Frame::Response {
@@ -969,7 +978,17 @@ mod tests {
         match frame {
             Frame::Response { sid, batch } => {
                 assert_eq!(sid, StreamId(7));
-                assert_eq!(batch, vec![Delta::update(0, b"hi".to_vec())]);
+                // Every data batch closes with a transport-progress
+                // rewrite installing `last_seq`, so resubscribes resume
+                // sequence numbering instead of restarting at zero.
+                assert_eq!(batch.len(), 2);
+                assert_eq!(batch[0], Delta::update(0, b"hi".to_vec()));
+                match &batch[1] {
+                    Delta::RewriteRequest { patch } => {
+                        assert_eq!(patch.get("last_seq").and_then(Json::as_u64), Some(0));
+                    }
+                    other => panic!("expected progress rewrite, got {other:?}"),
+                }
             }
             other => panic!("expected response, got {other:?}"),
         }

@@ -89,6 +89,7 @@ pub struct ClientStream {
     delivered: u64,
     gaps: u64,
     resubscribes: u64,
+    resyncs: u64,
 }
 
 impl ClientStream {
@@ -103,6 +104,7 @@ impl ClientStream {
             delivered: 0,
             gaps: 0,
             resubscribes: 0,
+            resyncs: 0,
         }
     }
 
@@ -132,9 +134,27 @@ impl ClientStream {
         self.gaps
     }
 
+    /// The next sequence number this stream will accept. On a stream that
+    /// never resynced (no resubscribe, no flow recovery), every sequence
+    /// in `0..expected_seq()` was applied exactly once, so
+    /// `delivered() == expected_seq()` iff no gap was ever observed —
+    /// the double-entry invariant the fuzz delivery-order oracle audits.
+    pub fn expected_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Times this stream has resubscribed after a failure.
     pub fn resubscribes(&self) -> u64 {
         self.resubscribes
+    }
+
+    /// Times an intermediary-signalled recovery resynced this stream's
+    /// sequence expectations (the [`FlowStatus::Recovered`] path). Like
+    /// [`ClientStream::resubscribes`], a nonzero count means
+    /// `expected_seq` restarted mid-life, so the double-entry invariant
+    /// no longer binds.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// The initial subscribe request.
@@ -220,6 +240,7 @@ impl ClientStream {
                     // may have missed some updates" (§4) — sequence
                     // expectations resync (resuming after `last_seq` when
                     // the header carries it).
+                    self.resyncs += 1;
                     self.next_seq = self.header.get_u64("last_seq").map(|s| s + 1).unwrap_or(0);
                     actions.push(ClientAction::NotifyRecovered);
                 }
@@ -248,6 +269,7 @@ impl ClientStream {
         out.extend_from_slice(&self.delivered.to_le_bytes());
         out.extend_from_slice(&self.gaps.to_le_bytes());
         out.extend_from_slice(&self.resubscribes.to_le_bytes());
+        out.extend_from_slice(&self.resyncs.to_le_bytes());
         let header = self.header.as_bytes();
         out.extend_from_slice(&(header.len() as u32).to_le_bytes());
         out.extend_from_slice(header);
@@ -262,7 +284,7 @@ impl ClientStream {
     pub fn peek_frozen(buf: &[u8], pos: &mut usize) -> (StreamId, bool) {
         let sid = StreamId(read_u64(buf, pos));
         let state = read_u8(buf, pos);
-        *pos += 32; // next_seq, delivered, gaps, resubscribes
+        *pos += 40; // next_seq, delivered, gaps, resubscribes, resyncs
         let header_len = read_u32(buf, pos) as usize;
         *pos += header_len;
         let body_len = read_u32(buf, pos) as usize;
@@ -280,6 +302,7 @@ impl ClientStream {
         let delivered = read_u64(buf, pos);
         let gaps = read_u64(buf, pos);
         let resubscribes = read_u64(buf, pos);
+        let resyncs = read_u64(buf, pos);
         let header_len = read_u32(buf, pos) as usize;
         let header = PackedJson::from_canonical_bytes(buf[*pos..*pos + header_len].to_vec());
         *pos += header_len;
@@ -295,6 +318,7 @@ impl ClientStream {
             delivered,
             gaps,
             resubscribes,
+            resyncs,
         }
     }
 }

@@ -417,6 +417,59 @@ impl ReverseProxy {
         out
     }
 
+    /// Handles a BRASS host process restart that the heartbeat monitor
+    /// never saw (crash + revive inside the miss window). The restarted
+    /// process inherited none of the old incarnation's connections or
+    /// stream state, so every stream routed through it is dead upstream
+    /// even though ping evidence says the host is continuously healthy.
+    /// The connection reset is what the proxy actually observes; it
+    /// re-establishes each affected stream from stored state (axiom 2) —
+    /// the host itself is live, so repair lands straight back on it —
+    /// and restarts the heartbeat monitor so the fresh incarnation
+    /// starts with a clean slate.
+    pub fn on_host_restarted(&mut self, host: u32, now_us: u64) -> Vec<ProxyEffect> {
+        if !self.hosts.contains(&host) {
+            // The monitor did catch the death: streams were already
+            // repaired off the host, and the failed/add_host pair owns
+            // the rest of the lifecycle.
+            return Vec::new();
+        }
+        self.heartbeats.insert(
+            host,
+            HeartbeatMonitor::new(self.hb_interval_us, self.hb_misses),
+        );
+        let affected = self.table.streams_via(host as u64);
+        let mut out = Vec::new();
+        for (device, sid) in affected {
+            // Axiom 1: inform the downstream endpoint.
+            out.push(ProxyEffect::ToDevice {
+                device,
+                frame: Frame::Response {
+                    sid,
+                    batch: vec![Delta::FlowStatus(FlowStatus::Degraded)],
+                },
+            });
+            // Axiom 2: re-subscribe from stored state.
+            if let Some(frame) = self.table.rebuild_subscribe(device, sid, host as u64) {
+                self.counters.induced_reconnects += 1;
+                out.push(ProxyEffect::ToBrass {
+                    host,
+                    device,
+                    frame,
+                });
+                out.push(ProxyEffect::ToDevice {
+                    device,
+                    frame: Frame::Response {
+                        sid,
+                        batch: vec![Delta::FlowStatus(FlowStatus::Recovered)],
+                    },
+                });
+            }
+        }
+        let _ = now_us;
+        out
+    }
+
     /// Handles a device connection closing at the POP: all of its stream
     /// state is dropped, and the owning BRASSes are informed via cancels
     /// (axiom 1 upstream direction).

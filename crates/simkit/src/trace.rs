@@ -154,6 +154,10 @@ pub enum DropReason {
     /// window was exhausted; the device was told via
     /// `FlowStatus::Degraded`.
     FlowControl,
+    /// An application received the update but no live stream wanted it —
+    /// the subscriber unsubscribed (or its interest lapsed) between the
+    /// topic fan-out and app-level processing.
+    NoAudience,
 }
 
 impl DropReason {
@@ -174,6 +178,7 @@ impl DropReason {
             DropReason::HostDown => 10,
             DropReason::MailboxOverflow => 11,
             DropReason::FlowControl => 12,
+            DropReason::NoAudience => 13,
         }
     }
 
@@ -192,6 +197,7 @@ impl DropReason {
             10 => DropReason::HostDown,
             11 => DropReason::MailboxOverflow,
             12 => DropReason::FlowControl,
+            13 => DropReason::NoAudience,
             _ => return None,
         })
     }
@@ -212,6 +218,7 @@ impl DropReason {
             DropReason::HostDown => "host_down",
             DropReason::MailboxOverflow => "mailbox_overflow",
             DropReason::FlowControl => "flow_control",
+            DropReason::NoAudience => "no_audience",
         }
     }
 }

@@ -205,9 +205,13 @@ impl SocialGraph {
         // where possible.
         let threads: Vec<ThreadSpec> = (0..config.threads)
             .map(|i| {
+                // Cap at the population: the top-up loop below draws
+                // distinct members, and a target above `n` can never be
+                // met — it would spin forever on a tiny graph.
                 let size = (simkit::dist::Poisson::new(config.mean_thread_size).sample_count(rng)
                     as usize)
-                    .clamp(2, 10);
+                    .clamp(2, 10)
+                    .min(n);
                 let seed = rng.index(n);
                 let mut members = vec![seed];
                 let mut candidates = users[seed].friends.clone();
@@ -282,6 +286,28 @@ mod tests {
             f.sort_unstable();
             f.dedup();
             assert_eq!(f.len(), u.friends.len());
+        }
+    }
+
+    #[test]
+    fn tiny_populations_generate_and_bound_thread_size() {
+        // A population smaller than the thread-size ceiling used to spin
+        // forever topping up distinct members. Sweep seeds so the Poisson
+        // draw exercises targets above `n`.
+        for seed in 0..50 {
+            let mut rng = DetRng::new(seed);
+            let mut config = SocialGraphConfig::small();
+            config.users = 4;
+            config.videos = 2;
+            config.threads = 6;
+            let g = SocialGraph::generate(&config, &mut rng);
+            for t in &g.threads {
+                assert!(t.members.len() <= config.users);
+                let mut m = t.members.clone();
+                m.sort_unstable();
+                m.dedup();
+                assert_eq!(m.len(), t.members.len(), "duplicate thread members");
+            }
         }
     }
 
